@@ -1,0 +1,42 @@
+// E12 (extra) — CLUSTER BY scaling: per-cluster independence means cost
+// scales linearly in total rows regardless of how they are partitioned.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace sqlts;
+  using namespace sqlts::bench_util;
+
+  const std::string query =
+      "SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date "
+      "AS (X, Y, Z) WHERE Y.price > 1.15 * X.price AND "
+      "Z.price < 0.80 * Y.price";
+
+  PrintHeader("E12: Example 1 over a growing portfolio (fixed 240k rows)");
+  std::printf("%-10s %-12s %-9s %-12s %-12s %-8s\n", "stocks",
+              "rows/stock", "matches", "naive_tests", "ops_tests",
+              "speedup");
+  Date d0 = *Date::Parse("1999-01-04");
+  const int64_t total_rows = 240000;
+  for (int stocks : {1, 10, 100, 1000}) {
+    Table t(QuoteSchema());
+    int64_t per = total_rows / stocks;
+    for (int s = 0; s < stocks; ++s) {
+      RandomWalkOptions opt;
+      opt.n = per;
+      opt.daily_vol = 0.06;
+      opt.seed = 10'000 + s;
+      SQLTS_CHECK_OK(AppendInstrument(&t, "S" + std::to_string(s), d0,
+                                      GeometricRandomWalk(opt)));
+    }
+    Comparison c = CompareAlgorithms(t, query);
+    std::printf("%-10d %-12lld %-9lld %-12lld %-12lld %-8.2fx\n", stocks,
+                static_cast<long long>(per),
+                static_cast<long long>(c.matches),
+                static_cast<long long>(c.naive_evals),
+                static_cast<long long>(c.ops_evals), c.speedup());
+  }
+  return 0;
+}

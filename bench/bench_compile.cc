@@ -1,0 +1,93 @@
+// E2/E4/E7 — compile-time artifacts and costs: the θ/φ/S matrices and
+// shift/next arrays of the paper's worked examples, plus the O(m³)
+// scaling of table construction for star patterns.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "parser/analyzer.h"
+#include "pattern/compile.h"
+
+namespace sqlts {
+namespace {
+
+void PrintPlanFor(const char* title, const std::string& query) {
+  std::printf("\n--- %s ---\n", title);
+  auto compiled = CompileQueryText(query, QuoteSchema());
+  SQLTS_CHECK(compiled.ok()) << compiled.status();
+  auto plan = CompilePattern(*compiled);
+  SQLTS_CHECK(plan.ok());
+  std::printf("%s", plan->ToString().c_str());
+}
+
+/// A star pattern of length m alternating drop/flat/rise conditions.
+std::string AlternatingPattern(int m) {
+  const char* conds[3] = {
+      "%V.price < 0.98 * %V.previous.price",
+      "0.98 * %V.previous.price < %V.price AND %V.price < 1.02 * "
+      "%V.previous.price",
+      "%V.price > 1.02 * %V.previous.price",
+  };
+  std::string pattern, where;
+  for (int e = 0; e < m; ++e) {
+    std::string var = "V" + std::to_string(e);
+    if (e) pattern += ", ";
+    pattern += "*" + var;
+    std::string cond = conds[e % 3];
+    std::string sub;
+    for (size_t i = 0; i < cond.size(); ++i) {
+      if (cond[i] == '%' && i + 1 < cond.size() && cond[i + 1] == 'V') {
+        sub += var;
+        ++i;
+      } else {
+        sub += cond[i];
+      }
+    }
+    where += (e ? " AND " : "") + sub;
+  }
+  return "SELECT V0.price FROM quote SEQUENCE BY date AS (" + pattern +
+         ") WHERE " + where;
+}
+
+void CompileCostSweep() {
+  std::printf("\n--- E7: compile cost vs pattern length (star graphs) ---\n");
+  std::printf("%-6s %-14s %-16s\n", "m", "compile_us", "us_per_m3");
+  for (int m : {4, 8, 16, 32, 64}) {
+    auto compiled = CompileQueryText(AlternatingPattern(m), QuoteSchema());
+    SQLTS_CHECK(compiled.ok()) << compiled.status();
+    // Warm once, then time several iterations.
+    auto plan = CompilePattern(*compiled);
+    SQLTS_CHECK(plan.ok());
+    const int iters = m <= 16 ? 50 : 10;
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) {
+      auto p = CompilePattern(*compiled);
+      SQLTS_CHECK(p.ok());
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    double us =
+        std::chrono::duration<double, std::micro>(t1 - t0).count() / iters;
+    std::printf("%-6d %-14.1f %-16.4f\n", m, us,
+                us / (static_cast<double>(m) * m * m));
+  }
+}
+
+}  // namespace
+}  // namespace sqlts
+
+int main() {
+  using namespace sqlts;
+  std::printf("=== E2/E4: compiled artifacts of the paper's examples ===\n");
+  PrintPlanFor("Example 4 core pattern (Examples 5-7)",
+               "SELECT A.price FROM quote SEQUENCE BY date AS (A, B, C, D) "
+               "WHERE A.price < A.previous.price AND B.price < A.price AND "
+               "B.price > 40 AND B.price < 50 AND C.price > B.price AND "
+               "C.price < 52 AND D.price > C.price");
+  PrintPlanFor("Example 9 (star pattern, G_P construction)",
+               PaperExampleQuery(9));
+  PrintPlanFor("Example 10 (relaxed double bottom)", PaperExampleQuery(10));
+  CompileCostSweep();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// E3 — Figure 5: the (step, input-position, pattern-position) search
+// path of the naive algorithm vs OPS on the 15-value price sequence of
+// Sec 4.2.1, using Example 4's predicate pattern.
+
+#include <cstdio>
+
+#include "engine/matcher.h"
+#include "parser/analyzer.h"
+#include "pattern/compile.h"
+#include "workload/generators.h"
+
+namespace sqlts {
+namespace {
+
+void PrintPath(const char* name, const SearchTrace& trace) {
+  std::printf("\n%s path (step: i/j), length %zu:\n", name, trace.size());
+  for (size_t s = 0; s < trace.size(); ++s) {
+    std::printf("%3zu: i=%2lld j=%d\n", s + 1,
+                static_cast<long long>(trace[s].i + 1), trace[s].j);
+  }
+}
+
+/// Crude ASCII rendering of the i-coordinate over time (the "path
+/// curve" of Figure 5).
+void PrintCurve(const char* name, const SearchTrace& trace, int64_t n) {
+  std::printf("\n%s input-cursor curve (x: step, y: input position):\n",
+              name);
+  for (int64_t level = n; level >= 1; --level) {
+    std::printf("i=%2lld |", static_cast<long long>(level));
+    for (const TracePoint& t : trace) {
+      std::printf("%c", t.i + 1 == level ? '*' : ' ');
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace sqlts
+
+int main() {
+  using namespace sqlts;
+  std::vector<double> prices = PaperFigure5Sequence();
+  std::printf("=== E3: Figure 5 search-path curves ===\nsequence:");
+  for (double p : prices) std::printf(" %g", p);
+  std::printf("\n");
+
+  // Example 4's core predicates p1..p4 (the paper analyzes the pattern
+  // without the anchor element X, whose only condition is hoisted).
+  const std::string query =
+      "SELECT A.price FROM quote SEQUENCE BY date AS (A, B, C, D) "
+      "WHERE A.price < A.previous.price AND B.price < A.price AND "
+      "B.price > 40 AND B.price < 50 AND C.price > B.price AND "
+      "C.price < 52 AND D.price > C.price";
+
+  Table table = PricesToQuoteTable("SEQ", Date(10000), prices);
+  auto compiled = CompileQueryText(query, table.schema());
+  SQLTS_CHECK(compiled.ok()) << compiled.status();
+  auto plan = CompilePattern(*compiled);
+  SQLTS_CHECK(plan.ok());
+  std::printf("\ncompiled plan:\n%s", plan->ToString().c_str());
+
+  std::vector<int64_t> rows;
+  for (int64_t r = 0; r < table.num_rows(); ++r) rows.push_back(r);
+  SequenceView seq(&table, rows);
+
+  SearchStats ns, os;
+  SearchTrace ntrace, otrace;
+  auto nm = NaiveSearch(seq, *plan, &ns, &ntrace);
+  auto om = OpsSearch(seq, *plan, &os, &otrace);
+  SQLTS_CHECK(nm.size() == om.size());
+
+  PrintPath("naive", ntrace);
+  PrintPath("OPS", otrace);
+  PrintCurve("naive", ntrace, static_cast<int64_t>(prices.size()));
+  PrintCurve("OPS", otrace, static_cast<int64_t>(prices.size()));
+
+  std::printf("\nsummary: naive path length = %zu, OPS path length = %zu "
+              "(%.2fx shorter)\n",
+              ntrace.size(), otrace.size(),
+              static_cast<double>(ntrace.size()) /
+                  static_cast<double>(otrace.size()));
+  return 0;
+}

@@ -1,0 +1,68 @@
+// E1 — Sec 3.1: classic KMP vs brute force on text, including the
+// paper's running example (pattern abcabcacab) and scaling sweeps.
+
+#include <cstdio>
+#include <random>
+#include <string>
+
+#include "engine/kmp_search.h"
+#include "pattern/shift_next.h"
+
+namespace sqlts {
+namespace {
+
+void PaperExample() {
+  const std::string pattern = "abcabcacab";
+  const std::string text = "babcbabcabcaabcabcabcacabc";
+  std::printf("\n=== E1a: paper Sec 3.1 example ===\n");
+  std::printf("pattern: %s\n", pattern.c_str());
+  std::printf("text:    %s\n", text.c_str());
+  std::vector<int> next = BuildKmpNext(pattern);
+  std::printf("next:   ");
+  for (size_t j = 1; j < next.size(); ++j) std::printf(" %d", next[j]);
+  std::printf("\n");
+  int64_t nc = 0, kc = 0;
+  auto naive = NaiveTextSearch(text, pattern, &nc);
+  auto kmp = KmpTextSearch(text, pattern, &kc);
+  std::printf("occurrences: %zu (at offset %lld)\n", kmp.size(),
+              kmp.empty() ? -1LL : static_cast<long long>(kmp[0]));
+  std::printf("comparisons: naive=%lld kmp=%lld (%.2fx)\n",
+              static_cast<long long>(nc), static_cast<long long>(kc),
+              static_cast<double>(nc) / static_cast<double>(kc));
+  SQLTS_CHECK(naive == kmp);
+}
+
+void ScalingSweep() {
+  std::printf("\n=== E1b: comparison-count scaling (periodic text) ===\n");
+  std::printf("%-10s %-12s %-14s %-14s %-8s\n", "text_n", "pattern",
+              "naive_cmps", "kmp_cmps", "ratio");
+  std::mt19937_64 rng(11);
+  for (int64_t n : {1000, 10000, 100000}) {
+    // Adversarial self-similar text: long runs of 'a' with sparse 'b'.
+    std::string text;
+    for (int64_t i = 0; i < n; ++i) {
+      text += (rng() % 20 == 0) ? 'b' : 'a';
+    }
+    for (const std::string& pattern : {std::string("aaaaaaab"),
+                                       std::string("aaabaaab"),
+                                       std::string("abababab")}) {
+      int64_t nc = 0, kc = 0;
+      auto naive = NaiveTextSearch(text, pattern, &nc);
+      auto kmp = KmpTextSearch(text, pattern, &kc);
+      SQLTS_CHECK(naive == kmp);
+      std::printf("%-10lld %-12s %-14lld %-14lld %-8.2f\n",
+                  static_cast<long long>(n), pattern.c_str(),
+                  static_cast<long long>(nc), static_cast<long long>(kc),
+                  static_cast<double>(nc) / static_cast<double>(kc));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sqlts
+
+int main() {
+  sqlts::PaperExample();
+  sqlts::ScalingSweep();
+  return 0;
+}

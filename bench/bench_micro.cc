@@ -1,0 +1,59 @@
+// E9: matcher throughput micro-benchmarks (google-benchmark).
+
+#include <benchmark/benchmark.h>
+
+#include "engine/executor.h"
+#include "workload/generators.h"
+
+namespace sqlts {
+namespace {
+
+const Table& WalkTable(int64_t n) {
+  static Table* table = [] {
+    RandomWalkOptions opt;
+    opt.n = 1 << 16;
+    auto* t = new Table(PricesToQuoteTable(
+        "WALK", Date::Parse("1999-01-04").value(), GeometricRandomWalk(opt)));
+    return t;
+  }();
+  (void)n;
+  return *table;
+}
+
+void RunQuery(benchmark::State& state, int example, SearchAlgorithm algo) {
+  const Table& t = WalkTable(0);
+  auto compiled = CompileQueryText(PaperExampleQuery(example), t.schema());
+  if (!compiled.ok()) {
+    state.SkipWithError(compiled.status().ToString().c_str());
+    return;
+  }
+  ExecOptions opt;
+  opt.algorithm = algo;
+  int64_t tuples = 0;
+  for (auto _ : state) {
+    auto result = QueryExecutor::ExecuteCompiled(t, *compiled, opt);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->stats.evaluations);
+    tuples += t.num_rows();
+  }
+  state.counters["tuples_per_s"] =
+      benchmark::Counter(static_cast<double>(tuples), benchmark::Counter::kIsRate);
+}
+
+void BM_Example1_Ops(benchmark::State& s) { RunQuery(s, 1, SearchAlgorithm::kOps); }
+void BM_Example1_Naive(benchmark::State& s) { RunQuery(s, 1, SearchAlgorithm::kNaive); }
+void BM_Example8_Ops(benchmark::State& s) { RunQuery(s, 8, SearchAlgorithm::kOps); }
+void BM_Example8_Naive(benchmark::State& s) { RunQuery(s, 8, SearchAlgorithm::kNaive); }
+
+BENCHMARK(BM_Example1_Ops);
+BENCHMARK(BM_Example1_Naive);
+BENCHMARK(BM_Example8_Ops);
+BENCHMARK(BM_Example8_Naive);
+
+}  // namespace
+}  // namespace sqlts
+
+BENCHMARK_MAIN();

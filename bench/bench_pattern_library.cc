@@ -1,0 +1,48 @@
+// E10 (extra) — the technical-pattern library over the synthetic DJIA:
+// naive vs OPS cost for each named chart pattern, with the compiled
+// shift/next summary that predicts the speedup.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "parser/analyzer.h"
+#include "pattern/compile.h"
+#include "workload/patterns.h"
+
+int main() {
+  using namespace sqlts;
+  using namespace sqlts::bench_util;
+
+  Table djia = PricesToQuoteTable("DJIA", *Date::Parse("1974-01-02"),
+                                  SynthesizeDjia(6300));
+
+  PrintHeader("pattern library on synthetic DJIA (6300 days)");
+  std::printf("%-16s %-3s %-9s %-12s %-11s %-9s %-10s %-9s\n", "pattern",
+              "m", "matches", "naive_tests", "ops_tests", "speedup",
+              "avg_shift", "avg_next");
+  for (const NamedPattern& np : TechnicalPatternLibrary()) {
+    auto compiled = CompileQueryText(np.query, djia.schema());
+    SQLTS_CHECK(compiled.ok()) << np.name << ": " << compiled.status();
+    auto plan = CompilePattern(*compiled);
+    SQLTS_CHECK(plan.ok());
+    Comparison c = CompareAlgorithms(djia, np.query);
+    std::printf("%-16s %-3d %-9lld %-12lld %-11lld %-8.2fx %-10.2f %-9.2f\n",
+                np.name.c_str(), plan->m,
+                static_cast<long long>(c.matches),
+                static_cast<long long>(c.naive_evals),
+                static_cast<long long>(c.ops_evals), c.speedup(),
+                plan->tables.AverageShift(), plan->tables.AverageNext());
+  }
+
+  PrintHeader("band sensitivity: double bottom at ±1% / ±2% / ±3%");
+  std::printf("%-8s %-9s %-12s %-11s %-9s\n", "band", "matches",
+              "naive_tests", "ops_tests", "speedup");
+  for (double band : {0.01, 0.02, 0.03}) {
+    Comparison c = CompareAlgorithms(djia, RelaxedDoubleBottomQuery(band));
+    std::printf("%-8.2f %-9lld %-12lld %-11lld %-8.2fx\n", band,
+                static_cast<long long>(c.matches),
+                static_cast<long long>(c.naive_evals),
+                static_cast<long long>(c.ops_evals), c.speedup());
+  }
+  return 0;
+}

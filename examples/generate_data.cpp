@@ -1,0 +1,48 @@
+// Regenerates the checked-in CSVs under data/ (all seeded, so the
+// outputs are reproducible):
+//   data/djia.csv          synthetic 25-year index closes
+//   data/quotes.csv        a 5-stock portfolio for CLUSTER BY demos
+//   data/double_bottoms.csv  series with 12 planted double bottoms
+//
+//   ./build/examples/generate_data [output_dir]
+
+#include <cstdio>
+#include <string>
+
+#include "storage/csv.h"
+#include "workload/generators.h"
+
+int main(int argc, char** argv) {
+  using namespace sqlts;
+  const std::string dir = argc > 1 ? argv[1] : "data";
+  Date start = *Date::Parse("1974-01-02");
+
+  auto write = [&](const std::string& name, const Table& t) {
+    const std::string path = dir + "/" + name;
+    Status st = WriteCsvFile(t, path);
+    SQLTS_CHECK(st.ok()) << st;
+    std::printf("wrote %s (%lld rows)\n", path.c_str(),
+                static_cast<long long>(t.num_rows()));
+  };
+
+  write("djia.csv",
+        PricesToQuoteTable("DJIA", start, SynthesizeDjia(6300)));
+  write("double_bottoms.csv",
+        PricesToQuoteTable("DJIA", start,
+                           SeriesWithPlantedDoubleBottoms(12)));
+
+  Table quotes(QuoteSchema());
+  uint64_t seed = 42;
+  for (const char* name : {"IBM", "INTC", "MSFT", "GE", "XOM"}) {
+    RandomWalkOptions opt;
+    opt.n = 2500;
+    opt.daily_vol = 0.015;
+    opt.seed = seed++;
+    opt.start_price = 40.0 + 20.0 * static_cast<double>(seed % 5);
+    SQLTS_CHECK_OK(AppendInstrument(&quotes, name,
+                                    *Date::Parse("1999-01-04"),
+                                    GeometricRandomWalk(opt)));
+  }
+  write("quotes.csv", quotes);
+  return 0;
+}

@@ -1,0 +1,88 @@
+// sqlts_cli: run ad-hoc SQL-TS queries against a CSV file.
+//
+//   sqlts_cli <csv> <schema> <query> [--naive] [--explain]
+//
+//   <schema> is "col:TYPE,col:TYPE,..." with TYPE in
+//   {INT64,DOUBLE,STRING,DATE,BOOL}.
+//
+// Example:
+//   ./build/examples/sqlts_cli data/djia.csv
+//     "name:STRING,date:DATE,price:DOUBLE"
+//     "SELECT X.date, X.price FROM djia SEQUENCE BY date AS (X, Y)
+//      WHERE Y.price < 0.95 * X.price"
+// (all on one shell line)
+
+#include <cstdio>
+#include <string>
+
+#include "common/string_util.h"
+#include "engine/executor.h"
+#include "engine/explain.h"
+#include "storage/csv.h"
+
+namespace {
+
+int Fail(const sqlts::Status& s) {
+  std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sqlts;
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: %s <csv> <schema> <query> [--naive] [--explain]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string csv_path = argv[1];
+  const std::string schema_text = argv[2];
+  const std::string query = argv[3];
+  bool naive = false, explain = false;
+  for (int i = 4; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--naive") naive = true;
+    else if (a == "--explain") explain = true;
+  }
+
+  Schema schema;
+  for (const std::string& part : SplitString(schema_text, ',')) {
+    auto bits = SplitString(part, ':');
+    if (bits.size() != 2) {
+      std::fprintf(stderr, "bad schema entry '%s'\n", part.c_str());
+      return 2;
+    }
+    auto kind = TypeKindFromString(StripWhitespace(bits[1]));
+    if (!kind.ok()) return Fail(kind.status());
+    Status st = schema.AddColumn(StripWhitespace(bits[0]), *kind);
+    if (!st.ok()) return Fail(st);
+  }
+
+  auto table = ReadCsvFile(csv_path, schema);
+  if (!table.ok()) return Fail(table.status());
+  std::fprintf(stderr, "loaded %lld rows (%s)\n",
+               static_cast<long long>(table->num_rows()),
+               schema.ToString().c_str());
+
+  ExecOptions opt;
+  opt.algorithm = naive ? SearchAlgorithm::kNaive : SearchAlgorithm::kOps;
+  auto result = QueryExecutor::Execute(*table, query, opt);
+  if (!result.ok()) return Fail(result.status());
+
+  if (explain) {
+    auto report = ExplainQueryText(query, schema);
+    std::printf("%s", report.ok() ? report->c_str()
+                                  : report.status().ToString().c_str());
+  }
+  std::printf("%s", result->output.ToString(1000).c_str());
+  std::fprintf(stderr,
+               "%lld matches over %d cluster(s); %lld predicate tests "
+               "(%s)\n",
+               static_cast<long long>(result->stats.matches),
+               result->num_clusters,
+               static_cast<long long>(result->stats.evaluations),
+               naive ? "naive" : "OPS");
+  return 0;
+}

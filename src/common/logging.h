@@ -1,0 +1,56 @@
+#ifndef SQLTS_COMMON_LOGGING_H_
+#define SQLTS_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace sqlts {
+namespace internal_logging {
+
+/// Accumulates a message and aborts the process on destruction.  Used by
+/// SQLTS_CHECK for programmer-error invariants (never for data errors,
+/// which flow through Status).
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line) {
+    stream_ << "[FATAL " << file << ":" << line << "] ";
+  }
+  [[noreturn]] ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  FatalLogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace sqlts
+
+/// Aborts with a message when `cond` is false.  For invariants only;
+/// supports streaming extra context: SQLTS_CHECK(x > 0) << "x=" << x;
+/// The switch wrapper makes the macro safe in unbraced if/else bodies.
+#define SQLTS_CHECK(cond)                                              \
+  switch (0)                                                           \
+  case 0:                                                              \
+  default:                                                             \
+    if (cond) {                                                        \
+    } else /* NOLINT */                                                \
+      ::sqlts::internal_logging::FatalLogMessage(__FILE__, __LINE__)   \
+          << "Check failed: " #cond " "
+
+#define SQLTS_CHECK_OK(expr)                                       \
+  do {                                                             \
+    ::sqlts::Status _st_check = (expr);                            \
+    SQLTS_CHECK(_st_check.ok()) << _st_check.ToString();           \
+  } while (false)
+
+#define SQLTS_DCHECK(cond) SQLTS_CHECK(cond)
+
+#endif  // SQLTS_COMMON_LOGGING_H_

@@ -1,0 +1,78 @@
+#ifndef SQLTS_COMMON_STATUSOR_H_
+#define SQLTS_COMMON_STATUSOR_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace sqlts {
+
+/// Holds either a value of type `T` or a non-OK `Status`.
+///
+/// Typical usage:
+///
+///   StatusOr<Table> t = CsvReader::Read(path);
+///   if (!t.ok()) return t.status();
+///   Use(*t);
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status.  `status` must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    SQLTS_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+  /// Constructs from a value.
+  StatusOr(T value)  // NOLINT
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) = default;
+  StatusOr& operator=(StatusOr&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    SQLTS_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    SQLTS_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    SQLTS_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a StatusOr expression to `lhs`, or returns its
+/// status from the enclosing function.
+#define SQLTS_ASSIGN_OR_RETURN(lhs, expr)        \
+  SQLTS_ASSIGN_OR_RETURN_IMPL(                   \
+      SQLTS_STATUS_MACRO_CONCAT(_status_or_, __LINE__), lhs, expr)
+
+#define SQLTS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define SQLTS_STATUS_MACRO_CONCAT(a, b) SQLTS_STATUS_MACRO_CONCAT_IMPL(a, b)
+#define SQLTS_STATUS_MACRO_CONCAT_IMPL(a, b) a##b
+
+}  // namespace sqlts
+
+#endif  // SQLTS_COMMON_STATUSOR_H_

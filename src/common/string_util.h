@@ -1,0 +1,33 @@
+#ifndef SQLTS_COMMON_STRING_UTIL_H_
+#define SQLTS_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sqlts {
+
+/// Splits `input` on `sep`, keeping empty fields.
+std::vector<std::string> SplitString(std::string_view input, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// ASCII lower-casing (locale independent).
+std::string ToLower(std::string_view s);
+/// ASCII upper-casing (locale independent).
+std::string ToUpper(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Joins `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace sqlts
+
+#endif  // SQLTS_COMMON_STRING_UTIL_H_

@@ -1,0 +1,101 @@
+#include "constraints/atom.h"
+
+#include "common/logging.h"
+
+namespace sqlts {
+
+std::string CmpOpToString(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "<>";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+CmpOp NegateOp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return CmpOp::kNe;
+    case CmpOp::kNe:
+      return CmpOp::kEq;
+    case CmpOp::kLt:
+      return CmpOp::kGe;
+    case CmpOp::kLe:
+      return CmpOp::kGt;
+    case CmpOp::kGt:
+      return CmpOp::kLe;
+    case CmpOp::kGe:
+      return CmpOp::kLt;
+  }
+  SQLTS_CHECK(false);
+  return op;
+}
+
+CmpOp SwapOp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return CmpOp::kEq;
+    case CmpOp::kNe:
+      return CmpOp::kNe;
+    case CmpOp::kLt:
+      return CmpOp::kGt;
+    case CmpOp::kLe:
+      return CmpOp::kGe;
+    case CmpOp::kGt:
+      return CmpOp::kLt;
+    case CmpOp::kGe:
+      return CmpOp::kLe;
+  }
+  SQLTS_CHECK(false);
+  return op;
+}
+
+bool EvalCmp(double a, CmpOp op, double b) {
+  switch (op) {
+    case CmpOp::kEq:
+      return a == b;
+    case CmpOp::kNe:
+      return a != b;
+    case CmpOp::kLt:
+      return a < b;
+    case CmpOp::kLe:
+      return a <= b;
+    case CmpOp::kGt:
+      return a > b;
+    case CmpOp::kGe:
+      return a >= b;
+  }
+  return false;
+}
+
+std::string LinearAtom::ToString() const {
+  std::string out = "v" + std::to_string(x) + " " + CmpOpToString(op) + " ";
+  if (y != kNoVar) {
+    out += "v" + std::to_string(y);
+    if (c != 0) out += " + " + std::to_string(c);
+  } else {
+    out += std::to_string(c);
+  }
+  return out;
+}
+
+std::string RatioAtom::ToString() const {
+  return "v" + std::to_string(x) + " " + CmpOpToString(op) + " " +
+         std::to_string(c) + " * v" + std::to_string(y);
+}
+
+std::string StringAtom::ToString() const {
+  return "v" + std::to_string(x) + (equal ? " = '" : " <> '") + text + "'";
+}
+
+}  // namespace sqlts

@@ -1,0 +1,73 @@
+#ifndef SQLTS_CONSTRAINTS_ATOM_H_
+#define SQLTS_CONSTRAINTS_ATOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sqlts {
+
+/// Comparison operators of the GSW constraint language
+/// (op ∈ {=, ≠, ≤, <, ≥, >}; paper Sec 6).
+enum class CmpOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// "=", "<>", "<", "<=", ">", ">=".
+std::string CmpOpToString(CmpOp op);
+
+/// Logical negation: ¬(x < y) ≡ x ≥ y, ¬(x = y) ≡ x ≠ y, ...
+CmpOp NegateOp(CmpOp op);
+
+/// Swaps sides: (x op y) ≡ (y SwapOp(op) x).
+CmpOp SwapOp(CmpOp op);
+
+/// Evaluates `a op b` on doubles.
+bool EvalCmp(double a, CmpOp op, double b);
+
+/// Identifier of a constraint variable, interned by VariableCatalog.
+/// In pattern analysis a variable denotes "attribute at tuple offset",
+/// e.g. price@0 (current tuple) or price@-1 (t.previous).
+using VarId = int;
+
+/// Sentinel meaning "no second variable" — the atom compares against the
+/// constant alone (X op C).
+inline constexpr VarId kNoVar = -1;
+
+/// Additive atom:  x op y + c   (or x op c when y == kNoVar).
+/// This is the GSW form "X op Y + C".
+struct LinearAtom {
+  VarId x;
+  VarId y;
+  CmpOp op;
+  double c;
+
+  LinearAtom Negated() const { return {x, y, NegateOp(op), c}; }
+  std::string ToString() const;
+  bool operator==(const LinearAtom&) const = default;
+};
+
+/// Multiplicative atom:  x op c * y   (requires a positive domain to be
+/// analyzable; the paper's Sec 6 extension via Z = X/Y).
+struct RatioAtom {
+  VarId x;
+  VarId y;
+  CmpOp op;
+  double c;
+
+  RatioAtom Negated() const { return {x, y, NegateOp(op), c}; }
+  std::string ToString() const;
+  bool operator==(const RatioAtom&) const = default;
+};
+
+/// Categorical atom:  x = 'str'  or  x ≠ 'str' (e.g. name='IBM').
+struct StringAtom {
+  VarId x;
+  bool equal;  // true: =, false: ≠
+  std::string text;
+
+  StringAtom Negated() const { return {x, !equal, text}; }
+  std::string ToString() const;
+  bool operator==(const StringAtom&) const = default;
+};
+
+}  // namespace sqlts
+
+#endif  // SQLTS_CONSTRAINTS_ATOM_H_

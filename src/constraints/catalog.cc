@@ -1,0 +1,21 @@
+#include "constraints/catalog.h"
+
+#include "common/logging.h"
+
+namespace sqlts {
+
+VarId VariableCatalog::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  VarId id = static_cast<VarId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+const std::string& VariableCatalog::Name(VarId id) const {
+  SQLTS_CHECK(id >= 0 && id < size()) << "bad VarId " << id;
+  return names_[id];
+}
+
+}  // namespace sqlts

@@ -1,0 +1,33 @@
+#ifndef SQLTS_CONSTRAINTS_CATALOG_H_
+#define SQLTS_CONSTRAINTS_CATALOG_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "constraints/atom.h"
+
+namespace sqlts {
+
+/// Interns variable names to dense VarIds shared by all predicates of a
+/// pattern (so that two predicates over "price@0" talk about the same
+/// variable when θ/φ entries are computed).
+class VariableCatalog {
+ public:
+  /// Returns the id for `name`, creating it on first use.
+  VarId Intern(std::string_view name);
+
+  /// Name of `id` (checked invariant).
+  const std::string& Name(VarId id) const;
+
+  int size() const { return static_cast<int>(names_.size()); }
+
+ private:
+  std::unordered_map<std::string, VarId> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace sqlts
+
+#endif  // SQLTS_CONSTRAINTS_CATALOG_H_

@@ -1,0 +1,28 @@
+#include "constraints/system.h"
+
+namespace sqlts {
+
+ConstraintSystem ConstraintSystem::Conjoin(const ConstraintSystem& a,
+                                           const ConstraintSystem& b) {
+  ConstraintSystem out = a;
+  for (const auto& atom : b.linear_) out.linear_.push_back(atom);
+  for (const auto& atom : b.ratio_) out.ratio_.push_back(atom);
+  for (const auto& atom : b.string_) out.string_.push_back(atom);
+  out.trivially_false_ = a.trivially_false_ || b.trivially_false_;
+  return out;
+}
+
+std::string ConstraintSystem::ToString() const {
+  std::string out;
+  auto append = [&out](const std::string& s) {
+    if (!out.empty()) out += " AND ";
+    out += s;
+  };
+  for (const auto& a : linear_) append(a.ToString());
+  for (const auto& a : ratio_) append(a.ToString());
+  for (const auto& a : string_) append(a.ToString());
+  if (out.empty()) out = "TRUE";
+  return out;
+}
+
+}  // namespace sqlts

@@ -1,0 +1,68 @@
+#ifndef SQLTS_CONSTRAINTS_SYSTEM_H_
+#define SQLTS_CONSTRAINTS_SYSTEM_H_
+
+#include <string>
+#include <vector>
+
+#include "constraints/atom.h"
+
+namespace sqlts {
+
+/// A conjunction of atomic constraints over interned variables — the
+/// object the GSW procedure reasons about.  A pattern-element predicate
+/// compiles to one ConstraintSystem (plus possibly opaque residue the
+/// solver treats as unknown; see expr/normalize.h).
+class ConstraintSystem {
+ public:
+  ConstraintSystem() = default;
+
+  void AddLinear(LinearAtom a) { linear_.push_back(a); }
+  void AddRatio(RatioAtom a) { ratio_.push_back(a); }
+  void AddString(StringAtom a) { string_.push_back(std::move(a)); }
+
+  /// Marks the whole conjunction as constant-false (used when a conjunct
+  /// folds to FALSE during normalization).
+  void SetTriviallyFalse() { trivially_false_ = true; }
+  bool trivially_false() const { return trivially_false_; }
+
+  /// Convenience builders.
+  /// x op y + c
+  void AddXopYplusC(VarId x, CmpOp op, VarId y, double c) {
+    linear_.push_back({x, y, op, c});
+  }
+  /// x op c
+  void AddXopC(VarId x, CmpOp op, double c) {
+    linear_.push_back({x, kNoVar, op, c});
+  }
+  /// x op c * y
+  void AddXopCtimesY(VarId x, CmpOp op, double c, VarId y) {
+    ratio_.push_back({x, y, op, c});
+  }
+
+  const std::vector<LinearAtom>& linear() const { return linear_; }
+  const std::vector<RatioAtom>& ratio() const { return ratio_; }
+  const std::vector<StringAtom>& strings() const { return string_; }
+
+  bool empty() const {
+    return linear_.empty() && ratio_.empty() && string_.empty();
+  }
+  int num_atoms() const {
+    return static_cast<int>(linear_.size() + ratio_.size() + string_.size());
+  }
+
+  /// Conjunction of `a` and `b`.
+  static ConstraintSystem Conjoin(const ConstraintSystem& a,
+                                  const ConstraintSystem& b);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<LinearAtom> linear_;
+  std::vector<RatioAtom> ratio_;
+  std::vector<StringAtom> string_;
+  bool trivially_false_ = false;
+};
+
+}  // namespace sqlts
+
+#endif  // SQLTS_CONSTRAINTS_SYSTEM_H_

@@ -1,0 +1,31 @@
+#ifndef SQLTS_ENGINE_BACKTRACK_H_
+#define SQLTS_ENGINE_BACKTRACK_H_
+
+#include <vector>
+
+#include "engine/match.h"
+#include "pattern/compile.h"
+#include "storage/sequence.h"
+
+namespace sqlts {
+
+/// Reference implementation of SQL-TS's *declarative* semantics: the
+/// star is "one or more" with no greedy commitment, formalized by the
+/// paper via recursive Datalog [11].  This matcher explores every star
+/// split point (longest-first, so it coincides with the greedy matchers
+/// whenever greedy succeeds) and reports left-maximal non-overlapping
+/// matches.
+///
+/// Use cases:
+///  * a semantics oracle: on patterns whose adjacent elements are
+///    mutually exclusive, greedy = declarative (tested); on overlapping
+///    predicates it finds matches greedy search gives up on;
+///  * the cost model of un-optimized declarative evaluation (every
+///    split probe is a predicate test).
+std::vector<Match> BacktrackingSearch(const SequenceView& seq,
+                                      const PatternPlan& plan,
+                                      SearchStats* stats);
+
+}  // namespace sqlts
+
+#endif  // SQLTS_ENGINE_BACKTRACK_H_

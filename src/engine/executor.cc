@@ -1,0 +1,95 @@
+#include "engine/executor.h"
+
+#include "storage/sequence.h"
+
+namespace sqlts {
+namespace {
+
+/// Coerces a computed SELECT value to the declared output column type
+/// (int64 results may feed double columns, etc.).
+Value CoerceTo(TypeKind want, Value v) {
+  if (v.is_null() || v.kind() == want) return v;
+  if (want == TypeKind::kDouble && v.kind() == TypeKind::kInt64) {
+    return Value::Double(static_cast<double>(v.int64_value()));
+  }
+  if (want == TypeKind::kInt64 && v.kind() == TypeKind::kDouble) {
+    return Value::Int64(static_cast<int64_t>(v.double_value()));
+  }
+  return v;  // AppendRow will surface genuine type errors
+}
+
+/// True when the hoisted cluster filters accept this cluster (evaluated
+/// on its first tuple; cluster columns are constant within a cluster).
+bool ClusterAccepted(const CompiledQuery& query, const SequenceView& seq) {
+  if (seq.size() == 0) return false;
+  EvalContext ctx;
+  ctx.seq = &seq;
+  ctx.pos = 0;
+  ctx.spans = nullptr;
+  for (const ExprPtr& f : query.cluster_filters) {
+    if (!EvalPredicate(*f, ctx)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusOr<QueryResult> QueryExecutor::Execute(const Table& input,
+                                             std::string_view query_text,
+                                             const ExecOptions& options) {
+  SQLTS_ASSIGN_OR_RETURN(CompiledQuery query,
+                         CompileQueryText(query_text, input.schema()));
+  return ExecuteCompiled(input, query, options);
+}
+
+StatusOr<QueryResult> QueryExecutor::ExecuteCompiled(
+    const Table& input, const CompiledQuery& query,
+    const ExecOptions& options) {
+  SQLTS_ASSIGN_OR_RETURN(PatternPlan plan,
+                         CompilePattern(query, options.compile));
+  SQLTS_ASSIGN_OR_RETURN(
+      ClusteredSequence clusters,
+      ClusteredSequence::Build(&input, query.cluster_by, query.sequence_by));
+
+  QueryResult result{Table(query.output_schema), SearchStats{},
+                     SearchTrace{}, plan, clusters.num_clusters()};
+
+  for (int c = 0; c < clusters.num_clusters(); ++c) {
+    const SequenceView& seq = clusters.cluster(c);
+    if (!ClusterAccepted(query, seq)) continue;
+    // LIMIT: stop searching once enough rows were produced (exact early
+    // termination — the first N left-maximal matches, in cluster order).
+    SearchOptions search_opts;
+    if (query.limit > 0) {
+      int64_t remaining = query.limit - result.output.num_rows();
+      if (remaining <= 0) break;
+      search_opts.max_matches = remaining;
+    }
+
+    SearchStats stats;
+    SearchTrace* trace = options.collect_trace ? &result.trace : nullptr;
+    std::vector<Match> matches =
+        options.algorithm == SearchAlgorithm::kOps
+            ? OpsSearch(seq, plan, &stats, trace, search_opts)
+            : NaiveSearch(seq, plan, &stats, trace, search_opts);
+    result.stats += stats;
+
+    for (const Match& match : matches) {
+      EvalContext ctx;
+      ctx.seq = &seq;
+      ctx.pos = 0;
+      ctx.spans = &match.spans;
+      Row row;
+      row.reserve(query.select.size());
+      for (size_t s = 0; s < query.select.size(); ++s) {
+        Value v = EvalExpr(*query.select[s].expr, ctx);
+        row.push_back(
+            CoerceTo(result.output.schema().column(s).type, std::move(v)));
+      }
+      SQLTS_RETURN_IF_ERROR(result.output.AppendRow(std::move(row)));
+    }
+  }
+  return result;
+}
+
+}  // namespace sqlts

@@ -1,0 +1,59 @@
+#ifndef SQLTS_ENGINE_EXECUTOR_H_
+#define SQLTS_ENGINE_EXECUTOR_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/statusor.h"
+#include "engine/matcher.h"
+#include "parser/analyzer.h"
+#include "pattern/compile.h"
+#include "storage/table.h"
+
+namespace sqlts {
+
+/// Which search algorithm the executor drives.
+enum class SearchAlgorithm {
+  kOps,    ///< the paper's optimized pattern search (default)
+  kNaive,  ///< backtracking baseline
+};
+
+/// Execution knobs.
+struct ExecOptions {
+  CompileOptions compile;
+  SearchAlgorithm algorithm = SearchAlgorithm::kOps;
+  /// Record every predicate test (expensive; Figure-5 style analysis).
+  bool collect_trace = false;
+};
+
+/// The result of running a SQL-TS query: the projected output rows plus
+/// cost accounting (and optionally the full test trace).
+struct QueryResult {
+  Table output;
+  SearchStats stats;
+  SearchTrace trace;          // only when collect_trace
+  PatternPlan plan;           // the compiled pattern, for EXPLAIN
+  int num_clusters = 0;
+};
+
+/// End-to-end SQL-TS execution engine: parse → analyze → compile the
+/// pattern → cluster & sort → match per cluster → evaluate the SELECT
+/// list per match.
+class QueryExecutor {
+ public:
+  /// Runs `query_text` against `input`.
+  static StatusOr<QueryResult> Execute(const Table& input,
+                                       std::string_view query_text,
+                                       const ExecOptions& options = {});
+
+  /// Runs an already-analyzed query (used by benchmarks to amortize
+  /// parsing/compilation across runs).
+  static StatusOr<QueryResult> ExecuteCompiled(const Table& input,
+                                               const CompiledQuery& query,
+                                               const ExecOptions& options = {});
+};
+
+}  // namespace sqlts
+
+#endif  // SQLTS_ENGINE_EXECUTOR_H_

@@ -1,0 +1,29 @@
+#ifndef SQLTS_ENGINE_EXPLAIN_H_
+#define SQLTS_ENGINE_EXPLAIN_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/statusor.h"
+#include "parser/analyzer.h"
+#include "pattern/compile.h"
+
+namespace sqlts {
+
+/// Produces a full human-readable compilation report for a query:
+/// the resolved pattern (per-element predicates, star flags, hoisted
+/// cluster filters), what the analyzer captured for the reasoner (GSW
+/// atoms, OR groups, interval views, residue), the θ/φ/S matrices, the
+/// shift/next/presatisfied tables, the direction-heuristic scores, and
+/// the output schema — the EXPLAIN of this engine.
+std::string ExplainQuery(const CompiledQuery& query,
+                         const PatternPlan& plan);
+
+/// Parse + analyze + compile + explain in one call.
+StatusOr<std::string> ExplainQueryText(std::string_view text,
+                                       const Schema& schema,
+                                       const CompileOptions& options = {});
+
+}  // namespace sqlts
+
+#endif  // SQLTS_ENGINE_EXPLAIN_H_

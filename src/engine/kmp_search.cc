@@ -1,0 +1,67 @@
+#include "engine/kmp_search.h"
+
+#include "pattern/shift_next.h"
+
+namespace sqlts {
+
+std::vector<int64_t> NaiveTextSearch(const std::string& text,
+                                     const std::string& pattern,
+                                     int64_t* comparisons) {
+  std::vector<int64_t> out;
+  *comparisons = 0;
+  const int64_t n = static_cast<int64_t>(text.size());
+  const int64_t m = static_cast<int64_t>(pattern.size());
+  if (m == 0) return out;
+  for (int64_t s = 0; s + m <= n; ++s) {
+    int64_t j = 0;
+    while (j < m) {
+      ++*comparisons;
+      if (text[s + j] != pattern[j]) break;
+      ++j;
+    }
+    if (j == m) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<int64_t> KmpTextSearch(const std::string& text,
+                                   const std::string& pattern,
+                                   int64_t* comparisons) {
+  std::vector<int64_t> out;
+  *comparisons = 0;
+  const int64_t n = static_cast<int64_t>(text.size());
+  const int m = static_cast<int>(pattern.size());
+  if (m == 0) return out;
+  const std::vector<int> next = BuildKmpNext(pattern);
+
+  // The paper's Sec 3.1 loop, extended to report all occurrences: after
+  // a full match we continue as if a mismatch had occurred past the end
+  // (standard KMP restart via the border of the whole pattern).
+  // Using the (non-optimized) border for restarts keeps overlapping
+  // matches; next[] drives mismatch recovery.
+  std::vector<int> border(m + 1, 0);
+  for (int j = 2, t = 0; j <= m; ++j) {
+    while (t > 0 && pattern[j - 1] != pattern[t]) t = border[t];
+    if (pattern[j - 1] == pattern[t]) ++t;
+    border[j] = t;
+  }
+
+  int j = 1;
+  int64_t i = 1;
+  while (i <= n) {
+    while (j > 0) {
+      ++*comparisons;
+      if (text[i - 1] == pattern[j - 1]) break;
+      j = next[j];
+    }
+    ++i;
+    ++j;
+    if (j > m) {
+      out.push_back(i - 1 - m);
+      j = border[m] + 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace sqlts

@@ -1,0 +1,28 @@
+#ifndef SQLTS_ENGINE_KMP_SEARCH_H_
+#define SQLTS_ENGINE_KMP_SEARCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sqlts {
+
+/// Character-level pattern search over plain text — the paper's Sec 3.1
+/// setting.  Both functions return the 0-based start offsets of every
+/// (possibly overlapping) occurrence and count character comparisons in
+/// `*comparisons`.
+
+/// Brute-force baseline: restart at every text position.
+std::vector<int64_t> NaiveTextSearch(const std::string& text,
+                                     const std::string& pattern,
+                                     int64_t* comparisons);
+
+/// Knuth–Morris–Pratt with the optimized `next` table (pattern/
+/// shift_next.h); never moves the text cursor backwards.
+std::vector<int64_t> KmpTextSearch(const std::string& text,
+                                   const std::string& pattern,
+                                   int64_t* comparisons);
+
+}  // namespace sqlts
+
+#endif  // SQLTS_ENGINE_KMP_SEARCH_H_

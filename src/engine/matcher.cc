@@ -1,0 +1,222 @@
+#include "engine/matcher.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace sqlts {
+namespace {
+
+/// Evaluates pattern element `j` (1-based) against sequence position
+/// `pos`, with `spans` available for anchored cross-element references.
+bool TestElement(const PatternPlan& plan, int j, const SequenceView& seq,
+                 int64_t pos, const std::vector<GroupSpan>& spans,
+                 SearchStats* stats, SearchTrace* trace) {
+  ++stats->evaluations;
+  if (trace != nullptr) trace->push_back({pos, j});
+  const ExprPtr& pred = plan.predicates[j];
+  if (pred == nullptr) return true;  // TRUE element
+  EvalContext ctx;
+  ctx.seq = &seq;
+  ctx.pos = pos;
+  ctx.spans = &spans;
+  return EvalPredicate(*pred, ctx);
+}
+
+}  // namespace
+
+std::string Match::ToString() const {
+  std::string out = "[";
+  for (size_t e = 0; e < spans.size(); ++e) {
+    if (e) out += " ";
+    out += std::to_string(spans[e].first) + ".." +
+           std::to_string(spans[e].last);
+  }
+  out += "]";
+  return out;
+}
+
+std::vector<Match> NaiveSearch(const SequenceView& seq,
+                               const PatternPlan& plan, SearchStats* stats,
+                               SearchTrace* trace,
+                               const SearchOptions& options) {
+  SQLTS_CHECK(stats != nullptr);
+  const int m = plan.m;
+  const int64_t n = seq.size();
+  std::vector<Match> matches;
+
+  int64_t s = 0;
+  while (s < n) {
+    if (options.max_matches > 0 &&
+        static_cast<int64_t>(matches.size()) >= options.max_matches) {
+      break;
+    }
+    // One greedy attempt starting at s.
+    std::vector<GroupSpan> spans(m);
+    int j = 1;
+    int64_t i = s;
+    bool matched = false;
+    bool failed = false;
+    while (true) {
+      if (j > m) {
+        matched = true;
+        break;
+      }
+      if (i >= n) {
+        // End of input: an open star group on the last element closes
+        // the match; anything else fails.
+        if (j == m && plan.star[m] && spans[m - 1].valid()) {
+          matched = true;
+        } else {
+          failed = true;
+        }
+        break;
+      }
+      bool sat = TestElement(plan, j, seq, i, spans, stats, trace);
+      if (sat) {
+        if (!spans[j - 1].valid()) spans[j - 1].first = i;
+        spans[j - 1].last = i;
+        ++i;
+        if (!plan.star[j]) ++j;
+        continue;
+      }
+      if (plan.star[j] && spans[j - 1].valid()) {
+        // Star already satisfied at least once: close the group and
+        // retest this tuple against the following element.
+        ++j;
+        continue;
+      }
+      failed = true;
+      break;
+    }
+    if (matched) {
+      Match match;
+      match.spans = std::move(spans);
+      s = match.last() + 1;  // left-maximality: skip overlapping starts
+      ++stats->matches;
+      matches.push_back(std::move(match));
+    } else {
+      SQLTS_DCHECK(failed);
+      ++s;
+    }
+  }
+  return matches;
+}
+
+std::vector<Match> OpsSearch(const SequenceView& seq,
+                             const PatternPlan& plan, SearchStats* stats,
+                             SearchTrace* trace,
+                             const SearchOptions& options) {
+  SQLTS_CHECK(stats != nullptr);
+  const int m = plan.m;
+  const int64_t n = seq.size();
+  const SearchTables& tables = plan.tables;
+  std::vector<Match> matches;
+
+  // Attempt state: `start` is the input position of the attempt's first
+  // tuple; `cnt[t]` is the cumulative number of tuples consumed by
+  // pattern positions 1..t (the paper's count array); `spans` the
+  // per-element input spans.
+  int64_t start = 0;
+  std::vector<int64_t> cnt(m + 1, 0);
+  std::vector<GroupSpan> spans(m);
+  int j = 1;
+  int64_t i = 0;
+  bool presat_pending = false;
+
+  auto reset_from = [&](int64_t new_start) {
+    start = new_start;
+    i = new_start;
+    j = 1;
+    std::fill(cnt.begin(), cnt.end(), 0);
+    spans.assign(m, GroupSpan{});
+    presat_pending = false;
+  };
+
+  while (true) {
+    if (j > m) {
+      Match match;
+      match.spans = spans;
+      ++stats->matches;
+      int64_t resume = match.last() + 1;
+      matches.push_back(std::move(match));
+      if (options.max_matches > 0 &&
+          static_cast<int64_t>(matches.size()) >= options.max_matches) {
+        return matches;
+      }
+      reset_from(resume);  // left-maximality: no overlapping matches
+      continue;
+    }
+    if (i >= n) {
+      if (j == m && plan.star[m] && cnt[m] > cnt[m - 1]) {
+        Match match;
+        match.spans = spans;
+        ++stats->matches;
+        matches.push_back(std::move(match));
+      }
+      break;
+    }
+
+    bool sat;
+    if (presat_pending) {
+      // φ = 1 on the failing element: known satisfied, no test needed.
+      sat = true;
+      presat_pending = false;
+      ++stats->presat_skips;
+    } else {
+      sat = TestElement(plan, j, seq, i, spans, stats, trace);
+    }
+
+    if (sat) {
+      if (cnt[j] == cnt[j - 1]) spans[j - 1].first = i;  // group opens
+      ++cnt[j];
+      spans[j - 1].last = i;
+      ++i;
+      if (!plan.star[j]) {
+        ++j;
+        if (j <= m) cnt[j] = cnt[j - 1];
+      }
+      continue;
+    }
+
+    if (plan.star[j] && cnt[j] > cnt[j - 1]) {
+      // Star group already non-empty: close it; same tuple is retested
+      // against the next element (Sec 5 runtime rule 1).
+      ++j;
+      if (j <= m) cnt[j] = cnt[j - 1];
+      continue;
+    }
+
+    // Mismatch: consult the compiled tables (Sec 5 runtime rule 2).
+    ++stats->jumps;
+    const int s = tables.shift[j];
+    const int nx = tables.next[j];
+    // The presatisfied flag belongs to the *failure* position j, not to
+    // the resumption position nx.
+    const bool presat = tables.presatisfied[j];
+    if (nx == 0) {
+      // No overlap can succeed: restart just past the failing tuple.
+      // (At this point i == start + cnt[j-1]: the failing tuple.)
+      reset_from(i + 1);
+      continue;
+    }
+    // Rebase the attempt: new position t maps onto old position s + t.
+    const std::vector<int64_t> old_cnt = cnt;
+    const std::vector<GroupSpan> old_spans = spans;
+    const int64_t old_start = start;
+    start = old_start + old_cnt[s];
+    for (int t = 0; t <= m; ++t) cnt[t] = 0;
+    spans.assign(m, GroupSpan{});
+    for (int t = 1; t < nx; ++t) {
+      cnt[t] = old_cnt[s + t] - old_cnt[s];
+      spans[t - 1] = old_spans[s + t - 1];
+    }
+    cnt[nx] = cnt[nx - 1];
+    i = old_start + old_cnt[s + nx - 1];
+    j = nx;
+    presat_pending = presat;
+  }
+  return matches;
+}
+
+}  // namespace sqlts

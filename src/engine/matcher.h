@@ -1,0 +1,42 @@
+#ifndef SQLTS_ENGINE_MATCHER_H_
+#define SQLTS_ENGINE_MATCHER_H_
+
+#include <vector>
+
+#include "engine/match.h"
+#include "pattern/compile.h"
+#include "storage/sequence.h"
+
+namespace sqlts {
+
+/// Search knobs shared by the matchers.
+struct SearchOptions {
+  /// Stop after this many matches (0 = unlimited).  Early exit is exact:
+  /// the first `max_matches` left-maximal matches are returned.
+  int64_t max_matches = 0;
+};
+
+/// Baseline backtracking search (the paper's "naive algorithm"): try a
+/// greedy match at every start position; on failure restart one tuple
+/// later.  Matches are reported left-maximally (scan left to right;
+/// after a match, resume after its last tuple).
+///
+/// `trace`, when non-null, records every predicate test for the
+/// Figure-5 path curves.
+std::vector<Match> NaiveSearch(const SequenceView& seq,
+                               const PatternPlan& plan, SearchStats* stats,
+                               SearchTrace* trace = nullptr,
+                               const SearchOptions& options = {});
+
+/// The paper's OPS algorithm (Sec 4.2.1 for star-free patterns, Sec 5's
+/// counter-based generalization for star patterns), driven by the
+/// compiled shift/next tables.  Produces exactly the same matches as
+/// NaiveSearch while testing far fewer (input, element) pairs.
+std::vector<Match> OpsSearch(const SequenceView& seq,
+                             const PatternPlan& plan, SearchStats* stats,
+                             SearchTrace* trace = nullptr,
+                             const SearchOptions& options = {});
+
+}  // namespace sqlts
+
+#endif  // SQLTS_ENGINE_MATCHER_H_

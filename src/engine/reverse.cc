@@ -1,0 +1,101 @@
+#include "engine/reverse.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "expr/normalize.h"
+
+namespace sqlts {
+namespace {
+
+/// Rewrites a predicate for time-reversed scanning: a reference to the
+/// tuple `o` steps after the current one becomes `o` steps before it.
+ExprPtr MirrorPredicate(const ExprPtr& pred, bool* ok) {
+  if (pred == nullptr) return nullptr;
+  return RewriteColumnRefs(pred, [ok](const ColumnRef& r) {
+    ColumnRef out = r;
+    if (!r.relative) {
+      *ok = false;  // anchored refs are not reversible
+      return out;
+    }
+    out.total_offset = -r.total_offset;
+    return out;
+  });
+}
+
+}  // namespace
+
+StatusOr<PatternPlan> CompileReversePlan(const CompiledQuery& query,
+                                         const CompileOptions& options) {
+  const int m = query.pattern_length();
+  if (m == 0) return Status::InvalidArgument("empty pattern");
+  VariableCatalog catalog;
+  std::vector<PredicateAnalysis> preds;
+  std::vector<bool> star0;
+  std::vector<ExprPtr> mirrored;
+  bool ok = true;
+  for (int i = m - 1; i >= 0; --i) {
+    const PatternElement& el = query.elements[i];
+    star0.push_back(el.star);
+    ExprPtr p = MirrorPredicate(el.predicate, &ok);
+    if (!ok) {
+      return Status::Unimplemented(
+          "reverse search with anchored cross-element references");
+    }
+    mirrored.push_back(p);
+    preds.push_back(AnalyzePredicate(p, query.input_schema, &catalog));
+  }
+  PatternPlan plan = CompileFromAnalyses(std::move(preds), star0, options);
+  for (int j = 1; j <= m; ++j) plan.predicates[j] = mirrored[j - 1];
+  return plan;
+}
+
+DirectionChoice ChooseSearchDirection(const PatternPlan& forward,
+                                      const PatternPlan& reverse) {
+  DirectionChoice out;
+  // Shift dominates; next contributes with a smaller weight.
+  out.forward_score = forward.tables.AverageShift() +
+                      0.25 * forward.tables.AverageNext();
+  out.reverse_score = reverse.tables.AverageShift() +
+                      0.25 * reverse.tables.AverageNext();
+  out.prefer_reverse = out.reverse_score > out.forward_score;
+  return out;
+}
+
+std::vector<Match> ReverseOpsSearch(const SequenceView& seq,
+                                    const PatternPlan& reverse_plan,
+                                    SearchStats* stats) {
+  // Materialize the reversed view of the same underlying rows.
+  const int64_t n = seq.size();
+  std::vector<int64_t> rows;
+  rows.reserve(n);
+  for (int64_t p = n - 1; p >= 0; --p) rows.push_back(seq.row_index(p));
+  SequenceView reversed(&seq.table(), std::move(rows));
+
+  std::vector<Match> rmatches = OpsSearch(reversed, reverse_plan, stats);
+
+  // Map back: reversed position p ↔ forward position n-1-p; reversed
+  // element r ↔ forward element m-1-r.
+  const int m = reverse_plan.m;
+  std::vector<Match> out;
+  out.reserve(rmatches.size());
+  for (const Match& rm : rmatches) {
+    Match fm;
+    fm.spans.resize(m);
+    for (int r = 0; r < m; ++r) {
+      const GroupSpan& rs = rm.spans[r];
+      GroupSpan fs;
+      fs.first = n - 1 - rs.last;
+      fs.last = n - 1 - rs.first;
+      fm.spans[m - 1 - r] = fs;
+    }
+    out.push_back(std::move(fm));
+  }
+  // Present matches in forward order.
+  std::sort(out.begin(), out.end(), [](const Match& a, const Match& b) {
+    return a.first() < b.first();
+  });
+  return out;
+}
+
+}  // namespace sqlts

@@ -1,0 +1,51 @@
+#ifndef SQLTS_ENGINE_REVERSE_H_
+#define SQLTS_ENGINE_REVERSE_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "engine/matcher.h"
+#include "parser/analyzer.h"
+#include "pattern/compile.h"
+
+namespace sqlts {
+
+/// Sec 8 (further work): "it is possible to search the input stream in
+/// either the forward or the reverse direction … select the better".
+/// This module compiles the time-reversed pattern (element order
+/// flipped, previous/next navigation negated), scores both directions
+/// with the paper's heuristic (large average shift — and secondarily
+/// next — predicts effective optimization), and runs the reverse search
+/// by scanning a reversed view of the sequence.
+
+/// Builds the plan of the reversed pattern.  Unimplemented when a
+/// predicate uses anchored cross-element references (those would point
+/// at groups not yet matched when scanning backwards).
+StatusOr<PatternPlan> CompileReversePlan(const CompiledQuery& query,
+                                         const CompileOptions& options = {});
+
+/// The direction-selection heuristic.  Shift dominates ("a larger value
+/// of shift has more effect on the speedup"); next breaks ties.
+struct DirectionChoice {
+  double forward_score = 0;
+  double reverse_score = 0;
+  bool prefer_reverse = false;
+};
+DirectionChoice ChooseSearchDirection(const PatternPlan& forward,
+                                      const PatternPlan& reverse);
+
+/// Runs OPS right-to-left using the reversed plan and maps the matches
+/// back to forward coordinates and forward element order.
+///
+/// NOTE: greedy star grouping is direction-dependent, so on patterns
+/// where adjacent star predicates overlap the reverse scan can group
+/// (and in rare cases select) matches differently; the direction
+/// heuristic is a performance tool, with exact agreement guaranteed when
+/// adjacent elements are mutually exclusive (see tests).
+std::vector<Match> ReverseOpsSearch(const SequenceView& seq,
+                                    const PatternPlan& reverse_plan,
+                                    SearchStats* stats);
+
+}  // namespace sqlts
+
+#endif  // SQLTS_ENGINE_REVERSE_H_

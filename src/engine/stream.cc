@@ -1,0 +1,195 @@
+#include "engine/stream.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "expr/eval.h"
+#include "storage/sequence.h"
+
+namespace sqlts {
+namespace {
+
+/// Most negative relative offset used by any predicate of the plan
+/// (0 when none), and whether any predicate looks ahead.
+void ScanOffsets(const PatternPlan& plan, int* min_offset,
+                 bool* looks_ahead) {
+  *min_offset = 0;
+  *looks_ahead = false;
+  for (int j = 1; j <= plan.m; ++j) {
+    if (plan.predicates[j] == nullptr) continue;
+    VisitColumnRefs(plan.predicates[j], [&](const ColumnRef& r) {
+      if (r.relative) {
+        *min_offset = std::min(*min_offset, r.total_offset);
+        if (r.total_offset > 0) *looks_ahead = true;
+      } else if (r.nav_offset < 0) {
+        *min_offset = std::min(*min_offset, r.nav_offset);
+      }
+    });
+  }
+}
+
+}  // namespace
+
+StatusOr<OpsStreamMatcher> OpsStreamMatcher::Create(const PatternPlan* plan,
+                                                    Schema schema,
+                                                    MatchCallback on_match) {
+  SQLTS_CHECK(plan != nullptr);
+  int min_offset = 0;
+  bool looks_ahead = false;
+  ScanOffsets(*plan, &min_offset, &looks_ahead);
+  if (looks_ahead) {
+    return Status::InvalidArgument(
+        "streaming match requires predicates without lookahead "
+        "(positive previous/next offsets)");
+  }
+  return OpsStreamMatcher(plan, std::move(schema), std::move(on_match),
+                          min_offset);
+}
+
+OpsStreamMatcher::OpsStreamMatcher(const PatternPlan* plan, Schema schema,
+                                   MatchCallback on_match, int min_offset)
+    : plan_(plan),
+      schema_(schema),
+      on_match_(std::move(on_match)),
+      min_offset_(min_offset),
+      buffer_(schema),
+      cnt_(plan->m + 1, 0),
+      spans_(plan->m) {}
+
+Status OpsStreamMatcher::Push(Row row) {
+  SQLTS_RETURN_IF_ERROR(buffer_.AppendRow(std::move(row)));
+  view_rows_.push_back(buffer_.num_rows() - 1);
+  ++pushed_;
+  Drain();
+  MaybeEvict();
+  return Status::OK();
+}
+
+void OpsStreamMatcher::Finish() {
+  const int m = plan_->m;
+  if (j_ == m && plan_->star[m] && cnt_[m] > cnt_[m - 1]) {
+    EmitMatch();
+  }
+}
+
+void OpsStreamMatcher::EmitMatch() {
+  Match match;
+  match.spans = spans_;
+  ++stats_.matches;
+  if (on_match_) {
+    SequenceView view(&buffer_, &view_rows_);
+    on_match_(match, view, base_);
+  }
+  ResetAttempt(match.last() + 1);
+}
+
+void OpsStreamMatcher::ResetAttempt(int64_t new_start) {
+  start_ = new_start;
+  i_ = new_start;
+  j_ = 1;
+  std::fill(cnt_.begin(), cnt_.end(), 0);
+  spans_.assign(plan_->m, GroupSpan{});
+  presat_pending_ = false;
+}
+
+void OpsStreamMatcher::Drain() {
+  const int m = plan_->m;
+  const SearchTables& tables = plan_->tables;
+
+  // A buffer-relative view (borrowing the incrementally-grown index)
+  // and span translation for the evaluator.
+  SequenceView view(&buffer_, &view_rows_);
+  std::vector<GroupSpan> rel_spans(m);
+
+  while (true) {
+    if (j_ > m) {
+      EmitMatch();
+      continue;
+    }
+    if (i_ >= pushed_) return;  // wait for more input
+
+    bool sat;
+    if (presat_pending_) {
+      sat = true;
+      presat_pending_ = false;
+      ++stats_.presat_skips;
+    } else {
+      ++stats_.evaluations;
+      const ExprPtr& pred = plan_->predicates[j_];
+      if (pred == nullptr) {
+        sat = true;
+      } else {
+        for (int e = 0; e < m; ++e) {
+          rel_spans[e] = spans_[e].valid()
+                             ? GroupSpan{spans_[e].first - base_,
+                                         spans_[e].last - base_}
+                             : GroupSpan{};
+        }
+        EvalContext ctx;
+        ctx.seq = &view;
+        ctx.pos = i_ - base_;
+        ctx.spans = &rel_spans;
+        sat = EvalPredicate(*pred, ctx);
+      }
+    }
+
+    if (sat) {
+      if (cnt_[j_] == cnt_[j_ - 1]) spans_[j_ - 1].first = i_;
+      ++cnt_[j_];
+      spans_[j_ - 1].last = i_;
+      ++i_;
+      if (!plan_->star[j_]) {
+        ++j_;
+        if (j_ <= m) cnt_[j_] = cnt_[j_ - 1];
+      }
+      continue;
+    }
+
+    if (plan_->star[j_] && cnt_[j_] > cnt_[j_ - 1]) {
+      ++j_;
+      if (j_ <= m) cnt_[j_] = cnt_[j_ - 1];
+      continue;
+    }
+
+    ++stats_.jumps;
+    const int s = tables.shift[j_];
+    const int nx = tables.next[j_];
+    const bool presat = tables.presatisfied[j_];
+    if (nx == 0) {
+      ResetAttempt(i_ + 1);
+      continue;
+    }
+    const std::vector<int64_t> old_cnt = cnt_;
+    const std::vector<GroupSpan> old_spans = spans_;
+    const int64_t old_start = start_;
+    start_ = old_start + old_cnt[s];
+    std::fill(cnt_.begin(), cnt_.end(), 0);
+    spans_.assign(m, GroupSpan{});
+    for (int t = 1; t < nx; ++t) {
+      cnt_[t] = old_cnt[s + t] - old_cnt[s];
+      spans_[t - 1] = old_spans[s + t - 1];
+    }
+    cnt_[nx] = cnt_[nx - 1];
+    i_ = old_start + old_cnt[s + nx - 1];
+    j_ = nx;
+    presat_pending_ = presat;
+  }
+}
+
+void OpsStreamMatcher::MaybeEvict() {
+  // Everything before the earliest position any test of the active
+  // attempt (or its anchored references) can reach is dead.
+  const int64_t reachable_from = start_ + min_offset_;
+  const int64_t waste = reachable_from - base_;
+  if (waste < 4096 || waste < buffer_.num_rows() / 2) return;
+  Table compacted(schema_);
+  for (int64_t r = waste; r < buffer_.num_rows(); ++r) {
+    SQLTS_CHECK_OK(compacted.AppendRow(buffer_.GetRow(r)));
+  }
+  buffer_ = std::move(compacted);
+  view_rows_.resize(buffer_.num_rows());
+  for (int64_t r = 0; r < buffer_.num_rows(); ++r) view_rows_[r] = r;
+  base_ += waste;
+}
+
+}  // namespace sqlts

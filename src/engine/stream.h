@@ -1,0 +1,101 @@
+#ifndef SQLTS_ENGINE_STREAM_H_
+#define SQLTS_ENGINE_STREAM_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/statusor.h"
+#include "engine/match.h"
+#include "pattern/compile.h"
+#include "storage/table.h"
+
+namespace sqlts {
+
+/// Push-based incremental OPS matching over a tuple stream — the
+/// deployment mode the paper targets ("the runtime execution of SQL-TS
+/// is achieved via user-defined aggregates … on input streams", Sec 6).
+///
+/// Tuples arrive one at a time via Push(); completed matches are
+/// reported through the callback with positions counted from the first
+/// pushed tuple.  The matcher runs the exact OPS algorithm (same
+/// shift/next tables, same greedy/left-maximal semantics) and is
+/// property-tested to agree with the batch OpsSearch on every prefix.
+///
+/// Memory is bounded by the active attempt: tuples no attempt can reach
+/// any more (before `start + min_offset`) are evicted from the internal
+/// buffer.
+class OpsStreamMatcher {
+ public:
+  /// Called for each completed match.  `match` spans use absolute
+  /// stream positions; `view` exposes the currently buffered tuples at
+  /// positions shifted by `base` (absolute position = view position +
+  /// base) — everything a match's SELECT list can reference is still
+  /// buffered at callback time.  The view is only valid during the
+  /// callback.
+  using MatchCallback = std::function<void(
+      const Match& match, const SequenceView& view, int64_t base)>;
+
+  /// Builds a streaming matcher for `plan` over rows of `schema`.
+  /// Fails with InvalidArgument when a WHERE predicate looks *ahead* in
+  /// the stream (positive relative offset), which streaming cannot
+  /// serve.
+  static StatusOr<OpsStreamMatcher> Create(const PatternPlan* plan,
+                                           Schema schema,
+                                           MatchCallback on_match);
+
+  /// Processes the next tuple of the stream.
+  Status Push(Row row);
+
+  /// Signals end-of-stream: a trailing star group that is already
+  /// non-empty closes and may complete a final match.
+  void Finish();
+
+  const SearchStats& stats() const { return stats_; }
+  /// Number of tuples currently buffered (bounded-memory check).
+  int64_t buffered() const { return buffer_.num_rows(); }
+  /// Total tuples pushed so far.
+  int64_t pushed() const { return pushed_; }
+
+ private:
+  OpsStreamMatcher(const PatternPlan* plan, Schema schema,
+                   MatchCallback on_match, int min_offset);
+
+  /// Runs the OPS state machine over every buffered-but-unprocessed
+  /// tuple.
+  void Drain();
+  /// Handles one satisfied/unsatisfied outcome at (j_, i_).
+  void OnOutcome(bool satisfied);
+  void EmitMatch();
+  void ResetAttempt(int64_t new_start);
+  /// Drops buffer rows that no future test or SELECT can reach.
+  void MaybeEvict();
+
+  /// Buffer position of absolute stream position `pos`, or -1 if
+  /// evicted/future.
+  int64_t BufferPos(int64_t pos) const { return pos - base_; }
+
+  const PatternPlan* plan_;
+  Schema schema_;
+  MatchCallback on_match_;
+  int min_offset_;  // most negative relative offset used by predicates
+
+  Table buffer_;
+  /// Identity row index into buffer_, grown incrementally so Drain()
+  /// can build a SequenceView without an O(buffer) copy per push.
+  std::vector<int64_t> view_rows_;
+  int64_t base_ = 0;    // absolute position of buffer_ row 0
+  int64_t pushed_ = 0;  // total tuples seen
+
+  // OPS state (absolute positions).
+  int64_t start_ = 0;
+  int64_t i_ = 0;
+  int j_ = 1;
+  std::vector<int64_t> cnt_;
+  std::vector<GroupSpan> spans_;
+  bool presat_pending_ = false;
+  SearchStats stats_;
+};
+
+}  // namespace sqlts
+
+#endif  // SQLTS_ENGINE_STREAM_H_

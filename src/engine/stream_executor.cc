@@ -1,0 +1,154 @@
+#include "engine/stream_executor.h"
+
+#include "expr/eval.h"
+
+namespace sqlts {
+namespace {
+
+/// Encodes the cluster key values as a map key (ToString is injective
+/// enough per type: strings are quoted, numerics canonical).
+std::string EncodeKey(const Row& row, const std::vector<int>& cols) {
+  std::string key;
+  for (int c : cols) {
+    key += row[c].ToString();
+    key += '\x1f';
+  }
+  return key;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<StreamingQueryExecutor>>
+StreamingQueryExecutor::Create(std::string_view query_text,
+                               const Schema& schema, RowCallback on_row,
+                               const CompileOptions& options) {
+  SQLTS_ASSIGN_OR_RETURN(CompiledQuery query,
+                         CompileQueryText(query_text, schema));
+  SQLTS_ASSIGN_OR_RETURN(PatternPlan plan, CompilePattern(query, options));
+  // Fail early on lookahead predicates: probe a matcher construction.
+  {
+    auto probe =
+        OpsStreamMatcher::Create(&plan, schema, OpsStreamMatcher::MatchCallback{});
+    SQLTS_RETURN_IF_ERROR(probe.status());
+  }
+  auto exec = std::unique_ptr<StreamingQueryExecutor>(
+      new StreamingQueryExecutor(std::move(query), std::move(plan),
+                                 std::move(on_row)));
+  for (const std::string& c : exec->query_.cluster_by) {
+    SQLTS_ASSIGN_OR_RETURN(int idx, schema.FindColumn(c));
+    exec->cluster_cols_.push_back(idx);
+  }
+  for (const std::string& c : exec->query_.sequence_by) {
+    SQLTS_ASSIGN_OR_RETURN(int idx, schema.FindColumn(c));
+    exec->sequence_cols_.push_back(idx);
+  }
+  return exec;
+}
+
+StreamingQueryExecutor::StreamingQueryExecutor(CompiledQuery query,
+                                               PatternPlan plan,
+                                               RowCallback on_row)
+    : query_(std::move(query)),
+      plan_(std::move(plan)),
+      on_row_(std::move(on_row)) {}
+
+StatusOr<StreamingQueryExecutor::ClusterState*>
+StreamingQueryExecutor::ClusterFor(const Row& row) {
+  std::string key = EncodeKey(row, cluster_cols_);
+  auto it = clusters_.find(key);
+  if (it != clusters_.end()) return &it->second;
+
+  ClusterState state;
+  auto matcher = OpsStreamMatcher::Create(
+      &plan_, query_.input_schema,
+      [this](const Match& m, const SequenceView& v, int64_t base) {
+        EmitRow(m, v, base);
+      });
+  SQLTS_RETURN_IF_ERROR(matcher.status());
+  state.matcher =
+      std::make_unique<OpsStreamMatcher>(std::move(*matcher));
+  // Cluster filters are constant per cluster: evaluate them on this
+  // first tuple directly (they were rewritten to offset-0 references).
+  if (!query_.cluster_filters.empty()) {
+    Table one(query_.input_schema);
+    SQLTS_RETURN_IF_ERROR(one.AppendRow(row));
+    std::vector<int64_t> rows = {0};
+    SequenceView view(&one, std::move(rows));
+    EvalContext ctx;
+    ctx.seq = &view;
+    ctx.pos = 0;
+    for (const ExprPtr& f : query_.cluster_filters) {
+      if (!EvalPredicate(*f, ctx)) {
+        state.accepted = false;
+        break;
+      }
+    }
+  }
+  auto [pos, inserted] = clusters_.emplace(std::move(key), std::move(state));
+  SQLTS_CHECK(inserted);
+  return &pos->second;
+}
+
+Status StreamingQueryExecutor::Push(Row row) {
+  if (static_cast<int>(row.size()) != query_.input_schema.num_columns()) {
+    return Status::InvalidArgument("row arity mismatch");
+  }
+  SQLTS_ASSIGN_OR_RETURN(ClusterState * state, ClusterFor(row));
+  if (!state->accepted) return Status::OK();
+  // Enforce per-cluster SEQUENCE BY order (first sequence column is the
+  // primary key of the ordering; ties are allowed).
+  if (!sequence_cols_.empty()) {
+    const Value& key = row[sequence_cols_[0]];
+    if (state->has_last_key && !key.is_null() &&
+        !state->last_sequence_key.is_null()) {
+      auto cmp = key.Compare(state->last_sequence_key);
+      if (cmp.ok() && *cmp < 0) {
+        return Status::InvalidArgument(
+            "stream tuple out of SEQUENCE BY order within its cluster");
+      }
+    }
+    state->last_sequence_key = key;
+    state->has_last_key = true;
+  }
+  return state->matcher->Push(std::move(row));
+}
+
+void StreamingQueryExecutor::Finish() {
+  for (auto& [key, state] : clusters_) {
+    (void)key;
+    if (state.accepted) state.matcher->Finish();
+  }
+}
+
+void StreamingQueryExecutor::EmitRow(const Match& match,
+                                     const SequenceView& view,
+                                     int64_t base) {
+  if (!on_row_) return;
+  // Translate spans into view coordinates for SELECT evaluation.
+  std::vector<GroupSpan> rel(match.spans.size());
+  for (size_t e = 0; e < match.spans.size(); ++e) {
+    rel[e] = GroupSpan{match.spans[e].first - base,
+                       match.spans[e].last - base};
+  }
+  EvalContext ctx;
+  ctx.seq = &view;
+  ctx.pos = 0;
+  ctx.spans = &rel;
+  Row out;
+  out.reserve(query_.select.size());
+  for (const SelectItem& item : query_.select) {
+    out.push_back(EvalExpr(*item.expr, ctx));
+  }
+  on_row_(out);
+}
+
+SearchStats StreamingQueryExecutor::stats() const {
+  SearchStats total;
+  for (const auto& [key, state] : clusters_) {
+    (void)key;
+    if (state.matcher != nullptr) total += state.matcher->stats();
+  }
+  return total;
+}
+
+}  // namespace sqlts

@@ -1,0 +1,73 @@
+#ifndef SQLTS_ENGINE_STREAM_EXECUTOR_H_
+#define SQLTS_ENGINE_STREAM_EXECUTOR_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/statusor.h"
+#include "engine/stream.h"
+#include "parser/analyzer.h"
+#include "pattern/compile.h"
+
+namespace sqlts {
+
+/// End-to-end streaming SQL-TS execution: tuples arrive one at a time
+/// (interleaved across clusters), each is routed to its CLUSTER BY
+/// group's incremental OPS matcher, and every completed match is
+/// projected through the SELECT list and delivered as an output row —
+/// the paper's "user-defined aggregate over a stream" deployment with
+/// the full language on top.
+///
+/// Requirements: tuples must arrive in non-decreasing SEQUENCE BY order
+/// *within each cluster* (a streaming engine cannot sort); violations
+/// are rejected.  Predicates must not look ahead (see OpsStreamMatcher).
+class StreamingQueryExecutor {
+ public:
+  /// Receives one projected output row per match.
+  using RowCallback = std::function<void(const Row&)>;
+
+  /// Parses and compiles `query_text` against `schema`.
+  static StatusOr<std::unique_ptr<StreamingQueryExecutor>> Create(
+      std::string_view query_text, const Schema& schema,
+      RowCallback on_row, const CompileOptions& options = {});
+
+  /// Processes the next stream tuple.
+  Status Push(Row row);
+
+  /// Signals end-of-stream: trailing star groups close and final
+  /// matches are emitted.
+  void Finish();
+
+  /// Aggregated statistics across all clusters.
+  SearchStats stats() const;
+  int num_clusters() const { return static_cast<int>(clusters_.size()); }
+  const Schema& output_schema() const { return query_.output_schema; }
+
+ private:
+  struct ClusterState {
+    std::unique_ptr<OpsStreamMatcher> matcher;
+    bool accepted = true;        // cluster filter verdict (first tuple)
+    Value last_sequence_key;     // order enforcement
+    bool has_last_key = false;
+  };
+
+  StreamingQueryExecutor(CompiledQuery query, PatternPlan plan,
+                         RowCallback on_row);
+
+  StatusOr<ClusterState*> ClusterFor(const Row& row);
+  void EmitRow(const Match& match, const SequenceView& view, int64_t base);
+
+  CompiledQuery query_;
+  PatternPlan plan_;
+  RowCallback on_row_;
+  std::vector<int> cluster_cols_;
+  std::vector<int> sequence_cols_;
+  std::map<std::string, ClusterState> clusters_;  // keyed by encoded key
+};
+
+}  // namespace sqlts
+
+#endif  // SQLTS_ENGINE_STREAM_EXECUTOR_H_

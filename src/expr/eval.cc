@@ -1,0 +1,258 @@
+#include "expr/eval.h"
+
+#include "common/logging.h"
+
+namespace sqlts {
+namespace {
+
+/// Resolves a column reference to a sequence position, or -1 when the
+/// reference navigates outside the sequence / into an unmatched group.
+int64_t ResolvePosition(const ColumnRef& r, const EvalContext& ctx) {
+  int64_t base = -1;
+  if (r.relative) {
+    base = ctx.pos + r.total_offset;
+  } else {
+    if (ctx.spans == nullptr || r.element < 0 ||
+        r.element >= static_cast<int>(ctx.spans->size())) {
+      return -1;
+    }
+    const GroupSpan& span = (*ctx.spans)[r.element];
+    if (!span.valid()) return -1;
+    switch (r.accessor) {
+      case GroupAccessor::kFirst:
+        base = span.first;
+        break;
+      case GroupAccessor::kLast:
+        base = span.last;
+        break;
+      case GroupAccessor::kCurrent:
+        // Anchored "current" reference: for a single-tuple group this is
+        // the tuple itself; for a star group we use its first tuple
+        // (navigation like X.next then steps off the group edge, which
+        // is what the paper's X.NEXT means for non-star X).
+        base = span.first;
+        break;
+    }
+    // Navigation from the group edge: .previous steps before the first
+    // tuple, .next steps after the last tuple.
+    if (r.nav_offset > 0 && r.accessor != GroupAccessor::kFirst) {
+      base = span.last;
+    }
+  }
+  // Relative refs fold all navigation into total_offset already.
+  int64_t p = r.relative ? base : base + r.nav_offset;
+  if (ctx.seq == nullptr || !ctx.seq->InRange(p)) return -1;
+  return p;
+}
+
+Value EvalColumnRef(const ColumnRef& r, const EvalContext& ctx) {
+  int64_t p = ResolvePosition(r, ctx);
+  if (p < 0) return Value::Null();
+  SQLTS_CHECK(r.column_index >= 0)
+      << "unresolved column reference '" << r.column << "'";
+  return ctx.seq->at(p, r.column_index);
+}
+
+Value EvalArith(ArithOp op, const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  // Calendar arithmetic: DATE ± days → DATE, DATE − DATE → days.
+  if (a.kind() == TypeKind::kDate) {
+    if (b.kind() == TypeKind::kDate && op == ArithOp::kSub) {
+      return Value::Int64(a.date_value().days_since_epoch() -
+                          b.date_value().days_since_epoch());
+    }
+    if (b.is_numeric() && (op == ArithOp::kAdd || op == ArithOp::kSub)) {
+      int64_t days = static_cast<int64_t>(b.AsDouble());
+      return Value::FromDate(a.date_value().AddDays(
+          op == ArithOp::kAdd ? static_cast<int32_t>(days)
+                              : -static_cast<int32_t>(days)));
+    }
+    return Value::Null();
+  }
+  if (b.kind() == TypeKind::kDate) {
+    // days + DATE → DATE.
+    if (a.is_numeric() && op == ArithOp::kAdd) {
+      return Value::FromDate(b.date_value().AddDays(
+          static_cast<int32_t>(a.AsDouble())));
+    }
+    return Value::Null();
+  }
+  if (!a.is_numeric() || !b.is_numeric()) return Value::Null();
+  if (a.kind() == TypeKind::kInt64 && b.kind() == TypeKind::kInt64 &&
+      op != ArithOp::kDiv) {
+    int64_t x = a.int64_value(), y = b.int64_value();
+    switch (op) {
+      case ArithOp::kAdd:
+        return Value::Int64(x + y);
+      case ArithOp::kSub:
+        return Value::Int64(x - y);
+      case ArithOp::kMul:
+        return Value::Int64(x * y);
+      default:
+        break;
+    }
+  }
+  double x = a.AsDouble(), y = b.AsDouble();
+  switch (op) {
+    case ArithOp::kAdd:
+      return Value::Double(x + y);
+    case ArithOp::kSub:
+      return Value::Double(x - y);
+    case ArithOp::kMul:
+      return Value::Double(x * y);
+    case ArithOp::kDiv:
+      if (y == 0) return Value::Null();
+      return Value::Double(x / y);
+  }
+  return Value::Null();
+}
+
+Value EvalCompare(CmpOp op, const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  auto cmp = a.Compare(b);
+  if (!cmp.ok()) return Value::Null();
+  int c = *cmp;
+  switch (op) {
+    case CmpOp::kEq:
+      return Value::Bool(c == 0);
+    case CmpOp::kNe:
+      return Value::Bool(c != 0);
+    case CmpOp::kLt:
+      return Value::Bool(c < 0);
+    case CmpOp::kLe:
+      return Value::Bool(c <= 0);
+    case CmpOp::kGt:
+      return Value::Bool(c > 0);
+    case CmpOp::kGe:
+      return Value::Bool(c >= 0);
+  }
+  return Value::Null();
+}
+
+}  // namespace
+
+namespace {
+
+/// Aggregates over the span matched by e.ref's pattern element.  NULL
+/// cells are ignored (SQL semantics); an all-NULL or unmatched group
+/// yields NULL except for COUNT.
+Value EvalAggregate(const Expr& e, const EvalContext& ctx) {
+  if (ctx.spans == nullptr || e.ref.element < 0 ||
+      e.ref.element >= static_cast<int>(ctx.spans->size())) {
+    return Value::Null();
+  }
+  const GroupSpan& span = (*ctx.spans)[e.ref.element];
+  if (!span.valid()) {
+    return e.agg_op == AggOp::kCount ? Value::Int64(0) : Value::Null();
+  }
+  if (e.agg_op == AggOp::kCount) {
+    return Value::Int64(span.last - span.first + 1);
+  }
+  SQLTS_CHECK(e.ref.column_index >= 0) << "unresolved aggregate column";
+  double sum = 0;
+  int64_t n = 0;
+  Value best = Value::Null();
+  for (int64_t p = span.first; p <= span.last; ++p) {
+    if (ctx.seq == nullptr || !ctx.seq->InRange(p)) continue;
+    const Value& v = ctx.seq->at(p, e.ref.column_index);
+    if (v.is_null()) continue;
+    switch (e.agg_op) {
+      case AggOp::kSum:
+      case AggOp::kAvg:
+        if (!v.is_numeric()) return Value::Null();
+        sum += v.AsDouble();
+        ++n;
+        break;
+      case AggOp::kMin:
+      case AggOp::kMax: {
+        if (best.is_null()) {
+          best = v;
+        } else {
+          auto cmp = v.Compare(best);
+          if (!cmp.ok()) return Value::Null();
+          if ((e.agg_op == AggOp::kMin && *cmp < 0) ||
+              (e.agg_op == AggOp::kMax && *cmp > 0)) {
+            best = v;
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  switch (e.agg_op) {
+    case AggOp::kSum:
+      return n == 0 ? Value::Null() : Value::Double(sum);
+    case AggOp::kAvg:
+      return n == 0 ? Value::Null() : Value::Double(sum / n);
+    case AggOp::kMin:
+    case AggOp::kMax:
+      return best;
+    default:
+      return Value::Null();
+  }
+}
+
+}  // namespace
+
+Value EvalExpr(const Expr& e, const EvalContext& ctx) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return e.literal;
+    case ExprKind::kColumnRef:
+      return EvalColumnRef(e.ref, ctx);
+    case ExprKind::kAggregate:
+      return EvalAggregate(e, ctx);
+    case ExprKind::kArith:
+      return EvalArith(e.arith_op, EvalExpr(*e.lhs, ctx),
+                       EvalExpr(*e.rhs, ctx));
+    case ExprKind::kCompare:
+      return EvalCompare(e.cmp_op, EvalExpr(*e.lhs, ctx),
+                         EvalExpr(*e.rhs, ctx));
+    case ExprKind::kAnd: {
+      // Kleene AND with short-circuit on FALSE.
+      Value a = EvalExpr(*e.lhs, ctx);
+      if (!a.is_null() && a.kind() == TypeKind::kBool && !a.bool_value()) {
+        return Value::Bool(false);
+      }
+      Value b = EvalExpr(*e.rhs, ctx);
+      if (!b.is_null() && b.kind() == TypeKind::kBool && !b.bool_value()) {
+        return Value::Bool(false);
+      }
+      if (a.is_null() || b.is_null()) return Value::Null();
+      if (a.kind() != TypeKind::kBool || b.kind() != TypeKind::kBool) {
+        return Value::Null();
+      }
+      return Value::Bool(a.bool_value() && b.bool_value());
+    }
+    case ExprKind::kOr: {
+      Value a = EvalExpr(*e.lhs, ctx);
+      if (!a.is_null() && a.kind() == TypeKind::kBool && a.bool_value()) {
+        return Value::Bool(true);
+      }
+      Value b = EvalExpr(*e.rhs, ctx);
+      if (!b.is_null() && b.kind() == TypeKind::kBool && b.bool_value()) {
+        return Value::Bool(true);
+      }
+      if (a.is_null() || b.is_null()) return Value::Null();
+      if (a.kind() != TypeKind::kBool || b.kind() != TypeKind::kBool) {
+        return Value::Null();
+      }
+      return Value::Bool(a.bool_value() || b.bool_value());
+    }
+    case ExprKind::kNot: {
+      Value a = EvalExpr(*e.lhs, ctx);
+      if (a.is_null() || a.kind() != TypeKind::kBool) return Value::Null();
+      return Value::Bool(!a.bool_value());
+    }
+  }
+  return Value::Null();
+}
+
+bool EvalPredicate(const Expr& e, const EvalContext& ctx) {
+  Value v = EvalExpr(e, ctx);
+  return !v.is_null() && v.kind() == TypeKind::kBool && v.bool_value();
+}
+
+}  // namespace sqlts

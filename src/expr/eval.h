@@ -1,0 +1,42 @@
+#ifndef SQLTS_EXPR_EVAL_H_
+#define SQLTS_EXPR_EVAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "expr/expr.h"
+#include "storage/sequence.h"
+
+namespace sqlts {
+
+/// Input span matched by one pattern element (inclusive sequence
+/// positions); `first == -1` means not (yet) matched.
+struct GroupSpan {
+  int64_t first = -1;
+  int64_t last = -1;
+  bool valid() const { return first >= 0; }
+};
+
+/// Everything an expression needs at evaluation time: the input
+/// sequence, the position of the tuple under test (for relative
+/// references), and the spans matched so far (for anchored references
+/// and for SELECT-list evaluation over a completed match).
+struct EvalContext {
+  const SequenceView* seq = nullptr;
+  int64_t pos = 0;
+  const std::vector<GroupSpan>* spans = nullptr;
+};
+
+/// Evaluates `e` under SQL semantics: any reference outside the
+/// sequence, navigation off a missing group, NULL operand, or type
+/// mismatch yields NULL, which propagates.
+Value EvalExpr(const Expr& e, const EvalContext& ctx);
+
+/// Evaluates a boolean predicate and collapses 3-valued logic: returns
+/// true iff the result is TRUE (NULL and FALSE both reject, as in SQL
+/// WHERE).
+bool EvalPredicate(const Expr& e, const EvalContext& ctx);
+
+}  // namespace sqlts
+
+#endif  // SQLTS_EXPR_EVAL_H_

@@ -1,0 +1,187 @@
+#include "expr/expr.h"
+
+#include <functional>
+
+#include "common/logging.h"
+
+namespace sqlts {
+namespace {
+
+std::string ArithOpToString(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd:
+      return "+";
+    case ArithOp::kSub:
+      return "-";
+    case ArithOp::kMul:
+      return "*";
+    case ArithOp::kDiv:
+      return "/";
+  }
+  return "?";
+}
+
+std::string RefToString(const ColumnRef& r) {
+  std::string out;
+  switch (r.accessor) {
+    case GroupAccessor::kFirst:
+      out = "FIRST(" + r.var + ")";
+      break;
+    case GroupAccessor::kLast:
+      out = "LAST(" + r.var + ")";
+      break;
+    case GroupAccessor::kCurrent:
+      out = r.var;
+      break;
+  }
+  for (int i = 0; i < -r.nav_offset; ++i) out += ".previous";
+  for (int i = 0; i < r.nav_offset; ++i) out += ".next";
+  if (!out.empty()) out += ".";
+  out += r.column;
+  return out;
+}
+
+}  // namespace
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kLiteral:
+      return literal.ToString();
+    case ExprKind::kColumnRef:
+      return RefToString(ref);
+    case ExprKind::kAggregate: {
+      const char* name = "COUNT";
+      switch (agg_op) {
+        case AggOp::kCount:
+          name = "COUNT";
+          break;
+        case AggOp::kSum:
+          name = "SUM";
+          break;
+        case AggOp::kAvg:
+          name = "AVG";
+          break;
+        case AggOp::kMin:
+          name = "MIN";
+          break;
+        case AggOp::kMax:
+          name = "MAX";
+          break;
+      }
+      std::string inner = ref.var;
+      if (!ref.column.empty()) inner += "." + ref.column;
+      return std::string(name) + "(" + inner + ")";
+    }
+    case ExprKind::kArith:
+      return "(" + lhs->ToString() + " " + ArithOpToString(arith_op) + " " +
+             rhs->ToString() + ")";
+    case ExprKind::kCompare:
+      return lhs->ToString() + " " + CmpOpToString(cmp_op) + " " +
+             rhs->ToString();
+    case ExprKind::kAnd:
+      return "(" + lhs->ToString() + " AND " + rhs->ToString() + ")";
+    case ExprKind::kOr:
+      return "(" + lhs->ToString() + " OR " + rhs->ToString() + ")";
+    case ExprKind::kNot:
+      return "NOT (" + lhs->ToString() + ")";
+  }
+  return "?";
+}
+
+ExprPtr MakeLiteral(Value v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr MakeColumnRef(ColumnRef ref) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->ref = std::move(ref);
+  return e;
+}
+
+ExprPtr MakeAggregate(AggOp op, ColumnRef ref) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kAggregate;
+  e->agg_op = op;
+  e->ref = std::move(ref);
+  return e;
+}
+
+ExprPtr MakeArith(ArithOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kArith;
+  e->arith_op = op;
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  return e;
+}
+
+ExprPtr MakeCompare(CmpOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kCompare;
+  e->cmp_op = op;
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  return e;
+}
+
+ExprPtr MakeAnd(ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kAnd;
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  return e;
+}
+
+ExprPtr MakeOr(ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kOr;
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  return e;
+}
+
+ExprPtr MakeNot(ExprPtr operand) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kNot;
+  e->lhs = std::move(operand);
+  return e;
+}
+
+void FlattenConjuncts(const ExprPtr& e, std::vector<ExprPtr>* out) {
+  SQLTS_CHECK(e != nullptr);
+  if (e->kind == ExprKind::kAnd) {
+    FlattenConjuncts(e->lhs, out);
+    FlattenConjuncts(e->rhs, out);
+  } else {
+    out->push_back(e);
+  }
+}
+
+void VisitColumnRefs(const ExprPtr& e,
+                     const std::function<void(const ColumnRef&)>& fn) {
+  if (e == nullptr) return;
+  if (e->kind == ExprKind::kColumnRef || e->kind == ExprKind::kAggregate) {
+    fn(e->ref);
+  }
+  VisitColumnRefs(e->lhs, fn);
+  VisitColumnRefs(e->rhs, fn);
+}
+
+ExprPtr RewriteColumnRefs(
+    const ExprPtr& e,
+    const std::function<ColumnRef(const ColumnRef&)>& fn) {
+  if (e == nullptr) return nullptr;
+  auto out = std::make_shared<Expr>(*e);
+  if (e->kind == ExprKind::kColumnRef || e->kind == ExprKind::kAggregate) {
+    out->ref = fn(e->ref);
+  }
+  out->lhs = RewriteColumnRefs(e->lhs, fn);
+  out->rhs = RewriteColumnRefs(e->rhs, fn);
+  return out;
+}
+
+}  // namespace sqlts

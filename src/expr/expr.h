@@ -1,0 +1,110 @@
+#ifndef SQLTS_EXPR_EXPR_H_
+#define SQLTS_EXPR_EXPR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "constraints/atom.h"
+#include "types/value.h"
+
+namespace sqlts {
+
+/// How a column reference addresses the tuples matched by a pattern
+/// variable (paper Sec 2 and Example 8's FIRST()/LAST()).
+enum class GroupAccessor : uint8_t {
+  kCurrent,  ///< the tuple under test (WHERE) / the group itself (SELECT)
+  kFirst,    ///< FIRST(X) — first tuple matched by X
+  kLast,     ///< LAST(X) — last tuple matched by X
+};
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Expression node kinds.
+enum class ExprKind : uint8_t {
+  kLiteral,    ///< constant Value
+  kColumnRef,  ///< X.previous.price, FIRST(X).date, ...
+  kArith,      ///< + - * / (binary), unary minus encoded as 0 - x
+  kCompare,    ///< = <> < <= > >=
+  kAnd,
+  kOr,
+  kNot,
+  kAggregate,  ///< COUNT(Y) / SUM(Y.price) / AVG / MIN / MAX over a group
+};
+
+/// Aggregate function over the tuples matched by one pattern element
+/// (SELECT-list only; a library extension in the spirit of the paper's
+/// FIRST()/LAST() accessors).
+enum class AggOp : uint8_t { kCount, kSum, kAvg, kMin, kMax };
+
+/// Arithmetic operator for kArith nodes.
+enum class ArithOp : uint8_t { kAdd, kSub, kMul, kDiv };
+
+/// A (possibly navigated) reference to a column of a pattern variable.
+///
+/// Unresolved form (as parsed): `var`, `accessor`, `nav_offset`
+/// (accumulated .previous/.next steps, previous = -1) and `column`.
+/// The semantic analyzer fills the resolved fields.
+struct ColumnRef {
+  std::string var;     ///< pattern variable name as written; "" in schema-less contexts
+  GroupAccessor accessor = GroupAccessor::kCurrent;
+  int nav_offset = 0;  ///< net .previous (-1 each) / .next (+1 each) steps
+  std::string column;  ///< attribute name
+
+  // ----- filled by semantic analysis -----
+  int element = -1;       ///< pattern element index of `var`
+  int column_index = -1;  ///< column position in the table schema
+  /// True when the reference is evaluated relative to the tuple under
+  /// test (offset addressing); false when anchored to a (completed)
+  /// group's span (cross-element or FIRST/LAST reference).
+  bool relative = true;
+  /// For relative refs: total offset from the tuple under test.
+  int total_offset = 0;
+};
+
+/// Immutable expression tree node.  Construct via the factory helpers.
+struct Expr {
+  ExprKind kind;
+  // kLiteral
+  Value literal;
+  // kColumnRef
+  ColumnRef ref;
+  // kArith / kCompare / kAnd / kOr (binary); kNot uses lhs only.
+  ArithOp arith_op = ArithOp::kAdd;
+  CmpOp cmp_op = CmpOp::kEq;
+  // kAggregate: function applied to `ref` (whose var names the group;
+  // ref.column is empty for COUNT(X)).
+  AggOp agg_op = AggOp::kCount;
+  ExprPtr lhs;
+  ExprPtr rhs;
+
+  /// Renders the expression (for messages and EXPLAIN output).
+  std::string ToString() const;
+};
+
+ExprPtr MakeLiteral(Value v);
+ExprPtr MakeColumnRef(ColumnRef ref);
+ExprPtr MakeAggregate(AggOp op, ColumnRef ref);
+ExprPtr MakeArith(ArithOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeCompare(CmpOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeAnd(ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeOr(ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeNot(ExprPtr operand);
+
+/// Splits a conjunction into its top-level conjuncts (flattens kAnd).
+void FlattenConjuncts(const ExprPtr& e, std::vector<ExprPtr>* out);
+
+/// Calls `fn` on every ColumnRef in the tree.
+void VisitColumnRefs(const ExprPtr& e,
+                     const std::function<void(const ColumnRef&)>& fn);
+
+/// Deep-copies the tree applying `fn` to every ColumnRef (returns the
+/// rewritten tree; used by semantic analysis to resolve references).
+ExprPtr RewriteColumnRefs(const ExprPtr& e,
+                          const std::function<ColumnRef(const ColumnRef&)>& fn);
+
+}  // namespace sqlts
+
+#endif  // SQLTS_EXPR_EXPR_H_

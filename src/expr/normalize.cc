@@ -1,0 +1,373 @@
+#include "expr/normalize.h"
+
+#include <cmath>
+#include <map>
+
+#include "common/logging.h"
+
+namespace sqlts {
+namespace {
+
+/// A linear combination Σ coef·var + constant, or invalid.
+struct LinForm {
+  std::map<VarId, double> coef;
+  double constant = 0;
+  bool valid = true;
+
+  void Prune() {
+    for (auto it = coef.begin(); it != coef.end();) {
+      if (it->second == 0) {
+        it = coef.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+};
+
+/// True when `ref` can participate in numeric constraint reasoning: a
+/// relative reference to a numeric or date column.
+bool IsNumericRelativeRef(const ColumnRef& ref, const Schema& schema) {
+  if (!ref.relative || ref.column_index < 0) return false;
+  TypeKind t = schema.column(ref.column_index).type;
+  return t == TypeKind::kInt64 || t == TypeKind::kDouble ||
+         t == TypeKind::kDate;
+}
+
+/// Numeric value of a literal usable as a constraint constant.
+std::optional<double> LiteralConstant(const Value& v) {
+  switch (v.kind()) {
+    case TypeKind::kInt64:
+    case TypeKind::kDouble:
+    case TypeKind::kDate:
+      return v.AsDouble();
+    default:
+      return std::nullopt;
+  }
+}
+
+LinForm Invalid() {
+  LinForm f;
+  f.valid = false;
+  return f;
+}
+
+LinForm ExtractLinForm(const Expr& e, const Schema& schema,
+                       VariableCatalog* catalog) {
+  switch (e.kind) {
+    case ExprKind::kLiteral: {
+      auto c = LiteralConstant(e.literal);
+      if (!c) return Invalid();
+      LinForm f;
+      f.constant = *c;
+      return f;
+    }
+    case ExprKind::kColumnRef: {
+      if (!IsNumericRelativeRef(e.ref, schema)) return Invalid();
+      LinForm f;
+      VarId v = InternPatternVar(catalog,
+                                 schema.column(e.ref.column_index).name,
+                                 e.ref.total_offset);
+      f.coef[v] += 1.0;
+      return f;
+    }
+    case ExprKind::kArith: {
+      LinForm a = ExtractLinForm(*e.lhs, schema, catalog);
+      LinForm b = ExtractLinForm(*e.rhs, schema, catalog);
+      if (!a.valid || !b.valid) return Invalid();
+      switch (e.arith_op) {
+        case ArithOp::kAdd:
+        case ArithOp::kSub: {
+          double sign = e.arith_op == ArithOp::kAdd ? 1.0 : -1.0;
+          for (auto& [v, c] : b.coef) a.coef[v] += sign * c;
+          a.constant += sign * b.constant;
+          a.Prune();
+          return a;
+        }
+        case ArithOp::kMul: {
+          // One side must be a pure constant.
+          const LinForm* scalar = b.coef.empty() ? &b : nullptr;
+          LinForm* form = b.coef.empty() ? &a : nullptr;
+          if (scalar == nullptr && a.coef.empty()) {
+            scalar = &a;
+            form = &b;
+          }
+          if (scalar == nullptr) return Invalid();
+          for (auto& [v, c] : form->coef) c *= scalar->constant;
+          form->constant *= scalar->constant;
+          form->Prune();
+          return *form;
+        }
+        case ArithOp::kDiv: {
+          if (!b.coef.empty() || b.constant == 0) return Invalid();
+          for (auto& [v, c] : a.coef) c /= b.constant;
+          a.constant /= b.constant;
+          a.Prune();
+          return a;
+        }
+      }
+      return Invalid();
+    }
+    default:
+      return Invalid();
+  }
+}
+
+/// The single relative-var operand of a pure var/var division, if `e`
+/// has that shape.
+std::optional<VarId> PureVarRef(const Expr& e, const Schema& schema,
+                                VariableCatalog* catalog) {
+  if (e.kind != ExprKind::kColumnRef) return std::nullopt;
+  if (!IsNumericRelativeRef(e.ref, schema)) return std::nullopt;
+  return InternPatternVar(catalog, schema.column(e.ref.column_index).name,
+                          e.ref.total_offset);
+}
+
+/// Tries to capture one comparison conjunct as a constraint atom.
+/// Returns false when the conjunct is residue.
+bool CaptureComparison(const Expr& e, const Schema& schema,
+                       VariableCatalog* catalog, ConstraintSystem* out) {
+  SQLTS_CHECK(e.kind == ExprKind::kCompare);
+
+  // String equality:  X.name = 'IBM' (either side order).
+  auto string_side = [&](const Expr& ref_side,
+                         const Expr& lit_side) -> bool {
+    if (ref_side.kind != ExprKind::kColumnRef ||
+        lit_side.kind != ExprKind::kLiteral) {
+      return false;
+    }
+    if (lit_side.literal.kind() != TypeKind::kString) return false;
+    const ColumnRef& r = ref_side.ref;
+    if (!r.relative || r.column_index < 0) return false;
+    if (e.cmp_op != CmpOp::kEq && e.cmp_op != CmpOp::kNe) return false;
+    VarId v = InternPatternVar(catalog, schema.column(r.column_index).name,
+                               r.total_offset);
+    out->AddString({v, e.cmp_op == CmpOp::kEq, lit_side.literal.string_value()});
+    return true;
+  };
+  if (string_side(*e.lhs, *e.rhs) || string_side(*e.rhs, *e.lhs)) {
+    return true;
+  }
+
+  // Ratio shape:  (x / y) op c   or   c op (x / y).
+  auto ratio_side = [&](const Expr& div_side, const Expr& const_side,
+                        CmpOp op) -> bool {
+    if (div_side.kind != ExprKind::kArith ||
+        div_side.arith_op != ArithOp::kDiv) {
+      return false;
+    }
+    auto x = PureVarRef(*div_side.lhs, schema, catalog);
+    auto y = PureVarRef(*div_side.rhs, schema, catalog);
+    if (!x || !y) return false;
+    LinForm c = ExtractLinForm(const_side, schema, catalog);
+    if (!c.valid || !c.coef.empty()) return false;
+    // x / y op c  ≡  x op c·y for positive y (the solver only uses ratio
+    // atoms under its positive-domain option, so this is safe).
+    out->AddXopCtimesY(*x, op, c.constant, *y);
+    return true;
+  };
+  if (ratio_side(*e.lhs, *e.rhs, e.cmp_op)) return true;
+  if (ratio_side(*e.rhs, *e.lhs, SwapOp(e.cmp_op))) return true;
+
+  // General linear difference L - R.
+  LinForm l = ExtractLinForm(*e.lhs, schema, catalog);
+  LinForm r = ExtractLinForm(*e.rhs, schema, catalog);
+  if (!l.valid || !r.valid) return false;
+  LinForm d = l;
+  for (auto& [v, c] : r.coef) d.coef[v] -= c;
+  d.constant -= r.constant;
+  d.Prune();
+
+  CmpOp op = e.cmp_op;
+  if (d.coef.empty()) {
+    // Constant comparison: fold.
+    if (EvalCmp(d.constant, op, 0.0)) {
+      // Tautology: drop the conjunct (correct for both sat and the
+      // per-conjunct φ enumeration: ¬TRUE = FALSE implies anything).
+      return true;
+    }
+    out->SetTriviallyFalse();
+    return true;
+  }
+  if (d.coef.size() == 1) {
+    VarId v = d.coef.begin()->first;
+    double a = d.coef.begin()->second;
+    // a·x + k op 0  →  x op' (-k/a).
+    if (a < 0) op = SwapOp(op);
+    out->AddXopC(v, op, -d.constant / a);
+    return true;
+  }
+  if (d.coef.size() == 2) {
+    auto it = d.coef.begin();
+    VarId vx = it->first;
+    double a = it->second;
+    ++it;
+    VarId vy = it->first;
+    double b = it->second;
+    // Normalize so the x coefficient is positive.
+    if (a < 0) {
+      std::swap(vx, vy);
+      std::swap(a, b);
+      if (a < 0) {
+        // Both negative: negate everything (flips the comparison).
+        a = -a;
+        b = -b;
+        d.constant = -d.constant;
+        op = SwapOp(op);
+      }
+    }
+    if (b < 0) {
+      if (a == -b) {
+        // a(x - y) + k op 0  →  x op' y + (-k/a).
+        out->AddXopYplusC(vx, op, vy, -d.constant / a);
+        return true;
+      }
+      if (d.constant == 0) {
+        // a·x - |b|·y op 0  →  x op (|b|/a)·y.
+        out->AddXopCtimesY(vx, op, -b / a, vy);
+        return true;
+      }
+    }
+    // Same-sign coefficients (x + y op c) or mixed affine-ratio shapes:
+    // outside the GSW language.
+    return false;
+  }
+  return false;
+}
+
+/// Builds the exact IntervalSet view of `e` when it is a boolean
+/// combination of comparisons of a single variable against constants.
+std::optional<std::pair<VarId, IntervalSet>> BuildIntervalView(
+    const Expr& e, const Schema& schema, VariableCatalog* catalog) {
+  switch (e.kind) {
+    case ExprKind::kCompare: {
+      LinForm l = ExtractLinForm(*e.lhs, schema, catalog);
+      LinForm r = ExtractLinForm(*e.rhs, schema, catalog);
+      if (!l.valid || !r.valid) return std::nullopt;
+      LinForm d = l;
+      for (auto& [v, c] : r.coef) d.coef[v] -= c;
+      d.constant -= r.constant;
+      d.Prune();
+      if (d.coef.size() != 1) return std::nullopt;
+      auto [v, a] = *d.coef.begin();
+      CmpOp op = e.cmp_op;
+      if (a < 0) op = SwapOp(op);
+      return std::make_pair(v, IntervalSet::FromCmp(op, -d.constant / a));
+    }
+    case ExprKind::kAnd:
+    case ExprKind::kOr: {
+      auto a = BuildIntervalView(*e.lhs, schema, catalog);
+      auto b = BuildIntervalView(*e.rhs, schema, catalog);
+      if (!a || !b || a->first != b->first) return std::nullopt;
+      IntervalSet s = e.kind == ExprKind::kAnd
+                          ? a->second.Intersect(b->second)
+                          : a->second.Union(b->second);
+      return std::make_pair(a->first, std::move(s));
+    }
+    case ExprKind::kNot: {
+      auto a = BuildIntervalView(*e.lhs, schema, catalog);
+      if (!a) return std::nullopt;
+      return std::make_pair(a->first, a->second.Complement());
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+/// Converts a boolean combination of capturable comparisons to DNF
+/// (a list of conjunction systems), or nullopt when any leaf is residue
+/// or the disjunct count exceeds the cap.  NOT is only supported
+/// directly above a comparison.
+std::optional<std::vector<ConstraintSystem>> BuildDnf(
+    const Expr& e, const Schema& schema, VariableCatalog* catalog) {
+  constexpr size_t kMaxDisjuncts = 16;
+  switch (e.kind) {
+    case ExprKind::kCompare: {
+      ConstraintSystem s;
+      if (!CaptureComparison(e, schema, catalog, &s)) return std::nullopt;
+      return std::vector<ConstraintSystem>{std::move(s)};
+    }
+    case ExprKind::kNot: {
+      if (e.lhs->kind != ExprKind::kCompare) return std::nullopt;
+      Expr flipped = *e.lhs;
+      flipped.cmp_op = NegateOp(flipped.cmp_op);
+      return BuildDnf(flipped, schema, catalog);
+    }
+    case ExprKind::kOr: {
+      auto a = BuildDnf(*e.lhs, schema, catalog);
+      auto b = BuildDnf(*e.rhs, schema, catalog);
+      if (!a || !b || a->size() + b->size() > kMaxDisjuncts) {
+        return std::nullopt;
+      }
+      for (auto& s : *b) a->push_back(std::move(s));
+      return a;
+    }
+    case ExprKind::kAnd: {
+      auto a = BuildDnf(*e.lhs, schema, catalog);
+      auto b = BuildDnf(*e.rhs, schema, catalog);
+      if (!a || !b || a->size() * b->size() > kMaxDisjuncts) {
+        return std::nullopt;
+      }
+      std::vector<ConstraintSystem> out;
+      for (const auto& x : *a) {
+        for (const auto& y : *b) {
+          out.push_back(ConstraintSystem::Conjoin(x, y));
+        }
+      }
+      return out;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace
+
+VarId InternPatternVar(VariableCatalog* catalog, const std::string& column,
+                       int offset) {
+  return catalog->Intern(column + "@" + std::to_string(offset));
+}
+
+PredicateAnalysis AnalyzePredicate(const ExprPtr& pred, const Schema& schema,
+                                   VariableCatalog* catalog) {
+  PredicateAnalysis out;
+  if (pred == nullptr) return out;  // empty predicate: TRUE, complete
+
+  std::vector<ExprPtr> conjuncts;
+  FlattenConjuncts(pred, &conjuncts);
+  for (const ExprPtr& c : conjuncts) {
+    if (c->kind == ExprKind::kLiteral &&
+        c->literal.kind() == TypeKind::kBool) {
+      if (c->literal.bool_value()) continue;
+      out.system.SetTriviallyFalse();
+      continue;
+    }
+    if (c->kind == ExprKind::kCompare &&
+        CaptureComparison(*c, schema, catalog, &out.system)) {
+      continue;
+    }
+    if (c->kind == ExprKind::kOr || c->kind == ExprKind::kNot) {
+      // Disjunctive conjunct (extension [13]): capture as a DNF group.
+      if (auto dnf = BuildDnf(*c, schema, catalog)) {
+        PredicateAnalysis::OrGroup group;
+        for (ConstraintSystem& d : *dnf) {
+          group.single_atom_disjuncts &=
+              (d.num_atoms() == 1 && !d.trivially_false());
+          group.disjuncts.push_back(std::move(d));
+        }
+        out.or_groups.push_back(std::move(group));
+        continue;
+      }
+    }
+    out.complete = false;
+  }
+
+  if (auto iv = BuildIntervalView(*pred, schema, catalog)) {
+    out.has_interval = true;
+    out.interval_var = iv->first;
+    out.interval = std::move(iv->second);
+  }
+  return out;
+}
+
+}  // namespace sqlts

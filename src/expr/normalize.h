@@ -1,0 +1,63 @@
+#ifndef SQLTS_EXPR_NORMALIZE_H_
+#define SQLTS_EXPR_NORMALIZE_H_
+
+#include <optional>
+
+#include "constraints/catalog.h"
+#include "constraints/system.h"
+#include "expr/expr.h"
+#include "intervals/interval_set.h"
+#include "types/schema.h"
+
+namespace sqlts {
+
+/// Result of compiling a pattern-element predicate into the constraint
+/// language the GSW procedure reasons about.
+///
+/// `system` holds the captured atoms, one per captured conjunct, so the
+/// per-conjunct negations needed for the φ matrix are exactly the
+/// per-atom negations.  `complete` records whether *every* conjunct was
+/// captured; implications whose conclusion (or whose negated premise)
+/// involves uncaptured residue are not claimed (paper-safe: entries
+/// degrade to U).
+///
+/// When the whole predicate is a (possibly disjunctive) condition on a
+/// single variable, `interval` holds its exact solution set — the
+/// extension-[13] oracle that also covers OR / NOT.
+struct PredicateAnalysis {
+  ConstraintSystem system;
+  bool complete = true;
+
+  /// One captured disjunctive conjunct (extension [13]): the conjunct is
+  /// the OR of `disjuncts`, each fully captured as a constraint system.
+  struct OrGroup {
+    std::vector<ConstraintSystem> disjuncts;
+    /// True when every disjunct is a single atom, which makes the
+    /// group's negation expressible as one conjunction (needed for the
+    /// φ-matrix enumeration).
+    bool single_atom_disjuncts = true;
+  };
+  /// Captured OR conjuncts; the full predicate is
+  /// `system ∧ ⋀ or_groups` (∧ residue when !complete).
+  std::vector<OrGroup> or_groups;
+
+  bool has_interval = false;
+  VarId interval_var = kNoVar;
+  IntervalSet interval;
+};
+
+/// Compiles a resolved predicate (relative column references only; the
+/// semantic analyzer guarantees this for pattern-element predicates) to
+/// its constraint-form analysis.  Never fails: anything unrecognized
+/// just leaves `complete == false`.
+PredicateAnalysis AnalyzePredicate(const ExprPtr& pred, const Schema& schema,
+                                   VariableCatalog* catalog);
+
+/// Interns the variable naming convention used by the analyzer:
+/// "<column-name>@<offset>", e.g. "price@0", "price@-1".
+VarId InternPatternVar(VariableCatalog* catalog, const std::string& column,
+                       int offset);
+
+}  // namespace sqlts
+
+#endif  // SQLTS_EXPR_NORMALIZE_H_

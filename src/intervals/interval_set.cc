@@ -1,0 +1,217 @@
+#include "intervals/interval_set.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace sqlts {
+namespace {
+
+/// Orders lower endpoints: -∞ first; at equal value, closed before open.
+bool LoLess(const Endpoint& a, const Endpoint& b) {
+  if (a.infinite != b.infinite) return a.infinite;
+  if (a.infinite) return false;
+  if (a.value != b.value) return a.value < b.value;
+  return !a.open && b.open;
+}
+
+/// True when interval ending at `hi` touches-or-overlaps one starting at
+/// `lo` (so their union is a single interval).
+bool MergeableAcross(const Endpoint& hi, const Endpoint& lo) {
+  if (hi.infinite || lo.infinite) return true;
+  if (lo.value < hi.value) return true;
+  if (lo.value > hi.value) return false;
+  return !(hi.open && lo.open);  // (a,v)∪(v,b) has a hole at v
+}
+
+/// Max of two upper endpoints.
+Endpoint HiMax(const Endpoint& a, const Endpoint& b) {
+  if (a.infinite) return a;
+  if (b.infinite) return b;
+  if (a.value != b.value) return a.value > b.value ? a : b;
+  return a.open ? b : a;  // closed dominates at equal value
+}
+
+}  // namespace
+
+Interval Interval::All() {
+  Interval iv;
+  iv.lo = Endpoint::NegInf();
+  iv.hi = Endpoint::PosInf();
+  return iv;
+}
+
+Interval Interval::Point(double v) {
+  return Make(Endpoint::Closed(v), Endpoint::Closed(v));
+}
+
+Interval Interval::Make(Endpoint lo, Endpoint hi) {
+  Interval iv;
+  iv.lo = lo;
+  iv.hi = hi;
+  return iv;
+}
+
+Interval Interval::FromCmp(CmpOp op, double c) {
+  switch (op) {
+    case CmpOp::kEq:
+      return Point(c);
+    case CmpOp::kLt:
+      return Make(Endpoint::NegInf(), Endpoint::Open(c));
+    case CmpOp::kLe:
+      return Make(Endpoint::NegInf(), Endpoint::Closed(c));
+    case CmpOp::kGt:
+      return Make(Endpoint::Open(c), Endpoint::PosInf());
+    case CmpOp::kGe:
+      return Make(Endpoint::Closed(c), Endpoint::PosInf());
+    case CmpOp::kNe:
+      SQLTS_CHECK(false) << "kNe is not a single interval; use "
+                            "IntervalSet::FromCmp";
+  }
+  return All();
+}
+
+bool Interval::IsEmpty() const {
+  if (lo.infinite || hi.infinite) return false;
+  if (lo.value > hi.value) return true;
+  if (lo.value < hi.value) return false;
+  return lo.open || hi.open;
+}
+
+bool Interval::Contains(double v) const {
+  if (!lo.infinite) {
+    if (v < lo.value || (v == lo.value && lo.open)) return false;
+  }
+  if (!hi.infinite) {
+    if (v > hi.value || (v == hi.value && hi.open)) return false;
+  }
+  return true;
+}
+
+std::string Interval::ToString() const {
+  std::ostringstream os;
+  os << (lo.infinite ? "(-inf" : (lo.open ? "(" : "[") + std::string());
+  if (!lo.infinite) os << lo.value;
+  os << ", ";
+  if (hi.infinite) {
+    os << "+inf)";
+  } else {
+    os << hi.value << (hi.open ? ")" : "]");
+  }
+  return os.str();
+}
+
+IntervalSet::IntervalSet(Interval iv) {
+  if (!iv.IsEmpty()) parts_.push_back(iv);
+}
+
+IntervalSet IntervalSet::FromCmp(CmpOp op, double c) {
+  if (op == CmpOp::kNe) {
+    IntervalSet out;
+    out.parts_.push_back(
+        Interval::Make(Endpoint::NegInf(), Endpoint::Open(c)));
+    out.parts_.push_back(
+        Interval::Make(Endpoint::Open(c), Endpoint::PosInf()));
+    return out;
+  }
+  return IntervalSet(Interval::FromCmp(op, c));
+}
+
+bool IntervalSet::IsAll() const {
+  return parts_.size() == 1 && parts_[0].lo.infinite &&
+         parts_[0].hi.infinite;
+}
+
+bool IntervalSet::Contains(double v) const {
+  for (const Interval& iv : parts_) {
+    if (iv.Contains(v)) return true;
+  }
+  return false;
+}
+
+void IntervalSet::Normalize() {
+  std::vector<Interval> in;
+  in.reserve(parts_.size());
+  for (const Interval& iv : parts_) {
+    if (!iv.IsEmpty()) in.push_back(iv);
+  }
+  std::sort(in.begin(), in.end(), [](const Interval& a, const Interval& b) {
+    return LoLess(a.lo, b.lo);
+  });
+  parts_.clear();
+  for (const Interval& iv : in) {
+    if (!parts_.empty() && MergeableAcross(parts_.back().hi, iv.lo)) {
+      parts_.back().hi = HiMax(parts_.back().hi, iv.hi);
+    } else {
+      parts_.push_back(iv);
+    }
+  }
+}
+
+IntervalSet IntervalSet::Union(const IntervalSet& o) const {
+  IntervalSet out;
+  out.parts_ = parts_;
+  out.parts_.insert(out.parts_.end(), o.parts_.begin(), o.parts_.end());
+  out.Normalize();
+  return out;
+}
+
+IntervalSet IntervalSet::Complement() const {
+  IntervalSet out;
+  Endpoint cursor = Endpoint::NegInf();
+  bool cursor_at_start = true;
+  for (const Interval& iv : parts_) {
+    // Gap between cursor and iv.lo.
+    if (iv.lo.infinite) {
+      // This part starts at -∞: no gap before it.
+    } else {
+      Endpoint gap_hi{iv.lo.value, !iv.lo.open, false};
+      Interval gap;
+      gap.lo = cursor_at_start ? Endpoint::NegInf()
+                               : Endpoint{cursor.value, !cursor.open, false};
+      gap.hi = gap_hi;
+      if (!gap.IsEmpty() || cursor_at_start) {
+        if (cursor_at_start) {
+          gap.lo = Endpoint::NegInf();
+          out.parts_.push_back(gap);
+        } else if (!gap.IsEmpty()) {
+          out.parts_.push_back(gap);
+        }
+      }
+    }
+    if (iv.hi.infinite) {
+      // Covers to +∞: nothing after.
+      return out;
+    }
+    cursor = iv.hi;
+    cursor_at_start = false;
+  }
+  Interval tail;
+  tail.lo = cursor_at_start ? Endpoint::NegInf()
+                            : Endpoint{cursor.value, !cursor.open, false};
+  tail.hi = Endpoint::PosInf();
+  out.parts_.push_back(tail);
+  return out;
+}
+
+IntervalSet IntervalSet::Intersect(const IntervalSet& o) const {
+  // De Morgan: A ∩ B = (Aᶜ ∪ Bᶜ)ᶜ.  Set sizes here are tiny.
+  return Complement().Union(o.Complement()).Complement();
+}
+
+bool IntervalSet::SubsetOf(const IntervalSet& o) const {
+  return Intersect(o.Complement()).IsEmpty();
+}
+
+std::string IntervalSet::ToString() const {
+  if (parts_.empty()) return "{}";
+  std::string out;
+  for (size_t i = 0; i < parts_.size(); ++i) {
+    if (i) out += " U ";
+    out += parts_[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace sqlts

@@ -1,0 +1,83 @@
+#ifndef SQLTS_INTERVALS_INTERVAL_SET_H_
+#define SQLTS_INTERVALS_INTERVAL_SET_H_
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "constraints/atom.h"
+
+namespace sqlts {
+
+/// One endpoint of an interval: a value plus open/closed-ness, with
+/// ±infinity encoded by `infinite`.
+struct Endpoint {
+  double value = 0;
+  bool open = false;
+  bool infinite = false;
+
+  static Endpoint NegInf() { return {0, true, true}; }
+  static Endpoint PosInf() { return {0, true, true}; }
+  static Endpoint Closed(double v) { return {v, false, false}; }
+  static Endpoint Open(double v) { return {v, true, false}; }
+};
+
+/// A (possibly unbounded, possibly degenerate) real interval.
+struct Interval {
+  Endpoint lo = Endpoint::NegInf();  // lo.infinite ⇒ -∞
+  Endpoint hi = Endpoint::PosInf();  // hi.infinite ⇒ +∞
+
+  /// Whole real line.
+  static Interval All();
+  /// [v, v].
+  static Interval Point(double v);
+  /// Interval satisfying `x op c`.
+  static Interval FromCmp(CmpOp op, double c);
+  /// Constructs with explicit endpoints; empty intervals are allowed.
+  static Interval Make(Endpoint lo, Endpoint hi);
+
+  bool IsEmpty() const;
+  bool Contains(double v) const;
+  std::string ToString() const;
+};
+
+/// A normalized finite union of disjoint, non-adjacent intervals — the
+/// domain of the paper's extension [13]: implication and satisfiability
+/// for (possibly disjunctive) single-variable predicates become set
+/// inclusion tests here.
+class IntervalSet {
+ public:
+  /// Empty set.
+  IntervalSet() = default;
+  /// Singleton union.
+  explicit IntervalSet(Interval iv);
+
+  static IntervalSet All() { return IntervalSet(Interval::All()); }
+  static IntervalSet Empty() { return IntervalSet(); }
+  /// The set {x : x op c}.  Note kNe yields two rays.
+  static IntervalSet FromCmp(CmpOp op, double c);
+
+  bool IsEmpty() const { return parts_.empty(); }
+  bool IsAll() const;
+  bool Contains(double v) const;
+
+  IntervalSet Union(const IntervalSet& o) const;
+  IntervalSet Intersect(const IntervalSet& o) const;
+  IntervalSet Complement() const;
+
+  /// Subset test — the implication primitive: (x ∈ this) ⇒ (x ∈ o).
+  bool SubsetOf(const IntervalSet& o) const;
+
+  const std::vector<Interval>& parts() const { return parts_; }
+
+  std::string ToString() const;
+
+ private:
+  void Normalize();
+
+  std::vector<Interval> parts_;
+};
+
+}  // namespace sqlts
+
+#endif  // SQLTS_INTERVALS_INTERVAL_SET_H_

@@ -1,0 +1,366 @@
+#include "parser/analyzer.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+#include "parser/parser.h"
+
+namespace sqlts {
+namespace {
+
+/// Recursively infers the type of a resolved expression, failing on
+/// genuine type errors (NULL literals type as kNull and unify with
+/// anything).
+StatusOr<TypeKind> InferType(const Expr& e, const Schema& schema) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return e.literal.kind();
+    case ExprKind::kColumnRef:
+      if (e.ref.column_index < 0) {
+        return Status::Internal("unresolved column ref in type check");
+      }
+      return schema.column(e.ref.column_index).type;
+    case ExprKind::kArith: {
+      SQLTS_ASSIGN_OR_RETURN(TypeKind a, InferType(*e.lhs, schema));
+      SQLTS_ASSIGN_OR_RETURN(TypeKind b, InferType(*e.rhs, schema));
+      auto numeric = [](TypeKind t) {
+        return t == TypeKind::kInt64 || t == TypeKind::kDouble ||
+               t == TypeKind::kNull;
+      };
+      // Calendar arithmetic: DATE ± days → DATE; DATE − DATE → days;
+      // days + DATE → DATE.
+      if (a == TypeKind::kDate || b == TypeKind::kDate) {
+        bool ok =
+            (a == TypeKind::kDate && b == TypeKind::kDate &&
+             e.arith_op == ArithOp::kSub) ||
+            (a == TypeKind::kDate && numeric(b) &&
+             (e.arith_op == ArithOp::kAdd || e.arith_op == ArithOp::kSub)) ||
+            (numeric(a) && b == TypeKind::kDate &&
+             e.arith_op == ArithOp::kAdd);
+        if (!ok) {
+          return Status::TypeError("unsupported date arithmetic in " +
+                                   e.ToString());
+        }
+        return (a == TypeKind::kDate && b == TypeKind::kDate)
+                   ? TypeKind::kInt64
+                   : TypeKind::kDate;
+      }
+      if (!numeric(a) || !numeric(b)) {
+        return Status::TypeError("arithmetic requires numeric operands in " +
+                                 e.ToString());
+      }
+      if (e.arith_op == ArithOp::kDiv) return TypeKind::kDouble;
+      if (a == TypeKind::kInt64 && b == TypeKind::kInt64) {
+        return TypeKind::kInt64;
+      }
+      return TypeKind::kDouble;
+    }
+    case ExprKind::kCompare: {
+      SQLTS_ASSIGN_OR_RETURN(TypeKind a, InferType(*e.lhs, schema));
+      SQLTS_ASSIGN_OR_RETURN(TypeKind b, InferType(*e.rhs, schema));
+      auto numeric = [](TypeKind t) {
+        return t == TypeKind::kInt64 || t == TypeKind::kDouble;
+      };
+      bool ok = a == TypeKind::kNull || b == TypeKind::kNull || a == b ||
+                (numeric(a) && numeric(b));
+      if (!ok) {
+        return Status::TypeError(
+            "cannot compare " + std::string(TypeKindToString(a)) + " with " +
+            std::string(TypeKindToString(b)) + " in " + e.ToString());
+      }
+      return TypeKind::kBool;
+    }
+    case ExprKind::kAnd:
+    case ExprKind::kOr: {
+      SQLTS_ASSIGN_OR_RETURN(TypeKind a, InferType(*e.lhs, schema));
+      SQLTS_ASSIGN_OR_RETURN(TypeKind b, InferType(*e.rhs, schema));
+      if ((a != TypeKind::kBool && a != TypeKind::kNull) ||
+          (b != TypeKind::kBool && b != TypeKind::kNull)) {
+        return Status::TypeError("AND/OR requires boolean operands in " +
+                                 e.ToString());
+      }
+      return TypeKind::kBool;
+    }
+    case ExprKind::kNot: {
+      SQLTS_ASSIGN_OR_RETURN(TypeKind a, InferType(*e.lhs, schema));
+      if (a != TypeKind::kBool && a != TypeKind::kNull) {
+        return Status::TypeError("NOT requires a boolean operand in " +
+                                 e.ToString());
+      }
+      return TypeKind::kBool;
+    }
+    case ExprKind::kAggregate: {
+      if (e.agg_op == AggOp::kCount) return TypeKind::kInt64;
+      if (e.ref.column_index < 0) {
+        return Status::Internal("unresolved aggregate column");
+      }
+      TypeKind col = schema.column(e.ref.column_index).type;
+      bool numeric = col == TypeKind::kInt64 || col == TypeKind::kDouble;
+      if (e.agg_op == AggOp::kMin || e.agg_op == AggOp::kMax) {
+        if (!numeric && col != TypeKind::kDate && col != TypeKind::kString) {
+          return Status::TypeError("MIN/MAX needs an orderable column in " +
+                                   e.ToString());
+        }
+        return col;
+      }
+      if (!numeric) {
+        return Status::TypeError("SUM/AVG needs a numeric column in " +
+                                 e.ToString());
+      }
+      return TypeKind::kDouble;
+    }
+  }
+  return Status::Internal("unknown expr kind");
+}
+
+/// True when the tree contains an aggregate node.
+bool HasAggregate(const ExprPtr& e) {
+  if (e == nullptr) return false;
+  if (e->kind == ExprKind::kAggregate) return true;
+  return HasAggregate(e->lhs) || HasAggregate(e->rhs);
+}
+
+/// Analysis machinery bundled to avoid long parameter lists.
+class Analyzer {
+ public:
+  Analyzer(const ParsedQuery& q, const Schema& schema)
+      : q_(q), schema_(schema) {}
+
+  StatusOr<CompiledQuery> Run() {
+    CompiledQuery out;
+    out.input_schema = schema_;
+    out.table = q_.table;
+    out.cluster_by = q_.cluster_by;
+    out.sequence_by = q_.sequence_by;
+    out.limit = q_.limit;
+
+    // Validate cluster/sequence columns and record cluster column ids.
+    for (const std::string& c : q_.cluster_by) {
+      SQLTS_ASSIGN_OR_RETURN(int idx, schema_.FindColumn(c));
+      cluster_cols_.insert(idx);
+    }
+    for (const std::string& c : q_.sequence_by) {
+      SQLTS_RETURN_IF_ERROR(schema_.FindColumn(c).status());
+    }
+
+    // Pattern variables.
+    if (q_.pattern.empty()) {
+      return Status::InvalidArgument("pattern (AS clause) is empty");
+    }
+    for (size_t i = 0; i < q_.pattern.size(); ++i) {
+      const PatternVarDecl& d = q_.pattern[i];
+      if (var_index_.count(ToUpper(d.name))) {
+        return Status::InvalidArgument("duplicate pattern variable '" +
+                                       d.name + "'");
+      }
+      var_index_[ToUpper(d.name)] = static_cast<int>(i);
+      PatternElement el;
+      el.var = d.name;
+      el.star = d.star;
+      out.elements.push_back(std::move(el));
+    }
+
+    // WHERE conjuncts.
+    if (q_.where != nullptr) {
+      std::vector<ExprPtr> conjuncts;
+      FlattenConjuncts(q_.where, &conjuncts);
+      for (const ExprPtr& c : conjuncts) {
+        SQLTS_RETURN_IF_ERROR(PlaceConjunct(c, &out));
+      }
+    }
+    for (PatternElement& el : out.elements) {
+      el.predicate = nullptr;
+      for (const ExprPtr& c : el.conjuncts) {
+        el.predicate = el.predicate ? MakeAnd(el.predicate, c) : c;
+      }
+    }
+
+    // SELECT list.
+    SQLTS_RETURN_IF_ERROR(ResolveSelect(&out));
+
+    // Type checks.
+    for (const PatternElement& el : out.elements) {
+      for (const ExprPtr& c : el.conjuncts) {
+        SQLTS_ASSIGN_OR_RETURN(TypeKind t, InferType(*c, schema_));
+        if (t != TypeKind::kBool && t != TypeKind::kNull) {
+          return Status::TypeError("WHERE conjunct is not boolean: " +
+                                   c->ToString());
+        }
+      }
+    }
+    for (const ExprPtr& c : out.cluster_filters) {
+      SQLTS_RETURN_IF_ERROR(InferType(*c, schema_).status());
+    }
+    return out;
+  }
+
+ private:
+  /// Resolves common parts of a reference: variable and column.
+  Status ResolveBasics(const ColumnRef& in, ColumnRef* r) const {
+    *r = in;
+    if (in.var.empty()) {
+      return Status::InvalidArgument(
+          "unqualified column reference '" + in.column +
+          "'; use <PatternVar>.<column>");
+    }
+    auto it = var_index_.find(ToUpper(in.var));
+    if (it == var_index_.end()) {
+      return Status::InvalidArgument("unknown pattern variable '" + in.var +
+                                     "'");
+    }
+    r->element = it->second;
+    if (!in.column.empty()) {
+      SQLTS_ASSIGN_OR_RETURN(r->column_index, schema_.FindColumn(in.column));
+    }
+    return Status::OK();
+  }
+
+  /// True when every element in [from, to) is non-star.
+  bool AllSingle(int from, int to) const {
+    for (int i = from; i < to; ++i) {
+      if (q_.pattern[i].star) return false;
+    }
+    return true;
+  }
+
+  Status PlaceConjunct(const ExprPtr& conjunct, CompiledQuery* out) {
+    if (HasAggregate(conjunct)) {
+      return Status::InvalidArgument(
+          "aggregates are only allowed in the SELECT list: " +
+          conjunct->ToString());
+    }
+    // Gather references.
+    std::vector<ColumnRef> refs;
+    Status bad = Status::OK();
+    VisitColumnRefs(conjunct, [&](const ColumnRef& r) {
+      ColumnRef resolved;
+      Status s = ResolveBasics(r, &resolved);
+      if (!s.ok() && bad.ok()) bad = s;
+      refs.push_back(resolved);
+    });
+    SQLTS_RETURN_IF_ERROR(bad);
+    for (const ColumnRef& r : refs) {
+      if (r.accessor != GroupAccessor::kCurrent) {
+        return Status::InvalidArgument(
+            "FIRST()/LAST() are only allowed in the SELECT list: " +
+            conjunct->ToString());
+      }
+    }
+
+    // Cluster filter: every reference touches only CLUSTER BY columns.
+    if (!refs.empty() && !cluster_cols_.empty()) {
+      bool all_cluster = std::all_of(
+          refs.begin(), refs.end(), [&](const ColumnRef& r) {
+            return cluster_cols_.count(r.column_index) > 0;
+          });
+      if (all_cluster) {
+        ExprPtr rewritten =
+            RewriteColumnRefs(conjunct, [&](const ColumnRef& r) {
+              ColumnRef res;
+              SQLTS_CHECK_OK(ResolveBasics(r, &res));
+              // Cluster columns are constant within a cluster; read them
+              // from the tuple under evaluation directly.
+              res.relative = true;
+              res.total_offset = 0;
+              return res;
+            });
+        out->cluster_filters.push_back(std::move(rewritten));
+        return Status::OK();
+      }
+    }
+
+    // Owning element: the latest element referenced (constant conjuncts
+    // belong to element 0 so they are checked as early as possible).
+    int e = 0;
+    for (const ColumnRef& r : refs) e = std::max(e, r.element);
+    const bool e_star = q_.pattern[e].star;
+
+    ExprPtr rewritten = RewriteColumnRefs(conjunct, [&](const ColumnRef& r) {
+      ColumnRef res;
+      SQLTS_CHECK_OK(ResolveBasics(r, &res));
+      if (res.element == e) {
+        // Same element: offsets are relative to the tuple under test.
+        res.relative = true;
+        res.total_offset = res.nav_offset;
+        return res;
+      }
+      // Earlier element d < e.  When every element in d..e-1 is a single
+      // tuple (non-star) and e itself is non-star, the reference is a
+      // fixed offset from the tuple under test (the paper's rewriting of
+      // Y.price < X.price into a t.previous comparison).  Otherwise it
+      // stays anchored to the completed group's span.
+      int d = res.element;
+      if (!e_star && AllSingle(d, e)) {
+        res.relative = true;
+        res.total_offset = res.nav_offset - (e - d);
+      } else {
+        res.relative = false;
+      }
+      return res;
+    });
+    out->elements[e].conjuncts.push_back(std::move(rewritten));
+    return Status::OK();
+  }
+
+  Status ResolveSelect(CompiledQuery* out) {
+    if (q_.select.empty()) {
+      return Status::InvalidArgument("SELECT list is empty");
+    }
+    std::set<std::string> used_names;
+    for (size_t i = 0; i < q_.select.size(); ++i) {
+      const SelectItem& item = q_.select[i];
+      Status bad = Status::OK();
+      ExprPtr resolved = RewriteColumnRefs(item.expr, [&](const ColumnRef& r) {
+        ColumnRef res;
+        Status s = ResolveBasics(r, &res);
+        if (!s.ok()) {
+          if (bad.ok()) bad = s;
+          return res;
+        }
+        res.relative = false;  // SELECT reads from the completed match
+        return res;
+      });
+      SQLTS_RETURN_IF_ERROR(bad);
+      SQLTS_ASSIGN_OR_RETURN(TypeKind t, InferType(*resolved, schema_));
+      if (t == TypeKind::kNull) t = TypeKind::kString;  // NULL literal
+
+      std::string name = item.alias;
+      if (name.empty() && resolved->kind == ExprKind::kColumnRef) {
+        name = resolved->ref.column;
+      }
+      if (name.empty()) name = "col" + std::to_string(i + 1);
+      std::string base = name;
+      for (int suffix = 2; used_names.count(ToLower(name)); ++suffix) {
+        name = base + "_" + std::to_string(suffix);
+      }
+      used_names.insert(ToLower(name));
+
+      out->select.push_back(SelectItem{resolved, name});
+      SQLTS_RETURN_IF_ERROR(out->output_schema.AddColumn(name, t));
+    }
+    return Status::OK();
+  }
+
+  const ParsedQuery& q_;
+  const Schema& schema_;
+  std::map<std::string, int> var_index_;
+  std::set<int> cluster_cols_;
+};
+
+}  // namespace
+
+StatusOr<CompiledQuery> AnalyzeQuery(const ParsedQuery& query,
+                                     const Schema& schema) {
+  Analyzer a(query, schema);
+  return a.Run();
+}
+
+StatusOr<CompiledQuery> CompileQueryText(std::string_view text,
+                                         const Schema& schema) {
+  SQLTS_ASSIGN_OR_RETURN(ParsedQuery q, ParseQuery(text));
+  return AnalyzeQuery(q, schema);
+}
+
+}  // namespace sqlts

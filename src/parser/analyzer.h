@@ -1,0 +1,58 @@
+#ifndef SQLTS_PARSER_ANALYZER_H_
+#define SQLTS_PARSER_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "parser/ast.h"
+#include "types/schema.h"
+
+namespace sqlts {
+
+/// One element of the resolved search pattern: its variable name, star
+/// flag, and the conjuncts assigned to it (each conjunct is evaluated
+/// against every input tuple the element consumes).
+struct PatternElement {
+  std::string var;
+  bool star = false;
+  /// Resolved conjuncts (relative/anchored references filled in).
+  std::vector<ExprPtr> conjuncts;
+  /// AND of `conjuncts`, or null for TRUE.
+  ExprPtr predicate;
+};
+
+/// A fully resolved SQL-TS query, ready for pattern compilation
+/// (pattern/compile.h) and execution (engine/).
+struct CompiledQuery {
+  Schema input_schema;
+  std::string table;
+  std::vector<std::string> cluster_by;
+  std::vector<std::string> sequence_by;
+  std::vector<PatternElement> elements;
+  /// Conjuncts referencing only CLUSTER BY columns, hoisted out of the
+  /// pattern (the paper drops X.name='IBM' from p₁ this way); evaluated
+  /// once per cluster on its first tuple.
+  std::vector<ExprPtr> cluster_filters;
+  /// Resolved SELECT list (anchored references).
+  std::vector<SelectItem> select;
+  Schema output_schema;
+  /// LIMIT clause (0 = unlimited): cap on total output rows, with exact
+  /// early termination of the search.
+  int64_t limit = 0;
+
+  int pattern_length() const { return static_cast<int>(elements.size()); }
+};
+
+/// Resolves names, rewrites cross-element references, hoists cluster
+/// filters, assigns conjuncts to pattern elements, and type-checks.
+StatusOr<CompiledQuery> AnalyzeQuery(const ParsedQuery& query,
+                                     const Schema& schema);
+
+/// Convenience: parse + analyze.
+StatusOr<CompiledQuery> CompileQueryText(std::string_view text,
+                                         const Schema& schema);
+
+}  // namespace sqlts
+
+#endif  // SQLTS_PARSER_ANALYZER_H_

@@ -1,0 +1,34 @@
+#include "parser/ast.h"
+
+namespace sqlts {
+
+std::string ParsedQuery::ToString() const {
+  std::string out = "SELECT ";
+  for (size_t i = 0; i < select.size(); ++i) {
+    if (i) out += ", ";
+    out += select[i].expr->ToString();
+    if (!select[i].alias.empty()) out += " AS " + select[i].alias;
+  }
+  out += "\nFROM " + table;
+  auto list = [](const std::vector<std::string>& v) {
+    std::string s;
+    for (size_t i = 0; i < v.size(); ++i) {
+      if (i) s += ", ";
+      s += v[i];
+    }
+    return s;
+  };
+  if (!cluster_by.empty()) out += "\n  CLUSTER BY " + list(cluster_by);
+  if (!sequence_by.empty()) out += "\n  SEQUENCE BY " + list(sequence_by);
+  out += "\n  AS (";
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    if (i) out += ", ";
+    if (pattern[i].star) out += "*";
+    out += pattern[i].name;
+  }
+  out += ")";
+  if (where != nullptr) out += "\nWHERE " + where->ToString();
+  return out;
+}
+
+}  // namespace sqlts

@@ -1,0 +1,39 @@
+#ifndef SQLTS_PARSER_AST_H_
+#define SQLTS_PARSER_AST_H_
+
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace sqlts {
+
+/// One SELECT-list entry: an expression with an optional alias.
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;  // empty when no AS alias was given
+};
+
+/// One pattern variable from the AS clause: `X` or `*X`.
+struct PatternVarDecl {
+  std::string name;
+  bool star = false;
+};
+
+/// The parse tree of a SQL-TS query (syntactic only; see
+/// parser/analyzer.h for the resolved form).
+struct ParsedQuery {
+  std::vector<SelectItem> select;
+  std::string table;
+  std::vector<std::string> cluster_by;   // may be empty
+  std::vector<std::string> sequence_by;  // may be empty
+  std::vector<PatternVarDecl> pattern;
+  ExprPtr where;      // null when absent
+  int64_t limit = 0;  // 0 = no LIMIT clause
+
+  std::string ToString() const;
+};
+
+}  // namespace sqlts
+
+#endif  // SQLTS_PARSER_AST_H_

@@ -1,0 +1,236 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+#include <charconv>
+
+#include "common/string_util.h"
+
+namespace sqlts {
+namespace {
+
+// NOTE: DATE is intentionally not a keyword — the paper's schemas use a
+// column named "date", so DATE '...' literals are recognized
+// contextually in the parser instead.
+const char* const kKeywords[] = {
+    "SELECT", "FROM",  "WHERE", "CLUSTER", "SEQUENCE", "BY",
+    "AS",     "AND",   "OR",    "NOT",     "FIRST",    "LAST",
+    "PREVIOUS", "NEXT", "TRUE", "FALSE",   "NULL",
+};
+
+bool IsKeywordText(const std::string& upper) {
+  for (const char* kw : kKeywords) {
+    if (upper == kw) return true;
+  }
+  return false;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+StatusOr<std::vector<Token>> Tokenize(std::string_view query) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = query.size();
+  while (i < n) {
+    char c = query[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '-' && i + 1 < n && query[i + 1] == '-') {
+      while (i < n && query[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.position = static_cast<int>(i);
+    // Identifiers / keywords.
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(query[i])) ++i;
+      std::string text(query.substr(start, i - start));
+      std::string upper = ToUpper(text);
+      if (IsKeywordText(upper)) {
+        tok.kind = TokenKind::kKeyword;
+        tok.text = upper;
+      } else {
+        tok.kind = TokenKind::kIdentifier;
+        tok.text = text;
+      }
+      out.push_back(std::move(tok));
+      continue;
+    }
+    // Numbers: integer or decimal (with optional exponent).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(query[i + 1])))) {
+      size_t start = i;
+      bool is_double = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(query[i]))) ++i;
+      if (i < n && query[i] == '.') {
+        // Only treat '.' as a decimal point when followed by a digit;
+        // "X.price" style navigation keeps its dot.
+        if (i + 1 < n && std::isdigit(static_cast<unsigned char>(query[i + 1]))) {
+          is_double = true;
+          ++i;
+          while (i < n &&
+                 std::isdigit(static_cast<unsigned char>(query[i]))) {
+            ++i;
+          }
+        }
+      }
+      if (i < n && (query[i] == 'e' || query[i] == 'E')) {
+        size_t save = i;
+        ++i;
+        if (i < n && (query[i] == '+' || query[i] == '-')) ++i;
+        if (i < n && std::isdigit(static_cast<unsigned char>(query[i]))) {
+          is_double = true;
+          while (i < n &&
+                 std::isdigit(static_cast<unsigned char>(query[i]))) {
+            ++i;
+          }
+        } else {
+          i = save;  // not an exponent; back off
+        }
+      }
+      std::string text(query.substr(start, i - start));
+      if (is_double) {
+        tok.kind = TokenKind::kDoubleLiteral;
+        tok.double_value = std::strtod(text.c_str(), nullptr);
+      } else {
+        tok.kind = TokenKind::kIntLiteral;
+        auto [p, ec] =
+            std::from_chars(text.data(), text.data() + text.size(),
+                            tok.int_value);
+        if (ec != std::errc()) {
+          return Status::ParseError("integer literal out of range: " + text);
+        }
+      }
+      tok.text = std::move(text);
+      out.push_back(std::move(tok));
+      continue;
+    }
+    // String literal: single quotes, '' escapes a quote.
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (query[i] == '\'') {
+          if (i + 1 < n && query[i + 1] == '\'') {
+            text += '\'';
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        text += query[i++];
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(tok.position));
+      }
+      tok.kind = TokenKind::kStringLiteral;
+      tok.text = std::move(text);
+      out.push_back(std::move(tok));
+      continue;
+    }
+    // Operators / punctuation.
+    auto push1 = [&](TokenKind k) {
+      tok.kind = k;
+      tok.text = std::string(1, c);
+      out.push_back(tok);
+      ++i;
+    };
+    switch (c) {
+      case ',':
+        push1(TokenKind::kComma);
+        break;
+      case '.':
+        push1(TokenKind::kDot);
+        break;
+      case '(':
+        push1(TokenKind::kLParen);
+        break;
+      case ')':
+        push1(TokenKind::kRParen);
+        break;
+      case '*':
+        push1(TokenKind::kStar);
+        break;
+      case '+':
+        push1(TokenKind::kPlus);
+        break;
+      case '/':
+        push1(TokenKind::kSlash);
+        break;
+      case '=':
+        push1(TokenKind::kEq);
+        break;
+      case '-':
+        if (i + 1 < n && query[i + 1] == '>') {
+          tok.kind = TokenKind::kDot;  // SQL3 navigation: a->b ≡ a.b
+          tok.text = "->";
+          out.push_back(tok);
+          i += 2;
+        } else {
+          push1(TokenKind::kMinus);
+        }
+        break;
+      case '<':
+        if (i + 1 < n && query[i + 1] == '=') {
+          tok.kind = TokenKind::kLe;
+          tok.text = "<=";
+          out.push_back(tok);
+          i += 2;
+        } else if (i + 1 < n && query[i + 1] == '>') {
+          tok.kind = TokenKind::kNe;
+          tok.text = "<>";
+          out.push_back(tok);
+          i += 2;
+        } else {
+          push1(TokenKind::kLt);
+        }
+        break;
+      case '>':
+        if (i + 1 < n && query[i + 1] == '=') {
+          tok.kind = TokenKind::kGe;
+          tok.text = ">=";
+          out.push_back(tok);
+          i += 2;
+        } else {
+          push1(TokenKind::kGt);
+        }
+        break;
+      case '!':
+        if (i + 1 < n && query[i + 1] == '=') {
+          tok.kind = TokenKind::kNe;
+          tok.text = "!=";
+          out.push_back(tok);
+          i += 2;
+        } else {
+          return Status::ParseError("unexpected '!' at offset " +
+                                    std::to_string(i));
+        }
+        break;
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at offset " + std::to_string(i));
+    }
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.position = static_cast<int>(n);
+  out.push_back(end);
+  return out;
+}
+
+}  // namespace sqlts

@@ -1,0 +1,20 @@
+#ifndef SQLTS_PARSER_LEXER_H_
+#define SQLTS_PARSER_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/statusor.h"
+#include "parser/token.h"
+
+namespace sqlts {
+
+/// Tokenizes a SQL-TS query string.  Keywords are recognized
+/// case-insensitively and normalized to upper case; `--` starts a
+/// comment to end of line.
+StatusOr<std::vector<Token>> Tokenize(std::string_view query);
+
+}  // namespace sqlts
+
+#endif  // SQLTS_PARSER_LEXER_H_

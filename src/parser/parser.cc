@@ -1,0 +1,380 @@
+#include "parser/parser.h"
+
+#include "common/string_util.h"
+#include "parser/lexer.h"
+
+namespace sqlts {
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<ParsedQuery> ParseQueryTop() {
+    ParsedQuery q;
+    SQLTS_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    SQLTS_RETURN_IF_ERROR(ParseSelectList(&q));
+    SQLTS_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    SQLTS_ASSIGN_OR_RETURN(q.table, ExpectIdentifier("table name"));
+
+    // Optional clauses, with optional separating commas (the paper's
+    // Example 9 writes "CLUSTER BY name, SEQUENCE BY date").
+    while (true) {
+      ConsumeIf(TokenKind::kComma);
+      if (Peek().IsKeyword("CLUSTER")) {
+        Advance();
+        SQLTS_RETURN_IF_ERROR(ExpectKeyword("BY"));
+        SQLTS_RETURN_IF_ERROR(ParseIdentList(&q.cluster_by));
+        continue;
+      }
+      if (Peek().IsKeyword("SEQUENCE")) {
+        Advance();
+        SQLTS_RETURN_IF_ERROR(ExpectKeyword("BY"));
+        SQLTS_RETURN_IF_ERROR(ParseIdentList(&q.sequence_by));
+        continue;
+      }
+      break;
+    }
+
+    SQLTS_RETURN_IF_ERROR(ExpectKeyword("AS"));
+    SQLTS_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+    while (true) {
+      PatternVarDecl decl;
+      if (ConsumeIf(TokenKind::kStar)) decl.star = true;
+      SQLTS_ASSIGN_OR_RETURN(decl.name, ExpectIdentifier("pattern variable"));
+      q.pattern.push_back(std::move(decl));
+      if (!ConsumeIf(TokenKind::kComma)) break;
+    }
+    SQLTS_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+
+    if (Peek().IsKeyword("WHERE")) {
+      Advance();
+      SQLTS_ASSIGN_OR_RETURN(q.where, ParseExpr());
+    }
+    // Contextual LIMIT clause.
+    if (Peek().kind == TokenKind::kIdentifier &&
+        EqualsIgnoreCase(Peek().text, "LIMIT")) {
+      Advance();
+      if (Peek().kind != TokenKind::kIntLiteral || Peek().int_value <= 0) {
+        return Error("LIMIT expects a positive integer");
+      }
+      q.limit = Advance().int_value;
+    }
+    SQLTS_RETURN_IF_ERROR(Expect(TokenKind::kEnd, "end of query"));
+    return q;
+  }
+
+  StatusOr<ExprPtr> ParseExpressionTop() {
+    SQLTS_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    SQLTS_RETURN_IF_ERROR(Expect(TokenKind::kEnd, "end of expression"));
+    return e;
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    size_t i = pos_ + ahead;
+    if (i >= tokens_.size()) i = tokens_.size() - 1;
+    return tokens_[i];
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool ConsumeIf(TokenKind k) {
+    if (Peek().kind == k) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool ConsumeKeyword(std::string_view kw) {
+    if (Peek().IsKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::ParseError(what + " at offset " +
+                              std::to_string(Peek().position) + " (near '" +
+                              Peek().text + "')");
+  }
+  Status Expect(TokenKind k, const std::string& what) {
+    if (Peek().kind != k) return Error("expected " + what);
+    ++pos_;
+    return Status::OK();
+  }
+  Status ExpectKeyword(std::string_view kw) {
+    if (!Peek().IsKeyword(kw)) {
+      return Error("expected " + std::string(kw));
+    }
+    ++pos_;
+    return Status::OK();
+  }
+  StatusOr<std::string> ExpectIdentifier(const std::string& what) {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Error("expected " + what);
+    }
+    return Advance().text;
+  }
+
+  Status ParseIdentList(std::vector<std::string>* out) {
+    SQLTS_ASSIGN_OR_RETURN(std::string first, ExpectIdentifier("column"));
+    out->push_back(std::move(first));
+    // A comma only continues the list when followed by another
+    // identifier that is not the start of a different clause.
+    while (Peek().kind == TokenKind::kComma &&
+           Peek(1).kind == TokenKind::kIdentifier) {
+      Advance();
+      out->push_back(Advance().text);
+    }
+    return Status::OK();
+  }
+
+  Status ParseSelectList(ParsedQuery* q) {
+    while (true) {
+      SelectItem item;
+      SQLTS_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (ConsumeKeyword("AS")) {
+        SQLTS_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier("alias"));
+      }
+      q->select.push_back(std::move(item));
+      if (!ConsumeIf(TokenKind::kComma)) break;
+    }
+    return Status::OK();
+  }
+
+  // ---- expression grammar ----
+  StatusOr<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  StatusOr<ExprPtr> ParseOr() {
+    SQLTS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (ConsumeKeyword("OR")) {
+      SQLTS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = MakeOr(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  StatusOr<ExprPtr> ParseAnd() {
+    SQLTS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (ConsumeKeyword("AND")) {
+      SQLTS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = MakeAnd(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  StatusOr<ExprPtr> ParseNot() {
+    if (ConsumeKeyword("NOT")) {
+      SQLTS_ASSIGN_OR_RETURN(ExprPtr e, ParseNot());
+      return MakeNot(std::move(e));
+    }
+    return ParseComparison();
+  }
+
+  StatusOr<ExprPtr> ParseComparison() {
+    SQLTS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    CmpOp op;
+    switch (Peek().kind) {
+      case TokenKind::kLt:
+        op = CmpOp::kLt;
+        break;
+      case TokenKind::kLe:
+        op = CmpOp::kLe;
+        break;
+      case TokenKind::kGt:
+        op = CmpOp::kGt;
+        break;
+      case TokenKind::kGe:
+        op = CmpOp::kGe;
+        break;
+      case TokenKind::kEq:
+        op = CmpOp::kEq;
+        break;
+      case TokenKind::kNe:
+        op = CmpOp::kNe;
+        break;
+      default:
+        return lhs;
+    }
+    Advance();
+    SQLTS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+    return MakeCompare(op, std::move(lhs), std::move(rhs));
+  }
+
+  StatusOr<ExprPtr> ParseAdditive() {
+    SQLTS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (true) {
+      if (ConsumeIf(TokenKind::kPlus)) {
+        SQLTS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+        lhs = MakeArith(ArithOp::kAdd, std::move(lhs), std::move(rhs));
+      } else if (ConsumeIf(TokenKind::kMinus)) {
+        SQLTS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+        lhs = MakeArith(ArithOp::kSub, std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  StatusOr<ExprPtr> ParseMultiplicative() {
+    SQLTS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (true) {
+      if (ConsumeIf(TokenKind::kStar)) {
+        SQLTS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+        lhs = MakeArith(ArithOp::kMul, std::move(lhs), std::move(rhs));
+      } else if (ConsumeIf(TokenKind::kSlash)) {
+        SQLTS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+        lhs = MakeArith(ArithOp::kDiv, std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  StatusOr<ExprPtr> ParseUnary() {
+    if (ConsumeIf(TokenKind::kMinus)) {
+      SQLTS_ASSIGN_OR_RETURN(ExprPtr e, ParseUnary());
+      return MakeArith(ArithOp::kSub, MakeLiteral(Value::Int64(0)),
+                       std::move(e));
+    }
+    return ParsePrimary();
+  }
+
+  StatusOr<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kIntLiteral:
+        Advance();
+        return MakeLiteral(Value::Int64(t.int_value));
+      case TokenKind::kDoubleLiteral:
+        Advance();
+        return MakeLiteral(Value::Double(t.double_value));
+      case TokenKind::kStringLiteral:
+        Advance();
+        return MakeLiteral(Value::String(t.text));
+      case TokenKind::kLParen: {
+        Advance();
+        SQLTS_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        SQLTS_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+        return e;
+      }
+      case TokenKind::kKeyword: {
+        if (t.text == "TRUE") {
+          Advance();
+          return MakeLiteral(Value::Bool(true));
+        }
+        if (t.text == "FALSE") {
+          Advance();
+          return MakeLiteral(Value::Bool(false));
+        }
+        if (t.text == "NULL") {
+          Advance();
+          return MakeLiteral(Value::Null());
+        }
+        if (t.text == "FIRST" || t.text == "LAST") {
+          GroupAccessor acc = t.text == "FIRST" ? GroupAccessor::kFirst
+                                                : GroupAccessor::kLast;
+          Advance();
+          SQLTS_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+          SQLTS_ASSIGN_OR_RETURN(std::string var,
+                                 ExpectIdentifier("pattern variable"));
+          SQLTS_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+          return ParseRefTail(std::move(var), acc);
+        }
+        return Error("unexpected keyword " + t.text);
+      }
+      case TokenKind::kIdentifier: {
+        std::string name = Advance().text;
+        // Contextual DATE literal: DATE 'yyyy-mm-dd'.
+        if (EqualsIgnoreCase(name, "DATE") &&
+            Peek().kind == TokenKind::kStringLiteral) {
+          SQLTS_ASSIGN_OR_RETURN(Date d, Date::Parse(Advance().text));
+          return MakeLiteral(Value::FromDate(d));
+        }
+        // Contextual aggregate: COUNT(X) / SUM(X.price) / AVG / MIN / MAX.
+        if (Peek().kind == TokenKind::kLParen) {
+          std::optional<AggOp> agg;
+          if (EqualsIgnoreCase(name, "COUNT")) agg = AggOp::kCount;
+          else if (EqualsIgnoreCase(name, "SUM")) agg = AggOp::kSum;
+          else if (EqualsIgnoreCase(name, "AVG")) agg = AggOp::kAvg;
+          else if (EqualsIgnoreCase(name, "MIN")) agg = AggOp::kMin;
+          else if (EqualsIgnoreCase(name, "MAX")) agg = AggOp::kMax;
+          if (agg.has_value()) {
+            Advance();  // '('
+            ColumnRef ref;
+            SQLTS_ASSIGN_OR_RETURN(ref.var,
+                                   ExpectIdentifier("pattern variable"));
+            if (ConsumeIf(TokenKind::kDot)) {
+              SQLTS_ASSIGN_OR_RETURN(ref.column,
+                                     ExpectIdentifier("column name"));
+            }
+            SQLTS_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+            if (*agg != AggOp::kCount && ref.column.empty()) {
+              return Error(name + "() requires a column argument");
+            }
+            return MakeAggregate(*agg, std::move(ref));
+          }
+        }
+        return ParseRefTail(std::move(name), GroupAccessor::kCurrent);
+      }
+      default:
+        return Error("unexpected token in expression");
+    }
+  }
+
+  /// Parses the navigation chain after a variable: sequences of
+  /// .previous / .next ending in the column name; a lone identifier is
+  /// an unqualified column reference.
+  StatusOr<ExprPtr> ParseRefTail(std::string var, GroupAccessor acc) {
+    ColumnRef ref;
+    ref.accessor = acc;
+    if (Peek().kind != TokenKind::kDot) {
+      // Unqualified reference: treat the identifier as the column name.
+      if (acc != GroupAccessor::kCurrent) {
+        return Error("FIRST()/LAST() requires .column");
+      }
+      ref.column = std::move(var);
+      return MakeColumnRef(std::move(ref));
+    }
+    ref.var = std::move(var);
+    while (ConsumeIf(TokenKind::kDot)) {
+      const Token& t = Peek();
+      if (t.IsKeyword("PREVIOUS")) {
+        Advance();
+        ref.nav_offset -= 1;
+        continue;
+      }
+      if (t.IsKeyword("NEXT")) {
+        Advance();
+        ref.nav_offset += 1;
+        continue;
+      }
+      if (t.kind == TokenKind::kIdentifier) {
+        ref.column = Advance().text;
+        return MakeColumnRef(std::move(ref));
+      }
+      return Error("expected column name or previous/next after '.'");
+    }
+    return Error("dangling '.'");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<ParsedQuery> ParseQuery(std::string_view text) {
+  SQLTS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser p(std::move(tokens));
+  return p.ParseQueryTop();
+}
+
+StatusOr<ExprPtr> ParseExpression(std::string_view text) {
+  SQLTS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser p(std::move(tokens));
+  return p.ParseExpressionTop();
+}
+
+}  // namespace sqlts

@@ -1,0 +1,32 @@
+#ifndef SQLTS_PARSER_PARSER_H_
+#define SQLTS_PARSER_PARSER_H_
+
+#include <string_view>
+
+#include "common/statusor.h"
+#include "parser/ast.h"
+
+namespace sqlts {
+
+/// Parses a SQL-TS query:
+///
+///   SELECT item [, item]*
+///   FROM table
+///     [CLUSTER BY col [, col]*] [,]
+///     [SEQUENCE BY col [, col]*] [,]
+///     AS ( [*]Var [, [*]Var]* )
+///   [WHERE condition]
+///
+/// Expressions support literals (numeric, string, DATE 'yyyy-mm-dd',
+/// TRUE/FALSE), arithmetic, comparisons, AND/OR/NOT, pattern-variable
+/// navigation (X.previous.price, X.next.price, SQL3 X.previous->price)
+/// and group accessors FIRST(X).col / LAST(X).col.
+StatusOr<ParsedQuery> ParseQuery(std::string_view text);
+
+/// Parses a stand-alone condition (used by tests and the pattern API).
+/// Same expression grammar as WHERE.
+StatusOr<ExprPtr> ParseExpression(std::string_view text);
+
+}  // namespace sqlts
+
+#endif  // SQLTS_PARSER_PARSER_H_

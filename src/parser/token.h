@@ -1,0 +1,50 @@
+#ifndef SQLTS_PARSER_TOKEN_H_
+#define SQLTS_PARSER_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sqlts {
+
+/// Lexical token kinds of SQL-TS.
+enum class TokenKind : uint8_t {
+  kEnd,
+  kIdentifier,   // column / variable / table names
+  kKeyword,      // SELECT, FROM, ... (text kept upper-cased)
+  kIntLiteral,
+  kDoubleLiteral,
+  kStringLiteral,  // contents without quotes
+  kComma,
+  kDot,          // also produced for SQL3 '->' navigation
+  kLParen,
+  kRParen,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEq,
+  kNe,           // <> or !=
+};
+
+/// One lexical token with source position (1-based offsets for
+/// diagnostics).
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;     // identifier (original case), keyword (upper), literal text
+  int64_t int_value = 0;
+  double double_value = 0;
+  int position = 0;     // byte offset in the query string
+
+  bool IsKeyword(std::string_view kw) const {
+    return kind == TokenKind::kKeyword && text == kw;
+  }
+};
+
+}  // namespace sqlts
+
+#endif  // SQLTS_PARSER_TOKEN_H_

@@ -1,0 +1,96 @@
+#include "pattern/compile.h"
+
+#include <sstream>
+
+namespace sqlts {
+namespace {
+
+/// Applies the enable_next ablation: keep shift, degrade next to the
+/// always-sound 0/1 form.
+void DegradeNext(SearchTables* tables) {
+  for (size_t j = 1; j < tables->next.size(); ++j) {
+    tables->next[j] =
+        tables->shift[j] == static_cast<int>(j) ? 0 : 1;
+    tables->presatisfied[j] = false;
+  }
+}
+
+PatternPlan Finish(std::vector<PredicateAnalysis> preds,
+                   std::vector<bool> star1, std::vector<ExprPtr> predicates1,
+                   const CompileOptions& options) {
+  PatternPlan plan;
+  plan.m = static_cast<int>(preds.size());
+  plan.star = std::move(star1);
+  plan.predicates = std::move(predicates1);
+  plan.has_star = false;
+  for (int j = 1; j <= plan.m; ++j) plan.has_star |= plan.star[j];
+
+  ImplicationOracle oracle(options.oracle);
+  plan.matrices = BuildThetaPhi(preds, oracle);
+  plan.analyses = std::move(preds);
+
+  if (plan.has_star) {
+    plan.tables = BuildStarTables(plan.matrices, plan.star);
+  } else {
+    plan.tables = BuildStarFreeTables(plan.matrices);
+  }
+  if (!options.enable_next) DegradeNext(&plan.tables);
+  return plan;
+}
+
+}  // namespace
+
+StatusOr<PatternPlan> CompilePattern(const CompiledQuery& query,
+                                     const CompileOptions& options) {
+  const int m = query.pattern_length();
+  if (m == 0) return Status::InvalidArgument("empty pattern");
+  VariableCatalog catalog;
+  std::vector<PredicateAnalysis> preds;
+  std::vector<bool> star(m + 1, false);
+  std::vector<ExprPtr> predicates(m + 1);
+  for (int i = 0; i < m; ++i) {
+    const PatternElement& el = query.elements[i];
+    star[i + 1] = el.star;
+    predicates[i + 1] = el.predicate;
+    preds.push_back(
+        AnalyzePredicate(el.predicate, query.input_schema, &catalog));
+  }
+  return Finish(std::move(preds), std::move(star), std::move(predicates),
+                options);
+}
+
+PatternPlan CompileFromAnalyses(std::vector<PredicateAnalysis> preds,
+                                const std::vector<bool>& star0,
+                                const CompileOptions& options) {
+  const int m = static_cast<int>(preds.size());
+  std::vector<bool> star(m + 1, false);
+  for (int i = 0; i < m; ++i) star[i + 1] = star0[i];
+  std::vector<ExprPtr> predicates(m + 1);  // no runtime exprs in this mode
+  return Finish(std::move(preds), std::move(star), std::move(predicates),
+                options);
+}
+
+std::string PatternPlan::ToString() const {
+  std::ostringstream os;
+  os << "pattern length m = " << m << (has_star ? " (with star)" : "")
+     << "\n";
+  os << "theta =\n" << matrices.theta.ToString();
+  os << "phi =\n" << matrices.phi.ToString();
+  if (!tables.s_matrix.empty()) {
+    os << "S =\n" << tables.s_matrix.ToString(/*include_diagonal=*/false);
+  }
+  os << "j      :";
+  for (int j = 1; j <= m; ++j) os << " " << j;
+  os << "\nstar   :";
+  for (int j = 1; j <= m; ++j) os << " " << (star[j] ? "*" : ".");
+  os << "\nshift  :";
+  for (int j = 1; j <= m; ++j) os << " " << tables.shift[j];
+  os << "\nnext   :";
+  for (int j = 1; j <= m; ++j) os << " " << tables.next[j];
+  os << "\npresat :";
+  for (int j = 1; j <= m; ++j) os << " " << (tables.presatisfied[j] ? "y" : ".");
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace sqlts

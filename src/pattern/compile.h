@@ -1,0 +1,55 @@
+#ifndef SQLTS_PATTERN_COMPILE_H_
+#define SQLTS_PATTERN_COMPILE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "constraints/catalog.h"
+#include "parser/analyzer.h"
+#include "pattern/shift_next.h"
+#include "pattern/star_graph.h"
+#include "pattern/theta_phi.h"
+
+namespace sqlts {
+
+/// Compilation knobs; the defaults give the full OPS optimizer.  The
+/// ablation benchmarks flip these.
+struct CompileOptions {
+  OracleOptions oracle;
+  /// When false, `next` degrades to 0/1 (shift-only optimization) — the
+  /// E8 ablation that quantifies how much the resume-point analysis
+  /// contributes on top of the shift analysis.
+  bool enable_next = true;
+};
+
+/// Everything the OPS matcher needs at run time, plus the intermediate
+/// matrices for inspection, testing, and EXPLAIN output.
+struct PatternPlan {
+  int m = 0;                        ///< number of pattern elements
+  std::vector<bool> star;           ///< 1-based
+  std::vector<ExprPtr> predicates;  ///< 1-based; null = TRUE
+  std::vector<PredicateAnalysis> analyses;  ///< 0-based (element i-1)
+  ThetaPhi matrices;
+  SearchTables tables;
+  bool has_star = false;
+
+  /// Human-readable compilation report (matrices + shift/next arrays).
+  std::string ToString() const;
+};
+
+/// Compiles the pattern part of an analyzed query: derives θ/φ from the
+/// per-element predicates via GSW + intervals, then shift/next via the
+/// S-matrix (star-free) or the implication graph (star).
+StatusOr<PatternPlan> CompilePattern(const CompiledQuery& query,
+                                     const CompileOptions& options = {});
+
+/// Lower-level entry for tests and benchmarks: build the plan directly
+/// from predicate analyses and star flags (0-based inputs).
+PatternPlan CompileFromAnalyses(std::vector<PredicateAnalysis> preds,
+                                const std::vector<bool>& star0,
+                                const CompileOptions& options = {});
+
+}  // namespace sqlts
+
+#endif  // SQLTS_PATTERN_COMPILE_H_

@@ -1,0 +1,58 @@
+#ifndef SQLTS_PATTERN_LOGIC_MATRIX_H_
+#define SQLTS_PATTERN_LOGIC_MATRIX_H_
+
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "tribool/tribool.h"
+
+namespace sqlts {
+
+/// A square matrix of 3-valued logic entries with the paper's 1-based
+/// indexing (θ, φ and S are lower-triangular; entries outside the stored
+/// triangle are a checked error).
+class LogicMatrix {
+ public:
+  LogicMatrix() : m_(0) {}
+  explicit LogicMatrix(int m)
+      : m_(m), data_(static_cast<size_t>(m) * m, Tribool::Unknown()) {}
+
+  int size() const { return m_; }
+  bool empty() const { return m_ == 0; }
+
+  /// Entry (j, k), 1-based, j and k in [1, m].
+  Tribool At(int j, int k) const {
+    SQLTS_DCHECK(j >= 1 && j <= m_ && k >= 1 && k <= m_)
+        << "LogicMatrix::At(" << j << ", " << k << ") size " << m_;
+    return data_[(j - 1) * m_ + (k - 1)];
+  }
+  void Set(int j, int k, Tribool v) {
+    SQLTS_DCHECK(j >= 1 && j <= m_ && k >= 1 && k <= m_);
+    data_[(j - 1) * m_ + (k - 1)] = v;
+  }
+
+  /// Renders the lower triangle like the paper's figures, e.g.
+  ///   "1\nU 1\n0 U 1".
+  std::string ToString(bool include_diagonal = true) const {
+    std::string out;
+    for (int j = 1; j <= m_; ++j) {
+      int kmax = include_diagonal ? j : j - 1;
+      if (!include_diagonal && j == 1) continue;
+      for (int k = 1; k <= kmax; ++k) {
+        if (k > 1) out += " ";
+        out += At(j, k).ToString();
+      }
+      out += "\n";
+    }
+    return out;
+  }
+
+ private:
+  int m_;
+  std::vector<Tribool> data_;
+};
+
+}  // namespace sqlts
+
+#endif  // SQLTS_PATTERN_LOGIC_MATRIX_H_

@@ -1,0 +1,114 @@
+#include "pattern/shift_next.h"
+
+#include <string>
+
+#include "common/logging.h"
+
+namespace sqlts {
+
+double SearchTables::AverageShift() const {
+  const int m = pattern_length();
+  if (m == 0) return 0;
+  double sum = 0;
+  for (int j = 1; j <= m; ++j) sum += shift[j];
+  return sum / m;
+}
+
+double SearchTables::AverageNext() const {
+  const int m = pattern_length();
+  if (m == 0) return 0;
+  double sum = 0;
+  for (int j = 1; j <= m; ++j) sum += next[j];
+  return sum / m;
+}
+
+SearchTables BuildStarFreeTables(const ThetaPhi& matrices) {
+  const int m = matrices.theta.size();
+  SearchTables out;
+  out.shift.assign(m + 1, 0);
+  out.next.assign(m + 1, 0);
+  out.presatisfied.assign(m + 1, false);
+  out.s_matrix = LogicMatrix(m);
+
+  // S_jk for j > k (Sec 4.2): the shifted pattern's positions
+  // 1..j-k-1 must be compatible with the satisfied prefix (θ terms) and
+  // its position j-k with the failed element (φ term).
+  for (int j = 2; j <= m; ++j) {
+    for (int k = 1; k < j; ++k) {
+      Tribool v = matrices.phi.At(j, j - k);
+      for (int t = 1; t <= j - k - 1; ++t) {
+        v = v && matrices.theta.At(k + t, t);
+      }
+      out.s_matrix.Set(j, k, v);
+    }
+  }
+
+  for (int j = 1; j <= m; ++j) {
+    // shift(j): leftmost non-zero entry of row j of S, or j if none.
+    int shift = j;
+    for (int k = 1; k < j; ++k) {
+      if (out.s_matrix.At(j, k).IsPossible()) {
+        shift = k;
+        break;
+      }
+    }
+    out.shift[j] = shift;
+
+    // next(j): the three cases of Sec 4.2.
+    if (shift == j) {
+      out.next[j] = 0;
+      continue;
+    }
+    if (out.s_matrix.At(j, shift).IsTrue()) {
+      // Everything up to and including the failed element is known to
+      // hold for the shifted pattern.  The paper states this case as
+      // next = j - shift + 1 (resume one past the failing element); our
+      // unified counter-based runtime instead needs the failing element
+      // to be consumed *by* position j - shift, so we encode the same
+      // semantics as next = j - shift with the presatisfied flag (the
+      // test is skipped, the tuple is consumed, and the cursor then
+      // moves on — identical behaviour and identical test counts).
+      out.next[j] = j - shift;
+      out.presatisfied[j] = true;
+      continue;
+    }
+    int next = -1;
+    for (int t = 1; t < j - shift; ++t) {
+      if (matrices.theta.At(shift + t, t).IsUnknown()) {
+        next = t;
+        break;
+      }
+    }
+    if (next < 0 && matrices.phi.At(j, j - shift).IsUnknown()) {
+      next = j - shift;
+    }
+    // S_{j,shift} being U guarantees at least one U component.
+    SQLTS_CHECK(next > 0) << "inconsistent S/θ/φ at j=" << j;
+    out.next[j] = next;
+  }
+  return out;
+}
+
+std::vector<int> BuildKmpNext(const std::string& pattern) {
+  const int m = static_cast<int>(pattern.size());
+  std::vector<int> next(m + 1, 0);
+  if (m == 0) return next;
+  // Knuth–Morris–Pratt optimized failure function, 1-based.  `t` plays
+  // the role of the candidate border length.
+  next[1] = 0;
+  int t = 0;
+  int j = 1;
+  while (j < m) {
+    while (t > 0 && pattern[j - 1] != pattern[t - 1]) t = next[t];
+    ++t;
+    ++j;
+    if (pattern[j - 1] == pattern[t - 1]) {
+      next[j] = next[t];
+    } else {
+      next[j] = t;
+    }
+  }
+  return next;
+}
+
+}  // namespace sqlts

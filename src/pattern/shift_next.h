@@ -1,0 +1,51 @@
+#ifndef SQLTS_PATTERN_SHIFT_NEXT_H_
+#define SQLTS_PATTERN_SHIFT_NEXT_H_
+
+#include <vector>
+
+#include "pattern/theta_phi.h"
+
+namespace sqlts {
+
+/// Compile-time search tables: how far to advance the pattern over the
+/// input after a mismatch at element j (`shift[j]`), and from which
+/// pattern element to resume checking (`next[j]`); `presatisfied[j]`
+/// marks resumptions whose first element is already known to satisfy its
+/// predicate (φ = 1 on the failing element), so the runtime skips that
+/// test.  All arrays are 1-based; index 0 is unused.
+struct SearchTables {
+  std::vector<int> shift;
+  std::vector<int> next;
+  std::vector<bool> presatisfied;
+  /// The S matrix (star-free construction only; empty otherwise),
+  /// exposed for tests and EXPLAIN output.  S_jk defined for j > k.
+  LogicMatrix s_matrix;
+
+  int pattern_length() const {
+    return static_cast<int>(shift.size()) - 1;
+  }
+
+  /// Average shift/next values — the paper's Sec 8 heuristic for
+  /// choosing the search direction (larger is better, shift weighs
+  /// more).
+  double AverageShift() const;
+  double AverageNext() const;
+};
+
+/// Computes S, shift and next for a star-free pattern (paper Sec 4.2):
+///   S_jk = θ_{k+1,1} ∧ θ_{k+2,2} ∧ … ∧ θ_{j-1,j-k-1} ∧ φ_{j,j-k}
+///   shift(j) = j if all S_jk = 0, else min{k : S_jk ≠ 0}
+///   next(j) = 0                         if shift(j) = j
+///           = j - shift(j) + 1          if S_{j,shift(j)} = 1
+///           = min({t : θ_{shift+t,t} = U} ∪ {j-shift : φ_{j,j-shift} = U})
+SearchTables BuildStarFreeTables(const ThetaPhi& matrices);
+
+/// Classic KMP failure function for an equality pattern (paper Sec 3.1),
+/// 1-based: next[1..m] with next[j] ∈ [0, j-1].  Exposed for the text
+/// benchmark and as a cross-check: for equality-with-constant patterns
+/// OPS must reduce to KMP.
+std::vector<int> BuildKmpNext(const std::string& pattern);
+
+}  // namespace sqlts
+
+#endif  // SQLTS_PATTERN_SHIFT_NEXT_H_

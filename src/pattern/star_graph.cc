@@ -1,0 +1,175 @@
+#include "pattern/star_graph.h"
+
+#include <deque>
+
+#include "common/logging.h"
+
+namespace sqlts {
+
+ImplicationGraph::ImplicationGraph(const ThetaPhi& matrices,
+                                   const std::vector<bool>& star, int jfail)
+    : matrices_(matrices), star_(star), jfail_(jfail) {
+  SQLTS_CHECK(jfail >= 1 && jfail <= matrices.theta.size());
+  SQLTS_CHECK(static_cast<int>(star.size()) == matrices.theta.size() + 1);
+}
+
+Tribool ImplicationGraph::value(int j, int k) const {
+  SQLTS_DCHECK(k >= 1 && k < j && j <= jfail_);
+  if (j == jfail_) return matrices_.phi.At(j, k);
+  return matrices_.theta.At(j, k);
+}
+
+std::vector<std::pair<int, int>> ImplicationGraph::OutArcs(int j,
+                                                           int k) const {
+  std::vector<std::pair<int, int>> out;
+  if (j >= jfail_) return out;  // last row has no successors we need
+  const bool sj = star_[j];
+  const bool sk = star_[k];
+  auto add = [&](int jj, int kk) {
+    if (kk >= jj) return;        // stays strictly below the diagonal
+    if (jj > jfail_) return;     // outside this failure's graph
+    if (value(jj, kk).IsFalse()) return;  // arcs to 0 nodes are dropped
+    out.emplace_back(jj, kk);
+  };
+  if (sj && sk) {
+    if (value(j, k).IsTrue()) {
+      // Case 2: an element satisfying p_j must satisfy p_k, so the
+      // shifted pattern can never leave k while the original stays at j.
+      add(j + 1, k);
+      add(j + 1, k + 1);
+    } else {
+      // Case 1.
+      add(j, k + 1);
+      add(j + 1, k);
+      add(j + 1, k + 1);
+    }
+  } else if (sj && !sk) {
+    // Case 4.
+    add(j, k + 1);
+    add(j + 1, k + 1);
+  } else if (!sj && sk) {
+    // Case 5.
+    add(j + 1, k);
+    add(j + 1, k + 1);
+  } else {
+    // Case 3.
+    add(j + 1, k + 1);
+  }
+  return out;
+}
+
+int ImplicationGraph::ComputeShift() const {
+  if (jfail_ == 1) return 1;
+  // Reverse reachability from the non-zero nodes of the last row, per
+  // the paper's inverse-graph traversal (complexity O(m²) per failure
+  // position).
+  auto index = [&](int j, int k) { return (j - 2) * jfail_ + (k - 1); };
+  std::vector<char> reach(static_cast<size_t>(jfail_ - 1) * jfail_, 0);
+  std::deque<std::pair<int, int>> queue;
+  for (int k = 1; k < jfail_; ++k) {
+    if (!value(jfail_, k).IsFalse()) {
+      reach[index(jfail_, k)] = 1;
+      queue.emplace_back(jfail_, k);
+    }
+  }
+  // The graphs are tiny; scanning all nodes' out-arcs to walk edges
+  // backwards keeps the code simple.
+  // Build forward adjacency once, then propagate backwards via BFS.
+  std::vector<std::vector<std::pair<int, int>>> preds(reach.size());
+  for (int j = 2; j <= jfail_; ++j) {
+    for (int k = 1; k < j; ++k) {
+      if (value(j, k).IsFalse()) continue;
+      for (auto [jj, kk] : OutArcs(j, k)) {
+        preds[index(jj, kk)].emplace_back(j, k);
+      }
+    }
+  }
+  while (!queue.empty()) {
+    auto [j, k] = queue.front();
+    queue.pop_front();
+    for (auto [pj, pk] : preds[index(j, k)]) {
+      char& r = reach[index(pj, pk)];
+      if (!r) {
+        r = 1;
+        queue.emplace_back(pj, pk);
+      }
+    }
+  }
+  // σ(jfail) = { s : node (s+1, 1) can reach the last row }.
+  for (int s = 1; s <= jfail_ - 1; ++s) {
+    if (reach[index(s + 1, 1)]) return s;
+  }
+  return jfail_;
+}
+
+void ImplicationGraph::ComputeNext(int shift, int* next,
+                                   bool* presatisfied) const {
+  *presatisfied = false;
+  if (shift >= jfail_) {
+    *next = 0;
+    return;
+  }
+  int j = shift + 1;
+  int b = 1;
+  while (true) {
+    if (j == jfail_) {
+      // Reached the last row: nothing before column b needs re-testing;
+      // a 1-valued node additionally certifies the failing element.
+      *next = b;
+      *presatisfied = value(j, b).IsTrue();
+      return;
+    }
+    if (!value(j, b).IsTrue()) {
+      *next = b;
+      return;
+    }
+    // The walk may only cross a node when the *group mapping* of the
+    // shifted attempt is provably forced to be one-to-one (original
+    // group j ↦ shifted group b wholesale), because the runtime's
+    // count-rebasing formula assumes exactly that:
+    //  * both non-star (case 3): one tuple each — forced;
+    //  * shifted star, original non-star (case 5): forced iff the next
+    //    original element provably closes the shifted group
+    //    (value(j+1, b) = 0);
+    //  * both star with θ = 1 (case 2): same condition;
+    //  * original star, shifted non-star (case 4): a star group with
+    //    more than one tuple cannot map onto a single-tuple element —
+    //    never forced (this was a subtle unsoundness: the dropped
+    //    "shifted advances while the original stays" transition makes
+    //    the node non-deterministic even when it leads nowhere).
+    bool forced;
+    if (!star_[j]) {
+      forced = !star_[b] || value(j + 1, b).IsFalse();
+    } else {
+      forced = star_[b] && value(j + 1, b).IsFalse();
+    }
+    if (!forced || value(j + 1, b + 1).IsFalse()) {
+      *next = b;
+      return;
+    }
+    ++j;
+    ++b;
+  }
+}
+
+SearchTables BuildStarTables(const ThetaPhi& matrices,
+                             const std::vector<bool>& star) {
+  const int m = matrices.theta.size();
+  SearchTables out;
+  out.shift.assign(m + 1, 0);
+  out.next.assign(m + 1, 0);
+  out.presatisfied.assign(m + 1, false);
+  for (int j = 1; j <= m; ++j) {
+    ImplicationGraph g(matrices, star, j);
+    int shift = g.ComputeShift();
+    int next = 0;
+    bool presat = false;
+    g.ComputeNext(shift, &next, &presat);
+    out.shift[j] = shift;
+    out.next[j] = next;
+    out.presatisfied[j] = presat;
+  }
+  return out;
+}
+
+}  // namespace sqlts

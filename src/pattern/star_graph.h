@@ -1,0 +1,64 @@
+#ifndef SQLTS_PATTERN_STAR_GRAPH_H_
+#define SQLTS_PATTERN_STAR_GRAPH_H_
+
+#include <utility>
+#include <vector>
+
+#include "pattern/shift_next.h"
+#include "pattern/theta_phi.h"
+
+namespace sqlts {
+
+/// The paper's Implication Graph for a failure at pattern element
+/// `jfail` (G_P^jfail, Sec 5.1): nodes are the strictly-lower-triangle
+/// positions (j, k), k < j ≤ jfail, valued by θ except row jfail which
+/// takes its values from φ.  Node (j, k) means "the original pattern is
+/// processing element j while the pattern shifted to start at element
+/// k's alignment processes the same input tuple".  Arcs encode the joint
+/// transitions allowed by the star structure; arcs to or from 0-valued
+/// nodes are dropped.
+class ImplicationGraph {
+ public:
+  /// `star` is 1-based (star[j] for pattern element j; index 0 unused).
+  ImplicationGraph(const ThetaPhi& matrices, const std::vector<bool>& star,
+                   int jfail);
+
+  int jfail() const { return jfail_; }
+
+  /// Value of node (j, k); θ for j < jfail, φ for j == jfail.
+  Tribool value(int j, int k) const;
+
+  /// Valid outgoing arcs of (j, k): targets inside the triangle with
+  /// row ≤ jfail and non-zero value.  (j, k) itself must be non-zero.
+  std::vector<std::pair<int, int>> OutArcs(int j, int k) const;
+
+  /// shift(jfail) per Definition 1: min { s : a path exists from node
+  /// (s+1, 1) to some node in row jfail }, else jfail.
+  int ComputeShift() const;
+
+  /// next(jfail) via the deterministic-node walk from (shift+1, 1).
+  /// `presatisfied` is set when the walk ends on a 1-valued node of the
+  /// last row (the failing input element is already known to satisfy the
+  /// resumption element's predicate).
+  ///
+  /// Conservative refinement (documented in DESIGN.md): the walk only
+  /// advances across *diagonal* deterministic steps, because the
+  /// runtime's count-rebasing formula (Sec 5) assumes the shifted
+  /// pattern's groups map one-to-one onto the original's.  Stopping
+  /// earlier is always sound.
+  void ComputeNext(int shift, int* next, bool* presatisfied) const;
+
+ private:
+  const ThetaPhi& matrices_;
+  const std::vector<bool>& star_;
+  int jfail_;
+};
+
+/// Builds the search tables for a pattern with star elements by running
+/// the implication-graph construction for every failure position.
+SearchTables BuildStarTables(const ThetaPhi& matrices,
+                             const std::vector<bool>& star);
+
+}  // namespace sqlts
+
+#endif  // SQLTS_PATTERN_STAR_GRAPH_H_

@@ -1,0 +1,289 @@
+#include "pattern/theta_phi.h"
+
+namespace sqlts {
+namespace {
+
+/// True when both analyses carry interval views over the same variable.
+bool SameVarIntervals(const PredicateAnalysis& p,
+                      const PredicateAnalysis& q) {
+  return p.has_interval && q.has_interval && p.interval_var == q.interval_var;
+}
+
+/// ¬(d₁ ∨ … ∨ dₙ) as a single conjunction, possible when every disjunct
+/// is one atom.
+std::optional<ConstraintSystem> NegateOrGroup(
+    const PredicateAnalysis::OrGroup& group) {
+  if (!group.single_atom_disjuncts) return std::nullopt;
+  ConstraintSystem out;
+  for (const ConstraintSystem& d : group.disjuncts) {
+    for (const LinearAtom& a : d.linear()) out.AddLinear(a.Negated());
+    for (const RatioAtom& a : d.ratio()) out.AddRatio(a.Negated());
+    for (const StringAtom& a : d.strings()) out.AddString(a.Negated());
+  }
+  return out;
+}
+
+}  // namespace
+
+ImplicationOracle::ImplicationOracle(OracleOptions options)
+    : options_(options), solver_(options.gsw) {}
+
+bool ImplicationOracle::Unsat(const PredicateAnalysis& p) const {
+  if (options_.use_intervals && p.has_interval && p.interval.IsEmpty()) {
+    return true;
+  }
+  // An incomplete system is still a *weakening* of p, so its
+  // unsatisfiability implies p's.
+  if (options_.use_gsw && solver_.ProvablyUnsat(p.system)) return true;
+  if (options_.use_gsw) {
+    // Case split on one captured OR conjunct: if every disjunct
+    // contradicts the base, p has no model.
+    for (const auto& group : p.or_groups) {
+      bool all_dead = true;
+      for (const ConstraintSystem& d : group.disjuncts) {
+        if (!solver_.ProvablyUnsat(ConstraintSystem::Conjoin(p.system, d))) {
+          all_dead = false;
+          break;
+        }
+      }
+      if (all_dead) return true;
+    }
+  }
+  return p.system.trivially_false();
+}
+
+bool ImplicationOracle::Valid(const PredicateAnalysis& p) const {
+  if (options_.use_intervals && p.has_interval && p.interval.IsAll()) {
+    return true;
+  }
+  // A predicate with OR conjuncts is only provably valid through its
+  // interval view (handled above).
+  if (options_.use_gsw && p.complete && p.or_groups.empty() &&
+      !p.system.trivially_false() && solver_.ProvablyValid(p.system)) {
+    return true;
+  }
+  // The empty predicate (no WHERE conjuncts for this element) is TRUE.
+  return p.complete && p.system.num_atoms() == 0 && p.or_groups.empty() &&
+         !p.system.trivially_false();
+}
+
+bool ImplicationOracle::Exclusive(const PredicateAnalysis& p,
+                                  const PredicateAnalysis& q) const {
+  if (options_.use_intervals && SameVarIntervals(p, q) &&
+      p.interval.Intersect(q.interval).IsEmpty()) {
+    return true;
+  }
+  if (!options_.use_gsw) return false;
+  ConstraintSystem conj = ConstraintSystem::Conjoin(p.system, q.system);
+  if (solver_.ProvablyUnsat(conj)) return true;
+  // Case split on one OR conjunct of either side.
+  auto group_kills = [&](const PredicateAnalysis::OrGroup& group) {
+    for (const ConstraintSystem& d : group.disjuncts) {
+      if (!solver_.ProvablyUnsat(ConstraintSystem::Conjoin(conj, d))) {
+        return false;
+      }
+    }
+    return true;
+  };
+  for (const auto& g : p.or_groups) {
+    if (group_kills(g)) return true;
+  }
+  for (const auto& g : q.or_groups) {
+    if (group_kills(g)) return true;
+  }
+  return false;
+}
+
+bool ImplicationOracle::Implies(const PredicateAnalysis& p,
+                                const PredicateAnalysis& q) const {
+  if (options_.use_intervals && SameVarIntervals(p, q) &&
+      p.interval.SubsetOf(q.interval)) {
+    return true;
+  }
+  // The conclusion must be fully captured; the premise may be weakened
+  // only if we are proving FROM it — here the premise's captured part is
+  // implied by the real p, so proving captured_p ⇒ q gives p ⇒ q.
+  if (!options_.use_gsw || !q.complete) return false;
+
+  // Premise strengthening: p entails `target` if its base system does,
+  // or if every disjunct of one of its OR conjuncts does (case split).
+  auto premise_implies = [&](const ConstraintSystem& target) {
+    if (solver_.ProvablyImplies(p.system, target)) return true;
+    for (const auto& group : p.or_groups) {
+      bool all = true;
+      for (const ConstraintSystem& d : group.disjuncts) {
+        if (!solver_.ProvablyImplies(ConstraintSystem::Conjoin(p.system, d),
+                                     target)) {
+          all = false;
+          break;
+        }
+      }
+      if (all) return true;
+    }
+    return false;
+  };
+
+  if (!premise_implies(q.system)) return false;
+  // Each OR conjunct of q must be entailed.  Sufficient condition with
+  // disjunct pairing: either the base premise entails one disjunct, or
+  // there is a case split of p under which every case entails *some*
+  // disjunct of q's group.
+  for (const auto& qg : q.or_groups) {
+    auto entails_one_of = [&](const ConstraintSystem& premise) {
+      for (const ConstraintSystem& dq : qg.disjuncts) {
+        if (solver_.ProvablyImplies(premise, dq)) return true;
+      }
+      return false;
+    };
+    bool entailed = entails_one_of(p.system);
+    if (!entailed) {
+      for (const auto& pg : p.or_groups) {
+        bool all_cases = true;
+        for (const ConstraintSystem& dp : pg.disjuncts) {
+          if (!entails_one_of(ConstraintSystem::Conjoin(p.system, dp))) {
+            all_cases = false;
+            break;
+          }
+        }
+        if (all_cases) {
+          entailed = true;
+          break;
+        }
+      }
+    }
+    if (!entailed) return false;
+  }
+  return true;
+}
+
+bool ImplicationOracle::ForEachNegatedConjunct(
+    const PredicateAnalysis& p,
+    const std::function<bool(const ConstraintSystem&)>& fn) const {
+  // ¬(c₁ ∧ … ∧ cₙ) = ¬c₁ ∨ … ∨ ¬cₙ; enumerable only when every conjunct
+  // was captured as an atom.
+  if (!p.complete) return false;
+  if (p.system.trivially_false()) {
+    // One conjunct is FALSE, so ¬p contains the disjunct TRUE.
+    if (!fn(ConstraintSystem())) return false;
+  }
+  for (const LinearAtom& a : p.system.linear()) {
+    ConstraintSystem s;
+    s.AddLinear(a.Negated());
+    if (!fn(s)) return false;
+  }
+  for (const RatioAtom& a : p.system.ratio()) {
+    ConstraintSystem s;
+    s.AddRatio(a.Negated());
+    if (!fn(s)) return false;
+  }
+  for (const StringAtom& a : p.system.strings()) {
+    ConstraintSystem s;
+    s.AddString(a.Negated());
+    if (!fn(s)) return false;
+  }
+  for (const auto& group : p.or_groups) {
+    // ¬(d₁ ∨ … ∨ dₙ) contributes one conjunctive disjunct to ¬p, but
+    // only when it is expressible as a single system.
+    std::optional<ConstraintSystem> neg = NegateOrGroup(group);
+    if (!neg.has_value()) return false;
+    if (!fn(*neg)) return false;
+  }
+  return true;
+}
+
+bool ImplicationOracle::EntailsWhole(const ConstraintSystem& premise,
+                                     const PredicateAnalysis& q) const {
+  // premise ⇒ q means entailing q's base system *and* every OR conjunct
+  // (for the latter it suffices to entail one disjunct).
+  if (!solver_.ProvablyImplies(premise, q.system)) return false;
+  for (const auto& qg : q.or_groups) {
+    bool any = false;
+    for (const ConstraintSystem& dq : qg.disjuncts) {
+      if (solver_.ProvablyImplies(premise, dq)) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) return false;
+  }
+  return true;
+}
+
+bool ImplicationOracle::RefutesWhole(const ConstraintSystem& premise,
+                                     const PredicateAnalysis& q) const {
+  // premise ∧ q unsatisfiable: directly, or by case split on one of
+  // q's OR conjuncts.
+  ConstraintSystem conj = ConstraintSystem::Conjoin(premise, q.system);
+  if (solver_.ProvablyUnsat(conj)) return true;
+  for (const auto& qg : q.or_groups) {
+    bool all_dead = true;
+    for (const ConstraintSystem& dq : qg.disjuncts) {
+      if (!solver_.ProvablyUnsat(ConstraintSystem::Conjoin(conj, dq))) {
+        all_dead = false;
+        break;
+      }
+    }
+    if (all_dead) return true;
+  }
+  return false;
+}
+
+bool ImplicationOracle::NegImplies(const PredicateAnalysis& p,
+                                   const PredicateAnalysis& q) const {
+  if (options_.use_intervals && SameVarIntervals(p, q) &&
+      p.interval.Complement().SubsetOf(q.interval)) {
+    return true;
+  }
+  if (!options_.use_gsw) return false;
+  if (!q.complete) return false;
+  // Every disjunct of ¬p must imply the whole of q.
+  return ForEachNegatedConjunct(p, [&](const ConstraintSystem& d) {
+    return EntailsWhole(d, q);
+  });
+}
+
+bool ImplicationOracle::NegExcludes(const PredicateAnalysis& p,
+                                    const PredicateAnalysis& q) const {
+  if (options_.use_intervals && SameVarIntervals(p, q) &&
+      p.interval.Complement().Intersect(q.interval).IsEmpty()) {
+    return true;
+  }
+  if (!options_.use_gsw) return false;
+  // Every disjunct of ¬p must contradict q.
+  return ForEachNegatedConjunct(p, [&](const ConstraintSystem& d) {
+    return RefutesWhole(d, q);
+  });
+}
+
+ThetaPhi BuildThetaPhi(const std::vector<PredicateAnalysis>& preds,
+                       const ImplicationOracle& oracle) {
+  const int m = static_cast<int>(preds.size());
+  ThetaPhi out{LogicMatrix(m), LogicMatrix(m)};
+  for (int j = 1; j <= m; ++j) {
+    const PredicateAnalysis& pj = preds[j - 1];
+    const bool pj_unsat = oracle.Unsat(pj);
+    const bool pj_valid = oracle.Valid(pj);
+    for (int k = 1; k <= j; ++k) {
+      const PredicateAnalysis& pk = preds[k - 1];
+      // θ_jk:
+      Tribool theta = Tribool::Unknown();
+      if (oracle.Exclusive(pj, pk)) {
+        theta = Tribool::False();  // p_j ⇒ ¬p_k
+      } else if (!pj_unsat && oracle.Implies(pj, pk)) {
+        theta = Tribool::True();  // p_j ⇒ p_k, p_j ≢ F
+      }
+      out.theta.Set(j, k, theta);
+      // φ_jk:
+      Tribool phi = Tribool::Unknown();
+      if (oracle.NegImplies(pj, pk)) {
+        phi = Tribool::True();  // ¬p_j ⇒ p_k
+      } else if (!pj_valid && oracle.NegExcludes(pj, pk)) {
+        phi = Tribool::False();  // ¬p_j ⇒ ¬p_k, p_j ≢ T
+      }
+      out.phi.Set(j, k, phi);
+    }
+  }
+  return out;
+}
+
+}  // namespace sqlts

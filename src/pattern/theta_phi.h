@@ -1,0 +1,79 @@
+#ifndef SQLTS_PATTERN_THETA_PHI_H_
+#define SQLTS_PATTERN_THETA_PHI_H_
+
+#include <vector>
+
+#include "constraints/gsw.h"
+#include "expr/normalize.h"
+#include "pattern/logic_matrix.h"
+
+namespace sqlts {
+
+/// Knobs for the implication oracle (the ablation benchmarks flip
+/// these).
+struct OracleOptions {
+  GswOptions gsw;
+  bool use_gsw = true;        ///< GSW difference-constraint reasoning
+  bool use_intervals = true;  ///< interval-set reasoning (extension [13])
+};
+
+/// Sound 3-valued reasoning over analyzed predicates, combining the GSW
+/// procedure with the interval-set oracle.  All answers are
+/// conservative: `true` is a theorem, `false` is "cannot prove".
+class ImplicationOracle {
+ public:
+  explicit ImplicationOracle(OracleOptions options = OracleOptions{});
+
+  /// p is unsatisfiable.
+  bool Unsat(const PredicateAnalysis& p) const;
+  /// p is a tautology.
+  bool Valid(const PredicateAnalysis& p) const;
+  /// p ∧ q is unsatisfiable (p ⇒ ¬q).
+  bool Exclusive(const PredicateAnalysis& p,
+                 const PredicateAnalysis& q) const;
+  /// p ⇒ q.
+  bool Implies(const PredicateAnalysis& p, const PredicateAnalysis& q) const;
+  /// ¬p ⇒ q  (used for φ = 1).
+  bool NegImplies(const PredicateAnalysis& p,
+                  const PredicateAnalysis& q) const;
+  /// ¬p ⇒ ¬q  (used for φ = 0).
+  bool NegExcludes(const PredicateAnalysis& p,
+                   const PredicateAnalysis& q) const;
+
+  const GswSolver& solver() const { return solver_; }
+
+ private:
+  /// Enumerates the disjuncts of ¬p as singleton systems; returns false
+  /// when ¬p cannot be enumerated (p incomplete).
+  bool ForEachNegatedConjunct(
+      const PredicateAnalysis& p,
+      const std::function<bool(const ConstraintSystem&)>& fn) const;
+
+  /// premise ⇒ q (base system and every OR conjunct of q).
+  bool EntailsWhole(const ConstraintSystem& premise,
+                    const PredicateAnalysis& q) const;
+  /// premise ∧ q is unsatisfiable (with case splits on q's OR
+  /// conjuncts).
+  bool RefutesWhole(const ConstraintSystem& premise,
+                    const PredicateAnalysis& q) const;
+
+  OracleOptions options_;
+  GswSolver solver_;
+};
+
+/// The paper's positive and negative precondition matrices (Sec 4.2):
+///   θ_jk = 1 if p_j ⇒ p_k ∧ p_j ≢ F;  0 if p_j ⇒ ¬p_k;  U otherwise
+///   φ_jk = 1 if ¬p_j ⇒ p_k;  0 if ¬p_j ⇒ ¬p_k ∧ p_j ≢ T;  U otherwise
+/// Both are m×m lower-triangular (entries defined for j ≥ k).
+struct ThetaPhi {
+  LogicMatrix theta;
+  LogicMatrix phi;
+};
+
+/// Computes θ and φ for the given per-element predicate analyses.
+ThetaPhi BuildThetaPhi(const std::vector<PredicateAnalysis>& preds,
+                       const ImplicationOracle& oracle);
+
+}  // namespace sqlts
+
+#endif  // SQLTS_PATTERN_THETA_PHI_H_

@@ -1,0 +1,162 @@
+#include "storage/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace sqlts {
+namespace {
+
+/// Splits one CSV record honoring quotes.  Returns ParseError on an
+/// unterminated quote.
+StatusOr<std::vector<std::string>> SplitCsvLine(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+    ++i;
+  }
+  if (in_quotes) return Status::ParseError("unterminated quote in CSV line");
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+std::string EscapeCsvField(const std::string& raw) {
+  if (raw.find_first_of(",\"\n") == std::string::npos) return raw;
+  std::string out = "\"";
+  for (char c : raw) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+/// Raw (unquoted) cell text for CSV output, without Value::ToString's
+/// display quoting.
+std::string CellText(const Value& v) {
+  switch (v.kind()) {
+    case TypeKind::kNull:
+      return "";
+    case TypeKind::kString:
+      return v.string_value();
+    default:
+      return v.ToString();
+  }
+}
+
+}  // namespace
+
+StatusOr<Table> ReadCsvString(std::string_view text, const Schema& schema) {
+  std::vector<std::string_view> lines;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t pos = text.find('\n', start);
+    if (pos == std::string_view::npos) {
+      if (start < text.size()) lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  if (lines.empty()) return Status::ParseError("empty CSV input");
+
+  SQLTS_ASSIGN_OR_RETURN(std::vector<std::string> header,
+                         SplitCsvLine(lines[0]));
+  // Map file columns -> schema columns.
+  std::vector<int> schema_col(header.size(), -1);
+  for (size_t c = 0; c < header.size(); ++c) {
+    auto idx = schema.FindColumn(StripWhitespace(header[c]));
+    if (!idx.ok()) {
+      return Status::ParseError("CSV column '" + header[c] +
+                                "' not in schema (" + schema.ToString() +
+                                ")");
+    }
+    schema_col[c] = *idx;
+  }
+
+  Table table(schema);
+  for (size_t ln = 1; ln < lines.size(); ++ln) {
+    std::string_view line = lines[ln];
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (StripWhitespace(line).empty()) continue;
+    SQLTS_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                           SplitCsvLine(line));
+    if (fields.size() != header.size()) {
+      return Status::ParseError("CSV line " + std::to_string(ln + 1) +
+                                " has " + std::to_string(fields.size()) +
+                                " fields, expected " +
+                                std::to_string(header.size()));
+    }
+    Row row(schema.num_columns(), Value::Null());
+    for (size_t c = 0; c < fields.size(); ++c) {
+      int sc = schema_col[c];
+      if (StripWhitespace(fields[c]).empty()) continue;  // NULL
+      auto v = Value::ParseAs(schema.column(sc).type, fields[c]);
+      if (!v.ok()) {
+        return Status::ParseError("CSV line " + std::to_string(ln + 1) +
+                                  ", column '" + schema.column(sc).name +
+                                  "': " + v.status().message());
+      }
+      row[sc] = std::move(*v);
+    }
+    SQLTS_RETURN_IF_ERROR(table.AppendRow(std::move(row)));
+  }
+  return table;
+}
+
+StatusOr<Table> ReadCsvFile(const std::string& path, const Schema& schema) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ReadCsvString(buf.str(), schema);
+}
+
+std::string WriteCsvString(const Table& table) {
+  std::ostringstream os;
+  const Schema& schema = table.schema();
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    os << (c ? "," : "") << EscapeCsvField(schema.column(c).name);
+  }
+  os << "\n";
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    for (int c = 0; c < schema.num_columns(); ++c) {
+      os << (c ? "," : "") << EscapeCsvField(CellText(table.at(r, c)));
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open '" + path + "' for write");
+  out << WriteCsvString(table);
+  if (!out) return Status::IoError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace sqlts

@@ -1,0 +1,29 @@
+#ifndef SQLTS_STORAGE_CSV_H_
+#define SQLTS_STORAGE_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/statusor.h"
+#include "storage/table.h"
+
+namespace sqlts {
+
+/// Reads a CSV file whose first line is a header.  Column types are
+/// taken from `schema` (which must name every header column); empty
+/// fields load as NULL.  Quoting: double quotes with "" escapes.
+StatusOr<Table> ReadCsvFile(const std::string& path, const Schema& schema);
+
+/// Like ReadCsvFile but parses in-memory text (useful for tests).
+StatusOr<Table> ReadCsvString(std::string_view text, const Schema& schema);
+
+/// Writes `table` as CSV (header + rows).  Strings are quoted when they
+/// contain separators/quotes/newlines.
+Status WriteCsvFile(const Table& table, const std::string& path);
+
+/// Serializes `table` to CSV text.
+std::string WriteCsvString(const Table& table);
+
+}  // namespace sqlts
+
+#endif  // SQLTS_STORAGE_CSV_H_

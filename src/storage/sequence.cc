@@ -1,0 +1,96 @@
+#include "storage/sequence.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+
+namespace sqlts {
+namespace {
+
+/// Total order over rows of cluster-key values for map grouping.  NULLs
+/// sort first; cross-type falls back to kind ordering (keys are expected
+/// to be homogeneous per column anyway).
+struct KeyLess {
+  bool operator()(const Row& a, const Row& b) const {
+    for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+      const Value& x = a[i];
+      const Value& y = b[i];
+      if (x.is_null() != y.is_null()) return x.is_null();
+      if (x.is_null()) continue;
+      auto cmp = x.Compare(y);
+      if (!cmp.ok()) {
+        if (x.kind() != y.kind()) return x.kind() < y.kind();
+        continue;
+      }
+      if (*cmp != 0) return *cmp < 0;
+    }
+    return a.size() < b.size();
+  }
+};
+
+}  // namespace
+
+StatusOr<ClusteredSequence> ClusteredSequence::Build(
+    const Table* table, const std::vector<std::string>& cluster_by,
+    const std::vector<std::string>& sequence_by) {
+  SQLTS_CHECK(table != nullptr);
+  std::vector<int> cluster_cols;
+  for (const std::string& name : cluster_by) {
+    SQLTS_ASSIGN_OR_RETURN(int idx, table->schema().FindColumn(name));
+    cluster_cols.push_back(idx);
+  }
+  std::vector<int> seq_cols;
+  for (const std::string& name : sequence_by) {
+    SQLTS_ASSIGN_OR_RETURN(int idx, table->schema().FindColumn(name));
+    seq_cols.push_back(idx);
+  }
+
+  // Group rows by cluster key, remembering first-appearance order.
+  std::map<Row, int, KeyLess> key_to_slot;
+  std::vector<Row> keys;
+  std::vector<std::vector<int64_t>> groups;
+  for (int64_t r = 0; r < table->num_rows(); ++r) {
+    Row key;
+    key.reserve(cluster_cols.size());
+    for (int c : cluster_cols) key.push_back(table->at(r, c));
+    auto it = key_to_slot.find(key);
+    if (it == key_to_slot.end()) {
+      it = key_to_slot.emplace(key, static_cast<int>(groups.size())).first;
+      keys.push_back(key);
+      groups.emplace_back();
+    }
+    groups[it->second].push_back(r);
+  }
+
+  // Sort each group by the sequence key (stable, ascending, NULLs first).
+  Status sort_error = Status::OK();
+  for (auto& group : groups) {
+    std::stable_sort(group.begin(), group.end(),
+                     [&](int64_t a, int64_t b) {
+                       for (int c : seq_cols) {
+                         const Value& x = table->at(a, c);
+                         const Value& y = table->at(b, c);
+                         if (x.is_null() != y.is_null()) return x.is_null();
+                         if (x.is_null()) continue;
+                         auto cmp = x.Compare(y);
+                         if (!cmp.ok()) {
+                           if (sort_error.ok()) sort_error = cmp.status();
+                           return false;
+                         }
+                         if (*cmp != 0) return *cmp < 0;
+                       }
+                       return false;
+                     });
+  }
+  SQLTS_RETURN_IF_ERROR(sort_error);
+
+  ClusteredSequence out;
+  out.keys_ = std::move(keys);
+  for (auto& group : groups) {
+    out.clusters_.emplace_back(table, std::move(group));
+  }
+  return out;
+}
+
+}  // namespace sqlts

@@ -1,0 +1,21 @@
+#include "tribool/tribool.h"
+
+namespace sqlts {
+
+std::string_view Tribool::ToString() const {
+  switch (v_) {
+    case kFalse:
+      return "0";
+    case kUnknown:
+      return "U";
+    case kTrue:
+      return "1";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, Tribool t) {
+  return os << t.ToString();
+}
+
+}  // namespace sqlts

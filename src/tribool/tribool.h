@@ -1,0 +1,72 @@
+#ifndef SQLTS_TRIBOOL_TRIBOOL_H_
+#define SQLTS_TRIBOOL_TRIBOOL_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+
+namespace sqlts {
+
+/// Kleene three-valued logic value: False (0), Unknown (U), True (1).
+///
+/// This is the algebra the paper uses for the precondition matrices θ and
+/// φ and the shift matrix S (Sec 4.2): ¬U = U, U ∧ 1 = U, U ∧ 0 = 0,
+/// U ∨ 0 = U, U ∨ 1 = 1.
+class Tribool {
+ public:
+  enum Value : uint8_t { kFalse = 0, kUnknown = 1, kTrue = 2 };
+
+  constexpr Tribool() : v_(kUnknown) {}
+  constexpr Tribool(Value v) : v_(v) {}  // NOLINT: intended implicit
+  constexpr explicit Tribool(bool b) : v_(b ? kTrue : kFalse) {}
+
+  static constexpr Tribool True() { return Tribool(kTrue); }
+  static constexpr Tribool False() { return Tribool(kFalse); }
+  static constexpr Tribool Unknown() { return Tribool(kUnknown); }
+
+  constexpr bool IsTrue() const { return v_ == kTrue; }
+  constexpr bool IsFalse() const { return v_ == kFalse; }
+  constexpr bool IsUnknown() const { return v_ == kUnknown; }
+  /// True or Unknown — i.e. "not provably false"; this is the paper's
+  /// `S_{jk} ≠ 0` test used when computing shift(j).
+  constexpr bool IsPossible() const { return v_ != kFalse; }
+
+  constexpr Value value() const { return v_; }
+
+  constexpr bool operator==(const Tribool& o) const { return v_ == o.v_; }
+  constexpr bool operator!=(const Tribool& o) const { return v_ != o.v_; }
+
+  /// Kleene conjunction.
+  friend constexpr Tribool operator&&(Tribool a, Tribool b) {
+    if (a.v_ == kFalse || b.v_ == kFalse) return False();
+    if (a.v_ == kTrue && b.v_ == kTrue) return True();
+    return Unknown();
+  }
+  /// Kleene disjunction.
+  friend constexpr Tribool operator||(Tribool a, Tribool b) {
+    if (a.v_ == kTrue || b.v_ == kTrue) return True();
+    if (a.v_ == kFalse && b.v_ == kFalse) return False();
+    return Unknown();
+  }
+  /// Kleene negation (¬U = U).
+  friend constexpr Tribool operator!(Tribool a) {
+    if (a.v_ == kTrue) return False();
+    if (a.v_ == kFalse) return True();
+    return Unknown();
+  }
+
+  /// "0", "U" or "1" — matches the paper's matrix notation.
+  std::string_view ToString() const;
+
+ private:
+  Value v_;
+};
+
+std::ostream& operator<<(std::ostream& os, Tribool t);
+
+/// Kleene implication a → b ≡ ¬a ∨ b.
+constexpr Tribool Implies(Tribool a, Tribool b) { return !a || b; }
+
+}  // namespace sqlts
+
+#endif  // SQLTS_TRIBOOL_TRIBOOL_H_

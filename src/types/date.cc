@@ -1,0 +1,110 @@
+#include "types/date.h"
+
+#include <array>
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace sqlts {
+namespace {
+
+bool IsLeap(int y) { return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0; }
+
+int DaysInMonth(int y, int m) {
+  static constexpr std::array<int, 12> kDays = {31, 28, 31, 30, 31, 30,
+                                                31, 31, 30, 31, 30, 31};
+  if (m == 2 && IsLeap(y)) return 29;
+  return kDays[m - 1];
+}
+
+// Howard Hinnant's civil-to-days algorithm (public domain).
+int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const int64_t yoe = y - era * 400;                          // [0, 399]
+  const int64_t doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const int64_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;  // [0, 146096]
+  return era * 146097 + doe - 719468;
+}
+
+void CivilFromDays(int64_t z, int* y, int* m, int* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const int64_t doe = z - era * 146097;                       // [0, 146096]
+  const int64_t yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;  // [0, 399]
+  const int64_t yy = yoe + era * 400;
+  const int64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const int64_t mp = (5 * doy + 2) / 153;                     // [0, 11]
+  const int64_t dd = doy - (153 * mp + 2) / 5 + 1;            // [1, 31]
+  const int64_t mm = mp + (mp < 10 ? 3 : -9);                 // [1, 12]
+  *y = static_cast<int>(yy + (mm <= 2));
+  *m = static_cast<int>(mm);
+  *d = static_cast<int>(dd);
+}
+
+bool ParseInt(std::string_view s, int* out) {
+  if (s.empty()) return false;
+  int v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + (c - '0');
+    if (v > 1000000) return false;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+StatusOr<Date> Date::FromYmd(int year, int month, int day) {
+  if (month < 1 || month > 12) {
+    return Status::InvalidArgument("month out of range");
+  }
+  if (day < 1 || day > DaysInMonth(year, month)) {
+    return Status::InvalidArgument("day out of range");
+  }
+  return Date(static_cast<int32_t>(DaysFromCivil(year, month, day)));
+}
+
+StatusOr<Date> Date::Parse(std::string_view text) {
+  text = StripWhitespace(text);
+  int y = 0, m = 0, d = 0;
+  if (text.find('-') != std::string_view::npos) {
+    auto parts = SplitString(text, '-');
+    if (parts.size() != 3 || !ParseInt(parts[0], &y) ||
+        !ParseInt(parts[1], &m) || !ParseInt(parts[2], &d)) {
+      return Status::ParseError("bad ISO date: '" + std::string(text) + "'");
+    }
+    return FromYmd(y, m, d);
+  }
+  if (text.find('/') != std::string_view::npos) {
+    auto parts = SplitString(text, '/');
+    if (parts.size() != 3 || !ParseInt(parts[0], &m) ||
+        !ParseInt(parts[1], &d) || !ParseInt(parts[2], &y)) {
+      return Status::ParseError("bad M/D/Y date: '" + std::string(text) +
+                                "'");
+    }
+    if (y < 100) y += (y < 70) ? 2000 : 1900;
+    return FromYmd(y, m, d);
+  }
+  return Status::ParseError("unrecognized date: '" + std::string(text) + "'");
+}
+
+void Date::ToYmd(int* year, int* month, int* day) const {
+  CivilFromDays(days_, year, month, day);
+}
+
+std::string Date::ToString() const {
+  int y, m, d;
+  ToYmd(&y, &m, &d);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, const Date& d) {
+  return os << d.ToString();
+}
+
+}  // namespace sqlts

@@ -1,0 +1,55 @@
+#ifndef SQLTS_TYPES_DATE_H_
+#define SQLTS_TYPES_DATE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "common/statusor.h"
+
+namespace sqlts {
+
+/// A calendar date stored as days since 1970-01-01 (proleptic Gregorian).
+/// Supports the formats used in the paper's examples ("1/25/99") as well
+/// as ISO "1999-01-25".
+class Date {
+ public:
+  constexpr Date() : days_(0) {}
+  constexpr explicit Date(int32_t days_since_epoch)
+      : days_(days_since_epoch) {}
+
+  /// Builds a Date from civil fields.  Returns InvalidArgument for
+  /// out-of-range fields (month 1-12, day 1-31 with month/leap checks).
+  static StatusOr<Date> FromYmd(int year, int month, int day);
+
+  /// Parses "YYYY-MM-DD" or "M/D/YYYY" (two-digit years are interpreted
+  /// in 1970..2069).
+  static StatusOr<Date> Parse(std::string_view text);
+
+  constexpr int32_t days_since_epoch() const { return days_; }
+
+  /// Civil fields of this date.
+  void ToYmd(int* year, int* month, int* day) const;
+
+  /// ISO 8601 "YYYY-MM-DD".
+  std::string ToString() const;
+
+  Date AddDays(int32_t n) const { return Date(days_ + n); }
+
+  constexpr bool operator==(const Date& o) const { return days_ == o.days_; }
+  constexpr bool operator!=(const Date& o) const { return days_ != o.days_; }
+  constexpr bool operator<(const Date& o) const { return days_ < o.days_; }
+  constexpr bool operator<=(const Date& o) const { return days_ <= o.days_; }
+  constexpr bool operator>(const Date& o) const { return days_ > o.days_; }
+  constexpr bool operator>=(const Date& o) const { return days_ >= o.days_; }
+
+ private:
+  int32_t days_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Date& d);
+
+}  // namespace sqlts
+
+#endif  // SQLTS_TYPES_DATE_H_

@@ -1,0 +1,45 @@
+#include "types/schema.h"
+
+#include "common/string_util.h"
+
+namespace sqlts {
+
+StatusOr<int> Schema::FindColumn(std::string_view name) const {
+  for (int i = 0; i < num_columns(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return i;
+  }
+  return Status::NotFound("no column named '" + std::string(name) + "'");
+}
+
+Status Schema::AddColumn(std::string_view name, TypeKind type) {
+  if (FindColumn(name).ok()) {
+    return Status::AlreadyExists("duplicate column '" + std::string(name) +
+                                 "'");
+  }
+  columns_.push_back(ColumnDef{std::string(name), type});
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (int i = 0; i < num_columns(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += TypeKindToString(columns_[i].type);
+  }
+  return out;
+}
+
+bool Schema::Equals(const Schema& other) const {
+  if (num_columns() != other.num_columns()) return false;
+  for (int i = 0; i < num_columns(); ++i) {
+    if (!EqualsIgnoreCase(columns_[i].name, other.columns_[i].name) ||
+        columns_[i].type != other.columns_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace sqlts

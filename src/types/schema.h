@@ -1,0 +1,51 @@
+#ifndef SQLTS_TYPES_SCHEMA_H_
+#define SQLTS_TYPES_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/statusor.h"
+#include "types/value.h"
+
+namespace sqlts {
+
+/// A named, typed column.
+struct ColumnDef {
+  std::string name;
+  TypeKind type;
+};
+
+/// Ordered list of columns describing a Table's rows.  Column names are
+/// case-insensitive (SQL convention).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns)
+      : columns_(std::move(columns)) {}
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const ColumnDef& column(int i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Index of the column named `name` (case-insensitive), or NotFound.
+  StatusOr<int> FindColumn(std::string_view name) const;
+
+  /// Appends a column; AlreadyExists if a same-named column is present.
+  Status AddColumn(std::string_view name, TypeKind type);
+
+  /// "name STRING, price DOUBLE, date DATE".
+  std::string ToString() const;
+
+  bool Equals(const Schema& other) const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+/// A row is just a vector of values positionally matching a Schema.
+using Row = std::vector<Value>;
+
+}  // namespace sqlts
+
+#endif  // SQLTS_TYPES_SCHEMA_H_

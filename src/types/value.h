@@ -1,0 +1,93 @@
+#ifndef SQLTS_TYPES_VALUE_H_
+#define SQLTS_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "common/statusor.h"
+#include "types/date.h"
+
+namespace sqlts {
+
+/// Physical type of a column or value.
+enum class TypeKind : uint8_t {
+  kNull = 0,
+  kBool,
+  kInt64,
+  kDouble,
+  kString,
+  kDate,
+};
+
+/// Human-readable type name ("INT64", "DOUBLE", ...).
+std::string_view TypeKindToString(TypeKind kind);
+
+/// Parses a type name (case-insensitive, accepts SQL aliases such as
+/// INTEGER and VARCHAR).
+StatusOr<TypeKind> TypeKindFromString(std::string_view name);
+
+/// A dynamically typed SQL value.  NULL is a distinct value; comparisons
+/// involving NULL yield "unknown" which callers treat as not-satisfied.
+class Value {
+ public:
+  /// Constructs NULL.
+  Value() : v_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) { return Value(Payload(b)); }
+  static Value Int64(int64_t i) { return Value(Payload(i)); }
+  static Value Double(double d) { return Value(Payload(d)); }
+  static Value String(std::string s) { return Value(Payload(std::move(s))); }
+  static Value FromDate(Date d) { return Value(Payload(d)); }
+
+  TypeKind kind() const;
+
+  bool is_null() const { return kind() == TypeKind::kNull; }
+  bool is_numeric() const {
+    TypeKind k = kind();
+    return k == TypeKind::kInt64 || k == TypeKind::kDouble;
+  }
+
+  /// Typed accessors; it is a checked error to call the wrong one.
+  bool bool_value() const;
+  int64_t int64_value() const;
+  double double_value() const;
+  const std::string& string_value() const;
+  Date date_value() const;
+
+  /// Numeric view: int64 and double both convert; dates convert to their
+  /// day number (so dates can participate in arithmetic like the paper's
+  /// SEQUENCE BY ordering).  Checked error for other kinds.
+  double AsDouble() const;
+
+  /// Three-way comparison following SQL semantics within a type family;
+  /// numerics compare cross-type.  Returns TypeError for incomparable
+  /// kinds and InvalidArgument when either side is NULL.
+  StatusOr<int> Compare(const Value& other) const;
+
+  /// Structural equality (NULL == NULL here, unlike SQL `=`); suitable
+  /// for tests and container use.
+  bool StructurallyEquals(const Value& other) const;
+
+  /// Renders the value for display ("NULL", 42, 3.5, 'abc', 1999-01-25).
+  std::string ToString() const;
+
+  /// Parses `text` as a value of `kind`.
+  static StatusOr<Value> ParseAs(TypeKind kind, std::string_view text);
+
+ private:
+  using Payload =
+      std::variant<std::monostate, bool, int64_t, double, std::string, Date>;
+  explicit Value(Payload v) : v_(std::move(v)) {}
+
+  Payload v_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+}  // namespace sqlts
+
+#endif  // SQLTS_TYPES_VALUE_H_

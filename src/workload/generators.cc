@@ -1,0 +1,257 @@
+#include "workload/generators.h"
+
+#include <cmath>
+#include <random>
+
+#include "common/logging.h"
+
+namespace sqlts {
+namespace {
+
+/// Advances `d` to the next weekday (Mon-Fri).  Day 0 (1970-01-01) was a
+/// Thursday.
+Date NextTradingDay(Date d) {
+  Date next = d.AddDays(1);
+  while (true) {
+    int dow = ((next.days_since_epoch() % 7) + 7) % 7;  // 0 = Thursday
+    // Saturday = 2, Sunday = 3 in this numbering.
+    if (dow != 2 && dow != 3) return next;
+    next = next.AddDays(1);
+  }
+}
+
+}  // namespace
+
+Schema QuoteSchema() {
+  Schema s;
+  SQLTS_CHECK_OK(s.AddColumn("name", TypeKind::kString));
+  SQLTS_CHECK_OK(s.AddColumn("date", TypeKind::kDate));
+  SQLTS_CHECK_OK(s.AddColumn("price", TypeKind::kDouble));
+  return s;
+}
+
+Status AppendInstrument(Table* table, const std::string& name, Date start,
+                        const std::vector<double>& prices) {
+  Date d = start;
+  for (double p : prices) {
+    SQLTS_RETURN_IF_ERROR(table->AppendRow(
+        {Value::String(name), Value::FromDate(d), Value::Double(p)}));
+    d = NextTradingDay(d);
+  }
+  return Status::OK();
+}
+
+Table PricesToQuoteTable(const std::string& name, Date start,
+                         const std::vector<double>& prices) {
+  Table t(QuoteSchema());
+  SQLTS_CHECK_OK(AppendInstrument(&t, name, start, prices));
+  return t;
+}
+
+std::vector<double> GeometricRandomWalk(const RandomWalkOptions& options) {
+  std::mt19937_64 rng(options.seed);
+  std::normal_distribution<double> ret(options.daily_drift,
+                                       options.daily_vol);
+  std::vector<double> out;
+  out.reserve(options.n);
+  double p = options.start_price;
+  for (int64_t i = 0; i < options.n; ++i) {
+    out.push_back(p);
+    p *= std::exp(ret(rng));
+  }
+  return out;
+}
+
+std::vector<double> SynthesizeDjia(int64_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> unit(0.0, 1.0);
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+  std::vector<double> out;
+  out.reserve(n);
+  double p = 850.0;               // mid-1970s DJIA level
+  double vol = 0.007;             // calm regime: ±2% days are rare,
+                                  // giving the long "flat" runs (in the
+                                  // Example-10 sense) the real index has
+  const double drift = 0.00035;   // long-run index drift
+  for (int64_t i = 0; i < n; ++i) {
+    out.push_back(p);
+    // Regime switching: long calm decades, shorter turbulent bursts.
+    if (vol < 0.012) {
+      if (u01(rng) < 0.004) vol = 0.022;
+    } else {
+      if (u01(rng) < 0.03) vol = 0.007;
+    }
+    p *= std::exp(drift + vol * unit(rng));
+  }
+  return out;
+}
+
+std::vector<double> SeriesWithPlantedDoubleBottoms(int count,
+                                                   uint64_t noise_seed) {
+  std::mt19937_64 rng(noise_seed);
+  // "Flat" jitter: strictly within the ±2% band of Example 10.
+  std::uniform_real_distribution<double> flat(0.994, 1.006);
+  std::vector<double> out;
+  double p = 100.0;
+  auto push_ratio = [&](double r) {
+    p *= r;
+    out.push_back(p);
+  };
+  auto quiet = [&](int steps) {
+    for (int i = 0; i < steps; ++i) push_ratio(flat(rng));
+  };
+
+  out.push_back(p);
+  quiet(15);
+  for (int c = 0; c < count; ++c) {
+    // X: a non-drop step (p ≥ 0.98·prev).
+    push_ratio(1.004);
+    // *Y: first leg down (>2% daily drops).
+    push_ratio(0.955);
+    push_ratio(0.96);
+    // *Z: flat floor.
+    push_ratio(1.005);
+    push_ratio(0.997);
+    // *T: rally between the bottoms (>2% daily rises).
+    push_ratio(1.045);
+    push_ratio(1.04);
+    // *U: flat top.
+    push_ratio(0.996);
+    push_ratio(1.004);
+    // *V: second leg down.
+    push_ratio(0.95);
+    push_ratio(0.965);
+    // *W: flat floor.
+    push_ratio(1.006);
+    push_ratio(0.995);
+    // *R: recovery (>2% daily rises).
+    push_ratio(1.05);
+    push_ratio(1.045);
+    // S: a non-surge step closes the pattern (p ≤ 1.02·prev).
+    push_ratio(1.001);
+    quiet(18);
+  }
+  return out;
+}
+
+std::vector<double> TrendingSeries(const TrendOptions& options) {
+  std::mt19937_64 rng(options.seed);
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+  std::geometric_distribution<int64_t> run_len(1.0 / options.mean_run);
+  std::vector<double> out;
+  out.reserve(options.n);
+  double p = 100.0;
+  bool up = true;
+  while (static_cast<int64_t>(out.size()) < options.n) {
+    int64_t len = 1 + run_len(rng);
+    for (int64_t i = 0; i < len &&
+                        static_cast<int64_t>(out.size()) < options.n;
+         ++i) {
+      p *= up ? (1.0 + options.step) : (1.0 - options.step);
+      out.push_back(p);
+    }
+    if (!up && u01(rng) < options.crash_prob * options.mean_run &&
+        static_cast<int64_t>(out.size()) < options.n) {
+      // Finish the down-run with a capitulation crash day.
+      p *= 1.0 - options.crash_size;
+      out.push_back(p);
+    }
+    up = !up;
+  }
+  return out;
+}
+
+std::vector<double> PaperFigure5Sequence() {
+  return {55, 50, 45, 57, 54, 50, 47, 49, 45, 42, 55, 57, 59, 60, 57};
+}
+
+std::vector<double> PaperSection5Sequence() {
+  return {20, 21, 23, 24, 22, 20, 18, 15, 14, 18, 21};
+}
+
+std::string PaperExampleQuery(int number) {
+  switch (number) {
+    case 1:
+      return R"sql(
+        SELECT X.name
+        FROM quote CLUSTER BY name SEQUENCE BY date
+        AS (X, Y, Z)
+        WHERE Y.price > 1.15 * X.price AND Z.price < 0.80 * Y.price
+      )sql";
+    case 2:
+      return R"sql(
+        SELECT X.name, X.date AS start_date, Z.previous.date AS end_date
+        FROM quote CLUSTER BY name SEQUENCE BY date
+        AS (X, *Y, Z)
+        WHERE Y.price < Y.previous.price
+          AND Z.previous.price < 0.5 * X.price
+      )sql";
+    case 3:
+      return R"sql(
+        SELECT X.name
+        FROM quote CLUSTER BY name SEQUENCE BY date
+        AS (X, Y, Z)
+        WHERE X.price = 10 AND Y.price = 11 AND Z.price = 15
+      )sql";
+    case 4:
+      return R"sql(
+        SELECT X.date AS start_date, X.price,
+               U.date AS end_date, U.price
+        FROM quote CLUSTER BY name SEQUENCE BY date
+        AS (X, Y, Z, T, U)
+        WHERE X.name = 'IBM'
+          AND Y.price < X.price
+          AND Z.price < Y.price
+          AND Z.price > 40 AND Z.price < 50
+          AND T.price > Z.price
+          AND T.price < 52
+          AND U.price > T.price
+      )sql";
+    case 8:
+      return R"sql(
+        SELECT X.name, FIRST(X).date AS sdate, LAST(Z).date AS edate
+        FROM quote CLUSTER BY name SEQUENCE BY date
+        AS (*X, *Y, *Z)
+        WHERE X.price > X.previous.price
+          AND Y.price < Y.previous.price
+          AND Z.price > Z.previous.price
+      )sql";
+    case 9:
+      return R"sql(
+        SELECT X.NEXT.date, X.NEXT.price, S.previous.date, S.previous.price
+        FROM quote CLUSTER BY name, SEQUENCE BY date
+        AS (*X, Y, *Z, *T, U, *V, S)
+        WHERE X.name = 'IBM'
+          AND X.price > X.previous.price
+          AND 30 < Y.price AND Y.price < 40
+          AND Z.price < Z.previous.price
+          AND T.price > T.previous.price
+          AND 35 < U.price AND U.price < 40
+          AND V.price < V.previous.price
+          AND S.price < 30
+      )sql";
+    case 10:
+      return R"sql(
+        SELECT X.NEXT.date, X.NEXT.price, S.previous.date, S.previous.price
+        FROM djia SEQUENCE BY date
+        AS (X, *Y, *Z, *T, *U, *V, *W, *R, S)
+        WHERE X.price >= 0.98 * X.previous.price
+          AND Y.price < 0.98 * Y.previous.price
+          AND 0.98 * Z.previous.price < Z.price
+          AND Z.price < 1.02 * Z.previous.price
+          AND T.price > 1.02 * T.previous.price
+          AND 0.98 * U.previous.price < U.price
+          AND U.price < 1.02 * U.previous.price
+          AND V.price < 0.98 * V.previous.price
+          AND 0.98 * W.previous.price < W.price
+          AND W.price < 1.02 * W.previous.price
+          AND R.price > 1.02 * R.previous.price
+          AND S.price <= 1.02 * S.previous.price
+      )sql";
+    default:
+      SQLTS_CHECK(false) << "no example query #" << number;
+  }
+  return "";
+}
+
+}  // namespace sqlts

@@ -1,0 +1,81 @@
+#ifndef SQLTS_WORKLOAD_GENERATORS_H_
+#define SQLTS_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace sqlts {
+
+/// The standard quote schema used throughout the paper:
+///   quote(name STRING, date DATE, price DOUBLE).
+Schema QuoteSchema();
+
+/// Builds a quote table for a single instrument from a price series,
+/// one row per trading day (weekends skipped) starting at `start`.
+Table PricesToQuoteTable(const std::string& name, Date start,
+                         const std::vector<double>& prices);
+
+/// Appends another instrument's rows to an existing quote table (for
+/// CLUSTER BY workloads with many stocks).
+Status AppendInstrument(Table* table, const std::string& name, Date start,
+                        const std::vector<double>& prices);
+
+/// Options for the geometric random walk generator.
+struct RandomWalkOptions {
+  int64_t n = 1000;
+  double start_price = 100.0;
+  double daily_drift = 0.0002;   ///< mean of daily log-return
+  double daily_vol = 0.01;       ///< stddev of daily log-return
+  uint64_t seed = 42;
+};
+
+/// A seeded geometric random walk (log-normal daily returns).
+std::vector<double> GeometricRandomWalk(const RandomWalkOptions& options);
+
+/// Synthetic stand-in for 25 years of DJIA daily closes (~6300 trading
+/// days): a geometric walk with regime-switching volatility calibrated
+/// to index-like behaviour.  Deterministic given `seed`.
+std::vector<double> SynthesizeDjia(int64_t n = 6300, uint64_t seed = 1987);
+
+/// Builds a series that contains exactly `count` relaxed double-bottom
+/// occurrences (Example 10 / Figure 6) separated by quiet stretches, so
+/// the headline experiment has a known ground truth.  `noise_seed`
+/// drives small (<2%, i.e. "flat") jitter everywhere.
+std::vector<double> SeriesWithPlantedDoubleBottoms(int count,
+                                                   uint64_t noise_seed = 7);
+
+/// Options for the trending-series generator.
+struct TrendOptions {
+  int64_t n = 6300;
+  /// Mean length of a monotone run (geometric); long runs are what make
+  /// backtracking search quadratic on star-led patterns.
+  double mean_run = 50;
+  double step = 0.005;        ///< per-day move magnitude within a run
+  double crash_prob = 0.002;  ///< chance a down-run starts with a crash
+  double crash_size = 0.12;   ///< crash magnitude (fractional drop)
+  uint64_t seed = 3;
+};
+
+/// A series of long alternating monotone runs with occasional one-day
+/// crashes — the regime where a naive scan re-reads each run from every
+/// start position while OPS's star-group shifts skip it whole.
+std::vector<double> TrendingSeries(const TrendOptions& options);
+
+/// The 15-value price sequence of Sec 4.2.1 used for the Figure-5 path
+/// curves: 55 50 45 57 54 50 47 49 45 42 55 57 59 60 57.
+std::vector<double> PaperFigure5Sequence();
+
+/// The 11-value sequence of Sec 5's count example:
+/// 20 21 23 24 22 20 18 15 14 18 21.
+std::vector<double> PaperSection5Sequence();
+
+/// The SQL-TS text of the paper's numbered example queries (1, 2, 3, 4,
+/// 8, 9, 10), for tests, examples and benchmarks.
+std::string PaperExampleQuery(int number);
+
+}  // namespace sqlts
+
+#endif  // SQLTS_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,125 @@
+#include "workload/patterns.h"
+
+#include <random>
+
+#include "common/logging.h"
+
+namespace sqlts {
+namespace {
+
+std::string Num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+/// "0.98 * V.previous.price < V.price AND V.price < 1.02 * ..." — the
+/// relaxed "flat" condition for variable `v`.
+std::string Flat(const std::string& v, double band) {
+  return Num(1 - band) + " * " + v + ".previous.price < " + v +
+         ".price AND " + v + ".price < " + Num(1 + band) + " * " + v +
+         ".previous.price";
+}
+std::string Up(const std::string& v, double band) {
+  return v + ".price > " + Num(1 + band) + " * " + v + ".previous.price";
+}
+std::string Down(const std::string& v, double band) {
+  return v + ".price < " + Num(1 - band) + " * " + v + ".previous.price";
+}
+
+}  // namespace
+
+std::string RelaxedDoubleBottomQuery(double band) {
+  return "SELECT X.NEXT.date AS start_date, S.previous.date AS end_date "
+         "FROM djia SEQUENCE BY date "
+         "AS (X, *Y, *Z, *T, *U, *V, *W, *R, S) WHERE "
+         "X.price >= " + Num(1 - band) + " * X.previous.price AND " +
+         Down("Y", band) + " AND " + Flat("Z", band) + " AND " +
+         Up("T", band) + " AND " + Flat("U", band) + " AND " +
+         Down("V", band) + " AND " + Flat("W", band) + " AND " +
+         Up("R", band) + " AND S.price <= " + Num(1 + band) +
+         " * S.previous.price";
+}
+
+std::string RelaxedDoubleTopQuery(double band) {
+  return "SELECT X.NEXT.date AS start_date, S.previous.date AS end_date "
+         "FROM djia SEQUENCE BY date "
+         "AS (X, *Y, *Z, *T, *U, *V, *W, *R, S) WHERE "
+         "X.price <= " + Num(1 + band) + " * X.previous.price AND " +
+         Up("Y", band) + " AND " + Flat("Z", band) + " AND " +
+         Down("T", band) + " AND " + Flat("U", band) + " AND " +
+         Up("V", band) + " AND " + Flat("W", band) + " AND " +
+         Down("R", band) + " AND S.price >= " + Num(1 - band) +
+         " * S.previous.price";
+}
+
+std::string VReboundQuery(double crash_size, double band) {
+  return "SELECT X.date AS crash_date, LAST(R).date AS rebound_date "
+         "FROM djia SEQUENCE BY date AS (X, *R, S) WHERE "
+         "X.price < " + Num(1 - crash_size) + " * X.previous.price AND " +
+         Up("R", band) + " AND S.price <= " + Num(1 + band) +
+         " * S.previous.price AND S.previous.price < X.previous.price";
+}
+
+std::string BreakoutQuery(double band, double breakout) {
+  return "SELECT FIRST(F).date AS base_start, B.date AS breakout_date, "
+         "B.price FROM djia SEQUENCE BY date AS (*F, B) WHERE " +
+         Flat("F", band) + " AND B.price > " + Num(1 + breakout) +
+         " * B.previous.price";
+}
+
+std::string CascadeCrashQuery(double band) {
+  return "SELECT D1.date, D3.price FROM djia SEQUENCE BY date "
+         "AS (D1, D2, D3) WHERE " +
+         Down("D1", band) + " AND " + Down("D2", band) + " AND " +
+         Down("D3", band);
+}
+
+std::vector<NamedPattern> TechnicalPatternLibrary() {
+  return {
+      {"double_bottom", RelaxedDoubleBottomQuery()},
+      {"double_top", RelaxedDoubleTopQuery()},
+      {"v_rebound", VReboundQuery()},
+      {"breakout", BreakoutQuery()},
+      {"cascade_crash", CascadeCrashQuery()},
+  };
+}
+
+std::vector<double> SeriesWithPlantedDoubleTops(int count,
+                                                uint64_t noise_seed) {
+  std::mt19937_64 rng(noise_seed);
+  std::uniform_real_distribution<double> flat(0.994, 1.006);
+  std::vector<double> out;
+  double p = 100.0;
+  auto push_ratio = [&](double r) {
+    p *= r;
+    out.push_back(p);
+  };
+  auto quiet = [&](int steps) {
+    for (int i = 0; i < steps; ++i) push_ratio(flat(rng));
+  };
+  out.push_back(p);
+  quiet(15);
+  for (int c = 0; c < count; ++c) {
+    push_ratio(0.996);  // X: a non-surge step
+    push_ratio(1.045);  // *Y: first leg up
+    push_ratio(1.04);
+    push_ratio(0.995);  // *Z: flat top
+    push_ratio(1.003);
+    push_ratio(0.955);  // *T: dip between the tops
+    push_ratio(0.96);
+    push_ratio(1.004);  // *U: flat floor
+    push_ratio(0.996);
+    push_ratio(1.05);   // *V: second leg up
+    push_ratio(1.035);
+    push_ratio(0.994);  // *W: flat top
+    push_ratio(1.005);
+    push_ratio(0.95);   // *R: decline
+    push_ratio(0.955);
+    push_ratio(0.999);  // S: a non-crash step closes the pattern
+    quiet(18);
+  }
+  return out;
+}
+
+}  // namespace sqlts

@@ -1,0 +1,46 @@
+#ifndef SQLTS_WORKLOAD_PATTERNS_H_
+#define SQLTS_WORKLOAD_PATTERNS_H_
+
+#include <string>
+#include <vector>
+
+namespace sqlts {
+
+/// A named technical-analysis query over the quote/djia schema, in the
+/// paper's "relaxed" style: moves within ±band are treated as flat
+/// (Sec 7).
+struct NamedPattern {
+  std::string name;
+  std::string query;
+};
+
+/// The paper's relaxed double bottom (Example 10), parameterized by the
+/// flat band (paper: 0.02).
+std::string RelaxedDoubleBottomQuery(double band = 0.02);
+
+/// Mirror image: a relaxed double top (two local maxima around a local
+/// minimum).
+std::string RelaxedDoubleTopQuery(double band = 0.02);
+
+/// A one-day crash (> crash_size drop) followed by a strong rebound run
+/// that stays below the pre-crash price.
+std::string VReboundQuery(double crash_size = 0.05, double band = 0.02);
+
+/// A tight consolidation (every move within ±band) broken by a single
+/// strong up day.
+std::string BreakoutQuery(double band = 0.01, double breakout = 0.03);
+
+/// Three consecutive >band drops (a cascade).
+std::string CascadeCrashQuery(double band = 0.02);
+
+/// The whole library (for sweeps over every pattern).
+std::vector<NamedPattern> TechnicalPatternLibrary();
+
+/// Builds a series containing exactly `count` relaxed double *tops*
+/// (the mirror of SeriesWithPlantedDoubleBottoms).
+std::vector<double> SeriesWithPlantedDoubleTops(int count,
+                                                uint64_t noise_seed = 7);
+
+}  // namespace sqlts
+
+#endif  // SQLTS_WORKLOAD_PATTERNS_H_

@@ -1,0 +1,117 @@
+// SELECT-list aggregates over star groups (COUNT/SUM/AVG/MIN/MAX).
+
+#include <gtest/gtest.h>
+
+#include "engine/executor.h"
+#include "test_util.h"
+
+namespace sqlts {
+namespace {
+
+class AggregateTest : public ::testing::Test {
+ protected:
+  AggregateTest()
+      : table_(PricesToQuoteTable("A", *Date::Parse("1999-01-04"),
+                                  {10, 9, 8, 7, 12})) {}
+
+  QueryResult Run(const std::string& query) {
+    auto r = QueryExecutor::Execute(table_, query);
+    SQLTS_CHECK(r.ok()) << r.status();
+    return std::move(*r);
+  }
+
+  // (X, *Y, Z): Y is the falling run 9, 8, 7.
+  const std::string kBase =
+      " FROM quote SEQUENCE BY date AS (X, *Y, Z) "
+      "WHERE Y.price < Y.previous.price AND Z.price > Z.previous.price";
+  Table table_;
+};
+
+TEST_F(AggregateTest, Count) {
+  QueryResult r = Run("SELECT COUNT(Y)" + kBase);
+  ASSERT_EQ(r.output.num_rows(), 1);
+  EXPECT_EQ(r.output.at(0, 0).int64_value(), 3);
+  EXPECT_EQ(r.output.schema().column(0).type, TypeKind::kInt64);
+}
+
+TEST_F(AggregateTest, SumAvg) {
+  QueryResult r = Run("SELECT SUM(Y.price), AVG(Y.price)" + kBase);
+  ASSERT_EQ(r.output.num_rows(), 1);
+  EXPECT_DOUBLE_EQ(r.output.at(0, 0).double_value(), 24.0);
+  EXPECT_DOUBLE_EQ(r.output.at(0, 1).double_value(), 8.0);
+}
+
+TEST_F(AggregateTest, MinMax) {
+  QueryResult r = Run(
+      "SELECT MIN(Y.price), MAX(Y.price), MIN(Y.date), MAX(Y.date)" + kBase);
+  ASSERT_EQ(r.output.num_rows(), 1);
+  EXPECT_DOUBLE_EQ(r.output.at(0, 0).double_value(), 7.0);
+  EXPECT_DOUBLE_EQ(r.output.at(0, 1).double_value(), 9.0);
+  EXPECT_EQ(r.output.at(0, 2).date_value(), *Date::Parse("1999-01-05"));
+  EXPECT_EQ(r.output.at(0, 3).date_value(), *Date::Parse("1999-01-07"));
+}
+
+TEST_F(AggregateTest, CountOfSingleElement) {
+  QueryResult r = Run("SELECT COUNT(X), COUNT(Z)" + kBase);
+  EXPECT_EQ(r.output.at(0, 0).int64_value(), 1);
+  EXPECT_EQ(r.output.at(0, 1).int64_value(), 1);
+}
+
+TEST_F(AggregateTest, MixedWithScalarsAndArithmetic) {
+  QueryResult r = Run(
+      "SELECT X.price - AVG(Y.price) AS drop_depth, COUNT(Y) AS len" +
+      kBase);
+  ASSERT_EQ(r.output.num_rows(), 1);
+  EXPECT_DOUBLE_EQ(r.output.at(0, 0).double_value(), 2.0);
+  EXPECT_EQ(r.output.schema().column(0).name, "drop_depth");
+}
+
+TEST_F(AggregateTest, CaseInsensitiveNames) {
+  QueryResult r = Run("SELECT count(Y), avg(Y.price)" + kBase);
+  EXPECT_EQ(r.output.at(0, 0).int64_value(), 3);
+}
+
+TEST(AggregateErrors, RejectedInWhere) {
+  auto r = CompileQueryText(
+      "SELECT X.price FROM quote SEQUENCE BY date AS (X, *Y, Z) "
+      "WHERE COUNT(Y) > 2",
+      QuoteSchema());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AggregateErrors, SumNeedsNumericColumn) {
+  auto r = CompileQueryText(
+      "SELECT SUM(Y.name) FROM quote SEQUENCE BY date AS (X, *Y, Z) "
+      "WHERE Y.price < Y.previous.price",
+      QuoteSchema());
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeError);
+}
+
+TEST(AggregateErrors, SumNeedsColumnArgument) {
+  auto r = CompileQueryText(
+      "SELECT SUM(Y) FROM quote SEQUENCE BY date AS (X, *Y, Z)",
+      QuoteSchema());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(AggregateErrors, UnknownVariable) {
+  auto r = CompileQueryText(
+      "SELECT COUNT(Q) FROM quote SEQUENCE BY date AS (X)", QuoteSchema());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(AggregateNaming, DefaultAndAliased) {
+  Table t = PricesToQuoteTable("A", *Date::Parse("1999-01-04"),
+                               {10, 9, 12});
+  auto r = QueryExecutor::Execute(
+      t,
+      "SELECT COUNT(Y) AS n, AVG(Y.price) FROM quote SEQUENCE BY date "
+      "AS (X, *Y, Z) WHERE Y.price < Y.previous.price AND "
+      "Z.price > Z.previous.price");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->output.schema().column(0).name, "n");
+  EXPECT_EQ(r->output.schema().column(1).type, TypeKind::kDouble);
+}
+
+}  // namespace
+}  // namespace sqlts

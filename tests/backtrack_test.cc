@@ -1,0 +1,144 @@
+// Declarative-semantics (full backtracking) matcher tests.
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "engine/backtrack.h"
+#include "test_util.h"
+
+namespace sqlts {
+namespace {
+
+using testing_util::MatchesToString;
+using testing_util::MustPlan;
+using testing_util::SameMatches;
+using testing_util::SeriesFixture;
+
+TEST(Backtrack, FindsWhatGreedyFinds) {
+  PatternPlan plan = MustPlan(
+      "SELECT X.price FROM quote SEQUENCE BY date AS (X, *Y, Z) "
+      "WHERE Y.price < Y.previous.price AND Z.price >= Z.previous.price");
+  SeriesFixture fx({10, 9, 8, 7, 8});
+  SearchStats gs, bs;
+  auto greedy = NaiveSearch(fx.view(), plan, &gs);
+  auto full = BacktrackingSearch(fx.view(), plan, &bs);
+  EXPECT_TRUE(SameMatches(greedy, full));
+}
+
+TEST(Backtrack, FindsMatchesGreedyMisses) {
+  // (*A: p > 10, B: p > 20) on [15, 25, 5]: greedy lets A swallow 25
+  // and fails; the declarative semantics splits A = {15}, B = 25.
+  PatternPlan plan = MustPlan(
+      "SELECT A.price FROM quote SEQUENCE BY date AS (*A, B) "
+      "WHERE A.price > 10 AND B.price > 20");
+  SeriesFixture fx({15, 25, 5});
+  SearchStats gs, bs;
+  auto greedy = NaiveSearch(fx.view(), plan, &gs);
+  auto full = BacktrackingSearch(fx.view(), plan, &bs);
+  EXPECT_TRUE(greedy.empty());
+  ASSERT_EQ(full.size(), 1u);
+  EXPECT_EQ(full[0].spans[0].first, 0);
+  EXPECT_EQ(full[0].spans[0].last, 0);
+  EXPECT_EQ(full[0].spans[1].first, 1);
+}
+
+TEST(Backtrack, GreedyPreferenceOnAmbiguousSplits) {
+  // Both A-lengths complete the match; longest-first keeps the greedy
+  // grouping.
+  PatternPlan plan = MustPlan(
+      "SELECT A.price FROM quote SEQUENCE BY date AS (*A, *B) "
+      "WHERE A.price > 10 AND B.price > 0");
+  SeriesFixture fx({15, 16, 17});
+  SearchStats bs;
+  auto full = BacktrackingSearch(fx.view(), plan, &bs);
+  ASSERT_EQ(full.size(), 1u);
+  EXPECT_EQ(full[0].spans[0].last, 1);  // A = {15, 16}, B = {17}
+  EXPECT_EQ(full[0].spans[1].first, 2);
+}
+
+TEST(Backtrack, LeftMaximalNonOverlapping) {
+  PatternPlan plan = MustPlan(
+      "SELECT A.price FROM quote SEQUENCE BY date AS (A, B) "
+      "WHERE B.price > A.price");
+  SeriesFixture fx({1, 2, 3, 4, 5});
+  SearchStats bs;
+  auto full = BacktrackingSearch(fx.view(), plan, &bs);
+  ASSERT_EQ(full.size(), 2u);
+  EXPECT_EQ(full[0].first(), 0);
+  EXPECT_EQ(full[1].first(), 2);
+}
+
+class BacktrackAgreement : public ::testing::TestWithParam<const char*> {};
+
+// On patterns whose adjacent elements are mutually exclusive, greedy
+// grouping is forced, so the operational matchers must agree with the
+// declarative semantics — the completeness certificate for the paper's
+// greedy runtime on its own example queries.
+TEST_P(BacktrackAgreement, GreedyIsCompleteOnExclusiveAdjacency) {
+  PatternPlan plan = MustPlan(GetParam());
+  std::mt19937_64 rng(77);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<double> prices;
+    double p = 50;
+    int n = 30 + static_cast<int>(rng() % 80);
+    for (int i = 0; i < n; ++i) {
+      p *= 1.0 + (static_cast<double>(rng() % 9) - 4.0) / 50.0;
+      prices.push_back(p);
+    }
+    SeriesFixture fx(prices);
+    SearchStats ns, os, bs;
+    auto naive = NaiveSearch(fx.view(), plan, &ns);
+    auto ops = OpsSearch(fx.view(), plan, &os);
+    auto full = BacktrackingSearch(fx.view(), plan, &bs);
+    ASSERT_TRUE(SameMatches(naive, full))
+        << GetParam() << "\ngreedy: " << MatchesToString(naive)
+        << "\nfull:   " << MatchesToString(full);
+    ASSERT_TRUE(SameMatches(ops, full));
+    // Split probing costs extra tests.
+    EXPECT_GE(bs.evaluations, ns.evaluations);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ExclusivePatterns, BacktrackAgreement,
+    ::testing::Values(
+        // rise-run / fall-run / rise-run: adjacent bands exclusive.
+        "SELECT X.price FROM quote SEQUENCE BY date AS (*X, *Y, *Z) "
+        "WHERE X.price > X.previous.price AND Y.price < "
+        "Y.previous.price AND Z.price > Z.previous.price",
+        // drop / flat / rise with ±2% bands (Example 10's building
+        // blocks).
+        "SELECT A.price FROM quote SEQUENCE BY date AS (*A, *B, *C) "
+        "WHERE A.price < 0.98 * A.previous.price AND "
+        "0.98 * B.previous.price < B.price AND B.price < 1.02 * "
+        "B.previous.price AND C.price > 1.02 * C.previous.price"));
+
+TEST(Backtrack, Example10DoubleBottomAgreement) {
+  // The headline query's bands are mutually exclusive between adjacent
+  // elements, so the greedy matchers implement the declarative
+  // semantics exactly — verified on the planted Figure-7 workload.
+  PatternPlan plan = MustPlan(PaperExampleQuery(10));
+  SeriesFixture fx(SeriesWithPlantedDoubleBottoms(12));
+  SearchStats ns, bs, os;
+  auto naive = NaiveSearch(fx.view(), plan, &ns);
+  auto ops = OpsSearch(fx.view(), plan, &os);
+  auto full = BacktrackingSearch(fx.view(), plan, &bs);
+  EXPECT_EQ(full.size(), 12u);
+  EXPECT_TRUE(SameMatches(naive, full));
+  EXPECT_TRUE(SameMatches(ops, full));
+}
+
+TEST(Backtrack, TrailingStarAtEndOfInput) {
+  PatternPlan plan = MustPlan(
+      "SELECT X.price FROM quote SEQUENCE BY date AS (X, *Y) "
+      "WHERE Y.price < Y.previous.price");
+  SeriesFixture fx({10, 9, 8});
+  SearchStats bs;
+  auto full = BacktrackingSearch(fx.view(), plan, &bs);
+  ASSERT_EQ(full.size(), 1u);
+  EXPECT_EQ(full[0].spans[1].last, 2);
+}
+
+}  // namespace
+}  // namespace sqlts

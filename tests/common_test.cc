@@ -1,0 +1,91 @@
+// Status / StatusOr / string utility tests.
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "common/string_util.h"
+
+namespace sqlts {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.ToString(), "ParseError: bad token");
+}
+
+TEST(Status, ReturnIfErrorMacro) {
+  auto fails = [] { return Status::NotFound("x"); };
+  auto wrapper = [&]() -> Status {
+    SQLTS_RETURN_IF_ERROR(fails());
+    return Status::Internal("unreachable");
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> v = Status::InvalidArgument("nope");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusOr, AssignOrReturnMacro) {
+  auto producer = [](bool ok) -> StatusOr<int> {
+    if (ok) return 7;
+    return Status::OutOfRange("no");
+  };
+  auto consumer = [&](bool ok) -> StatusOr<int> {
+    SQLTS_ASSIGN_OR_RETURN(int v, producer(ok));
+    return v * 2;
+  };
+  EXPECT_EQ(*consumer(true), 14);
+  EXPECT_EQ(consumer(false).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(StatusOr, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(3);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> out = std::move(v).value();
+  EXPECT_EQ(*out, 3);
+}
+
+TEST(StringUtil, Split) {
+  EXPECT_EQ(SplitString("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(SplitString("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtil, Strip) {
+  EXPECT_EQ(StripWhitespace("  ab c\t\n"), "ab c");
+  EXPECT_EQ(StripWhitespace("   "), "");
+}
+
+TEST(StringUtil, CaseHelpers) {
+  EXPECT_EQ(ToUpper("SeLeCt"), "SELECT");
+  EXPECT_EQ(ToLower("SeLeCt"), "select");
+  EXPECT_TRUE(EqualsIgnoreCase("Price", "PRICE"));
+  EXPECT_FALSE(EqualsIgnoreCase("Price", "Prices"));
+}
+
+TEST(StringUtil, JoinAndStartsWith) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_TRUE(StartsWith("VARCHAR(8)", "VARCHAR"));
+  EXPECT_FALSE(StartsWith("VAR", "VARCHAR"));
+}
+
+}  // namespace
+}  // namespace sqlts

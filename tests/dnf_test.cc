@@ -1,0 +1,148 @@
+// Disjunctive-condition reasoning (the paper's extension [13], Sec 8):
+// OR conjuncts captured as DNF groups and reasoned about by the oracle
+// beyond what the single-variable interval view covers.
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "engine/matcher.h"
+#include "pattern/theta_phi.h"
+#include "test_util.h"
+
+namespace sqlts {
+namespace {
+
+using testing_util::MustCompile;
+using testing_util::MustPlan;
+using testing_util::SeriesFixture;
+
+PredicateAnalysis Analyze(const std::string& cond, VariableCatalog* cat) {
+  CompiledQuery q = MustCompile(
+      "SELECT X.price FROM quote SEQUENCE BY date AS (X) WHERE " + cond);
+  return AnalyzePredicate(q.elements[0].predicate, QuoteSchema(), cat);
+}
+
+class DnfOracleTest : public ::testing::Test {
+ protected:
+  VariableCatalog cat_;
+  ImplicationOracle oracle_;
+};
+
+TEST_F(DnfOracleTest, OrConjunctIsCapturedNotResidue) {
+  PredicateAnalysis a =
+      Analyze("(X.price < X.previous.price OR X.price < 30)", &cat_);
+  EXPECT_TRUE(a.complete);
+  ASSERT_EQ(a.or_groups.size(), 1u);
+  EXPECT_EQ(a.or_groups[0].disjuncts.size(), 2u);
+  EXPECT_TRUE(a.or_groups[0].single_atom_disjuncts);
+  // Two variables involved: no interval view.
+  EXPECT_FALSE(a.has_interval);
+}
+
+TEST_F(DnfOracleTest, NestedAndInsideOrCrossProducts) {
+  PredicateAnalysis a = Analyze(
+      "(X.price < 30 OR (X.price > 40 AND X.price < 50))", &cat_);
+  EXPECT_TRUE(a.complete);
+  ASSERT_EQ(a.or_groups.size(), 1u);
+  EXPECT_EQ(a.or_groups[0].disjuncts.size(), 2u);
+  EXPECT_FALSE(a.or_groups[0].single_atom_disjuncts);
+}
+
+TEST_F(DnfOracleTest, DisjunctPairingImplication) {
+  // (p<prev OR p<30) ⇒ (p<prev OR p<40): d₁⇒d₁, d₂⇒d₂ pairing.
+  PredicateAnalysis p =
+      Analyze("(X.price < X.previous.price OR X.price < 30)", &cat_);
+  PredicateAnalysis q =
+      Analyze("(X.price < X.previous.price OR X.price < 40)", &cat_);
+  EXPECT_TRUE(oracle_.Implies(p, q));
+  EXPECT_FALSE(oracle_.Implies(q, p));
+}
+
+TEST_F(DnfOracleTest, DisjunctionImpliesWeakBase) {
+  // (p<0.5·prev OR p<prev) ⇒ p ≤ prev (every disjunct does, using the
+  // positive-domain ratio reasoning for the first).
+  PredicateAnalysis p = Analyze(
+      "(X.price < 0.5 * X.previous.price OR X.price < X.previous.price)",
+      &cat_);
+  PredicateAnalysis q = Analyze("X.price <= X.previous.price", &cat_);
+  EXPECT_TRUE(oracle_.Implies(p, q));
+}
+
+TEST_F(DnfOracleTest, ExclusionByCaseSplit) {
+  PredicateAnalysis p =
+      Analyze("(X.price < X.previous.price OR X.price < 30)", &cat_);
+  PredicateAnalysis q =
+      Analyze("X.price > X.previous.price AND X.price > 40", &cat_);
+  EXPECT_TRUE(oracle_.Exclusive(p, q));
+  // Not exclusive with the weaker condition (p < 30 is compatible).
+  PredicateAnalysis q2 = Analyze("X.price > X.previous.price", &cat_);
+  EXPECT_FALSE(oracle_.Exclusive(p, q2));
+}
+
+TEST_F(DnfOracleTest, UnsatByCaseSplit) {
+  PredicateAnalysis p = Analyze(
+      "(X.price < 30 OR X.price < 20) AND X.price > 50", &cat_);
+  EXPECT_TRUE(oracle_.Unsat(p));
+}
+
+TEST_F(DnfOracleTest, NegatedGroupFeedsPhi) {
+  // ¬(p<prev OR p>2·prev) = (p≥prev ∧ p≤2·prev) ⇒ p ≥ prev.
+  PredicateAnalysis p = Analyze(
+      "(X.price < X.previous.price OR X.price > 2 * X.previous.price)",
+      &cat_);
+  PredicateAnalysis q = Analyze("X.price >= X.previous.price", &cat_);
+  EXPECT_TRUE(oracle_.NegImplies(p, q));
+  PredicateAnalysis q2 = Analyze("X.price < X.previous.price", &cat_);
+  EXPECT_TRUE(oracle_.NegExcludes(p, q2));
+}
+
+TEST_F(DnfOracleTest, MultiAtomDisjunctsBlockPhiOnly) {
+  // The group with a two-atom disjunct can't be negated into one
+  // system, so φ-style reasoning declines (conservative)…
+  PredicateAnalysis p = Analyze(
+      "(X.price < 30 OR (X.price > 40 AND X.price < 50))", &cat_);
+  PredicateAnalysis q = Analyze("X.price < 60", &cat_);
+  // …but θ-style reasoning still works: both disjuncts imply p < 60.
+  EXPECT_TRUE(oracle_.Implies(p, q));
+}
+
+TEST(DnfMatrices, ThetaUsesDisjunctiveExclusion) {
+  // Pattern: (rise-or-crash, fall) — θ₂₁ = 0 must be discovered through
+  // the case split (fall contradicts both disjuncts).
+  PatternPlan plan = MustPlan(
+      "SELECT A.price FROM quote SEQUENCE BY date AS (A, B) "
+      "WHERE (A.price > A.previous.price OR "
+      "A.price < 0.5 * A.previous.price) "
+      "AND B.price < B.previous.price AND "
+      "B.price > 0.9 * B.previous.price");
+  EXPECT_TRUE(plan.matrices.theta.At(2, 1).IsFalse());
+}
+
+TEST(DnfMatcher, OpsEqualsNaiveOnDisjunctivePatterns) {
+  PatternPlan plan = MustPlan(
+      "SELECT A.price FROM quote SEQUENCE BY date AS (A, *B, C) "
+      "WHERE (A.price > A.previous.price OR A.price < 45) "
+      "AND B.price < B.previous.price "
+      "AND (C.price > C.previous.price OR C.price > 55)");
+  std::mt19937_64 rng(31);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<double> prices;
+    double p = 50;
+    int n = 30 + static_cast<int>(rng() % 100);
+    for (int i = 0; i < n; ++i) {
+      p += static_cast<double>(static_cast<int>(rng() % 9)) - 4.0;
+      if (p < 5) p = 5;
+      prices.push_back(p);
+    }
+    SeriesFixture fx(prices);
+    SearchStats ns, os;
+    auto nm = NaiveSearch(fx.view(), plan, &ns);
+    auto om = OpsSearch(fx.view(), plan, &os);
+    ASSERT_TRUE(testing_util::SameMatches(nm, om)) << trial;
+    EXPECT_LE(os.evaluations, ns.evaluations);
+  }
+}
+
+}  // namespace
+}  // namespace sqlts

@@ -1,0 +1,265 @@
+// Expression evaluation and constraint normalization tests.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "expr/eval.h"
+#include "expr/normalize.h"
+#include "parser/parser.h"
+#include "test_util.h"
+
+namespace sqlts {
+namespace {
+
+using testing_util::MustCompile;
+using testing_util::SeriesFixture;
+
+/// Compiles a single-element pattern whose WHERE is `cond`, returning
+/// the element's resolved predicate (relative refs on variable X).
+ExprPtr ResolvedPredicate(const std::string& cond,
+                          const Schema& schema = QuoteSchema()) {
+  CompiledQuery q = MustCompile(
+      "SELECT X.price FROM quote SEQUENCE BY date AS (X) WHERE " + cond,
+      schema);
+  return q.elements[0].predicate;
+}
+
+PredicateAnalysis Analyze(const std::string& cond, VariableCatalog* cat) {
+  return AnalyzePredicate(ResolvedPredicate(cond), QuoteSchema(), cat);
+}
+
+// ---- evaluation ----
+
+class EvalTest : public ::testing::Test {
+ protected:
+  SeriesFixture fx_{{10, 12, 11, 15}};
+  SequenceView seq_ = fx_.view();
+
+  Value Eval(const std::string& cond, int64_t pos) {
+    ExprPtr e = ResolvedPredicate(cond);
+    EvalContext ctx;
+    ctx.seq = &seq_;
+    ctx.pos = pos;
+    return EvalExpr(*e, ctx);
+  }
+};
+
+TEST_F(EvalTest, SimpleComparison) {
+  EXPECT_TRUE(Eval("X.price > 11", 1).bool_value());
+  EXPECT_FALSE(Eval("X.price > 11", 0).bool_value());
+}
+
+TEST_F(EvalTest, PreviousNavigation) {
+  EXPECT_TRUE(Eval("X.price > X.previous.price", 1).bool_value());
+  EXPECT_FALSE(Eval("X.price > X.previous.price", 2).bool_value());
+}
+
+TEST_F(EvalTest, OutOfRangePreviousIsNull) {
+  // First tuple has no previous: comparison is NULL, not TRUE/FALSE.
+  EXPECT_TRUE(Eval("X.price > X.previous.price", 0).is_null());
+  EXPECT_TRUE(Eval("X.next.price > 0", 3).is_null());
+}
+
+TEST_F(EvalTest, Arithmetic) {
+  Value v = Eval("X.price * 2 + 1 = 25", 1);
+  EXPECT_TRUE(v.bool_value());
+  EXPECT_TRUE(Eval("X.price / 4 = 3", 1).bool_value());
+  EXPECT_TRUE(Eval("-X.price < 0", 0).bool_value());
+}
+
+TEST_F(EvalTest, LogicKleene) {
+  EXPECT_TRUE(Eval("X.price > 5 AND X.price < 20", 0).bool_value());
+  EXPECT_FALSE(Eval("X.price > 5 AND X.price < 8", 0).bool_value());
+  EXPECT_TRUE(Eval("X.price < 5 OR X.price > 9", 0).bool_value());
+  EXPECT_FALSE(Eval("NOT (X.price = 10)", 0).bool_value());
+  // FALSE AND NULL = FALSE; TRUE AND NULL = NULL.
+  EXPECT_FALSE(
+      Eval("X.price < 5 AND X.previous.price > 0", 0).bool_value());
+  EXPECT_TRUE(Eval("X.price > 5 AND X.previous.price > 0", 0).is_null());
+  // TRUE OR NULL = TRUE.
+  EXPECT_TRUE(Eval("X.price > 5 OR X.previous.price > 0", 0).bool_value());
+}
+
+TEST_F(EvalTest, DivisionByZeroIsNull) {
+  EXPECT_TRUE(Eval("X.price / (X.price - 10) > 1", 0).is_null());
+}
+
+TEST_F(EvalTest, PredicateCollapsesNullToFalse) {
+  ExprPtr e = ResolvedPredicate("X.price > X.previous.price");
+  EvalContext ctx;
+  ctx.seq = &seq_;
+  ctx.pos = 0;
+  EXPECT_FALSE(EvalPredicate(*e, ctx));
+}
+
+TEST(EvalAnchored, FirstLastAndEdges) {
+  SeriesFixture fx({10, 11, 12, 13, 14});
+  SequenceView seq = fx.view();
+  CompiledQuery q = MustCompile(
+      "SELECT FIRST(Y).price, LAST(Y).price, Y.previous.price, "
+      "Y.next.price "
+      "FROM quote SEQUENCE BY date AS (X, *Y, Z) "
+      "WHERE Y.price > 0");
+  std::vector<GroupSpan> spans = {{0, 0}, {1, 3}, {4, 4}};
+  EvalContext ctx;
+  ctx.seq = &seq;
+  ctx.pos = 0;
+  ctx.spans = &spans;
+  EXPECT_EQ(EvalExpr(*q.select[0].expr, ctx).double_value(), 11);  // FIRST(Y)
+  EXPECT_EQ(EvalExpr(*q.select[1].expr, ctx).double_value(), 13);  // LAST(Y)
+  EXPECT_EQ(EvalExpr(*q.select[2].expr, ctx).double_value(), 10);  // Y.previous
+  EXPECT_EQ(EvalExpr(*q.select[3].expr, ctx).double_value(), 14);  // Y.next
+}
+
+// ---- normalization ----
+
+class NormalizeTest : public ::testing::Test {
+ protected:
+  VariableCatalog cat_;
+};
+
+TEST_F(NormalizeTest, SimpleConstantComparison) {
+  PredicateAnalysis a = Analyze("X.price > 40 AND X.price < 50", &cat_);
+  EXPECT_TRUE(a.complete);
+  ASSERT_EQ(a.system.linear().size(), 2u);
+  EXPECT_EQ(a.system.linear()[0].op, CmpOp::kGt);
+  EXPECT_EQ(a.system.linear()[0].c, 40);
+  EXPECT_EQ(a.system.linear()[0].y, kNoVar);
+}
+
+TEST_F(NormalizeTest, PreviousComparison) {
+  PredicateAnalysis a = Analyze("X.price < X.previous.price", &cat_);
+  EXPECT_TRUE(a.complete);
+  ASSERT_EQ(a.system.linear().size(), 1u);
+  const LinearAtom& atom = a.system.linear()[0];
+  EXPECT_EQ(atom.op, CmpOp::kLt);
+  EXPECT_EQ(atom.c, 0);
+  EXPECT_NE(atom.y, kNoVar);
+}
+
+TEST_F(NormalizeTest, RatioFromMultiplication) {
+  PredicateAnalysis a = Analyze("X.price > 1.02 * X.previous.price", &cat_);
+  EXPECT_TRUE(a.complete);
+  ASSERT_EQ(a.system.ratio().size(), 1u);
+  EXPECT_EQ(a.system.ratio()[0].op, CmpOp::kGt);
+  EXPECT_DOUBLE_EQ(a.system.ratio()[0].c, 1.02);
+}
+
+TEST_F(NormalizeTest, RatioFlippedSides) {
+  // 0.98·prev < price ≡ price > 0.98·prev ≡ prev < (1/0.98)·price; the
+  // normalizer may pick either orientation — both must reason the same.
+  PredicateAnalysis a = Analyze("0.98 * X.previous.price < X.price", &cat_);
+  EXPECT_TRUE(a.complete);
+  ASSERT_EQ(a.system.ratio().size(), 1u);
+  const RatioAtom& atom = a.system.ratio()[0];
+  bool as_gt = atom.op == CmpOp::kGt && std::abs(atom.c - 0.98) < 1e-12;
+  bool as_lt = atom.op == CmpOp::kLt && std::abs(atom.c - 1.0 / 0.98) < 1e-12;
+  EXPECT_TRUE(as_gt || as_lt) << atom.ToString();
+
+  // Semantics check: it must still contradict price < 0.9·prev.
+  PredicateAnalysis b = Analyze("X.price < 0.9 * X.previous.price", &cat_);
+  GswSolver solver;
+  EXPECT_TRUE(solver.ProvablyUnsat(
+      ConstraintSystem::Conjoin(a.system, b.system)));
+}
+
+TEST_F(NormalizeTest, RatioFromDivision) {
+  PredicateAnalysis a =
+      Analyze("X.price / X.previous.price > 1.02", &cat_);
+  EXPECT_TRUE(a.complete);
+  ASSERT_EQ(a.system.ratio().size(), 1u);
+  EXPECT_EQ(a.system.ratio()[0].op, CmpOp::kGt);
+}
+
+TEST_F(NormalizeTest, DifferenceWithOffset) {
+  PredicateAnalysis a =
+      Analyze("X.price > X.previous.price + 5", &cat_);
+  EXPECT_TRUE(a.complete);
+  ASSERT_EQ(a.system.linear().size(), 1u);
+  EXPECT_EQ(a.system.linear()[0].op, CmpOp::kGt);
+  EXPECT_EQ(a.system.linear()[0].c, 5);
+}
+
+TEST_F(NormalizeTest, FoldedArithmetic) {
+  // (price·2 + 4) / 2 > prev + 2  →  price > prev.
+  PredicateAnalysis a =
+      Analyze("(X.price * 2 + 4) / 2 > X.previous.price + 2", &cat_);
+  EXPECT_TRUE(a.complete);
+  ASSERT_EQ(a.system.linear().size(), 1u);
+  EXPECT_EQ(a.system.linear()[0].c, 0);
+}
+
+TEST_F(NormalizeTest, StringAtom) {
+  PredicateAnalysis a = Analyze("X.name = 'IBM'", &cat_);
+  EXPECT_TRUE(a.complete);
+  ASSERT_EQ(a.system.strings().size(), 1u);
+  EXPECT_TRUE(a.system.strings()[0].equal);
+  EXPECT_EQ(a.system.strings()[0].text, "IBM");
+}
+
+TEST_F(NormalizeTest, ConstantFolding) {
+  PredicateAnalysis a = Analyze("1 < 2 AND X.price > 0", &cat_);
+  EXPECT_TRUE(a.complete);
+  EXPECT_FALSE(a.system.trivially_false());
+  EXPECT_EQ(a.system.linear().size(), 1u);  // tautology dropped
+
+  PredicateAnalysis b = Analyze("1 > 2 AND X.price > 0", &cat_);
+  EXPECT_TRUE(b.system.trivially_false());
+}
+
+TEST_F(NormalizeTest, ResidueMarksIncomplete) {
+  // price + prev > 10 is outside the GSW language.
+  PredicateAnalysis a =
+      Analyze("X.price + X.previous.price > 10", &cat_);
+  EXPECT_FALSE(a.complete);
+
+  // Disjunction inside a conjunct is captured as a DNF group
+  // (extension [13]) …
+  PredicateAnalysis b =
+      Analyze("X.price > 50 OR X.price < 10", &cat_);
+  EXPECT_TRUE(b.complete);
+  ASSERT_EQ(b.or_groups.size(), 1u);
+  EXPECT_EQ(b.or_groups[0].disjuncts.size(), 2u);
+  // … and the interval view captures it exactly as well.
+  EXPECT_TRUE(b.has_interval);
+  EXPECT_TRUE(b.interval.Contains(60));
+  EXPECT_FALSE(b.interval.Contains(30));
+}
+
+TEST_F(NormalizeTest, IntervalViewWindow) {
+  PredicateAnalysis a = Analyze("X.price > 40 AND X.price < 50", &cat_);
+  ASSERT_TRUE(a.has_interval);
+  EXPECT_TRUE(a.interval.Contains(45));
+  EXPECT_FALSE(a.interval.Contains(40));
+  EXPECT_FALSE(a.interval.Contains(55));
+}
+
+TEST_F(NormalizeTest, IntervalViewRequiresSingleVariable) {
+  PredicateAnalysis a = Analyze("X.price > X.previous.price", &cat_);
+  EXPECT_FALSE(a.has_interval);
+}
+
+TEST_F(NormalizeTest, IntervalViewWithNot) {
+  PredicateAnalysis a = Analyze("NOT (X.price > 40 AND X.price < 50)", &cat_);
+  ASSERT_TRUE(a.has_interval);
+  EXPECT_TRUE(a.interval.Contains(40));
+  EXPECT_TRUE(a.interval.Contains(55));
+  EXPECT_FALSE(a.interval.Contains(45));
+}
+
+TEST_F(NormalizeTest, SharedCatalogAlignsVariables) {
+  PredicateAnalysis a = Analyze("X.price < X.previous.price", &cat_);
+  PredicateAnalysis b = Analyze("X.price > X.previous.price", &cat_);
+  EXPECT_EQ(a.system.linear()[0].x, b.system.linear()[0].x);
+  EXPECT_EQ(a.system.linear()[0].y, b.system.linear()[0].y);
+}
+
+TEST_F(NormalizeTest, EmptyPredicateIsCompleteTrue) {
+  PredicateAnalysis a = AnalyzePredicate(nullptr, QuoteSchema(), &cat_);
+  EXPECT_TRUE(a.complete);
+  EXPECT_EQ(a.system.num_atoms(), 0);
+}
+
+}  // namespace
+}  // namespace sqlts

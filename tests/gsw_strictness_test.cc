@@ -1,0 +1,122 @@
+// Strictness bookkeeping in the difference-constraint closure: chains
+// of mixed strict/weak bounds, boundary equalities, and the log-domain
+// rounding guard.
+
+#include <gtest/gtest.h>
+
+#include "constraints/catalog.h"
+#include "constraints/gsw.h"
+
+namespace sqlts {
+namespace {
+
+class Strictness : public ::testing::Test {
+ protected:
+  VariableCatalog cat_;
+  VarId x_ = cat_.Intern("x");
+  VarId y_ = cat_.Intern("y");
+  VarId z_ = cat_.Intern("z");
+  VarId w_ = cat_.Intern("w");
+  GswSolver solver_;
+};
+
+TEST_F(Strictness, WeakChainDoesNotImplyStrict) {
+  ConstraintSystem s, strict, weak;
+  s.AddXopYplusC(x_, CmpOp::kLe, y_, 0);
+  s.AddXopYplusC(y_, CmpOp::kLe, z_, 0);
+  strict.AddXopYplusC(x_, CmpOp::kLt, z_, 0);
+  weak.AddXopYplusC(x_, CmpOp::kLe, z_, 0);
+  EXPECT_FALSE(solver_.ProvablyImplies(s, strict));
+  EXPECT_TRUE(solver_.ProvablyImplies(s, weak));
+}
+
+TEST_F(Strictness, OneStrictLinkMakesChainStrict) {
+  ConstraintSystem s, strict;
+  s.AddXopYplusC(x_, CmpOp::kLe, y_, 0);
+  s.AddXopYplusC(y_, CmpOp::kLt, z_, 0);
+  s.AddXopYplusC(z_, CmpOp::kLe, w_, 0);
+  strict.AddXopYplusC(x_, CmpOp::kLt, w_, 0);
+  EXPECT_TRUE(solver_.ProvablyImplies(s, strict));
+}
+
+TEST_F(Strictness, BoundaryEqualityChains) {
+  // x = y + 2, y = z - 1 ⇒ x = z + 1, x ≥ z, ¬(x < z + 1).
+  ConstraintSystem s;
+  s.AddXopYplusC(x_, CmpOp::kEq, y_, 2);
+  s.AddXopYplusC(y_, CmpOp::kEq, z_, -1);
+  ConstraintSystem t1, t2, t3;
+  t1.AddXopYplusC(x_, CmpOp::kEq, z_, 1);
+  t2.AddXopYplusC(x_, CmpOp::kGe, z_, 0);
+  t3.AddXopYplusC(x_, CmpOp::kLt, z_, 1);
+  EXPECT_TRUE(solver_.ProvablyImplies(s, t1));
+  EXPECT_TRUE(solver_.ProvablyImplies(s, t2));
+  EXPECT_FALSE(solver_.ProvablyImplies(s, t3));
+  ConstraintSystem probe = s;
+  probe.AddLinear({x_, z_, CmpOp::kLt, 1});
+  EXPECT_TRUE(solver_.ProvablyUnsat(probe));
+}
+
+TEST_F(Strictness, AlmostCycleStaysSat) {
+  // x ≤ y + 1, y ≤ x - 1 forces x = y + 1: satisfiable, and x ≠ y + 1
+  // breaks it.
+  ConstraintSystem s;
+  s.AddXopYplusC(x_, CmpOp::kLe, y_, 1);
+  s.AddXopYplusC(y_, CmpOp::kLe, x_, -1);
+  EXPECT_FALSE(solver_.ProvablyUnsat(s));
+  s.AddXopYplusC(x_, CmpOp::kNe, y_, 1);
+  EXPECT_TRUE(solver_.ProvablyUnsat(s));
+}
+
+TEST_F(Strictness, LogDomainBoundaryProducts) {
+  // 0.98 and 1/0.98 are exact inverses only up to rounding; the epsilon
+  // guard must treat the round trip as satisfiable (weak) and must not
+  // claim a strict contradiction.
+  ConstraintSystem s;
+  s.AddXopCtimesY(x_, CmpOp::kLe, 0.98, y_);
+  s.AddXopCtimesY(y_, CmpOp::kLe, 1.0 / 0.98, x_);
+  EXPECT_FALSE(solver_.ProvablyUnsat(s));
+  // But a genuinely shrinking cycle is detected.
+  ConstraintSystem t;
+  t.AddXopCtimesY(x_, CmpOp::kLe, 0.98, y_);
+  t.AddXopCtimesY(y_, CmpOp::kLe, 1.0, x_);
+  EXPECT_TRUE(solver_.ProvablyUnsat(t));
+}
+
+TEST_F(Strictness, StrictRatioChainImpliesStrictOrder) {
+  ConstraintSystem s, t;
+  s.AddXopCtimesY(x_, CmpOp::kLt, 1.0, y_);   // x < y
+  s.AddXopCtimesY(y_, CmpOp::kLe, 1.0, z_);   // y ≤ z
+  t.AddXopYplusC(x_, CmpOp::kLt, z_, 0);      // x < z (additive form)
+  EXPECT_TRUE(solver_.ProvablyImplies(s, t));
+}
+
+TEST_F(Strictness, EqualityDoesNotLeakAcrossDisequalities) {
+  // x ≠ y and x ≤ y: satisfiable (x < y); adding x ≥ y kills it.
+  ConstraintSystem s;
+  s.AddXopYplusC(x_, CmpOp::kNe, y_, 0);
+  s.AddXopYplusC(x_, CmpOp::kLe, y_, 0);
+  EXPECT_FALSE(solver_.ProvablyUnsat(s));
+  s.AddXopYplusC(x_, CmpOp::kGe, y_, 0);
+  EXPECT_TRUE(solver_.ProvablyUnsat(s));
+}
+
+TEST_F(Strictness, ConstantsThroughVariables) {
+  // x > 40, y ≤ x - 5, z = y - 1 ⇒ z > 34 but not z > 35.
+  ConstraintSystem s;
+  s.AddXopC(x_, CmpOp::kGt, 40);
+  s.AddXopYplusC(y_, CmpOp::kLe, x_, -5);
+  s.AddXopYplusC(z_, CmpOp::kEq, y_, -1);
+  ConstraintSystem t34, t35;
+  t34.AddXopC(z_, CmpOp::kGt, 34);
+  t35.AddXopC(z_, CmpOp::kGt, 35);
+  // y has only an upper bound relative to x, so z is unbounded below:
+  // neither implication holds…
+  EXPECT_FALSE(solver_.ProvablyImplies(s, t34));
+  // …until y is pinned from below.
+  s.AddXopYplusC(y_, CmpOp::kGe, x_, -5);  // y = x - 5 now
+  EXPECT_TRUE(solver_.ProvablyImplies(s, t34));
+  EXPECT_FALSE(solver_.ProvablyImplies(s, t35));
+}
+
+}  // namespace
+}  // namespace sqlts

@@ -1,0 +1,157 @@
+// IntervalSet tests (the extension-[13] reasoning domain).
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "intervals/interval_set.h"
+
+namespace sqlts {
+namespace {
+
+TEST(Interval, FromCmp) {
+  EXPECT_TRUE(Interval::FromCmp(CmpOp::kLt, 5).Contains(4.9));
+  EXPECT_FALSE(Interval::FromCmp(CmpOp::kLt, 5).Contains(5));
+  EXPECT_TRUE(Interval::FromCmp(CmpOp::kLe, 5).Contains(5));
+  EXPECT_TRUE(Interval::FromCmp(CmpOp::kGt, 5).Contains(5.1));
+  EXPECT_FALSE(Interval::FromCmp(CmpOp::kGe, 5).Contains(4.9));
+  EXPECT_TRUE(Interval::FromCmp(CmpOp::kEq, 5).Contains(5));
+  EXPECT_FALSE(Interval::FromCmp(CmpOp::kEq, 5).Contains(5.1));
+}
+
+TEST(Interval, Emptiness) {
+  EXPECT_TRUE(
+      Interval::Make(Endpoint::Open(3), Endpoint::Open(3)).IsEmpty());
+  EXPECT_TRUE(
+      Interval::Make(Endpoint::Closed(4), Endpoint::Closed(3)).IsEmpty());
+  EXPECT_FALSE(Interval::Point(3).IsEmpty());
+  EXPECT_FALSE(Interval::All().IsEmpty());
+}
+
+TEST(IntervalSet, NeYieldsTwoRays) {
+  IntervalSet s = IntervalSet::FromCmp(CmpOp::kNe, 5);
+  EXPECT_TRUE(s.Contains(4));
+  EXPECT_TRUE(s.Contains(6));
+  EXPECT_FALSE(s.Contains(5));
+}
+
+TEST(IntervalSet, UnionMergesOverlaps) {
+  IntervalSet a(Interval::Make(Endpoint::Closed(0), Endpoint::Closed(5)));
+  IntervalSet b(Interval::Make(Endpoint::Closed(3), Endpoint::Closed(9)));
+  IntervalSet u = a.Union(b);
+  EXPECT_EQ(u.parts().size(), 1u);
+  EXPECT_TRUE(u.Contains(7));
+  EXPECT_FALSE(u.Contains(9.5));
+}
+
+TEST(IntervalSet, UnionMergesTouchingClosedOpen) {
+  // [0,3] ∪ (3,5) merges; (0,3) ∪ (3,5) keeps the hole at 3.
+  IntervalSet a(Interval::Make(Endpoint::Closed(0), Endpoint::Closed(3)));
+  IntervalSet b(Interval::Make(Endpoint::Open(3), Endpoint::Open(5)));
+  EXPECT_EQ(a.Union(b).parts().size(), 1u);
+
+  IntervalSet c(Interval::Make(Endpoint::Open(0), Endpoint::Open(3)));
+  IntervalSet u = c.Union(b);
+  EXPECT_EQ(u.parts().size(), 2u);
+  EXPECT_FALSE(u.Contains(3));
+}
+
+TEST(IntervalSet, ComplementOfWindow) {
+  // ¬(40 < x < 50) = (-inf,40] ∪ [50,+inf).
+  IntervalSet w(Interval::Make(Endpoint::Open(40), Endpoint::Open(50)));
+  IntervalSet c = w.Complement();
+  EXPECT_TRUE(c.Contains(40));
+  EXPECT_TRUE(c.Contains(50));
+  EXPECT_FALSE(c.Contains(45));
+  EXPECT_TRUE(c.Contains(-1000));
+  EXPECT_TRUE(c.Contains(1000));
+}
+
+TEST(IntervalSet, ComplementOfEmptyAndAll) {
+  EXPECT_TRUE(IntervalSet::Empty().Complement().IsAll());
+  EXPECT_TRUE(IntervalSet::All().Complement().IsEmpty());
+}
+
+TEST(IntervalSet, DoubleComplementIsIdentityOnMembership) {
+  IntervalSet s = IntervalSet::FromCmp(CmpOp::kNe, 2).Intersect(
+      IntervalSet::FromCmp(CmpOp::kLt, 10));
+  IntervalSet cc = s.Complement().Complement();
+  for (double v : {-5.0, 1.9, 2.0, 2.1, 9.9, 10.0, 11.0}) {
+    EXPECT_EQ(s.Contains(v), cc.Contains(v)) << v;
+  }
+}
+
+TEST(IntervalSet, IntersectWindows) {
+  IntervalSet a = IntervalSet::FromCmp(CmpOp::kGt, 30)
+                      .Intersect(IntervalSet::FromCmp(CmpOp::kLt, 40));
+  IntervalSet b = IntervalSet::FromCmp(CmpOp::kGt, 35)
+                      .Intersect(IntervalSet::FromCmp(CmpOp::kLt, 45));
+  IntervalSet i = a.Intersect(b);
+  EXPECT_TRUE(i.Contains(37));
+  EXPECT_FALSE(i.Contains(34));
+  EXPECT_FALSE(i.Contains(41));
+}
+
+TEST(IntervalSet, SubsetOf) {
+  IntervalSet narrow = IntervalSet::FromCmp(CmpOp::kGt, 35).Intersect(
+      IntervalSet::FromCmp(CmpOp::kLt, 40));
+  IntervalSet wide = IntervalSet::FromCmp(CmpOp::kGt, 30).Intersect(
+      IntervalSet::FromCmp(CmpOp::kLt, 40));
+  EXPECT_TRUE(narrow.SubsetOf(wide));
+  EXPECT_FALSE(wide.SubsetOf(narrow));
+  EXPECT_TRUE(IntervalSet::Empty().SubsetOf(narrow));
+  EXPECT_TRUE(narrow.SubsetOf(IntervalSet::All()));
+}
+
+TEST(IntervalSet, DisjunctiveImplication) {
+  // (x < 10 OR x > 90) ⇒ x ≠ 50.
+  IntervalSet p = IntervalSet::FromCmp(CmpOp::kLt, 10).Union(
+      IntervalSet::FromCmp(CmpOp::kGt, 90));
+  IntervalSet q = IntervalSet::FromCmp(CmpOp::kNe, 50);
+  EXPECT_TRUE(p.SubsetOf(q));
+  EXPECT_FALSE(q.SubsetOf(p));
+}
+
+// Property test: set algebra agrees with pointwise boolean algebra on
+// randomly generated sets, sampled at interesting points.
+class IntervalSetProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntervalSetProperty, AlgebraMatchesPointwise) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<int> val(0, 20);
+  std::uniform_int_distribution<int> coin(0, 1);
+  auto random_set = [&] {
+    IntervalSet s;
+    int pieces = 1 + static_cast<int>(rng() % 3);
+    for (int i = 0; i < pieces; ++i) {
+      double lo = val(rng), hi = val(rng);
+      if (lo > hi) std::swap(lo, hi);
+      Endpoint l = coin(rng) ? Endpoint::Open(lo) : Endpoint::Closed(lo);
+      Endpoint h = coin(rng) ? Endpoint::Open(hi) : Endpoint::Closed(hi);
+      s = s.Union(IntervalSet(Interval::Make(l, h)));
+    }
+    return s;
+  };
+  for (int trial = 0; trial < 50; ++trial) {
+    IntervalSet a = random_set();
+    IntervalSet b = random_set();
+    IntervalSet u = a.Union(b);
+    IntervalSet i = a.Intersect(b);
+    IntervalSet c = a.Complement();
+    bool subset = a.SubsetOf(b);
+    bool subset_holds = true;
+    for (double v = -1; v <= 21.5; v += 0.5) {
+      EXPECT_EQ(u.Contains(v), a.Contains(v) || b.Contains(v)) << v;
+      EXPECT_EQ(i.Contains(v), a.Contains(v) && b.Contains(v)) << v;
+      EXPECT_EQ(c.Contains(v), !a.Contains(v)) << v;
+      if (a.Contains(v) && !b.Contains(v)) subset_holds = false;
+    }
+    EXPECT_EQ(subset, subset_holds);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSetProperty,
+                         ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace sqlts

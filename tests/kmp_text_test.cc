@@ -1,0 +1,90 @@
+// Character-level KMP vs naive text search (paper Sec 3.1).
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "engine/kmp_search.h"
+
+namespace sqlts {
+namespace {
+
+TEST(KmpText, PaperExampleFindsTheMatch) {
+  // From Sec 3.1: pattern abcabcacab over the running text.
+  const std::string text = "babcbabcabcaabcabcabcacabc";
+  const std::string pattern = "abcabcacab";
+  int64_t nc = 0, kc = 0;
+  auto naive = NaiveTextSearch(text, pattern, &nc);
+  auto kmp = KmpTextSearch(text, pattern, &kc);
+  EXPECT_EQ(naive, kmp);
+  ASSERT_EQ(kmp.size(), 1u);
+  EXPECT_EQ(text.substr(kmp[0], pattern.size()), pattern);
+  EXPECT_LE(kc, nc);
+}
+
+TEST(KmpText, OverlappingMatches) {
+  int64_t nc = 0, kc = 0;
+  auto naive = NaiveTextSearch("aaaa", "aa", &nc);
+  auto kmp = KmpTextSearch("aaaa", "aa", &kc);
+  EXPECT_EQ(naive, (std::vector<int64_t>{0, 1, 2}));
+  EXPECT_EQ(kmp, naive);
+}
+
+TEST(KmpText, NoMatch) {
+  int64_t nc = 0, kc = 0;
+  EXPECT_TRUE(NaiveTextSearch("abcdef", "xyz", &nc).empty());
+  EXPECT_TRUE(KmpTextSearch("abcdef", "xyz", &kc).empty());
+}
+
+TEST(KmpText, PatternLongerThanText) {
+  int64_t c = 0;
+  EXPECT_TRUE(KmpTextSearch("ab", "abc", &c).empty());
+  EXPECT_TRUE(NaiveTextSearch("ab", "abc", &c).empty());
+}
+
+TEST(KmpText, EmptyPattern) {
+  int64_t c = 0;
+  EXPECT_TRUE(KmpTextSearch("abc", "", &c).empty());
+}
+
+TEST(KmpText, LinearComparisonBound) {
+  // KMP's guarantee: at most 2n character comparisons.
+  std::string text(10000, 'a');
+  std::string pattern = "aaaab";
+  int64_t kc = 0;
+  KmpTextSearch(text, pattern, &kc);
+  EXPECT_LE(kc, 2 * static_cast<int64_t>(text.size()));
+  int64_t nc = 0;
+  NaiveTextSearch(text, pattern, &nc);
+  EXPECT_GT(nc, 4 * static_cast<int64_t>(text.size()));  // quadratic-ish
+}
+
+class KmpRandomEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(KmpRandomEquivalence, MatchesNaiveOnRandomStrings) {
+  std::mt19937_64 rng(GetParam() * 1337);
+  for (int trial = 0; trial < 200; ++trial) {
+    int alphabet = 2 + static_cast<int>(rng() % 3);
+    auto random_string = [&](int len) {
+      std::string s;
+      for (int i = 0; i < len; ++i) {
+        s += static_cast<char>('a' + rng() % alphabet);
+      }
+      return s;
+    };
+    std::string text = random_string(60 + rng() % 200);
+    std::string pattern = random_string(1 + rng() % 8);
+    int64_t nc = 0, kc = 0;
+    auto naive = NaiveTextSearch(text, pattern, &nc);
+    auto kmp = KmpTextSearch(text, pattern, &kc);
+    ASSERT_EQ(naive, kmp) << "text=" << text << " pattern=" << pattern;
+    // The KMP bound: ≤ 2·n comparisons regardless of pattern.
+    EXPECT_LE(kc, 2 * static_cast<int64_t>(text.size()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KmpRandomEquivalence,
+                         ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace sqlts

@@ -1,0 +1,91 @@
+// LIMIT clause: exact early termination under both algorithms.
+
+#include <gtest/gtest.h>
+
+#include "engine/executor.h"
+#include "test_util.h"
+#include "workload/patterns.h"
+
+namespace sqlts {
+namespace {
+
+TEST(Limit, ReturnsPrefixOfUnlimitedResult) {
+  Table t = PricesToQuoteTable("DJIA", *Date::Parse("1974-01-02"),
+                               SeriesWithPlantedDoubleBottoms(8));
+  auto all = QueryExecutor::Execute(t, RelaxedDoubleBottomQuery());
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->output.num_rows(), 8);
+
+  std::string limited_query = RelaxedDoubleBottomQuery() + " LIMIT 3";
+  for (SearchAlgorithm algo :
+       {SearchAlgorithm::kOps, SearchAlgorithm::kNaive}) {
+    ExecOptions opt;
+    opt.algorithm = algo;
+    auto some = QueryExecutor::Execute(t, limited_query, opt);
+    ASSERT_TRUE(some.ok()) << some.status();
+    ASSERT_EQ(some->output.num_rows(), 3);
+    for (int64_t r = 0; r < 3; ++r) {
+      for (int c = 0; c < some->output.schema().num_columns(); ++c) {
+        EXPECT_TRUE(some->output.at(r, c).StructurallyEquals(
+            all->output.at(r, c)));
+      }
+    }
+    // Early termination does strictly less work.
+    EXPECT_LT(some->stats.evaluations, all->stats.evaluations);
+  }
+}
+
+TEST(Limit, SpansClusters) {
+  Table t(QuoteSchema());
+  Date d0 = *Date::Parse("1999-01-04");
+  // Each cluster yields two rising-pair matches.
+  for (const char* name : {"A", "B", "C"}) {
+    ASSERT_TRUE(AppendInstrument(&t, name, d0, {1, 2, 3, 4}).ok());
+  }
+  auto r = QueryExecutor::Execute(
+      t,
+      "SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date "
+      "AS (X, Y) WHERE Y.price > X.price LIMIT 4");
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->output.num_rows(), 4);
+  EXPECT_EQ(r->output.at(0, 0).string_value(), "A");
+  EXPECT_EQ(r->output.at(3, 0).string_value(), "B");
+}
+
+TEST(Limit, LargerThanResultIsHarmless) {
+  Table t = PricesToQuoteTable("A", *Date::Parse("1999-01-04"), {1, 2});
+  auto r = QueryExecutor::Execute(
+      t,
+      "SELECT X.price FROM quote SEQUENCE BY date AS (X, Y) "
+      "WHERE Y.price > X.price LIMIT 100");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->output.num_rows(), 1);
+}
+
+TEST(Limit, ParseErrors) {
+  Schema s = QuoteSchema();
+  EXPECT_FALSE(CompileQueryText("SELECT X.price FROM quote SEQUENCE BY "
+                                "date AS (X) LIMIT 0",
+                                s)
+                   .ok());
+  EXPECT_FALSE(CompileQueryText("SELECT X.price FROM quote SEQUENCE BY "
+                                "date AS (X) LIMIT abc",
+                                s)
+                   .ok());
+  EXPECT_FALSE(CompileQueryText("SELECT X.price FROM quote SEQUENCE BY "
+                                "date AS (X) LIMIT -2",
+                                s)
+                   .ok());
+}
+
+TEST(Limit, WorksWithWhereAbsent) {
+  Table t = PricesToQuoteTable("A", *Date::Parse("1999-01-04"),
+                               {1, 2, 3, 4, 5, 6});
+  auto r = QueryExecutor::Execute(
+      t, "SELECT X.price FROM quote SEQUENCE BY date AS (X, Y) LIMIT 2");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->output.num_rows(), 2);
+}
+
+}  // namespace
+}  // namespace sqlts

@@ -1,0 +1,117 @@
+// Semantic soundness of the θ/φ matrices: each 1/0 entry is a claim
+// about *all* tuples, which we verify by dense sampling of
+// (previous_price, price) pairs — independent of the matchers and the
+// GSW internals.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "expr/eval.h"
+#include "pattern/theta_phi.h"
+#include "test_util.h"
+
+namespace sqlts {
+namespace {
+
+/// Evaluates a single-element predicate on the tuple (price = cur)
+/// whose previous tuple has price = prev.
+class PredicateSampler {
+ public:
+  explicit PredicateSampler(const std::string& cond) {
+    CompiledQuery q = testing_util::MustCompile(
+        "SELECT X.price FROM quote SEQUENCE BY date AS (X) WHERE " + cond);
+    pred_ = q.elements[0].predicate;
+  }
+
+  bool Holds(double prev, double cur) const {
+    Table t = PricesToQuoteTable("S", Date(10000), {prev, cur});
+    std::vector<int64_t> rows = {0, 1};
+    SequenceView seq(&t, rows);
+    EvalContext ctx;
+    ctx.seq = &seq;
+    ctx.pos = 1;
+    return EvalPredicate(*pred_, ctx);
+  }
+
+ private:
+  ExprPtr pred_;
+};
+
+class MatrixSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatrixSoundness, ThetaPhiEntriesHoldOnSampledTuples) {
+  // A pool mixing every analyzable form: differences, ratios, windows,
+  // disjunctions, and residue.
+  const std::vector<std::string> pool = {
+      "X.price < X.previous.price",
+      "X.price > X.previous.price",
+      "X.price >= X.previous.price",
+      "X.price < 0.98 * X.previous.price",
+      "X.price > 1.02 * X.previous.price",
+      "0.98 * X.previous.price < X.price AND X.price < 1.02 * "
+      "X.previous.price",
+      "X.price > 40 AND X.price < 50",
+      "X.price > 45",
+      "X.price < 44 OR X.price > 52",
+      "X.price < X.previous.price AND X.price > 40 AND X.price < 50",
+      "X.price > X.previous.price + 3",
+      "X.price + X.previous.price > 90",  // residue
+  };
+  // Rotate a window of 5 predicates through the pool per seed.
+  const int offset = GetParam();
+  std::vector<PredicateAnalysis> analyses;
+  std::vector<PredicateSampler> samplers;
+  VariableCatalog catalog;
+  for (int e = 0; e < 5; ++e) {
+    const std::string& cond = pool[(offset + e * 3) % pool.size()];
+    CompiledQuery q = testing_util::MustCompile(
+        "SELECT X.price FROM quote SEQUENCE BY date AS (X) WHERE " + cond);
+    analyses.push_back(
+        AnalyzePredicate(q.elements[0].predicate, QuoteSchema(), &catalog));
+    samplers.emplace_back(cond);
+  }
+  ImplicationOracle oracle;
+  ThetaPhi tp = BuildThetaPhi(analyses, oracle);
+
+  // Sample grid (prices around the constants used in the pool).
+  std::vector<double> grid;
+  for (double v = 38; v <= 56; v += 0.5) grid.push_back(v);
+
+  const int m = static_cast<int>(analyses.size());
+  for (int j = 1; j <= m; ++j) {
+    for (int k = 1; k <= j; ++k) {
+      Tribool theta = tp.theta.At(j, k);
+      Tribool phi = tp.phi.At(j, k);
+      for (double prev : grid) {
+        for (double cur : grid) {
+          bool pj = samplers[j - 1].Holds(prev, cur);
+          bool pk = samplers[k - 1].Holds(prev, cur);
+          if (theta.IsTrue() && pj) {
+            ASSERT_TRUE(pk) << "θ(" << j << "," << k << ")=1 violated at ("
+                            << prev << "," << cur << ")";
+          }
+          if (theta.IsFalse() && pj) {
+            ASSERT_FALSE(pk) << "θ(" << j << "," << k << ")=0 violated at ("
+                             << prev << "," << cur << ")";
+          }
+          if (phi.IsTrue() && !pj) {
+            ASSERT_TRUE(pk) << "φ(" << j << "," << k << ")=1 violated at ("
+                            << prev << "," << cur << ")";
+          }
+          if (phi.IsFalse() && !pj) {
+            ASSERT_FALSE(pk) << "φ(" << j << "," << k << ")=0 violated at ("
+                             << prev << "," << cur << ")";
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PoolRotations, MatrixSoundness,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace sqlts

@@ -1,0 +1,91 @@
+// Robustness: the parser/analyzer must never crash — every malformed
+// input returns a Status.  We fuzz by mutating valid queries and by
+// generating random token soup.
+
+#include <random>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "parser/analyzer.h"
+#include "workload/generators.h"
+
+namespace sqlts {
+namespace {
+
+class ParserFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParserFuzz, MutatedQueriesNeverCrash) {
+  std::mt19937_64 rng(GetParam() * 2654435761u);
+  Schema schema = QuoteSchema();
+  const std::string base = PaperExampleQuery(10);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string q = base;
+    int mutations = 1 + static_cast<int>(rng() % 4);
+    for (int m = 0; m < mutations; ++m) {
+      size_t pos = rng() % q.size();
+      switch (rng() % 4) {
+        case 0:  // delete a span
+          q.erase(pos, 1 + rng() % 8);
+          break;
+        case 1:  // duplicate a span
+          q.insert(pos, q.substr(pos, 1 + rng() % 8));
+          break;
+        case 2:  // random character
+          q.insert(pos, 1, static_cast<char>(32 + rng() % 95));
+          break;
+        case 3: {  // swap two chars
+          size_t pos2 = rng() % q.size();
+          std::swap(q[pos], q[pos2]);
+          break;
+        }
+      }
+    }
+    // Must not crash; error statuses are fine.
+    auto r = CompileQueryText(q, schema);
+    (void)r;
+  }
+}
+
+TEST_P(ParserFuzz, TokenSoupNeverCrashes) {
+  std::mt19937_64 rng(GetParam() * 40503);
+  Schema schema = QuoteSchema();
+  const char* fragments[] = {
+      "SELECT", "FROM",  "WHERE",  "CLUSTER", "SEQUENCE", "BY",    "AS",
+      "AND",    "OR",    "NOT",    "FIRST",   "LAST",     "(",     ")",
+      ",",      ".",     "*",      "+",       "-",        "/",     "<",
+      "<=",     ">",     ">=",     "=",       "<>",       "X",     "Y",
+      "price",  "name",  "date",   "quote",   "previous", "next",  "'a'",
+      "1.5",    "42",    "COUNT",  "AVG",     "->",       "0.98",
+  };
+  constexpr size_t kNumFragments =
+      sizeof(fragments) / sizeof(fragments[0]);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string q;
+    int len = 1 + static_cast<int>(rng() % 40);
+    for (int i = 0; i < len; ++i) {
+      q += fragments[rng() % kNumFragments];
+      q += " ";
+    }
+    auto r = CompileQueryText(q, schema);
+    (void)r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Range(1, 6));
+
+TEST(ParserFuzz, ValidQueriesStillCompileAfterWhitespaceMangling) {
+  // Inserting whitespace anywhere between tokens must not change the
+  // outcome.
+  Schema schema = QuoteSchema();
+  std::string q = PaperExampleQuery(1);
+  std::string spaced;
+  for (char c : q) {
+    spaced += c;
+    if (c == ' ') spaced += "\t\n ";
+  }
+  EXPECT_TRUE(CompileQueryText(spaced, schema).ok());
+}
+
+}  // namespace
+}  // namespace sqlts

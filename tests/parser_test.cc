@@ -1,0 +1,277 @@
+// Lexer / parser / semantic analyzer tests.
+
+#include <gtest/gtest.h>
+
+#include "parser/analyzer.h"
+#include "parser/lexer.h"
+#include "parser/parser.h"
+#include "test_util.h"
+#include "workload/generators.h"
+
+namespace sqlts {
+namespace {
+
+using testing_util::MustCompile;
+
+// ---- lexer ----
+
+TEST(Lexer, BasicTokens) {
+  auto toks = Tokenize("SELECT x.price >= 1.5, 'a''b' <> 42 -- c\n(*)");
+  ASSERT_TRUE(toks.ok()) << toks.status();
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *toks) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds,
+            (std::vector<TokenKind>{
+                TokenKind::kKeyword, TokenKind::kIdentifier, TokenKind::kDot,
+                TokenKind::kIdentifier, TokenKind::kGe,
+                TokenKind::kDoubleLiteral, TokenKind::kComma,
+                TokenKind::kStringLiteral, TokenKind::kNe,
+                TokenKind::kIntLiteral, TokenKind::kLParen, TokenKind::kStar,
+                TokenKind::kRParen, TokenKind::kEnd}));
+  EXPECT_EQ((*toks)[7].text, "a'b");
+  EXPECT_EQ((*toks)[9].int_value, 42);
+}
+
+TEST(Lexer, Sql3Arrow) {
+  auto toks = Tokenize("Z.previous->date");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[3].kind, TokenKind::kDot);
+  EXPECT_EQ((*toks)[3].text, "->");
+}
+
+TEST(Lexer, KeywordsAreCaseInsensitive) {
+  auto toks = Tokenize("select From wHeRe cluster SEQUENCE by as and or not");
+  ASSERT_TRUE(toks.ok());
+  for (size_t i = 0; i + 1 < toks->size(); ++i) {
+    EXPECT_EQ((*toks)[i].kind, TokenKind::kKeyword) << i;
+  }
+}
+
+TEST(Lexer, DateIsNotAKeyword) {
+  auto toks = Tokenize("date");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].kind, TokenKind::kIdentifier);
+}
+
+TEST(Lexer, Errors) {
+  EXPECT_FALSE(Tokenize("'unterminated").ok());
+  EXPECT_FALSE(Tokenize("a % b").ok());
+  EXPECT_FALSE(Tokenize("a ! b").ok());
+}
+
+// ---- parser ----
+
+TEST(Parser, AllPaperExamplesParse) {
+  for (int ex : {1, 2, 3, 4, 8, 9, 10}) {
+    auto q = ParseQuery(PaperExampleQuery(ex));
+    EXPECT_TRUE(q.ok()) << "example " << ex << ": " << q.status();
+  }
+}
+
+TEST(Parser, PatternStars) {
+  auto q = ParseQuery(PaperExampleQuery(10));
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->pattern.size(), 9u);
+  EXPECT_FALSE(q->pattern[0].star);  // X
+  EXPECT_TRUE(q->pattern[1].star);   // *Y
+  EXPECT_TRUE(q->pattern[7].star);   // *R
+  EXPECT_FALSE(q->pattern[8].star);  // S
+}
+
+TEST(Parser, ClusterAndSequenceBy) {
+  auto q = ParseQuery(PaperExampleQuery(9));  // "CLUSTER BY name, SEQUENCE BY date"
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->cluster_by, std::vector<std::string>{"name"});
+  EXPECT_EQ(q->sequence_by, std::vector<std::string>{"date"});
+}
+
+TEST(Parser, NavigationChains) {
+  auto e = ParseExpression("X.previous.previous.price");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->ref.nav_offset, -2);
+  EXPECT_EQ((*e)->ref.column, "price");
+  auto n = ParseExpression("X.NEXT.date");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ((*n)->ref.nav_offset, 1);
+}
+
+TEST(Parser, Sql3NavigationArrow) {
+  auto e = ParseExpression("Z.previous->date");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->ref.nav_offset, -1);
+  EXPECT_EQ((*e)->ref.column, "date");
+}
+
+TEST(Parser, FirstLastAccessors) {
+  auto e = ParseExpression("FIRST(X).date");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->ref.accessor, GroupAccessor::kFirst);
+  auto l = ParseExpression("LAST(Z).price");
+  ASSERT_TRUE(l.ok());
+  EXPECT_EQ((*l)->ref.accessor, GroupAccessor::kLast);
+}
+
+TEST(Parser, DateLiteral) {
+  auto e = ParseExpression("X.date > DATE '1999-01-25'");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->rhs->literal.date_value(), *Date::Parse("1999-01-25"));
+}
+
+TEST(Parser, OperatorPrecedence) {
+  auto e = ParseExpression("1 + 2 * 3 = 7");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->ToString(), "(1 + (2 * 3)) = 7");
+  auto l = ParseExpression("X.price > 1 AND X.price < 2 OR X.price = 5");
+  ASSERT_TRUE(l.ok());
+  EXPECT_EQ((*l)->kind, ExprKind::kOr);
+}
+
+TEST(Parser, Errors) {
+  EXPECT_FALSE(ParseQuery("SELECT FROM t AS (X)").ok());
+  EXPECT_FALSE(ParseQuery("SELECT a.b FROM t").ok());  // missing AS
+  EXPECT_FALSE(ParseQuery("SELECT a.b FROM t AS ()").ok());
+  EXPECT_FALSE(ParseQuery("SELECT a.b FROM t AS (X) WHERE").ok());
+  EXPECT_FALSE(ParseExpression("1 +").ok());
+  EXPECT_FALSE(ParseExpression("(1 + 2").ok());
+  EXPECT_FALSE(ParseExpression("FIRST(X)").ok());  // needs .column
+}
+
+TEST(Parser, ToStringRendersQuery) {
+  auto q = ParseQuery(PaperExampleQuery(2));
+  ASSERT_TRUE(q.ok());
+  std::string s = q->ToString();
+  EXPECT_NE(s.find("CLUSTER BY name"), std::string::npos);
+  EXPECT_NE(s.find("AS (X, *Y, Z)"), std::string::npos);
+}
+
+// ---- analyzer ----
+
+TEST(Analyzer, AssignsConjunctsToLatestElement) {
+  CompiledQuery q = MustCompile(PaperExampleQuery(1));
+  // Y.price > 1.15·X.price → element Y; Z.price < 0.80·Y.price → Z.
+  EXPECT_EQ(q.elements[0].conjuncts.size(), 0u);
+  EXPECT_EQ(q.elements[1].conjuncts.size(), 1u);
+  EXPECT_EQ(q.elements[2].conjuncts.size(), 1u);
+}
+
+TEST(Analyzer, RewritesAdjacentRefsToPrevious) {
+  CompiledQuery q = MustCompile(PaperExampleQuery(1));
+  // In Y's conjunct the X.price reference becomes relative offset -1.
+  bool saw_offset = false;
+  VisitColumnRefs(q.elements[1].conjuncts[0], [&](const ColumnRef& r) {
+    if (r.element == 0) {
+      EXPECT_TRUE(r.relative);
+      EXPECT_EQ(r.total_offset, -1);
+      saw_offset = true;
+    }
+  });
+  EXPECT_TRUE(saw_offset);
+}
+
+TEST(Analyzer, HoistsClusterFilter) {
+  CompiledQuery q = MustCompile(PaperExampleQuery(4));
+  // X.name='IBM' is hoisted: X's element predicate is empty (the paper
+  // drops it from p₁ the same way).
+  ASSERT_EQ(q.cluster_filters.size(), 1u);
+  EXPECT_EQ(q.elements[0].conjuncts.size(), 0u);
+}
+
+TEST(Analyzer, NoHoistWithoutClusterBy) {
+  CompiledQuery q = MustCompile(
+      "SELECT X.price FROM quote SEQUENCE BY date AS (X, Y) "
+      "WHERE X.name = 'IBM' AND Y.price > X.price");
+  EXPECT_TRUE(q.cluster_filters.empty());
+  EXPECT_EQ(q.elements[0].conjuncts.size(), 1u);
+}
+
+TEST(Analyzer, AnchoredRefAcrossStar) {
+  // Z references X across star Y: must stay anchored.
+  CompiledQuery q = MustCompile(PaperExampleQuery(2));
+  bool saw_anchored = false;
+  for (const ExprPtr& c : q.elements[2].conjuncts) {
+    VisitColumnRefs(c, [&](const ColumnRef& r) {
+      if (r.element == 0) {
+        EXPECT_FALSE(r.relative);
+        saw_anchored = true;
+      }
+    });
+  }
+  EXPECT_TRUE(saw_anchored);
+}
+
+TEST(Analyzer, MultiStepRelativeRewrite) {
+  // W references X three single elements back: offset -3.
+  CompiledQuery q = MustCompile(
+      "SELECT X.price FROM quote SEQUENCE BY date AS (X, Y, Z, W) "
+      "WHERE W.price > X.price");
+  bool checked = false;
+  VisitColumnRefs(q.elements[3].conjuncts[0], [&](const ColumnRef& r) {
+    if (r.element == 0) {
+      EXPECT_TRUE(r.relative);
+      EXPECT_EQ(r.total_offset, -3);
+      checked = true;
+    }
+  });
+  EXPECT_TRUE(checked);
+}
+
+TEST(Analyzer, OutputSchema) {
+  CompiledQuery q = MustCompile(PaperExampleQuery(4));
+  // SELECT X.date AS start_date, X.price, U.date AS end_date, U.price.
+  ASSERT_EQ(q.output_schema.num_columns(), 4);
+  EXPECT_EQ(q.output_schema.column(0).name, "start_date");
+  EXPECT_EQ(q.output_schema.column(0).type, TypeKind::kDate);
+  EXPECT_EQ(q.output_schema.column(1).name, "price");
+  EXPECT_EQ(q.output_schema.column(1).type, TypeKind::kDouble);
+  EXPECT_EQ(q.output_schema.column(2).name, "end_date");
+  // Duplicate implicit name gets a suffix.
+  EXPECT_EQ(q.output_schema.column(3).name, "price_2");
+}
+
+TEST(Analyzer, Errors) {
+  Schema schema = QuoteSchema();
+  // Unknown pattern variable.
+  EXPECT_FALSE(CompileQueryText("SELECT Q.price FROM quote SEQUENCE BY date "
+                                "AS (X) WHERE X.price > 0",
+                                schema)
+                   .ok());
+  // Unknown column.
+  EXPECT_FALSE(CompileQueryText("SELECT X.volume FROM quote SEQUENCE BY "
+                                "date AS (X) WHERE X.price > 0",
+                                schema)
+                   .ok());
+  // Duplicate pattern variable.
+  EXPECT_FALSE(CompileQueryText(
+                   "SELECT X.price FROM quote SEQUENCE BY date AS (X, X)",
+                   schema)
+                   .ok());
+  // FIRST in WHERE.
+  EXPECT_FALSE(CompileQueryText("SELECT X.price FROM quote SEQUENCE BY date "
+                                "AS (X, Y) WHERE FIRST(X).price > 0",
+                                schema)
+                   .ok());
+  // Unqualified column in expression.
+  EXPECT_FALSE(CompileQueryText(
+                   "SELECT price FROM quote SEQUENCE BY date AS (X)", schema)
+                   .ok());
+  // Type error: string compared with number.
+  EXPECT_FALSE(CompileQueryText("SELECT X.price FROM quote SEQUENCE BY date "
+                                "AS (X) WHERE X.name > 5",
+                                schema)
+                   .ok());
+  // Non-boolean WHERE conjunct.
+  EXPECT_FALSE(CompileQueryText("SELECT X.price FROM quote SEQUENCE BY date "
+                                "AS (X) WHERE X.price + 1",
+                                schema)
+                   .ok());
+}
+
+TEST(Analyzer, ClusterColumnsValidated) {
+  EXPECT_FALSE(CompileQueryText("SELECT X.price FROM quote CLUSTER BY "
+                                "ticker SEQUENCE BY date AS (X)",
+                                QuoteSchema())
+                   .ok());
+}
+
+}  // namespace
+}  // namespace sqlts

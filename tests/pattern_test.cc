@@ -1,0 +1,291 @@
+// θ/φ/S/shift/next tests against the paper's worked examples.
+
+#include <gtest/gtest.h>
+
+#include "pattern/compile.h"
+#include "pattern/shift_next.h"
+#include "pattern/star_graph.h"
+#include "pattern/theta_phi.h"
+#include "test_util.h"
+
+namespace sqlts {
+namespace {
+
+using testing_util::MustPlan;
+
+constexpr Tribool T = Tribool::True();
+constexpr Tribool F = Tribool::False();
+constexpr Tribool U = Tribool::Unknown();
+
+/// Builds predicate analyses for a list of stand-alone conditions over
+/// the quote schema (all relative to a single tuple variable X).
+std::vector<PredicateAnalysis> AnalyzeAll(
+    const std::vector<std::string>& conds, VariableCatalog* catalog) {
+  std::vector<PredicateAnalysis> out;
+  for (const std::string& c : conds) {
+    CompiledQuery q = testing_util::MustCompile(
+        "SELECT X.price FROM quote SEQUENCE BY date AS (X) WHERE " + c);
+    out.push_back(
+        AnalyzePredicate(q.elements[0].predicate, QuoteSchema(), catalog));
+  }
+  return out;
+}
+
+/// The paper's Example 4 predicate list (Sec 4, p₁..p₄).
+std::vector<std::string> Example4Predicates() {
+  return {
+      "X.price < X.previous.price",
+      "X.price < X.previous.price AND X.price > 40 AND X.price < 50",
+      "X.price > X.previous.price AND X.price < 52",
+      "X.price > X.previous.price",
+  };
+}
+
+/// The paper's Example 9 predicate list (p₁..p₇).
+std::vector<std::string> Example9Predicates() {
+  return {
+      "X.price > X.previous.price",                       // p1 *
+      "X.price > 30 AND X.price < 40",                    // p2
+      "X.price < X.previous.price",                       // p3 *
+      "X.price > X.previous.price",                       // p4 *
+      "X.price > 35 AND X.price < 40",                    // p5
+      "X.price < X.previous.price",                       // p6 *
+      "X.price < 30",                                     // p7
+  };
+}
+
+class Example4Matrices : public ::testing::Test {
+ protected:
+  Example4Matrices() {
+    VariableCatalog catalog;
+    auto preds = AnalyzeAll(Example4Predicates(), &catalog);
+    ImplicationOracle oracle;
+    tp_ = BuildThetaPhi(preds, oracle);
+  }
+  ThetaPhi tp_;
+};
+
+TEST_F(Example4Matrices, ThetaMatchesExample5) {
+  // θ = [1; 1 1; 0 0 1; 0 0 U 1]
+  EXPECT_EQ(tp_.theta.At(1, 1), T);
+  EXPECT_EQ(tp_.theta.At(2, 1), T);
+  EXPECT_EQ(tp_.theta.At(2, 2), T);
+  EXPECT_EQ(tp_.theta.At(3, 1), F);
+  EXPECT_EQ(tp_.theta.At(3, 2), F);
+  EXPECT_EQ(tp_.theta.At(3, 3), T);
+  EXPECT_EQ(tp_.theta.At(4, 1), F);
+  EXPECT_EQ(tp_.theta.At(4, 2), F);
+  EXPECT_EQ(tp_.theta.At(4, 3), U);
+  EXPECT_EQ(tp_.theta.At(4, 4), T);
+}
+
+TEST_F(Example4Matrices, PhiMatchesExample5) {
+  // φ = [0; U 0; U U 0; U U 0 0]
+  EXPECT_EQ(tp_.phi.At(1, 1), F);
+  EXPECT_EQ(tp_.phi.At(2, 1), U);
+  EXPECT_EQ(tp_.phi.At(2, 2), F);
+  EXPECT_EQ(tp_.phi.At(3, 1), U);
+  EXPECT_EQ(tp_.phi.At(3, 2), U);
+  EXPECT_EQ(tp_.phi.At(3, 3), F);
+  EXPECT_EQ(tp_.phi.At(4, 1), U);
+  EXPECT_EQ(tp_.phi.At(4, 2), U);
+  EXPECT_EQ(tp_.phi.At(4, 3), F);
+  EXPECT_EQ(tp_.phi.At(4, 4), F);
+}
+
+TEST_F(Example4Matrices, SMatrixMatchesExample6) {
+  SearchTables tables = BuildStarFreeTables(tp_);
+  // S = [U; U U; 0 0 U]
+  EXPECT_EQ(tables.s_matrix.At(2, 1), U);
+  EXPECT_EQ(tables.s_matrix.At(3, 1), U);
+  EXPECT_EQ(tables.s_matrix.At(3, 2), U);
+  EXPECT_EQ(tables.s_matrix.At(4, 1), F);
+  EXPECT_EQ(tables.s_matrix.At(4, 2), F);
+  EXPECT_EQ(tables.s_matrix.At(4, 3), U);
+}
+
+TEST_F(Example4Matrices, ShiftNextMatchExample7) {
+  SearchTables tables = BuildStarFreeTables(tp_);
+  EXPECT_EQ(tables.shift[1], 1);
+  EXPECT_EQ(tables.shift[2], 1);
+  EXPECT_EQ(tables.shift[3], 1);
+  EXPECT_EQ(tables.shift[4], 3);
+  EXPECT_EQ(tables.next[1], 0);
+  EXPECT_EQ(tables.next[2], 1);
+  EXPECT_EQ(tables.next[3], 2);
+  EXPECT_EQ(tables.next[4], 1);
+  // All of Example 7's cases are case 3 (S = U): no presatisfied entry.
+  for (int j = 1; j <= 4; ++j) EXPECT_FALSE(tables.presatisfied[j]);
+}
+
+class Example9Matrices : public ::testing::Test {
+ protected:
+  Example9Matrices() {
+    VariableCatalog catalog;
+    preds_ = AnalyzeAll(Example9Predicates(), &catalog);
+    ImplicationOracle oracle;
+    tp_ = BuildThetaPhi(preds_, oracle);
+    star_ = {false, true, false, true, true, false, true, false};  // 1-based
+  }
+  std::vector<PredicateAnalysis> preds_;
+  ThetaPhi tp_;
+  std::vector<bool> star_;
+};
+
+TEST_F(Example9Matrices, ThetaMatchesPaper) {
+  // Paper's θ for Example 9 (lower triangle, rows 1..7).
+  const char* expected[7] = {
+      "1", "U 1", "0 U 1", "1 U 0 1", "U 1 U U 1", "0 U 1 0 U 1",
+      "U 0 U U 0 U 1"};
+  for (int j = 1; j <= 7; ++j) {
+    std::string row;
+    for (int k = 1; k <= j; ++k) {
+      if (k > 1) row += " ";
+      row += tp_.theta.At(j, k).ToString();
+    }
+    EXPECT_EQ(row, expected[j - 1]) << "theta row " << j;
+  }
+}
+
+TEST_F(Example9Matrices, PhiDiagonalIsZeroAndKeyEntries) {
+  for (int j = 1; j <= 7; ++j) EXPECT_EQ(tp_.phi.At(j, j), F) << j;
+  // ¬p6 (price ≥ prev) contradicts p3 (price < prev).
+  EXPECT_EQ(tp_.phi.At(6, 3), F);
+  // ¬p6 neither implies nor contradicts p1 (price > prev).
+  EXPECT_EQ(tp_.phi.At(6, 1), U);
+  // ¬p7 (price ≥ 30) contradicts nothing and implies nothing of p2/p5.
+  EXPECT_EQ(tp_.phi.At(7, 2), U);
+  EXPECT_EQ(tp_.phi.At(7, 5), U);
+}
+
+TEST_F(Example9Matrices, StarShiftNextMatchPaper) {
+  SearchTables tables = BuildStarTables(tp_, star_);
+  // The paper derives shift(6) = 3 and next(6) = 1 from G_P^6.
+  EXPECT_EQ(tables.shift[6], 3);
+  EXPECT_EQ(tables.next[6], 1);
+  EXPECT_FALSE(tables.presatisfied[6]);
+}
+
+TEST_F(Example9Matrices, GraphReachabilityDetails) {
+  ImplicationGraph g(tp_, star_, 6);
+  // θ31 = 0: node is dead, so a shift of 2 is impossible; θ21 leads only
+  // to dead ends, so shift 1 is impossible too (the paper's argument).
+  EXPECT_EQ(g.value(3, 1), F);
+  EXPECT_EQ(g.ComputeShift(), 3);
+  // Node (4,1) has value 1 but two successors: not deterministic.
+  EXPECT_EQ(g.value(4, 1), T);
+  EXPECT_EQ(g.OutArcs(4, 1).size(), 2u);
+}
+
+// ---- generic invariants, swept over a pool of compiled patterns ----
+
+class PlanInvariants : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PlanInvariants, ShiftNextAreWellFormed) {
+  PatternPlan plan = MustPlan(GetParam());
+  for (int j = 1; j <= plan.m; ++j) {
+    EXPECT_GE(plan.tables.shift[j], 1) << j;
+    EXPECT_LE(plan.tables.shift[j], j) << j;
+    if (plan.tables.shift[j] == j) {
+      EXPECT_EQ(plan.tables.next[j], 0) << j;
+    } else {
+      EXPECT_GE(plan.tables.next[j], 1) << j;
+      EXPECT_LE(plan.tables.next[j], j - plan.tables.shift[j]) << j;
+    }
+  }
+  // φ diagonal can only be 1 for a valid (always-true) predicate, such
+  // as an element with no WHERE conjuncts.
+  ImplicationOracle oracle;
+  for (int j = 1; j <= plan.m; ++j) {
+    if (plan.matrices.phi.At(j, j) == T) {
+      EXPECT_TRUE(oracle.Valid(plan.analyses[j - 1])) << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperQueries, PlanInvariants,
+    ::testing::Values(
+        "SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date AS "
+        "(X, Y, Z) WHERE Y.price > 1.15 * X.price AND Z.price < 0.80 * "
+        "Y.price",
+        "SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date AS "
+        "(X, *Y, Z) WHERE Y.price < Y.previous.price AND "
+        "Z.previous.price < 0.5 * X.price",
+        "SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date AS "
+        "(X, Y, Z) WHERE X.price = 10 AND Y.price = 11 AND Z.price = 15",
+        "SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date AS "
+        "(*X, *Y, *Z) WHERE X.price > X.previous.price AND Y.price < "
+        "Y.previous.price AND Z.price > Z.previous.price"));
+
+TEST(StarFreeVsGraph, AgreeOnStarFreePatterns) {
+  // For star-free patterns the implication-graph construction must give
+  // the same shift values as the S-matrix construction (the graph
+  // degenerates to diagonal paths).
+  VariableCatalog catalog;
+  auto preds = AnalyzeAll(Example4Predicates(), &catalog);
+  ImplicationOracle oracle;
+  ThetaPhi tp = BuildThetaPhi(preds, oracle);
+  SearchTables s_tables = BuildStarFreeTables(tp);
+  std::vector<bool> star(preds.size() + 1, false);
+  SearchTables g_tables = BuildStarTables(tp, star);
+  for (size_t j = 1; j <= preds.size(); ++j) {
+    EXPECT_EQ(s_tables.shift[j], g_tables.shift[j]) << j;
+    EXPECT_EQ(s_tables.next[j], g_tables.next[j]) << j;
+    EXPECT_EQ(s_tables.presatisfied[j], g_tables.presatisfied[j]) << j;
+  }
+}
+
+TEST(Kmp, PaperPatternNextValues) {
+  // Knuth's example (Sec 3.1): pattern abcabcacab.
+  std::vector<int> next = BuildKmpNext("abcabcacab");
+  EXPECT_EQ(next, (std::vector<int>{0, 0, 1, 1, 0, 1, 1, 0, 5, 0, 1}));
+}
+
+TEST(Kmp, AllEqualPattern) {
+  std::vector<int> next = BuildKmpNext("aaaa");
+  // On a mismatch the failing text character differs from 'a', so no
+  // shorter alignment can help: Knuth's optimized next is all zero.
+  EXPECT_EQ(next, (std::vector<int>{0, 0, 0, 0, 0}));
+}
+
+TEST(Kmp, DistinctCharsPattern) {
+  std::vector<int> next = BuildKmpNext("abcd");
+  EXPECT_EQ(next, (std::vector<int>{0, 0, 1, 1, 1}));
+}
+
+TEST(CompileOptions, DisableNextDegradesButKeepsShift) {
+  CompileOptions opt;
+  opt.enable_next = false;
+  PatternPlan plan = MustPlan(PaperExampleQuery(10), QuoteSchema(), opt);
+  for (int j = 1; j <= plan.m; ++j) {
+    if (plan.tables.shift[j] == j) {
+      EXPECT_EQ(plan.tables.next[j], 0);
+    } else {
+      EXPECT_EQ(plan.tables.next[j], 1);
+    }
+    EXPECT_FALSE(plan.tables.presatisfied[j]);
+  }
+}
+
+TEST(OracleAblation, AllUnknownWithoutReasoners) {
+  CompileOptions opt;
+  opt.oracle.use_gsw = false;
+  opt.oracle.use_intervals = false;
+  VariableCatalog catalog;
+  auto preds = AnalyzeAll(Example4Predicates(), &catalog);
+  ImplicationOracle oracle(opt.oracle);
+  ThetaPhi tp = BuildThetaPhi(preds, oracle);
+  for (int j = 1; j <= 4; ++j) {
+    for (int k = 1; k < j; ++k) {
+      EXPECT_EQ(tp.theta.At(j, k), U);
+      EXPECT_EQ(tp.phi.At(j, k), U);
+    }
+  }
+  // Everything-U degrades shift to 1 (the sound minimum).
+  SearchTables tables = BuildStarFreeTables(tp);
+  for (int j = 2; j <= 4; ++j) EXPECT_EQ(tables.shift[j], 1);
+}
+
+}  // namespace
+}  // namespace sqlts

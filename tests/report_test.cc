@@ -1,0 +1,132 @@
+// Coverage for the human-readable reports: LogicMatrix / PatternPlan /
+// Table rendering, ToString on expressions and queries, and stats
+// accounting invariants.
+
+#include <gtest/gtest.h>
+
+#include "engine/executor.h"
+#include "parser/parser.h"
+#include "pattern/logic_matrix.h"
+#include "test_util.h"
+
+namespace sqlts {
+namespace {
+
+using testing_util::MustPlan;
+
+TEST(LogicMatrix, ToStringRendersTriangle) {
+  LogicMatrix m(3);
+  m.Set(1, 1, Tribool::True());
+  m.Set(2, 1, Tribool::False());
+  m.Set(2, 2, Tribool::True());
+  m.Set(3, 1, Tribool::Unknown());
+  m.Set(3, 2, Tribool::False());
+  m.Set(3, 3, Tribool::True());
+  EXPECT_EQ(m.ToString(), "1\n0 1\nU 0 1\n");
+  EXPECT_EQ(m.ToString(/*include_diagonal=*/false), "0\nU 0\n");
+}
+
+TEST(PatternPlanReport, ContainsTablesAndFlags) {
+  PatternPlan plan = MustPlan(PaperExampleQuery(10));
+  std::string s = plan.ToString();
+  EXPECT_NE(s.find("pattern length m = 9 (with star)"), std::string::npos);
+  EXPECT_NE(s.find("theta ="), std::string::npos);
+  EXPECT_NE(s.find("phi ="), std::string::npos);
+  EXPECT_NE(s.find("shift"), std::string::npos);
+  // Star patterns go through the graph path: no S matrix is printed.
+  EXPECT_EQ(s.find("S ="), std::string::npos);
+
+  PatternPlan flat = MustPlan(PaperExampleQuery(3));
+  EXPECT_NE(flat.ToString().find("S ="), std::string::npos);
+}
+
+TEST(ExprToString, RoundTripsThroughParser) {
+  const char* exprs[] = {
+      "X.price > 1.15 * X.previous.price",
+      "FIRST(X).date = LAST(Y).date",
+      "(X.price + 1) / 2 <> 3",
+      "NOT (X.price = 10 OR X.price = 20)",
+      "COUNT(Y) = 3",
+      "AVG(Y.price) > 10",
+  };
+  for (const char* text : exprs) {
+    auto e = ParseExpression(text);
+    ASSERT_TRUE(e.ok()) << text;
+    // Re-parse the rendering: must parse and render identically.
+    auto e2 = ParseExpression((*e)->ToString());
+    ASSERT_TRUE(e2.ok()) << (*e)->ToString();
+    EXPECT_EQ((*e)->ToString(), (*e2)->ToString());
+  }
+}
+
+TEST(TableRender, AlignsAndTruncates) {
+  Table t = PricesToQuoteTable("LONGNAME", *Date::Parse("1999-01-04"),
+                               {1, 2, 3, 4, 5});
+  std::string s = t.ToString(/*max_rows=*/2);
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("(3 more rows)"), std::string::npos);
+}
+
+TEST(Stats, EvaluationAccountingIsConsistent) {
+  // evaluations + presat_skips equals the total positions the OPS scan
+  // processed; matches and jumps are consistent with trace size.
+  PatternPlan plan = MustPlan(PaperExampleQuery(10));
+  Table t = PricesToQuoteTable("DJIA", *Date::Parse("1974-01-02"),
+                               SeriesWithPlantedDoubleBottoms(5));
+  auto clusters = ClusteredSequence::Build(&t, {}, {"date"});
+  ASSERT_TRUE(clusters.ok());
+  SearchStats stats;
+  SearchTrace trace;
+  auto ms = OpsSearch(clusters->cluster(0), plan, &stats, &trace);
+  EXPECT_EQ(stats.matches, 5);
+  EXPECT_EQ(static_cast<int64_t>(ms.size()), stats.matches);
+  EXPECT_EQ(static_cast<int64_t>(trace.size()), stats.evaluations);
+  EXPECT_GT(stats.presat_skips, 0);
+  EXPECT_GT(stats.jumps, 0);
+}
+
+TEST(AverageTables, MatchPaperExample7) {
+  PatternPlan plan = MustPlan(
+      "SELECT A.price FROM quote SEQUENCE BY date AS (A, B, C, D) "
+      "WHERE A.price < A.previous.price AND B.price < A.price AND "
+      "B.price > 40 AND B.price < 50 AND C.price > B.price AND "
+      "C.price < 52 AND D.price > C.price");
+  // shift = 1 1 1 3, next = 0 1 2 1.
+  EXPECT_DOUBLE_EQ(plan.tables.AverageShift(), 6.0 / 4);
+  EXPECT_DOUBLE_EQ(plan.tables.AverageNext(), 4.0 / 4);
+}
+
+TEST(MultiColumnKeys, ClusterAndSequenceCombinations) {
+  Schema s;
+  ASSERT_TRUE(s.AddColumn("exch", TypeKind::kString).ok());
+  ASSERT_TRUE(s.AddColumn("name", TypeKind::kString).ok());
+  ASSERT_TRUE(s.AddColumn("day", TypeKind::kInt64).ok());
+  ASSERT_TRUE(s.AddColumn("tick", TypeKind::kInt64).ok());
+  ASSERT_TRUE(s.AddColumn("price", TypeKind::kDouble).ok());
+  Table t(s);
+  auto add = [&](const char* e, const char* n, int64_t d, int64_t k,
+                 double p) {
+    ASSERT_TRUE(t.AppendRow({Value::String(e), Value::String(n),
+                             Value::Int64(d), Value::Int64(k),
+                             Value::Double(p)})
+                    .ok());
+  };
+  // Two (exch, name) clusters; within each, order by (day, tick).
+  add("N", "A", 1, 2, 11);
+  add("N", "A", 1, 1, 10);
+  add("N", "A", 2, 1, 12);
+  add("L", "A", 1, 1, 20);
+  add("L", "A", 1, 2, 19);
+  auto r = QueryExecutor::Execute(
+      t,
+      "SELECT X.exch FROM q CLUSTER BY exch, name SEQUENCE BY day, tick "
+      "AS (X, Y) WHERE Y.price > X.price");
+  ASSERT_TRUE(r.ok()) << r.status();
+  // N/A sorted: 10, 11, 12 → matches (10,11) then… resume after 11:
+  // (12) alone can't match → 1 match; L/A sorted: 20, 19 → none.
+  ASSERT_EQ(r->output.num_rows(), 1);
+  EXPECT_EQ(r->output.at(0, 0).string_value(), "N");
+}
+
+}  // namespace
+}  // namespace sqlts

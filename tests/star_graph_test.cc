@@ -1,0 +1,177 @@
+// Focused tests for the star implication-graph machinery (Sec 5.1):
+// group-skipping shifts, quadratic-vs-linear cost on run data, and the
+// deterministic-walk clamp.
+
+#include <gtest/gtest.h>
+
+#include "engine/matcher.h"
+#include "pattern/star_graph.h"
+#include "test_util.h"
+
+namespace sqlts {
+namespace {
+
+using testing_util::MustPlan;
+using testing_util::SeriesFixture;
+
+TEST(StarShift, LeadingStarSkipsWholeGroup) {
+  // (*F flat-band, B crash): a failure at B can only realign past the
+  // whole flat group, which the counter-based runtime does in one jump.
+  PatternPlan plan = MustPlan(
+      "SELECT F.price FROM quote SEQUENCE BY date AS (*F, B) "
+      "WHERE F.price > 0.99 * F.previous.price AND "
+      "F.price < 1.01 * F.previous.price AND "
+      "B.price < 0.90 * B.previous.price");
+  ASSERT_EQ(plan.tables.shift[2], 1);
+
+  // A single flat run of length L with no crash: naive re-scans the run
+  // from every start (≈ L²/2 tests), OPS touches each tuple ~once.
+  const int kL = 200;
+  std::vector<double> prices;
+  double p = 100;
+  for (int i = 0; i < kL; ++i) prices.push_back(p *= 1.001);
+  SeriesFixture fx(prices);
+  SearchStats ns, os;
+  auto nm = NaiveSearch(fx.view(), plan, &ns);
+  auto om = OpsSearch(fx.view(), plan, &os);
+  EXPECT_TRUE(nm.empty());
+  EXPECT_TRUE(om.empty());
+  EXPECT_GT(ns.evaluations, static_cast<int64_t>(kL) * kL / 4);
+  EXPECT_LT(os.evaluations, 3 * static_cast<int64_t>(kL));
+}
+
+TEST(StarShift, AllStarAlternatingPattern) {
+  // (*up, *down, *up): θ adjacencies are exclusive; failure at element
+  // 3 can realign at element 2's group (shift 1 in pattern units).
+  PatternPlan plan = MustPlan(
+      "SELECT X.price FROM quote SEQUENCE BY date AS (*X, *Y, *Z) "
+      "WHERE X.price > X.previous.price AND Y.price < "
+      "Y.previous.price AND Z.price > Z.previous.price");
+  EXPECT_EQ(plan.tables.shift[1], 1);
+  EXPECT_EQ(plan.tables.next[1], 0);
+  for (int j = 2; j <= 3; ++j) {
+    EXPECT_GE(plan.tables.shift[j], 1) << j;
+    EXPECT_LE(plan.tables.shift[j], j) << j;
+  }
+}
+
+TEST(StarShift, SingleStarElement) {
+  PatternPlan plan = MustPlan(
+      "SELECT X.price FROM quote SEQUENCE BY date AS (*X) "
+      "WHERE X.price > X.previous.price");
+  EXPECT_EQ(plan.m, 1);
+  EXPECT_EQ(plan.tables.shift[1], 1);
+  EXPECT_EQ(plan.tables.next[1], 0);
+}
+
+TEST(StarGraph, ArcsRespectStarCases) {
+  // Build Example 9's G_P and probe the five arc cases via the public
+  // OutArcs API.
+  VariableCatalog catalog;
+  std::vector<PredicateAnalysis> preds;
+  const char* conds[] = {
+      "X.price > X.previous.price",  // p1 *
+      "X.price > 30 AND X.price < 40",
+      "X.price < X.previous.price",  // p3 *
+      "X.price > X.previous.price",  // p4 *
+      "X.price > 35 AND X.price < 40",
+      "X.price < X.previous.price",  // p6 *
+      "X.price < 30",
+  };
+  for (const char* c : conds) {
+    CompiledQuery q = testing_util::MustCompile(
+        std::string("SELECT X.price FROM quote SEQUENCE BY date AS (X) "
+                    "WHERE ") +
+        c);
+    preds.push_back(
+        AnalyzePredicate(q.elements[0].predicate, QuoteSchema(), &catalog));
+  }
+  ImplicationOracle oracle;
+  ThetaPhi tp = BuildThetaPhi(preds, oracle);
+  std::vector<bool> star = {false, true, false, true, true,
+                            false, true, false};
+  ImplicationGraph g(tp, star, /*jfail=*/6);
+
+  // Case 2 (both star, θ=1): node (4,1) keeps only the two
+  // original-advancing arcs.
+  auto arcs41 = g.OutArcs(4, 1);
+  ASSERT_EQ(arcs41.size(), 2u);
+  EXPECT_EQ(arcs41[0], std::make_pair(5, 1));
+  EXPECT_EQ(arcs41[1], std::make_pair(5, 2));
+
+  // Case 5 (j non-star, k star): node (5,1) advances the original only.
+  auto arcs51 = g.OutArcs(5, 1);
+  for (auto [a, b] : arcs51) {
+    EXPECT_EQ(a, 6);
+    (void)b;
+  }
+
+  // Arcs never point at 0-valued nodes.
+  for (int j = 2; j < 6; ++j) {
+    for (int k = 1; k < j; ++k) {
+      if (g.value(j, k).IsFalse()) continue;
+      for (auto [a, b] : g.OutArcs(j, k)) {
+        EXPECT_FALSE(g.value(a, b).IsFalse()) << a << "," << b;
+      }
+    }
+  }
+}
+
+TEST(StarEquivalence, TrendingSeriesStressSweep) {
+  // Star-led patterns on long-run data exercise the group-skip jumps
+  // hardest; sweep several run-lengths and assert exact agreement.
+  PatternPlan plan = MustPlan(
+      "SELECT A.price FROM quote SEQUENCE BY date AS (*A, *B, C) "
+      "WHERE A.price > A.previous.price AND B.price < B.previous.price "
+      "AND B.price > 0.95 * B.previous.price "
+      "AND C.price < 0.90 * C.previous.price");
+  for (double mean_run : {5.0, 20.0, 60.0}) {
+    TrendOptions opt;
+    opt.n = 2000;
+    opt.mean_run = mean_run;
+    opt.crash_prob = 0.01;
+    opt.seed = static_cast<uint64_t>(mean_run);
+    SeriesFixture fx(TrendingSeries(opt));
+    SearchStats ns, os;
+    auto nm = NaiveSearch(fx.view(), plan, &ns);
+    auto om = OpsSearch(fx.view(), plan, &os);
+    ASSERT_TRUE(testing_util::SameMatches(nm, om)) << mean_run;
+    EXPECT_LE(os.evaluations, ns.evaluations);
+  }
+}
+
+TEST(DeterministicWalk, Case4NeverCrossesStarToNonStar) {
+  // Regression (found by the date-window test): with pattern
+  // (X: TRUE, *Y: fall, Z: rise ∧ residue), node (2,1) of G_P³ has the
+  // single surviving arc (3,2) — but the dropped "shifted advances
+  // while the original star continues" behaviour makes the grouping
+  // ambiguous (old *Y group cannot map onto single-tuple X), so
+  // next(3) must stay 1.
+  PatternPlan plan = MustPlan(
+      "SELECT X.price FROM quote SEQUENCE BY date AS (X, *Y, Z) "
+      "WHERE Y.price < Y.previous.price AND Z.price > Z.previous.price "
+      "AND Z.date < X.date + 7");
+  EXPECT_EQ(plan.tables.shift[3], 1);
+  EXPECT_EQ(plan.tables.next[3], 1);
+}
+
+TEST(PresatisfiedSkips, AreCountedAndSaveTests) {
+  // Example 1's plan has presatisfied[2]; the skip counter must move on
+  // data that exercises failures at element 2.
+  PatternPlan plan = MustPlan(
+      "SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date AS "
+      "(X, Y, Z) WHERE Y.price > 1.15 * X.price AND Z.price < 0.80 * "
+      "Y.price");
+  ASSERT_TRUE(plan.tables.presatisfied[2]);
+  std::vector<double> flat(100, 50.0);
+  SeriesFixture fx(flat);
+  SearchStats os;
+  OpsSearch(fx.view(), plan, &os);
+  EXPECT_GT(os.presat_skips, 0);
+  SearchStats ns;
+  NaiveSearch(fx.view(), plan, &ns);
+  EXPECT_LT(os.evaluations, ns.evaluations);
+}
+
+}  // namespace
+}  // namespace sqlts

@@ -1,0 +1,179 @@
+// Table / CSV / ClusteredSequence tests.
+
+#include <gtest/gtest.h>
+
+#include "storage/csv.h"
+#include "storage/sequence.h"
+#include "storage/table.h"
+
+namespace sqlts {
+namespace {
+
+Schema QuoteSchemaLocal() {
+  Schema s;
+  SQLTS_CHECK_OK(s.AddColumn("name", TypeKind::kString));
+  SQLTS_CHECK_OK(s.AddColumn("date", TypeKind::kDate));
+  SQLTS_CHECK_OK(s.AddColumn("price", TypeKind::kDouble));
+  return s;
+}
+
+Row QuoteRow(const char* n, const char* d, double p) {
+  return {Value::String(n), Value::FromDate(*Date::Parse(d)),
+          Value::Double(p)};
+}
+
+TEST(Table, AppendAndRead) {
+  Table t(QuoteSchemaLocal());
+  ASSERT_TRUE(t.AppendRow(QuoteRow("INTC", "1999-01-25", 60)).ok());
+  ASSERT_TRUE(t.AppendRow(QuoteRow("IBM", "1999-01-25", 81)).ok());
+  EXPECT_EQ(t.num_rows(), 2);
+  EXPECT_EQ(t.at(0, 0).string_value(), "INTC");
+  EXPECT_EQ(t.at(1, 2).double_value(), 81);
+}
+
+TEST(Table, ArityMismatch) {
+  Table t(QuoteSchemaLocal());
+  EXPECT_EQ(t.AppendRow({Value::String("X")}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Table, TypeMismatch) {
+  Table t(QuoteSchemaLocal());
+  Row r = QuoteRow("INTC", "1999-01-25", 60);
+  r[2] = Value::String("sixty");
+  EXPECT_EQ(t.AppendRow(r).code(), StatusCode::kTypeError);
+}
+
+TEST(Table, IntCoercesToDoubleColumn) {
+  Table t(QuoteSchemaLocal());
+  Row r = QuoteRow("INTC", "1999-01-25", 0);
+  r[2] = Value::Int64(60);
+  ASSERT_TRUE(t.AppendRow(r).ok());
+  EXPECT_EQ(t.at(0, 2).kind(), TypeKind::kDouble);
+  EXPECT_EQ(t.at(0, 2).double_value(), 60.0);
+}
+
+TEST(Table, NullsAllowed) {
+  Table t(QuoteSchemaLocal());
+  ASSERT_TRUE(
+      t.AppendRow({Value::Null(), Value::Null(), Value::Null()}).ok());
+  EXPECT_TRUE(t.at(0, 1).is_null());
+}
+
+TEST(Csv, RoundTrip) {
+  Table t(QuoteSchemaLocal());
+  ASSERT_TRUE(t.AppendRow(QuoteRow("INTC", "1999-01-25", 60.5)).ok());
+  ASSERT_TRUE(t.AppendRow(QuoteRow("IBM", "1999-01-26", 80)).ok());
+  std::string text = WriteCsvString(t);
+  auto back = ReadCsvString(text, QuoteSchemaLocal());
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->num_rows(), 2);
+  EXPECT_EQ(back->at(0, 0).string_value(), "INTC");
+  EXPECT_EQ(back->at(1, 2).double_value(), 80);
+  EXPECT_EQ(back->at(1, 1).date_value(), *Date::Parse("1999-01-26"));
+}
+
+TEST(Csv, QuotedFields) {
+  Schema s;
+  ASSERT_TRUE(s.AddColumn("text", TypeKind::kString).ok());
+  ASSERT_TRUE(s.AddColumn("v", TypeKind::kInt64).ok());
+  auto t = ReadCsvString("text,v\n\"a,b\"\"c\",3\n", s);
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_EQ(t->at(0, 0).string_value(), "a,b\"c");
+  EXPECT_EQ(t->at(0, 1).int64_value(), 3);
+}
+
+TEST(Csv, EmptyFieldIsNull) {
+  auto t = ReadCsvString("name,date,price\nINTC,,60\n", QuoteSchemaLocal());
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_TRUE(t->at(0, 1).is_null());
+}
+
+TEST(Csv, HeaderColumnOrderFlexible) {
+  auto t = ReadCsvString("price,name,date\n60,INTC,1999-01-25\n",
+                         QuoteSchemaLocal());
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_EQ(t->at(0, 0).string_value(), "INTC");
+  EXPECT_EQ(t->at(0, 2).double_value(), 60);
+}
+
+TEST(Csv, Errors) {
+  EXPECT_FALSE(ReadCsvString("", QuoteSchemaLocal()).ok());
+  EXPECT_FALSE(
+      ReadCsvString("bogus\n1\n", QuoteSchemaLocal()).ok());  // bad header
+  EXPECT_FALSE(ReadCsvString("name,date,price\nINTC,1999-01-25\n",
+                             QuoteSchemaLocal())
+                   .ok());  // missing field
+  EXPECT_FALSE(ReadCsvString("name,date,price\nINTC,1999-01-25,abc\n",
+                             QuoteSchemaLocal())
+                   .ok());  // bad double
+}
+
+TEST(ClusteredSequence, PartitionsAndSorts) {
+  // Rows arrive interleaved and out of date order (paper Figure 1).
+  Table t(QuoteSchemaLocal());
+  ASSERT_TRUE(t.AppendRow(QuoteRow("IBM", "1999-01-27", 84)).ok());
+  ASSERT_TRUE(t.AppendRow(QuoteRow("INTC", "1999-01-26", 63.5)).ok());
+  ASSERT_TRUE(t.AppendRow(QuoteRow("IBM", "1999-01-25", 81)).ok());
+  ASSERT_TRUE(t.AppendRow(QuoteRow("INTC", "1999-01-25", 60)).ok());
+  ASSERT_TRUE(t.AppendRow(QuoteRow("IBM", "1999-01-26", 80.5)).ok());
+
+  auto cs = ClusteredSequence::Build(&t, {"name"}, {"date"});
+  ASSERT_TRUE(cs.ok()) << cs.status();
+  ASSERT_EQ(cs->num_clusters(), 2);
+  // First-appearance order: IBM first.
+  EXPECT_EQ(cs->cluster_key(0)[0].string_value(), "IBM");
+  EXPECT_EQ(cs->cluster_key(1)[0].string_value(), "INTC");
+  const SequenceView& ibm = cs->cluster(0);
+  ASSERT_EQ(ibm.size(), 3);
+  EXPECT_EQ(ibm.at(0, 2).double_value(), 81);
+  EXPECT_EQ(ibm.at(1, 2).double_value(), 80.5);
+  EXPECT_EQ(ibm.at(2, 2).double_value(), 84);
+}
+
+TEST(ClusteredSequence, NoClusterByGivesSingleCluster) {
+  Table t(QuoteSchemaLocal());
+  ASSERT_TRUE(t.AppendRow(QuoteRow("A", "1999-01-26", 2)).ok());
+  ASSERT_TRUE(t.AppendRow(QuoteRow("B", "1999-01-25", 1)).ok());
+  auto cs = ClusteredSequence::Build(&t, {}, {"date"});
+  ASSERT_TRUE(cs.ok());
+  ASSERT_EQ(cs->num_clusters(), 1);
+  EXPECT_EQ(cs->cluster(0).at(0, 2).double_value(), 1);  // sorted by date
+}
+
+TEST(ClusteredSequence, StableSortKeepsInsertionOrderOnTies) {
+  Table t(QuoteSchemaLocal());
+  ASSERT_TRUE(t.AppendRow(QuoteRow("A", "1999-01-25", 1)).ok());
+  ASSERT_TRUE(t.AppendRow(QuoteRow("A", "1999-01-25", 2)).ok());
+  auto cs = ClusteredSequence::Build(&t, {"name"}, {"date"});
+  ASSERT_TRUE(cs.ok());
+  EXPECT_EQ(cs->cluster(0).at(0, 2).double_value(), 1);
+  EXPECT_EQ(cs->cluster(0).at(1, 2).double_value(), 2);
+}
+
+TEST(ClusteredSequence, UnknownColumnFails) {
+  Table t(QuoteSchemaLocal());
+  EXPECT_FALSE(ClusteredSequence::Build(&t, {"ticker"}, {"date"}).ok());
+  EXPECT_FALSE(ClusteredSequence::Build(&t, {"name"}, {"when"}).ok());
+}
+
+TEST(ClusteredSequence, MultiColumnClusterKey) {
+  Schema s;
+  ASSERT_TRUE(s.AddColumn("a", TypeKind::kInt64).ok());
+  ASSERT_TRUE(s.AddColumn("b", TypeKind::kInt64).ok());
+  ASSERT_TRUE(s.AddColumn("seq", TypeKind::kInt64).ok());
+  Table t(s);
+  for (int64_t a = 0; a < 2; ++a) {
+    for (int64_t b = 0; b < 2; ++b) {
+      ASSERT_TRUE(t.AppendRow({Value::Int64(a), Value::Int64(b),
+                               Value::Int64(a * 10 + b)})
+                      .ok());
+    }
+  }
+  auto cs = ClusteredSequence::Build(&t, {"a", "b"}, {"seq"});
+  ASSERT_TRUE(cs.ok());
+  EXPECT_EQ(cs->num_clusters(), 4);
+}
+
+}  // namespace
+}  // namespace sqlts

@@ -1,0 +1,164 @@
+// Streaming query-executor tests: interleaved clusters, SELECT
+// projection at match time, cluster filters, order enforcement, and
+// agreement with the batch executor.
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "engine/executor.h"
+#include "engine/stream_executor.h"
+#include "test_util.h"
+
+namespace sqlts {
+namespace {
+
+Row QuoteRow(const std::string& name, Date d, double price) {
+  return {Value::String(name), Value::FromDate(d), Value::Double(price)};
+}
+
+TEST(StreamExecutor, ProjectsSelectAtMatchTime) {
+  std::vector<Row> rows;
+  auto exec = StreamingQueryExecutor::Create(
+      "SELECT X.name, Y.date, Y.price FROM quote CLUSTER BY name "
+      "SEQUENCE BY date AS (X, Y) WHERE Y.price > 1.1 * X.price",
+      QuoteSchema(), [&](const Row& r) { rows.push_back(r); });
+  ASSERT_TRUE(exec.ok()) << exec.status();
+  Date d0 = *Date::Parse("1999-01-04");
+  ASSERT_TRUE((*exec)->Push(QuoteRow("A", d0, 10)).ok());
+  ASSERT_TRUE((*exec)->Push(QuoteRow("A", d0.AddDays(1), 12)).ok());
+  (*exec)->Finish();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].string_value(), "A");
+  EXPECT_EQ(rows[0][1].date_value(), d0.AddDays(1));
+  EXPECT_EQ(rows[0][2].double_value(), 12);
+}
+
+TEST(StreamExecutor, RoutesInterleavedClusters) {
+  std::vector<Row> rows;
+  auto exec = StreamingQueryExecutor::Create(
+      "SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date "
+      "AS (X, Y) WHERE Y.price > X.price",
+      QuoteSchema(), [&](const Row& r) { rows.push_back(r); });
+  ASSERT_TRUE(exec.ok());
+  Date d0 = *Date::Parse("1999-01-04");
+  // Interleaved: A rises, B falls.
+  ASSERT_TRUE((*exec)->Push(QuoteRow("A", d0, 10)).ok());
+  ASSERT_TRUE((*exec)->Push(QuoteRow("B", d0, 20)).ok());
+  ASSERT_TRUE((*exec)->Push(QuoteRow("A", d0.AddDays(1), 11)).ok());
+  ASSERT_TRUE((*exec)->Push(QuoteRow("B", d0.AddDays(1), 19)).ok());
+  (*exec)->Finish();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].string_value(), "A");
+  EXPECT_EQ((*exec)->num_clusters(), 2);
+}
+
+TEST(StreamExecutor, ClusterFilterSkipsWholeCluster) {
+  std::vector<Row> rows;
+  auto exec = StreamingQueryExecutor::Create(
+      "SELECT X.price FROM quote CLUSTER BY name SEQUENCE BY date "
+      "AS (X, Y) WHERE X.name = 'IBM' AND Y.price > X.price",
+      QuoteSchema(), [&](const Row& r) { rows.push_back(r); });
+  ASSERT_TRUE(exec.ok()) << exec.status();
+  Date d0 = *Date::Parse("1999-01-04");
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        (*exec)->Push(QuoteRow("INTC", d0.AddDays(i), 10 + i)).ok());
+    ASSERT_TRUE(
+        (*exec)->Push(QuoteRow("IBM", d0.AddDays(i), 10 + i)).ok());
+  }
+  (*exec)->Finish();
+  EXPECT_EQ(rows.size(), 2u);  // IBM only: rises at (0,1), (2,3)
+  // Filtered clusters do no matching work.
+  SearchStats s = (*exec)->stats();
+  EXPECT_LE(s.evaluations, 10);
+}
+
+TEST(StreamExecutor, RejectsOutOfOrderTuples) {
+  auto exec = StreamingQueryExecutor::Create(
+      "SELECT X.price FROM quote CLUSTER BY name SEQUENCE BY date "
+      "AS (X, Y) WHERE Y.price > X.price",
+      QuoteSchema(), nullptr);
+  ASSERT_TRUE(exec.ok());
+  Date d0 = *Date::Parse("1999-01-05");
+  ASSERT_TRUE((*exec)->Push(QuoteRow("A", d0, 10)).ok());
+  // Earlier date in the same cluster: rejected.
+  EXPECT_EQ((*exec)->Push(QuoteRow("A", d0.AddDays(-1), 11)).code(),
+            StatusCode::kInvalidArgument);
+  // Same date (a tie) is fine, and another cluster is independent.
+  EXPECT_TRUE((*exec)->Push(QuoteRow("A", d0, 12)).ok());
+  EXPECT_TRUE((*exec)->Push(QuoteRow("B", d0.AddDays(-2), 1)).ok());
+}
+
+TEST(StreamExecutor, RejectsLookahead) {
+  auto exec = StreamingQueryExecutor::Create(
+      "SELECT X.price FROM quote SEQUENCE BY date AS (X) "
+      "WHERE X.next.price > X.price",
+      QuoteSchema(), nullptr);
+  EXPECT_EQ(exec.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StreamExecutor, AgreesWithBatchExecutorOnPortfolio) {
+  // Multi-stock random data, pushed interleaved; outputs must match the
+  // batch executor row-for-row (same order: batch iterates clusters by
+  // first appearance and matches left-to-right; we compare as multisets
+  // of printed rows to stay order-agnostic).
+  const std::string query =
+      "SELECT X.name, FIRST(Y).date, COUNT(Y) FROM quote "
+      "CLUSTER BY name SEQUENCE BY date AS (X, *Y, Z) "
+      "WHERE Y.price < Y.previous.price AND Z.price >= "
+      "Z.previous.price AND Z.price < 0.97 * X.price";
+  Table table(QuoteSchema());
+  std::mt19937_64 rng(7);
+  Date d0 = *Date::Parse("1999-01-04");
+  std::vector<std::string> names = {"A", "B", "C"};
+  std::vector<double> price = {50, 50, 50};
+  std::vector<Date> day = {d0, d0, d0};
+  for (int i = 0; i < 900; ++i) {
+    int s = static_cast<int>(rng() % 3);
+    price[s] *= 1.0 + (static_cast<double>(rng() % 9) - 4.0) / 100.0;
+    ASSERT_TRUE(
+        table.AppendRow(QuoteRow(names[s], day[s], price[s])).ok());
+    day[s] = day[s].AddDays(1);
+  }
+
+  auto batch = QueryExecutor::Execute(table, query);
+  ASSERT_TRUE(batch.ok()) << batch.status();
+
+  std::multiset<std::string> streamed;
+  auto exec = StreamingQueryExecutor::Create(
+      query, table.schema(), [&](const Row& r) {
+        std::string key;
+        for (const Value& v : r) key += v.ToString() + "|";
+        streamed.insert(key);
+      });
+  ASSERT_TRUE(exec.ok()) << exec.status();
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    ASSERT_TRUE((*exec)->Push(table.GetRow(r)).ok());
+  }
+  (*exec)->Finish();
+
+  std::multiset<std::string> batched;
+  for (int64_t r = 0; r < batch->output.num_rows(); ++r) {
+    std::string key;
+    for (int c = 0; c < batch->output.schema().num_columns(); ++c) {
+      key += batch->output.at(r, c).ToString() + "|";
+    }
+    batched.insert(key);
+  }
+  EXPECT_EQ(streamed, batched);
+  EXPECT_EQ((*exec)->stats().matches, batch->stats.matches);
+}
+
+TEST(StreamExecutor, OutputSchemaExposed) {
+  auto exec = StreamingQueryExecutor::Create(
+      "SELECT X.name, COUNT(Y) AS n FROM quote CLUSTER BY name "
+      "SEQUENCE BY date AS (X, *Y) WHERE Y.price < Y.previous.price",
+      QuoteSchema(), nullptr);
+  ASSERT_TRUE(exec.ok());
+  EXPECT_EQ((*exec)->output_schema().num_columns(), 2);
+  EXPECT_EQ((*exec)->output_schema().column(1).name, "n");
+}
+
+}  // namespace
+}  // namespace sqlts

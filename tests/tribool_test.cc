@@ -1,0 +1,87 @@
+// Kleene 3-valued logic tests — the algebra behind θ/φ/S.
+
+#include <gtest/gtest.h>
+
+#include "tribool/tribool.h"
+
+namespace sqlts {
+namespace {
+
+constexpr Tribool T = Tribool::True();
+constexpr Tribool F = Tribool::False();
+constexpr Tribool U = Tribool::Unknown();
+
+TEST(Tribool, Predicates) {
+  EXPECT_TRUE(T.IsTrue());
+  EXPECT_TRUE(F.IsFalse());
+  EXPECT_TRUE(U.IsUnknown());
+  EXPECT_TRUE(T.IsPossible());
+  EXPECT_TRUE(U.IsPossible());
+  EXPECT_FALSE(F.IsPossible());
+}
+
+TEST(Tribool, PaperConjunctionRules) {
+  // The exact identities cited in Sec 4.2: U ∧ 1 = U, U ∧ 0 = 0, ¬U = U.
+  EXPECT_EQ(U && T, U);
+  EXPECT_EQ(U && F, F);
+  EXPECT_EQ(!U, U);
+}
+
+TEST(Tribool, ConjunctionTable) {
+  EXPECT_EQ(T && T, T);
+  EXPECT_EQ(T && F, F);
+  EXPECT_EQ(F && F, F);
+  EXPECT_EQ(F && U, F);
+  EXPECT_EQ(U && U, U);
+}
+
+TEST(Tribool, DisjunctionTable) {
+  EXPECT_EQ(T || T, T);
+  EXPECT_EQ(T || F, T);
+  EXPECT_EQ(T || U, T);
+  EXPECT_EQ(F || F, F);
+  EXPECT_EQ(F || U, U);
+  EXPECT_EQ(U || U, U);
+}
+
+TEST(Tribool, Negation) {
+  EXPECT_EQ(!T, F);
+  EXPECT_EQ(!F, T);
+}
+
+TEST(Tribool, ToString) {
+  EXPECT_EQ(T.ToString(), "1");
+  EXPECT_EQ(F.ToString(), "0");
+  EXPECT_EQ(U.ToString(), "U");
+}
+
+class KleeneLaws : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  static Tribool Of(int i) {
+    return i == 0 ? F : (i == 1 ? U : T);
+  }
+};
+
+TEST_P(KleeneLaws, DeMorganAndInvolution) {
+  Tribool a = Of(std::get<0>(GetParam()));
+  Tribool b = Of(std::get<1>(GetParam()));
+  EXPECT_EQ(!(a && b), (!a) || (!b));
+  EXPECT_EQ(!(a || b), (!a) && (!b));
+  EXPECT_EQ(!!a, a);
+  EXPECT_EQ(a && b, b && a);
+  EXPECT_EQ(a || b, b || a);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, KleeneLaws,
+                         ::testing::Combine(::testing::Range(0, 3),
+                                            ::testing::Range(0, 3)));
+
+TEST(Tribool, Implication) {
+  EXPECT_EQ(Implies(T, F), F);
+  EXPECT_EQ(Implies(F, F), T);
+  EXPECT_EQ(Implies(U, T), T);
+  EXPECT_EQ(Implies(U, F), U);
+}
+
+}  // namespace
+}  // namespace sqlts

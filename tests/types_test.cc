@@ -1,0 +1,174 @@
+// Date / Value / Schema tests.
+
+#include <gtest/gtest.h>
+
+#include "types/date.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace sqlts {
+namespace {
+
+TEST(Date, EpochIsJan1970) {
+  Date d(0);
+  EXPECT_EQ(d.ToString(), "1970-01-01");
+}
+
+TEST(Date, FromYmdRoundTrip) {
+  for (int y : {1970, 1999, 2000, 2024}) {
+    for (int m : {1, 2, 6, 12}) {
+      for (int day : {1, 15, 28}) {
+        auto d = Date::FromYmd(y, m, day);
+        ASSERT_TRUE(d.ok());
+        int yy, mm, dd;
+        d->ToYmd(&yy, &mm, &dd);
+        EXPECT_EQ(std::tie(yy, mm, dd), std::tie(y, m, day));
+      }
+    }
+  }
+}
+
+TEST(Date, LeapYearRules) {
+  EXPECT_TRUE(Date::FromYmd(2000, 2, 29).ok());   // divisible by 400
+  EXPECT_FALSE(Date::FromYmd(1900, 2, 29).ok());  // divisible by 100
+  EXPECT_TRUE(Date::FromYmd(1996, 2, 29).ok());
+  EXPECT_FALSE(Date::FromYmd(1999, 2, 29).ok());
+}
+
+TEST(Date, ParseIso) {
+  auto d = Date::Parse("1999-01-25");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->ToString(), "1999-01-25");
+}
+
+TEST(Date, ParsePaperStyle) {
+  // The paper's Figure 1 uses "1/25/99".
+  auto d = Date::Parse("1/25/99");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->ToString(), "1999-01-25");
+  auto d2 = Date::Parse("3/4/2001");
+  ASSERT_TRUE(d2.ok());
+  EXPECT_EQ(d2->ToString(), "2001-03-04");
+  // Two-digit years below 70 land in 20xx.
+  EXPECT_EQ(Date::Parse("1/25/25")->ToString(), "2025-01-25");
+}
+
+TEST(Date, ParseErrors) {
+  EXPECT_FALSE(Date::Parse("not a date").ok());
+  EXPECT_FALSE(Date::Parse("1999-13-01").ok());
+  EXPECT_FALSE(Date::Parse("1999-02-30").ok());
+  EXPECT_FALSE(Date::Parse("1999/01/25-").ok());
+}
+
+TEST(Date, OrderingAndArithmetic) {
+  Date a = *Date::Parse("1999-01-25");
+  Date b = *Date::Parse("1999-01-26");
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a.AddDays(1), b);
+  EXPECT_EQ(b.days_since_epoch() - a.days_since_epoch(), 1);
+}
+
+TEST(Value, KindsAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int64(5).kind(), TypeKind::kInt64);
+  EXPECT_EQ(Value::Double(1.5).double_value(), 1.5);
+  EXPECT_EQ(Value::String("hi").string_value(), "hi");
+  EXPECT_TRUE(Value::Bool(true).bool_value());
+  EXPECT_TRUE(Value::Int64(5).is_numeric());
+  EXPECT_FALSE(Value::String("x").is_numeric());
+}
+
+TEST(Value, NumericCrossTypeCompare) {
+  auto c = Value::Int64(3).Compare(Value::Double(3.5));
+  ASSERT_TRUE(c.ok());
+  EXPECT_LT(*c, 0);
+  c = Value::Double(3.0).Compare(Value::Int64(3));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, 0);
+}
+
+TEST(Value, NullComparisonIsError) {
+  EXPECT_FALSE(Value::Null().Compare(Value::Int64(1)).ok());
+}
+
+TEST(Value, IncomparableKinds) {
+  EXPECT_FALSE(Value::String("a").Compare(Value::Int64(1)).ok());
+  EXPECT_FALSE(Value::Bool(true).Compare(Value::String("x")).ok());
+}
+
+TEST(Value, StringOrdering) {
+  auto c = Value::String("abc").Compare(Value::String("abd"));
+  ASSERT_TRUE(c.ok());
+  EXPECT_LT(*c, 0);
+}
+
+TEST(Value, DateComparison) {
+  Value a = Value::FromDate(*Date::Parse("1999-01-25"));
+  Value b = Value::FromDate(*Date::Parse("1999-01-26"));
+  auto c = a.Compare(b);
+  ASSERT_TRUE(c.ok());
+  EXPECT_LT(*c, 0);
+}
+
+TEST(Value, ParseAs) {
+  EXPECT_EQ(Value::ParseAs(TypeKind::kInt64, " 42 ")->int64_value(), 42);
+  EXPECT_EQ(Value::ParseAs(TypeKind::kDouble, "1.5e2")->double_value(), 150);
+  EXPECT_EQ(Value::ParseAs(TypeKind::kString, "x")->string_value(), "x");
+  EXPECT_TRUE(Value::ParseAs(TypeKind::kBool, "TRUE")->bool_value());
+  EXPECT_EQ(Value::ParseAs(TypeKind::kDate, "1999-01-25")->date_value(),
+            *Date::Parse("1999-01-25"));
+  EXPECT_FALSE(Value::ParseAs(TypeKind::kInt64, "4x").ok());
+  EXPECT_FALSE(Value::ParseAs(TypeKind::kDouble, "").ok());
+}
+
+TEST(Value, StructurallyEquals) {
+  EXPECT_TRUE(Value::Null().StructurallyEquals(Value::Null()));
+  EXPECT_TRUE(Value::Int64(3).StructurallyEquals(Value::Double(3.0)));
+  EXPECT_FALSE(Value::Int64(3).StructurallyEquals(Value::String("3")));
+}
+
+TEST(Value, ToStringForms) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int64(-7).ToString(), "-7");
+  EXPECT_EQ(Value::String("ab").ToString(), "'ab'");
+  EXPECT_EQ(Value::Bool(false).ToString(), "FALSE");
+}
+
+TEST(TypeKindNames, RoundTripAndAliases) {
+  EXPECT_EQ(*TypeKindFromString("INTEGER"), TypeKind::kInt64);
+  EXPECT_EQ(*TypeKindFromString("Varchar(8)"), TypeKind::kString);
+  EXPECT_EQ(*TypeKindFromString("double"), TypeKind::kDouble);
+  EXPECT_EQ(*TypeKindFromString("DATE"), TypeKind::kDate);
+  EXPECT_FALSE(TypeKindFromString("BLOB").ok());
+  EXPECT_EQ(TypeKindToString(TypeKind::kInt64), "INT64");
+}
+
+TEST(Schema, FindIsCaseInsensitive) {
+  Schema s;
+  ASSERT_TRUE(s.AddColumn("Name", TypeKind::kString).ok());
+  ASSERT_TRUE(s.AddColumn("price", TypeKind::kDouble).ok());
+  EXPECT_EQ(*s.FindColumn("NAME"), 0);
+  EXPECT_EQ(*s.FindColumn("Price"), 1);
+  EXPECT_FALSE(s.FindColumn("volume").ok());
+}
+
+TEST(Schema, RejectsDuplicates) {
+  Schema s;
+  ASSERT_TRUE(s.AddColumn("a", TypeKind::kInt64).ok());
+  EXPECT_EQ(s.AddColumn("A", TypeKind::kDouble).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(Schema, ToStringAndEquals) {
+  Schema s;
+  ASSERT_TRUE(s.AddColumn("name", TypeKind::kString).ok());
+  ASSERT_TRUE(s.AddColumn("price", TypeKind::kDouble).ok());
+  EXPECT_EQ(s.ToString(), "name STRING, price DOUBLE");
+  Schema t;
+  ASSERT_TRUE(t.AddColumn("NAME", TypeKind::kString).ok());
+  ASSERT_TRUE(t.AddColumn("PRICE", TypeKind::kDouble).ok());
+  EXPECT_TRUE(s.Equals(t));
+}
+
+}  // namespace
+}  // namespace sqlts

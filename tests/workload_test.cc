@@ -1,0 +1,145 @@
+// Workload generator and pattern-library tests.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "engine/executor.h"
+#include "test_util.h"
+#include "workload/patterns.h"
+
+namespace sqlts {
+namespace {
+
+TEST(Generators, QuoteSchemaShape) {
+  Schema s = QuoteSchema();
+  EXPECT_EQ(s.num_columns(), 3);
+  EXPECT_EQ(s.column(1).type, TypeKind::kDate);
+}
+
+TEST(Generators, TradingDaysSkipWeekends) {
+  // 1999-01-04 is a Monday; five rows span Mon..Fri, the sixth jumps to
+  // the next Monday.
+  Table t = PricesToQuoteTable("A", *Date::Parse("1999-01-04"),
+                               {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t.at(4, 1).date_value(), *Date::Parse("1999-01-08"));
+  EXPECT_EQ(t.at(5, 1).date_value(), *Date::Parse("1999-01-11"));
+}
+
+TEST(Generators, RandomWalkDeterministicAndPositive) {
+  RandomWalkOptions opt;
+  opt.n = 500;
+  opt.seed = 123;
+  auto a = GeometricRandomWalk(opt);
+  auto b = GeometricRandomWalk(opt);
+  EXPECT_EQ(a, b);
+  for (double p : a) EXPECT_GT(p, 0);
+  opt.seed = 124;
+  EXPECT_NE(GeometricRandomWalk(opt), a);
+}
+
+TEST(Generators, DjiaHasBothRegimes) {
+  auto djia = SynthesizeDjia(6300);
+  ASSERT_EQ(djia.size(), 6300u);
+  int big_moves = 0;
+  for (size_t i = 1; i < djia.size(); ++i) {
+    double r = djia[i] / djia[i - 1];
+    if (r > 1.02 || r < 0.98) ++big_moves;
+  }
+  // Calm-dominated but with turbulent bursts: some ±2% days, far from
+  // a third of them.
+  EXPECT_GT(big_moves, 20);
+  EXPECT_LT(big_moves, 6300 / 3);
+}
+
+TEST(Generators, TrendingSeriesHasLongRuns) {
+  TrendOptions opt;
+  opt.n = 5000;
+  opt.mean_run = 100;
+  auto s = TrendingSeries(opt);
+  ASSERT_EQ(s.size(), 5000u);
+  // Count direction switches: should be roughly n / mean_run, far
+  // smaller than for an i.i.d. walk.
+  int switches = 0;
+  for (size_t i = 2; i < s.size(); ++i) {
+    bool up1 = s[i - 1] > s[i - 2], up2 = s[i] > s[i - 1];
+    if (up1 != up2) ++switches;
+  }
+  EXPECT_LT(switches, 200);
+}
+
+TEST(Generators, PlantedDoubleBottomsAreFound) {
+  for (int count : {0, 1, 5}) {
+    auto series = SeriesWithPlantedDoubleBottoms(count);
+    Table t = PricesToQuoteTable("D", *Date::Parse("1974-01-02"), series);
+    auto r = QueryExecutor::Execute(t, RelaxedDoubleBottomQuery());
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_EQ(r->stats.matches, count);
+  }
+}
+
+TEST(Patterns, PlantedDoubleTopsAreFound) {
+  auto series = SeriesWithPlantedDoubleTops(4);
+  Table t = PricesToQuoteTable("D", *Date::Parse("1974-01-02"), series);
+  auto r = QueryExecutor::Execute(t, RelaxedDoubleTopQuery());
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->stats.matches, 4);
+  // The valley between consecutive tops is itself a double bottom
+  // (dip, rally, dip, recovery), so the mirror query finds exactly the
+  // three inter-top valleys.
+  auto rb = QueryExecutor::Execute(t, RelaxedDoubleBottomQuery());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(rb->stats.matches, 3);
+}
+
+TEST(Patterns, CascadeCrash) {
+  // Three >2% drops in a row, twice.
+  std::vector<double> s = {100, 97, 94, 91, 92, 93, 90, 87, 84, 85};
+  Table t = PricesToQuoteTable("D", *Date::Parse("1974-01-02"), s);
+  auto r = QueryExecutor::Execute(t, CascadeCrashQuery());
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->stats.matches, 2);
+}
+
+TEST(Patterns, Breakout) {
+  std::vector<double> s = {100, 100.5, 100.2, 100.4, 104.5, 104.6};
+  Table t = PricesToQuoteTable("D", *Date::Parse("1974-01-02"), s);
+  auto r = QueryExecutor::Execute(t, BreakoutQuery());
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->stats.matches, 1);
+  EXPECT_DOUBLE_EQ(r->output.at(0, 2).double_value(), 104.5);
+}
+
+class LibraryEquivalence
+    : public ::testing::TestWithParam<int> {};
+
+TEST_P(LibraryEquivalence, NaiveAndOpsAgreeOnDjia) {
+  const NamedPattern np = TechnicalPatternLibrary()[GetParam()];
+  Table t = PricesToQuoteTable("DJIA", *Date::Parse("1974-01-02"),
+                               SynthesizeDjia(2000));
+  auto ops = QueryExecutor::Execute(t, np.query);
+  ASSERT_TRUE(ops.ok()) << np.name << ": " << ops.status();
+  ExecOptions naive_opt;
+  naive_opt.algorithm = SearchAlgorithm::kNaive;
+  auto naive = QueryExecutor::Execute(t, np.query, naive_opt);
+  ASSERT_TRUE(naive.ok());
+  EXPECT_EQ(ops->stats.matches, naive->stats.matches) << np.name;
+  EXPECT_LE(ops->stats.evaluations, naive->stats.evaluations) << np.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPatterns, LibraryEquivalence,
+                         ::testing::Range(0, 5));
+
+TEST(Patterns, PaperExampleQueriesAllCompile) {
+  for (int ex : {1, 2, 3, 4, 8, 9, 10}) {
+    auto q = CompileQueryText(PaperExampleQuery(ex), QuoteSchema());
+    EXPECT_TRUE(q.ok()) << "example " << ex << ": " << q.status();
+  }
+  for (const NamedPattern& np : TechnicalPatternLibrary()) {
+    auto q = CompileQueryText(np.query, QuoteSchema());
+    EXPECT_TRUE(q.ok()) << np.name << ": " << q.status();
+  }
+}
+
+}  // namespace
+}  // namespace sqlts
