@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_double_bottom.dir/bench_double_bottom.cc.o"
+  "CMakeFiles/bench_double_bottom.dir/bench_double_bottom.cc.o.d"
+  "bench_double_bottom"
+  "bench_double_bottom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_double_bottom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_paths.dir/bench_fig5_paths.cc.o"
+  "CMakeFiles/bench_fig5_paths.dir/bench_fig5_paths.cc.o.d"
+  "bench_fig5_paths"
+  "bench_fig5_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kmp_text.dir/bench_kmp_text.cc.o"
+  "CMakeFiles/bench_kmp_text.dir/bench_kmp_text.cc.o.d"
+  "bench_kmp_text"
+  "bench_kmp_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kmp_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pattern_library.dir/bench_pattern_library.cc.o"
+  "CMakeFiles/bench_pattern_library.dir/bench_pattern_library.cc.o.d"
+  "bench_pattern_library"
+  "bench_pattern_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pattern_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_speedup_sweep.dir/bench_speedup_sweep.cc.o"
+  "CMakeFiles/bench_speedup_sweep.dir/bench_speedup_sweep.cc.o.d"
+  "bench_speedup_sweep"
+  "bench_speedup_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_speedup_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

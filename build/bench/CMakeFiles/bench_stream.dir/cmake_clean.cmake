@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stream.dir/bench_stream.cc.o"
+  "CMakeFiles/bench_stream.dir/bench_stream.cc.o.d"
+  "bench_stream"
+  "bench_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

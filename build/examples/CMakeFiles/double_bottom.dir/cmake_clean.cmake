@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/double_bottom.dir/double_bottom.cpp.o"
+  "CMakeFiles/double_bottom.dir/double_bottom.cpp.o.d"
+  "double_bottom"
+  "double_bottom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/double_bottom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

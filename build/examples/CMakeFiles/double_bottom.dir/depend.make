@@ -1,0 +1,2 @@
+# Empty dependencies file for double_bottom.
+# This may be replaced when dependencies are built.

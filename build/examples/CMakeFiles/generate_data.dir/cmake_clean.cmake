@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generate_data.dir/generate_data.cpp.o"
+  "CMakeFiles/generate_data.dir/generate_data.cpp.o.d"
+  "generate_data"
+  "generate_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generate_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

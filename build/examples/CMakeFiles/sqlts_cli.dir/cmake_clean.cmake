@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlts_cli.dir/sqlts_cli.cpp.o"
+  "CMakeFiles/sqlts_cli.dir/sqlts_cli.cpp.o.d"
+  "sqlts_cli"
+  "sqlts_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlts_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_monitor.dir/stream_monitor.cpp.o"
+  "CMakeFiles/stream_monitor.dir/stream_monitor.cpp.o.d"
+  "stream_monitor"
+  "stream_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

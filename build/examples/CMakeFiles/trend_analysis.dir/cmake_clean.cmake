@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trend_analysis.dir/trend_analysis.cpp.o"
+  "CMakeFiles/trend_analysis.dir/trend_analysis.cpp.o.d"
+  "trend_analysis"
+  "trend_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trend_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("tribool")
+subdirs("types")
+subdirs("storage")
+subdirs("constraints")
+subdirs("intervals")
+subdirs("expr")
+subdirs("parser")
+subdirs("pattern")
+subdirs("engine")
+subdirs("workload")

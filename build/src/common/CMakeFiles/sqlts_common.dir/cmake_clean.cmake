@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlts_common.dir/status.cc.o"
+  "CMakeFiles/sqlts_common.dir/status.cc.o.d"
+  "CMakeFiles/sqlts_common.dir/string_util.cc.o"
+  "CMakeFiles/sqlts_common.dir/string_util.cc.o.d"
+  "libsqlts_common.a"
+  "libsqlts_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlts_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

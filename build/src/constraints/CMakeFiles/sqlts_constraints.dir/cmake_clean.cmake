@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlts_constraints.dir/atom.cc.o"
+  "CMakeFiles/sqlts_constraints.dir/atom.cc.o.d"
+  "CMakeFiles/sqlts_constraints.dir/catalog.cc.o"
+  "CMakeFiles/sqlts_constraints.dir/catalog.cc.o.d"
+  "CMakeFiles/sqlts_constraints.dir/gsw.cc.o"
+  "CMakeFiles/sqlts_constraints.dir/gsw.cc.o.d"
+  "CMakeFiles/sqlts_constraints.dir/system.cc.o"
+  "CMakeFiles/sqlts_constraints.dir/system.cc.o.d"
+  "libsqlts_constraints.a"
+  "libsqlts_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlts_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sqlts_constraints.
+# This may be replaced when dependencies are built.

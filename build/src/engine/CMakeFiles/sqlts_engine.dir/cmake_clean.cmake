@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlts_engine.dir/backtrack.cc.o"
+  "CMakeFiles/sqlts_engine.dir/backtrack.cc.o.d"
+  "CMakeFiles/sqlts_engine.dir/executor.cc.o"
+  "CMakeFiles/sqlts_engine.dir/executor.cc.o.d"
+  "CMakeFiles/sqlts_engine.dir/explain.cc.o"
+  "CMakeFiles/sqlts_engine.dir/explain.cc.o.d"
+  "CMakeFiles/sqlts_engine.dir/kmp_search.cc.o"
+  "CMakeFiles/sqlts_engine.dir/kmp_search.cc.o.d"
+  "CMakeFiles/sqlts_engine.dir/matcher.cc.o"
+  "CMakeFiles/sqlts_engine.dir/matcher.cc.o.d"
+  "CMakeFiles/sqlts_engine.dir/reverse.cc.o"
+  "CMakeFiles/sqlts_engine.dir/reverse.cc.o.d"
+  "CMakeFiles/sqlts_engine.dir/stream.cc.o"
+  "CMakeFiles/sqlts_engine.dir/stream.cc.o.d"
+  "CMakeFiles/sqlts_engine.dir/stream_executor.cc.o"
+  "CMakeFiles/sqlts_engine.dir/stream_executor.cc.o.d"
+  "libsqlts_engine.a"
+  "libsqlts_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlts_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/expr/eval.cc" "src/expr/CMakeFiles/sqlts_expr.dir/eval.cc.o" "gcc" "src/expr/CMakeFiles/sqlts_expr.dir/eval.cc.o.d"
+  "/root/repo/src/expr/expr.cc" "src/expr/CMakeFiles/sqlts_expr.dir/expr.cc.o" "gcc" "src/expr/CMakeFiles/sqlts_expr.dir/expr.cc.o.d"
+  "/root/repo/src/expr/normalize.cc" "src/expr/CMakeFiles/sqlts_expr.dir/normalize.cc.o" "gcc" "src/expr/CMakeFiles/sqlts_expr.dir/normalize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sqlts_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/sqlts_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/intervals/CMakeFiles/sqlts_intervals.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sqlts_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/sqlts_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/tribool/CMakeFiles/sqlts_tribool.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlts_expr.dir/eval.cc.o"
+  "CMakeFiles/sqlts_expr.dir/eval.cc.o.d"
+  "CMakeFiles/sqlts_expr.dir/expr.cc.o"
+  "CMakeFiles/sqlts_expr.dir/expr.cc.o.d"
+  "CMakeFiles/sqlts_expr.dir/normalize.cc.o"
+  "CMakeFiles/sqlts_expr.dir/normalize.cc.o.d"
+  "libsqlts_expr.a"
+  "libsqlts_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlts_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

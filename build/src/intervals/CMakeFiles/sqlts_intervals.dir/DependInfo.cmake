@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/intervals/interval_set.cc" "src/intervals/CMakeFiles/sqlts_intervals.dir/interval_set.cc.o" "gcc" "src/intervals/CMakeFiles/sqlts_intervals.dir/interval_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sqlts_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/sqlts_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/tribool/CMakeFiles/sqlts_tribool.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

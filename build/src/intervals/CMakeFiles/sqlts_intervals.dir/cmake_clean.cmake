@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlts_intervals.dir/interval_set.cc.o"
+  "CMakeFiles/sqlts_intervals.dir/interval_set.cc.o.d"
+  "libsqlts_intervals.a"
+  "libsqlts_intervals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlts_intervals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

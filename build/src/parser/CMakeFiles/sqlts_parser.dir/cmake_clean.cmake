@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlts_parser.dir/analyzer.cc.o"
+  "CMakeFiles/sqlts_parser.dir/analyzer.cc.o.d"
+  "CMakeFiles/sqlts_parser.dir/ast.cc.o"
+  "CMakeFiles/sqlts_parser.dir/ast.cc.o.d"
+  "CMakeFiles/sqlts_parser.dir/lexer.cc.o"
+  "CMakeFiles/sqlts_parser.dir/lexer.cc.o.d"
+  "CMakeFiles/sqlts_parser.dir/parser.cc.o"
+  "CMakeFiles/sqlts_parser.dir/parser.cc.o.d"
+  "libsqlts_parser.a"
+  "libsqlts_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlts_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

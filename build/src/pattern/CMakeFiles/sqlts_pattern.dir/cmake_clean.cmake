@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlts_pattern.dir/compile.cc.o"
+  "CMakeFiles/sqlts_pattern.dir/compile.cc.o.d"
+  "CMakeFiles/sqlts_pattern.dir/shift_next.cc.o"
+  "CMakeFiles/sqlts_pattern.dir/shift_next.cc.o.d"
+  "CMakeFiles/sqlts_pattern.dir/star_graph.cc.o"
+  "CMakeFiles/sqlts_pattern.dir/star_graph.cc.o.d"
+  "CMakeFiles/sqlts_pattern.dir/theta_phi.cc.o"
+  "CMakeFiles/sqlts_pattern.dir/theta_phi.cc.o.d"
+  "libsqlts_pattern.a"
+  "libsqlts_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlts_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

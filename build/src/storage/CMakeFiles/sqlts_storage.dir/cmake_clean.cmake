@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlts_storage.dir/csv.cc.o"
+  "CMakeFiles/sqlts_storage.dir/csv.cc.o.d"
+  "CMakeFiles/sqlts_storage.dir/sequence.cc.o"
+  "CMakeFiles/sqlts_storage.dir/sequence.cc.o.d"
+  "CMakeFiles/sqlts_storage.dir/table.cc.o"
+  "CMakeFiles/sqlts_storage.dir/table.cc.o.d"
+  "libsqlts_storage.a"
+  "libsqlts_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlts_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlts_tribool.dir/tribool.cc.o"
+  "CMakeFiles/sqlts_tribool.dir/tribool.cc.o.d"
+  "libsqlts_tribool.a"
+  "libsqlts_tribool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlts_tribool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/types/date.cc" "src/types/CMakeFiles/sqlts_types.dir/date.cc.o" "gcc" "src/types/CMakeFiles/sqlts_types.dir/date.cc.o.d"
+  "/root/repo/src/types/schema.cc" "src/types/CMakeFiles/sqlts_types.dir/schema.cc.o" "gcc" "src/types/CMakeFiles/sqlts_types.dir/schema.cc.o.d"
+  "/root/repo/src/types/value.cc" "src/types/CMakeFiles/sqlts_types.dir/value.cc.o" "gcc" "src/types/CMakeFiles/sqlts_types.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sqlts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlts_types.dir/date.cc.o"
+  "CMakeFiles/sqlts_types.dir/date.cc.o.d"
+  "CMakeFiles/sqlts_types.dir/schema.cc.o"
+  "CMakeFiles/sqlts_types.dir/schema.cc.o.d"
+  "CMakeFiles/sqlts_types.dir/value.cc.o"
+  "CMakeFiles/sqlts_types.dir/value.cc.o.d"
+  "libsqlts_types.a"
+  "libsqlts_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlts_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

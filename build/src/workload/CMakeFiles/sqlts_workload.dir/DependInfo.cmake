@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/generators.cc" "src/workload/CMakeFiles/sqlts_workload.dir/generators.cc.o" "gcc" "src/workload/CMakeFiles/sqlts_workload.dir/generators.cc.o.d"
+  "/root/repo/src/workload/patterns.cc" "src/workload/CMakeFiles/sqlts_workload.dir/patterns.cc.o" "gcc" "src/workload/CMakeFiles/sqlts_workload.dir/patterns.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sqlts_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sqlts_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/sqlts_types.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlts_workload.dir/generators.cc.o"
+  "CMakeFiles/sqlts_workload.dir/generators.cc.o.d"
+  "CMakeFiles/sqlts_workload.dir/patterns.cc.o"
+  "CMakeFiles/sqlts_workload.dir/patterns.cc.o.d"
+  "libsqlts_workload.a"
+  "libsqlts_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlts_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backtrack_test.dir/backtrack_test.cc.o"
+  "CMakeFiles/backtrack_test.dir/backtrack_test.cc.o.d"
+  "backtrack_test"
+  "backtrack_test.pdb"
+  "backtrack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backtrack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

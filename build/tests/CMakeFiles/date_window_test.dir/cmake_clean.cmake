@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/date_window_test.dir/date_window_test.cc.o"
+  "CMakeFiles/date_window_test.dir/date_window_test.cc.o.d"
+  "date_window_test"
+  "date_window_test.pdb"
+  "date_window_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/date_window_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

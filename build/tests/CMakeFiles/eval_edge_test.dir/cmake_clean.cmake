@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_edge_test.dir/eval_edge_test.cc.o"
+  "CMakeFiles/eval_edge_test.dir/eval_edge_test.cc.o.d"
+  "eval_edge_test"
+  "eval_edge_test.pdb"
+  "eval_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

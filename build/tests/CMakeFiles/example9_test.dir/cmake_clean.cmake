@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example9_test.dir/example9_test.cc.o"
+  "CMakeFiles/example9_test.dir/example9_test.cc.o.d"
+  "example9_test"
+  "example9_test.pdb"
+  "example9_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example9_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

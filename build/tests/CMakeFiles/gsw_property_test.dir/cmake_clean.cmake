@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsw_property_test.dir/gsw_property_test.cc.o"
+  "CMakeFiles/gsw_property_test.dir/gsw_property_test.cc.o.d"
+  "gsw_property_test"
+  "gsw_property_test.pdb"
+  "gsw_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsw_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsw_strictness_test.dir/gsw_strictness_test.cc.o"
+  "CMakeFiles/gsw_strictness_test.dir/gsw_strictness_test.cc.o.d"
+  "gsw_strictness_test"
+  "gsw_strictness_test.pdb"
+  "gsw_strictness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsw_strictness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intervals_test.dir/intervals_test.cc.o"
+  "CMakeFiles/intervals_test.dir/intervals_test.cc.o.d"
+  "intervals_test"
+  "intervals_test.pdb"
+  "intervals_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intervals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmp_text_test.dir/kmp_text_test.cc.o"
+  "CMakeFiles/kmp_text_test.dir/kmp_text_test.cc.o.d"
+  "kmp_text_test"
+  "kmp_text_test.pdb"
+  "kmp_text_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmp_text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

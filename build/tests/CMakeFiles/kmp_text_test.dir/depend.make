@@ -1,0 +1,2 @@
+# Empty dependencies file for kmp_text_test.
+# This may be replaced when dependencies are built.

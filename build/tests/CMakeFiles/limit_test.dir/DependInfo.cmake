@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/limit_test.cc" "tests/CMakeFiles/limit_test.dir/limit_test.cc.o" "gcc" "tests/CMakeFiles/limit_test.dir/limit_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/sqlts_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/sqlts_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/sqlts_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/sqlts_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/intervals/CMakeFiles/sqlts_intervals.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/sqlts_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/tribool/CMakeFiles/sqlts_tribool.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sqlts_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sqlts_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/sqlts_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sqlts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limit_test.dir/limit_test.cc.o"
+  "CMakeFiles/limit_test.dir/limit_test.cc.o.d"
+  "limit_test"
+  "limit_test.pdb"
+  "limit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_soundness_test.dir/matrix_soundness_test.cc.o"
+  "CMakeFiles/matrix_soundness_test.dir/matrix_soundness_test.cc.o.d"
+  "matrix_soundness_test"
+  "matrix_soundness_test.pdb"
+  "matrix_soundness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_soundness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

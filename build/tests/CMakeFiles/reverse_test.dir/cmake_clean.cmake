@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reverse_test.dir/reverse_test.cc.o"
+  "CMakeFiles/reverse_test.dir/reverse_test.cc.o.d"
+  "reverse_test"
+  "reverse_test.pdb"
+  "reverse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reverse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/star_graph_test.dir/star_graph_test.cc.o"
+  "CMakeFiles/star_graph_test.dir/star_graph_test.cc.o.d"
+  "star_graph_test"
+  "star_graph_test.pdb"
+  "star_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/star_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tribool_test.dir/tribool_test.cc.o"
+  "CMakeFiles/tribool_test.dir/tribool_test.cc.o.d"
+  "tribool_test"
+  "tribool_test.pdb"
+  "tribool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tribool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[Smoke.Example1EndToEnd]=]  /root/repo/build/tests/smoke_test [==[--gtest_filter=Smoke.Example1EndToEnd]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Smoke.Example1EndToEnd]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  smoke_test_TESTS Smoke.Example1EndToEnd)
