@@ -1,5 +1,7 @@
 #include "engine/executor.h"
 
+#include <algorithm>
+
 #include "storage/sequence.h"
 
 namespace sqlts {
@@ -32,6 +34,79 @@ bool ClusterAccepted(const CompiledQuery& query, const SequenceView& seq) {
   return true;
 }
 
+/// Projects one match of `seq` through the SELECT list.
+Row ProjectMatch(const CompiledQuery& query, const SequenceView& seq,
+                 const Match& match) {
+  EvalContext ctx;
+  ctx.seq = &seq;
+  ctx.pos = 0;
+  ctx.spans = &match.spans;
+  Row row;
+  row.reserve(query.select.size());
+  for (size_t s = 0; s < query.select.size(); ++s) {
+    Value v = EvalExpr(*query.select[s].expr, ctx);
+    row.push_back(
+        CoerceTo(query.output_schema.column(s).type, std::move(v)));
+  }
+  return row;
+}
+
+/// Parallel per-cluster execution: clusters are hash-partitioned over a
+/// ShardPool (one task per cluster), each worker matches and projects
+/// its clusters independently, and rows are merged back in cluster
+/// first-appearance order — byte-identical to the sequential path.
+Status ExecuteSharded(const ClusteredSequence& clusters,
+                      const CompiledQuery& query, const ExecOptions& options,
+                      QueryResult* result) {
+  const int num_clusters = clusters.num_clusters();
+  const int num_shards = std::min(options.num_threads, num_clusters);
+  const PatternPlan& plan = result->plan;
+  std::vector<std::vector<Row>> cluster_rows(num_clusters);
+  std::vector<ShardStats> shard_stats(num_shards);
+
+  auto handler = [&](int shard, ShardPool::Task&& task) {
+    const int c = static_cast<int>(task.cluster);
+    const SequenceView& seq = clusters.cluster(c);
+    ShardStats& ss = shard_stats[shard];
+    ++ss.clusters;
+    ss.tuples_pushed += seq.size();
+    if (!ClusterAccepted(query, seq)) return;
+    SearchStats stats;
+    std::vector<Match> matches =
+        options.algorithm == SearchAlgorithm::kOps
+            ? OpsSearch(seq, plan, &stats)
+            : NaiveSearch(seq, plan, &stats);
+    ss.search += stats;
+    std::vector<Row>& out = cluster_rows[c];
+    out.reserve(matches.size());
+    for (const Match& match : matches) {
+      out.push_back(ProjectMatch(query, seq, match));
+    }
+  };
+
+  {
+    ShardPool pool(num_shards, options.shard_queue_capacity, handler);
+    for (int c = 0; c < num_clusters; ++c) {
+      int shard = pool.ShardFor(EncodeClusterKey(clusters.cluster_key(c)));
+      pool.Push(shard,
+                ShardPool::Task{Row{}, static_cast<uint64_t>(c), 0});
+    }
+    pool.Finish();
+    for (int s = 0; s < num_shards; ++s) {
+      shard_stats[s].queue_high_water = pool.queue_high_water(s);
+    }
+  }
+
+  for (int c = 0; c < num_clusters; ++c) {
+    for (Row& row : cluster_rows[c]) {
+      SQLTS_RETURN_IF_ERROR(result->output.AppendRow(std::move(row)));
+    }
+  }
+  result->stats = TotalSearchStats(shard_stats);
+  result->shard_stats = std::move(shard_stats);
+  return Status::OK();
+}
+
 }  // namespace
 
 StatusOr<QueryResult> QueryExecutor::Execute(const Table& input,
@@ -52,7 +127,17 @@ StatusOr<QueryResult> QueryExecutor::ExecuteCompiled(
       ClusteredSequence::Build(&input, query.cluster_by, query.sequence_by));
 
   QueryResult result{Table(query.output_schema), SearchStats{},
-                     SearchTrace{}, plan, clusters.num_clusters()};
+                     SearchTrace{}, plan, clusters.num_clusters(), {}};
+
+  // Parallel path: per-cluster matcher state is fully private, so
+  // clusters shard cleanly.  LIMIT (cross-cluster early termination)
+  // and trace collection (a single ordered log) stay sequential.
+  if (options.num_threads > 1 && clusters.num_clusters() > 1 &&
+      query.limit <= 0 && !options.collect_trace) {
+    SQLTS_RETURN_IF_ERROR(
+        ExecuteSharded(clusters, query, options, &result));
+    return result;
+  }
 
   for (int c = 0; c < clusters.num_clusters(); ++c) {
     const SequenceView& seq = clusters.cluster(c);
@@ -75,18 +160,8 @@ StatusOr<QueryResult> QueryExecutor::ExecuteCompiled(
     result.stats += stats;
 
     for (const Match& match : matches) {
-      EvalContext ctx;
-      ctx.seq = &seq;
-      ctx.pos = 0;
-      ctx.spans = &match.spans;
-      Row row;
-      row.reserve(query.select.size());
-      for (size_t s = 0; s < query.select.size(); ++s) {
-        Value v = EvalExpr(*query.select[s].expr, ctx);
-        row.push_back(
-            CoerceTo(result.output.schema().column(s).type, std::move(v)));
-      }
-      SQLTS_RETURN_IF_ERROR(result.output.AppendRow(std::move(row)));
+      SQLTS_RETURN_IF_ERROR(
+          result.output.AppendRow(ProjectMatch(query, seq, match)));
     }
   }
   return result;

@@ -7,6 +7,7 @@
 
 #include "common/statusor.h"
 #include "engine/matcher.h"
+#include "engine/shard_pool.h"
 #include "parser/analyzer.h"
 #include "pattern/compile.h"
 #include "storage/table.h"
@@ -25,6 +26,17 @@ struct ExecOptions {
   SearchAlgorithm algorithm = SearchAlgorithm::kOps;
   /// Record every predicate test (expensive; Figure-5 style analysis).
   bool collect_trace = false;
+  /// Worker shards for clustered execution.  1 (the default) runs the
+  /// classic single-threaded path with bit-identical output; N > 1
+  /// hash-partitions clusters across N workers and merges results back
+  /// into the same deterministic order (cluster first-appearance order,
+  /// matches in cluster order).  Queries with LIMIT or collect_trace
+  /// fall back to the single-threaded path, whose early termination and
+  /// trace order are inherently sequential.
+  int num_threads = 1;
+  /// Bound (in tasks) of each shard's input queue; Push blocks when the
+  /// owning shard is this far behind (backpressure).
+  int64_t shard_queue_capacity = 1024;
 };
 
 /// The result of running a SQL-TS query: the projected output rows plus
@@ -35,6 +47,9 @@ struct QueryResult {
   SearchTrace trace;          // only when collect_trace
   PatternPlan plan;           // the compiled pattern, for EXPLAIN
   int num_clusters = 0;
+  /// Per-shard counters (one entry per worker); empty when the query
+  /// ran on the single-threaded path.
+  std::vector<ShardStats> shard_stats;
 };
 
 /// End-to-end SQL-TS execution engine: parse → analyze → compile the

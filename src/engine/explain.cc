@@ -1,5 +1,6 @@
 #include "engine/explain.h"
 
+#include <cstdio>
 #include <sstream>
 
 #include "engine/reverse.h"
@@ -77,6 +78,36 @@ std::string ExplainQuery(const CompiledQuery& query,
        << (d.prefer_reverse ? "reverse" : "forward") << "\n";
   }
   os << "output: " << query.output_schema.ToString() << "\n";
+  return os.str();
+}
+
+std::string FormatShardStats(const std::vector<ShardStats>& shards) {
+  if (shards.empty()) return "single-threaded run (no shard stats)\n";
+  std::ostringstream os;
+  os << "shard  tuples      clusters  matches   evals       queue_hw\n";
+  ShardStats total;
+  for (size_t s = 0; s < shards.size(); ++s) {
+    const ShardStats& st = shards[s];
+    char line[128];
+    std::snprintf(line, sizeof(line),
+                  "%-6zu %-11lld %-9lld %-9lld %-11lld %lld\n", s,
+                  static_cast<long long>(st.tuples_pushed),
+                  static_cast<long long>(st.clusters),
+                  static_cast<long long>(st.search.matches),
+                  static_cast<long long>(st.search.evaluations),
+                  static_cast<long long>(st.queue_high_water));
+    os << line;
+    total += st;
+  }
+  char line[128];
+  std::snprintf(line, sizeof(line),
+                "total  %-11lld %-9lld %-9lld %-11lld %lld\n",
+                static_cast<long long>(total.tuples_pushed),
+                static_cast<long long>(total.clusters),
+                static_cast<long long>(total.search.matches),
+                static_cast<long long>(total.search.evaluations),
+                static_cast<long long>(total.queue_high_water));
+  os << line;
   return os.str();
 }
 

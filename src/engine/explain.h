@@ -3,8 +3,10 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/statusor.h"
+#include "engine/shard_pool.h"
 #include "parser/analyzer.h"
 #include "pattern/compile.h"
 
@@ -23,6 +25,11 @@ std::string ExplainQuery(const CompiledQuery& query,
 StatusOr<std::string> ExplainQueryText(std::string_view text,
                                        const Schema& schema,
                                        const CompileOptions& options = {});
+
+/// Renders the per-shard counters of a sharded run as an aligned table
+/// (one line per shard plus a totals line); empty input renders a
+/// single-threaded notice.
+std::string FormatShardStats(const std::vector<ShardStats>& shards);
 
 }  // namespace sqlts
 

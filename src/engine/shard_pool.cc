@@ -1,0 +1,131 @@
+#include "engine/shard_pool.h"
+
+#include "common/logging.h"
+#include "types/value.h"
+
+namespace sqlts {
+namespace {
+
+/// One type-tagged, length-prefixed key part.  Strings use their raw
+/// bytes (ToString's display quoting is not escape-safe); other kinds
+/// use their canonical rendering.
+void AppendKeyPart(const Value& v, std::string* out) {
+  std::string part =
+      v.kind() == TypeKind::kString ? v.string_value() : v.ToString();
+  *out += static_cast<char>('0' + static_cast<int>(v.kind()));
+  *out += std::to_string(part.size());
+  *out += ':';
+  *out += part;
+}
+
+}  // namespace
+
+SearchStats TotalSearchStats(const std::vector<ShardStats>& shards) {
+  SearchStats total;
+  for (const ShardStats& s : shards) total += s.search;
+  return total;
+}
+
+std::string EncodeClusterKey(const Row& row, const std::vector<int>& cols) {
+  std::string key;
+  for (int c : cols) AppendKeyPart(row[c], &key);
+  return key;
+}
+
+std::string EncodeClusterKey(const Row& key) {
+  std::string out;
+  for (const Value& v : key) AppendKeyPart(v, &out);
+  return out;
+}
+
+ShardPool::ShardPool(int num_shards, int64_t queue_capacity,
+                     TaskHandler handler)
+    : handler_(std::move(handler)),
+      capacity_(queue_capacity > 0 ? queue_capacity : 1) {
+  SQLTS_CHECK(num_shards > 0);
+  SQLTS_CHECK(handler_ != nullptr);
+  shards_.reserve(num_shards);
+  for (int s = 0; s < num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  for (int s = 0; s < num_shards; ++s) {
+    shards_[s]->worker = std::thread([this, s] { WorkerLoop(s); });
+  }
+}
+
+ShardPool::~ShardPool() { Finish(); }
+
+int ShardPool::ShardFor(std::string_view key) const {
+  // Finalizer step of splitmix64 on top of the library hash, so that
+  // near-identical keys still spread across shards.
+  uint64_t h = std::hash<std::string_view>{}(key);
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return static_cast<int>(h % static_cast<uint64_t>(shards_.size()));
+}
+
+void ShardPool::Push(int shard, Task task) {
+  SQLTS_CHECK(shard >= 0 && shard < num_shards());
+  Shard& s = *shards_[shard];
+  std::unique_lock<std::mutex> lock(s.mu);
+  SQLTS_CHECK(!s.closed) << "Push after Finish";
+  s.not_full.wait(lock, [&] {
+    return static_cast<int64_t>(s.queue.size()) < capacity_;
+  });
+  s.queue.push_back(std::move(task));
+  ++s.pushed;
+  s.high_water =
+      std::max(s.high_water, static_cast<int64_t>(s.queue.size()));
+  lock.unlock();
+  s.not_empty.notify_one();
+}
+
+void ShardPool::WorkerLoop(int shard) {
+  Shard& s = *shards_[shard];
+  while (true) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(s.mu);
+      s.not_empty.wait(lock, [&] { return !s.queue.empty() || s.closed; });
+      if (s.queue.empty()) return;  // closed and drained
+      task = std::move(s.queue.front());
+      s.queue.pop_front();
+    }
+    s.not_full.notify_one();
+    handler_(shard, std::move(task));
+  }
+}
+
+void ShardPool::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  for (auto& s : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(s->mu);
+      s->closed = true;
+    }
+    s->not_empty.notify_one();
+  }
+  for (auto& s : shards_) {
+    if (s->worker.joinable()) s->worker.join();
+  }
+}
+
+int64_t ShardPool::pushed(int shard) const {
+  SQLTS_CHECK(shard >= 0 && shard < num_shards());
+  Shard& s = *shards_[shard];
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.pushed;
+}
+
+int64_t ShardPool::queue_high_water(int shard) const {
+  SQLTS_CHECK(shard >= 0 && shard < num_shards());
+  Shard& s = *shards_[shard];
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.high_water;
+}
+
+}  // namespace sqlts

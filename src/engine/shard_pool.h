@@ -1,0 +1,129 @@
+#ifndef SQLTS_ENGINE_SHARD_POOL_H_
+#define SQLTS_ENGINE_SHARD_POOL_H_
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "engine/match.h"
+#include "storage/table.h"
+
+namespace sqlts {
+
+/// Per-shard execution counters layered on top of SearchStats: one
+/// entry per worker of a sharded run, aggregated at Finish() time.
+struct ShardStats {
+  int64_t tuples_pushed = 0;     ///< tasks enqueued to this shard
+  int64_t clusters = 0;          ///< clusters owned by this shard
+  int64_t queue_high_water = 0;  ///< max queue depth observed
+  SearchStats search;            ///< matcher counters (evals, matches, ...)
+
+  ShardStats& operator+=(const ShardStats& o) {
+    tuples_pushed += o.tuples_pushed;
+    clusters += o.clusters;
+    queue_high_water = std::max(queue_high_water, o.queue_high_water);
+    search += o.search;
+    return *this;
+  }
+};
+
+/// Sum of the per-shard matcher counters.
+SearchStats TotalSearchStats(const std::vector<ShardStats>& shards);
+
+/// Injective encoding of the cluster-key values `row[cols...]` as a map
+/// key.  Each part is type-tagged and length-prefixed, so no value
+/// content (separators, quotes, embedded NULs) can make two distinct
+/// key tuples encode equal.
+std::string EncodeClusterKey(const Row& row, const std::vector<int>& cols);
+
+/// EncodeClusterKey over every column of `key` (a cluster-key tuple as
+/// produced by ClusteredSequence::cluster_key).
+std::string EncodeClusterKey(const Row& key);
+
+/// Fixed-size pool of shard workers for per-cluster parallelism.
+///
+/// Clusters are hash-partitioned across N shards (ShardFor); each shard
+/// runs one dedicated worker thread that consumes a bounded MPSC queue
+/// of Tasks in FIFO order.  Because a cluster's tasks always land on
+/// the same shard, per-cluster matcher state needs no locking: the
+/// owning worker is the only thread that touches it.
+///
+/// Push() blocks while the target queue is full (backpressure bounds
+/// memory).  Finish() is the barrier: it drains every queue, joins the
+/// workers, and makes all worker-side state visible to the caller.
+class ShardPool {
+ public:
+  /// One unit of work: a row routed to a cluster (streaming), or a bare
+  /// cluster ordinal with an empty row (batch, one task per cluster).
+  /// `tag` is a producer-assigned sequence number used for the ordered
+  /// result merge.
+  struct Task {
+    Row row;
+    uint64_t cluster = 0;
+    uint64_t tag = 0;
+  };
+
+  /// Consumes one task on the shard's worker thread.  Handlers must
+  /// only touch shard-local state (plus read-only shared data); errors
+  /// are recorded shard-locally and surfaced after Finish().
+  using TaskHandler = std::function<void(int shard, Task&& task)>;
+
+  /// Starts `num_shards` workers, each with a queue bounded at
+  /// `queue_capacity` tasks.
+  ShardPool(int num_shards, int64_t queue_capacity, TaskHandler handler);
+
+  /// Joins outstanding workers (equivalent to Finish()).
+  ~ShardPool();
+
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Shard owning the cluster with encoded key `key`.
+  int ShardFor(std::string_view key) const;
+
+  /// Enqueues `task` on `shard`, blocking while its queue is full.
+  void Push(int shard, Task task);
+
+  /// Barrier: waits for every queued task to be consumed and joins the
+  /// workers.  Idempotent.  After Finish() returns, everything the
+  /// handlers wrote is visible to the calling thread.
+  void Finish();
+
+  /// Tasks pushed to `shard` so far (producer-side counter).
+  int64_t pushed(int shard) const;
+  /// Highest queue depth `shard` ever reached (valid after Finish()).
+  int64_t queue_high_water(int shard) const;
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    std::condition_variable not_empty;
+    std::condition_variable not_full;
+    std::deque<Task> queue;
+    bool closed = false;  // producer finished; drain and exit
+    int64_t pushed = 0;
+    int64_t high_water = 0;
+    std::thread worker;
+  };
+
+  void WorkerLoop(int shard);
+
+  TaskHandler handler_;
+  int64_t capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  bool finished_ = false;
+};
+
+}  // namespace sqlts
+
+#endif  // SQLTS_ENGINE_SHARD_POOL_H_

@@ -1,30 +1,20 @@
 #include "engine/stream_executor.h"
 
+#include <algorithm>
+#include <tuple>
+
 #include "expr/eval.h"
 
 namespace sqlts {
-namespace {
-
-/// Encodes the cluster key values as a map key (ToString is injective
-/// enough per type: strings are quoted, numerics canonical).
-std::string EncodeKey(const Row& row, const std::vector<int>& cols) {
-  std::string key;
-  for (int c : cols) {
-    key += row[c].ToString();
-    key += '\x1f';
-  }
-  return key;
-}
-
-}  // namespace
 
 StatusOr<std::unique_ptr<StreamingQueryExecutor>>
 StreamingQueryExecutor::Create(std::string_view query_text,
                                const Schema& schema, RowCallback on_row,
-                               const CompileOptions& options) {
+                               const ExecOptions& options) {
   SQLTS_ASSIGN_OR_RETURN(CompiledQuery query,
                          CompileQueryText(query_text, schema));
-  SQLTS_ASSIGN_OR_RETURN(PatternPlan plan, CompilePattern(query, options));
+  SQLTS_ASSIGN_OR_RETURN(PatternPlan plan,
+                         CompilePattern(query, options.compile));
   // Fail early on lookahead predicates: probe a matcher construction.
   {
     auto probe =
@@ -33,7 +23,7 @@ StreamingQueryExecutor::Create(std::string_view query_text,
   }
   auto exec = std::unique_ptr<StreamingQueryExecutor>(
       new StreamingQueryExecutor(std::move(query), std::move(plan),
-                                 std::move(on_row)));
+                                 std::move(on_row), options));
   for (const std::string& c : exec->query_.cluster_by) {
     SQLTS_ASSIGN_OR_RETURN(int idx, schema.FindColumn(c));
     exec->cluster_cols_.push_back(idx);
@@ -47,26 +37,38 @@ StreamingQueryExecutor::Create(std::string_view query_text,
 
 StreamingQueryExecutor::StreamingQueryExecutor(CompiledQuery query,
                                                PatternPlan plan,
-                                               RowCallback on_row)
+                                               RowCallback on_row,
+                                               const ExecOptions& options)
     : query_(std::move(query)),
       plan_(std::move(plan)),
-      on_row_(std::move(on_row)) {}
+      on_row_(std::move(on_row)),
+      num_threads_(std::max(1, options.num_threads)) {
+  shards_.reserve(num_threads_);
+  for (int s = 0; s < num_threads_; ++s) {
+    shards_.push_back(std::make_unique<ShardState>());
+  }
+  if (num_threads_ > 1) {
+    pool_ = std::make_unique<ShardPool>(
+        num_threads_, options.shard_queue_capacity,
+        [this](int shard, ShardPool::Task&& task) {
+          (void)ProcessTask(shard, std::move(task));
+        });
+  }
+}
 
-StatusOr<StreamingQueryExecutor::ClusterState*>
-StreamingQueryExecutor::ClusterFor(const Row& row) {
-  std::string key = EncodeKey(row, cluster_cols_);
-  auto it = clusters_.find(key);
-  if (it != clusters_.end()) return &it->second;
+StreamingQueryExecutor::~StreamingQueryExecutor() {
+  if (pool_ != nullptr) pool_->Finish();
+}
 
-  ClusterState state;
-  auto matcher = OpsStreamMatcher::Create(
-      &plan_, query_.input_schema,
-      [this](const Match& m, const SequenceView& v, int64_t base) {
-        EmitRow(m, v, base);
-      });
-  SQLTS_RETURN_IF_ERROR(matcher.status());
-  state.matcher =
-      std::make_unique<OpsStreamMatcher>(std::move(*matcher));
+StatusOr<StreamingQueryExecutor::RouteInfo*>
+StreamingQueryExecutor::RouteFor(const Row& row) {
+  std::string key = EncodeClusterKey(row, cluster_cols_);
+  auto it = routes_.find(key);
+  if (it != routes_.end()) return &it->second;
+
+  RouteInfo info;
+  info.ordinal = static_cast<uint64_t>(routes_.size());
+  info.shard = pool_ != nullptr ? pool_->ShardFor(key) : 0;
   // Cluster filters are constant per cluster: evaluate them on this
   // first tuple directly (they were rewritten to offset-0 references).
   if (!query_.cluster_filters.empty()) {
@@ -79,48 +81,92 @@ StreamingQueryExecutor::ClusterFor(const Row& row) {
     ctx.pos = 0;
     for (const ExprPtr& f : query_.cluster_filters) {
       if (!EvalPredicate(*f, ctx)) {
-        state.accepted = false;
+        info.accepted = false;
         break;
       }
     }
   }
-  auto [pos, inserted] = clusters_.emplace(std::move(key), std::move(state));
+  auto [pos, inserted] = routes_.emplace(std::move(key), std::move(info));
   SQLTS_CHECK(inserted);
   return &pos->second;
 }
 
+Status StreamingQueryExecutor::CheckSequenceOrder(const Row& row,
+                                                  RouteInfo* info) {
+  if (sequence_cols_.empty()) return Status::OK();
+  if (info->has_last) {
+    // Lexicographic comparison of the full SEQUENCE BY tuple; a NULL or
+    // incomparable component ends the comparison (conservative accept).
+    int verdict = 0;
+    for (size_t k = 0; k < sequence_cols_.size(); ++k) {
+      const Value& cur = row[sequence_cols_[k]];
+      const Value& prev = info->last_seq_key[k];
+      if (cur.is_null() || prev.is_null()) break;
+      auto cmp = cur.Compare(prev);
+      if (!cmp.ok()) break;
+      if (*cmp != 0) {
+        verdict = *cmp;
+        break;
+      }
+    }
+    if (verdict < 0) {
+      return Status::InvalidArgument(
+          "stream tuple out of SEQUENCE BY order within its cluster");
+    }
+  }
+  info->last_seq_key.clear();
+  for (int c : sequence_cols_) info->last_seq_key.push_back(row[c]);
+  info->has_last = true;
+  return Status::OK();
+}
+
 Status StreamingQueryExecutor::Push(Row row) {
+  if (finished_) {
+    return Status::InvalidArgument("Push after Finish");
+  }
   if (static_cast<int>(row.size()) != query_.input_schema.num_columns()) {
     return Status::InvalidArgument("row arity mismatch");
   }
-  SQLTS_ASSIGN_OR_RETURN(ClusterState * state, ClusterFor(row));
-  if (!state->accepted) return Status::OK();
-  // Enforce per-cluster SEQUENCE BY order (first sequence column is the
-  // primary key of the ordering; ties are allowed).
-  if (!sequence_cols_.empty()) {
-    const Value& key = row[sequence_cols_[0]];
-    if (state->has_last_key && !key.is_null() &&
-        !state->last_sequence_key.is_null()) {
-      auto cmp = key.Compare(state->last_sequence_key);
-      if (cmp.ok() && *cmp < 0) {
-        return Status::InvalidArgument(
-            "stream tuple out of SEQUENCE BY order within its cluster");
-      }
+  SQLTS_ASSIGN_OR_RETURN(RouteInfo * info, RouteFor(row));
+  if (!info->accepted) return Status::OK();
+  SQLTS_RETURN_IF_ERROR(CheckSequenceOrder(row, info));
+  ++push_tag_;
+  ShardPool::Task task{std::move(row), info->ordinal, push_tag_};
+  if (pool_ != nullptr) {
+    pool_->Push(info->shard, std::move(task));
+    return Status::OK();
+  }
+  return ProcessTask(0, std::move(task));
+}
+
+Status StreamingQueryExecutor::ProcessTask(int shard, ShardPool::Task task) {
+  ShardState& st = *shards_[shard];
+  auto it = st.clusters.find(task.cluster);
+  if (it == st.clusters.end()) {
+    const uint64_t ordinal = task.cluster;
+    auto matcher = OpsStreamMatcher::Create(
+        &plan_, query_.input_schema,
+        [this, shard, ordinal](const Match& m, const SequenceView& v,
+                               int64_t base) {
+          EmitRow(shard, ordinal, m, v, base);
+        });
+    if (!matcher.ok()) {
+      if (st.error.ok()) st.error = matcher.status();
+      return matcher.status();
     }
-    state->last_sequence_key = key;
-    state->has_last_key = true;
+    ClusterState cs;
+    cs.matcher = std::make_unique<OpsStreamMatcher>(std::move(*matcher));
+    it = st.clusters.emplace(ordinal, std::move(cs)).first;
   }
-  return state->matcher->Push(std::move(row));
+  st.current_tag = task.tag;
+  ++st.processed;
+  Status status = it->second.matcher->Push(std::move(task.row));
+  if (!status.ok() && st.error.ok()) st.error = status;
+  return status;
 }
 
-void StreamingQueryExecutor::Finish() {
-  for (auto& [key, state] : clusters_) {
-    (void)key;
-    if (state.accepted) state.matcher->Finish();
-  }
-}
-
-void StreamingQueryExecutor::EmitRow(const Match& match,
+void StreamingQueryExecutor::EmitRow(int shard, uint64_t ordinal,
+                                     const Match& match,
                                      const SequenceView& view,
                                      int64_t base) {
   if (!on_row_) return;
@@ -139,14 +185,80 @@ void StreamingQueryExecutor::EmitRow(const Match& match,
   for (const SelectItem& item : query_.select) {
     out.push_back(EvalExpr(*item.expr, ctx));
   }
-  on_row_(out);
+  if (pool_ == nullptr) {
+    on_row_(out);
+    return;
+  }
+  ShardState& st = *shards_[shard];
+  ClusterState& cs = st.clusters.at(ordinal);
+  st.out.push_back(TaggedRow{st.current_tag, cs.emit_seq++, std::move(out)});
+}
+
+Status StreamingQueryExecutor::Finish() {
+  if (finished_) return final_status_;
+  finished_ = true;
+  if (pool_ != nullptr) pool_->Finish();  // barrier: drains and joins
+
+  // Close trailing star groups.  Clusters finish in encoded-key order —
+  // the iteration order of the pre-shard implementation, whose cluster
+  // map was keyed by the encoded key — with Finish-time emissions
+  // tagged after every push so the merge keeps them last.
+  uint64_t tag = push_tag_;
+  for (auto& [key, info] : routes_) {
+    (void)key;
+    if (!info.accepted) continue;
+    ShardState& st = *shards_[info.shard];
+    auto it = st.clusters.find(info.ordinal);
+    if (it == st.clusters.end()) continue;
+    st.current_tag = ++tag;
+    it->second.matcher->Finish();
+  }
+
+  if (pool_ != nullptr && on_row_) {
+    // Deterministic ordered merge: deliver buffered rows exactly as the
+    // single-threaded path would have (by completing push, then by
+    // per-cluster emission order).
+    size_t total = 0;
+    for (const auto& st : shards_) total += st->out.size();
+    std::vector<TaggedRow> all;
+    all.reserve(total);
+    for (const auto& st : shards_) {
+      for (TaggedRow& tr : st->out) all.push_back(std::move(tr));
+      st->out.clear();
+    }
+    std::sort(all.begin(), all.end(),
+              [](const TaggedRow& a, const TaggedRow& b) {
+                return std::tie(a.tag, a.seq) < std::tie(b.tag, b.seq);
+              });
+    for (const TaggedRow& tr : all) on_row_(tr.row);
+  }
+
+  // Aggregate the per-shard stats layer.
+  final_shard_stats_.assign(shards_.size(), ShardStats{});
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    ShardState& st = *shards_[s];
+    ShardStats& out = final_shard_stats_[s];
+    out.tuples_pushed = st.processed;
+    out.clusters = static_cast<int64_t>(st.clusters.size());
+    out.queue_high_water =
+        pool_ != nullptr ? pool_->queue_high_water(static_cast<int>(s)) : 0;
+    for (const auto& [ordinal, cs] : st.clusters) {
+      (void)ordinal;
+      out.search += cs.matcher->stats();
+    }
+    if (!st.error.ok() && final_status_.ok()) final_status_ = st.error;
+  }
+  final_stats_ = TotalSearchStats(final_shard_stats_);
+  return final_status_;
 }
 
 SearchStats StreamingQueryExecutor::stats() const {
+  if (finished_) return final_stats_;
+  if (pool_ != nullptr) return SearchStats{};  // meaningful after Finish
   SearchStats total;
-  for (const auto& [key, state] : clusters_) {
-    (void)key;
-    if (state.matcher != nullptr) total += state.matcher->stats();
+  for (const auto& [ordinal, cs] : shards_[0]->clusters) {
+    (void)ordinal;
+    total += cs.matcher->stats();
   }
   return total;
 }

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "common/statusor.h"
+#include "engine/executor.h"
+#include "engine/shard_pool.h"
 #include "engine/stream.h"
 #include "parser/analyzer.h"
 #include "pattern/compile.h"
@@ -21,51 +23,124 @@ namespace sqlts {
 /// the paper's "user-defined aggregate over a stream" deployment with
 /// the full language on top.
 ///
+/// Execution is sharded when ExecOptions::num_threads > 1: clusters are
+/// hash-partitioned across a fixed ShardPool, each shard owning its own
+/// matcher map and bounded input queue, with matcher state fully
+/// private per cluster.  In that mode output rows are buffered and
+/// delivered during Finish() in exactly the order the single-threaded
+/// path would have emitted them (by the push that completed each match,
+/// then end-of-stream matches in encoded-key order), so results are
+/// deterministic and identical for every thread count.  num_threads = 1
+/// keeps the classic immediate-emission path, bit-identical to the
+/// pre-shard implementation.
+///
 /// Requirements: tuples must arrive in non-decreasing SEQUENCE BY order
 /// *within each cluster* (a streaming engine cannot sort); violations
-/// are rejected.  Predicates must not look ahead (see OpsStreamMatcher).
+/// of the full SEQUENCE BY tuple are rejected.  Predicates must not
+/// look ahead (see OpsStreamMatcher).
 class StreamingQueryExecutor {
  public:
-  /// Receives one projected output row per match.
+  /// Receives one projected output row per match.  Invoked on the
+  /// calling thread: during Push()/Finish() when num_threads == 1,
+  /// during Finish() only when num_threads > 1.
   using RowCallback = std::function<void(const Row&)>;
 
-  /// Parses and compiles `query_text` against `schema`.
+  /// Parses and compiles `query_text` against `schema`.  Only
+  /// options.compile, options.num_threads and
+  /// options.shard_queue_capacity apply to streaming execution.
   static StatusOr<std::unique_ptr<StreamingQueryExecutor>> Create(
       std::string_view query_text, const Schema& schema,
-      RowCallback on_row, const CompileOptions& options = {});
+      RowCallback on_row, const ExecOptions& options = {});
 
-  /// Processes the next stream tuple.
+  ~StreamingQueryExecutor();
+
+  /// Processes the next stream tuple.  With num_threads > 1 this only
+  /// routes and enqueues (blocking when the owning shard's queue is
+  /// full); matcher errors surface from Finish().
   Status Push(Row row);
 
-  /// Signals end-of-stream: trailing star groups close and final
-  /// matches are emitted.
-  void Finish();
+  /// Signals end-of-stream: the shard barrier drains every queue,
+  /// trailing star groups close, final matches are emitted, and (in
+  /// sharded mode) buffered rows are delivered in deterministic order.
+  /// Returns the first error any shard encountered.  Idempotent.
+  Status Finish();
 
-  /// Aggregated statistics across all clusters.
+  /// Aggregated matcher statistics across all clusters.  With
+  /// num_threads > 1 this is only meaningful after Finish().
   SearchStats stats() const;
-  int num_clusters() const { return static_cast<int>(clusters_.size()); }
+
+  /// Per-shard counters (tuples routed, clusters owned, matcher stats,
+  /// queue high-water marks).  Populated by Finish(); one entry per
+  /// shard (a single entry when num_threads == 1).
+  const std::vector<ShardStats>& shard_stats() const {
+    return final_shard_stats_;
+  }
+
+  int num_clusters() const { return static_cast<int>(routes_.size()); }
   const Schema& output_schema() const { return query_.output_schema; }
 
  private:
+  /// Router-side cluster bookkeeping; touched only by the Push caller.
+  struct RouteInfo {
+    uint64_t ordinal = 0;        // dense, in first-appearance order
+    int shard = 0;
+    bool accepted = true;        // cluster filter verdict (first tuple)
+    std::vector<Value> last_seq_key;  // full SEQUENCE BY tuple
+    bool has_last = false;
+  };
+
+  /// Matcher state owned by exactly one shard worker.
   struct ClusterState {
     std::unique_ptr<OpsStreamMatcher> matcher;
-    bool accepted = true;        // cluster filter verdict (first tuple)
-    Value last_sequence_key;     // order enforcement
-    bool has_last_key = false;
+    uint64_t emit_seq = 0;  // per-cluster emission counter
+  };
+
+  /// A buffered output row with its deterministic merge position.
+  struct TaggedRow {
+    uint64_t tag;   // push (or finish) event that completed the match
+    uint64_t seq;   // per-cluster emission counter at that event
+    Row row;
+  };
+
+  /// Everything one shard worker owns (index = shard id; the vector is
+  /// sized before workers start and never resized).
+  struct ShardState {
+    std::map<uint64_t, ClusterState> clusters;  // keyed by ordinal
+    std::vector<TaggedRow> out;   // sharded mode: buffered emissions
+    Status error = Status::OK();  // first matcher error, if any
+    uint64_t current_tag = 0;     // tag of the task being processed
+    int64_t processed = 0;        // tasks consumed
   };
 
   StreamingQueryExecutor(CompiledQuery query, PatternPlan plan,
-                         RowCallback on_row);
+                         RowCallback on_row, const ExecOptions& options);
 
-  StatusOr<ClusterState*> ClusterFor(const Row& row);
-  void EmitRow(const Match& match, const SequenceView& view, int64_t base);
+  /// Looks up (or creates) the routing entry for `row`'s cluster.
+  StatusOr<RouteInfo*> RouteFor(const Row& row);
+  /// Rejects rows that regress on the full SEQUENCE BY tuple.
+  Status CheckSequenceOrder(const Row& row, RouteInfo* info);
+  /// Consumes one routed tuple on its owning shard.
+  Status ProcessTask(int shard, ShardPool::Task task);
+  /// Match callback: projects the SELECT list and emits or buffers.
+  void EmitRow(int shard, uint64_t ordinal, const Match& match,
+               const SequenceView& view, int64_t base);
 
   CompiledQuery query_;
   PatternPlan plan_;
   RowCallback on_row_;
+  int num_threads_;
   std::vector<int> cluster_cols_;
   std::vector<int> sequence_cols_;
-  std::map<std::string, ClusterState> clusters_;  // keyed by encoded key
+  std::map<std::string, RouteInfo> routes_;  // keyed by encoded key
+  std::vector<std::unique_ptr<ShardState>> shards_;
+  uint64_t push_tag_ = 0;  // global push counter (merge tag source)
+  bool finished_ = false;
+  Status final_status_ = Status::OK();
+  SearchStats final_stats_;
+  std::vector<ShardStats> final_shard_stats_;
+  /// Declared last: its destructor joins workers that reference the
+  /// members above.
+  std::unique_ptr<ShardPool> pool_;
 };
 
 }  // namespace sqlts

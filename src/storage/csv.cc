@@ -43,8 +43,42 @@ StatusOr<std::vector<std::string>> SplitCsvLine(std::string_view line) {
   return fields;
 }
 
+/// Splits CSV text into records.  Record separators are '\n' (or
+/// "\r\n") *outside quotes*; newlines inside quoted fields are field
+/// content, so splitting must be quote-aware.  Returns ParseError on a
+/// quote left open at end of input.
+StatusOr<std::vector<std::string_view>> SplitCsvRecords(
+    std::string_view text) {
+  std::vector<std::string_view> records;
+  size_t start = 0;
+  bool in_quotes = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '"') {
+      // An escaped quote ("") toggles twice — net unchanged — and can
+      // never enclose a separator, so plain toggling is sufficient for
+      // record splitting.
+      in_quotes = !in_quotes;
+    } else if (c == '\n' && !in_quotes) {
+      size_t end = i;
+      if (end > start && text[end - 1] == '\r') --end;  // CRLF
+      records.push_back(text.substr(start, end - start));
+      start = i + 1;
+    }
+  }
+  if (in_quotes) {
+    return Status::ParseError("unterminated quote in CSV input");
+  }
+  if (start < text.size()) {
+    std::string_view rec = text.substr(start);
+    if (!rec.empty() && rec.back() == '\r') rec.remove_suffix(1);
+    records.push_back(rec);
+  }
+  return records;
+}
+
 std::string EscapeCsvField(const std::string& raw) {
-  if (raw.find_first_of(",\"\n") == std::string::npos) return raw;
+  if (raw.find_first_of(",\"\n\r") == std::string::npos) return raw;
   std::string out = "\"";
   for (char c : raw) {
     if (c == '"') out += "\"\"";
@@ -70,17 +104,8 @@ std::string CellText(const Value& v) {
 }  // namespace
 
 StatusOr<Table> ReadCsvString(std::string_view text, const Schema& schema) {
-  std::vector<std::string_view> lines;
-  size_t start = 0;
-  while (start <= text.size()) {
-    size_t pos = text.find('\n', start);
-    if (pos == std::string_view::npos) {
-      if (start < text.size()) lines.push_back(text.substr(start));
-      break;
-    }
-    lines.push_back(text.substr(start, pos - start));
-    start = pos + 1;
-  }
+  SQLTS_ASSIGN_OR_RETURN(std::vector<std::string_view> lines,
+                         SplitCsvRecords(text));
   if (lines.empty()) return Status::ParseError("empty CSV input");
 
   SQLTS_ASSIGN_OR_RETURN(std::vector<std::string> header,
@@ -100,7 +125,6 @@ StatusOr<Table> ReadCsvString(std::string_view text, const Schema& schema) {
   Table table(schema);
   for (size_t ln = 1; ln < lines.size(); ++ln) {
     std::string_view line = lines[ln];
-    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
     if (StripWhitespace(line).empty()) continue;
     SQLTS_ASSIGN_OR_RETURN(std::vector<std::string> fields,
                            SplitCsvLine(line));

@@ -11,14 +11,16 @@ namespace sqlts {
 
 /// Reads a CSV file whose first line is a header.  Column types are
 /// taken from `schema` (which must name every header column); empty
-/// fields load as NULL.  Quoting: double quotes with "" escapes.
+/// fields load as NULL.  Quoting: double quotes with "" escapes;
+/// quoted fields may contain separators, quotes, and newlines (record
+/// splitting is quote-aware).  CRLF record terminators are accepted.
 StatusOr<Table> ReadCsvFile(const std::string& path, const Schema& schema);
 
 /// Like ReadCsvFile but parses in-memory text (useful for tests).
 StatusOr<Table> ReadCsvString(std::string_view text, const Schema& schema);
 
 /// Writes `table` as CSV (header + rows).  Strings are quoted when they
-/// contain separators/quotes/newlines.
+/// contain separators, quotes, or CR/LF characters.
 Status WriteCsvFile(const Table& table, const std::string& path);
 
 /// Serializes `table` to CSV text.

@@ -1,0 +1,244 @@
+// Sharded execution tests: ShardPool mechanics, and determinism of the
+// parallel batch and streaming executors across thread counts.
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/executor.h"
+#include "engine/shard_pool.h"
+#include "engine/stream_executor.h"
+#include "test_util.h"
+
+namespace sqlts {
+namespace {
+
+TEST(ShardPool, DeliversTasksFifoPerShard) {
+  std::vector<std::vector<uint64_t>> seen(3);
+  {
+    ShardPool pool(3, 4, [&](int shard, ShardPool::Task&& t) {
+      seen[shard].push_back(t.tag);
+    });
+    for (uint64_t i = 0; i < 99; ++i) {
+      pool.Push(static_cast<int>(i % 3), ShardPool::Task{Row{}, i, i});
+    }
+    pool.Finish();
+    EXPECT_EQ(pool.pushed(0), 33);
+    for (int s = 0; s < 3; ++s) {
+      EXPECT_LE(pool.queue_high_water(s), 4);  // bounded queue
+    }
+  }
+  size_t total = 0;
+  for (int s = 0; s < 3; ++s) {
+    total += seen[s].size();
+    for (size_t k = 1; k < seen[s].size(); ++k) {
+      EXPECT_LT(seen[s][k - 1], seen[s][k]);  // FIFO per shard
+    }
+  }
+  EXPECT_EQ(total, 99u);
+}
+
+TEST(ShardPool, ShardForIsStableAndInRange) {
+  ShardPool pool(8, 16, [](int, ShardPool::Task&&) {});
+  for (int i = 0; i < 100; ++i) {
+    std::string key = "cluster-" + std::to_string(i);
+    int s = pool.ShardFor(key);
+    EXPECT_GE(s, 0);
+    EXPECT_LT(s, 8);
+    EXPECT_EQ(s, pool.ShardFor(key));
+  }
+  pool.Finish();
+}
+
+TEST(ShardPool, EncodeClusterKeyIsInjective) {
+  // Parts that concatenate equal must encode differently.
+  Row a = {Value::String("ab"), Value::String("c")};
+  Row b = {Value::String("a"), Value::String("bc")};
+  EXPECT_NE(EncodeClusterKey(a), EncodeClusterKey(b));
+  // Separator and quote injection.
+  Row c = {Value::String("a'\x1f'b"), Value::String("c")};
+  Row d = {Value::String("a"), Value::String("b'\x1f'c")};
+  EXPECT_NE(EncodeClusterKey(c), EncodeClusterKey(d));
+  // Same values encode equal.
+  Row e = {Value::String("a'\x1f'b"), Value::String("c")};
+  EXPECT_EQ(EncodeClusterKey(c), EncodeClusterKey(e));
+}
+
+/// A portfolio of `stocks` independent random walks, `rows_per` rows
+/// each, appended per instrument (dates ascending within a cluster).
+Table Portfolio(int stocks, int64_t rows_per) {
+  Table t(QuoteSchema());
+  Date d0 = *Date::Parse("1999-01-04");
+  for (int s = 0; s < stocks; ++s) {
+    RandomWalkOptions opt;
+    opt.n = rows_per;
+    opt.daily_vol = 0.05;
+    opt.seed = 4200 + s;
+    SQLTS_CHECK_OK(AppendInstrument(&t, "S" + std::to_string(s), d0,
+                                    GeometricRandomWalk(opt)));
+  }
+  return t;
+}
+
+const char kSweepQuery[] =
+    "SELECT X.name, Y.date, Y.price FROM quote CLUSTER BY name "
+    "SEQUENCE BY date AS (X, Y, Z) WHERE Y.price > 1.03 * X.price "
+    "AND Z.price < 0.98 * Y.price";
+
+std::vector<std::string> RenderRows(const Table& out) {
+  std::vector<std::string> rows;
+  rows.reserve(out.num_rows());
+  for (int64_t r = 0; r < out.num_rows(); ++r) {
+    std::string key;
+    for (int c = 0; c < out.schema().num_columns(); ++c) {
+      key += out.at(r, c).ToString() + "|";
+    }
+    rows.push_back(std::move(key));
+  }
+  return rows;
+}
+
+TEST(ShardedExecution, BatchIdenticalAcrossThreadCounts) {
+  Table t = Portfolio(64, 120);
+  auto base = QueryExecutor::Execute(t, kSweepQuery);  // num_threads = 1
+  ASSERT_TRUE(base.ok()) << base.status();
+  EXPECT_TRUE(base->shard_stats.empty());  // sequential path
+  std::vector<std::string> want = RenderRows(base->output);
+  ASSERT_GT(want.size(), 0u);
+
+  for (int threads : {2, 8}) {
+    ExecOptions opt;
+    opt.num_threads = threads;
+    auto got = QueryExecutor::Execute(t, kSweepQuery, opt);
+    ASSERT_TRUE(got.ok()) << got.status();
+    // Rows identical *including order* (cluster first-appearance order).
+    EXPECT_EQ(RenderRows(got->output), want) << "threads=" << threads;
+    EXPECT_EQ(got->stats.evaluations, base->stats.evaluations);
+    EXPECT_EQ(got->stats.matches, base->stats.matches);
+    EXPECT_EQ(got->stats.jumps, base->stats.jumps);
+    EXPECT_EQ(got->num_clusters, base->num_clusters);
+    // The per-shard stats layer partitions the totals.
+    ASSERT_EQ(static_cast<int>(got->shard_stats.size()), threads);
+    int64_t clusters = 0, rows = 0;
+    for (const ShardStats& s : got->shard_stats) {
+      clusters += s.clusters;
+      rows += s.tuples_pushed;
+    }
+    EXPECT_EQ(clusters, 64);
+    EXPECT_EQ(rows, t.num_rows());
+    EXPECT_EQ(TotalSearchStats(got->shard_stats).evaluations,
+              base->stats.evaluations);
+  }
+}
+
+TEST(ShardedExecution, StreamIdenticalAcrossThreadCounts) {
+  const int kStocks = 16;
+  const int64_t kRowsPer = 200;
+  Table t = Portfolio(kStocks, kRowsPer);
+
+  auto run = [&](int threads, std::vector<std::string>* rows,
+                 SearchStats* stats,
+                 std::vector<ShardStats>* shard_stats) {
+    ExecOptions opt;
+    opt.num_threads = threads;
+    opt.shard_queue_capacity = 64;
+    auto exec = StreamingQueryExecutor::Create(
+        kSweepQuery, t.schema(),
+        [&](const Row& r) {
+          std::string key;
+          for (const Value& v : r) key += v.ToString() + "|";
+          rows->push_back(std::move(key));
+        },
+        opt);
+    ASSERT_TRUE(exec.ok()) << exec.status();
+    // Push interleaved round-robin across all clusters.
+    for (int64_t i = 0; i < kRowsPer; ++i) {
+      for (int s = 0; s < kStocks; ++s) {
+        ASSERT_TRUE((*exec)->Push(t.GetRow(s * kRowsPer + i)).ok());
+      }
+    }
+    ASSERT_TRUE((*exec)->Finish().ok());
+    EXPECT_EQ((*exec)->num_clusters(), kStocks);
+    *stats = (*exec)->stats();
+    *shard_stats = (*exec)->shard_stats();
+  };
+
+  std::vector<std::string> rows1, rows2, rows8;
+  SearchStats s1, s2, s8;
+  std::vector<ShardStats> ss1, ss2, ss8;
+  run(1, &rows1, &s1, &ss1);
+  run(2, &rows2, &s2, &ss2);
+  run(8, &rows8, &s8, &ss8);
+
+  ASSERT_GT(rows1.size(), 0u);
+  // Identical rows in identical order, for every thread count.
+  EXPECT_EQ(rows2, rows1);
+  EXPECT_EQ(rows8, rows1);
+  // Aggregated matcher stats identical.
+  for (const SearchStats* s : {&s2, &s8}) {
+    EXPECT_EQ(s->evaluations, s1.evaluations);
+    EXPECT_EQ(s->matches, s1.matches);
+    EXPECT_EQ(s->presat_skips, s1.presat_skips);
+    EXPECT_EQ(s->jumps, s1.jumps);
+  }
+  // Per-shard layer: totals partition the stream.
+  ASSERT_EQ(ss1.size(), 1u);
+  ASSERT_EQ(ss8.size(), 8u);
+  int64_t pushed = 0, clusters = 0;
+  for (const ShardStats& s : ss8) {
+    pushed += s.tuples_pushed;
+    clusters += s.clusters;
+    EXPECT_LE(s.queue_high_water, 64);
+  }
+  EXPECT_EQ(pushed, kStocks * kRowsPer);
+  EXPECT_EQ(clusters, kStocks);
+  EXPECT_EQ(ss1[0].tuples_pushed, kStocks * kRowsPer);
+}
+
+TEST(ShardedExecution, ParallelStreamAgreesWithBatch) {
+  Table t = Portfolio(12, 150);
+  ExecOptions opt;
+  opt.num_threads = 4;
+  auto batch = QueryExecutor::Execute(t, kSweepQuery, opt);
+  ASSERT_TRUE(batch.ok()) << batch.status();
+
+  std::multiset<std::string> streamed;
+  auto exec = StreamingQueryExecutor::Create(
+      kSweepQuery, t.schema(),
+      [&](const Row& r) {
+        std::string key;
+        for (const Value& v : r) key += v.ToString() + "|";
+        streamed.insert(std::move(key));
+      },
+      opt);
+  ASSERT_TRUE(exec.ok()) << exec.status();
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    ASSERT_TRUE((*exec)->Push(t.GetRow(r)).ok());
+  }
+  ASSERT_TRUE((*exec)->Finish().ok());
+
+  std::vector<std::string> batch_rows = RenderRows(batch->output);
+  std::multiset<std::string> batched(batch_rows.begin(), batch_rows.end());
+  EXPECT_EQ(streamed, batched);
+  EXPECT_EQ((*exec)->stats().matches, batch->stats.matches);
+}
+
+TEST(ShardedExecution, LimitFallsBackToSequentialPath) {
+  Table t = Portfolio(8, 100);
+  const std::string query = std::string(kSweepQuery) + " LIMIT 3";
+  ExecOptions opt;
+  opt.num_threads = 4;
+  auto limited = QueryExecutor::Execute(t, query, opt);
+  ASSERT_TRUE(limited.ok()) << limited.status();
+  EXPECT_LE(limited->output.num_rows(), 3);
+  EXPECT_TRUE(limited->shard_stats.empty());  // sequential fallback
+  auto base = QueryExecutor::Execute(t, query);
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(RenderRows(limited->output), RenderRows(base->output));
+}
+
+}  // namespace
+}  // namespace sqlts

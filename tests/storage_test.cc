@@ -83,6 +83,59 @@ TEST(Csv, QuotedFields) {
   EXPECT_EQ(t->at(0, 1).int64_value(), 3);
 }
 
+TEST(Csv, QuotedFieldWithEmbeddedNewline) {
+  // Record splitting must be quote-aware: a '\n' inside quotes is field
+  // content, not a record separator.
+  Schema s;
+  ASSERT_TRUE(s.AddColumn("text", TypeKind::kString).ok());
+  ASSERT_TRUE(s.AddColumn("v", TypeKind::kInt64).ok());
+  auto t = ReadCsvString("text,v\n\"line1\nline2\",7\nplain,8\n", s);
+  ASSERT_TRUE(t.ok()) << t.status();
+  ASSERT_EQ(t->num_rows(), 2);
+  EXPECT_EQ(t->at(0, 0).string_value(), "line1\nline2");
+  EXPECT_EQ(t->at(0, 1).int64_value(), 7);
+  EXPECT_EQ(t->at(1, 0).string_value(), "plain");
+}
+
+TEST(Csv, CrlfRecordTerminators) {
+  auto t = ReadCsvString(
+      "name,date,price\r\nINTC,1999-01-25,60\r\nIBM,1999-01-26,81\r\n",
+      QuoteSchemaLocal());
+  ASSERT_TRUE(t.ok()) << t.status();
+  ASSERT_EQ(t->num_rows(), 2);
+  EXPECT_EQ(t->at(0, 0).string_value(), "INTC");
+  EXPECT_EQ(t->at(1, 2).double_value(), 81);
+}
+
+TEST(Csv, RoundTripEmbeddedNewlinesQuotesAndCr) {
+  Schema s;
+  ASSERT_TRUE(s.AddColumn("text", TypeKind::kString).ok());
+  ASSERT_TRUE(s.AddColumn("v", TypeKind::kInt64).ok());
+  Table t(s);
+  ASSERT_TRUE(
+      t.AppendRow({Value::String("line1\nline2"), Value::Int64(1)}).ok());
+  ASSERT_TRUE(
+      t.AppendRow({Value::String("cr\rhere"), Value::Int64(2)}).ok());
+  ASSERT_TRUE(
+      t.AppendRow({Value::String("q\"x,y"), Value::Int64(3)}).ok());
+  std::string text = WriteCsvString(t);
+  // A field containing a bare CR must be quoted, or a CRLF-aware reader
+  // would truncate it.
+  EXPECT_NE(text.find("\"cr\rhere\""), std::string::npos);
+  auto back = ReadCsvString(text, s);
+  ASSERT_TRUE(back.ok()) << back.status();
+  ASSERT_EQ(back->num_rows(), 3);
+  EXPECT_EQ(back->at(0, 0).string_value(), "line1\nline2");
+  EXPECT_EQ(back->at(1, 0).string_value(), "cr\rhere");
+  EXPECT_EQ(back->at(2, 0).string_value(), "q\"x,y");
+}
+
+TEST(Csv, UnterminatedQuoteAcrossRecordsFails) {
+  Schema s;
+  ASSERT_TRUE(s.AddColumn("text", TypeKind::kString).ok());
+  EXPECT_FALSE(ReadCsvString("text\n\"open\nnever closed\n", s).ok());
+}
+
 TEST(Csv, EmptyFieldIsNull) {
   auto t = ReadCsvString("name,date,price\nINTC,,60\n", QuoteSchemaLocal());
   ASSERT_TRUE(t.ok()) << t.status();

@@ -90,6 +90,67 @@ TEST(StreamExecutor, RejectsOutOfOrderTuples) {
   EXPECT_TRUE((*exec)->Push(QuoteRow("B", d0.AddDays(-2), 1)).ok());
 }
 
+TEST(StreamExecutor, AdversarialClusterKeysStayDistinct) {
+  // Under separator-concatenation key encoding these two key tuples
+  // collide: ('a'<US>'b', 'c') and ('a', 'b'<US>'c') both render as
+  // 'a'<US>'b'<US>'c' because ToString neither escapes quotes nor
+  // guards the separator.  Length-prefixed encoding keeps them apart.
+  Schema s;
+  ASSERT_TRUE(s.AddColumn("k1", TypeKind::kString).ok());
+  ASSERT_TRUE(s.AddColumn("k2", TypeKind::kString).ok());
+  ASSERT_TRUE(s.AddColumn("seq", TypeKind::kInt64).ok());
+  ASSERT_TRUE(s.AddColumn("v", TypeKind::kDouble).ok());
+  std::vector<Row> rows;
+  auto exec = StreamingQueryExecutor::Create(
+      "SELECT X.k1 FROM t CLUSTER BY k1, k2 SEQUENCE BY seq "
+      "AS (X, Y) WHERE Y.v > X.v",
+      s, [&](const Row& r) { rows.push_back(r); });
+  ASSERT_TRUE(exec.ok()) << exec.status();
+  const std::string a1 = "a'\x1f'b", a2 = "c";   // cluster A: rises
+  const std::string b1 = "a", b2 = "b'\x1f'c";   // cluster B: falls
+  auto push = [&](const std::string& k1, const std::string& k2,
+                  int64_t seq, double v) {
+    return (*exec)->Push({Value::String(k1), Value::String(k2),
+                          Value::Int64(seq), Value::Double(v)});
+  };
+  ASSERT_TRUE(push(a1, a2, 1, 1).ok());
+  ASSERT_TRUE(push(b1, b2, 1, 9).ok());
+  ASSERT_TRUE(push(a1, a2, 2, 2).ok());
+  ASSERT_TRUE(push(b1, b2, 2, 5).ok());
+  (*exec)->Finish();
+  // Merged into one cluster the stream 1,9,2,5 yields two rises; kept
+  // apart it is one rise (cluster A) and none (cluster B).
+  EXPECT_EQ((*exec)->num_clusters(), 2);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].string_value(), a1);
+}
+
+TEST(StreamExecutor, RejectsRegressionOnSecondarySequenceColumn) {
+  Schema s;
+  ASSERT_TRUE(s.AddColumn("name", TypeKind::kString).ok());
+  ASSERT_TRUE(s.AddColumn("a", TypeKind::kInt64).ok());
+  ASSERT_TRUE(s.AddColumn("b", TypeKind::kInt64).ok());
+  ASSERT_TRUE(s.AddColumn("v", TypeKind::kDouble).ok());
+  auto exec = StreamingQueryExecutor::Create(
+      "SELECT X.v FROM t CLUSTER BY name SEQUENCE BY a, b "
+      "AS (X, Y) WHERE Y.v > X.v",
+      s, nullptr);
+  ASSERT_TRUE(exec.ok()) << exec.status();
+  auto push = [&](int64_t a, int64_t b) {
+    return (*exec)->Push({Value::String("G"), Value::Int64(a),
+                          Value::Int64(b), Value::Double(1)});
+  };
+  ASSERT_TRUE(push(1, 5).ok());
+  // Primary ties, secondary regresses: out of order.
+  EXPECT_EQ(push(1, 3).code(), StatusCode::kInvalidArgument);
+  // Full-tuple tie is fine.
+  EXPECT_TRUE(push(1, 5).ok());
+  // Primary advances; the secondary may restart.
+  EXPECT_TRUE(push(2, 0).ok());
+  // Primary regression is still caught.
+  EXPECT_EQ(push(1, 9).code(), StatusCode::kInvalidArgument);
+}
+
 TEST(StreamExecutor, RejectsLookahead) {
   auto exec = StreamingQueryExecutor::Create(
       "SELECT X.price FROM quote SEQUENCE BY date AS (X) "
