@@ -54,9 +54,23 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "bad schema entry '%s'\n", part.c_str());
       return 2;
     }
-    auto kind = TypeKindFromString(StripWhitespace(bits[1]));
+    // A trailing '?' marks the column nullable ("vol:INT64?"), which
+    // makes the optimizer drop θ/φ deductions that are unsound when the
+    // column can be NULL.  A trailing '+' declares it strictly positive
+    // ("price:DOUBLE+" or "price:DOUBLE+?"), enabling the log-domain
+    // ratio reasoning for patterns that only touch such columns.
+    std::string type_text(StripWhitespace(bits[1]));
+    bool nullable = false, positive = false;
+    while (!type_text.empty()) {
+      if (type_text.back() == '?') nullable = true;
+      else if (type_text.back() == '+') positive = true;
+      else break;
+      type_text.pop_back();
+    }
+    auto kind = TypeKindFromString(type_text);
     if (!kind.ok()) return Fail(kind.status());
-    Status st = schema.AddColumn(StripWhitespace(bits[0]), *kind);
+    Status st =
+        schema.AddColumn(StripWhitespace(bits[0]), *kind, nullable, positive);
     if (!st.ok()) return Fail(st);
   }
 

@@ -153,6 +153,20 @@ std::vector<Match> OpsSearch(const SequenceView& seq,
         match.spans = spans;
         ++stats->matches;
         matches.push_back(std::move(match));
+        break;
+      }
+      // Ran out of input mid-attempt.  The compiled tables don't apply
+      // (no predicate evaluated false), and with a star in the pattern
+      // a later start can still complete inside the input — its star
+      // groups may consume fewer tuples — so fail the attempt and
+      // restart one tuple forward, exactly as the naive engine does.
+      // Star-free attempts consume one tuple per element, so any later
+      // start would run out even sooner: stop.  Tuple-local patterns
+      // (no anchored refs) also stop: a later attempt replays the same
+      // per-tuple outcomes, so it dies at the end of input too.
+      if (plan.has_star && plan.anchored_refs && start + 1 < n) {
+        reset_from(start + 1);
+        continue;
       }
       break;
     }
@@ -198,6 +212,22 @@ std::vector<Match> OpsSearch(const SequenceView& seq,
       // No overlap can succeed: restart just past the failing tuple.
       // (At this point i == start + cnt[j-1]: the failing tuple.)
       reset_from(i + 1);
+      continue;
+    }
+    // A shift of 1 with a star first element needs care: the implication
+    // graph refutes restarts at whole-group boundaries only, and shift
+    // == 1 means node (2,1) stays viable — which (via the trivially-true
+    // virtual node (1,1), p₁ ⇒ p₁) leaves every tuple *inside* the first
+    // star group as a candidate start.  The count-rebasing formula below
+    // would jump past all of them to the group-2 boundary, so restart
+    // one tuple forward instead, exactly as the naive engine would.
+    // (For shift ≥ 2 those interior restarts are refuted: node (2,1)
+    // unreachable is what makes the shift exceed 1.)  Only anchored
+    // patterns need this: with tuple-local predicates an interior
+    // restart replays the original attempt's outcomes and fails at the
+    // same place, so the whole-group jump stays sound.
+    if (s == 1 && plan.star[1] && cnt[1] > 1 && plan.anchored_refs) {
+      reset_from(start + 1);
       continue;
     }
     // Rebase the attempt: new position t maps onto old position s + t.

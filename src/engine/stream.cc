@@ -67,8 +67,25 @@ Status OpsStreamMatcher::Push(Row row) {
 
 void OpsStreamMatcher::Finish() {
   const int m = plan_->m;
-  if (j_ == m && plan_->star[m] && cnt_[m] > cnt_[m - 1]) {
-    EmitMatch();
+  // End of stream: the suspended attempt gets no more input.  An open
+  // star group on the last element completes a match; otherwise the
+  // attempt fails, and — as in batch OpsSearch — a pattern with stars
+  // must retry later starts, whose star groups may consume few enough
+  // tuples to fit in the remaining input.  Each retry re-runs Drain,
+  // which either completes (emitting matches) or suspends at the end of
+  // input again; start_ strictly increases, so this terminates.
+  while (true) {
+    if (j_ == m && plan_->star[m] && cnt_[m] > cnt_[m - 1]) {
+      EmitMatch();
+      Drain();
+      continue;
+    }
+    if (plan_->has_star && plan_->anchored_refs && start_ + 1 < pushed_) {
+      ResetAttempt(start_ + 1);
+      Drain();
+      continue;
+    }
+    break;
   }
 }
 
@@ -157,6 +174,15 @@ void OpsStreamMatcher::Drain() {
     const bool presat = tables.presatisfied[j_];
     if (nx == 0) {
       ResetAttempt(i_ + 1);
+      continue;
+    }
+    // Mirror of OpsSearch's star-aware shift guard (see matcher.cc): a
+    // shift of 1 with a multi-tuple star first group must restart one
+    // tuple forward, because the implication graph never refutes the
+    // candidate starts *inside* that group's span.  Needed only when an
+    // anchored reference can make the replay diverge.
+    if (s == 1 && plan_->star[1] && cnt_[1] > 1 && plan_->anchored_refs) {
+      ResetAttempt(start_ + 1);
       continue;
     }
     const std::vector<int64_t> old_cnt = cnt_;

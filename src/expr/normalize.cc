@@ -1,5 +1,6 @@
 #include "expr/normalize.h"
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 
@@ -332,6 +333,26 @@ PredicateAnalysis AnalyzePredicate(const ExprPtr& pred, const Schema& schema,
                                    VariableCatalog* catalog) {
   PredicateAnalysis out;
   if (pred == nullptr) return out;  // empty predicate: TRUE, complete
+
+  // Record every reference to a declared-nullable column, independently
+  // of whether the conjunct is captured, folded, or residue: 3VL
+  // soundness gating needs them all (a folded `vol = vol` still fails
+  // at runtime when vol is NULL).
+  VisitColumnRefs(pred, [&](const ColumnRef& r) {
+    if (r.column_index < 0 || !schema.column(r.column_index).nullable) {
+      return;
+    }
+    if (!r.relative) {
+      out.nullable_residue = true;
+      return;
+    }
+    out.nullable_vars.push_back(InternPatternVar(
+        catalog, schema.column(r.column_index).name, r.total_offset));
+  });
+  std::sort(out.nullable_vars.begin(), out.nullable_vars.end());
+  out.nullable_vars.erase(
+      std::unique(out.nullable_vars.begin(), out.nullable_vars.end()),
+      out.nullable_vars.end());
 
   std::vector<ExprPtr> conjuncts;
   FlattenConjuncts(pred, &conjuncts);

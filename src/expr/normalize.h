@@ -44,6 +44,18 @@ struct PredicateAnalysis {
   bool has_interval = false;
   VarId interval_var = kNoVar;
   IntervalSet interval;
+
+  /// Variables over declared-NULLABLE columns referenced anywhere in the
+  /// predicate — including conjuncts that folded away as real-arithmetic
+  /// tautologies (vol = vol is *not* a tautology when vol may be NULL:
+  /// it evaluates to unknown, which is unsatisfied).  The GSW solver
+  /// reasons in two-valued logic over the reals, so the implication
+  /// oracle must degrade any deduction whose soundness would rely on one
+  /// of these variables being non-NULL.  Sorted, deduplicated.
+  std::vector<VarId> nullable_vars;
+  /// A nullable column was referenced in a form not attributable to a
+  /// constraint variable; blocks every nullability-gated deduction.
+  bool nullable_residue = false;
 };
 
 /// Compiles a resolved predicate (relative column references only; the

@@ -48,15 +48,38 @@ StatusOr<PatternPlan> CompilePattern(const CompiledQuery& query,
   std::vector<PredicateAnalysis> preds;
   std::vector<bool> star(m + 1, false);
   std::vector<ExprPtr> predicates(m + 1);
+  // The GSW positive-domain mode (Sec 6: ratio atoms via the log
+  // transform, plus x > 0 edges in the linear graph) assumes every
+  // variable ranges over the strictly positive reals.  That holds only
+  // when each column any predicate touches is declared POSITIVE, so the
+  // gate is computed over all pattern predicates and applied to the
+  // whole compile.  Conservative per-pattern granularity: one
+  // non-positive column (grp = 0 is a satisfiable predicate!) disables
+  // the mode for every element.
+  bool all_positive = true;
+  bool anchored = false;
   for (int i = 0; i < m; ++i) {
     const PatternElement& el = query.elements[i];
     star[i + 1] = el.star;
     predicates[i + 1] = el.predicate;
+    if (el.predicate != nullptr) {
+      VisitColumnRefs(el.predicate, [&](const ColumnRef& r) {
+        if (r.column_index < 0 ||
+            !query.input_schema.column(r.column_index).positive) {
+          all_positive = false;
+        }
+        if (!r.relative) anchored = true;
+      });
+    }
     preds.push_back(
         AnalyzePredicate(el.predicate, query.input_schema, &catalog));
   }
-  return Finish(std::move(preds), std::move(star), std::move(predicates),
-                options);
+  CompileOptions gated = options;
+  gated.oracle.gsw.positive_domain &= all_positive;
+  auto plan = Finish(std::move(preds), std::move(star),
+                     std::move(predicates), gated);
+  plan.anchored_refs = anchored;
+  return plan;
 }
 
 PatternPlan CompileFromAnalyses(std::vector<PredicateAnalysis> preds,

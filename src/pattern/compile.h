@@ -33,6 +33,16 @@ struct PatternPlan {
   ThetaPhi matrices;
   SearchTables tables;
   bool has_star = false;
+  /// True when some predicate carries an anchored (non-relative) column
+  /// reference, e.g. a later element naming FIRST-of-group X.price.
+  /// Such a predicate's value depends on the attempt's group extents,
+  /// not just on the tuple under test — so a restart *inside* a star
+  /// group, or after running out of input, can succeed where the
+  /// original attempt failed.  The matchers take conservative
+  /// tuple-by-tuple restarts on those paths only when this is set; for
+  /// purely relative (tuple-local) patterns the replayed trajectory is
+  /// provably identical and the aggressive jumps stay sound.
+  bool anchored_refs = false;
 
   /// Human-readable compilation report (matrices + shift/next arrays).
   std::string ToString() const;

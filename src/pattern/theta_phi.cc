@@ -1,5 +1,8 @@
 #include "pattern/theta_phi.h"
 
+#include <algorithm>
+#include <iterator>
+
 namespace sqlts {
 namespace {
 
@@ -7,6 +10,58 @@ namespace {
 bool SameVarIntervals(const PredicateAnalysis& p,
                       const PredicateAnalysis& q) {
   return p.has_interval && q.has_interval && p.interval_var == q.interval_var;
+}
+
+// --- 3-valued-logic soundness gating -------------------------------------
+//
+// The GSW solver reasons in two-valued logic over the reals, but SQL
+// predicates follow 3-valued logic: a comparison touching a NULL
+// attribute is unknown, which the matcher treats as unsatisfied.  A
+// deduction is therefore only sound when every variable whose
+// non-NULLness it silently assumes is either over a non-nullable column
+// or pinned non-NULL by a conjunct the premise *satisfied*.  The
+// helpers below implement that gating; deductions that cannot be
+// justified degrade the matrix entry to Unknown, never to a wrong
+// truth value.
+
+/// No possibly-NULL variable appears anywhere in `p` — two-valued
+/// reasoning about both p and ¬p is exact.
+bool NullFree(const PredicateAnalysis& p) {
+  return p.nullable_vars.empty() && !p.nullable_residue;
+}
+
+/// All variables referenced by `s`'s atoms, sorted and deduplicated.
+std::vector<VarId> SystemVars(const ConstraintSystem& s) {
+  std::vector<VarId> vars;
+  for (const LinearAtom& a : s.linear()) {
+    vars.push_back(a.x);
+    if (a.y != kNoVar) vars.push_back(a.y);
+  }
+  for (const RatioAtom& a : s.ratio()) {
+    vars.push_back(a.x);
+    vars.push_back(a.y);
+  }
+  for (const StringAtom& a : s.strings()) vars.push_back(a.x);
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  return vars;
+}
+
+/// needles ⊆ hay; both sorted ascending.
+bool SubsetOf(const std::vector<VarId>& needles,
+              const std::vector<VarId>& hay) {
+  return std::includes(hay.begin(), hay.end(), needles.begin(),
+                       needles.end());
+}
+
+/// True when a premise that guarantees non-NULL real values exactly for
+/// `guaranteed_vars` supports concluding `q` from a two-valued proof:
+/// every possibly-NULL variable of q must be guaranteed, else q could
+/// evaluate to unknown even though the real-arithmetic implication
+/// holds.
+bool ConclusionNullSafe(const PredicateAnalysis& q,
+                        const std::vector<VarId>& guaranteed_vars) {
+  return !q.nullable_residue && SubsetOf(q.nullable_vars, guaranteed_vars);
 }
 
 /// ¬(d₁ ∨ … ∨ dₙ) as a single conjunction, possible when every disjunct
@@ -53,6 +108,10 @@ bool ImplicationOracle::Unsat(const PredicateAnalysis& p) const {
 }
 
 bool ImplicationOracle::Valid(const PredicateAnalysis& p) const {
+  // Any possibly-NULL reference defeats validity outright: even a
+  // real-arithmetic tautology such as vol = vol evaluates to unknown
+  // (unsatisfied) on a NULL, so p is not TRUE on every tuple.
+  if (!NullFree(p)) return false;
   if (options_.use_intervals && p.has_interval && p.interval.IsAll()) {
     return true;
   }
@@ -104,6 +163,31 @@ bool ImplicationOracle::Implies(const PredicateAnalysis& p,
   // only if we are proving FROM it — here the premise's captured part is
   // implied by the real p, so proving captured_p ⇒ q gives p ⇒ q.
   if (!options_.use_gsw || !q.complete) return false;
+
+  // 3VL: p holding guarantees real (non-NULL) values for the variables
+  // of conjuncts it satisfied — its base atoms, plus any variable common
+  // to *every* disjunct of an OR conjunct (whichever disjunct held, the
+  // variable was evaluated non-NULL).  q's possibly-NULL variables must
+  // all be covered, else q may be unknown despite the real-arithmetic
+  // implication.
+  std::vector<VarId> guaranteed = SystemVars(p.system);
+  for (const auto& group : p.or_groups) {
+    std::vector<VarId> common;
+    for (size_t di = 0; di < group.disjuncts.size(); ++di) {
+      std::vector<VarId> dv = SystemVars(group.disjuncts[di]);
+      if (di == 0) {
+        common = std::move(dv);
+      } else {
+        std::vector<VarId> kept;
+        std::set_intersection(common.begin(), common.end(), dv.begin(),
+                              dv.end(), std::back_inserter(kept));
+        common = std::move(kept);
+      }
+    }
+    for (VarId v : common) guaranteed.push_back(v);
+  }
+  std::sort(guaranteed.begin(), guaranteed.end());
+  if (!ConclusionNullSafe(q, guaranteed)) return false;
 
   // Premise strengthening: p entails `target` if its base system does,
   // or if every disjunct of one of its OR conjuncts does (case split).
@@ -230,12 +314,21 @@ bool ImplicationOracle::RefutesWhole(const ConstraintSystem& premise,
 
 bool ImplicationOracle::NegImplies(const PredicateAnalysis& p,
                                    const PredicateAnalysis& q) const {
+  // 3VL: "p failed" only means "some conjunct is really false" when no
+  // variable of p can be NULL (a NULL makes the conjunct unknown, whose
+  // negation does not hold either).  This also covers the interval path:
+  // its shared variable must be non-nullable.
+  if (!NullFree(p)) return false;
   if (options_.use_intervals && SameVarIntervals(p, q) &&
       p.interval.Complement().SubsetOf(q.interval)) {
     return true;
   }
   if (!options_.use_gsw) return false;
   if (!q.complete) return false;
+  // The entailed q must hold on the actual tuple, where q's
+  // possibly-NULL variables are unconstrained by ¬p's single-conjunct
+  // premise — so q must be NULL-free too.
+  if (!NullFree(q)) return false;
   // Every disjunct of ¬p must imply the whole of q.
   return ForEachNegatedConjunct(p, [&](const ConstraintSystem& d) {
     return EntailsWhole(d, q);
@@ -249,6 +342,17 @@ bool ImplicationOracle::NegExcludes(const PredicateAnalysis& p,
     return true;
   }
   if (!options_.use_gsw) return false;
+  // 3VL: p can also fail because a possibly-NULL variable made one of
+  // its conjuncts unknown.  The conclusion "q fails too" survives that
+  // case only when every such variable is pinned by one of q's own base
+  // atoms (the NULL then makes q unknown — unsatisfied — as well).  The
+  // real-false case is handled by the per-conjunct refutations below,
+  // which remain sound for any q: a real refutation rules out q
+  // evaluating to true.
+  if (p.nullable_residue ||
+      !SubsetOf(p.nullable_vars, SystemVars(q.system))) {
+    return false;
+  }
   // Every disjunct of ¬p must contradict q.
   return ForEachNegatedConjunct(p, [&](const ConstraintSystem& d) {
     return RefutesWhole(d, q);

@@ -1,19 +1,31 @@
 #include "storage/csv.h"
 
+#include <charconv>
 #include <fstream>
 #include <sstream>
 
+#include "common/logging.h"
 #include "common/string_util.h"
 
 namespace sqlts {
 namespace {
 
+/// One record split into fields.  `quoted[i]` records whether field i
+/// used quotes — quoted content is literal (never a NULL marker, never
+/// whitespace-trimmed), which is what makes empty and whitespace-only
+/// strings round-trippable.
+struct CsvRecord {
+  std::vector<std::string> fields;
+  std::vector<bool> quoted;
+};
+
 /// Splits one CSV record honoring quotes.  Returns ParseError on an
 /// unterminated quote.
-StatusOr<std::vector<std::string>> SplitCsvLine(std::string_view line) {
-  std::vector<std::string> fields;
+StatusOr<CsvRecord> SplitCsvLine(std::string_view line) {
+  CsvRecord rec;
   std::string cur;
   bool in_quotes = false;
+  bool saw_quote = false;
   size_t i = 0;
   while (i < line.size()) {
     char c = line[i];
@@ -30,17 +42,21 @@ StatusOr<std::vector<std::string>> SplitCsvLine(std::string_view line) {
       }
     } else if (c == '"') {
       in_quotes = true;
+      saw_quote = true;
     } else if (c == ',') {
-      fields.push_back(std::move(cur));
+      rec.fields.push_back(std::move(cur));
+      rec.quoted.push_back(saw_quote);
       cur.clear();
+      saw_quote = false;
     } else {
       cur += c;
     }
     ++i;
   }
   if (in_quotes) return Status::ParseError("unterminated quote in CSV line");
-  fields.push_back(std::move(cur));
-  return fields;
+  rec.fields.push_back(std::move(cur));
+  rec.quoted.push_back(saw_quote);
+  return rec;
 }
 
 /// Splits CSV text into records.  Record separators are '\n' (or
@@ -77,8 +93,10 @@ StatusOr<std::vector<std::string_view>> SplitCsvRecords(
   return records;
 }
 
-std::string EscapeCsvField(const std::string& raw) {
-  if (raw.find_first_of(",\"\n\r") == std::string::npos) return raw;
+std::string EscapeCsvField(const std::string& raw, bool force_quote = false) {
+  if (!force_quote && raw.find_first_of(",\"\n\r") == std::string::npos) {
+    return raw;
+  }
   std::string out = "\"";
   for (char c : raw) {
     if (c == '"') out += "\"\"";
@@ -88,14 +106,31 @@ std::string EscapeCsvField(const std::string& raw) {
   return out;
 }
 
+/// True when an unquoted rendering of this string would not read back
+/// as itself: the empty string and whitespace-only strings load as
+/// NULL, and other leading/trailing whitespace is trimmed by parsing.
+bool StringNeedsQuotes(const std::string& s) {
+  if (s.empty()) return true;
+  return StripWhitespace(s).size() != s.size();
+}
+
 /// Raw (unquoted) cell text for CSV output, without Value::ToString's
-/// display quoting.
+/// display quoting.  Doubles use shortest round-trip formatting rather
+/// than ToString's 6-significant-digit display precision, so reading
+/// the CSV back reproduces the exact bit pattern.
 std::string CellText(const Value& v) {
   switch (v.kind()) {
     case TypeKind::kNull:
       return "";
     case TypeKind::kString:
       return v.string_value();
+    case TypeKind::kDouble: {
+      char buf[32];
+      auto [end, ec] =
+          std::to_chars(buf, buf + sizeof(buf), v.double_value());
+      SQLTS_CHECK(ec == std::errc());
+      return std::string(buf, end);
+    }
     default:
       return v.ToString();
   }
@@ -108,14 +143,13 @@ StatusOr<Table> ReadCsvString(std::string_view text, const Schema& schema) {
                          SplitCsvRecords(text));
   if (lines.empty()) return Status::ParseError("empty CSV input");
 
-  SQLTS_ASSIGN_OR_RETURN(std::vector<std::string> header,
-                         SplitCsvLine(lines[0]));
+  SQLTS_ASSIGN_OR_RETURN(CsvRecord header, SplitCsvLine(lines[0]));
   // Map file columns -> schema columns.
-  std::vector<int> schema_col(header.size(), -1);
-  for (size_t c = 0; c < header.size(); ++c) {
-    auto idx = schema.FindColumn(StripWhitespace(header[c]));
+  std::vector<int> schema_col(header.fields.size(), -1);
+  for (size_t c = 0; c < header.fields.size(); ++c) {
+    auto idx = schema.FindColumn(StripWhitespace(header.fields[c]));
     if (!idx.ok()) {
-      return Status::ParseError("CSV column '" + header[c] +
+      return Status::ParseError("CSV column '" + header.fields[c] +
                                 "' not in schema (" + schema.ToString() +
                                 ")");
     }
@@ -126,18 +160,25 @@ StatusOr<Table> ReadCsvString(std::string_view text, const Schema& schema) {
   for (size_t ln = 1; ln < lines.size(); ++ln) {
     std::string_view line = lines[ln];
     if (StripWhitespace(line).empty()) continue;
-    SQLTS_ASSIGN_OR_RETURN(std::vector<std::string> fields,
-                           SplitCsvLine(line));
-    if (fields.size() != header.size()) {
+    SQLTS_ASSIGN_OR_RETURN(CsvRecord rec, SplitCsvLine(line));
+    const std::vector<std::string>& fields = rec.fields;
+    if (fields.size() != header.fields.size()) {
       return Status::ParseError("CSV line " + std::to_string(ln + 1) +
                                 " has " + std::to_string(fields.size()) +
                                 " fields, expected " +
-                                std::to_string(header.size()));
+                                std::to_string(header.fields.size()));
     }
     Row row(schema.num_columns(), Value::Null());
     for (size_t c = 0; c < fields.size(); ++c) {
       int sc = schema_col[c];
-      if (StripWhitespace(fields[c]).empty()) continue;  // NULL
+      // An unquoted blank cell is NULL; a quoted one is literal content.
+      if (!rec.quoted[c] && StripWhitespace(fields[c]).empty()) continue;
+      if (schema.column(sc).type == TypeKind::kString && rec.quoted[c]) {
+        // Quoted strings bypass ParseAs so surrounding whitespace (and
+        // emptiness) survive the round trip.
+        row[sc] = Value::String(fields[c]);
+        continue;
+      }
       auto v = Value::ParseAs(schema.column(sc).type, fields[c]);
       if (!v.ok()) {
         return Status::ParseError("CSV line " + std::to_string(ln + 1) +
@@ -168,7 +209,11 @@ std::string WriteCsvString(const Table& table) {
   os << "\n";
   for (int64_t r = 0; r < table.num_rows(); ++r) {
     for (int c = 0; c < schema.num_columns(); ++c) {
-      os << (c ? "," : "") << EscapeCsvField(CellText(table.at(r, c)));
+      const Value& v = table.at(r, c);
+      std::string text = CellText(v);
+      bool force_quote =
+          v.kind() == TypeKind::kString && StringNeedsQuotes(text);
+      os << (c ? "," : "") << EscapeCsvField(text, force_quote);
     }
     os << "\n";
   }

@@ -10,17 +10,22 @@
 namespace sqlts {
 
 /// Reads a CSV file whose first line is a header.  Column types are
-/// taken from `schema` (which must name every header column); empty
-/// fields load as NULL.  Quoting: double quotes with "" escapes;
-/// quoted fields may contain separators, quotes, and newlines (record
-/// splitting is quote-aware).  CRLF record terminators are accepted.
+/// taken from `schema` (which must name every header column).  Quoting:
+/// double quotes with "" escapes; quoted fields may contain separators,
+/// quotes, and newlines (record splitting is quote-aware).  CRLF record
+/// terminators are accepted.  NULL semantics: an *unquoted* blank field
+/// loads as NULL; a quoted field is always literal content, so empty
+/// and whitespace-only strings survive a write/read round trip.
 StatusOr<Table> ReadCsvFile(const std::string& path, const Schema& schema);
 
 /// Like ReadCsvFile but parses in-memory text (useful for tests).
 StatusOr<Table> ReadCsvString(std::string_view text, const Schema& schema);
 
 /// Writes `table` as CSV (header + rows).  Strings are quoted when they
-/// contain separators, quotes, or CR/LF characters.
+/// contain separators, quotes, or CR/LF characters, and also when an
+/// unquoted rendering would not read back as itself (empty string or
+/// leading/trailing whitespace).  Doubles use shortest round-trip
+/// formatting, so Write -> Read reproduces values exactly.
 Status WriteCsvFile(const Table& table, const std::string& path);
 
 /// Serializes `table` to CSV text.

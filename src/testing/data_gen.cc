@@ -1,0 +1,156 @@
+#include "testing/data_gen.h"
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "common/logging.h"
+#include "types/date.h"
+
+namespace sqlts {
+namespace fuzz {
+namespace {
+
+/// Per-cluster price process state.  Regimes are what make the data
+/// adversarial: constant runs defeat strict predicates, ramps build the
+/// long monotone stretches where naive search goes quadratic, ladders
+/// walk the exact constants the query generator compares against (so
+/// near-miss prefixes abound), and walks provide background noise.
+struct ClusterState {
+  std::string sym;
+  int64_t grp = 0;
+  Date day = Date(10000);
+  double price = 50.0;
+  int64_t vol = 10;
+  int rows_left = 0;
+  int regime = 0;       // 0 const, 1 up, 2 down, 3 walk, 4 ladder
+  int regime_left = 0;
+  double step = 0.25;
+  int vol_run = 0;
+};
+
+/// The threshold constants the query generator draws from; ladder
+/// regimes snap onto these so equality and boundary predicates fire.
+constexpr double kAnchors[] = {40, 45, 48, 50, 52, 55, 60};
+
+double Quantize(double p) {
+  p = std::max(5.0, std::min(100.0, p));
+  return std::round(p * 4.0) / 4.0;  // quarter steps: exact doubles
+}
+
+}  // namespace
+
+Schema FuzzSchema() {
+  Schema s;
+  SQLTS_CHECK_OK(s.AddColumn("sym", TypeKind::kString));
+  SQLTS_CHECK_OK(s.AddColumn("grp", TypeKind::kInt64));
+  SQLTS_CHECK_OK(s.AddColumn("seq", TypeKind::kInt64));
+  SQLTS_CHECK_OK(s.AddColumn("day", TypeKind::kDate));
+  // price/vol are the NULL-bearing columns (see DataGenOptions), and
+  // declaring them nullable is what keeps the compiled θ/φ matrices
+  // sound under 3-valued logic for fuzzed predicates.  price is also
+  // declared POSITIVE (the generator keeps it in [5, 100]) so fuzzing
+  // still exercises the log-domain ratio reasoning; vol reaches 0 and
+  // grp is 0/1, so neither may carry the flag.
+  SQLTS_CHECK_OK(s.AddColumn("price", TypeKind::kDouble, /*nullable=*/true,
+                             /*positive=*/true));
+  SQLTS_CHECK_OK(s.AddColumn("vol", TypeKind::kInt64, /*nullable=*/true));
+  return s;
+}
+
+Table RandomFuzzTable(uint64_t seed, const DataGenOptions& options) {
+  std::mt19937_64 rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  auto pick = [&](int n) { return static_cast<int>(rng() % n); };
+
+  // Cluster identities.  Symbols include CSV-hostile names (separators,
+  // quotes, newlines, whitespace) so every repro exercises the escaping
+  // path; (sym, grp) pairs may share a sym, which merges their streams
+  // when a query clusters by sym alone.
+  static const char* kSyms[] = {"IBM",  "INTC",   "A",      "B",
+                                "a,b",  "q\"uo",  " sp ",   "nl\nX"};
+  const int num_clusters =
+      options.min_clusters +
+      pick(options.max_clusters - options.min_clusters + 1);
+  std::vector<ClusterState> clusters;
+  const int span = options.max_rows_per_cluster -
+                   options.min_rows_per_cluster + 1;
+  for (int c = 0; c < num_clusters; ++c) {
+    ClusterState cs;
+    cs.sym = kSyms[pick(8)];
+    cs.grp = pick(2);
+    cs.day = Date(10000 + pick(400));
+    cs.price = Quantize(40 + pick(81) * 0.25);
+    cs.vol = pick(21);
+    cs.rows_left = options.min_rows_per_cluster + pick(span);
+    clusters.push_back(std::move(cs));
+  }
+
+  Table t(FuzzSchema());
+  int64_t seq = pick(50);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::vector<int> live;
+  for (int c = 0; c < num_clusters; ++c) {
+    if (clusters[c].rows_left > 0) live.push_back(c);
+  }
+  while (!live.empty()) {
+    int li = pick(static_cast<int>(live.size()));
+    ClusterState& cs = clusters[live[li]];
+
+    if (cs.regime_left == 0) {
+      cs.regime = pick(5);
+      cs.regime_left = 2 + pick(11);
+      cs.step = 0.25 * (1 + pick(4));
+      if (cs.regime == 4) {  // ladder: restart from an anchor
+        cs.price = kAnchors[pick(7)];
+        cs.step = 1.0;
+      }
+    }
+    switch (cs.regime) {
+      case 0:
+        break;  // constant run
+      case 1:
+        cs.price = Quantize(cs.price + cs.step);
+        break;
+      case 2:
+        cs.price = Quantize(cs.price - cs.step);
+        break;
+      case 3:
+        cs.price = Quantize(cs.price + (pick(9) - 4) * 0.25);
+        break;
+      case 4:
+        // Ladder: mostly climb anchor-to-anchor, sometimes dip just
+        // short of the next one (the near-miss prefix).
+        cs.price = Quantize(cs.price + (pick(4) == 0 ? -0.25 : cs.step));
+        break;
+    }
+    --cs.regime_left;
+
+    if (cs.vol_run == 0) {
+      cs.vol = pick(21);
+      cs.vol_run = 1 + pick(6);
+    }
+    --cs.vol_run;
+
+    seq += 1 + pick(3);  // strictly increasing, with gaps
+    cs.day = cs.day.AddDays(1 + pick(2));
+
+    Row row;
+    row.push_back(Value::String(cs.sym));
+    row.push_back(Value::Int64(cs.grp));
+    row.push_back(Value::Int64(seq));
+    row.push_back(Value::FromDate(cs.day));
+    row.push_back(unit(rng) < options.null_prob ? Value::Null()
+                                                : Value::Double(cs.price));
+    row.push_back(unit(rng) < options.null_prob ? Value::Null()
+                                                : Value::Int64(cs.vol));
+    SQLTS_CHECK_OK(t.AppendRow(std::move(row)));
+
+    if (--cs.rows_left == 0) {
+      live.erase(live.begin() + li);
+    }
+  }
+  return t;
+}
+
+}  // namespace fuzz
+}  // namespace sqlts

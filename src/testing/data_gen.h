@@ -1,0 +1,40 @@
+#ifndef SQLTS_TESTING_DATA_GEN_H_
+#define SQLTS_TESTING_DATA_GEN_H_
+
+#include <cstdint>
+
+#include "storage/table.h"
+
+namespace sqlts {
+namespace fuzz {
+
+/// Options for the adversarial sequence generator.
+struct DataGenOptions {
+  int min_clusters = 1;
+  int max_clusters = 5;
+  int min_rows_per_cluster = 0;
+  int max_rows_per_cluster = 60;
+  /// Probability that a price/vol cell is NULL (3-valued-logic stress).
+  double null_prob = 0.03;
+};
+
+/// The fixed schema every fuzzed query and table uses:
+///   t(sym STRING, grp INT64, seq INT64, day DATE, price DOUBLE, vol INT64)
+/// sym/grp are cluster-key candidates, seq (strictly increasing across
+/// the whole table) is the SEQUENCE BY key, day/price/vol are payload.
+Schema FuzzSchema();
+
+/// A random multi-cluster table in stream-arrival order: clusters are
+/// interleaved, `seq` strictly increases globally (so any CLUSTER BY
+/// subset — including none — yields unambiguous per-cluster order and
+/// rows can be pushed to the streaming engine as-is).  Price series mix
+/// adversarial regimes: constant runs, monotone ramps, random walks,
+/// and ladder segments that brush the query generator's threshold
+/// constants (near-miss prefixes that stress shift/next).  Deterministic
+/// given `seed`.
+Table RandomFuzzTable(uint64_t seed, const DataGenOptions& options = {});
+
+}  // namespace fuzz
+}  // namespace sqlts
+
+#endif  // SQLTS_TESTING_DATA_GEN_H_

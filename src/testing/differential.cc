@@ -1,0 +1,474 @@
+#include "testing/differential.h"
+
+#include <algorithm>
+#include <random>
+#include <sstream>
+
+#include "engine/executor.h"
+#include "engine/stream_executor.h"
+#include "storage/csv.h"
+
+namespace sqlts {
+namespace fuzz {
+namespace {
+
+/// Rows rendered as strings (column values joined by an unprintable
+/// separator) so result sets compare and diff as flat vectors.
+std::vector<std::string> RowStrings(const Table& t) {
+  std::vector<std::string> out;
+  out.reserve(t.num_rows());
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    std::string s;
+    for (int c = 0; c < t.schema().num_columns(); ++c) {
+      if (c) s += '\x1f';
+      s += t.at(r, c).ToString();
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string RowString(const Row& row) {
+  std::string s;
+  for (size_t c = 0; c < row.size(); ++c) {
+    if (c) s += '\x1f';
+    s += row[c].ToString();
+  }
+  return s;
+}
+
+std::string Printable(const std::string& s) {
+  std::string out;
+  for (char c : s) out += c == '\x1f' ? '|' : c;
+  return out;
+}
+
+/// Describes the first difference between two row vectors.
+std::string DiffRows(const std::string& name_a,
+                     const std::vector<std::string>& a,
+                     const std::string& name_b,
+                     const std::vector<std::string>& b) {
+  std::ostringstream os;
+  os << name_a << " returned " << a.size() << " rows, " << name_b
+     << " returned " << b.size() << " rows";
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) {
+      os << "; first difference at row " << i << ":\n  " << name_a << ": "
+         << Printable(a[i]) << "\n  " << name_b << ": " << Printable(b[i]);
+      return os.str();
+    }
+  }
+  if (a.size() != b.size()) {
+    const auto& longer = a.size() > b.size() ? a : b;
+    os << "; first extra row: " << Printable(longer[n]);
+  }
+  return os.str();
+}
+
+/// Total backtracking distance of a search trace (sum over steps where
+/// the input cursor moved backwards).
+int64_t BacktrackDistance(const SearchTrace& trace) {
+  int64_t depth = 0;
+  for (size_t t = 1; t < trace.size(); ++t) {
+    if (trace[t].i < trace[t - 1].i) depth += trace[t - 1].i - trace[t].i;
+  }
+  return depth;
+}
+
+/// Streaming helper: pushes `data` rows in arrival order, recording
+/// each emitted row with the push index that produced it (push count at
+/// emission time; rows emitted by Finish get push index = num_rows + 1).
+struct StreamCapture {
+  Status status = Status::OK();
+  bool created = false;
+  std::vector<std::pair<int64_t, std::string>> emissions;
+  SearchStats stats;
+};
+
+StreamCapture RunStream(const Table& data, const std::string& sql,
+                        int64_t prefix_rows = -1) {
+  StreamCapture cap;
+  int64_t push_index = 0;
+  auto exec = StreamingQueryExecutor::Create(
+      sql, data.schema(), [&](const Row& row) {
+        cap.emissions.emplace_back(push_index, RowString(row));
+      });
+  if (!exec.ok()) {
+    cap.status = exec.status();
+    return cap;
+  }
+  cap.created = true;
+  int64_t n = prefix_rows >= 0 ? prefix_rows : data.num_rows();
+  for (int64_t r = 0; r < n; ++r) {
+    ++push_index;
+    Status s = (*exec)->Push(data.GetRow(r));
+    if (!s.ok()) {
+      cap.status = s;
+      (*exec)->Finish();
+      return cap;
+    }
+  }
+  ++push_index;  // Finish emissions sort after every push
+  cap.status = (*exec)->Finish();
+  cap.stats = (*exec)->stats();
+  return cap;
+}
+
+std::vector<std::string> EmissionRows(const StreamCapture& cap) {
+  std::vector<std::string> out;
+  out.reserve(cap.emissions.size());
+  for (const auto& [push, row] : cap.emissions) out.push_back(row);
+  return out;
+}
+
+/// True when `sub` is a sub-multiset of `super` (both get sorted).
+bool IsSubMultiset(std::vector<std::string> sub,
+                   std::vector<std::string> super) {
+  std::sort(sub.begin(), sub.end());
+  std::sort(super.begin(), super.end());
+  return std::includes(super.begin(), super.end(), sub.begin(), sub.end());
+}
+
+/// Builds the failure outcome: description + self-contained repro.
+DifferentialOutcome Fail(const std::string& what, uint64_t seed,
+                         const std::string& sql, const Table& data) {
+  DifferentialOutcome out;
+  out.ok = false;
+  out.failure = what + "\n" + ReproString(seed, sql, data);
+  return out;
+}
+
+}  // namespace
+
+std::string ReproString(uint64_t seed, const std::string& sql,
+                        const Table& data) {
+  std::ostringstream os;
+  os << "=== sqlts fuzz repro (seed=" << seed << ") ===\n"
+     << "--- query.sql\n"
+     << sql << "\n"
+     << "--- data.csv (" << data.num_rows() << " rows)\n"
+     << WriteCsvString(data) << "=== end repro ===";
+  return os.str();
+}
+
+DifferentialOutcome RunDifferential(const Table& data,
+                                    const GeneratedQuery& query,
+                                    uint64_t seed,
+                                    const DifferentialOptions& options) {
+  const std::string& sql = query.sql;
+  auto compiled = CompileQueryText(sql, data.schema());
+  if (!compiled.ok()) {
+    return Fail("front end rejected a generated query: " +
+                    compiled.status().ToString(),
+                seed, sql, data);
+  }
+
+  ExecOptions naive_opt;
+  naive_opt.algorithm = SearchAlgorithm::kNaive;
+  auto naive = QueryExecutor::ExecuteCompiled(data, *compiled, naive_opt);
+  auto ops = QueryExecutor::ExecuteCompiled(data, *compiled, ExecOptions{});
+
+  if (!naive.ok() || !ops.ok()) {
+    if (naive.status().code() == ops.status().code() && !naive.ok() &&
+        !ops.ok()) {
+      DifferentialOutcome out;  // consistent rejection on both engines
+      out.both_errored = true;
+      return out;
+    }
+    return Fail("engine error divergence: naive=" +
+                    naive.status().ToString() +
+                    " ops=" + ops.status().ToString(),
+                seed, sql, data);
+  }
+
+  DifferentialOutcome out;
+  out.naive_evaluations = naive->stats.evaluations;
+  out.ops_evaluations = ops->stats.evaluations;
+  out.matches = ops->stats.matches;
+
+  std::vector<std::string> naive_rows = RowStrings(naive->output);
+  std::vector<std::string> ops_rows = RowStrings(ops->output);
+  if (naive_rows != ops_rows) {
+    return Fail("naive vs OPS divergence: " +
+                    DiffRows("naive", naive_rows, "ops", ops_rows),
+                seed, sql, data);
+  }
+  if (naive->stats.matches != ops->stats.matches) {
+    return Fail("match-count divergence: naive=" +
+                    std::to_string(naive->stats.matches) +
+                    " ops=" + std::to_string(ops->stats.matches),
+                seed, sql, data);
+  }
+  // The paper's core cost claim (Sec 7 metric): OPS never tests more
+  // (tuple, element) pairs than naive.  LIMIT runs terminate early on
+  // both sides but not after identical work, so skip the comparison.
+  if (query.ast.limit == 0 &&
+      ops->stats.evaluations > naive->stats.evaluations) {
+    return Fail("cost regression: OPS ran " +
+                    std::to_string(ops->stats.evaluations) +
+                    " evaluations, naive only " +
+                    std::to_string(naive->stats.evaluations),
+                seed, sql, data);
+  }
+
+  for (int threads : options.thread_counts) {
+    ExecOptions opt;
+    opt.num_threads = threads;
+    auto sharded = QueryExecutor::ExecuteCompiled(data, *compiled, opt);
+    std::string name = "sharded(" + std::to_string(threads) + ")";
+    if (!sharded.ok()) {
+      return Fail(name + " errored: " + sharded.status().ToString(), seed,
+                  sql, data);
+    }
+    std::vector<std::string> rows = RowStrings(sharded->output);
+    if (rows != ops_rows) {
+      return Fail(name + " vs sequential OPS divergence: " +
+                      DiffRows(name, rows, "ops", ops_rows),
+                  seed, sql, data);
+    }
+    if (sharded->stats.evaluations != ops->stats.evaluations ||
+        sharded->stats.matches != ops->stats.matches) {
+      return Fail(name + " stats diverged: evaluations " +
+                      std::to_string(sharded->stats.evaluations) + " vs " +
+                      std::to_string(ops->stats.evaluations) + ", matches " +
+                      std::to_string(sharded->stats.matches) + " vs " +
+                      std::to_string(ops->stats.matches),
+                  seed, sql, data);
+    }
+  }
+
+  if (options.run_shift_only) {
+    ExecOptions opt;
+    opt.compile.enable_next = false;
+    auto shift_only = QueryExecutor::ExecuteCompiled(data, *compiled, opt);
+    if (!shift_only.ok()) {
+      return Fail("shift-only errored: " + shift_only.status().ToString(),
+                  seed, sql, data);
+    }
+    std::vector<std::string> rows = RowStrings(shift_only->output);
+    if (rows != ops_rows) {
+      return Fail("shift-only ablation divergence: " +
+                      DiffRows("shift-only", rows, "ops", ops_rows),
+                  seed, sql, data);
+    }
+  }
+
+  if (options.run_streaming && !query.uses_lookahead && !query.has_limit) {
+    StreamCapture cap = RunStream(data, sql);
+    if (!cap.status.ok()) {
+      return Fail("streaming errored: " + cap.status.ToString(), seed, sql,
+                  data);
+    }
+    out.streaming_ran = true;
+    std::vector<std::string> stream_rows = EmissionRows(cap);
+    std::vector<std::string> ops_sorted = ops_rows;
+    std::sort(stream_rows.begin(), stream_rows.end());
+    std::sort(ops_sorted.begin(), ops_sorted.end());
+    if (stream_rows != ops_sorted) {
+      return Fail("streaming vs batch divergence: " +
+                      DiffRows("stream(sorted)", stream_rows, "ops(sorted)",
+                               ops_sorted),
+                  seed, sql, data);
+    }
+    if (cap.stats.matches != ops->stats.matches) {
+      return Fail("streaming match-count divergence: stream=" +
+                      std::to_string(cap.stats.matches) +
+                      " batch=" + std::to_string(ops->stats.matches),
+                  seed, sql, data);
+    }
+  }
+
+  if (data.num_rows() <= options.trace_rows_limit &&
+      query.ast.limit == 0) {
+    ExecOptions topt;
+    topt.collect_trace = true;
+    auto ops_t = QueryExecutor::ExecuteCompiled(data, *compiled, topt);
+    topt.algorithm = SearchAlgorithm::kNaive;
+    auto naive_t = QueryExecutor::ExecuteCompiled(data, *compiled, topt);
+    if (!ops_t.ok() || !naive_t.ok()) {
+      return Fail("trace run errored", seed, sql, data);
+    }
+    out.traced = true;
+    if (static_cast<int64_t>(ops_t->trace.size()) !=
+            ops_t->stats.evaluations ||
+        static_cast<int64_t>(naive_t->trace.size()) !=
+            naive_t->stats.evaluations) {
+      return Fail("trace length != evaluation count", seed, sql, data);
+    }
+    // Figure-5 invariant: OPS's total backtracking distance never
+    // exceeds naive's.  (Traces interleave clusters identically on both
+    // engines, so cross-cluster cursor resets cancel out.)
+    int64_t ops_bt = BacktrackDistance(ops_t->trace);
+    int64_t naive_bt = BacktrackDistance(naive_t->trace);
+    if (ops_bt > naive_bt) {
+      return Fail("OPS backtracked further than naive: " +
+                      std::to_string(ops_bt) + " vs " +
+                      std::to_string(naive_bt),
+                  seed, sql, data);
+    }
+    // Proven-prefix bound (star-free, single cluster — the trace's
+    // input positions reset at cluster boundaries, so the bound is only
+    // checkable when one cluster produced the whole trace): a star-free
+    // candidate window is at most m wide and its start never moves
+    // backwards, so the OPS cursor can never retreat more than m-1
+    // positions behind the furthest position it has reached.
+    if (!ops_t->plan.has_star && ops_t->num_clusters == 1) {
+      int64_t hi = -1;
+      for (const TracePoint& p : ops_t->trace) {
+        if (p.i < hi - (ops_t->plan.m - 1)) {
+          return Fail("OPS cursor retreated past the proven bound: "
+                      "tested position " +
+                          std::to_string(p.i) + " after reaching " +
+                          std::to_string(hi) + " with m=" +
+                          std::to_string(ops_t->plan.m),
+                      seed, sql, data);
+        }
+        hi = std::max(hi, p.i);
+      }
+    }
+  }
+
+  return out;
+}
+
+DifferentialOutcome CheckClusterPermutationInvariance(
+    const Table& data, const GeneratedQuery& query, uint64_t seed) {
+  if (query.has_limit) return DifferentialOutcome{};  // order-dependent
+  auto base = QueryExecutor::Execute(data, query.sql);
+  if (!base.ok()) return DifferentialOutcome{};  // covered elsewhere
+
+  std::vector<int64_t> order(data.num_rows());
+  for (int64_t i = 0; i < data.num_rows(); ++i) order[i] = i;
+  std::mt19937_64 rng(seed ^ 0xabcdef12345ULL);
+  std::shuffle(order.begin(), order.end(), rng);
+  Table shuffled(data.schema());
+  for (int64_t r : order) {
+    SQLTS_CHECK_OK(shuffled.AppendRow(data.GetRow(r)));
+  }
+
+  auto permuted = QueryExecutor::Execute(shuffled, query.sql);
+  if (!permuted.ok()) {
+    return Fail("permuted input errored: " + permuted.status().ToString(),
+                seed, query.sql, shuffled);
+  }
+  std::vector<std::string> a = RowStrings(base->output);
+  std::vector<std::string> b = RowStrings(permuted->output);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  if (a != b) {
+    return Fail("row-permutation changed the result multiset: " +
+                    DiffRows("original(sorted)", a, "permuted(sorted)", b),
+                seed, query.sql, shuffled);
+  }
+  return DifferentialOutcome{};
+}
+
+DifferentialOutcome CheckTautologyRewrite(const Table& data,
+                                          const GeneratedQuery& query,
+                                          uint64_t seed) {
+  std::mt19937_64 rng(seed ^ 0x7a7a7a7aULL);
+  // (V.seq < C OR V.seq >= C) on a random element; seq is non-NULL by
+  // construction, so the disjunction is a genuine tautology even under
+  // 3-valued logic.
+  int elem = static_cast<int>(rng() % query.ast.pattern.size());
+  int64_t c = static_cast<int64_t>(rng() % 200);
+  ColumnRef ref;
+  ref.var = query.ast.pattern[elem].name;
+  ref.column = "seq";
+  ExprPtr taut =
+      MakeOr(MakeCompare(CmpOp::kLt, MakeColumnRef(ref),
+                         MakeLiteral(Value::Int64(c))),
+             MakeCompare(CmpOp::kGe, MakeColumnRef(ref),
+                         MakeLiteral(Value::Int64(c))));
+  ParsedQuery rewritten = query.ast;
+  rewritten.where = rewritten.where
+                        ? MakeAnd(rewritten.where, std::move(taut))
+                        : std::move(taut);
+  std::string sql2 = rewritten.ToString();
+
+  auto base = QueryExecutor::Execute(data, query.sql);
+  auto with_taut = QueryExecutor::Execute(data, sql2);
+  if (!base.ok() || !with_taut.ok()) {
+    if (base.status().code() == with_taut.status().code()) {
+      DifferentialOutcome out;
+      out.both_errored = true;
+      return out;
+    }
+    return Fail("tautology rewrite changed the error: base=" +
+                    base.status().ToString() +
+                    " rewritten=" + with_taut.status().ToString(),
+                seed, sql2, data);
+  }
+  std::vector<std::string> a = RowStrings(base->output);
+  std::vector<std::string> b = RowStrings(with_taut->output);
+  if (a != b) {
+    return Fail("tautology conjunct changed the result: " +
+                    DiffRows("original", a, "rewritten", b) +
+                    "\noriginal query:\n" + query.sql,
+                seed, sql2, data);
+  }
+  return DifferentialOutcome{};
+}
+
+DifferentialOutcome CheckStreamPrefixConsistency(
+    const Table& data, const GeneratedQuery& query, uint64_t seed) {
+  if (query.uses_lookahead || query.has_limit) {
+    return DifferentialOutcome{};
+  }
+  std::mt19937_64 rng(seed ^ 0x5eed5eedULL);
+  int64_t k = data.num_rows() == 0
+                  ? 0
+                  : static_cast<int64_t>(rng() % (data.num_rows() + 1));
+
+  Table prefix(data.schema());
+  for (int64_t r = 0; r < k; ++r) {
+    SQLTS_CHECK_OK(prefix.AppendRow(data.GetRow(r)));
+  }
+  auto batch = QueryExecutor::Execute(prefix, query.sql);
+  if (!batch.ok()) return DifferentialOutcome{};  // covered elsewhere
+  std::vector<std::string> batch_rows = RowStrings(batch->output);
+
+  // Re-running streaming on exactly the prefix must reproduce the batch
+  // result on the prefix.
+  StreamCapture on_prefix = RunStream(data, query.sql, k);
+  if (!on_prefix.status.ok()) {
+    return Fail("stream-on-prefix errored: " + on_prefix.status.ToString(),
+                seed, query.sql, prefix);
+  }
+  std::vector<std::string> prefix_rows = EmissionRows(on_prefix);
+  std::vector<std::string> batch_sorted = batch_rows;
+  std::sort(prefix_rows.begin(), prefix_rows.end());
+  std::sort(batch_sorted.begin(), batch_sorted.end());
+  if (prefix_rows != batch_sorted) {
+    return Fail(
+        "stream on prefix (k=" + std::to_string(k) +
+            ") disagrees with batch on prefix: " +
+            DiffRows("stream(sorted)", prefix_rows, "batch(sorted)",
+                     batch_sorted),
+        seed, query.sql, prefix);
+  }
+
+  // Causality: everything the full stream emitted within the first k
+  // pushes depends only on those k tuples, so it must be contained in
+  // the batch result over them.
+  StreamCapture full = RunStream(data, query.sql);
+  if (!full.status.ok()) {
+    return Fail("full stream errored: " + full.status.ToString(), seed,
+                query.sql, data);
+  }
+  std::vector<std::string> early;
+  for (const auto& [push, row] : full.emissions) {
+    if (push <= k) early.push_back(row);
+  }
+  if (!IsSubMultiset(early, batch_rows)) {
+    return Fail("stream emitted a row within the first " +
+                    std::to_string(k) +
+                    " pushes that batch-on-prefix does not contain",
+                seed, query.sql, data);
+  }
+  return DifferentialOutcome{};
+}
+
+}  // namespace fuzz
+}  // namespace sqlts

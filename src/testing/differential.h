@@ -1,0 +1,92 @@
+#ifndef SQLTS_TESTING_DIFFERENTIAL_H_
+#define SQLTS_TESTING_DIFFERENTIAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+#include "testing/query_gen.h"
+
+namespace sqlts {
+namespace fuzz {
+
+/// Knobs for one differential run.
+struct DifferentialOptions {
+  /// Sharded batch executions to compare against the sequential OPS run
+  /// (each must be bit-identical, rows and stats).
+  std::vector<int> thread_counts = {4, 8};
+  bool run_streaming = true;
+  /// Also run the shift-only ablation (CompileOptions::enable_next =
+  /// false), which must not change results either.
+  bool run_shift_only = true;
+  /// Collect search traces and check backtracking invariants when the
+  /// input has at most this many rows (tracing is expensive).
+  int64_t trace_rows_limit = 120;
+};
+
+/// What one differential execution observed.  On failure, `failure`
+/// holds a self-contained report: the divergence description plus the
+/// seed, SQL text and CSV data needed to reproduce it.
+struct DifferentialOutcome {
+  bool ok = true;
+  std::string failure;
+  /// All engines rejected the query with the same status (consistent
+  /// error — counted, not a divergence).
+  bool both_errored = false;
+  bool streaming_ran = false;
+  bool traced = false;
+  int64_t naive_evaluations = 0;
+  int64_t ops_evaluations = 0;
+  int64_t matches = 0;
+};
+
+/// One-line-reproducible failure context: seed, SQL, and the data as
+/// CSV (lossless round-trip via storage/csv).
+std::string ReproString(uint64_t seed, const std::string& sql,
+                        const Table& data);
+
+/// Runs (query, data) through every engine and cross-checks:
+///  - naive backtracking vs sequential OPS: identical rows, in order;
+///    OPS never evaluates more predicates than naive (no LIMIT);
+///  - sharded OPS at each thread count: bit-identical rows and
+///    aggregate SearchStats;
+///  - shift-only OPS ablation: bit-identical rows;
+///  - streaming (when the query has no lookahead and no LIMIT): same
+///    result multiset and match count;
+///  - with traces (small inputs): trace length equals the evaluation
+///    count, OPS's total backtracking distance never exceeds naive's,
+///    and on star-free patterns the OPS cursor never retreats more than
+///    m-1 positions behind the furthest input position reached.
+DifferentialOutcome RunDifferential(const Table& data,
+                                    const GeneratedQuery& query,
+                                    uint64_t seed,
+                                    const DifferentialOptions& options = {});
+
+/// Metamorphic: shuffling input row order (the batch engine re-sorts by
+/// CLUSTER BY / SEQUENCE BY) must not change the result multiset.
+/// Skipped for LIMIT queries, whose row cutoff depends on cluster
+/// first-appearance order.
+DifferentialOutcome CheckClusterPermutationInvariance(
+    const Table& data, const GeneratedQuery& query, uint64_t seed);
+
+/// Metamorphic: conjoining the tautology (V.seq < C OR V.seq >= C) onto
+/// WHERE must leave the output bit-identical (seq is never NULL, so the
+/// disjunction is true under 3-valued logic).
+DifferentialOutcome CheckTautologyRewrite(const Table& data,
+                                          const GeneratedQuery& query,
+                                          uint64_t seed);
+
+/// Metamorphic: streaming is causal.  For a random stream prefix, the
+/// rows streaming emitted by push k are a sub-multiset of the batch
+/// result on the first k rows, and re-running streaming on exactly that
+/// prefix (with Finish) reproduces the batch result on it.  Requires a
+/// streaming-eligible query (no lookahead, no LIMIT).
+DifferentialOutcome CheckStreamPrefixConsistency(const Table& data,
+                                                 const GeneratedQuery& query,
+                                                 uint64_t seed);
+
+}  // namespace fuzz
+}  // namespace sqlts
+
+#endif  // SQLTS_TESTING_DIFFERENTIAL_H_

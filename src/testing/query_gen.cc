@@ -1,0 +1,273 @@
+#include "testing/query_gen.h"
+
+#include <random>
+#include <vector>
+
+#include "common/logging.h"
+#include "pattern/compile.h"
+#include "testing/data_gen.h"
+
+namespace sqlts {
+namespace fuzz {
+namespace {
+
+/// Column roles in FuzzSchema() (see data_gen.h).
+enum class Col { kSym, kGrp, kSeq, kDay, kPrice, kVol };
+
+const char* ColName(Col c) {
+  switch (c) {
+    case Col::kSym:
+      return "sym";
+    case Col::kGrp:
+      return "grp";
+    case Col::kSeq:
+      return "seq";
+    case Col::kDay:
+      return "day";
+    case Col::kPrice:
+      return "price";
+    case Col::kVol:
+      return "vol";
+  }
+  return "?";
+}
+
+constexpr const char* kVars[] = {"X", "Y", "Z", "W", "V"};
+
+/// One draft attempt; the caller validates and retries.
+class Draft {
+ public:
+  Draft(std::mt19937_64* rng, const QueryGenOptions& options)
+      : rng_(*rng), options_(options) {}
+
+  GeneratedQuery Build() {
+    GeneratedQuery out;
+    ParsedQuery& q = out.ast;
+    q.table = "t";
+
+    m_ = 1 + Pick(options_.max_elements);
+    for (int e = 0; e < m_; ++e) {
+      PatternVarDecl d;
+      d.name = kVars[e];
+      d.star = Unit() < options_.star_prob;
+      q.pattern.push_back(d);
+    }
+
+    // CLUSTER BY: none / sym / sym+grp; SEQUENCE BY: seq (+day rarely;
+    // seq is globally unique so the secondary never changes the order,
+    // but the multi-column comparison path still runs).
+    int cmode = Pick(20);
+    if (cmode < 12) {
+      q.cluster_by = {"sym"};
+    } else if (cmode < 15) {
+      q.cluster_by = {"sym", "grp"};
+    }
+    q.sequence_by = {"seq"};
+    if (Pick(5) == 0) q.sequence_by.push_back("day");
+
+    BuildWhere(&q);
+    BuildSelect(&out, &q);
+
+    if (Unit() < options_.limit_prob) q.limit = 1 + Pick(5);
+
+    out.sql = q.ToString();
+    out.has_limit = q.limit > 0;
+    out.clustered = !q.cluster_by.empty();
+    out.num_elements = m_;
+    for (const PatternVarDecl& d : q.pattern) out.has_star |= d.star;
+    auto scan = [&](const ExprPtr& e) {
+      VisitColumnRefs(e, [&](const ColumnRef& r) {
+        if (r.nav_offset > 0) out.uses_lookahead = true;
+      });
+    };
+    scan(q.where);
+    for (const SelectItem& item : q.select) scan(item.expr);
+    return out;
+  }
+
+ private:
+  int Pick(int n) { return static_cast<int>(rng_() % n); }
+  double Unit() { return std::uniform_real_distribution<double>()(rng_); }
+  CmpOp AnyCmp() { return static_cast<CmpOp>(Pick(6)); }
+
+  /// A navigation offset: 0 mostly, -1/-2 (previous) or +1 (next).
+  int Nav() {
+    int r = Pick(10);
+    if (r < 6) return 0;
+    if (r < 8) return -1;
+    if (r == 8) return -2;
+    return Unit() < options_.next_prob * 5 ? 1 : -1;
+  }
+
+  ExprPtr Ref(int elem, Col c, int nav = 0,
+              GroupAccessor acc = GroupAccessor::kCurrent) {
+    ColumnRef r;
+    r.var = kVars[elem];
+    r.accessor = acc;
+    r.nav_offset = nav;
+    r.column = ColName(c);
+    return MakeColumnRef(std::move(r));
+  }
+
+  ExprPtr IntLit(int64_t v) { return MakeLiteral(Value::Int64(v)); }
+  ExprPtr DoubleLit(double v) { return MakeLiteral(Value::Double(v)); }
+
+  /// A numeric payload column: price (double) or vol (int64).
+  Col NumCol() { return Pick(3) == 0 ? Col::kVol : Col::kPrice; }
+
+  ExprPtr NumConst(Col c) {
+    static const double kPrice[] = {40, 45, 48, 50, 52, 55, 60};
+    static const int64_t kVol[] = {0, 3, 5, 10, 15, 20};
+    static const int64_t kSeq[] = {10, 50, 100, 200};
+    switch (c) {
+      case Col::kPrice:
+        return DoubleLit(kPrice[Pick(7)]);
+      case Col::kVol:
+        return IntLit(kVol[Pick(6)]);
+      default:
+        return IntLit(kSeq[Pick(4)]);
+    }
+  }
+
+  /// One atomic comparison owned by element `e` (it may reference any
+  /// other element; the analyzer assigns it to the latest one).
+  ExprPtr Atom(int e) {
+    int other = Pick(m_);
+    switch (Pick(12)) {
+      case 0:
+      case 1: {  // X op C
+        Col c = Pick(4) == 0 ? Col::kSeq : NumCol();
+        return MakeCompare(AnyCmp(), Ref(e, c, Nav()), NumConst(c));
+      }
+      case 2:
+      case 3: {  // X op X.previous (the paper's rise/fall predicates)
+        Col c = NumCol();
+        int nav = Pick(3) == 0 ? -2 : -1;
+        if (Unit() < options_.next_prob) nav = 1;
+        return MakeCompare(AnyCmp(), Ref(e, c, 0), Ref(e, c, nav));
+      }
+      case 4:
+      case 5: {  // X op Y (cross-element, same column family)
+        Col c = NumCol();
+        return MakeCompare(AnyCmp(), Ref(e, c, 0), Ref(other, c, Nav()));
+      }
+      case 6:
+      case 7: {  // X op Y + C / X op Y - C
+        Col c = NumCol();
+        ExprPtr rhs = MakeArith(Pick(2) ? ArithOp::kAdd : ArithOp::kSub,
+                                Ref(other, c, Nav()), IntLit(1 + Pick(5)));
+        return MakeCompare(AnyCmp(), Ref(e, c, 0), std::move(rhs));
+      }
+      case 8: {  // X op C*Y (ratio; price is the positive domain)
+        static const double kRatio[] = {0.9, 0.95, 0.97, 1.02, 1.05, 1.1};
+        ExprPtr rhs = MakeArith(ArithOp::kMul, DoubleLit(kRatio[Pick(6)]),
+                                Ref(other, Col::kPrice, Nav()));
+        return MakeCompare(AnyCmp(), Ref(e, Col::kPrice, 0),
+                           std::move(rhs));
+      }
+      case 9: {  // date window: X.day op Y.day + C
+        static const int64_t kDays[] = {1, 2, 3, 7};
+        ExprPtr rhs = MakeArith(ArithOp::kAdd, Ref(other, Col::kDay, 0),
+                                IntLit(kDays[Pick(4)]));
+        return MakeCompare(Pick(2) ? CmpOp::kLt : CmpOp::kLe,
+                           Ref(e, Col::kDay, Nav()), std::move(rhs));
+      }
+      case 10: {  // string equality on the cluster column (hoistable
+                  // cluster filter when CLUSTER BY sym is present)
+        static const char* kNames[] = {"IBM", "INTC", "A", "B"};
+        return MakeCompare(Pick(4) ? CmpOp::kEq : CmpOp::kNe,
+                           Ref(e, Col::kSym, 0),
+                           MakeLiteral(Value::String(kNames[Pick(4)])));
+      }
+      default: {  // grp equality (second cluster-key column)
+        return MakeCompare(Pick(3) ? CmpOp::kEq : CmpOp::kNe,
+                           Ref(e, Col::kGrp, 0), IntLit(Pick(2)));
+      }
+    }
+  }
+
+  /// A conjunct for element `e`: an atom, a disjunction, or a negation.
+  ExprPtr Conjunct(int e) {
+    ExprPtr a = Atom(e);
+    if (Unit() < options_.or_prob) a = MakeOr(std::move(a), Atom(e));
+    if (Unit() < options_.not_prob) a = MakeNot(std::move(a));
+    return a;
+  }
+
+  void BuildWhere(ParsedQuery* q) {
+    ExprPtr where;
+    for (int e = 0; e < m_; ++e) {
+      int n = Pick(3);  // 0..2 conjuncts per element (0 = TRUE element)
+      for (int i = 0; i < n; ++i) {
+        ExprPtr c = Conjunct(e);
+        where = where ? MakeAnd(std::move(where), std::move(c))
+                      : std::move(c);
+      }
+    }
+    q->where = std::move(where);  // may stay null: no WHERE clause
+  }
+
+  void BuildSelect(GeneratedQuery* out, ParsedQuery* q) {
+    int n = 1 + Pick(3);
+    for (int i = 0; i < n; ++i) {
+      SelectItem item;
+      int e = Pick(m_);
+      int kind = Pick(10);
+      if (kind < 5) {  // plain (possibly navigated) reference
+        Col c = static_cast<Col>(Pick(6));
+        item.expr = Ref(e, c, Nav());
+      } else if (kind < 8) {  // FIRST/LAST accessors
+        Col c = static_cast<Col>(Pick(6));
+        item.expr = Ref(e, c, 0,
+                        Pick(2) ? GroupAccessor::kFirst
+                                : GroupAccessor::kLast);
+      } else if (Unit() < options_.aggregate_prob * 2) {
+        out->has_aggregate = true;
+        AggOp op = static_cast<AggOp>(Pick(5));
+        ColumnRef r;
+        r.var = kVars[e];
+        if (op != AggOp::kCount) {
+          r.column = ColName(Pick(2) ? Col::kPrice : Col::kVol);
+        }
+        item.expr = MakeAggregate(op, std::move(r));
+      } else {
+        item.expr = Ref(e, Col::kPrice, 0);
+      }
+      // Unique aliases keep the output schema well-formed regardless of
+      // what the expressions would have been auto-named.
+      item.alias = "c" + std::to_string(i);
+      q->select.push_back(std::move(item));
+    }
+  }
+
+  std::mt19937_64& rng_;
+  const QueryGenOptions& options_;
+  int m_ = 0;
+};
+
+}  // namespace
+
+QueryGenerator::QueryGenerator(uint64_t seed, QueryGenOptions options)
+    : state_(seed), options_(options) {}
+
+GeneratedQuery QueryGenerator::Next() {
+  std::mt19937_64 rng(state_);
+  state_ = rng();  // advance the outer stream
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    GeneratedQuery g = Draft(&rng, options_).Build();
+    // The full front end is the validity oracle: parse the printed SQL,
+    // analyze it, and compile the pattern.  Drafts the front end
+    // rejects are discarded (counted), never returned.
+    auto compiled = CompileQueryText(g.sql, FuzzSchema());
+    if (compiled.ok() && CompilePattern(*compiled).ok()) {
+      ++generated_;
+      return g;
+    }
+    ++rejected_;
+  }
+  SQLTS_CHECK(false) << "query generator: 200 consecutive rejects";
+  return GeneratedQuery{};
+}
+
+}  // namespace fuzz
+}  // namespace sqlts

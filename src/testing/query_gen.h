@@ -1,0 +1,68 @@
+#ifndef SQLTS_TESTING_QUERY_GEN_H_
+#define SQLTS_TESTING_QUERY_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "parser/analyzer.h"
+#include "parser/ast.h"
+
+namespace sqlts {
+namespace fuzz {
+
+/// Options bounding the random query space.
+struct QueryGenOptions {
+  int max_elements = 5;
+  double star_prob = 0.3;
+  /// Probability a navigation step is `.next` instead of `.previous`
+  /// (lookahead; such queries skip the streaming engine).
+  double next_prob = 0.2;
+  double limit_prob = 0.1;
+  double aggregate_prob = 0.35;
+  double or_prob = 0.15;
+  double not_prob = 0.05;
+};
+
+/// A generated query: the AST, its printed SQL text, and the feature
+/// flags the differential driver needs for engine gating.
+struct GeneratedQuery {
+  ParsedQuery ast;
+  std::string sql;
+  bool uses_lookahead = false;  ///< any nav_offset > 0 (SELECT or WHERE)
+  bool has_limit = false;
+  bool has_star = false;
+  bool has_aggregate = false;
+  bool clustered = false;  ///< CLUSTER BY present
+  int num_elements = 0;
+};
+
+/// Grammar-directed random SQL-TS query generator over FuzzSchema():
+/// CLUSTER BY / SEQUENCE BY variants, star and star-free patterns,
+/// previous/next navigation, FIRST/LAST accessors and aggregates in the
+/// SELECT list, and GSW-shaped predicate mixes (X op C, X op Y,
+/// X op Y + C, X op C*Y, date windows, disjunctions, NOT).  Every query
+/// returned by Next() parses, analyzes, and pattern-compiles against
+/// FuzzSchema(); rejected drafts (see rejected()) are retried
+/// internally.  Deterministic given the seed.
+class QueryGenerator {
+ public:
+  explicit QueryGenerator(uint64_t seed, QueryGenOptions options = {});
+
+  GeneratedQuery Next();
+
+  /// Drafts discarded because the analyzer/compiler rejected them — a
+  /// generator-health signal (should stay a small fraction).
+  int64_t rejected() const { return rejected_; }
+  int64_t generated() const { return generated_; }
+
+ private:
+  uint64_t state_;
+  QueryGenOptions options_;
+  int64_t rejected_ = 0;
+  int64_t generated_ = 0;
+};
+
+}  // namespace fuzz
+}  // namespace sqlts
+
+#endif  // SQLTS_TESTING_QUERY_GEN_H_

@@ -11,12 +11,13 @@ StatusOr<int> Schema::FindColumn(std::string_view name) const {
   return Status::NotFound("no column named '" + std::string(name) + "'");
 }
 
-Status Schema::AddColumn(std::string_view name, TypeKind type) {
+Status Schema::AddColumn(std::string_view name, TypeKind type,
+                         bool nullable, bool positive) {
   if (FindColumn(name).ok()) {
     return Status::AlreadyExists("duplicate column '" + std::string(name) +
                                  "'");
   }
-  columns_.push_back(ColumnDef{std::string(name), type});
+  columns_.push_back(ColumnDef{std::string(name), type, nullable, positive});
   return Status::OK();
 }
 
@@ -27,6 +28,8 @@ std::string Schema::ToString() const {
     out += columns_[i].name;
     out += " ";
     out += TypeKindToString(columns_[i].type);
+    if (columns_[i].positive) out += " POSITIVE";
+    if (columns_[i].nullable) out += " NULL";
   }
   return out;
 }

@@ -10,10 +10,23 @@
 
 namespace sqlts {
 
-/// A named, typed column.
+/// A named, typed column.  `nullable` declares whether the column may
+/// contain NULL.  The default is false — the paper's model assumes
+/// non-null sequence attributes, and the compile-time θ/φ reasoning is
+/// only complete under that assumption; declaring a column nullable
+/// makes the optimizer degrade any deduction that would be unsound
+/// under 3-valued logic (see pattern/theta_phi).  Storage does not
+/// enforce the flag.
 struct ColumnDef {
   std::string name;
   TypeKind type;
+  bool nullable = false;
+  /// Declares every (non-NULL) value of the column strictly positive.
+  /// The paper's Sec 6 ratio reasoning runs the GSW procedure in the
+  /// log domain, which is only sound on positive reals; the compiler
+  /// enables that mode for a pattern only when every referenced column
+  /// carries this declaration.  Storage does not enforce the flag.
+  bool positive = false;
 };
 
 /// Ordered list of columns describing a Table's rows.  Column names are
@@ -32,9 +45,11 @@ class Schema {
   StatusOr<int> FindColumn(std::string_view name) const;
 
   /// Appends a column; AlreadyExists if a same-named column is present.
-  Status AddColumn(std::string_view name, TypeKind type);
+  Status AddColumn(std::string_view name, TypeKind type,
+                   bool nullable = false, bool positive = false);
 
-  /// "name STRING, price DOUBLE, date DATE".
+  /// "name STRING, price DOUBLE, date DATE" (positive columns carry a
+  /// trailing " POSITIVE", nullable columns a trailing " NULL").
   std::string ToString() const;
 
   bool Equals(const Schema& other) const;

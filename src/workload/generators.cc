@@ -26,7 +26,10 @@ Schema QuoteSchema() {
   Schema s;
   SQLTS_CHECK_OK(s.AddColumn("name", TypeKind::kString));
   SQLTS_CHECK_OK(s.AddColumn("date", TypeKind::kDate));
-  SQLTS_CHECK_OK(s.AddColumn("price", TypeKind::kDouble));
+  // Quotes are strictly positive, and declaring so is what licenses the
+  // paper's log-domain ratio reasoning (Sec 6) for queries over them.
+  SQLTS_CHECK_OK(s.AddColumn("price", TypeKind::kDouble,
+                             /*nullable=*/false, /*positive=*/true));
   return s;
 }
 

@@ -1,0 +1,136 @@
+/// Deterministic regressions for engine bugs found by the differential
+/// fuzzer (tests/fuzz).  Each case is a minimal shrunk repro; the seed
+/// in the comment names the fuzz pair that first exposed it.
+
+#include <string>
+
+#include "engine/executor.h"
+#include "gtest/gtest.h"
+#include "parser/parser.h"
+#include "storage/csv.h"
+#include "testing/differential.h"
+#include "types/schema.h"
+
+namespace sqlts {
+namespace {
+
+Schema FuzzLikeSchema() {
+  Schema s;
+  SQLTS_CHECK_OK(s.AddColumn("sym", TypeKind::kString));
+  SQLTS_CHECK_OK(s.AddColumn("grp", TypeKind::kInt64));
+  SQLTS_CHECK_OK(s.AddColumn("seq", TypeKind::kInt64));
+  SQLTS_CHECK_OK(s.AddColumn("day", TypeKind::kDate));
+  SQLTS_CHECK_OK(s.AddColumn("price", TypeKind::kDouble, /*nullable=*/true,
+                             /*positive=*/true));
+  SQLTS_CHECK_OK(s.AddColumn("vol", TypeKind::kInt64, /*nullable=*/true));
+  return s;
+}
+
+/// Runs `sql` over `csv` through the full differential driver (naive,
+/// OPS, sharded, shift-only, streaming) and requires agreement.
+void ExpectEnginesAgree(const std::string& csv, const std::string& sql,
+                        bool has_star) {
+  auto table = ReadCsvString(csv, FuzzLikeSchema());
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  auto ast = ParseQuery(sql);
+  ASSERT_TRUE(ast.ok()) << ast.status().ToString();
+  fuzz::GeneratedQuery q;
+  q.ast = std::move(*ast);
+  q.sql = sql;
+  q.has_star = has_star;
+  q.num_elements = static_cast<int>(q.ast.pattern.size());
+  fuzz::DifferentialOutcome out = fuzz::RunDifferential(*table, q, /*seed=*/0);
+  EXPECT_TRUE(out.ok) << out.failure;
+}
+
+// Fuzz seed 104372012908651: `X.vol = X.vol` folds to TRUE over the
+// reals at capture time, which made the φ matrix presatisfy element X
+// even on rows where vol is NULL (3-valued logic: unknown, hence
+// unsatisfied).  Fixed by tracking nullable references through the
+// fold (PredicateAnalysis::nullable_vars) and gating every θ/φ
+// deduction whose soundness assumes non-NULL values.
+TEST(EngineRegression, NullTautologyMustNotPresatisfy) {
+  // The NULL-vol row is the first candidate X: a presatisfied element 1
+  // turns [row0, row1] into a (wrong) match, where the sound answer is
+  // [row1, row2].
+  const std::string csv =
+      "sym,grp,seq,day,price,vol\n"
+      "IBM,1,142,1998-05-30,70,\n"
+      "IBM,1,164,1998-06-03,60,5\n"
+      "IBM,1,180,1998-06-05,50,5\n";
+  ExpectEnginesAgree(csv,
+                     "SELECT LAST(X).price AS c0 FROM t CLUSTER BY sym "
+                     "SEQUENCE BY seq AS (X, Y) "
+                     "WHERE X.vol = X.vol AND X.price >= Y.price",
+                     /*has_star=*/false);
+}
+
+// Fuzz seed 104372012908721: after a mismatch with shift == 1, OPS
+// rebased the attempt past the *whole* first star group
+// (start += cnt[1]), skipping candidate starts inside the group's
+// span.  With the anchored reference X.price (FIRST of the group), the
+// skipped interior start is the one that matches.
+TEST(EngineRegression, StarShiftMustNotSkipInteriorStarts) {
+  const std::string csv =
+      "sym,grp,seq,day,price,vol\n"
+      "IBM,1,142,1998-05-30,63.5,18\n"
+      "IBM,1,164,1998-06-03,53.75,0\n"
+      "IBM,1,180,1998-06-05,53.5,\n";
+  ExpectEnginesAgree(
+      csv,
+      "SELECT LAST(X).price AS c0 FROM t CLUSTER BY sym SEQUENCE BY seq "
+      "AS (*X, Y) WHERE (NOT (X.vol >= (X.vol + 3)) AND "
+      "X.price <= (Y.price + 2))",
+      /*has_star=*/true);
+}
+
+// Fuzz seed 104372012909541: a star group consumed input through the
+// end of the sequence and OPS abandoned the scan entirely, even though
+// a later start's smaller star group completes within the input (the
+// anchored X.vol makes the replay diverge).  The EOF path must retry
+// later starts for anchored star patterns.
+TEST(EngineRegression, EndOfInputMustRetryLaterStartsForAnchoredStars) {
+  const std::string csv =
+      "sym,grp,seq,day,price,vol\n"
+      "\"a,b\",0,242,1997-10-28,59.5,15\n"
+      "\"a,b\",0,252,1997-10-29,58.75,15\n"
+      "\"a,b\",0,262,1997-11-03,60,5\n"
+      "\"a,b\",0,268,1997-11-05,59.25,5\n"
+      "\"a,b\",0,284,1997-11-10,59.5,3\n"
+      "\"a,b\",0,289,1997-11-12,59.75,6\n";
+  ExpectEnginesAgree(
+      csv,
+      "SELECT AVG(Y.price) AS c0, FIRST(Y).sym AS c1 FROM t "
+      "CLUSTER BY sym SEQUENCE BY seq AS (X, *Y, Z) "
+      "WHERE (((X.vol > Y.vol AND X.vol >= X.previous.vol) AND "
+      "(Z.price >= 40 OR Z.previous.previous.price < 52)) AND "
+      "Z.price <> Y.price)",
+      /*has_star=*/true);
+}
+
+// The GSW positive-domain mode (log-transform ratio reasoning) declared
+// any `x = c` with c <= 0 unsatisfiable — so `grp = 0`, a predicate the
+// data satisfies, "excluded itself" and poisoned every shift.  The mode
+// is now licensed per pattern by the POSITIVE column declaration.
+TEST(EngineRegression, NonPositiveColumnsDisableLogDomainReasoning) {
+  const std::string csv =
+      "sym,grp,seq,day,price,vol\n"
+      "A,1,296,1998-03-17,51.5,4\n"
+      "IBM,0,301,1997-11-05,45.75,14\n"
+      "\"q\"\"uo\",0,304,1998-05-26,65,3\n"
+      "A,1,306,1998-03-24,62.25,14\n"
+      "A,1,390,1998-04-08,64.5,19\n"
+      "A,1,403,1998-04-07,42,12\n"
+      "A,1,426,1998-04-22,56.75,6\n";
+  ExpectEnginesAgree(
+      csv,
+      "SELECT COUNT(W) AS c0 FROM t SEQUENCE BY seq, day "
+      "AS (X, Y, Z, W, V) "
+      "WHERE (((NOT (X.price = (Z.previous.previous.price + 2)) AND "
+      "X.grp = 0) AND Y.price <> X.previous.price) AND "
+      "W.day < (Z.day + 1))",
+      /*has_star=*/false);
+}
+
+}  // namespace
+}  // namespace sqlts

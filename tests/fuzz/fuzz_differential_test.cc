@@ -1,0 +1,241 @@
+/// End-to-end differential fuzzing: random SQL-TS queries × random
+/// adversarial tables, executed through the naive backtracking oracle,
+/// the sequential OPS executor, the sharded parallel executor, the
+/// shift-only ablation, and the streaming executor, with bit-identical
+/// results required everywhere (see docs/TESTING.md).
+///
+/// Budget knobs (environment):
+///   SQLTS_FUZZ_PAIRS       number of (query, data) pairs  (default 500)
+///   SQLTS_FUZZ_BUDGET_MS   soft wall-clock cap; <= 0 disables (default 0)
+/// Any failure prints a self-contained repro: seed + SQL + CSV data.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "parser/parser.h"
+#include "testing/data_gen.h"
+#include "testing/differential.h"
+#include "testing/query_gen.h"
+#include "types/value.h"
+
+namespace sqlts {
+namespace fuzz {
+namespace {
+
+/// All fuzz tests derive their randomness from this fixed seed: runs
+/// are reproducible, and a failure message's seed pinpoints the pair.
+constexpr uint64_t kBaseSeed = 0x5eed00c0ffeeull;
+
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtoll(v, nullptr, 10);
+}
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  int64_t elapsed_ms() const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// ---------------------------------------------------------------------------
+// Tentpole: the main differential sweep.
+// ---------------------------------------------------------------------------
+
+TEST(Differential, EnginesAgreeOnRandomPairs) {
+  const int64_t pairs = EnvInt("SQLTS_FUZZ_PAIRS", 500);
+  const int64_t budget_ms = EnvInt("SQLTS_FUZZ_BUDGET_MS", 0);
+  Stopwatch watch;
+
+  QueryGenerator qgen(kBaseSeed);
+  int64_t executed = 0;
+  int64_t both_errored = 0;
+  int64_t streaming_ran = 0;
+  int64_t traced = 0;
+  int64_t total_matches = 0;
+  int64_t ops_not_worse = 0;
+
+  for (int64_t i = 0; i < pairs; ++i) {
+    if (budget_ms > 0 && watch.elapsed_ms() > budget_ms) break;
+    const uint64_t seed = kBaseSeed + static_cast<uint64_t>(i);
+    Table data = RandomFuzzTable(seed);
+    GeneratedQuery query = qgen.Next();
+    DifferentialOutcome out = RunDifferential(data, query, seed);
+    ASSERT_TRUE(out.ok) << out.failure;
+    ++executed;
+    if (out.both_errored) ++both_errored;
+    if (out.streaming_ran) ++streaming_ran;
+    if (out.traced) ++traced;
+    total_matches += out.matches;
+    if (out.ops_evaluations <= out.naive_evaluations) ++ops_not_worse;
+  }
+
+  // The sweep must actually exercise the engines, not vacuously pass on
+  // errors and empty results.
+  if (budget_ms <= 0) {
+    EXPECT_EQ(executed, pairs);
+  }
+  EXPECT_GE(executed, std::min<int64_t>(pairs, 500));
+  EXPECT_LT(both_errored, executed / 5) << "too many consistently-rejected "
+                                           "queries; generator health issue";
+  EXPECT_GT(streaming_ran, executed / 10);
+  EXPECT_GT(traced, executed / 10);
+  EXPECT_GT(total_matches, executed) << "matches too sparse to be a "
+                                        "meaningful differential signal";
+  // Paper Sec 7 invariant, aggregated: OPS never evaluates more
+  // predicates than naive (RunDifferential already asserts this per
+  // pair when no LIMIT is present; this is the sweep-level tally).
+  EXPECT_EQ(ops_not_worse, executed);
+
+  RecordProperty("pairs_executed", std::to_string(executed));
+  RecordProperty("elapsed_ms", std::to_string(watch.elapsed_ms()));
+}
+
+// ---------------------------------------------------------------------------
+// Metamorphic properties.
+// ---------------------------------------------------------------------------
+
+TEST(Metamorphic, ClusterPermutationInvariance) {
+  const int64_t iters = EnvInt("SQLTS_FUZZ_META_ITERS", 150);
+  QueryGenerator qgen(kBaseSeed ^ 0x1111);
+  int64_t checked = 0;
+  for (int64_t i = 0; i < iters; ++i) {
+    const uint64_t seed = kBaseSeed + 100000 + static_cast<uint64_t>(i);
+    Table data = RandomFuzzTable(seed);
+    GeneratedQuery query = qgen.Next();
+    if (query.has_limit) continue;  // row cutoff is order-dependent
+    DifferentialOutcome out =
+        CheckClusterPermutationInvariance(data, query, seed);
+    ASSERT_TRUE(out.ok) << out.failure;
+    if (!out.both_errored) ++checked;
+  }
+  EXPECT_GT(checked, iters / 2);
+}
+
+TEST(Metamorphic, TautologyRewritePreservesMatches) {
+  const int64_t iters = EnvInt("SQLTS_FUZZ_META_ITERS", 150);
+  QueryGenerator qgen(kBaseSeed ^ 0x2222);
+  int64_t checked = 0;
+  for (int64_t i = 0; i < iters; ++i) {
+    const uint64_t seed = kBaseSeed + 200000 + static_cast<uint64_t>(i);
+    Table data = RandomFuzzTable(seed);
+    GeneratedQuery query = qgen.Next();
+    DifferentialOutcome out = CheckTautologyRewrite(data, query, seed);
+    ASSERT_TRUE(out.ok) << out.failure;
+    if (!out.both_errored) ++checked;
+  }
+  EXPECT_GT(checked, iters / 2);
+}
+
+TEST(Metamorphic, StreamPrefixConsistency) {
+  const int64_t iters = EnvInt("SQLTS_FUZZ_META_ITERS", 150);
+  QueryGenerator qgen(kBaseSeed ^ 0x3333);
+  int64_t checked = 0;
+  for (int64_t i = 0; i < iters; ++i) {
+    const uint64_t seed = kBaseSeed + 300000 + static_cast<uint64_t>(i);
+    Table data = RandomFuzzTable(seed);
+    GeneratedQuery query = qgen.Next();
+    if (query.uses_lookahead || query.has_limit) continue;
+    DifferentialOutcome out = CheckStreamPrefixConsistency(data, query, seed);
+    ASSERT_TRUE(out.ok) << out.failure;
+    if (!out.both_errored) ++checked;
+  }
+  EXPECT_GT(checked, iters / 4);
+}
+
+// ---------------------------------------------------------------------------
+// Generator self-checks.
+// ---------------------------------------------------------------------------
+
+/// Every generated query's SQL text must survive the real lexer/parser
+/// and print back to a fixed point: parse(text).ToString() parsed again
+/// reproduces itself exactly.
+TEST(QueryGen, SqlRoundTripsThroughParser) {
+  QueryGenerator qgen(kBaseSeed ^ 0x4444);
+  for (int i = 0; i < 300; ++i) {
+    GeneratedQuery query = qgen.Next();
+    auto ast1 = ParseQuery(query.sql);
+    ASSERT_TRUE(ast1.ok()) << ast1.status().ToString() << "\nSQL: "
+                           << query.sql;
+    const std::string text1 = ast1->ToString();
+    auto ast2 = ParseQuery(text1);
+    ASSERT_TRUE(ast2.ok()) << ast2.status().ToString() << "\nSQL: " << text1;
+    EXPECT_EQ(ast2->ToString(), text1) << "original SQL: " << query.sql;
+  }
+}
+
+/// The generator must cover the language features the differential
+/// sweep claims to exercise, with a bounded internal rejection rate.
+TEST(QueryGen, CoversLanguageFeatures) {
+  QueryGenerator qgen(kBaseSeed ^ 0x5555);
+  int stars = 0, lookahead = 0, aggregates = 0, clustered = 0, limits = 0;
+  int star_free = 0, streaming_eligible = 0, multi_element = 0;
+  const int n = 400;
+  for (int i = 0; i < n; ++i) {
+    GeneratedQuery q = qgen.Next();
+    if (q.has_star) ++stars; else ++star_free;
+    if (q.uses_lookahead) ++lookahead;
+    if (q.has_aggregate) ++aggregates;
+    if (q.clustered) ++clustered;
+    if (q.has_limit) ++limits;
+    if (!q.uses_lookahead && !q.has_limit) ++streaming_eligible;
+    if (q.num_elements > 1) ++multi_element;
+  }
+  EXPECT_GT(stars, n / 10);
+  EXPECT_GT(star_free, n / 10);
+  EXPECT_GT(lookahead, n / 50);
+  EXPECT_GT(aggregates, n / 10);
+  EXPECT_GT(clustered, n / 4);
+  EXPECT_GT(limits, 0);
+  EXPECT_GT(streaming_eligible, n / 4);
+  EXPECT_GT(multi_element, n / 2);
+  // Rejected drafts (analyzer/compiler refusals) should stay a modest
+  // multiple of accepted queries, or the generator is mostly noise.
+  EXPECT_LE(qgen.rejected(), qgen.generated() * 3)
+      << "rejected=" << qgen.rejected() << " generated=" << qgen.generated();
+}
+
+/// The data generator's structural contract: the fixed fuzz schema,
+/// globally strictly increasing `seq`, cluster/row counts within the
+/// requested bounds, and NULLs actually present across seeds.
+TEST(DataGen, StructuralContract) {
+  const Schema& schema = FuzzSchema();
+  int tables_with_nulls = 0;
+  int64_t total_rows = 0;
+  for (uint64_t s = 0; s < 25; ++s) {
+    Table t = RandomFuzzTable(kBaseSeed + 400000 + s);
+    ASSERT_EQ(t.schema().ToString(), schema.ToString());
+    int64_t prev_seq = -1;
+    bool has_null = false;
+    for (int64_t r = 0; r < t.num_rows(); ++r) {
+      const Value& seq = t.at(r, 2);
+      ASSERT_EQ(seq.kind(), TypeKind::kInt64);
+      ASSERT_GT(seq.int64_value(), prev_seq)
+          << "seq must strictly increase globally (row " << r << ")";
+      prev_seq = seq.int64_value();
+      if (t.at(r, 4).is_null() || t.at(r, 5).is_null()) has_null = true;
+    }
+    if (has_null) ++tables_with_nulls;
+    total_rows += t.num_rows();
+    DataGenOptions opts;
+    EXPECT_LE(t.num_rows(),
+              static_cast<int64_t>(opts.max_clusters) *
+                  opts.max_rows_per_cluster);
+  }
+  EXPECT_GT(tables_with_nulls, 5);
+  EXPECT_GT(total_rows, 25 * 20) << "tables too small to stress engines";
+}
+
+}  // namespace
+}  // namespace fuzz
+}  // namespace sqlts

@@ -3,6 +3,7 @@
 // every "provably implies" verdict is checked pointwise on the grid.
 // (The procedure may be incomplete, never wrong.)
 
+#include <limits>
 #include <random>
 #include <vector>
 
@@ -169,6 +170,110 @@ TEST_P(GswSoundness, SatisfiableSystemsAreNeverCalledUnsat) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GswSoundness, ::testing::Range(1, 7));
+
+// Overflow-adjacent boundary constants.  The Floyd–Warshall closure
+// adds bound values with raw double arithmetic, so ±DBL_MAX edges can
+// sum to ±inf, and an inf + (-inf) relaxation yields NaN.  These cases
+// pin the required behaviour: wrong verdicts never, regardless of
+// magnitude.
+constexpr double kHuge = 9e307;  // 2*kHuge overflows to +inf
+
+TEST(GswBoundary, HugeConstantsDoNotPoisonUnsat) {
+  GswSolver solver;
+  {
+    // x within ±kHuge of y: trivially satisfiable (x = y = 1).
+    ConstraintSystem s;
+    s.AddXopYplusC(0, CmpOp::kLe, 1, kHuge);
+    s.AddXopYplusC(0, CmpOp::kGe, 1, -kHuge);
+    EXPECT_FALSE(solver.ProvablyUnsat(s)) << s.ToString();
+  }
+  {
+    // x = y + DBL_MAX: satisfiable over the reals; the equality's two
+    // edges close to a zero-weight cycle (DBL_MAX - DBL_MAX), not a
+    // negative one.
+    ConstraintSystem s;
+    s.AddXopYplusC(0, CmpOp::kEq, 1, std::numeric_limits<double>::max());
+    EXPECT_FALSE(solver.ProvablyUnsat(s)) << s.ToString();
+  }
+  {
+    // x ≤ y - DBL_MAX and x ≥ y + DBL_MAX: genuinely unsatisfiable.
+    // The cycle weight is -DBL_MAX + -DBL_MAX = -inf; the detector must
+    // still read it as negative, not trip on the overflow.
+    ConstraintSystem s;
+    const double m = std::numeric_limits<double>::max();
+    s.AddXopYplusC(0, CmpOp::kLe, 1, -m);
+    s.AddXopYplusC(0, CmpOp::kGe, 1, m);
+    EXPECT_TRUE(solver.ProvablyUnsat(s)) << s.ToString();
+  }
+  {
+    // NaN hazard: the closure derives bound(x→w) = +inf through two
+    // +DBL_MAX hops and bound(w→x) = -inf through two -DBL_MAX hops, so
+    // relaxing the w→w diagonal computes -inf + inf = NaN.  The system
+    // is satisfiable over the reals (stack the variables kHuge apart),
+    // so the only sound verdict is "not provably unsat".
+    const double m = std::numeric_limits<double>::max();
+    ConstraintSystem s;
+    s.AddXopYplusC(0, CmpOp::kLe, 1, m);   // x ≤ y + M
+    s.AddXopYplusC(1, CmpOp::kLe, 2, m);   // y ≤ z + M
+    s.AddXopYplusC(2, CmpOp::kLe, 3, -m);  // z ≤ w - M
+    s.AddXopYplusC(3, CmpOp::kLe, 0, -m);  // w ≤ x - M
+    EXPECT_FALSE(solver.ProvablyUnsat(s)) << s.ToString();
+  }
+  {
+    // x > DBL_MAX conjoined with x ≤ 1: unsatisfiable (negative cycle
+    // through the zero node, weight 1 - DBL_MAX).
+    ConstraintSystem s;
+    s.AddXopC(0, CmpOp::kGt, std::numeric_limits<double>::max());
+    s.AddXopC(0, CmpOp::kLe, 1);
+    EXPECT_TRUE(solver.ProvablyUnsat(s)) << s.ToString();
+  }
+}
+
+TEST(GswBoundary, LargeConstantImplicationsStaySound) {
+  GswSolver solver;
+  // At 1e15 the epsilon used for strictness tie-breaks (1e-9) is far
+  // below one ulp (0.125), so these checks run entirely on the raw
+  // value comparisons.
+  const double kBig = 1e15;
+  {
+    // Widening the slack is entailed; narrowing it is not.
+    ConstraintSystem tight, wide;
+    tight.AddXopYplusC(0, CmpOp::kLe, 1, kBig);
+    wide.AddXopYplusC(0, CmpOp::kLe, 1, kBig + 2);  // representable
+    EXPECT_TRUE(solver.ProvablyImplies(tight, wide));
+    EXPECT_FALSE(solver.ProvablyImplies(wide, tight));
+    // A weak bound never entails its own strict form.
+    ConstraintSystem strict;
+    strict.AddXopYplusC(0, CmpOp::kLt, 1, kBig);
+    EXPECT_FALSE(solver.ProvablyImplies(tight, strict));
+    EXPECT_TRUE(solver.ProvablyImplies(strict, tight));
+  }
+  {
+    // Equality pinned at kBig is consistent; shaving one unit off the
+    // upper bound flips it to a genuine contradiction.
+    ConstraintSystem eq;
+    eq.AddXopYplusC(0, CmpOp::kGe, 1, kBig);
+    eq.AddXopYplusC(0, CmpOp::kLe, 1, kBig);
+    EXPECT_FALSE(solver.ProvablyUnsat(eq)) << eq.ToString();
+    ConstraintSystem gap;
+    gap.AddXopYplusC(0, CmpOp::kGe, 1, kBig);
+    gap.AddXopYplusC(0, CmpOp::kLe, 1, kBig - 1);  // representable
+    EXPECT_TRUE(solver.ProvablyUnsat(gap)) << gap.ToString();
+  }
+  {
+    // Transitive chains through a huge intermediate bound: x ≤ y + kBig
+    // and y ≤ z - kBig compose to x ≤ z exactly.
+    ConstraintSystem s;
+    s.AddXopYplusC(0, CmpOp::kLe, 1, kBig);
+    s.AddXopYplusC(1, CmpOp::kLe, 2, -kBig);
+    ConstraintSystem t;
+    t.AddXopYplusC(0, CmpOp::kLe, 2, 0);
+    EXPECT_TRUE(solver.ProvablyImplies(s, t));
+    ConstraintSystem strict_t;
+    strict_t.AddXopYplusC(0, CmpOp::kLt, 2, 0);
+    EXPECT_FALSE(solver.ProvablyImplies(s, strict_t));
+  }
+}
 
 }  // namespace
 }  // namespace sqlts

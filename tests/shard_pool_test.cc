@@ -1,9 +1,14 @@
 // Sharded execution tests: ShardPool mechanics, and determinism of the
 // parallel batch and streaming executors across thread counts.
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -65,6 +70,58 @@ TEST(ShardPool, EncodeClusterKeyIsInjective) {
   // Same values encode equal.
   Row e = {Value::String("a'\x1f'b"), Value::String("c")};
   EXPECT_EQ(EncodeClusterKey(c), EncodeClusterKey(e));
+}
+
+TEST(ShardPool, PushBlocksWhileQueueFull) {
+  // One shard, capacity 2.  The handler parks on the first task, so the
+  // worker holds task 0 in-flight while tasks 1 and 2 fill the queue;
+  // a fourth Push must then block until the gate opens.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool handler_entered = false;
+  bool gate_open = false;
+  std::vector<uint64_t> handled;
+
+  ShardPool pool(1, 2, [&](int, ShardPool::Task&& t) {
+    std::unique_lock<std::mutex> lock(mu);
+    handled.push_back(t.tag);
+    if (t.tag == 0) {
+      handler_entered = true;
+      cv.notify_all();
+      cv.wait(lock, [&] { return gate_open; });
+    }
+  });
+
+  pool.Push(0, ShardPool::Task{Row{}, 0, 0});
+  {
+    // Wait until the worker is parked inside the handler, so the next
+    // two pushes deterministically land in the queue.
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return handler_entered; });
+  }
+  pool.Push(0, ShardPool::Task{Row{}, 0, 1});
+  pool.Push(0, ShardPool::Task{Row{}, 0, 2});  // queue now full (depth 2)
+
+  std::atomic<bool> fourth_done{false};
+  std::thread producer([&] {
+    pool.Push(0, ShardPool::Task{Row{}, 0, 3});  // must block
+    fourth_done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(fourth_done.load());  // backpressure: still blocked
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    gate_open = true;
+  }
+  cv.notify_all();
+  producer.join();
+  EXPECT_TRUE(fourth_done.load());
+  pool.Finish();
+
+  EXPECT_EQ(pool.pushed(0), 4);
+  EXPECT_EQ(pool.queue_high_water(0), 2);  // capacity was the binding limit
+  EXPECT_EQ(handled, (std::vector<uint64_t>{0, 1, 2, 3}));
 }
 
 /// A portfolio of `stocks` independent random walks, `rows_per` rows
