@@ -1,9 +1,30 @@
 // sqlts_cli: run ad-hoc SQL-TS queries against a CSV file.
 //
-//   sqlts_cli <csv> <schema> <query> [--naive] [--explain]
+//   sqlts_cli <csv> <schema> <query> [flags]
 //
 //   <schema> is "col:TYPE,col:TYPE,..." with TYPE in
 //   {INT64,DOUBLE,STRING,DATE,BOOL}.
+//
+// Flags:
+//   --naive             batch: use the naive backtracking matcher
+//   --explain           print the optimizer report before results
+//   --threads N         shard execution across N worker threads
+//   --stream            push rows through the streaming executor
+//                       instead of the batch engine
+//   --max-buffered N    streaming: budget of concurrently buffered
+//                       tuples (exceeding it fails the query with
+//                       RESOURCE_EXHAUSTED instead of growing)
+//   --skip-bad-input    drop + count malformed CSV records and stream
+//                       rows instead of failing fast
+//   --checkpoint FILE   streaming: write a checkpoint to FILE...
+//   --checkpoint-at N   ...after consuming N rows, then stop (simulates
+//                       a crash mid-stream)
+//   --restore FILE      streaming: restore from FILE and continue from
+//                       the row it was consumed at
+//
+// Example (crash/resume):
+//   sqlts_cli data.csv "$S" "$Q" --stream --checkpoint ckpt --checkpoint-at 500
+//   sqlts_cli data.csv "$S" "$Q" --stream --restore ckpt
 //
 // Example:
 //   ./build/examples/sqlts_cli data/djia.csv
@@ -13,11 +34,15 @@
 // (all on one shell line)
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "common/string_util.h"
 #include "engine/executor.h"
 #include "engine/explain.h"
+#include "engine/stream_executor.h"
 #include "storage/csv.h"
 
 namespace {
@@ -33,18 +58,42 @@ int main(int argc, char** argv) {
   using namespace sqlts;
   if (argc < 4) {
     std::fprintf(stderr,
-                 "usage: %s <csv> <schema> <query> [--naive] [--explain]\n",
+                 "usage: %s <csv> <schema> <query> [--naive] [--explain] "
+                 "[--threads N] [--stream] [--max-buffered N] "
+                 "[--skip-bad-input] [--checkpoint FILE] "
+                 "[--checkpoint-at N] [--restore FILE]\n",
                  argv[0]);
     return 2;
   }
   const std::string csv_path = argv[1];
   const std::string schema_text = argv[2];
   const std::string query = argv[3];
-  bool naive = false, explain = false;
+  bool naive = false, explain = false, stream = false, skip_bad = false;
+  int threads = 1;
+  int64_t max_buffered = 0, checkpoint_at = -1;
+  std::string checkpoint_path, restore_path;
   for (int i = 4; i < argc; ++i) {
     std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs an argument\n", a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
     if (a == "--naive") naive = true;
     else if (a == "--explain") explain = true;
+    else if (a == "--stream") stream = true;
+    else if (a == "--skip-bad-input") skip_bad = true;
+    else if (a == "--threads") threads = std::atoi(next());
+    else if (a == "--max-buffered") max_buffered = std::atoll(next());
+    else if (a == "--checkpoint") checkpoint_path = next();
+    else if (a == "--checkpoint-at") checkpoint_at = std::atoll(next());
+    else if (a == "--restore") restore_path = next();
+    else {
+      std::fprintf(stderr, "unknown flag '%s'\n", a.c_str());
+      return 2;
+    }
   }
 
   Schema schema;
@@ -74,22 +123,128 @@ int main(int argc, char** argv) {
     if (!st.ok()) return Fail(st);
   }
 
-  auto table = ReadCsvFile(csv_path, schema);
+  CsvReadOptions csv_options;
+  if (skip_bad) csv_options.bad_input = BadInputPolicy::kSkipAndCount;
+  CsvReadStats csv_stats;
+  auto table = ReadCsvFile(csv_path, schema, csv_options, &csv_stats);
   if (!table.ok()) return Fail(table.status());
-  std::fprintf(stderr, "loaded %lld rows (%s)\n",
+  std::fprintf(stderr, "loaded %lld rows (%s)",
                static_cast<long long>(table->num_rows()),
                schema.ToString().c_str());
+  if (csv_stats.rows_skipped > 0) {
+    std::fprintf(stderr, ", skipped %lld malformed record(s)",
+                 static_cast<long long>(csv_stats.rows_skipped));
+  }
+  std::fprintf(stderr, "\n");
 
   ExecOptions opt;
   opt.algorithm = naive ? SearchAlgorithm::kNaive : SearchAlgorithm::kOps;
-  auto result = QueryExecutor::Execute(*table, query, opt);
-  if (!result.ok()) return Fail(result.status());
+  opt.num_threads = threads;
+  opt.governance.max_buffered_tuples = max_buffered;
+  if (skip_bad) opt.governance.bad_input = BadInputPolicy::kSkipAndCount;
 
   if (explain) {
     auto report = ExplainQueryText(query, schema);
     std::printf("%s", report.ok() ? report->c_str()
                                   : report.status().ToString().c_str());
   }
+
+  if (stream) {
+    int64_t emitted = 0;
+    auto exec = StreamingQueryExecutor::Create(
+        query, schema,
+        [&](const Row& row) {
+          ++emitted;
+          std::string line;
+          for (const Value& v : row) {
+            if (!line.empty()) line += " | ";
+            line += v.ToString();
+          }
+          std::printf("%s\n", line.c_str());
+        },
+        opt);
+    if (!exec.ok()) return Fail(exec.status());
+
+    int64_t start_row = 0;
+    if (!restore_path.empty()) {
+      std::ifstream in(restore_path, std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "cannot read checkpoint '%s'\n",
+                     restore_path.c_str());
+        return 1;
+      }
+      std::ostringstream bytes;
+      bytes << in.rdbuf();
+      Status st = (*exec)->Restore(bytes.str());
+      if (!st.ok()) return Fail(st);
+      start_row = (*exec)->rows_consumed();
+      std::fprintf(stderr, "restored from '%s': resuming at row %lld\n",
+                   restore_path.c_str(),
+                   static_cast<long long>(start_row));
+    }
+
+    for (int64_t r = start_row; r < table->num_rows(); ++r) {
+      if (checkpoint_at >= 0 && (*exec)->rows_consumed() >= checkpoint_at) {
+        break;
+      }
+      Status st = (*exec)->Push(table->GetRow(r));
+      if (!st.ok()) return Fail(st);
+    }
+
+    if (checkpoint_at >= 0 &&
+        (*exec)->rows_consumed() < table->num_rows()) {
+      // Stopped mid-stream: persist the checkpoint and exit without
+      // Finish, as a crashed process would.
+      if (checkpoint_path.empty()) {
+        std::fprintf(stderr, "--checkpoint-at needs --checkpoint FILE\n");
+        return 2;
+      }
+      std::string bytes;
+      Status st = (*exec)->Checkpoint(&bytes);
+      if (!st.ok()) return Fail(st);
+      std::ofstream out(checkpoint_path,
+                        std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(),
+                static_cast<std::streamsize>(bytes.size()));
+      if (!out) {
+        std::fprintf(stderr, "cannot write checkpoint '%s'\n",
+                     checkpoint_path.c_str());
+        return 1;
+      }
+      std::fprintf(stderr,
+                   "checkpointed %zu bytes to '%s' at row %lld; "
+                   "resume with --restore\n",
+                   bytes.size(), checkpoint_path.c_str(),
+                   static_cast<long long>((*exec)->rows_consumed()));
+      return 0;
+    }
+
+    Status st = (*exec)->Finish();
+    if (!st.ok()) return Fail(st);
+    if (!checkpoint_path.empty() && checkpoint_at < 0) {
+      // Checkpoint after a complete run is legal but pointless; warn.
+      std::fprintf(stderr, "--checkpoint without --checkpoint-at ignored "
+                           "(stream already finished)\n");
+    }
+    std::fprintf(stderr,
+                 "%lld match(es) over %d cluster(s); %lld predicate tests "
+                 "(streaming, %d thread(s))",
+                 static_cast<long long>((*exec)->stats().matches),
+                 (*exec)->num_clusters(),
+                 static_cast<long long>((*exec)->stats().evaluations),
+                 threads);
+    if ((*exec)->rows_skipped() > 0) {
+      std::fprintf(stderr, "; skipped %lld bad row(s)",
+                   static_cast<long long>((*exec)->rows_skipped()));
+    }
+    std::fprintf(stderr, "\n");
+    (void)emitted;
+    return 0;
+  }
+
+  auto result = QueryExecutor::Execute(*table, query, opt);
+  if (!result.ok()) return Fail(result.status());
+
   std::printf("%s", result->output.ToString(1000).c_str());
   std::fprintf(stderr,
                "%lld matches over %d cluster(s); %lld predicate tests "

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "storage/csv.h"
 #include "storage/sequence.h"
 
 namespace sqlts {
@@ -70,12 +71,17 @@ Status ExecuteSharded(const ClusteredSequence& clusters,
     ShardStats& ss = shard_stats[shard];
     ++ss.clusters;
     ss.tuples_pushed += seq.size();
+    // A cancelled/expired query skips remaining clusters; the caller
+    // re-checks governance after the barrier and discards the result.
+    if (!options.governance.Check().ok()) return;
     if (!ClusterAccepted(query, seq)) return;
+    SearchOptions search_opts;
+    search_opts.governance = &options.governance;
     SearchStats stats;
     std::vector<Match> matches =
         options.algorithm == SearchAlgorithm::kOps
-            ? OpsSearch(seq, plan, &stats)
-            : NaiveSearch(seq, plan, &stats);
+            ? OpsSearch(seq, plan, &stats, nullptr, search_opts)
+            : NaiveSearch(seq, plan, &stats, nullptr, search_opts);
     ss.search += stats;
     std::vector<Row>& out = cluster_rows[c];
     out.reserve(matches.size());
@@ -92,10 +98,14 @@ Status ExecuteSharded(const ClusteredSequence& clusters,
                 ShardPool::Task{Row{}, static_cast<uint64_t>(c), 0});
     }
     pool.Finish();
+    // Exceptions caught at the worker boundary surface here instead of
+    // terminating the process.
+    SQLTS_RETURN_IF_ERROR(pool.first_error());
     for (int s = 0; s < num_shards; ++s) {
       shard_stats[s].queue_high_water = pool.queue_high_water(s);
     }
   }
+  SQLTS_RETURN_IF_ERROR(options.governance.Check());
 
   for (int c = 0; c < num_clusters; ++c) {
     for (Row& row : cluster_rows[c]) {
@@ -117,6 +127,20 @@ StatusOr<QueryResult> QueryExecutor::Execute(const Table& input,
   return ExecuteCompiled(input, query, options);
 }
 
+StatusOr<QueryResult> QueryExecutor::ExecuteCsvFile(
+    const std::string& path, const Schema& schema,
+    std::string_view query_text, const ExecOptions& options) {
+  CsvReadOptions csv_options;
+  csv_options.bad_input = options.governance.bad_input;
+  CsvReadStats csv_stats;
+  SQLTS_ASSIGN_OR_RETURN(Table input,
+                         ReadCsvFile(path, schema, csv_options, &csv_stats));
+  SQLTS_ASSIGN_OR_RETURN(QueryResult result,
+                         Execute(input, query_text, options));
+  result.rows_skipped = csv_stats.rows_skipped;
+  return result;
+}
+
 StatusOr<QueryResult> QueryExecutor::ExecuteCompiled(
     const Table& input, const CompiledQuery& query,
     const ExecOptions& options) {
@@ -126,8 +150,10 @@ StatusOr<QueryResult> QueryExecutor::ExecuteCompiled(
       ClusteredSequence clusters,
       ClusteredSequence::Build(&input, query.cluster_by, query.sequence_by));
 
+  SQLTS_RETURN_IF_ERROR(options.governance.Check());
+
   QueryResult result{Table(query.output_schema), SearchStats{},
-                     SearchTrace{}, plan, clusters.num_clusters(), {}};
+                     SearchTrace{}, plan, clusters.num_clusters(), 0, {}};
 
   // Parallel path: per-cluster matcher state is fully private, so
   // clusters shard cleanly.  LIMIT (cross-cluster early termination)
@@ -145,6 +171,7 @@ StatusOr<QueryResult> QueryExecutor::ExecuteCompiled(
     // LIMIT: stop searching once enough rows were produced (exact early
     // termination — the first N left-maximal matches, in cluster order).
     SearchOptions search_opts;
+    search_opts.governance = &options.governance;
     if (query.limit > 0) {
       int64_t remaining = query.limit - result.output.num_rows();
       if (remaining <= 0) break;
@@ -163,6 +190,9 @@ StatusOr<QueryResult> QueryExecutor::ExecuteCompiled(
       SQLTS_RETURN_IF_ERROR(
           result.output.AppendRow(ProjectMatch(query, seq, match)));
     }
+    // A triggered deadline/cancellation truncated this cluster's search:
+    // surface the typed error instead of a silently partial result.
+    SQLTS_RETURN_IF_ERROR(options.governance.Check());
   }
   return result;
 }

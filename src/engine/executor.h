@@ -5,6 +5,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/governance.h"
 #include "common/statusor.h"
 #include "engine/matcher.h"
 #include "engine/shard_pool.h"
@@ -37,6 +38,10 @@ struct ExecOptions {
   /// Bound (in tasks) of each shard's input queue; Push blocks when the
   /// owning shard is this far behind (backpressure).
   int64_t shard_queue_capacity = 1024;
+  /// Per-query resource governance: buffer budgets (streaming), a
+  /// deadline, cooperative cancellation, bad-input policy, and the
+  /// testing-only fault hook.  See common/governance.h.
+  ExecGovernance governance;
 };
 
 /// The result of running a SQL-TS query: the projected output rows plus
@@ -47,6 +52,9 @@ struct QueryResult {
   SearchTrace trace;          // only when collect_trace
   PatternPlan plan;           // the compiled pattern, for EXPLAIN
   int num_clusters = 0;
+  /// Malformed input rows dropped under BadInputPolicy::kSkipAndCount
+  /// on the way into this query (e.g. by a CSV load feeding it).
+  int64_t rows_skipped = 0;
   /// Per-shard counters (one entry per worker); empty when the query
   /// ran on the single-threaded path.
   std::vector<ShardStats> shard_stats;
@@ -67,6 +75,15 @@ class QueryExecutor {
   static StatusOr<QueryResult> ExecuteCompiled(const Table& input,
                                                const CompiledQuery& query,
                                                const ExecOptions& options = {});
+
+  /// Loads `path` as CSV against `schema` and runs `query_text` on it.
+  /// The load honors options.governance.bad_input: under kSkipAndCount
+  /// malformed records are dropped and reported in
+  /// QueryResult::rows_skipped instead of failing the query.
+  static StatusOr<QueryResult> ExecuteCsvFile(const std::string& path,
+                                              const Schema& schema,
+                                              std::string_view query_text,
+                                              const ExecOptions& options = {});
 };
 
 }  // namespace sqlts

@@ -1,11 +1,31 @@
 #include "engine/matcher.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.h"
 
 namespace sqlts {
 namespace {
+
+/// Cheap governance polling for the search loops: cancellation is one
+/// relaxed atomic load per call; the deadline clock is only consulted
+/// every 256 calls.
+class GovernancePoller {
+ public:
+  explicit GovernancePoller(const ExecGovernance* gov) : gov_(gov) {}
+
+  bool ShouldStop() {
+    if (gov_ == nullptr) return false;
+    if (gov_->cancel.cancel_requested()) return true;
+    return (++calls_ & 255) == 0 && gov_->has_deadline() &&
+           std::chrono::steady_clock::now() >= gov_->deadline;
+  }
+
+ private:
+  const ExecGovernance* gov_;
+  uint64_t calls_ = 0;
+};
 
 /// Evaluates pattern element `j` (1-based) against sequence position
 /// `pos`, with `spans` available for anchored cross-element references.
@@ -45,8 +65,10 @@ std::vector<Match> NaiveSearch(const SequenceView& seq,
   const int64_t n = seq.size();
   std::vector<Match> matches;
 
+  GovernancePoller poller(options.governance);
   int64_t s = 0;
   while (s < n) {
+    if (poller.ShouldStop()) break;
     if (options.max_matches > 0 &&
         static_cast<int64_t>(matches.size()) >= options.max_matches) {
       break;
@@ -133,7 +155,9 @@ std::vector<Match> OpsSearch(const SequenceView& seq,
     presat_pending = false;
   };
 
+  GovernancePoller poller(options.governance);
   while (true) {
+    if (poller.ShouldStop()) break;
     if (j > m) {
       Match match;
       match.spans = spans;

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/governance.h"
 #include "engine/match.h"
 #include "pattern/compile.h"
 #include "storage/sequence.h"
@@ -14,6 +15,11 @@ struct SearchOptions {
   /// Stop after this many matches (0 = unlimited).  Early exit is exact:
   /// the first `max_matches` left-maximal matches are returned.
   int64_t max_matches = 0;
+  /// When set (not owned; must outlive the search), the advance loop
+  /// polls cancellation every iteration and the deadline periodically,
+  /// returning the matches found so far on trigger.  The caller is
+  /// expected to re-check governance and discard the partial result.
+  const ExecGovernance* governance = nullptr;
 };
 
 /// Baseline backtracking search (the paper's "naive algorithm"): try a

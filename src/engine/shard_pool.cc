@@ -1,5 +1,7 @@
 #include "engine/shard_pool.h"
 
+#include <exception>
+
 #include "common/logging.h"
 #include "types/value.h"
 
@@ -85,17 +87,38 @@ void ShardPool::Push(int shard, Task task) {
 
 void ShardPool::WorkerLoop(int shard) {
   Shard& s = *shards_[shard];
+  // Once a handler has thrown, this worker stops invoking it and just
+  // drains its queue: producers never block on a dead shard, Finish()
+  // can still join, and the first exception is surfaced as a Status.
+  bool poisoned = false;
   while (true) {
     Task task;
     {
       std::unique_lock<std::mutex> lock(s.mu);
+      s.busy = false;
+      if (s.queue.empty()) s.idle.notify_all();
       s.not_empty.wait(lock, [&] { return !s.queue.empty() || s.closed; });
       if (s.queue.empty()) return;  // closed and drained
       task = std::move(s.queue.front());
       s.queue.pop_front();
+      s.busy = true;
     }
     s.not_full.notify_one();
-    handler_(shard, std::move(task));
+    if (poisoned) continue;
+    try {
+      handler_(shard, std::move(task));
+    } catch (const std::exception& e) {
+      poisoned = true;
+      std::lock_guard<std::mutex> lock(s.mu);
+      s.error = Status::Internal(
+          std::string("shard worker caught exception: ") + e.what());
+    } catch (...) {
+      poisoned = true;
+      std::lock_guard<std::mutex> lock(s.mu);
+      s.error = Status::Internal(
+          "shard worker caught an exception not derived from "
+          "std::exception");
+    }
   }
 }
 
@@ -112,6 +135,21 @@ void ShardPool::Finish() {
   for (auto& s : shards_) {
     if (s->worker.joinable()) s->worker.join();
   }
+}
+
+void ShardPool::Drain() {
+  for (auto& s : shards_) {
+    std::unique_lock<std::mutex> lock(s->mu);
+    s->idle.wait(lock, [&] { return s->queue.empty() && !s->busy; });
+  }
+}
+
+Status ShardPool::first_error() const {
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    if (!s->error.ok()) return s->error;
+  }
+  return Status::OK();
 }
 
 int64_t ShardPool::pushed(int shard) const {

@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/status.h"
 #include "engine/match.h"
 #include "storage/table.h"
 
@@ -24,12 +25,20 @@ struct ShardStats {
   int64_t tuples_pushed = 0;     ///< tasks enqueued to this shard
   int64_t clusters = 0;          ///< clusters owned by this shard
   int64_t queue_high_water = 0;  ///< max queue depth observed
+  int64_t rows_skipped = 0;      ///< bad rows dropped under kSkipAndCount
+  /// Sum of the per-cluster matcher buffering high-water marks (an
+  /// upper bound on tuples/bytes this shard held live at once).
+  int64_t buffered_tuples_high = 0;
+  int64_t buffered_bytes_high = 0;
   SearchStats search;            ///< matcher counters (evals, matches, ...)
 
   ShardStats& operator+=(const ShardStats& o) {
     tuples_pushed += o.tuples_pushed;
     clusters += o.clusters;
     queue_high_water = std::max(queue_high_water, o.queue_high_water);
+    rows_skipped += o.rows_skipped;
+    buffered_tuples_high += o.buffered_tuples_high;
+    buffered_bytes_high += o.buffered_bytes_high;
     search += o.search;
     return *this;
   }
@@ -74,6 +83,12 @@ class ShardPool {
   /// Consumes one task on the shard's worker thread.  Handlers must
   /// only touch shard-local state (plus read-only shared data); errors
   /// are recorded shard-locally and surfaced after Finish().
+  ///
+  /// A handler that throws does NOT tear down the pool: the worker
+  /// catches the exception at its boundary, converts it to an Internal
+  /// Status (see first_error()), and keeps draining its queue without
+  /// invoking the handler again — producers stay unblocked and the pool
+  /// stays joinable.
   using TaskHandler = std::function<void(int shard, Task&& task)>;
 
   /// Starts `num_shards` workers, each with a queue bounded at
@@ -99,6 +114,17 @@ class ShardPool {
   /// handlers wrote is visible to the calling thread.
   void Finish();
 
+  /// Quiesces the pool without closing it: blocks until every queue is
+  /// empty and every worker is idle.  On return all handler effects so
+  /// far are visible to the caller, and — provided the caller is the
+  /// only producer and pushes nothing meanwhile — the workers stay
+  /// idle.  Used to take a consistent checkpoint mid-stream.
+  void Drain();
+
+  /// First error recorded by any worker's exception boundary (OK when
+  /// every handler returned normally).  Stable after Drain()/Finish().
+  Status first_error() const;
+
   /// Tasks pushed to `shard` so far (producer-side counter).
   int64_t pushed(int shard) const;
   /// Highest queue depth `shard` ever reached (valid after Finish()).
@@ -109,8 +135,11 @@ class ShardPool {
     std::mutex mu;
     std::condition_variable not_empty;
     std::condition_variable not_full;
+    std::condition_variable idle;  // queue empty and worker not busy
     std::deque<Task> queue;
     bool closed = false;  // producer finished; drain and exit
+    bool busy = false;    // worker is inside the handler
+    Status error;         // first exception caught at the worker boundary
     int64_t pushed = 0;
     int64_t high_water = 0;
     std::thread worker;

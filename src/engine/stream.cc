@@ -30,9 +30,9 @@ void ScanOffsets(const PatternPlan& plan, int* min_offset,
 
 }  // namespace
 
-StatusOr<OpsStreamMatcher> OpsStreamMatcher::Create(const PatternPlan* plan,
-                                                    Schema schema,
-                                                    MatchCallback on_match) {
+StatusOr<OpsStreamMatcher> OpsStreamMatcher::Create(
+    const PatternPlan* plan, Schema schema, MatchCallback on_match,
+    const ExecGovernance* governance, ResourceLedger* ledger) {
   SQLTS_CHECK(plan != nullptr);
   int min_offset = 0;
   bool looks_ahead = false;
@@ -43,26 +43,75 @@ StatusOr<OpsStreamMatcher> OpsStreamMatcher::Create(const PatternPlan* plan,
         "(positive previous/next offsets)");
   }
   return OpsStreamMatcher(plan, std::move(schema), std::move(on_match),
-                          min_offset);
+                          min_offset, governance, ledger);
 }
 
 OpsStreamMatcher::OpsStreamMatcher(const PatternPlan* plan, Schema schema,
-                                   MatchCallback on_match, int min_offset)
+                                   MatchCallback on_match, int min_offset,
+                                   const ExecGovernance* governance,
+                                   ResourceLedger* ledger)
     : plan_(plan),
       schema_(schema),
       on_match_(std::move(on_match)),
       min_offset_(min_offset),
+      gov_(governance),
+      ledger_(ledger),
       buffer_(schema),
       cnt_(plan->m + 1, 0),
       spans_(plan->m) {}
 
+void OpsStreamMatcher::Account(int64_t tuples, int64_t bytes) {
+  buffered_bytes_ += bytes;
+  peak_buffered_ = std::max(peak_buffered_, buffer_.num_rows());
+  peak_buffered_bytes_ = std::max(peak_buffered_bytes_, buffered_bytes_);
+  if (ledger_ != nullptr) {
+    ledger_->buffered_tuples.fetch_add(tuples, std::memory_order_relaxed);
+    ledger_->buffered_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  }
+}
+
+Status OpsStreamMatcher::CheckBudget() const {
+  if (gov_ == nullptr) return Status::OK();
+  const int64_t tuples =
+      ledger_ != nullptr
+          ? ledger_->buffered_tuples.load(std::memory_order_relaxed)
+          : buffer_.num_rows();
+  const int64_t bytes =
+      ledger_ != nullptr
+          ? ledger_->buffered_bytes.load(std::memory_order_relaxed)
+          : buffered_bytes_;
+  if (gov_->max_buffered_tuples > 0 && tuples > gov_->max_buffered_tuples) {
+    return Status::ResourceExhausted(
+        "streaming buffer budget exceeded: " + std::to_string(tuples) +
+        " tuples held live (budget " +
+        std::to_string(gov_->max_buffered_tuples) +
+        "); the active pattern attempt cannot release them");
+  }
+  if (gov_->max_buffered_bytes > 0 && bytes > gov_->max_buffered_bytes) {
+    return Status::ResourceExhausted(
+        "streaming byte budget exceeded: ~" + std::to_string(bytes) +
+        " bytes held live (budget " +
+        std::to_string(gov_->max_buffered_bytes) + ")");
+  }
+  return Status::OK();
+}
+
 Status OpsStreamMatcher::Push(Row row) {
+  if (gov_ != nullptr) {
+    SQLTS_RETURN_IF_ERROR(gov_->Check());
+    SQLTS_RETURN_IF_ERROR(gov_->Fault("matcher.append"));
+  }
+  const int64_t row_bytes = EstimateRowBytes(row);
   SQLTS_RETURN_IF_ERROR(buffer_.AppendRow(std::move(row)));
   view_rows_.push_back(buffer_.num_rows() - 1);
   ++pushed_;
+  Account(+1, row_bytes);
   Drain();
+  if (gov_ != nullptr && gov_->cancel.cancel_requested()) {
+    return Status::Cancelled("query cancelled via CancelToken");
+  }
   MaybeEvict();
-  return Status::OK();
+  return CheckBudget();
 }
 
 void OpsStreamMatcher::Finish() {
@@ -75,6 +124,7 @@ void OpsStreamMatcher::Finish() {
   // which either completes (emitting matches) or suspends at the end of
   // input again; start_ strictly increases, so this terminates.
   while (true) {
+    if (gov_ != nullptr && gov_->cancel.cancel_requested()) return;
     if (j_ == m && plan_->star[m] && cnt_[m] > cnt_[m - 1]) {
       EmitMatch();
       Drain();
@@ -119,6 +169,9 @@ void OpsStreamMatcher::Drain() {
   std::vector<GroupSpan> rel_spans(m);
 
   while (true) {
+    // Cooperative cancellation: state is consistent between iterations,
+    // so bailing here leaves a matcher that could even resume.
+    if (gov_ != nullptr && gov_->cancel.cancel_requested()) return;
     if (j_ > m) {
       EmitMatch();
       continue;
@@ -208,6 +261,10 @@ void OpsStreamMatcher::MaybeEvict() {
   const int64_t reachable_from = start_ + min_offset_;
   const int64_t waste = reachable_from - base_;
   if (waste < 4096 || waste < buffer_.num_rows() / 2) return;
+  int64_t freed_bytes = 0;
+  for (int64_t r = 0; r < waste; ++r) {
+    freed_bytes += EstimateRowBytes(buffer_.GetRow(r));
+  }
   Table compacted(schema_);
   for (int64_t r = waste; r < buffer_.num_rows(); ++r) {
     SQLTS_CHECK_OK(compacted.AppendRow(buffer_.GetRow(r)));
@@ -216,6 +273,88 @@ void OpsStreamMatcher::MaybeEvict() {
   view_rows_.resize(buffer_.num_rows());
   for (int64_t r = 0; r < buffer_.num_rows(); ++r) view_rows_[r] = r;
   base_ += waste;
+  Account(-waste, -freed_bytes);
+}
+
+void OpsStreamMatcher::Checkpoint(CheckpointWriter* writer) const {
+  // Plan fingerprint first, so restoring against a different pattern
+  // shape fails loudly instead of resuming into inconsistent state.
+  writer->WriteU32(static_cast<uint32_t>(plan_->m));
+  writer->WriteI64(min_offset_);
+  writer->WriteI64(base_);
+  writer->WriteI64(pushed_);
+  writer->WriteI64(start_);
+  writer->WriteI64(i_);
+  writer->WriteU32(static_cast<uint32_t>(j_));
+  writer->WriteBool(presat_pending_);
+  writer->WriteU32(static_cast<uint32_t>(cnt_.size()));
+  for (int64_t c : cnt_) writer->WriteI64(c);
+  writer->WriteU32(static_cast<uint32_t>(spans_.size()));
+  for (const GroupSpan& s : spans_) {
+    writer->WriteI64(s.first);
+    writer->WriteI64(s.last);
+  }
+  writer->WriteI64(stats_.evaluations);
+  writer->WriteI64(stats_.presat_skips);
+  writer->WriteI64(stats_.jumps);
+  writer->WriteI64(stats_.matches);
+  writer->WriteU64(static_cast<uint64_t>(buffer_.num_rows()));
+  for (int64_t r = 0; r < buffer_.num_rows(); ++r) {
+    writer->WriteRow(buffer_.GetRow(r));
+  }
+}
+
+Status OpsStreamMatcher::RestoreState(CheckpointReader* reader) {
+  if (pushed_ != 0) {
+    return Status::InvalidArgument(
+        "RestoreState requires a freshly created matcher");
+  }
+  SQLTS_ASSIGN_OR_RETURN(uint32_t m, reader->ReadU32());
+  if (static_cast<int>(m) != plan_->m) {
+    return Status::InvalidArgument(
+        "checkpoint pattern has " + std::to_string(m) +
+        " elements, plan has " + std::to_string(plan_->m));
+  }
+  SQLTS_ASSIGN_OR_RETURN(int64_t min_offset, reader->ReadI64());
+  if (static_cast<int>(min_offset) != min_offset_) {
+    return Status::InvalidArgument(
+        "checkpoint predicate window disagrees with the compiled plan");
+  }
+  SQLTS_ASSIGN_OR_RETURN(base_, reader->ReadI64());
+  SQLTS_ASSIGN_OR_RETURN(pushed_, reader->ReadI64());
+  SQLTS_ASSIGN_OR_RETURN(start_, reader->ReadI64());
+  SQLTS_ASSIGN_OR_RETURN(i_, reader->ReadI64());
+  SQLTS_ASSIGN_OR_RETURN(uint32_t j, reader->ReadU32());
+  j_ = static_cast<int>(j);
+  SQLTS_ASSIGN_OR_RETURN(presat_pending_, reader->ReadBool());
+  SQLTS_ASSIGN_OR_RETURN(uint32_t cnt_size, reader->ReadU32());
+  if (cnt_size != cnt_.size()) {
+    return Status::IoError("checkpoint counter array size mismatch");
+  }
+  for (size_t t = 0; t < cnt_.size(); ++t) {
+    SQLTS_ASSIGN_OR_RETURN(cnt_[t], reader->ReadI64());
+  }
+  SQLTS_ASSIGN_OR_RETURN(uint32_t span_count, reader->ReadU32());
+  if (span_count != spans_.size()) {
+    return Status::IoError("checkpoint span array size mismatch");
+  }
+  for (GroupSpan& s : spans_) {
+    SQLTS_ASSIGN_OR_RETURN(s.first, reader->ReadI64());
+    SQLTS_ASSIGN_OR_RETURN(s.last, reader->ReadI64());
+  }
+  SQLTS_ASSIGN_OR_RETURN(stats_.evaluations, reader->ReadI64());
+  SQLTS_ASSIGN_OR_RETURN(stats_.presat_skips, reader->ReadI64());
+  SQLTS_ASSIGN_OR_RETURN(stats_.jumps, reader->ReadI64());
+  SQLTS_ASSIGN_OR_RETURN(stats_.matches, reader->ReadI64());
+  SQLTS_ASSIGN_OR_RETURN(uint64_t rows, reader->ReadU64());
+  for (uint64_t r = 0; r < rows; ++r) {
+    SQLTS_ASSIGN_OR_RETURN(Row row, reader->ReadRow());
+    const int64_t row_bytes = EstimateRowBytes(row);
+    SQLTS_RETURN_IF_ERROR(buffer_.AppendRow(std::move(row)));
+    view_rows_.push_back(buffer_.num_rows() - 1);
+    Account(+1, row_bytes);
+  }
+  return Status::OK();
 }
 
 }  // namespace sqlts

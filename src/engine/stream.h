@@ -4,7 +4,9 @@
 #include <functional>
 #include <vector>
 
+#include "common/governance.h"
 #include "common/statusor.h"
+#include "engine/checkpoint.h"
 #include "engine/match.h"
 #include "pattern/compile.h"
 #include "storage/table.h"
@@ -23,7 +25,18 @@ namespace sqlts {
 ///
 /// Memory is bounded by the active attempt: tuples no attempt can reach
 /// any more (before `start + min_offset`) are evicted from the internal
-/// buffer.
+/// buffer.  When an ExecGovernance is supplied, Push additionally
+/// enforces buffered-tuple/byte budgets (kResourceExhausted), a
+/// deadline (kDeadlineExceeded), and cooperative cancellation
+/// (kCancelled, polled inside the advance loop) — so a pattern that can
+/// never complete degrades into a typed error instead of unbounded
+/// buffer growth.
+///
+/// All live matcher state (buffered tuples, attempt position, star
+/// counters, spans, stream position, statistics) can be serialized with
+/// Checkpoint() and reinstated on a freshly created matcher with
+/// RestoreState(); a restored matcher fed the remaining tuples produces
+/// bit-identical callbacks and stats to an uninterrupted run.
 class OpsStreamMatcher {
  public:
   /// Called for each completed match.  `match` spans use absolute
@@ -38,10 +51,14 @@ class OpsStreamMatcher {
   /// Builds a streaming matcher for `plan` over rows of `schema`.
   /// Fails with InvalidArgument when a WHERE predicate looks *ahead* in
   /// the stream (positive relative offset), which streaming cannot
-  /// serve.
-  static StatusOr<OpsStreamMatcher> Create(const PatternPlan* plan,
-                                           Schema schema,
-                                           MatchCallback on_match);
+  /// serve.  `governance` (optional; must outlive the matcher) supplies
+  /// budgets/deadline/cancellation; `ledger` (optional, shared across
+  /// the query's matchers) is where buffered tuples/bytes are accounted
+  /// so multi-cluster queries enforce one per-query budget.
+  static StatusOr<OpsStreamMatcher> Create(
+      const PatternPlan* plan, Schema schema, MatchCallback on_match,
+      const ExecGovernance* governance = nullptr,
+      ResourceLedger* ledger = nullptr);
 
   /// Processes the next tuple of the stream.
   Status Push(Row row);
@@ -50,25 +67,44 @@ class OpsStreamMatcher {
   /// non-empty closes and may complete a final match.
   void Finish();
 
+  /// Serializes all live state (stream position, attempt state, star
+  /// counters, buffered tuples, stats) into `writer`.
+  void Checkpoint(CheckpointWriter* writer) const;
+
+  /// Reinstates state captured by Checkpoint() on a freshly created
+  /// matcher (same plan and schema; no tuples pushed yet).  Fails with
+  /// IoError/InvalidArgument on corrupted or mismatched payloads.
+  Status RestoreState(CheckpointReader* reader);
+
   const SearchStats& stats() const { return stats_; }
   /// Number of tuples currently buffered (bounded-memory check).
   int64_t buffered() const { return buffer_.num_rows(); }
+  /// Estimated bytes held by the buffered tuples.
+  int64_t buffered_bytes() const { return buffered_bytes_; }
+  /// High-water marks of the two gauges above over the matcher's life.
+  int64_t peak_buffered() const { return peak_buffered_; }
+  int64_t peak_buffered_bytes() const { return peak_buffered_bytes_; }
   /// Total tuples pushed so far.
   int64_t pushed() const { return pushed_; }
 
  private:
   OpsStreamMatcher(const PatternPlan* plan, Schema schema,
-                   MatchCallback on_match, int min_offset);
+                   MatchCallback on_match, int min_offset,
+                   const ExecGovernance* governance, ResourceLedger* ledger);
 
   /// Runs the OPS state machine over every buffered-but-unprocessed
-  /// tuple.
+  /// tuple.  Returns early (leaving consistent state) when cancellation
+  /// is requested.
   void Drain();
-  /// Handles one satisfied/unsatisfied outcome at (j_, i_).
-  void OnOutcome(bool satisfied);
   void EmitMatch();
   void ResetAttempt(int64_t new_start);
   /// Drops buffer rows that no future test or SELECT can reach.
   void MaybeEvict();
+  /// Applies a buffered tuples/bytes delta to the gauges and ledger.
+  void Account(int64_t tuples, int64_t bytes);
+  /// Enforces the configured buffer budgets against the ledger (or the
+  /// local gauges when no ledger is shared).
+  Status CheckBudget() const;
 
   /// Buffer position of absolute stream position `pos`, or -1 if
   /// evicted/future.
@@ -78,6 +114,8 @@ class OpsStreamMatcher {
   Schema schema_;
   MatchCallback on_match_;
   int min_offset_;  // most negative relative offset used by predicates
+  const ExecGovernance* gov_;  // not owned; may be null
+  ResourceLedger* ledger_;     // not owned; may be null
 
   Table buffer_;
   /// Identity row index into buffer_, grown incrementally so Drain()
@@ -85,6 +123,9 @@ class OpsStreamMatcher {
   std::vector<int64_t> view_rows_;
   int64_t base_ = 0;    // absolute position of buffer_ row 0
   int64_t pushed_ = 0;  // total tuples seen
+  int64_t buffered_bytes_ = 0;
+  int64_t peak_buffered_ = 0;
+  int64_t peak_buffered_bytes_ = 0;
 
   // OPS state (absolute positions).
   int64_t start_ = 0;

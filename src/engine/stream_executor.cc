@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <tuple>
+#include <utility>
 
 #include "expr/eval.h"
 
@@ -24,6 +25,7 @@ StreamingQueryExecutor::Create(std::string_view query_text,
   auto exec = std::unique_ptr<StreamingQueryExecutor>(
       new StreamingQueryExecutor(std::move(query), std::move(plan),
                                  std::move(on_row), options));
+  exec->query_text_ = std::string(query_text);
   for (const std::string& c : exec->query_.cluster_by) {
     SQLTS_ASSIGN_OR_RETURN(int idx, schema.FindColumn(c));
     exec->cluster_cols_.push_back(idx);
@@ -42,7 +44,8 @@ StreamingQueryExecutor::StreamingQueryExecutor(CompiledQuery query,
     : query_(std::move(query)),
       plan_(std::move(plan)),
       on_row_(std::move(on_row)),
-      num_threads_(std::max(1, options.num_threads)) {
+      num_threads_(std::max(1, options.num_threads)),
+      governance_(options.governance) {
   shards_.reserve(num_threads_);
   for (int s = 0; s < num_threads_; ++s) {
     shards_.push_back(std::make_unique<ShardState>());
@@ -91,6 +94,25 @@ StreamingQueryExecutor::RouteFor(const Row& row) {
   return &pos->second;
 }
 
+Status StreamingQueryExecutor::CheckRowTypes(const Row& row) const {
+  // Mirror of Table::AppendRow's checks, run router-side so a bad row
+  // is rejected (or skipped) before it can poison a worker's matcher.
+  const Schema& schema = query_.input_schema;
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    const Value& v = row[c];
+    if (v.is_null() || v.kind() == schema.column(c).type) continue;
+    if (schema.column(c).type == TypeKind::kDouble &&
+        v.kind() == TypeKind::kInt64) {
+      continue;  // SQL numeric coercion, applied at append time
+    }
+    return Status::TypeError(
+        "stream tuple column '" + schema.column(c).name + "' expects " +
+        std::string(TypeKindToString(schema.column(c).type)) + ", got " +
+        std::string(TypeKindToString(v.kind())));
+  }
+  return Status::OK();
+}
+
 Status StreamingQueryExecutor::CheckSequenceOrder(const Row& row,
                                                   RouteInfo* info) {
   if (sequence_cols_.empty()) return Status::OK();
@@ -120,43 +142,71 @@ Status StreamingQueryExecutor::CheckSequenceOrder(const Row& row,
   return Status::OK();
 }
 
+Status StreamingQueryExecutor::HandleBadInput(Status why) {
+  if (governance_.bad_input == BadInputPolicy::kSkipAndCount) {
+    ++rows_skipped_;
+    return Status::OK();
+  }
+  return why;
+}
+
 Status StreamingQueryExecutor::Push(Row row) {
   if (finished_) {
     return Status::InvalidArgument("Push after Finish");
   }
+  SQLTS_RETURN_IF_ERROR(governance_.Check());
+  SQLTS_RETURN_IF_ERROR(governance_.Fault("stream.push"));
+  ++consumed_;
   if (static_cast<int>(row.size()) != query_.input_schema.num_columns()) {
-    return Status::InvalidArgument("row arity mismatch");
+    return HandleBadInput(Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(query_.input_schema.num_columns())));
   }
+  Status types = CheckRowTypes(row);
+  if (!types.ok()) return HandleBadInput(std::move(types));
   SQLTS_ASSIGN_OR_RETURN(RouteInfo * info, RouteFor(row));
   if (!info->accepted) return Status::OK();
-  SQLTS_RETURN_IF_ERROR(CheckSequenceOrder(row, info));
+  Status order = CheckSequenceOrder(row, info);
+  if (!order.ok()) return HandleBadInput(std::move(order));
   ++push_tag_;
   ShardPool::Task task{std::move(row), info->ordinal, push_tag_};
   if (pool_ != nullptr) {
+    SQLTS_RETURN_IF_ERROR(governance_.Fault("shard.enqueue"));
     pool_->Push(info->shard, std::move(task));
     return Status::OK();
   }
   return ProcessTask(0, std::move(task));
 }
 
+StatusOr<std::unique_ptr<OpsStreamMatcher>>
+StreamingQueryExecutor::MakeMatcher(int shard, uint64_t ordinal) {
+  auto matcher = OpsStreamMatcher::Create(
+      &plan_, query_.input_schema,
+      [this, shard, ordinal](const Match& m, const SequenceView& v,
+                             int64_t base) {
+        EmitRow(shard, ordinal, m, v, base);
+      },
+      &governance_, &ledger_);
+  if (!matcher.ok()) return matcher.status();
+  return std::make_unique<OpsStreamMatcher>(std::move(*matcher));
+}
+
 Status StreamingQueryExecutor::ProcessTask(int shard, ShardPool::Task task) {
   ShardState& st = *shards_[shard];
+  // Once this shard has failed, drop further tasks instead of feeding
+  // matchers past the failure (e.g. a budget breach must not keep
+  // growing the buffer by one tuple per push while errors are pending).
+  if (!st.error.ok()) return st.error;
   auto it = st.clusters.find(task.cluster);
   if (it == st.clusters.end()) {
-    const uint64_t ordinal = task.cluster;
-    auto matcher = OpsStreamMatcher::Create(
-        &plan_, query_.input_schema,
-        [this, shard, ordinal](const Match& m, const SequenceView& v,
-                               int64_t base) {
-          EmitRow(shard, ordinal, m, v, base);
-        });
+    auto matcher = MakeMatcher(shard, task.cluster);
     if (!matcher.ok()) {
       if (st.error.ok()) st.error = matcher.status();
       return matcher.status();
     }
     ClusterState cs;
-    cs.matcher = std::make_unique<OpsStreamMatcher>(std::move(*matcher));
-    it = st.clusters.emplace(ordinal, std::move(cs)).first;
+    cs.matcher = std::move(*matcher);
+    it = st.clusters.emplace(task.cluster, std::move(cs)).first;
   }
   st.current_tag = task.tag;
   ++st.processed;
@@ -185,13 +235,37 @@ void StreamingQueryExecutor::EmitRow(int shard, uint64_t ordinal,
   for (const SelectItem& item : query_.select) {
     out.push_back(EvalExpr(*item.expr, ctx));
   }
+  ShardState& st = *shards_[shard];
+  ClusterState& cs = st.clusters.at(ordinal);
+  // The counter advances on both paths so checkpoints are identical at
+  // every thread count.
+  const uint64_t seq = cs.emit_seq++;
   if (pool_ == nullptr) {
     on_row_(out);
     return;
   }
-  ShardState& st = *shards_[shard];
-  ClusterState& cs = st.clusters.at(ordinal);
-  st.out.push_back(TaggedRow{st.current_tag, cs.emit_seq++, std::move(out)});
+  st.out.push_back(TaggedRow{st.current_tag, seq, std::move(out)});
+}
+
+void StreamingQueryExecutor::FlushBufferedRows() {
+  size_t total = 0;
+  for (const auto& st : shards_) total += st->out.size();
+  if (total == 0) return;
+  // Deterministic ordered merge: deliver buffered rows exactly as the
+  // single-threaded path would have (by completing push, then by
+  // per-cluster emission order).
+  std::vector<TaggedRow> all;
+  all.reserve(total);
+  for (const auto& st : shards_) {
+    for (TaggedRow& tr : st->out) all.push_back(std::move(tr));
+    st->out.clear();
+  }
+  std::sort(all.begin(), all.end(),
+            [](const TaggedRow& a, const TaggedRow& b) {
+              return std::tie(a.tag, a.seq) < std::tie(b.tag, b.seq);
+            });
+  if (on_row_ == nullptr) return;
+  for (const TaggedRow& tr : all) on_row_(tr.row);
 }
 
 Status StreamingQueryExecutor::Finish() {
@@ -199,38 +273,24 @@ Status StreamingQueryExecutor::Finish() {
   finished_ = true;
   if (pool_ != nullptr) pool_->Finish();  // barrier: drains and joins
 
-  // Close trailing star groups.  Clusters finish in encoded-key order —
-  // the iteration order of the pre-shard implementation, whose cluster
-  // map was keyed by the encoded key — with Finish-time emissions
-  // tagged after every push so the merge keeps them last.
-  uint64_t tag = push_tag_;
-  for (auto& [key, info] : routes_) {
-    (void)key;
-    if (!info.accepted) continue;
-    ShardState& st = *shards_[info.shard];
-    auto it = st.clusters.find(info.ordinal);
-    if (it == st.clusters.end()) continue;
-    st.current_tag = ++tag;
-    it->second.matcher->Finish();
-  }
-
-  if (pool_ != nullptr && on_row_) {
-    // Deterministic ordered merge: deliver buffered rows exactly as the
-    // single-threaded path would have (by completing push, then by
-    // per-cluster emission order).
-    size_t total = 0;
-    for (const auto& st : shards_) total += st->out.size();
-    std::vector<TaggedRow> all;
-    all.reserve(total);
-    for (const auto& st : shards_) {
-      for (TaggedRow& tr : st->out) all.push_back(std::move(tr));
-      st->out.clear();
+  const Status gov = governance_.Check();
+  if (gov.ok()) {
+    // Close trailing star groups.  Clusters finish in encoded-key
+    // order — the iteration order of the pre-shard implementation,
+    // whose cluster map was keyed by the encoded key — with
+    // Finish-time emissions tagged after every push so the merge keeps
+    // them last.
+    uint64_t tag = push_tag_;
+    for (auto& [key, info] : routes_) {
+      (void)key;
+      if (!info.accepted) continue;
+      ShardState& st = *shards_[info.shard];
+      auto it = st.clusters.find(info.ordinal);
+      if (it == st.clusters.end()) continue;
+      st.current_tag = ++tag;
+      it->second.matcher->Finish();
     }
-    std::sort(all.begin(), all.end(),
-              [](const TaggedRow& a, const TaggedRow& b) {
-                return std::tie(a.tag, a.seq) < std::tie(b.tag, b.seq);
-              });
-    for (const TaggedRow& tr : all) on_row_(tr.row);
+    if (pool_ != nullptr) FlushBufferedRows();
   }
 
   // Aggregate the per-shard stats layer.
@@ -245,11 +305,127 @@ Status StreamingQueryExecutor::Finish() {
     for (const auto& [ordinal, cs] : st.clusters) {
       (void)ordinal;
       out.search += cs.matcher->stats();
+      out.buffered_tuples_high += cs.matcher->peak_buffered();
+      out.buffered_bytes_high += cs.matcher->peak_buffered_bytes();
     }
     if (!st.error.ok() && final_status_.ok()) final_status_ = st.error;
   }
+  // The router counts skips (thread-count independent); attribute them
+  // to the first shard's entry so they survive aggregation.
+  final_shard_stats_[0].rows_skipped = rows_skipped_;
+  if (pool_ != nullptr) {
+    // Exceptions caught at the worker boundary.
+    const Status worker = pool_->first_error();
+    if (!worker.ok() && final_status_.ok()) final_status_ = worker;
+  }
+  if (!gov.ok() && final_status_.ok()) final_status_ = gov;
   final_stats_ = TotalSearchStats(final_shard_stats_);
   return final_status_;
+}
+
+Status StreamingQueryExecutor::Checkpoint(std::string* out) {
+  if (finished_) {
+    return Status::InvalidArgument("Checkpoint after Finish");
+  }
+  if (pool_ != nullptr) {
+    pool_->Drain();  // quiesce: workers idle, their state visible
+    SQLTS_RETURN_IF_ERROR(pool_->first_error());
+  }
+  for (const auto& st : shards_) {
+    SQLTS_RETURN_IF_ERROR(st->error);
+  }
+  // Buffered output precedes the checkpoint: deliver it now so a
+  // resumed run never re-emits it (exactly-once), and so the payload
+  // below is identical at every thread count.
+  if (pool_ != nullptr) FlushBufferedRows();
+
+  CheckpointWriter w;
+  w.WriteString(query_text_);
+  w.WriteString(query_.input_schema.ToString());
+  w.WriteI64(consumed_);
+  w.WriteU64(push_tag_);
+  w.WriteI64(rows_skipped_);
+  w.WriteU64(routes_.size());
+  for (const auto& [key, info] : routes_) {
+    w.WriteString(key);
+    w.WriteU64(info.ordinal);
+    w.WriteBool(info.accepted);
+    w.WriteBool(info.has_last);
+    w.WriteU32(static_cast<uint32_t>(info.last_seq_key.size()));
+    for (const Value& v : info.last_seq_key) w.WriteValue(v);
+    const ShardState& st = *shards_[info.shard];
+    auto it = st.clusters.find(info.ordinal);
+    const bool has_matcher = it != st.clusters.end();
+    w.WriteBool(has_matcher);
+    if (has_matcher) {
+      w.WriteU64(it->second.emit_seq);
+      it->second.matcher->Checkpoint(&w);
+    }
+  }
+  *out = w.Finalize();
+  return Status::OK();
+}
+
+Status StreamingQueryExecutor::Restore(std::string_view bytes) {
+  if (finished_ || consumed_ != 0 || push_tag_ != 0 || !routes_.empty()) {
+    return Status::InvalidArgument(
+        "Restore requires a freshly created executor");
+  }
+  SQLTS_ASSIGN_OR_RETURN(std::string_view payload, OpenCheckpoint(bytes));
+  CheckpointReader r(payload);
+  SQLTS_ASSIGN_OR_RETURN(std::string query_text, r.ReadString());
+  if (query_text != query_text_) {
+    return Status::InvalidArgument(
+        "checkpoint was taken by a different query text");
+  }
+  SQLTS_ASSIGN_OR_RETURN(std::string schema_text, r.ReadString());
+  if (schema_text != query_.input_schema.ToString()) {
+    return Status::InvalidArgument(
+        "checkpoint input schema [" + schema_text +
+        "] does not match this executor's [" +
+        query_.input_schema.ToString() + "]");
+  }
+  SQLTS_ASSIGN_OR_RETURN(consumed_, r.ReadI64());
+  SQLTS_ASSIGN_OR_RETURN(push_tag_, r.ReadU64());
+  SQLTS_ASSIGN_OR_RETURN(rows_skipped_, r.ReadI64());
+  SQLTS_ASSIGN_OR_RETURN(uint64_t route_count, r.ReadU64());
+  for (uint64_t n = 0; n < route_count; ++n) {
+    SQLTS_ASSIGN_OR_RETURN(std::string key, r.ReadString());
+    RouteInfo info;
+    SQLTS_ASSIGN_OR_RETURN(info.ordinal, r.ReadU64());
+    SQLTS_ASSIGN_OR_RETURN(info.accepted, r.ReadBool());
+    SQLTS_ASSIGN_OR_RETURN(info.has_last, r.ReadBool());
+    SQLTS_ASSIGN_OR_RETURN(uint32_t seq_vals, r.ReadU32());
+    for (uint32_t k = 0; k < seq_vals; ++k) {
+      SQLTS_ASSIGN_OR_RETURN(Value v, r.ReadValue());
+      info.last_seq_key.push_back(std::move(v));
+    }
+    // Shard placement is a property of this executor's pool, not of the
+    // checkpoint: recompute it, so thread counts may differ across the
+    // kill/restore boundary.
+    info.shard = pool_ != nullptr ? pool_->ShardFor(key) : 0;
+    SQLTS_ASSIGN_OR_RETURN(bool has_matcher, r.ReadBool());
+    if (has_matcher) {
+      ClusterState cs;
+      SQLTS_ASSIGN_OR_RETURN(cs.emit_seq, r.ReadU64());
+      SQLTS_ASSIGN_OR_RETURN(cs.matcher, MakeMatcher(info.shard, info.ordinal));
+      SQLTS_RETURN_IF_ERROR(cs.matcher->RestoreState(&r));
+      // Workers are parked: the first task for this shard is enqueued
+      // under its mutex, which publishes this insert to the worker.
+      shards_[info.shard]->clusters.emplace(info.ordinal, std::move(cs));
+    }
+    auto [pos, inserted] = routes_.emplace(std::move(key), std::move(info));
+    (void)pos;
+    if (!inserted) {
+      return Status::IoError("checkpoint contains a duplicate cluster key");
+    }
+  }
+  if (r.remaining() != 0) {
+    return Status::IoError("checkpoint has " +
+                           std::to_string(r.remaining()) +
+                           " trailing bytes after the last cluster");
+  }
+  return Status::OK();
 }
 
 SearchStats StreamingQueryExecutor::stats() const {

@@ -4,10 +4,13 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/governance.h"
 #include "common/statusor.h"
+#include "engine/checkpoint.h"
 #include "engine/executor.h"
 #include "engine/shard_pool.h"
 #include "engine/stream.h"
@@ -34,6 +37,16 @@ namespace sqlts {
 /// keeps the classic immediate-emission path, bit-identical to the
 /// pre-shard implementation.
 ///
+/// Fault tolerance (see docs/OPERATIONS.md):
+///  - ExecOptions::governance supplies per-query buffered-tuple/byte
+///    budgets, a deadline, cooperative cancellation, and the
+///    malformed-input policy (fail fast vs skip-and-count).
+///  - Checkpoint() serializes all live state into the versioned binary
+///    container of engine/checkpoint.h; Restore() on a freshly created
+///    executor reinstates it.  A restored executor fed the remaining
+///    tuples produces bit-identical output and stats to an
+///    uninterrupted run, at any thread count on either side.
+///
 /// Requirements: tuples must arrive in non-decreasing SEQUENCE BY order
 /// *within each cluster* (a streaming engine cannot sort); violations
 /// of the full SEQUENCE BY tuple are rejected.  Predicates must not
@@ -42,12 +55,12 @@ class StreamingQueryExecutor {
  public:
   /// Receives one projected output row per match.  Invoked on the
   /// calling thread: during Push()/Finish() when num_threads == 1,
-  /// during Finish() only when num_threads > 1.
+  /// during Finish() and Checkpoint() only when num_threads > 1.
   using RowCallback = std::function<void(const Row&)>;
 
   /// Parses and compiles `query_text` against `schema`.  Only
-  /// options.compile, options.num_threads and
-  /// options.shard_queue_capacity apply to streaming execution.
+  /// options.compile, options.num_threads, options.shard_queue_capacity
+  /// and options.governance apply to streaming execution.
   static StatusOr<std::unique_ptr<StreamingQueryExecutor>> Create(
       std::string_view query_text, const Schema& schema,
       RowCallback on_row, const ExecOptions& options = {});
@@ -57,24 +70,54 @@ class StreamingQueryExecutor {
   /// Processes the next stream tuple.  With num_threads > 1 this only
   /// routes and enqueues (blocking when the owning shard's queue is
   /// full); matcher errors surface from Finish().
+  ///
+  /// Governance (when configured) is enforced here: kCancelled /
+  /// kDeadlineExceeded / kResourceExhausted surface within one Push.
+  /// Malformed rows (arity or type mismatch, SEQUENCE BY regressions)
+  /// follow the BadInputPolicy: fail fast with a typed error, or drop
+  /// the row and count it (see rows_skipped()).
   Status Push(Row row);
 
   /// Signals end-of-stream: the shard barrier drains every queue,
   /// trailing star groups close, final matches are emitted, and (in
   /// sharded mode) buffered rows are delivered in deterministic order.
-  /// Returns the first error any shard encountered.  Idempotent.
+  /// Returns the first error any shard encountered — including
+  /// exceptions caught at the worker boundary.  Idempotent.
   Status Finish();
+
+  /// Serializes all live state — per-cluster buffered tuples and
+  /// attempt state, routing, sequence-order watermarks, stream
+  /// position, skip counters, emission tags — into the versioned
+  /// checkpoint container.  Quiesces the shard pool first and flushes
+  /// any buffered output rows to the callback (they are "before" the
+  /// checkpoint, and a resumed run must not re-emit them), so the
+  /// produced bytes are identical for every thread count.  Fails if a
+  /// shard has already failed.
+  Status Checkpoint(std::string* out);
+
+  /// Reinstates state captured by Checkpoint() on a freshly created
+  /// executor for the same query text and input schema (thread count
+  /// may differ).  Fails with IoError/InvalidArgument on corrupted or
+  /// mismatched checkpoints.
+  Status Restore(std::string_view bytes);
 
   /// Aggregated matcher statistics across all clusters.  With
   /// num_threads > 1 this is only meaningful after Finish().
   SearchStats stats() const;
 
   /// Per-shard counters (tuples routed, clusters owned, matcher stats,
-  /// queue high-water marks).  Populated by Finish(); one entry per
-  /// shard (a single entry when num_threads == 1).
+  /// queue high-water marks, buffering peaks, skipped rows).  Populated
+  /// by Finish(); one entry per shard (a single entry when
+  /// num_threads == 1).
   const std::vector<ShardStats>& shard_stats() const {
     return final_shard_stats_;
   }
+
+  /// Total tuples offered to Push() so far, including skipped ones —
+  /// the stream position a resumed producer should continue from.
+  int64_t rows_consumed() const { return consumed_; }
+  /// Malformed rows dropped under BadInputPolicy::kSkipAndCount.
+  int64_t rows_skipped() const { return rows_skipped_; }
 
   int num_clusters() const { return static_cast<int>(routes_.size()); }
   const Schema& output_schema() const { return query_.output_schema; }
@@ -117,23 +160,40 @@ class StreamingQueryExecutor {
 
   /// Looks up (or creates) the routing entry for `row`'s cluster.
   StatusOr<RouteInfo*> RouteFor(const Row& row);
+  /// Rejects rows whose values do not fit the input schema.
+  Status CheckRowTypes(const Row& row) const;
   /// Rejects rows that regress on the full SEQUENCE BY tuple.
   Status CheckSequenceOrder(const Row& row, RouteInfo* info);
+  /// Applies the BadInputPolicy to a malformed-row verdict: fail fast
+  /// with `why`, or count the drop and return OK.
+  Status HandleBadInput(Status why);
+  /// Builds a cluster matcher wired to this executor's governance,
+  /// ledger, and emission path.
+  StatusOr<std::unique_ptr<OpsStreamMatcher>> MakeMatcher(int shard,
+                                                          uint64_t ordinal);
   /// Consumes one routed tuple on its owning shard.
   Status ProcessTask(int shard, ShardPool::Task task);
   /// Match callback: projects the SELECT list and emits or buffers.
   void EmitRow(int shard, uint64_t ordinal, const Match& match,
                const SequenceView& view, int64_t base);
+  /// Delivers every buffered TaggedRow in (tag, seq) order and clears
+  /// the buffers.  Only meaningful when the pool is quiescent.
+  void FlushBufferedRows();
 
   CompiledQuery query_;
   PatternPlan plan_;
+  std::string query_text_;  // verbatim, for checkpoint identity
   RowCallback on_row_;
   int num_threads_;
+  ExecGovernance governance_;
+  ResourceLedger ledger_;  // per-query buffered tuples/bytes
   std::vector<int> cluster_cols_;
   std::vector<int> sequence_cols_;
   std::map<std::string, RouteInfo> routes_;  // keyed by encoded key
   std::vector<std::unique_ptr<ShardState>> shards_;
   uint64_t push_tag_ = 0;  // global push counter (merge tag source)
+  int64_t consumed_ = 0;   // tuples offered to Push, incl. skipped
+  int64_t rows_skipped_ = 0;
   bool finished_ = false;
   Status final_status_ = Status::OK();
   SearchStats final_stats_;

@@ -59,13 +59,28 @@ StatusOr<CsvRecord> SplitCsvLine(std::string_view line) {
   return rec;
 }
 
+/// One raw record plus where it starts in the input, so parse errors
+/// can name a byte offset (useful when resuming a partial download or
+/// locating corruption in a large file).
+struct CsvRawRecord {
+  std::string_view text;
+  size_t offset = 0;
+};
+
+/// Record split outcome.  `truncated` reports a final record cut off
+/// inside a quoted field (e.g. a partially written file); the caller
+/// decides whether that fails the load or drops the record.
+struct CsvSplit {
+  std::vector<CsvRawRecord> records;
+  bool truncated = false;
+  size_t truncated_offset = 0;  // where the truncated record starts
+};
+
 /// Splits CSV text into records.  Record separators are '\n' (or
 /// "\r\n") *outside quotes*; newlines inside quoted fields are field
-/// content, so splitting must be quote-aware.  Returns ParseError on a
-/// quote left open at end of input.
-StatusOr<std::vector<std::string_view>> SplitCsvRecords(
-    std::string_view text) {
-  std::vector<std::string_view> records;
+/// content, so splitting must be quote-aware.
+CsvSplit SplitCsvRecords(std::string_view text) {
+  CsvSplit split;
   size_t start = 0;
   bool in_quotes = false;
   for (size_t i = 0; i < text.size(); ++i) {
@@ -78,19 +93,22 @@ StatusOr<std::vector<std::string_view>> SplitCsvRecords(
     } else if (c == '\n' && !in_quotes) {
       size_t end = i;
       if (end > start && text[end - 1] == '\r') --end;  // CRLF
-      records.push_back(text.substr(start, end - start));
+      split.records.push_back({text.substr(start, end - start), start});
       start = i + 1;
     }
   }
   if (in_quotes) {
-    return Status::ParseError("unterminated quote in CSV input");
+    // End of input inside a quoted field: the last record is truncated.
+    split.truncated = true;
+    split.truncated_offset = start;
+    return split;
   }
   if (start < text.size()) {
     std::string_view rec = text.substr(start);
     if (!rec.empty() && rec.back() == '\r') rec.remove_suffix(1);
-    records.push_back(rec);
+    split.records.push_back({rec, start});
   }
-  return records;
+  return split;
 }
 
 std::string EscapeCsvField(const std::string& raw, bool force_quote = false) {
@@ -138,12 +156,30 @@ std::string CellText(const Value& v) {
 
 }  // namespace
 
-StatusOr<Table> ReadCsvString(std::string_view text, const Schema& schema) {
-  SQLTS_ASSIGN_OR_RETURN(std::vector<std::string_view> lines,
-                         SplitCsvRecords(text));
+StatusOr<Table> ReadCsvString(std::string_view text, const Schema& schema,
+                              const CsvReadOptions& options,
+                              CsvReadStats* stats) {
+  const bool skip_bad = options.bad_input == BadInputPolicy::kSkipAndCount;
+  CsvReadStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  *stats = CsvReadStats{};
+
+  CsvSplit split = SplitCsvRecords(text);
+  if (split.truncated) {
+    // A quote left open at end of input: a partially written or
+    // truncated file.  The records before it are intact either way.
+    if (!skip_bad) {
+      return Status::ParseError(
+          "unterminated quote in CSV input: final record (starting at "
+          "byte offset " +
+          std::to_string(split.truncated_offset) + ") is truncated");
+    }
+    ++stats->rows_skipped;
+  }
+  const std::vector<CsvRawRecord>& lines = split.records;
   if (lines.empty()) return Status::ParseError("empty CSV input");
 
-  SQLTS_ASSIGN_OR_RETURN(CsvRecord header, SplitCsvLine(lines[0]));
+  SQLTS_ASSIGN_OR_RETURN(CsvRecord header, SplitCsvLine(lines[0].text));
   // Map file columns -> schema columns.
   std::vector<int> schema_col(header.fields.size(), -1);
   for (size_t c = 0; c < header.fields.size(); ++c) {
@@ -158,46 +194,74 @@ StatusOr<Table> ReadCsvString(std::string_view text, const Schema& schema) {
 
   Table table(schema);
   for (size_t ln = 1; ln < lines.size(); ++ln) {
-    std::string_view line = lines[ln];
+    std::string_view line = lines[ln].text;
+    const size_t offset = lines[ln].offset;
     if (StripWhitespace(line).empty()) continue;
-    SQLTS_ASSIGN_OR_RETURN(CsvRecord rec, SplitCsvLine(line));
-    const std::vector<std::string>& fields = rec.fields;
-    if (fields.size() != header.fields.size()) {
-      return Status::ParseError("CSV line " + std::to_string(ln + 1) +
-                                " has " + std::to_string(fields.size()) +
-                                " fields, expected " +
-                                std::to_string(header.fields.size()));
+    // A malformed record either fails the load (naming its byte
+    // offset, so the bad region of a large file can be located) or —
+    // under kSkipAndCount — is dropped and counted, preserving every
+    // well-formed row around it.
+    Status bad = Status::OK();
+    auto rec_or = SplitCsvLine(line);
+    if (!rec_or.ok()) {
+      bad = Status::ParseError(
+          "CSV line " + std::to_string(ln + 1) + " (byte offset " +
+          std::to_string(offset) + "): " + rec_or.status().message());
     }
     Row row(schema.num_columns(), Value::Null());
-    for (size_t c = 0; c < fields.size(); ++c) {
-      int sc = schema_col[c];
-      // An unquoted blank cell is NULL; a quoted one is literal content.
-      if (!rec.quoted[c] && StripWhitespace(fields[c]).empty()) continue;
-      if (schema.column(sc).type == TypeKind::kString && rec.quoted[c]) {
-        // Quoted strings bypass ParseAs so surrounding whitespace (and
-        // emptiness) survive the round trip.
-        row[sc] = Value::String(fields[c]);
-        continue;
+    if (bad.ok()) {
+      const std::vector<std::string>& fields = rec_or->fields;
+      if (fields.size() != header.fields.size()) {
+        bad = Status::ParseError(
+            "CSV line " + std::to_string(ln + 1) + " (byte offset " +
+            std::to_string(offset) + ") has " +
+            std::to_string(fields.size()) + " fields, expected " +
+            std::to_string(header.fields.size()));
       }
-      auto v = Value::ParseAs(schema.column(sc).type, fields[c]);
-      if (!v.ok()) {
-        return Status::ParseError("CSV line " + std::to_string(ln + 1) +
-                                  ", column '" + schema.column(sc).name +
-                                  "': " + v.status().message());
+      for (size_t c = 0; bad.ok() && c < fields.size(); ++c) {
+        int sc = schema_col[c];
+        // An unquoted blank cell is NULL; a quoted one is literal
+        // content.
+        if (!rec_or->quoted[c] && StripWhitespace(fields[c]).empty()) {
+          continue;
+        }
+        if (schema.column(sc).type == TypeKind::kString &&
+            rec_or->quoted[c]) {
+          // Quoted strings bypass ParseAs so surrounding whitespace
+          // (and emptiness) survive the round trip.
+          row[sc] = Value::String(fields[c]);
+          continue;
+        }
+        auto v = Value::ParseAs(schema.column(sc).type, fields[c]);
+        if (!v.ok()) {
+          bad = Status::ParseError(
+              "CSV line " + std::to_string(ln + 1) + " (byte offset " +
+              std::to_string(offset) + "), column '" +
+              schema.column(sc).name + "': " + v.status().message());
+          break;
+        }
+        row[sc] = std::move(*v);
       }
-      row[sc] = std::move(*v);
+    }
+    if (!bad.ok()) {
+      if (!skip_bad) return bad;
+      ++stats->rows_skipped;
+      continue;
     }
     SQLTS_RETURN_IF_ERROR(table.AppendRow(std::move(row)));
+    ++stats->rows_loaded;
   }
   return table;
 }
 
-StatusOr<Table> ReadCsvFile(const std::string& path, const Schema& schema) {
+StatusOr<Table> ReadCsvFile(const std::string& path, const Schema& schema,
+                            const CsvReadOptions& options,
+                            CsvReadStats* stats) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open '" + path + "'");
   std::ostringstream buf;
   buf << in.rdbuf();
-  return ReadCsvString(buf.str(), schema);
+  return ReadCsvString(buf.str(), schema, options, stats);
 }
 
 std::string WriteCsvString(const Table& table) {

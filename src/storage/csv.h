@@ -4,10 +4,27 @@
 #include <string>
 #include <string_view>
 
+#include "common/governance.h"
 #include "common/statusor.h"
 #include "storage/table.h"
 
 namespace sqlts {
+
+/// Malformed-input handling for the CSV reader.
+struct CsvReadOptions {
+  /// kFailFast (default): any malformed record — wrong arity,
+  /// unparseable value, a final record truncated inside a quoted field
+  /// — fails the whole load with a ParseError naming the record's byte
+  /// offset.  kSkipAndCount: the record is dropped and counted (see
+  /// CsvReadStats); header problems always fail.
+  BadInputPolicy bad_input = BadInputPolicy::kFailFast;
+};
+
+/// Load accounting, filled when a `stats` out-param is supplied.
+struct CsvReadStats {
+  int64_t rows_loaded = 0;   ///< data rows appended to the table
+  int64_t rows_skipped = 0;  ///< malformed rows dropped (kSkipAndCount)
+};
 
 /// Reads a CSV file whose first line is a header.  Column types are
 /// taken from `schema` (which must name every header column).  Quoting:
@@ -16,10 +33,14 @@ namespace sqlts {
 /// terminators are accepted.  NULL semantics: an *unquoted* blank field
 /// loads as NULL; a quoted field is always literal content, so empty
 /// and whitespace-only strings survive a write/read round trip.
-StatusOr<Table> ReadCsvFile(const std::string& path, const Schema& schema);
+StatusOr<Table> ReadCsvFile(const std::string& path, const Schema& schema,
+                            const CsvReadOptions& options = {},
+                            CsvReadStats* stats = nullptr);
 
 /// Like ReadCsvFile but parses in-memory text (useful for tests).
-StatusOr<Table> ReadCsvString(std::string_view text, const Schema& schema);
+StatusOr<Table> ReadCsvString(std::string_view text, const Schema& schema,
+                              const CsvReadOptions& options = {},
+                              CsvReadStats* stats = nullptr);
 
 /// Writes `table` as CSV (header + rows).  Strings are quoted when they
 /// contain separators, quotes, or CR/LF characters, and also when an

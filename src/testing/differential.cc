@@ -470,5 +470,123 @@ DifferentialOutcome CheckStreamPrefixConsistency(
   return DifferentialOutcome{};
 }
 
+DifferentialOutcome CheckCheckpointRestoreEquivalence(
+    const Table& data, const GeneratedQuery& query, uint64_t seed) {
+  if (query.uses_lookahead || query.has_limit) {
+    return DifferentialOutcome{};
+  }
+  // Oracle: one uninterrupted single-threaded run.
+  StreamCapture oracle = RunStream(data, query.sql);
+  if (!oracle.created || !oracle.status.ok()) {
+    return DifferentialOutcome{};  // rejection/error covered elsewhere
+  }
+  std::vector<std::string> oracle_rows = EmissionRows(oracle);
+
+  std::mt19937_64 rng(seed ^ 0xc4ec9017ULL);
+  const int64_t k = data.num_rows() == 0
+                        ? 0
+                        : static_cast<int64_t>(rng() % (data.num_rows() + 1));
+
+  std::string bytes_at_one_thread;
+  for (int threads : {1, 4}) {
+    ExecOptions opt;
+    opt.num_threads = threads;
+    const std::string name =
+        "checkpoint(k=" + std::to_string(k) +
+        ", threads=" + std::to_string(threads) + ")";
+
+    // First half: push k tuples, checkpoint, kill the executor.
+    std::vector<std::string> combined;
+    std::string bytes;
+    {
+      auto exec = StreamingQueryExecutor::Create(
+          query.sql, data.schema(),
+          [&](const Row& row) { combined.push_back(RowString(row)); }, opt);
+      if (!exec.ok()) {
+        return Fail(name + " creation failed: " + exec.status().ToString(),
+                    seed, query.sql, data);
+      }
+      for (int64_t r = 0; r < k; ++r) {
+        Status s = (*exec)->Push(data.GetRow(r));
+        if (!s.ok()) {
+          return Fail(name + " push failed: " + s.ToString(), seed,
+                      query.sql, data);
+        }
+      }
+      Status cs = (*exec)->Checkpoint(&bytes);
+      if (!cs.ok()) {
+        return Fail(name + " failed: " + cs.ToString(), seed, query.sql,
+                    data);
+      }
+    }  // the executor dies here, mid-stream, without Finish
+
+    if (threads == 1) {
+      bytes_at_one_thread = bytes;
+    } else if (bytes != bytes_at_one_thread) {
+      return Fail(name + " bytes differ from the single-threaded "
+                         "checkpoint at the same split point",
+                  seed, query.sql, data);
+    }
+
+    // Second half: a fresh executor restored from the bytes consumes
+    // the remaining tuples.
+    auto restored = StreamingQueryExecutor::Create(
+        query.sql, data.schema(),
+        [&](const Row& row) { combined.push_back(RowString(row)); }, opt);
+    if (!restored.ok()) {
+      return Fail(name + " re-creation failed: " +
+                      restored.status().ToString(),
+                  seed, query.sql, data);
+    }
+    Status rs = (*restored)->Restore(bytes);
+    if (!rs.ok()) {
+      return Fail(name + " restore failed: " + rs.ToString(), seed,
+                  query.sql, data);
+    }
+    if ((*restored)->rows_consumed() != k) {
+      return Fail(name + " restored rows_consumed()=" +
+                      std::to_string((*restored)->rows_consumed()) +
+                      ", expected " + std::to_string(k),
+                  seed, query.sql, data);
+    }
+    for (int64_t r = k; r < data.num_rows(); ++r) {
+      Status s = (*restored)->Push(data.GetRow(r));
+      if (!s.ok()) {
+        return Fail(name + " post-restore push failed: " + s.ToString(),
+                    seed, query.sql, data);
+      }
+    }
+    Status fs = (*restored)->Finish();
+    if (!fs.ok()) {
+      return Fail(name + " post-restore finish failed: " + fs.ToString(),
+                  seed, query.sql, data);
+    }
+
+    if (combined != oracle_rows) {
+      return Fail(name + " output differs from the uninterrupted run: " +
+                      DiffRows("kill+restore", combined, "oracle",
+                               oracle_rows),
+                  seed, query.sql, data);
+    }
+    SearchStats st = (*restored)->stats();
+    if (st.evaluations != oracle.stats.evaluations ||
+        st.presat_skips != oracle.stats.presat_skips ||
+        st.jumps != oracle.stats.jumps ||
+        st.matches != oracle.stats.matches) {
+      return Fail(name + " stats differ from the uninterrupted run: "
+                         "evaluations " +
+                      std::to_string(st.evaluations) + " vs " +
+                      std::to_string(oracle.stats.evaluations) +
+                      ", matches " + std::to_string(st.matches) + " vs " +
+                      std::to_string(oracle.stats.matches),
+                  seed, query.sql, data);
+    }
+  }
+  DifferentialOutcome out;
+  out.streaming_ran = true;
+  out.matches = oracle.stats.matches;
+  return out;
+}
+
 }  // namespace fuzz
 }  // namespace sqlts

@@ -86,6 +86,17 @@ DifferentialOutcome CheckStreamPrefixConsistency(const Table& data,
                                                  const GeneratedQuery& query,
                                                  uint64_t seed);
 
+/// Metamorphic: kill-and-restore equivalence.  Splits the stream at a
+/// random point k, checkpoints the executor there, destroys it, restores
+/// a fresh executor from the bytes and feeds it the remaining tuples.
+/// The concatenated output (pre-checkpoint emissions + post-restore
+/// emissions) and the final stats must be bit-identical to an
+/// uninterrupted run — at num_threads 1 and 4, with the checkpoint
+/// bytes themselves identical across thread counts.  Requires a
+/// streaming-eligible query (no lookahead, no LIMIT).
+DifferentialOutcome CheckCheckpointRestoreEquivalence(
+    const Table& data, const GeneratedQuery& query, uint64_t seed);
+
 }  // namespace fuzz
 }  // namespace sqlts
 

@@ -1,0 +1,357 @@
+// Checkpoint/restore tests: the versioned binary container (header
+// validation, typed bounds-checked reads), matcher-level state round
+// trips mid-attempt, and executor-level kill-and-restore equivalence —
+// including restoring at a different thread count than the checkpoint
+// was taken at.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/checkpoint.h"
+#include "engine/executor.h"
+#include "engine/stream.h"
+#include "engine/stream_executor.h"
+#include "test_util.h"
+
+namespace sqlts {
+namespace {
+
+using testing_util::MustPlan;
+
+Row QuoteRow(const std::string& name, Date d, double price) {
+  return {Value::String(name), Value::FromDate(d), Value::Double(price)};
+}
+
+// ---------------------------------------------------------------------------
+// Container format.
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointFormat, PrimitivesRoundTrip) {
+  CheckpointWriter w;
+  w.WriteU8(200);
+  w.WriteU32(0xdeadbeefu);
+  w.WriteU64(0x0123456789abcdefULL);
+  w.WriteI64(-42);
+  w.WriteBool(true);
+  w.WriteDouble(-2.5);
+  w.WriteString("hello\0world");  // embedded NUL via string_view length
+  w.WriteString("");
+  const std::string bytes = w.Finalize();
+
+  auto payload = OpenCheckpoint(bytes);
+  ASSERT_TRUE(payload.ok()) << payload.status();
+  CheckpointReader r(*payload);
+  EXPECT_EQ(*r.ReadU8(), 200);
+  EXPECT_EQ(*r.ReadU32(), 0xdeadbeefu);
+  EXPECT_EQ(*r.ReadU64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(*r.ReadI64(), -42);
+  EXPECT_EQ(*r.ReadBool(), true);
+  EXPECT_EQ(*r.ReadDouble(), -2.5);
+  EXPECT_EQ(*r.ReadString(), "hello");
+  EXPECT_EQ(*r.ReadString(), "");
+  EXPECT_EQ(r.remaining(), 0u);
+  // Reading past the end fails with a typed error, never UB.
+  EXPECT_EQ(r.ReadU8().status().code(), StatusCode::kIoError);
+}
+
+TEST(CheckpointFormat, ValuesAndRowsRoundTrip) {
+  Row row = {Value::Null(), Value::Bool(false), Value::Int64(-7),
+             Value::Double(3.25), Value::String("x\x1fy"),
+             Value::FromDate(Date(12345))};
+  CheckpointWriter w;
+  w.WriteRow(row);
+  const std::string bytes = w.Finalize();
+  auto payload = OpenCheckpoint(bytes);
+  ASSERT_TRUE(payload.ok());
+  CheckpointReader r(*payload);
+  auto got = r.ReadRow();
+  ASSERT_TRUE(got.ok()) << got.status();
+  ASSERT_EQ(got->size(), row.size());
+  for (size_t i = 0; i < row.size(); ++i) {
+    EXPECT_EQ((*got)[i].kind(), row[i].kind()) << "column " << i;
+    EXPECT_EQ((*got)[i].ToString(), row[i].ToString()) << "column " << i;
+  }
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(CheckpointFormat, RejectsCorruptedHeaders) {
+  CheckpointWriter w;
+  w.WriteU64(99);
+  const std::string good = w.Finalize();
+  ASSERT_TRUE(OpenCheckpoint(good).ok());
+
+  // Too short to even hold the header.
+  EXPECT_EQ(OpenCheckpoint(good.substr(0, 10)).status().code(),
+            StatusCode::kIoError);
+  // Wrong magic.
+  std::string bad = good;
+  bad[0] ^= 0x01;
+  EXPECT_EQ(OpenCheckpoint(bad).status().code(), StatusCode::kIoError);
+  // Unknown version.
+  bad = good;
+  bad[8] = static_cast<char>(kCheckpointVersion + 1);
+  EXPECT_EQ(OpenCheckpoint(bad).status().code(), StatusCode::kIoError);
+  // Declared payload size disagrees with the actual byte count.
+  bad = good;
+  bad.pop_back();
+  EXPECT_EQ(OpenCheckpoint(bad).status().code(), StatusCode::kIoError);
+  // Payload corruption is caught by the checksum.
+  bad = good;
+  bad.back() ^= 0x40;
+  EXPECT_EQ(OpenCheckpoint(bad).status().code(), StatusCode::kIoError);
+}
+
+TEST(CheckpointFormat, ReaderRejectsOversizedLengthPrefix) {
+  // A string whose length prefix claims more bytes than the payload
+  // holds must fail its bounds check.
+  CheckpointWriter w;
+  w.WriteU64(1ull << 40);  // "length" with no bytes behind it
+  CheckpointReader r(w.payload());
+  EXPECT_EQ(r.ReadString().status().code(), StatusCode::kIoError);
+}
+
+TEST(CheckpointFormat, ChecksumIsFnv1a) {
+  // Pin the checksum function so the on-disk format stays stable.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+}
+
+// ---------------------------------------------------------------------------
+// Matcher-level round trip.
+// ---------------------------------------------------------------------------
+
+/// Runs `prices` through one matcher uninterrupted, and through a
+/// checkpoint/restore split at every prefix k; all runs must agree on
+/// emitted matches and stats.
+void CheckMatcherSplits(const std::string& query,
+                        const std::vector<double>& prices) {
+  PatternPlan plan = MustPlan(query);
+  auto run = [&](size_t split, bool use_split) -> std::string {
+    std::string log;
+    auto record = [&](const Match& m, const SequenceView&, int64_t) {
+      log += m.ToString() + ";";
+    };
+    auto m = OpsStreamMatcher::Create(&plan, QuoteSchema(), record);
+    SQLTS_CHECK(m.ok()) << m.status();
+    Date d(10000);
+    size_t pushed = 0;
+    for (double p : prices) {
+      if (use_split && pushed == split) {
+        CheckpointWriter w;
+        m->Checkpoint(&w);
+        auto fresh = OpsStreamMatcher::Create(&plan, QuoteSchema(), record);
+        SQLTS_CHECK(fresh.ok());
+        CheckpointReader r(w.payload());
+        SQLTS_CHECK_OK(fresh->RestoreState(&r));
+        SQLTS_CHECK(r.remaining() == 0u);
+        *m = std::move(*fresh);
+      }
+      SQLTS_CHECK_OK(m->Push(QuoteRow("S", d, p)));
+      d = d.AddDays(1);
+      ++pushed;
+    }
+    m->Finish();
+    log += "| evals=" + std::to_string(m->stats().evaluations) +
+           " matches=" + std::to_string(m->stats().matches);
+    return log;
+  };
+  const std::string oracle = run(0, false);
+  for (size_t k = 0; k <= prices.size(); ++k) {
+    EXPECT_EQ(run(k, true), oracle) << "split at " << k;
+  }
+}
+
+TEST(MatcherCheckpoint, RoundTripsMidAttempt) {
+  CheckMatcherSplits(
+      "SELECT X.price FROM quote SEQUENCE BY date AS (X, Y, Z) "
+      "WHERE Y.price > X.price AND Z.price > Y.price",
+      {1, 2, 3, 2, 4, 5, 1, 0, 3, 9});
+}
+
+TEST(MatcherCheckpoint, RoundTripsOpenStarGroup) {
+  CheckMatcherSplits(
+      "SELECT X.price, COUNT(Y) FROM quote SEQUENCE BY date "
+      "AS (X, *Y, Z) WHERE Y.price < Y.previous.price "
+      "AND Z.price > 1.1 * X.price",
+      {10, 9, 8, 7, 12, 10, 9, 11, 30, 5});
+}
+
+TEST(MatcherCheckpoint, RestoreRequiresFreshMatcher) {
+  PatternPlan plan = MustPlan(
+      "SELECT X.price FROM quote SEQUENCE BY date AS (X, Y) "
+      "WHERE Y.price > X.price");
+  auto m = OpsStreamMatcher::Create(&plan, QuoteSchema(),
+                                    [](const Match&, const SequenceView&,
+                                       int64_t) {});
+  ASSERT_TRUE(m.ok());
+  CheckpointWriter w;
+  m->Checkpoint(&w);
+  ASSERT_TRUE(m->Push(QuoteRow("S", Date(10000), 1)).ok());
+  CheckpointReader r(w.payload());
+  EXPECT_EQ(m->RestoreState(&r).code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Executor-level kill and restore.
+// ---------------------------------------------------------------------------
+
+const char kPortfolioQuery[] =
+    "SELECT X.name, FIRST(Y).date, COUNT(Y) FROM quote "
+    "CLUSTER BY name SEQUENCE BY date AS (X, *Y, Z) "
+    "WHERE Y.price < Y.previous.price AND Z.price >= "
+    "Z.previous.price AND Z.price < 0.97 * X.price";
+
+std::vector<Row> PortfolioStream(int n) {
+  std::vector<Row> rows;
+  std::vector<std::string> names = {"A", "B", "C"};
+  std::vector<double> price = {50, 43, 61};
+  std::vector<Date> day = {Date(10000), Date(10000), Date(10000)};
+  uint64_t rng = 0x9e3779b97f4a7c15ULL;
+  for (int i = 0; i < n; ++i) {
+    rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+    int s = static_cast<int>((rng >> 33) % 3);
+    price[s] *= 1.0 + (static_cast<double>((rng >> 13) % 9) - 4.0) / 100.0;
+    rows.push_back(QuoteRow(names[s], day[s], price[s]));
+    day[s] = day[s].AddDays(1);
+  }
+  return rows;
+}
+
+std::string RowsToString(const std::vector<Row>& rows) {
+  std::string out;
+  for (const Row& r : rows) {
+    for (const Value& v : r) out += v.ToString() + "|";
+    out += "\n";
+  }
+  return out;
+}
+
+/// Pushes `rows[0..k)`, checkpoints, destroys the executor, restores a
+/// fresh one at `restore_threads` and pushes the rest.  Returns the
+/// concatenated output; also reports the checkpoint bytes.
+std::string KillAndRestore(const std::vector<Row>& rows, int k,
+                           int checkpoint_threads, int restore_threads,
+                           std::string* bytes_out = nullptr) {
+  std::vector<Row> got;
+  auto sink = [&](const Row& r) { got.push_back(r); };
+  ExecOptions options;
+  options.num_threads = checkpoint_threads;
+  auto exec = StreamingQueryExecutor::Create(kPortfolioQuery, QuoteSchema(),
+                                             sink, options);
+  SQLTS_CHECK(exec.ok()) << exec.status();
+  for (int i = 0; i < k; ++i) SQLTS_CHECK_OK((*exec)->Push(rows[i]));
+  std::string bytes;
+  SQLTS_CHECK_OK((*exec)->Checkpoint(&bytes));
+  SQLTS_CHECK((*exec)->rows_consumed() == k);
+  (*exec).reset();  // the "kill": all in-memory state is gone
+
+  options.num_threads = restore_threads;
+  auto resumed = StreamingQueryExecutor::Create(kPortfolioQuery, QuoteSchema(),
+                                                sink, options);
+  SQLTS_CHECK(resumed.ok()) << resumed.status();
+  SQLTS_CHECK_OK((*resumed)->Restore(bytes));
+  SQLTS_CHECK((*resumed)->rows_consumed() == k);
+  for (size_t i = k; i < rows.size(); ++i) {
+    SQLTS_CHECK_OK((*resumed)->Push(rows[i]));
+  }
+  SQLTS_CHECK_OK((*resumed)->Finish());
+  if (bytes_out != nullptr) *bytes_out = bytes;
+  return RowsToString(got) + "matches=" +
+         std::to_string((*resumed)->stats().matches);
+}
+
+TEST(ExecutorCheckpoint, KillAndRestoreMatchesUninterruptedRun) {
+  const std::vector<Row> rows = PortfolioStream(240);
+  // Uninterrupted oracle (single-threaded).
+  std::vector<Row> oracle_rows;
+  auto oracle = StreamingQueryExecutor::Create(
+      kPortfolioQuery, QuoteSchema(),
+      [&](const Row& r) { oracle_rows.push_back(r); });
+  ASSERT_TRUE(oracle.ok()) << oracle.status();
+  for (const Row& r : rows) ASSERT_TRUE((*oracle)->Push(r).ok());
+  ASSERT_TRUE((*oracle)->Finish().ok());
+  const std::string expected =
+      RowsToString(oracle_rows) + "matches=" +
+      std::to_string((*oracle)->stats().matches);
+  ASSERT_GT(oracle_rows.size(), 0u) << "vacuous fixture";
+
+  for (int k : {0, 1, 37, 120, 239, 240}) {
+    // Same thread count on both sides…
+    EXPECT_EQ(KillAndRestore(rows, k, 1, 1), expected) << "k=" << k;
+    EXPECT_EQ(KillAndRestore(rows, k, 4, 4), expected) << "k=" << k;
+    // …and crossing thread counts over the kill/restore boundary.
+    EXPECT_EQ(KillAndRestore(rows, k, 1, 4), expected) << "k=" << k;
+    EXPECT_EQ(KillAndRestore(rows, k, 4, 1), expected) << "k=" << k;
+  }
+}
+
+TEST(ExecutorCheckpoint, BytesIdenticalAcrossThreadCounts) {
+  const std::vector<Row> rows = PortfolioStream(150);
+  std::string b1, b4;
+  KillAndRestore(rows, 97, 1, 1, &b1);
+  KillAndRestore(rows, 97, 4, 4, &b4);
+  EXPECT_EQ(b1, b4)
+      << "checkpoint bytes must not depend on the thread count";
+}
+
+TEST(ExecutorCheckpoint, RestoreRejectsMismatchesAndCorruption) {
+  const std::vector<Row> rows = PortfolioStream(40);
+  std::string bytes;
+  KillAndRestore(rows, 20, 1, 1, &bytes);
+
+  auto fresh = [&](const std::string& query) {
+    auto e = StreamingQueryExecutor::Create(query, QuoteSchema(), nullptr);
+    SQLTS_CHECK(e.ok()) << e.status();
+    return std::move(*e);
+  };
+  // Different query text.
+  auto other = fresh(
+      "SELECT X.price FROM quote CLUSTER BY name SEQUENCE BY date "
+      "AS (X, Y) WHERE Y.price > X.price");
+  EXPECT_EQ(other->Restore(bytes).code(), StatusCode::kInvalidArgument);
+  // Corrupted payload byte: checksum catches it.
+  std::string bad = bytes;
+  bad[bad.size() / 2] ^= 0x10;
+  EXPECT_EQ(fresh(kPortfolioQuery)->Restore(bad).code(),
+            StatusCode::kIoError);
+  // Truncation.
+  EXPECT_EQ(fresh(kPortfolioQuery)
+                ->Restore(std::string_view(bytes).substr(0, bytes.size() - 3))
+                .code(),
+            StatusCode::kIoError);
+  // A used executor cannot be restored into.
+  auto used = fresh(kPortfolioQuery);
+  ASSERT_TRUE(used->Push(rows[0]).ok());
+  EXPECT_EQ(used->Restore(bytes).code(), StatusCode::kInvalidArgument);
+  // The pristine bytes still work.
+  EXPECT_TRUE(fresh(kPortfolioQuery)->Restore(bytes).ok());
+}
+
+TEST(ExecutorCheckpoint, CheckpointFlushesBufferedShardedOutput) {
+  // In sharded mode completed matches are buffered until Finish; a
+  // checkpoint must deliver them first (they precede the checkpoint and
+  // a resumed run will not re-emit them).
+  const std::vector<Row> rows = PortfolioStream(240);
+  std::vector<Row> before;
+  ExecOptions options;
+  options.num_threads = 4;
+  auto exec = StreamingQueryExecutor::Create(
+      kPortfolioQuery, QuoteSchema(),
+      [&](const Row& r) { before.push_back(r); }, options);
+  ASSERT_TRUE(exec.ok()) << exec.status();
+  for (const Row& r : rows) ASSERT_TRUE((*exec)->Push(r).ok());
+  const size_t pre_checkpoint = before.size();
+  std::string bytes;
+  ASSERT_TRUE((*exec)->Checkpoint(&bytes).ok());
+  EXPECT_GT(before.size(), pre_checkpoint)
+      << "expected completed matches to be flushed at checkpoint time";
+  // Finishing after the checkpoint must not re-emit them.
+  const size_t at_checkpoint = before.size();
+  ASSERT_TRUE((*exec)->Finish().ok());
+  EXPECT_GE(before.size(), at_checkpoint);
+}
+
+}  // namespace
+}  // namespace sqlts

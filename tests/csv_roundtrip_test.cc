@@ -149,5 +149,84 @@ TEST(CsvRoundTrip, EmbeddedNewlinesAndQuotes) {
   ExpectTablesEqual(t, *back, 0);
 }
 
+// ---------------------------------------------------------------------------
+// Malformed-input resilience (BadInputPolicy).
+// ---------------------------------------------------------------------------
+
+Schema TwoColSchema() {
+  return Schema({{"s", TypeKind::kString}, {"n", TypeKind::kInt64}});
+}
+
+TEST(CsvResilience, TruncatedFinalRecordFailsFastWithByteOffset) {
+  // The final record opens a quote that never closes — the classic
+  // "writer died mid-record" shape.
+  const std::string csv = "s,n\nok,1\n\"trunca";
+  auto t = ReadCsvString(csv, TwoColSchema());
+  ASSERT_EQ(t.status().code(), StatusCode::kParseError);
+  // The error pinpoints where the truncated record starts (byte 9, the
+  // start of the third line) so the producer can be resumed there.
+  EXPECT_NE(t.status().ToString().find("byte offset 9"), std::string::npos)
+      << t.status().ToString();
+}
+
+TEST(CsvResilience, TruncatedFinalRecordSkippedAndCounted) {
+  CsvReadOptions options;
+  options.bad_input = BadInputPolicy::kSkipAndCount;
+  CsvReadStats stats;
+  auto t = ReadCsvString("s,n\nok,1\nalso,2\n\"trunca", TwoColSchema(),
+                         options, &stats);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->num_rows(), 2);  // intact prefix fully loaded
+  EXPECT_EQ(stats.rows_loaded, 2);
+  EXPECT_EQ(stats.rows_skipped, 1);
+}
+
+TEST(CsvResilience, WrongArityFailsFastWithByteOffset) {
+  const std::string csv = "s,n\na,1\nb,2,extra\nc,3\n";
+  auto t = ReadCsvString(csv, TwoColSchema());
+  ASSERT_EQ(t.status().code(), StatusCode::kParseError);
+  const std::string msg = t.status().ToString();
+  // Names the record (line 3 of the file, starting at byte 8) and both
+  // field counts.
+  EXPECT_NE(msg.find("byte offset 8"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("3 fields"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("expected 2"), std::string::npos) << msg;
+}
+
+TEST(CsvResilience, MalformedRecordsSkippedAndCounted) {
+  // Wrong arity, unparseable value, wrong arity again — interleaved
+  // with good rows; skip-and-count keeps every good row.
+  CsvReadOptions options;
+  options.bad_input = BadInputPolicy::kSkipAndCount;
+  CsvReadStats stats;
+  auto t = ReadCsvString("s,n\na,1\nb\nc,notanint\nd,4,zzz\ne,5\n",
+                         TwoColSchema(), options, &stats);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  ASSERT_EQ(t->num_rows(), 2);
+  EXPECT_EQ(t->at(0, 0).string_value(), "a");
+  EXPECT_EQ(t->at(1, 0).string_value(), "e");
+  EXPECT_EQ(stats.rows_loaded, 2);
+  EXPECT_EQ(stats.rows_skipped, 3);
+}
+
+TEST(CsvResilience, HeaderProblemsAlwaysFail) {
+  // A broken header is not a row to skip: both policies reject it.
+  for (BadInputPolicy policy :
+       {BadInputPolicy::kFailFast, BadInputPolicy::kSkipAndCount}) {
+    CsvReadOptions options;
+    options.bad_input = policy;
+    auto t = ReadCsvString("s,missing\na,1\n", TwoColSchema(), options);
+    EXPECT_FALSE(t.ok());
+  }
+}
+
+TEST(CsvResilience, StatsReportCleanLoads) {
+  CsvReadStats stats;
+  auto t = ReadCsvString("s,n\na,1\nb,2\n", TwoColSchema(), {}, &stats);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(stats.rows_loaded, 2);
+  EXPECT_EQ(stats.rows_skipped, 0);
+}
+
 }  // namespace
 }  // namespace sqlts

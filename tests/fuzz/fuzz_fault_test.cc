@@ -1,0 +1,193 @@
+/// Deterministic fault-injection fuzzing (ctest label: fault-injection).
+///
+/// Three campaigns over random (query, data) pairs:
+///  1. Kill-and-restore: checkpoint at a random split point, destroy
+///     the executor, restore a fresh one and finish the stream — the
+///     combined output must be bit-identical to an uninterrupted run at
+///     num_threads 1 and 4, with identical checkpoint bytes.
+///  2. Transient source faults: a seeded FaultInjector fails Push at
+///     the "stream.push" site (before the tuple is consumed); the
+///     producer retries, and the final output must still be exactly the
+///     oracle's — injected faults neither lose nor duplicate matches.
+///  3. Worker exceptions: hooks that throw inside shard workers must
+///     surface as kInternal from Finish with the pool still joinable —
+///     never a crash, hang, or silent success.
+///
+/// Budget knobs (environment):
+///   SQLTS_FUZZ_FAULT_ITERS   pairs per campaign (default 120)
+
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "engine/stream_executor.h"
+#include "testing/data_gen.h"
+#include "testing/differential.h"
+#include "testing/fault_injector.h"
+#include "testing/query_gen.h"
+
+namespace sqlts {
+namespace fuzz {
+namespace {
+
+constexpr uint64_t kBaseSeed = 0xfa017ed5eedULL ^ 0x5eed00c0ffeeULL;
+
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtoll(v, nullptr, 10);
+}
+
+std::string RowKey(const Row& r) {
+  std::string key;
+  for (const Value& v : r) key += v.ToString() + "|";
+  return key;
+}
+
+TEST(FaultFuzz, KillAndRestoreIsExactlyOnce) {
+  const int64_t iters = EnvInt("SQLTS_FUZZ_FAULT_ITERS", 120);
+  QueryGenerator qgen(kBaseSeed ^ 0x7777);
+  int64_t checked = 0;
+  for (int64_t i = 0; i < iters; ++i) {
+    const uint64_t seed = kBaseSeed + static_cast<uint64_t>(i);
+    Table data = RandomFuzzTable(seed);
+    GeneratedQuery query = qgen.Next();
+    if (query.uses_lookahead || query.has_limit) continue;
+    DifferentialOutcome out =
+        CheckCheckpointRestoreEquivalence(data, query, seed);
+    ASSERT_TRUE(out.ok) << out.failure;
+    if (out.streaming_ran) ++checked;
+  }
+  EXPECT_GT(checked, iters / 4) << "campaign mostly skipped; fixture broken";
+}
+
+TEST(FaultFuzz, TransientPushFaultsNeverLoseOrDuplicateOutput) {
+  const int64_t iters = EnvInt("SQLTS_FUZZ_FAULT_ITERS", 120);
+  QueryGenerator qgen(kBaseSeed ^ 0x8888);
+  int64_t checked = 0;
+  int64_t faults_seen = 0;
+  for (int64_t i = 0; i < iters && checked < iters; ++i) {
+    const uint64_t seed = kBaseSeed + 500000 + static_cast<uint64_t>(i);
+    Table data = RandomFuzzTable(seed);
+    GeneratedQuery query = qgen.Next();
+    if (query.uses_lookahead || query.has_limit) continue;
+
+    // Oracle: no faults.
+    std::vector<std::string> want;
+    {
+      auto exec = StreamingQueryExecutor::Create(
+          query.sql, data.schema(),
+          [&](const Row& r) { want.push_back(RowKey(r)); });
+      if (!exec.ok()) continue;  // generator drew a non-streaming query
+      bool pushed_ok = true;
+      for (int64_t r = 0; r < data.num_rows() && pushed_ok; ++r) {
+        pushed_ok = (*exec)->Push(data.GetRow(r)).ok();
+      }
+      if (!pushed_ok || !(*exec)->Finish().ok()) continue;
+    }
+
+    for (int threads : {1, 4}) {
+      // The stream.push site fails before the tuple is consumed, so a
+      // producer may simply retry the same tuple — classic transient
+      // source-error recovery.
+      FaultInjector::Options fopts;
+      fopts.push_error_prob = 0.2;
+      FaultInjector injector(seed, fopts);
+      ExecOptions options;
+      options.num_threads = threads;
+      options.governance.fault_hook = injector.Hook();
+      std::vector<std::string> got;
+      auto exec = StreamingQueryExecutor::Create(
+          query.sql, data.schema(),
+          [&](const Row& r) { got.push_back(RowKey(r)); }, options);
+      ASSERT_TRUE(exec.ok()) << exec.status() << "\n"
+                             << ReproString(seed, query.sql, data);
+      for (int64_t r = 0; r < data.num_rows(); ++r) {
+        Status st;
+        int attempts = 0;
+        do {
+          st = (*exec)->Push(data.GetRow(r));
+          ASSERT_LT(++attempts, 200) << "fault injector never relented";
+        } while (st.code() == StatusCode::kIoError);
+        ASSERT_TRUE(st.ok()) << st << "\n"
+                             << ReproString(seed, query.sql, data);
+      }
+      ASSERT_TRUE((*exec)->Finish().ok());
+      ASSERT_EQ(got, want) << "threads=" << threads << " injected="
+                           << injector.injected() << "\n"
+                           << ReproString(seed, query.sql, data);
+      faults_seen += injector.injected_at("stream.push");
+    }
+    ++checked;
+  }
+  EXPECT_GT(checked, iters / 4);
+  EXPECT_GT(faults_seen, checked) << "fault campaign injected almost "
+                                     "nothing; probabilities miswired";
+}
+
+TEST(FaultFuzz, WorkerExceptionsSurfaceWithoutCrashing) {
+  const int64_t iters = EnvInt("SQLTS_FUZZ_FAULT_ITERS", 120) / 2;
+  QueryGenerator qgen(kBaseSeed ^ 0x9999);
+  int64_t errored = 0;
+  int64_t clean = 0;
+  for (int64_t i = 0; i < iters; ++i) {
+    const uint64_t seed = kBaseSeed + 900000 + static_cast<uint64_t>(i);
+    Table data = RandomFuzzTable(seed);
+    GeneratedQuery query = qgen.Next();
+    if (query.uses_lookahead || query.has_limit) continue;
+
+    FaultInjector::Options fopts;
+    fopts.throw_prob = 0.01;
+    FaultInjector injector(seed, fopts);
+    ExecOptions options;
+    options.num_threads = 4;
+    options.governance.fault_hook = injector.Hook();
+    auto exec = StreamingQueryExecutor::Create(
+        query.sql, data.schema(), [](const Row&) {}, options);
+    if (!exec.ok()) continue;
+    Status st;
+    bool push_threw = false;
+    for (int64_t r = 0; r < data.num_rows() && st.ok(); ++r) {
+      // The router-side hook may throw out of Push; that is the
+      // caller's own thread, so an escaping exception is acceptable —
+      // this campaign targets the worker boundary, where escaping would
+      // kill the process.
+      try {
+        st = (*exec)->Push(data.GetRow(r));
+      } catch (const std::exception&) {
+        push_threw = true;
+        break;
+      }
+    }
+    Status fin;
+    try {
+      fin = (*exec)->Finish();
+    } catch (const std::exception&) {
+      // Finish runs no hooks on the caller thread; nothing should leak.
+      FAIL() << "Finish must not throw\n"
+             << ReproString(seed, query.sql, data);
+    }
+    if (injector.injected_at("matcher.append") > 0 ||
+        injector.injected_at("shard.enqueue") > 0 ||
+        injector.injected_at("stream.push") > 0) {
+      // Some fault fired: the run must have reported it — a non-OK
+      // status from Push or Finish, or the router-side exception the
+      // producer saw — never silent success.
+      EXPECT_TRUE(push_threw || !st.ok() || !fin.ok())
+          << ReproString(seed, query.sql, data);
+      ++errored;
+    } else {
+      ++clean;
+    }
+  }
+  // The campaign must actually exercise both paths.
+  EXPECT_GT(errored, 0);
+  EXPECT_GT(errored + clean, iters / 4);
+}
+
+}  // namespace
+}  // namespace fuzz
+}  // namespace sqlts

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <mutex>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -122,6 +123,87 @@ TEST(ShardPool, PushBlocksWhileQueueFull) {
   EXPECT_EQ(pool.pushed(0), 4);
   EXPECT_EQ(pool.queue_high_water(0), 2);  // capacity was the binding limit
   EXPECT_EQ(handled, (std::vector<uint64_t>{0, 1, 2, 3}));
+}
+
+TEST(ShardPool, WorkerExceptionBecomesStatusAndPoolStaysJoinable) {
+  std::atomic<int> handled{0};
+  ShardPool pool(2, 4, [&](int, ShardPool::Task&& t) {
+    if (t.tag == 5) throw std::runtime_error("handler blew up");
+    handled.fetch_add(1);
+  });
+  // Keep pushing well past the throwing task: the poisoned worker must
+  // keep draining its queue so producers never block forever.
+  for (uint64_t i = 0; i < 40; ++i) {
+    pool.Push(static_cast<int>(i % 2), ShardPool::Task{Row{}, i, i});
+  }
+  pool.Finish();  // joins; a crashed worker would hang or abort here
+  const Status err = pool.first_error();
+  ASSERT_EQ(err.code(), StatusCode::kInternal);
+  EXPECT_NE(err.ToString().find("handler blew up"), std::string::npos)
+      << err.ToString();
+  // Tasks on the healthy shard were all processed; the poisoned shard
+  // stopped at the throw but drained the rest.
+  EXPECT_GE(handled.load(), 20);
+  EXPECT_LT(handled.load(), 40);
+}
+
+TEST(ShardPool, NonStdExceptionIsAlsoCaught) {
+  ShardPool pool(1, 2, [&](int, ShardPool::Task&& t) {
+    if (t.tag == 0) throw 42;  // not derived from std::exception
+  });
+  pool.Push(0, ShardPool::Task{Row{}, 0, 0});
+  pool.Finish();
+  EXPECT_EQ(pool.first_error().code(), StatusCode::kInternal);
+}
+
+TEST(ShardPool, DrainQuiescesWithoutFinishing) {
+  std::atomic<int> handled{0};
+  ShardPool pool(2, 4, [&](int, ShardPool::Task&& t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    (void)t;
+    handled.fetch_add(1);
+  });
+  for (uint64_t i = 0; i < 16; ++i) {
+    pool.Push(static_cast<int>(i % 2), ShardPool::Task{Row{}, i, i});
+  }
+  pool.Drain();
+  // Every pushed task's side effects are visible once Drain returns…
+  EXPECT_EQ(handled.load(), 16);
+  // …and the pool still accepts work afterwards.
+  pool.Push(0, ShardPool::Task{Row{}, 0, 99});
+  pool.Finish();
+  EXPECT_EQ(handled.load(), 17);
+}
+
+TEST(ShardedExecution, WorkerExceptionSurfacesFromStreamingFinish) {
+  // Inject an exception on the worker side (the matcher.append fault
+  // site runs inside the shard worker when num_threads > 1); the
+  // streaming executor must convert it into a Status, not crash.
+  ExecOptions opt;
+  opt.num_threads = 2;
+  std::atomic<int> visits{0};
+  opt.governance.fault_hook = [&](std::string_view site) -> Status {
+    if (site == "matcher.append" && visits.fetch_add(1) == 7) {
+      throw std::runtime_error("injected worker fault");
+    }
+    return Status::OK();
+  };
+  auto exec = StreamingQueryExecutor::Create(
+      "SELECT X.price FROM quote CLUSTER BY name SEQUENCE BY date "
+      "AS (X, Y) WHERE Y.price > X.price",
+      QuoteSchema(), [](const Row&) {}, opt);
+  ASSERT_TRUE(exec.ok()) << exec.status();
+  Date d0 = *Date::Parse("1999-01-04");
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE((*exec)
+                    ->Push({Value::String("S" + std::to_string(i % 4)),
+                            Value::FromDate(d0.AddDays(i / 4)),
+                            Value::Double(i)})
+                    .ok());
+  }
+  const Status st = (*exec)->Finish();
+  ASSERT_EQ(st.code(), StatusCode::kInternal) << st;
+  EXPECT_NE(st.ToString().find("injected worker fault"), std::string::npos);
 }
 
 /// A portfolio of `stocks` independent random walks, `rows_per` rows
