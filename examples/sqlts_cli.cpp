@@ -8,6 +8,11 @@
 // Flags:
 //   --naive             batch: use the naive backtracking matcher
 //   --explain           print the optimizer report before results
+//   --check             lint only: run the static analyzer and exit
+//                       without touching the CSV; exit 1 when the query
+//                       is provably empty (E-level diagnostics)
+//   --lint=json         like --check, but print machine-readable JSON
+//   --Werror            --check/--lint: warnings also fail (exit 1)
 //   --threads N         shard execution across N worker threads
 //   --stream            push rows through the streaming executor
 //                       instead of the batch engine
@@ -39,6 +44,7 @@
 #include <sstream>
 #include <string>
 
+#include "analysis/linter.h"
 #include "common/string_util.h"
 #include "engine/executor.h"
 #include "engine/explain.h"
@@ -59,6 +65,7 @@ int main(int argc, char** argv) {
   if (argc < 4) {
     std::fprintf(stderr,
                  "usage: %s <csv> <schema> <query> [--naive] [--explain] "
+                 "[--check] [--lint=json] [--Werror] "
                  "[--threads N] [--stream] [--max-buffered N] "
                  "[--skip-bad-input] [--checkpoint FILE] "
                  "[--checkpoint-at N] [--restore FILE]\n",
@@ -69,6 +76,7 @@ int main(int argc, char** argv) {
   const std::string schema_text = argv[2];
   const std::string query = argv[3];
   bool naive = false, explain = false, stream = false, skip_bad = false;
+  bool check = false, lint_json = false, werror = false;
   int threads = 1;
   int64_t max_buffered = 0, checkpoint_at = -1;
   std::string checkpoint_path, restore_path;
@@ -83,6 +91,9 @@ int main(int argc, char** argv) {
     };
     if (a == "--naive") naive = true;
     else if (a == "--explain") explain = true;
+    else if (a == "--check") check = true;
+    else if (a == "--lint=json") { check = true; lint_json = true; }
+    else if (a == "--Werror") werror = true;
     else if (a == "--stream") stream = true;
     else if (a == "--skip-bad-input") skip_bad = true;
     else if (a == "--threads") threads = std::atoi(next());
@@ -123,6 +134,21 @@ int main(int argc, char** argv) {
     if (!st.ok()) return Fail(st);
   }
 
+  // Lint-only mode: analyze the query and exit without reading the CSV.
+  if (check) {
+    auto lint = LintQueryText(query, schema);
+    if (!lint.ok()) return Fail(lint.status());
+    if (lint_json) {
+      std::printf("%s\n", DiagnosticsToJson(lint->diagnostics, query).c_str());
+    } else if (!lint->diagnostics.empty()) {
+      std::fprintf(stderr, "%s",
+                   RenderDiagnostics(lint->diagnostics, query).c_str());
+    } else {
+      std::fprintf(stderr, "no diagnostics\n");
+    }
+    return lint->has_errors() || (werror && lint->has_warnings()) ? 1 : 0;
+  }
+
   CsvReadOptions csv_options;
   if (skip_bad) csv_options.bad_input = BadInputPolicy::kSkipAndCount;
   CsvReadStats csv_stats;
@@ -142,6 +168,14 @@ int main(int argc, char** argv) {
   opt.num_threads = threads;
   opt.governance.max_buffered_tuples = max_buffered;
   if (skip_bad) opt.governance.bad_input = BadInputPolicy::kSkipAndCount;
+  // Refuse provably-empty queries up front, and surface warnings on
+  // stderr before running (the search itself is unaffected by them).
+  opt.compile.refuse_provably_empty = true;
+  if (auto lint = LintQueryText(query, schema);
+      lint.ok() && lint->has_warnings()) {
+    std::fprintf(stderr, "%s",
+                 RenderDiagnostics(lint->diagnostics, query).c_str());
+  }
 
   if (explain) {
     auto report = ExplainQueryText(query, schema);

@@ -1,0 +1,155 @@
+#include "analysis/diagnostic.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+namespace sqlts {
+namespace {
+
+/// Start offset of the line containing `offset` and the line's length
+/// (excluding the newline).
+std::pair<int, int> LineExtent(std::string_view source, int offset) {
+  int begin = offset;
+  while (begin > 0 && source[begin - 1] != '\n') --begin;
+  int end = offset;
+  while (end < static_cast<int>(source.size()) && source[end] != '\n') ++end;
+  return {begin, end - begin};
+}
+
+void JsonEscape(std::string_view s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+/// Stable display order: errors before warnings, then source position,
+/// then code.
+std::vector<const Diagnostic*> Sorted(
+    const std::vector<Diagnostic>& diagnostics) {
+  std::vector<const Diagnostic*> out;
+  out.reserve(diagnostics.size());
+  for (const Diagnostic& d : diagnostics) out.push_back(&d);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Diagnostic* a, const Diagnostic* b) {
+                     if (a->is_error() != b->is_error()) return a->is_error();
+                     int pa = a->span.valid() ? a->span.begin : 1 << 30;
+                     int pb = b->span.valid() ? b->span.begin : 1 << 30;
+                     if (pa != pb) return pa < pb;
+                     return a->code < b->code;
+                   });
+  return out;
+}
+
+}  // namespace
+
+const char* DiagSeverityName(DiagSeverity severity) {
+  return severity == DiagSeverity::kError ? "error" : "warning";
+}
+
+LineCol LineColAt(std::string_view source, int offset) {
+  if (offset < 0 || offset > static_cast<int>(source.size())) return {};
+  LineCol lc{1, 1};
+  for (int i = 0; i < offset; ++i) {
+    if (source[i] == '\n') {
+      ++lc.line;
+      lc.column = 1;
+    } else {
+      ++lc.column;
+    }
+  }
+  return lc;
+}
+
+std::string FormatDiagnostic(const Diagnostic& d, std::string_view source) {
+  std::ostringstream os;
+  os << DiagSeverityName(d.severity) << "[" << d.code << "]: " << d.message
+     << "\n";
+  if (!d.span.valid() || d.span.begin >= static_cast<int>(source.size())) {
+    return os.str();
+  }
+  LineCol lc = LineColAt(source, d.span.begin);
+  os << "  --> query:" << lc.line << ":" << lc.column << "\n";
+  auto [line_begin, line_len] = LineExtent(source, d.span.begin);
+  os << "   |\n";
+  os << "   | " << source.substr(line_begin, line_len) << "\n";
+  // Carets under the span, clipped to the first line it touches.
+  int caret_start = d.span.begin - line_begin;
+  int caret_len =
+      std::min(d.span.end, line_begin + line_len) - d.span.begin;
+  caret_len = std::max(caret_len, 1);
+  os << "   | " << std::string(caret_start, ' ') << "^"
+     << std::string(caret_len - 1, '~') << "\n";
+  return os.str();
+}
+
+std::string RenderDiagnostics(const std::vector<Diagnostic>& diagnostics,
+                              std::string_view source) {
+  std::string out;
+  int errors = 0, warnings = 0;
+  for (const Diagnostic* d : Sorted(diagnostics)) {
+    out += FormatDiagnostic(*d, source);
+    (d->is_error() ? errors : warnings) += 1;
+  }
+  if (!diagnostics.empty()) {
+    out += std::to_string(errors) + " error(s), " +
+           std::to_string(warnings) + " warning(s)\n";
+  }
+  return out;
+}
+
+std::string DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics,
+                              std::string_view source) {
+  std::string out = "[";
+  bool first = true;
+  for (const Diagnostic* d : Sorted(diagnostics)) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  {\"code\":\"";
+    JsonEscape(d->code, &out);
+    out += "\",\"severity\":\"";
+    out += DiagSeverityName(d->severity);
+    out += "\",\"message\":\"";
+    JsonEscape(d->message, &out);
+    out += "\"";
+    if (d->span.valid()) {
+      LineCol lc = LineColAt(source, d->span.begin);
+      out += ",\"line\":" + std::to_string(lc.line);
+      out += ",\"column\":" + std::to_string(lc.column);
+      out += ",\"offset\":" + std::to_string(d->span.begin);
+      out += ",\"length\":" + std::to_string(d->span.end - d->span.begin);
+    }
+    out += ",\"element\":" + std::to_string(d->element);
+    out += ",\"conjunct\":" + std::to_string(d->conjunct);
+    out += "}";
+  }
+  out += diagnostics.empty() ? "]" : "\n]";
+  return out;
+}
+
+}  // namespace sqlts

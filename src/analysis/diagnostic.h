@@ -1,0 +1,75 @@
+#ifndef SQLTS_ANALYSIS_DIAGNOSTIC_H_
+#define SQLTS_ANALYSIS_DIAGNOSTIC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace sqlts {
+
+/// Severity of a static-analysis diagnostic.  Errors are reserved for
+/// queries the analyzer *proved* return zero rows (sound: "true is a
+/// theorem"); warnings flag wasted work whose removal cannot change
+/// results.
+enum class DiagSeverity : uint8_t { kWarning, kError };
+
+/// "warning" / "error".
+const char* DiagSeverityName(DiagSeverity severity);
+
+/// One diagnostic with a stable code (see docs/DIAGNOSTICS.md for the
+/// catalog), a source span into the query text, and — where the finding
+/// is attributable — the pattern element and conjunct it concerns, so
+/// tools (and the fuzz harness's drop-test) can act on it mechanically.
+struct Diagnostic {
+  /// Stable machine-readable code: "E001".."E005", "W001".."W006".
+  std::string code;
+  DiagSeverity severity = DiagSeverity::kWarning;
+  std::string message;
+  /// Byte range in the query text; invalid when not attributable.
+  SourceSpan span;
+  /// 1-based pattern element the finding concerns; 0 = whole query or a
+  /// cluster filter.
+  int element = 0;
+  /// Index into that element's conjunct list (for per-conjunct findings
+  /// such as W001/W002); -1 = the whole predicate.
+  int conjunct = -1;
+
+  bool is_error() const { return severity == DiagSeverity::kError; }
+};
+
+/// 1-based line/column position; {0, 0} when the offset is unknown.
+struct LineCol {
+  int line = 0;
+  int column = 0;
+};
+
+/// Line/column of byte `offset` within `source`.
+LineCol LineColAt(std::string_view source, int offset);
+
+/// Renders one diagnostic in caret style:
+///
+///   error[E001]: pattern element 1 (X): ...
+///     --> query:1:52
+///      | ... WHERE X.price > 10 AND X.price < 5
+///      |       ^~~~~~~~~~~~~~~~~~~~~~~~~~
+///
+/// `source` is the query text the spans index into; diagnostics without
+/// a valid span render without the excerpt.
+std::string FormatDiagnostic(const Diagnostic& d, std::string_view source);
+
+/// Renders all diagnostics (errors first) plus a one-line summary.
+std::string RenderDiagnostics(const std::vector<Diagnostic>& diagnostics,
+                              std::string_view source);
+
+/// Machine-readable JSON array:
+///   [{"code":"E001","severity":"error","message":...,"line":1,
+///     "column":52,"offset":51,"length":26,"element":1,"conjunct":0}]
+std::string DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics,
+                              std::string_view source);
+
+}  // namespace sqlts
+
+#endif  // SQLTS_ANALYSIS_DIAGNOSTIC_H_

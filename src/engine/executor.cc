@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/linter.h"
 #include "storage/csv.h"
 #include "storage/sequence.h"
 
@@ -144,6 +145,18 @@ StatusOr<QueryResult> QueryExecutor::ExecuteCsvFile(
 StatusOr<QueryResult> QueryExecutor::ExecuteCompiled(
     const Table& input, const CompiledQuery& query,
     const ExecOptions& options) {
+  // Static analysis gate: refuse provably-empty queries up front rather
+  // than scanning for matches that cannot exist.
+  if (options.compile.refuse_provably_empty) {
+    LintOptions lint_options;
+    lint_options.oracle = options.compile.oracle;
+    LintResult lint = LintQuery(query, lint_options);
+    if (lint.has_errors()) {
+      return Status::InvalidArgument("query is provably empty: " +
+                                     SummarizeErrors(lint));
+    }
+  }
+
   SQLTS_ASSIGN_OR_RETURN(PatternPlan plan,
                          CompilePattern(query, options.compile));
   SQLTS_ASSIGN_OR_RETURN(
@@ -154,6 +167,9 @@ StatusOr<QueryResult> QueryExecutor::ExecuteCompiled(
 
   QueryResult result{Table(query.output_schema), SearchStats{},
                      SearchTrace{}, plan, clusters.num_clusters(), 0, {}};
+
+  // An explicit LIMIT 0 never produces rows; skip the search entirely.
+  if (query.limit_zero) return result;
 
   // Parallel path: per-cluster matcher state is fully private, so
   // clusters shard cleanly.  LIMIT (cross-cluster early termination)

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "analysis/linter.h"
 #include "engine/reverse.h"
 
 namespace sqlts {
@@ -40,8 +41,8 @@ void DescribeAnalysis(const PredicateAnalysis& a, std::ostringstream* os) {
 
 }  // namespace
 
-std::string ExplainQuery(const CompiledQuery& query,
-                         const PatternPlan& plan) {
+std::string ExplainQuery(const CompiledQuery& query, const PatternPlan& plan,
+                         std::string_view source) {
   std::ostringstream os;
   os << "=== SQL-TS plan ===\n";
   os << "input:  " << query.table << " (" << query.input_schema.ToString()
@@ -76,6 +77,14 @@ std::string ExplainQuery(const CompiledQuery& query,
     os << "direction heuristic: forward=" << d.forward_score
        << " reverse=" << d.reverse_score << " -> "
        << (d.prefer_reverse ? "reverse" : "forward") << "\n";
+  }
+  // Static-analysis verdicts over the same θ/φ machinery.
+  LintResult lint = LintQuery(query);
+  os << "diagnostics: ";
+  if (lint.diagnostics.empty()) {
+    os << "none\n";
+  } else {
+    os << "\n" << RenderDiagnostics(lint.diagnostics, source);
   }
   os << "output: " << query.output_schema.ToString() << "\n";
   return os.str();
@@ -118,7 +127,7 @@ StatusOr<std::string> ExplainQueryText(std::string_view text,
                          CompileQueryText(text, schema));
   SQLTS_ASSIGN_OR_RETURN(PatternPlan plan,
                          CompilePattern(query, options));
-  return ExplainQuery(query, plan);
+  return ExplainQuery(query, plan, text);
 }
 
 }  // namespace sqlts

@@ -16,10 +16,12 @@ namespace sqlts {
 /// the resolved pattern (per-element predicates, star flags, hoisted
 /// cluster filters), what the analyzer captured for the reasoner (GSW
 /// atoms, OR groups, interval views, residue), the θ/φ/S matrices, the
-/// shift/next/presatisfied tables, the direction-heuristic scores, and
-/// the output schema — the EXPLAIN of this engine.
-std::string ExplainQuery(const CompiledQuery& query,
-                         const PatternPlan& plan);
+/// shift/next/presatisfied tables, the direction-heuristic scores, the
+/// static analyzer's diagnostics, and the output schema — the EXPLAIN
+/// of this engine.  `source` is the original query text; when provided,
+/// diagnostics render with caret excerpts.
+std::string ExplainQuery(const CompiledQuery& query, const PatternPlan& plan,
+                         std::string_view source = {});
 
 /// Parse + analyze + compile + explain in one call.
 StatusOr<std::string> ExplainQueryText(std::string_view text,

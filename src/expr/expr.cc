@@ -1,5 +1,6 @@
 #include "expr/expr.h"
 
+#include <algorithm>
 #include <functional>
 
 #include "common/logging.h"
@@ -149,6 +150,19 @@ ExprPtr MakeNot(ExprPtr operand) {
   e->kind = ExprKind::kNot;
   e->lhs = std::move(operand);
   return e;
+}
+
+SourceSpan SourceSpan::Union(const SourceSpan& a, const SourceSpan& b) {
+  if (!a.valid()) return b;
+  if (!b.valid()) return a;
+  return SourceSpan{std::min(a.begin, b.begin), std::max(a.end, b.end)};
+}
+
+ExprPtr WithSpan(ExprPtr e, SourceSpan span) {
+  if (e == nullptr) return e;
+  auto copy = std::make_shared<Expr>(*e);
+  copy->span = span;
+  return copy;
 }
 
 void FlattenConjuncts(const ExprPtr& e, std::vector<ExprPtr>* out) {

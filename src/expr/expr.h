@@ -22,6 +22,19 @@ enum class GroupAccessor : uint8_t {
 struct Expr;
 using ExprPtr = std::shared_ptr<const Expr>;
 
+/// Half-open byte range [begin, end) into the query text an expression
+/// was parsed from; invalid (begin < 0) for synthesized expressions.
+/// Spans survive the analyzer's reference-resolution rewrites, so
+/// static-analysis diagnostics can point at the offending conjunct.
+struct SourceSpan {
+  int begin = -1;
+  int end = -1;
+
+  bool valid() const { return begin >= 0 && end >= begin; }
+  /// Smallest span covering both (an invalid side is ignored).
+  static SourceSpan Union(const SourceSpan& a, const SourceSpan& b);
+};
+
 /// Expression node kinds.
 enum class ExprKind : uint8_t {
   kLiteral,    ///< constant Value
@@ -80,6 +93,10 @@ struct Expr {
   ExprPtr lhs;
   ExprPtr rhs;
 
+  /// Where the expression came from in the query text (for
+  /// diagnostics); invalid for synthesized nodes.
+  SourceSpan span;
+
   /// Renders the expression (for messages and EXPLAIN output).
   std::string ToString() const;
 };
@@ -92,6 +109,10 @@ ExprPtr MakeCompare(CmpOp op, ExprPtr lhs, ExprPtr rhs);
 ExprPtr MakeAnd(ExprPtr lhs, ExprPtr rhs);
 ExprPtr MakeOr(ExprPtr lhs, ExprPtr rhs);
 ExprPtr MakeNot(ExprPtr operand);
+
+/// Returns a copy of `e` carrying `span` (expression nodes are
+/// immutable, so the parser attaches positions by copy).
+ExprPtr WithSpan(ExprPtr e, SourceSpan span);
 
 /// Splits a conjunction into its top-level conjuncts (flattens kAnd).
 void FlattenConjuncts(const ExprPtr& e, std::vector<ExprPtr>* out);

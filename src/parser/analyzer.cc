@@ -135,6 +135,8 @@ class Analyzer {
     out.cluster_by = q_.cluster_by;
     out.sequence_by = q_.sequence_by;
     out.limit = q_.limit;
+    out.limit_zero = q_.limit_zero;
+    out.limit_span = q_.limit_span;
 
     // Validate cluster/sequence columns and record cluster column ids.
     for (const std::string& c : q_.cluster_by) {

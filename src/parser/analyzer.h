@@ -40,6 +40,11 @@ struct CompiledQuery {
   /// LIMIT clause (0 = unlimited): cap on total output rows, with exact
   /// early termination of the search.
   int64_t limit = 0;
+  /// LIMIT 0 was written explicitly: the executor returns an empty
+  /// result without searching; the static analyzer warns (W005).
+  bool limit_zero = false;
+  /// Source range of the LIMIT clause, for diagnostics.
+  SourceSpan limit_span;
 
   int pattern_length() const { return static_cast<int>(elements.size()); }
 };

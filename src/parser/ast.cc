@@ -28,6 +28,9 @@ std::string ParsedQuery::ToString() const {
   }
   out += ")";
   if (where != nullptr) out += "\nWHERE " + where->ToString();
+  if (limit > 0 || limit_zero) {
+    out += "\nLIMIT " + std::to_string(limit);
+  }
   return out;
 }
 

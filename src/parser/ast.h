@@ -29,7 +29,13 @@ struct ParsedQuery {
   std::vector<std::string> sequence_by;  // may be empty
   std::vector<PatternVarDecl> pattern;
   ExprPtr where;      // null when absent
-  int64_t limit = 0;  // 0 = no LIMIT clause
+  int64_t limit = 0;  // 0 = no LIMIT clause (unless limit_zero)
+  /// LIMIT 0 was written explicitly: legal, but every match is
+  /// discarded — the executor short-circuits and the static analyzer
+  /// warns (W005).
+  bool limit_zero = false;
+  /// Source range of the LIMIT clause, for diagnostics.
+  SourceSpan limit_span;
 
   std::string ToString() const;
 };

@@ -63,6 +63,7 @@ StatusOr<std::vector<Token>> Tokenize(std::string_view query) {
         tok.kind = TokenKind::kIdentifier;
         tok.text = text;
       }
+      tok.end = static_cast<int>(i);
       out.push_back(std::move(tok));
       continue;
     }
@@ -113,6 +114,7 @@ StatusOr<std::vector<Token>> Tokenize(std::string_view query) {
         }
       }
       tok.text = std::move(text);
+      tok.end = static_cast<int>(i);
       out.push_back(std::move(tok));
       continue;
     }
@@ -140,6 +142,7 @@ StatusOr<std::vector<Token>> Tokenize(std::string_view query) {
       }
       tok.kind = TokenKind::kStringLiteral;
       tok.text = std::move(text);
+      tok.end = static_cast<int>(i);
       out.push_back(std::move(tok));
       continue;
     }
@@ -147,8 +150,16 @@ StatusOr<std::vector<Token>> Tokenize(std::string_view query) {
     auto push1 = [&](TokenKind k) {
       tok.kind = k;
       tok.text = std::string(1, c);
+      tok.end = static_cast<int>(i) + 1;
       out.push_back(tok);
       ++i;
+    };
+    auto push2 = [&](TokenKind k, const char* text2) {
+      tok.kind = k;
+      tok.text = text2;
+      tok.end = static_cast<int>(i) + 2;
+      out.push_back(tok);
+      i += 2;
     };
     switch (c) {
       case ',':
@@ -177,45 +188,30 @@ StatusOr<std::vector<Token>> Tokenize(std::string_view query) {
         break;
       case '-':
         if (i + 1 < n && query[i + 1] == '>') {
-          tok.kind = TokenKind::kDot;  // SQL3 navigation: a->b ≡ a.b
-          tok.text = "->";
-          out.push_back(tok);
-          i += 2;
+          push2(TokenKind::kDot, "->");  // SQL3 navigation: a->b ≡ a.b
         } else {
           push1(TokenKind::kMinus);
         }
         break;
       case '<':
         if (i + 1 < n && query[i + 1] == '=') {
-          tok.kind = TokenKind::kLe;
-          tok.text = "<=";
-          out.push_back(tok);
-          i += 2;
+          push2(TokenKind::kLe, "<=");
         } else if (i + 1 < n && query[i + 1] == '>') {
-          tok.kind = TokenKind::kNe;
-          tok.text = "<>";
-          out.push_back(tok);
-          i += 2;
+          push2(TokenKind::kNe, "<>");
         } else {
           push1(TokenKind::kLt);
         }
         break;
       case '>':
         if (i + 1 < n && query[i + 1] == '=') {
-          tok.kind = TokenKind::kGe;
-          tok.text = ">=";
-          out.push_back(tok);
-          i += 2;
+          push2(TokenKind::kGe, ">=");
         } else {
           push1(TokenKind::kGt);
         }
         break;
       case '!':
         if (i + 1 < n && query[i + 1] == '=') {
-          tok.kind = TokenKind::kNe;
-          tok.text = "!=";
-          out.push_back(tok);
-          i += 2;
+          push2(TokenKind::kNe, "!=");
         } else {
           return Status::ParseError("unexpected '!' at offset " +
                                     std::to_string(i));
@@ -229,6 +225,7 @@ StatusOr<std::vector<Token>> Tokenize(std::string_view query) {
   Token end;
   end.kind = TokenKind::kEnd;
   end.position = static_cast<int>(n);
+  end.end = static_cast<int>(n);
   out.push_back(end);
   return out;
 }

@@ -6,10 +6,13 @@
 namespace sqlts {
 namespace {
 
-/// Recursive-descent parser over the token stream.
+/// Recursive-descent parser over the token stream.  Keeps the source
+/// text to report errors with line/column positions and to stamp every
+/// expression node with its source span (see SourceSpan in expr/expr.h).
 class Parser {
  public:
-  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+  Parser(std::vector<Token> tokens, std::string_view source)
+      : tokens_(std::move(tokens)), source_(source) {}
 
   StatusOr<ParsedQuery> ParseQueryTop() {
     ParsedQuery q;
@@ -52,14 +55,18 @@ class Parser {
       Advance();
       SQLTS_ASSIGN_OR_RETURN(q.where, ParseExpr());
     }
-    // Contextual LIMIT clause.
+    // Contextual LIMIT clause.  LIMIT 0 is legal (every match is
+    // discarded); the static analyzer warns about it (W005).
     if (Peek().kind == TokenKind::kIdentifier &&
         EqualsIgnoreCase(Peek().text, "LIMIT")) {
+      int limit_begin = Peek().position;
       Advance();
-      if (Peek().kind != TokenKind::kIntLiteral || Peek().int_value <= 0) {
-        return Error("LIMIT expects a positive integer");
+      if (Peek().kind != TokenKind::kIntLiteral || Peek().int_value < 0) {
+        return Error("LIMIT expects a non-negative integer");
       }
       q.limit = Advance().int_value;
+      q.limit_zero = q.limit == 0;
+      q.limit_span = SourceSpan{limit_begin, LastEnd()};
     }
     SQLTS_RETURN_IF_ERROR(Expect(TokenKind::kEnd, "end of query"));
     return q;
@@ -93,10 +100,30 @@ class Parser {
     return false;
   }
 
+  /// End offset of the most recently consumed token (start of the
+  /// source when nothing was consumed yet).
+  int LastEnd() const { return pos_ > 0 ? tokens_[pos_ - 1].end : 0; }
+
+  /// Stamps `e` with the span [begin, end-of-previous-token).
+  ExprPtr Spanned(ExprPtr e, int begin) const {
+    return WithSpan(std::move(e), SourceSpan{begin, LastEnd()});
+  }
+
   Status Error(const std::string& what) const {
-    return Status::ParseError(what + " at offset " +
-                              std::to_string(Peek().position) + " (near '" +
-                              Peek().text + "')");
+    int line = 1, column = 1;
+    const int offset = Peek().position;
+    for (int i = 0; i < offset && i < static_cast<int>(source_.size()); ++i) {
+      if (source_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    return Status::ParseError(what + " at line " + std::to_string(line) +
+                              ", column " + std::to_string(column) +
+                              " (offset " + std::to_string(offset) +
+                              ", near '" + Peek().text + "')");
   }
   Status Expect(TokenKind k, const std::string& what) {
     if (Peek().kind != k) return Error("expected " + what);
@@ -147,32 +174,36 @@ class Parser {
   StatusOr<ExprPtr> ParseExpr() { return ParseOr(); }
 
   StatusOr<ExprPtr> ParseOr() {
+    const int begin = Peek().position;
     SQLTS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
     while (ConsumeKeyword("OR")) {
       SQLTS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
-      lhs = MakeOr(std::move(lhs), std::move(rhs));
+      lhs = Spanned(MakeOr(std::move(lhs), std::move(rhs)), begin);
     }
     return lhs;
   }
 
   StatusOr<ExprPtr> ParseAnd() {
+    const int begin = Peek().position;
     SQLTS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
     while (ConsumeKeyword("AND")) {
       SQLTS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
-      lhs = MakeAnd(std::move(lhs), std::move(rhs));
+      lhs = Spanned(MakeAnd(std::move(lhs), std::move(rhs)), begin);
     }
     return lhs;
   }
 
   StatusOr<ExprPtr> ParseNot() {
+    const int begin = Peek().position;
     if (ConsumeKeyword("NOT")) {
       SQLTS_ASSIGN_OR_RETURN(ExprPtr e, ParseNot());
-      return MakeNot(std::move(e));
+      return Spanned(MakeNot(std::move(e)), begin);
     }
     return ParseComparison();
   }
 
   StatusOr<ExprPtr> ParseComparison() {
+    const int begin = Peek().position;
     SQLTS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
     CmpOp op;
     switch (Peek().kind) {
@@ -199,18 +230,21 @@ class Parser {
     }
     Advance();
     SQLTS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
-    return MakeCompare(op, std::move(lhs), std::move(rhs));
+    return Spanned(MakeCompare(op, std::move(lhs), std::move(rhs)), begin);
   }
 
   StatusOr<ExprPtr> ParseAdditive() {
+    const int begin = Peek().position;
     SQLTS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
     while (true) {
       if (ConsumeIf(TokenKind::kPlus)) {
         SQLTS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
-        lhs = MakeArith(ArithOp::kAdd, std::move(lhs), std::move(rhs));
+        lhs = Spanned(
+            MakeArith(ArithOp::kAdd, std::move(lhs), std::move(rhs)), begin);
       } else if (ConsumeIf(TokenKind::kMinus)) {
         SQLTS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
-        lhs = MakeArith(ArithOp::kSub, std::move(lhs), std::move(rhs));
+        lhs = Spanned(
+            MakeArith(ArithOp::kSub, std::move(lhs), std::move(rhs)), begin);
       } else {
         return lhs;
       }
@@ -218,14 +252,17 @@ class Parser {
   }
 
   StatusOr<ExprPtr> ParseMultiplicative() {
+    const int begin = Peek().position;
     SQLTS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
     while (true) {
       if (ConsumeIf(TokenKind::kStar)) {
         SQLTS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
-        lhs = MakeArith(ArithOp::kMul, std::move(lhs), std::move(rhs));
+        lhs = Spanned(
+            MakeArith(ArithOp::kMul, std::move(lhs), std::move(rhs)), begin);
       } else if (ConsumeIf(TokenKind::kSlash)) {
         SQLTS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
-        lhs = MakeArith(ArithOp::kDiv, std::move(lhs), std::move(rhs));
+        lhs = Spanned(
+            MakeArith(ArithOp::kDiv, std::move(lhs), std::move(rhs)), begin);
       } else {
         return lhs;
       }
@@ -233,15 +270,23 @@ class Parser {
   }
 
   StatusOr<ExprPtr> ParseUnary() {
+    const int begin = Peek().position;
     if (ConsumeIf(TokenKind::kMinus)) {
       SQLTS_ASSIGN_OR_RETURN(ExprPtr e, ParseUnary());
-      return MakeArith(ArithOp::kSub, MakeLiteral(Value::Int64(0)),
-                       std::move(e));
+      return Spanned(MakeArith(ArithOp::kSub, MakeLiteral(Value::Int64(0)),
+                               std::move(e)),
+                     begin);
     }
     return ParsePrimary();
   }
 
   StatusOr<ExprPtr> ParsePrimary() {
+    const int begin = Peek().position;
+    SQLTS_ASSIGN_OR_RETURN(ExprPtr e, ParsePrimaryImpl());
+    return Spanned(std::move(e), begin);
+  }
+
+  StatusOr<ExprPtr> ParsePrimaryImpl() {
     const Token& t = Peek();
     switch (t.kind) {
       case TokenKind::kIntLiteral:
@@ -360,6 +405,7 @@ class Parser {
   }
 
   std::vector<Token> tokens_;
+  std::string_view source_;
   size_t pos_ = 0;
 };
 
@@ -367,13 +413,13 @@ class Parser {
 
 StatusOr<ParsedQuery> ParseQuery(std::string_view text) {
   SQLTS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
-  Parser p(std::move(tokens));
+  Parser p(std::move(tokens), text);
   return p.ParseQueryTop();
 }
 
 StatusOr<ExprPtr> ParseExpression(std::string_view text) {
   SQLTS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
-  Parser p(std::move(tokens));
+  Parser p(std::move(tokens), text);
   return p.ParseExpressionTop();
 }
 

@@ -31,14 +31,15 @@ enum class TokenKind : uint8_t {
   kNe,           // <> or !=
 };
 
-/// One lexical token with source position (1-based offsets for
+/// One lexical token with source position (byte offsets for
 /// diagnostics).
 struct Token {
   TokenKind kind = TokenKind::kEnd;
   std::string text;     // identifier (original case), keyword (upper), literal text
   int64_t int_value = 0;
   double double_value = 0;
-  int position = 0;     // byte offset in the query string
+  int position = 0;     // byte offset of the token's first character
+  int end = 0;          // byte offset one past the token's last character
 
   bool IsKeyword(std::string_view kw) const {
     return kind == TokenKind::kKeyword && text == kw;

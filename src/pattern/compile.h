@@ -21,6 +21,11 @@ struct CompileOptions {
   /// E8 ablation that quantifies how much the resume-point analysis
   /// contributes on top of the shift analysis.
   bool enable_next = true;
+  /// When true, the executors run the static analyzer (analysis/linter.h)
+  /// before searching and refuse queries it proves return zero rows
+  /// (E-level diagnostics) with InvalidArgument instead of silently
+  /// scanning for matches that cannot exist.
+  bool refuse_provably_empty = false;
 };
 
 /// Everything the OPS matcher needs at run time, plus the intermediate

@@ -4,6 +4,7 @@
 #include <random>
 #include <sstream>
 
+#include "analysis/linter.h"
 #include "engine/executor.h"
 #include "engine/stream_executor.h"
 #include "storage/csv.h"
@@ -586,6 +587,77 @@ DifferentialOutcome CheckCheckpointRestoreEquivalence(
   out.streaming_ran = true;
   out.matches = oracle.stats.matches;
   return out;
+}
+
+DifferentialOutcome CheckLintSoundness(const Table& data,
+                                       const GeneratedQuery& query,
+                                       uint64_t seed,
+                                       LintFuzzStats* stats) {
+  auto compiled = CompileQueryText(query.sql, data.schema());
+  if (!compiled.ok()) return DifferentialOutcome{};  // covered elsewhere
+  LintResult lint = LintQuery(*compiled);
+  if (stats != nullptr) {
+    ++stats->queries;
+    if (lint.has_errors()) ++stats->error_queries;
+    if (lint.has_warnings()) ++stats->warnings;
+  }
+
+  // E-level soundness: "provably empty" must mean the naive oracle
+  // returns zero rows.  A single row is a counterexample to a theorem
+  // the GSW reasoning claimed — the worst bug class this subsystem can
+  // have, hence the self-contained repro.
+  if (lint.has_errors()) {
+    ExecOptions naive_opt;
+    naive_opt.algorithm = SearchAlgorithm::kNaive;
+    auto naive = QueryExecutor::ExecuteCompiled(data, *compiled, naive_opt);
+    if (naive.ok() && naive->output.num_rows() > 0) {
+      return Fail("lint soundness counterexample: analyzer proved the "
+                      "query empty but naive returned " +
+                      std::to_string(naive->output.num_rows()) +
+                      " row(s); diagnostics:\n" +
+                      RenderDiagnostics(lint.diagnostics, query.sql),
+                  seed, query.sql, data);
+    }
+  }
+
+  // W-level drop test: a conjunct flagged W001 (implied by siblings) or
+  // W002 (always true) is erased — one at a time, against the original
+  // query — and the re-execution must be bit-identical.
+  auto base = QueryExecutor::ExecuteCompiled(data, *compiled, ExecOptions{});
+  for (const Diagnostic& d : lint.diagnostics) {
+    if (d.code != "W001" && d.code != "W002") continue;
+    if (d.element < 1 || d.conjunct < 0) continue;
+    CompiledQuery modified = *compiled;
+    PatternElement& el = modified.elements[d.element - 1];
+    if (d.conjunct >= static_cast<int>(el.conjuncts.size())) continue;
+    el.conjuncts.erase(el.conjuncts.begin() + d.conjunct);
+    el.predicate = nullptr;
+    for (const ExprPtr& c : el.conjuncts) {
+      el.predicate = el.predicate ? MakeAnd(el.predicate, c) : c;
+    }
+    auto dropped =
+        QueryExecutor::ExecuteCompiled(data, modified, ExecOptions{});
+    if (base.ok() != dropped.ok()) {
+      return Fail("dropping a " + d.code +
+                      " conjunct changed the error: base=" +
+                      base.status().ToString() +
+                      " dropped=" + dropped.status().ToString() +
+                      "\ndiagnostic: " + d.message,
+                  seed, query.sql, data);
+    }
+    if (!base.ok()) continue;
+    std::vector<std::string> a = RowStrings(base->output);
+    std::vector<std::string> b = RowStrings(dropped->output);
+    if (a != b) {
+      return Fail("dropping a " + d.code +
+                      " conjunct changed the result: " +
+                      DiffRows("original", a, "dropped", b) +
+                      "\ndiagnostic: " + d.message,
+                  seed, query.sql, data);
+    }
+    if (stats != nullptr) ++stats->drops_tested;
+  }
+  return DifferentialOutcome{};
 }
 
 }  // namespace fuzz

@@ -86,6 +86,31 @@ DifferentialOutcome CheckStreamPrefixConsistency(const Table& data,
                                                  const GeneratedQuery& query,
                                                  uint64_t seed);
 
+/// What the lint soundness check observed across calls (aggregated by
+/// the caller so the fuzz test can assert the analyzer actually fires
+/// on generated queries, not just that it never lies).
+struct LintFuzzStats {
+  int64_t queries = 0;
+  /// Queries the analyzer proved empty (any E-code).
+  int64_t error_queries = 0;
+  /// W001/W002 conjuncts individually dropped and re-executed.
+  int64_t drops_tested = 0;
+  int64_t warnings = 0;
+};
+
+/// Closes the loop between the static analyzer (analysis/linter.h) and
+/// the execution oracles:
+///  - every E-level verdict ("query is provably empty") is cross-checked
+///    against the naive backtracking engine — any returned row is a
+///    soundness counterexample and fails with a self-contained repro;
+///  - every W001/W002 verdict ("conjunct droppable") is validated by
+///    erasing exactly that conjunct from the compiled query and
+///    requiring the re-execution to be bit-identical.
+DifferentialOutcome CheckLintSoundness(const Table& data,
+                                       const GeneratedQuery& query,
+                                       uint64_t seed,
+                                       LintFuzzStats* stats = nullptr);
+
 /// Metamorphic: kill-and-restore equivalence.  Splits the stream at a
 /// random point k, checkpoints the executor there, destroys it, restores
 /// a fresh executor from the bytes and feeds it the remaining tuples.

@@ -1,0 +1,436 @@
+// Static query analyzer (analysis/linter.h): every diagnostic code on a
+// seeded corpus with expected codes and source spans, flagship queries
+// lint clean, positive-domain gating negative tests, renderer formats,
+// and the engine integration (refusal + EXPLAIN).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/linter.h"
+#include "engine/executor.h"
+#include "engine/explain.h"
+#include "engine/stream_executor.h"
+#include "test_util.h"
+#include "testing/data_gen.h"
+#include "workload/patterns.h"
+
+namespace sqlts {
+namespace {
+
+using fuzz::FuzzSchema;
+using testing_util::MustCompile;
+
+LintResult MustLint(const std::string& query,
+                    const Schema& schema = QuoteSchema()) {
+  auto lint = LintQueryText(query, schema);
+  SQLTS_CHECK(lint.ok()) << lint.status() << " for query: " << query;
+  return std::move(*lint);
+}
+
+/// The text the diagnostic's span covers in `query`.
+std::string SpanText(const std::string& query, const Diagnostic& d) {
+  if (!d.span.valid()) return "<no span>";
+  return query.substr(d.span.begin, d.span.end - d.span.begin);
+}
+
+// ---------------------------------------------------------------------
+// Seeded corpus: dead / contradictory / redundant queries, each with the
+// expected code and the exact source text the span must cover.
+// ---------------------------------------------------------------------
+
+struct CorpusCase {
+  const char* name;
+  const char* schema;  // "quote" or "fuzz"
+  std::string query;
+  const char* code;
+  const char* span_text;  // expected SpanText of the first such finding
+};
+
+std::vector<CorpusCase> SeededCorpus() {
+  return {
+      // E001: predicate contradicts itself.
+      {"e001_band", "quote",
+       "SELECT X.price FROM quote SEQUENCE BY date AS (X) "
+       "WHERE X.price > 10 AND X.price < 5",
+       "E001", "X.price > 10 AND X.price < 5"},
+      // E001 via the positive-domain axiom (price is declared POSITIVE).
+      {"e001_positive", "quote",
+       "SELECT X.price FROM quote SEQUENCE BY date AS (X) "
+       "WHERE X.price <= 0",
+       "E001", "X.price <= 0"},
+      // E001 only under the SEQUENCE BY ordering axioms.
+      {"e001_ordering", "quote",
+       "SELECT X.price FROM quote SEQUENCE BY date AS (X, Y) "
+       "WHERE X.next.date < X.date AND Y.price > X.price",
+       "E001", "X.next.date < X.date"},
+      // E002: elements are individually fine, jointly impossible on
+      // consecutive tuples.
+      {"e002_pair", "quote",
+       "SELECT X.price FROM quote SEQUENCE BY date AS (X, Y) "
+       "WHERE X.price > 100 AND Y.price < 50 AND Y.price >= X.price",
+       "E002",
+       "X.price > 100 AND Y.price < 50 AND Y.price >= X.price"},
+      // E002 over a three-element chain (no adjacent pair contradicts).
+      {"e002_chain", "quote",
+       "SELECT X.price FROM quote SEQUENCE BY date AS (X, Y, Z) "
+       "WHERE Y.price >= X.price + 10 AND Z.price >= Y.price + 10 "
+       "AND Z.price <= X.price + 15",
+       "E002",
+       "Y.price >= X.price + 10 AND Z.price >= Y.price + 10 "
+       "AND Z.price <= X.price + 15"},
+      // E003: hoisted cluster filter vs pattern predicate.
+      {"e003_filter", "fuzz",
+       "SELECT X.seq FROM t CLUSTER BY grp SEQUENCE BY seq AS (X) "
+       "WHERE X.grp > 5 AND X.grp < X.seq AND X.seq < 2",
+       "E003", "X.grp > 5 AND X.grp < X.seq AND X.seq < 2"},
+      // E004: star group provably empty but required non-empty.
+      {"e004_star", "quote",
+       "SELECT X.price FROM quote SEQUENCE BY date AS (X, *Y, Z) "
+       "WHERE Y.price < 0 AND Z.price > Y.price",
+       "E004", "Y.price < 0 AND Z.price > Y.price"},
+      // E005: contradictory conjuncts both hoisted to cluster filters.
+      {"e005_joint", "fuzz",
+       "SELECT X.seq FROM t CLUSTER BY grp SEQUENCE BY seq AS (X) "
+       "WHERE X.grp > 5 AND X.grp < 3",
+       "E005", "X.grp > 5 AND X.grp < 3"},
+      // W001: conjunct implied by a sibling.
+      {"w001_weaker_bound", "quote",
+       "SELECT X.price FROM quote SEQUENCE BY date AS (X, Y) "
+       "WHERE Y.price > X.price AND Y.price > X.price - 5",
+       "W001", "Y.price > X.price - 5"},
+      // W002: explicitly written always-true conjunct.
+      {"w002_positive", "quote",
+       "SELECT X.price FROM quote SEQUENCE BY date AS (X, Y) "
+       "WHERE Y.price > X.price AND X.price > 0",
+       "W002", "X.price > 0"},
+      // W002: self-comparison tautology on a non-nullable column.
+      {"w002_self", "quote",
+       "SELECT X.price FROM quote SEQUENCE BY date AS (X, Y) "
+       "WHERE Y.price > X.price AND X.price = X.price",
+       "W002", "X.price = X.price"},
+      // W003: FIRST() of a single-tuple element.
+      {"w003_first", "quote",
+       "SELECT FIRST(X).price FROM quote SEQUENCE BY date AS (X, Y) "
+       "WHERE Y.price > X.price",
+       "W003", "FIRST(X).price"},
+      // W004: comparison already entailed by the SEQUENCE BY sort.
+      {"w004_seq", "quote",
+       "SELECT X.price FROM quote SEQUENCE BY date AS (X, Y) "
+       "WHERE Y.price > X.price AND Y.date >= X.date",
+       "W004", "Y.date >= X.date"},
+      // W005: LIMIT 0.
+      {"w005_limit", "quote",
+       "SELECT X.price FROM quote SEQUENCE BY date AS (X, Y) "
+       "WHERE Y.price > X.price LIMIT 0",
+       "W005", "LIMIT 0"},
+      // W006: star group provably empty, but nothing requires it.
+      {"w006_star", "quote",
+       "SELECT X.price FROM quote SEQUENCE BY date AS (X, *Y, Z) "
+       "WHERE Y.price < 0 AND Z.price > X.price",
+       "W006", "Y.price < 0"},
+  };
+}
+
+TEST(AnalysisCorpus, EveryCaseFlagsExpectedCodeAndSpan) {
+  for (const CorpusCase& c : SeededCorpus()) {
+    SCOPED_TRACE(c.name);
+    Schema schema =
+        std::string(c.schema) == "fuzz" ? FuzzSchema() : QuoteSchema();
+    LintResult lint = MustLint(c.query, schema);
+    auto found = lint.with_code(c.code);
+    ASSERT_FALSE(found.empty())
+        << "expected " << c.code << " for: " << c.query << "\n"
+        << RenderDiagnostics(lint.diagnostics, c.query);
+    EXPECT_EQ(SpanText(c.query, found[0]), c.span_text);
+  }
+}
+
+TEST(AnalysisCorpus, ErrorCasesAreErrorsWarningCasesAreNot) {
+  for (const CorpusCase& c : SeededCorpus()) {
+    SCOPED_TRACE(c.name);
+    Schema schema =
+        std::string(c.schema) == "fuzz" ? FuzzSchema() : QuoteSchema();
+    LintResult lint = MustLint(c.query, schema);
+    if (c.code[0] == 'E') {
+      EXPECT_TRUE(lint.has_errors());
+    } else {
+      EXPECT_FALSE(lint.has_errors())
+          << RenderDiagnostics(lint.diagnostics, c.query);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Per-code details.
+// ---------------------------------------------------------------------
+
+TEST(Analysis, E001ReportsElementAndOrderingVariantSaysSo) {
+  LintResult plain = MustLint(
+      "SELECT X.price FROM quote SEQUENCE BY date AS (X, Y) "
+      "WHERE Y.price > 10 AND Y.price < 5");
+  auto d = plain.with_code("E001");
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].element, 2);
+  EXPECT_EQ(d[0].message.find("SEQUENCE BY ordering"), std::string::npos);
+
+  LintResult ordered = MustLint(
+      "SELECT X.price FROM quote SEQUENCE BY date AS (X) "
+      "WHERE X.next.date < X.date");
+  d = ordered.with_code("E001");
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_NE(d[0].message.find("SEQUENCE BY ordering"), std::string::npos);
+}
+
+TEST(Analysis, E002NotEmittedWhenElementsAreCompatible) {
+  LintResult lint = MustLint(
+      "SELECT X.price FROM quote SEQUENCE BY date AS (X, Y) "
+      "WHERE X.price > 100 AND Y.price < 50");
+  EXPECT_TRUE(lint.with_code("E002").empty())
+      << RenderDiagnostics(lint.diagnostics, "");
+  EXPECT_FALSE(lint.has_errors());
+}
+
+TEST(Analysis, E004RequiresTheGroupW006Otherwise) {
+  // Same dead star; only the variant whose later element references the
+  // group is an error.
+  LintResult required = MustLint(
+      "SELECT X.price FROM quote SEQUENCE BY date AS (X, *Y, Z) "
+      "WHERE Y.price < 0 AND Z.price > Y.price");
+  EXPECT_EQ(required.with_code("E004").size(), 1u);
+  EXPECT_TRUE(required.has_errors());
+
+  LintResult unrequired = MustLint(
+      "SELECT X.price FROM quote SEQUENCE BY date AS (X, *Y, Z) "
+      "WHERE Y.price < 0 AND Z.price > X.price");
+  EXPECT_EQ(unrequired.with_code("W006").size(), 1u);
+  EXPECT_FALSE(unrequired.has_errors());
+}
+
+TEST(Analysis, W001CarriesElementAndConjunctIndices) {
+  const std::string q =
+      "SELECT X.price FROM quote SEQUENCE BY date AS (X, Y) "
+      "WHERE Y.price > X.price AND Y.price > X.price - 5";
+  LintResult lint = MustLint(q);
+  auto d = lint.with_code("W001");
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].element, 2);
+  EXPECT_EQ(d[0].conjunct, 1);
+}
+
+TEST(Analysis, W001NotEmittedWhenSiblingsDoNotPinTheOffset) {
+  // 'Y.next.price > Y.price - 5' looks implied by 'Y.next.price >
+  // Y.price', but only the sibling pins offset +1; swap the sibling for
+  // one that does not dereference +1 and the implication must not fire
+  // (the conjunct's resolution is no longer guaranteed).
+  LintResult lint = MustLint(
+      "SELECT X.price FROM quote SEQUENCE BY date AS (X, Y) "
+      "WHERE Y.price > 10 AND Y.next.price > Y.price - 5");
+  EXPECT_TRUE(lint.with_code("W001").empty())
+      << RenderDiagnostics(lint.diagnostics, "");
+}
+
+TEST(Analysis, W002NotEmittedForNullableColumns) {
+  // vol = vol is unknown (unsatisfied) when vol IS NULL, so it is not
+  // always true and dropping it would change results.
+  LintResult lint = MustLint(
+      "SELECT X.seq FROM t SEQUENCE BY seq AS (X, Y) "
+      "WHERE Y.seq > X.seq AND X.vol = X.vol",
+      FuzzSchema());
+  EXPECT_TRUE(lint.with_code("W002").empty())
+      << RenderDiagnostics(lint.diagnostics, "");
+}
+
+TEST(Analysis, W002NotEmittedForOffTupleReferences) {
+  // X.next.price > 0 is true only where the +1 reference resolves; at
+  // the cluster's last tuple it fails, so it is not droppable.
+  LintResult lint = MustLint(
+      "SELECT X.price FROM quote SEQUENCE BY date AS (X, Y) "
+      "WHERE Y.price > X.price AND X.next.price > 0");
+  EXPECT_TRUE(lint.with_code("W002").empty())
+      << RenderDiagnostics(lint.diagnostics, "");
+}
+
+TEST(Analysis, PositiveDomainVerdictsGatedOnDeclaredPositivity) {
+  // price is declared POSITIVE: price <= 0 is provably dead even though
+  // price is nullable (TRUE requires a real, positive value).
+  LintResult price = MustLint(
+      "SELECT X.seq FROM t SEQUENCE BY seq AS (X) WHERE X.price <= 0",
+      FuzzSchema());
+  EXPECT_EQ(price.with_code("E001").size(), 1u);
+
+  // grp is NOT declared positive: grp <= 0 and grp = 0 are satisfiable,
+  // and no positive-domain reasoning may leak onto them.
+  for (const char* pred : {"X.grp <= 0", "X.grp = 0", "X.grp < 0"}) {
+    SCOPED_TRACE(pred);
+    LintResult lint = MustLint(
+        std::string("SELECT X.seq FROM t SEQUENCE BY seq AS (X) WHERE ") +
+            pred,
+        FuzzSchema());
+    EXPECT_TRUE(lint.diagnostics.empty())
+        << RenderDiagnostics(lint.diagnostics, "");
+  }
+
+  // Mixing a positive column into the pattern does not license the
+  // domain axiom for the non-positive one.
+  LintResult mixed = MustLint(
+      "SELECT X.seq FROM t SEQUENCE BY seq AS (X, Y) "
+      "WHERE X.grp <= 0 AND Y.price > X.price",
+      FuzzSchema());
+  EXPECT_FALSE(mixed.has_errors())
+      << RenderDiagnostics(mixed.diagnostics, "");
+}
+
+TEST(Analysis, FlagshipQueriesLintClean) {
+  for (const NamedPattern& p : TechnicalPatternLibrary()) {
+    SCOPED_TRACE(p.name);
+    LintResult lint = MustLint(p.query);
+    EXPECT_TRUE(lint.diagnostics.empty())
+        << RenderDiagnostics(lint.diagnostics, p.query);
+  }
+  for (int n : {1, 2, 3, 9}) {
+    SCOPED_TRACE(n);
+    LintResult lint = MustLint(PaperExampleQuery(n));
+    EXPECT_TRUE(lint.diagnostics.empty())
+        << RenderDiagnostics(lint.diagnostics, PaperExampleQuery(n));
+  }
+}
+
+TEST(Analysis, LintQueryTextPropagatesCompileErrors) {
+  EXPECT_FALSE(LintQueryText("SELECT nonsense", QuoteSchema()).ok());
+  EXPECT_FALSE(
+      LintQueryText("SELECT X.oops FROM quote SEQUENCE BY date AS (X)",
+                    QuoteSchema())
+          .ok());
+}
+
+// ---------------------------------------------------------------------
+// Renderers.
+// ---------------------------------------------------------------------
+
+TEST(Analysis, CaretRendererPointsAtTheOffendingText) {
+  const std::string q =
+      "SELECT X.price FROM quote SEQUENCE BY date AS (X) "
+      "WHERE X.price > 10 AND X.price < 5";
+  LintResult lint = MustLint(q);
+  ASSERT_TRUE(lint.has_errors());
+  std::string text = RenderDiagnostics(lint.diagnostics, q);
+  EXPECT_NE(text.find("error[E001]"), std::string::npos) << text;
+  EXPECT_NE(text.find("--> query:1:"), std::string::npos) << text;
+  EXPECT_NE(text.find("^"), std::string::npos) << text;
+  EXPECT_NE(text.find("1 error(s), 0 warning(s)"), std::string::npos)
+      << text;
+}
+
+TEST(Analysis, JsonRendererEmitsStableFields) {
+  const std::string q =
+      "SELECT X.price FROM quote SEQUENCE BY date AS (X) "
+      "WHERE X.price > 10 AND X.price < 5";
+  LintResult lint = MustLint(q);
+  std::string json = DiagnosticsToJson(lint.diagnostics, q);
+  EXPECT_NE(json.find("\"code\":\"E001\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"severity\":\"error\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"line\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"element\":1"), std::string::npos) << json;
+  EXPECT_EQ(DiagnosticsToJson({}, q), "[]");
+}
+
+TEST(Analysis, ErrorsSortBeforeWarnings) {
+  const std::string q =
+      "SELECT X.price FROM quote SEQUENCE BY date AS (X, Y) "
+      "WHERE X.price > 0 AND Y.price > 10 AND Y.price < 5";
+  LintResult lint = MustLint(q);
+  ASSERT_TRUE(lint.has_errors());
+  ASSERT_TRUE(lint.has_warnings());
+  std::string text = RenderDiagnostics(lint.diagnostics, q);
+  EXPECT_LT(text.find("error["), text.find("warning[")) << text;
+}
+
+// ---------------------------------------------------------------------
+// Engine integration.
+// ---------------------------------------------------------------------
+
+TEST(Analysis, ExecutorRefusesProvablyEmptyQueriesWhenAsked) {
+  Table t = PricesToQuoteTable("A", *Date::Parse("1999-01-04"), {1, 2, 3});
+  const std::string dead =
+      "SELECT X.price FROM quote SEQUENCE BY date AS (X) "
+      "WHERE X.price > 10 AND X.price < 5";
+
+  // Default: executes (soundly) to an empty result.
+  auto lenient = QueryExecutor::Execute(t, dead);
+  ASSERT_TRUE(lenient.ok()) << lenient.status();
+  EXPECT_EQ(lenient->output.num_rows(), 0);
+
+  // Opt-in refusal: typed error naming the diagnostic.
+  ExecOptions opt;
+  opt.compile.refuse_provably_empty = true;
+  auto strict = QueryExecutor::Execute(t, dead, opt);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_NE(strict.status().message().find("E001"), std::string::npos)
+      << strict.status();
+
+  // Warnings alone never refuse.
+  auto warned = QueryExecutor::Execute(
+      t,
+      "SELECT X.price FROM quote SEQUENCE BY date AS (X, Y) "
+      "WHERE Y.price > X.price AND X.price > 0",
+      opt);
+  ASSERT_TRUE(warned.ok()) << warned.status();
+}
+
+TEST(Analysis, StreamExecutorRefusesProvablyEmptyQueriesWhenAsked) {
+  ExecOptions opt;
+  opt.compile.refuse_provably_empty = true;
+  auto exec = StreamingQueryExecutor::Create(
+      "SELECT X.price FROM quote SEQUENCE BY date AS (X) "
+      "WHERE X.price > 10 AND X.price < 5",
+      QuoteSchema(), [](const Row&) {}, opt);
+  ASSERT_FALSE(exec.ok());
+  EXPECT_NE(exec.status().message().find("provably empty"),
+            std::string::npos)
+      << exec.status();
+}
+
+TEST(Analysis, ExplainReportsDiagnostics) {
+  auto dead = ExplainQueryText(
+      "SELECT X.price FROM quote SEQUENCE BY date AS (X) "
+      "WHERE X.price > 10 AND X.price < 5",
+      QuoteSchema());
+  ASSERT_TRUE(dead.ok()) << dead.status();
+  EXPECT_NE(dead->find("diagnostics:"), std::string::npos);
+  EXPECT_NE(dead->find("error[E001]"), std::string::npos) << *dead;
+
+  auto clean = ExplainQueryText(PaperExampleQuery(9), QuoteSchema());
+  ASSERT_TRUE(clean.ok()) << clean.status();
+  EXPECT_NE(clean->find("diagnostics: none"), std::string::npos) << *clean;
+}
+
+// ---------------------------------------------------------------------
+// Source spans (satellite 1): line/column plumbing.
+// ---------------------------------------------------------------------
+
+TEST(Analysis, SpansSurviveMultilineQueriesWithCorrectLineNumbers) {
+  const std::string q =
+      "SELECT X.price FROM quote SEQUENCE BY date\n"
+      "AS (X)\n"
+      "WHERE X.price > 10 AND X.price < 5";
+  LintResult lint = MustLint(q);
+  auto d = lint.with_code("E001");
+  ASSERT_EQ(d.size(), 1u);
+  LineCol lc = LineColAt(q, d[0].span.begin);
+  EXPECT_EQ(lc.line, 3);
+  EXPECT_EQ(lc.column, 7);
+  EXPECT_EQ(SpanText(q, d[0]), "X.price > 10 AND X.price < 5");
+}
+
+TEST(Analysis, ParseErrorsReportLineAndColumn) {
+  auto q = CompileQueryText(
+      "SELECT X.price FROM quote\nSEQUENCE BY date AS (X) WHERE",
+      QuoteSchema());
+  ASSERT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("line 2"), std::string::npos)
+      << q.status();
+}
+
+}  // namespace
+}  // namespace sqlts

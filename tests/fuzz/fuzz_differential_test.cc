@@ -153,6 +153,35 @@ TEST(Metamorphic, StreamPrefixConsistency) {
   EXPECT_GT(checked, iters / 4);
 }
 
+/// Static analyzer soundness, fuzzed: E-verdicts ("provably empty")
+/// against the naive oracle, W001/W002 drop-safety against bit-identical
+/// re-execution (see analysis/linter.h).
+TEST(Metamorphic, LintVerdictsAreSound) {
+  const int64_t iters = EnvInt("SQLTS_FUZZ_LINT_ITERS", 600);
+  Stopwatch watch;
+  QueryGenerator qgen(kBaseSeed ^ 0x6666);
+  LintFuzzStats stats;
+  for (int64_t i = 0; i < iters; ++i) {
+    const uint64_t seed = kBaseSeed + 500000 + static_cast<uint64_t>(i);
+    Table data = RandomFuzzTable(seed);
+    GeneratedQuery query = qgen.Next();
+    DifferentialOutcome out = CheckLintSoundness(data, query, seed, &stats);
+    ASSERT_TRUE(out.ok) << out.failure;
+  }
+  EXPECT_EQ(stats.queries, iters);
+  // The analyzer must actually fire on the generated population — a
+  // linter that never speaks is trivially sound.  The generator's
+  // predicate mix (contradictory bands, implied bounds, tautological
+  // disjunctions) makes both verdict classes reachable.
+  EXPECT_GT(stats.warnings + stats.error_queries, 0)
+      << "analyzer never fired across " << iters << " generated queries";
+  RecordProperty("lint_queries", std::to_string(stats.queries));
+  RecordProperty("lint_error_queries", std::to_string(stats.error_queries));
+  RecordProperty("lint_warnings", std::to_string(stats.warnings));
+  RecordProperty("lint_drops_tested", std::to_string(stats.drops_tested));
+  RecordProperty("elapsed_ms", std::to_string(watch.elapsed_ms()));
+}
+
 // ---------------------------------------------------------------------------
 // Generator self-checks.
 // ---------------------------------------------------------------------------

@@ -62,12 +62,26 @@ TEST(Limit, LargerThanResultIsHarmless) {
   EXPECT_EQ(r->output.num_rows(), 1);
 }
 
+TEST(Limit, ZeroCompilesAndReturnsNoRows) {
+  // LIMIT 0 is legal (the static analyzer flags it as W005); the
+  // executor short-circuits without searching.
+  Schema s = QuoteSchema();
+  auto q = CompileQueryText(
+      "SELECT X.price FROM quote SEQUENCE BY date AS (X) LIMIT 0", s);
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_TRUE(q->limit_zero);
+  EXPECT_TRUE(q->limit_span.valid());
+
+  Table t = PricesToQuoteTable("A", *Date::Parse("1999-01-04"), {1, 2, 3});
+  auto r = QueryExecutor::Execute(
+      t, "SELECT X.price FROM quote SEQUENCE BY date AS (X) LIMIT 0");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->output.num_rows(), 0);
+  EXPECT_EQ(r->stats.evaluations, 0);
+}
+
 TEST(Limit, ParseErrors) {
   Schema s = QuoteSchema();
-  EXPECT_FALSE(CompileQueryText("SELECT X.price FROM quote SEQUENCE BY "
-                                "date AS (X) LIMIT 0",
-                                s)
-                   .ok());
   EXPECT_FALSE(CompileQueryText("SELECT X.price FROM quote SEQUENCE BY "
                                 "date AS (X) LIMIT abc",
                                 s)
