@@ -6,6 +6,13 @@
 //   {INT64,DOUBLE,STRING,DATE,BOOL}.
 //
 // Flags:
+//   --queryset FILE     run every query in FILE (';'-separated, or one
+//                       per line when the file has no ';') over ONE
+//                       shared scan with cross-query predicate
+//                       deduplication; prints each query's results and
+//                       the MultiQueryStats summary.  Composes with
+//                       --stream, --threads, --explain, --check,
+//                       --checkpoint/--restore
 //   --naive             batch: use the naive backtracking matcher
 //   --explain           print the optimizer report before results
 //   --check             lint only: run the static analyzer and exit
@@ -44,11 +51,15 @@
 #include <sstream>
 #include <string>
 
+#include <vector>
+
 #include "analysis/linter.h"
 #include "common/string_util.h"
 #include "engine/executor.h"
 #include "engine/explain.h"
 #include "engine/stream_executor.h"
+#include "multiquery/multi_executor.h"
+#include "multiquery/multi_stream.h"
 #include "storage/csv.h"
 
 namespace {
@@ -58,13 +69,37 @@ int Fail(const sqlts::Status& s) {
   return 1;
 }
 
+/// Splits a queryset file into individual queries: on ';' when present,
+/// else one query per (non-empty) line.
+std::vector<std::string> SplitQuerySet(const std::string& text) {
+  std::vector<std::string> out;
+  std::vector<std::string> parts =
+      text.find(';') != std::string::npos ? sqlts::SplitString(text, ';')
+                                          : sqlts::SplitString(text, '\n');
+  for (const std::string& part : parts) {
+    std::string q(sqlts::StripWhitespace(part));
+    if (!q.empty()) out.push_back(std::move(q));
+  }
+  return out;
+}
+
+void PrintRow(const sqlts::Row& row, const char* prefix) {
+  std::string line;
+  for (const sqlts::Value& v : row) {
+    if (!line.empty()) line += " | ";
+    line += v.ToString();
+  }
+  std::printf("%s%s\n", prefix, line.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace sqlts;
   if (argc < 4) {
     std::fprintf(stderr,
-                 "usage: %s <csv> <schema> <query> [--naive] [--explain] "
+                 "usage: %s <csv> <schema> <query> [--queryset FILE] "
+                 "[--naive] [--explain] "
                  "[--check] [--lint=json] [--Werror] "
                  "[--threads N] [--stream] [--max-buffered N] "
                  "[--skip-bad-input] [--checkpoint FILE] "
@@ -74,13 +109,20 @@ int main(int argc, char** argv) {
   }
   const std::string csv_path = argv[1];
   const std::string schema_text = argv[2];
-  const std::string query = argv[3];
+  // The query is positional, but optional when --queryset supplies the
+  // queries (the third argument is then already a flag).
+  std::string query;
+  int flag_start = 3;
+  if (argv[3][0] != '-') {
+    query = argv[3];
+    flag_start = 4;
+  }
   bool naive = false, explain = false, stream = false, skip_bad = false;
   bool check = false, lint_json = false, werror = false;
   int threads = 1;
   int64_t max_buffered = 0, checkpoint_at = -1;
-  std::string checkpoint_path, restore_path;
-  for (int i = 4; i < argc; ++i) {
+  std::string checkpoint_path, restore_path, queryset_path;
+  for (int i = flag_start; i < argc; ++i) {
     std::string a = argv[i];
     auto next = [&]() -> const char* {
       if (i + 1 >= argc) {
@@ -101,10 +143,16 @@ int main(int argc, char** argv) {
     else if (a == "--checkpoint") checkpoint_path = next();
     else if (a == "--checkpoint-at") checkpoint_at = std::atoll(next());
     else if (a == "--restore") restore_path = next();
+    else if (a == "--queryset") queryset_path = next();
     else {
       std::fprintf(stderr, "unknown flag '%s'\n", a.c_str());
       return 2;
     }
+  }
+
+  if (query.empty() && queryset_path.empty()) {
+    std::fprintf(stderr, "need a query or --queryset FILE\n");
+    return 2;
   }
 
   Schema schema;
@@ -132,6 +180,173 @@ int main(int argc, char** argv) {
     Status st =
         schema.AddColumn(StripWhitespace(bits[0]), *kind, nullable, positive);
     if (!st.ok()) return Fail(st);
+  }
+
+  // Queryset mode: run every query of the file over one shared scan.
+  if (!queryset_path.empty()) {
+    if (!query.empty()) {
+      std::fprintf(stderr, "--queryset replaces the positional query\n");
+      return 2;
+    }
+    std::ifstream qin(queryset_path);
+    if (!qin) {
+      std::fprintf(stderr, "cannot read queryset '%s'\n",
+                   queryset_path.c_str());
+      return 1;
+    }
+    std::ostringstream qbuf;
+    qbuf << qin.rdbuf();
+    std::vector<std::string> queries = SplitQuerySet(qbuf.str());
+    if (queries.empty()) {
+      std::fprintf(stderr, "queryset '%s' contains no queries\n",
+                   queryset_path.c_str());
+      return 2;
+    }
+
+    // Lint-only: per-query diagnostics, one report per member.
+    if (check) {
+      bool any_err = false, any_warn = false;
+      if (lint_json) std::printf("[");
+      for (size_t k = 0; k < queries.size(); ++k) {
+        auto lint = LintQueryText(queries[k], schema);
+        if (!lint.ok()) return Fail(lint.status());
+        any_err = any_err || lint->has_errors();
+        any_warn = any_warn || lint->has_warnings();
+        if (lint_json) {
+          std::printf("%s{\"query\": %zu, \"diagnostics\": %s}",
+                      k > 0 ? ", " : "", k + 1,
+                      DiagnosticsToJson(lint->diagnostics, queries[k]).c_str());
+        } else {
+          std::fprintf(stderr, "-- query #%zu --\n", k + 1);
+          if (lint->diagnostics.empty()) {
+            std::fprintf(stderr, "no diagnostics\n");
+          } else {
+            std::fprintf(stderr, "%s",
+                         RenderDiagnostics(lint->diagnostics,
+                                           queries[k]).c_str());
+          }
+        }
+      }
+      if (lint_json) std::printf("]\n");
+      return any_err || (werror && any_warn) ? 1 : 0;
+    }
+
+    ExecOptions opt;
+    opt.algorithm = naive ? SearchAlgorithm::kNaive : SearchAlgorithm::kOps;
+    opt.num_threads = threads;
+    opt.governance.max_buffered_tuples = max_buffered;
+    if (skip_bad) opt.governance.bad_input = BadInputPolicy::kSkipAndCount;
+
+    if (explain) {
+      auto report = ExplainQuerySet(schema, queries, opt);
+      if (!report.ok()) return Fail(report.status());
+      std::printf("%s", report->c_str());
+    }
+
+    CsvReadOptions csv_options;
+    if (skip_bad) csv_options.bad_input = BadInputPolicy::kSkipAndCount;
+    CsvReadStats csv_stats;
+    auto table = ReadCsvFile(csv_path, schema, csv_options, &csv_stats);
+    if (!table.ok()) return Fail(table.status());
+    std::fprintf(stderr, "loaded %lld rows; running %zu queries\n",
+                 static_cast<long long>(table->num_rows()), queries.size());
+
+    if (stream) {
+      auto exec = MultiStreamExecutor::Create(schema, opt);
+      if (!exec.ok()) return Fail(exec.status());
+      auto callback_for = [&](size_t k) {
+        std::string prefix = "[q" + std::to_string(k + 1) + "] ";
+        return [prefix](const Row& row) { PrintRow(row, prefix.c_str()); };
+      };
+
+      int64_t start_row = 0;
+      if (!restore_path.empty()) {
+        std::ifstream in(restore_path, std::ios::binary);
+        if (!in) {
+          std::fprintf(stderr, "cannot read checkpoint '%s'\n",
+                       restore_path.c_str());
+          return 1;
+        }
+        std::ostringstream bytes;
+        bytes << in.rdbuf();
+        Status st = (*exec)->Restore(
+            bytes.str(), [&](int index, const std::string&) {
+              return callback_for(static_cast<size_t>(index));
+            });
+        if (!st.ok()) return Fail(st);
+        start_row = (*exec)->rows_consumed();
+        std::fprintf(stderr, "restored %d queries from '%s': resuming at "
+                             "row %lld\n",
+                     (*exec)->num_queries(), restore_path.c_str(),
+                     static_cast<long long>(start_row));
+      } else {
+        for (size_t k = 0; k < queries.size(); ++k) {
+          auto id = (*exec)->AddQuery(queries[k], callback_for(k));
+          if (!id.ok()) return Fail(id.status());
+        }
+      }
+
+      for (int64_t r = start_row; r < table->num_rows(); ++r) {
+        if (checkpoint_at >= 0 &&
+            (*exec)->rows_consumed() >= checkpoint_at) {
+          break;
+        }
+        Status st = (*exec)->Push(table->GetRow(r));
+        if (!st.ok()) return Fail(st);
+      }
+
+      if (checkpoint_at >= 0 &&
+          (*exec)->rows_consumed() < table->num_rows()) {
+        if (checkpoint_path.empty()) {
+          std::fprintf(stderr, "--checkpoint-at needs --checkpoint FILE\n");
+          return 2;
+        }
+        std::string bytes;
+        Status st = (*exec)->Checkpoint(&bytes);
+        if (!st.ok()) return Fail(st);
+        std::ofstream out(checkpoint_path,
+                          std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+        if (!out) {
+          std::fprintf(stderr, "cannot write checkpoint '%s'\n",
+                       checkpoint_path.c_str());
+          return 1;
+        }
+        std::fprintf(stderr,
+                     "checkpointed %zu bytes to '%s' at row %lld; "
+                     "resume with --restore\n",
+                     bytes.size(), checkpoint_path.c_str(),
+                     static_cast<long long>((*exec)->rows_consumed()));
+        return 0;
+      }
+
+      Status st = (*exec)->Finish();
+      if (!st.ok()) return Fail(st);
+      for (size_t k = 0; k < queries.size(); ++k) {
+        const StreamingQueryExecutor* q =
+            (*exec)->query(static_cast<int>(k));
+        if (q == nullptr) continue;
+        std::fprintf(stderr, "query #%zu: %lld match(es)\n", k + 1,
+                     static_cast<long long>(q->stats().matches));
+      }
+      std::fprintf(stderr, "%s", (*exec)->stats().ToString().c_str());
+      return 0;
+    }
+
+    auto result = MultiQueryExecutor::Execute(*table, queries, opt);
+    if (!result.ok()) return Fail(result.status());
+    for (size_t k = 0; k < queries.size(); ++k) {
+      const QueryResult& qr = result->per_query[k];
+      std::printf("== query #%zu ==\n%s", k + 1,
+                  qr.output.ToString(1000).c_str());
+      std::fprintf(stderr,
+                   "query #%zu: %lld match(es), %lld predicate tests\n",
+                   k + 1, static_cast<long long>(qr.stats.matches),
+                   static_cast<long long>(qr.stats.evaluations));
+    }
+    std::fprintf(stderr, "%s", result->stats.ToString().c_str());
+    return 0;
   }
 
   // Lint-only mode: analyze the query and exit without reading the CSV.

@@ -22,8 +22,8 @@ Value CoerceTo(TypeKind want, Value v) {
   return v;  // AppendRow will surface genuine type errors
 }
 
-/// True when the hoisted cluster filters accept this cluster (evaluated
-/// on its first tuple; cluster columns are constant within a cluster).
+}  // namespace
+
 bool ClusterAccepted(const CompiledQuery& query, const SequenceView& seq) {
   if (seq.size() == 0) return false;
   EvalContext ctx;
@@ -36,7 +36,6 @@ bool ClusterAccepted(const CompiledQuery& query, const SequenceView& seq) {
   return true;
 }
 
-/// Projects one match of `seq` through the SELECT list.
 Row ProjectMatch(const CompiledQuery& query, const SequenceView& seq,
                  const Match& match) {
   EvalContext ctx;
@@ -52,6 +51,8 @@ Row ProjectMatch(const CompiledQuery& query, const SequenceView& seq,
   }
   return row;
 }
+
+namespace {
 
 /// Parallel per-cluster execution: clusters are hash-partitioned over a
 /// ShardPool (one task per cluster), each worker matches and projects

@@ -9,6 +9,7 @@
 #include "common/statusor.h"
 #include "engine/matcher.h"
 #include "engine/shard_pool.h"
+#include "engine/shared_eval.h"
 #include "parser/analyzer.h"
 #include "pattern/compile.h"
 #include "storage/table.h"
@@ -42,6 +43,12 @@ struct ExecOptions {
   /// deadline, cooperative cancellation, bad-input policy, and the
   /// testing-only fault hook.  See common/governance.h.
   ExecGovernance governance;
+  /// Multi-query seam (streaming): when set, the executor asks this
+  /// factory for one ElementEvaluator per cluster matcher, delegating
+  /// element predicate tests to it — the hook src/multiquery/ uses to
+  /// share per-tuple predicate results across the queries of one
+  /// workload.  Answer-preserving by contract; results are unchanged.
+  std::shared_ptr<ElementEvaluatorFactory> shared_eval;
 };
 
 /// The result of running a SQL-TS query: the projected output rows plus
@@ -59,6 +66,16 @@ struct QueryResult {
   /// ran on the single-threaded path.
   std::vector<ShardStats> shard_stats;
 };
+
+/// True when the hoisted cluster filters accept this cluster (evaluated
+/// on its first tuple; cluster columns are constant within a cluster).
+/// Shared with the multi-query driver (src/multiquery/).
+bool ClusterAccepted(const CompiledQuery& query, const SequenceView& seq);
+
+/// Projects one match of `seq` through `query`'s SELECT list, coercing
+/// each value to the declared output column type.
+Row ProjectMatch(const CompiledQuery& query, const SequenceView& seq,
+                 const Match& match);
 
 /// End-to-end SQL-TS execution engine: parse → analyze → compile the
 /// pattern → cluster & sort → match per cluster → evaluate the SELECT

@@ -29,13 +29,21 @@ class GovernancePoller {
 
 /// Evaluates pattern element `j` (1-based) against sequence position
 /// `pos`, with `spans` available for anchored cross-element references.
+/// A non-null `evaluator` answers the test instead (shared multi-query
+/// evaluation); it is answer-preserving, so either path yields the same
+/// verdict.  In batch search the working view is the whole cluster, so
+/// the stable cache position equals `pos`.
 bool TestElement(const PatternPlan& plan, int j, const SequenceView& seq,
                  int64_t pos, const std::vector<GroupSpan>& spans,
-                 SearchStats* stats, SearchTrace* trace) {
+                 SearchStats* stats, SearchTrace* trace,
+                 ElementEvaluator* evaluator) {
   ++stats->evaluations;
   if (trace != nullptr) trace->push_back({pos, j});
   const ExprPtr& pred = plan.predicates[j];
   if (pred == nullptr) return true;  // TRUE element
+  if (evaluator != nullptr) {
+    return evaluator->Test(j, seq, pos, spans, /*abs_pos=*/pos);
+  }
   EvalContext ctx;
   ctx.seq = &seq;
   ctx.pos = pos;
@@ -94,7 +102,8 @@ std::vector<Match> NaiveSearch(const SequenceView& seq,
         }
         break;
       }
-      bool sat = TestElement(plan, j, seq, i, spans, stats, trace);
+      bool sat = TestElement(plan, j, seq, i, spans, stats, trace,
+                             options.evaluator);
       if (sat) {
         if (!spans[j - 1].valid()) spans[j - 1].first = i;
         spans[j - 1].last = i;
@@ -202,7 +211,8 @@ std::vector<Match> OpsSearch(const SequenceView& seq,
       presat_pending = false;
       ++stats->presat_skips;
     } else {
-      sat = TestElement(plan, j, seq, i, spans, stats, trace);
+      sat = TestElement(plan, j, seq, i, spans, stats, trace,
+                        options.evaluator);
     }
 
     if (sat) {

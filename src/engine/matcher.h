@@ -5,6 +5,7 @@
 
 #include "common/governance.h"
 #include "engine/match.h"
+#include "engine/shared_eval.h"
 #include "pattern/compile.h"
 #include "storage/sequence.h"
 
@@ -20,6 +21,13 @@ struct SearchOptions {
   /// returning the matches found so far on trigger.  The caller is
   /// expected to re-check governance and discard the partial result.
   const ExecGovernance* governance = nullptr;
+  /// When set (not owned; must outlive the search), element predicate
+  /// tests are delegated to this evaluator instead of evaluating
+  /// plan.predicates[j] directly — the multi-query seam (shared
+  /// per-tuple memoization across queries; see engine/shared_eval.h).
+  /// The delegate must be answer-preserving, so results and stats stay
+  /// bit-identical.
+  ElementEvaluator* evaluator = nullptr;
 };
 
 /// Baseline backtracking search (the paper's "naive algorithm"): try a

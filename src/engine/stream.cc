@@ -32,7 +32,8 @@ void ScanOffsets(const PatternPlan& plan, int* min_offset,
 
 StatusOr<OpsStreamMatcher> OpsStreamMatcher::Create(
     const PatternPlan* plan, Schema schema, MatchCallback on_match,
-    const ExecGovernance* governance, ResourceLedger* ledger) {
+    const ExecGovernance* governance, ResourceLedger* ledger,
+    ElementEvaluator* evaluator) {
   SQLTS_CHECK(plan != nullptr);
   int min_offset = 0;
   bool looks_ahead = false;
@@ -43,19 +44,21 @@ StatusOr<OpsStreamMatcher> OpsStreamMatcher::Create(
         "(positive previous/next offsets)");
   }
   return OpsStreamMatcher(plan, std::move(schema), std::move(on_match),
-                          min_offset, governance, ledger);
+                          min_offset, governance, ledger, evaluator);
 }
 
 OpsStreamMatcher::OpsStreamMatcher(const PatternPlan* plan, Schema schema,
                                    MatchCallback on_match, int min_offset,
                                    const ExecGovernance* governance,
-                                   ResourceLedger* ledger)
+                                   ResourceLedger* ledger,
+                                   ElementEvaluator* evaluator)
     : plan_(plan),
       schema_(schema),
       on_match_(std::move(on_match)),
       min_offset_(min_offset),
       gov_(governance),
       ledger_(ledger),
+      evaluator_(evaluator),
       buffer_(schema),
       cnt_(plan->m + 1, 0),
       spans_(plan->m) {}
@@ -195,11 +198,19 @@ void OpsStreamMatcher::Drain() {
                                          spans_[e].last - base_}
                              : GroupSpan{};
         }
-        EvalContext ctx;
-        ctx.seq = &view;
-        ctx.pos = i_ - base_;
-        ctx.spans = &rel_spans;
-        sat = EvalPredicate(*pred, ctx);
+        if (evaluator_ != nullptr) {
+          // The buffer view is positioned at i_ - base_, but the tuple's
+          // stable identity across queries (whose buffers may have
+          // evicted different prefixes) is its absolute position i_.
+          sat = evaluator_->Test(j_, view, i_ - base_, rel_spans,
+                                 /*abs_pos=*/i_);
+        } else {
+          EvalContext ctx;
+          ctx.seq = &view;
+          ctx.pos = i_ - base_;
+          ctx.spans = &rel_spans;
+          sat = EvalPredicate(*pred, ctx);
+        }
       }
     }
 

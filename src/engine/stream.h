@@ -8,6 +8,7 @@
 #include "common/statusor.h"
 #include "engine/checkpoint.h"
 #include "engine/match.h"
+#include "engine/shared_eval.h"
 #include "pattern/compile.h"
 #include "storage/table.h"
 
@@ -55,10 +56,15 @@ class OpsStreamMatcher {
   /// budgets/deadline/cancellation; `ledger` (optional, shared across
   /// the query's matchers) is where buffered tuples/bytes are accounted
   /// so multi-cluster queries enforce one per-query budget.
+  /// `evaluator` (optional; must outlive the matcher) delegates element
+  /// predicate tests for shared multi-query evaluation — it is
+  /// answer-preserving, so matches and stats are unchanged (see
+  /// engine/shared_eval.h).
   static StatusOr<OpsStreamMatcher> Create(
       const PatternPlan* plan, Schema schema, MatchCallback on_match,
       const ExecGovernance* governance = nullptr,
-      ResourceLedger* ledger = nullptr);
+      ResourceLedger* ledger = nullptr,
+      ElementEvaluator* evaluator = nullptr);
 
   /// Processes the next tuple of the stream.
   Status Push(Row row);
@@ -90,7 +96,8 @@ class OpsStreamMatcher {
  private:
   OpsStreamMatcher(const PatternPlan* plan, Schema schema,
                    MatchCallback on_match, int min_offset,
-                   const ExecGovernance* governance, ResourceLedger* ledger);
+                   const ExecGovernance* governance, ResourceLedger* ledger,
+                   ElementEvaluator* evaluator);
 
   /// Runs the OPS state machine over every buffered-but-unprocessed
   /// tuple.  Returns early (leaving consistent state) when cancellation
@@ -116,6 +123,7 @@ class OpsStreamMatcher {
   int min_offset_;  // most negative relative offset used by predicates
   const ExecGovernance* gov_;  // not owned; may be null
   ResourceLedger* ledger_;     // not owned; may be null
+  ElementEvaluator* evaluator_ = nullptr;  // not owned; may be null
 
   Table buffer_;
   /// Identity row index into buffer_, grown incrementally so Drain()

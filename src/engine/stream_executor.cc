@@ -55,7 +55,8 @@ StreamingQueryExecutor::StreamingQueryExecutor(CompiledQuery query,
       plan_(std::move(plan)),
       on_row_(std::move(on_row)),
       num_threads_(std::max(1, options.num_threads)),
-      governance_(options.governance) {
+      governance_(options.governance),
+      shared_eval_(options.shared_eval) {
   shards_.reserve(num_threads_);
   for (int s = 0; s < num_threads_; ++s) {
     shards_.push_back(std::make_unique<ShardState>());
@@ -98,6 +99,10 @@ StreamingQueryExecutor::RouteFor(const Row& row) {
         break;
       }
     }
+  }
+  if (shared_eval_ != nullptr) {
+    std::lock_guard<std::mutex> lock(ordinal_keys_mu_);
+    ordinal_keys_.emplace(info.ordinal, key);
   }
   auto [pos, inserted] = routes_.emplace(std::move(key), std::move(info));
   SQLTS_CHECK(inserted);
@@ -188,17 +193,28 @@ Status StreamingQueryExecutor::Push(Row row) {
   return ProcessTask(0, std::move(task));
 }
 
-StatusOr<std::unique_ptr<OpsStreamMatcher>>
-StreamingQueryExecutor::MakeMatcher(int shard, uint64_t ordinal) {
+Status StreamingQueryExecutor::MakeMatcher(int shard, uint64_t ordinal,
+                                           ClusterState* cs) {
+  if (shared_eval_ != nullptr) {
+    std::string key;
+    {
+      std::lock_guard<std::mutex> lock(ordinal_keys_mu_);
+      auto it = ordinal_keys_.find(ordinal);
+      SQLTS_CHECK(it != ordinal_keys_.end());
+      key = it->second;
+    }
+    cs->evaluator = shared_eval_->MakeEvaluator(key);
+  }
   auto matcher = OpsStreamMatcher::Create(
       &plan_, query_.input_schema,
       [this, shard, ordinal](const Match& m, const SequenceView& v,
                              int64_t base) {
         EmitRow(shard, ordinal, m, v, base);
       },
-      &governance_, &ledger_);
+      &governance_, &ledger_, cs->evaluator.get());
   if (!matcher.ok()) return matcher.status();
-  return std::make_unique<OpsStreamMatcher>(std::move(*matcher));
+  cs->matcher = std::make_unique<OpsStreamMatcher>(std::move(*matcher));
+  return Status::OK();
 }
 
 Status StreamingQueryExecutor::ProcessTask(int shard, ShardPool::Task task) {
@@ -209,13 +225,12 @@ Status StreamingQueryExecutor::ProcessTask(int shard, ShardPool::Task task) {
   if (!st.error.ok()) return st.error;
   auto it = st.clusters.find(task.cluster);
   if (it == st.clusters.end()) {
-    auto matcher = MakeMatcher(shard, task.cluster);
-    if (!matcher.ok()) {
-      if (st.error.ok()) st.error = matcher.status();
-      return matcher.status();
-    }
     ClusterState cs;
-    cs.matcher = std::move(*matcher);
+    Status made = MakeMatcher(shard, task.cluster, &cs);
+    if (!made.ok()) {
+      if (st.error.ok()) st.error = made;
+      return made;
+    }
     it = st.clusters.emplace(task.cluster, std::move(cs)).first;
   }
   st.current_tag = task.tag;
@@ -414,11 +429,15 @@ Status StreamingQueryExecutor::Restore(std::string_view bytes) {
     // checkpoint: recompute it, so thread counts may differ across the
     // kill/restore boundary.
     info.shard = pool_ != nullptr ? pool_->ShardFor(key) : 0;
+    if (shared_eval_ != nullptr) {
+      std::lock_guard<std::mutex> lock(ordinal_keys_mu_);
+      ordinal_keys_.emplace(info.ordinal, key);
+    }
     SQLTS_ASSIGN_OR_RETURN(bool has_matcher, r.ReadBool());
     if (has_matcher) {
       ClusterState cs;
       SQLTS_ASSIGN_OR_RETURN(cs.emit_seq, r.ReadU64());
-      SQLTS_ASSIGN_OR_RETURN(cs.matcher, MakeMatcher(info.shard, info.ordinal));
+      SQLTS_RETURN_IF_ERROR(MakeMatcher(info.shard, info.ordinal, &cs));
       SQLTS_RETURN_IF_ERROR(cs.matcher->RestoreState(&r));
       // Workers are parked: the first task for this shard is enqueued
       // under its mutex, which publishes this insert to the worker.

@@ -4,8 +4,10 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/governance.h"
@@ -134,6 +136,10 @@ class StreamingQueryExecutor {
 
   /// Matcher state owned by exactly one shard worker.
   struct ClusterState {
+    /// Shared-evaluation delegate the matcher points at (multi-query
+    /// mode only); owned here, declared before `matcher` so it outlives
+    /// it on destruction.
+    std::unique_ptr<ElementEvaluator> evaluator;
     std::unique_ptr<OpsStreamMatcher> matcher;
     uint64_t emit_seq = 0;  // per-cluster emission counter
   };
@@ -168,9 +174,9 @@ class StreamingQueryExecutor {
   /// with `why`, or count the drop and return OK.
   Status HandleBadInput(Status why);
   /// Builds a cluster matcher wired to this executor's governance,
-  /// ledger, and emission path.
-  StatusOr<std::unique_ptr<OpsStreamMatcher>> MakeMatcher(int shard,
-                                                          uint64_t ordinal);
+  /// ledger, emission path, and (in multi-query mode) a shared
+  /// evaluator for the cluster; fills `cs`.
+  Status MakeMatcher(int shard, uint64_t ordinal, ClusterState* cs);
   /// Consumes one routed tuple on its owning shard.
   Status ProcessTask(int shard, ShardPool::Task task);
   /// Match callback: projects the SELECT list and emits or buffers.
@@ -186,6 +192,14 @@ class StreamingQueryExecutor {
   RowCallback on_row_;
   int num_threads_;
   ExecGovernance governance_;
+  /// Multi-query shared-evaluation factory (may be null).
+  std::shared_ptr<ElementEvaluatorFactory> shared_eval_;
+  /// Router-populated ordinal → encoded cluster key, read once by a
+  /// shard worker when it creates that cluster's matcher (multi-query
+  /// mode only; guarded by the mutex because the router may be
+  /// inserting a new cluster while a worker instantiates another).
+  std::mutex ordinal_keys_mu_;
+  std::unordered_map<uint64_t, std::string> ordinal_keys_;
   ResourceLedger ledger_;  // per-query buffered tuples/bytes
   std::vector<int> cluster_cols_;
   std::vector<int> sequence_cols_;

@@ -1,0 +1,180 @@
+#include "multiquery/multi_stream.h"
+
+#include <utility>
+
+#include "engine/checkpoint.h"
+
+namespace sqlts {
+namespace {
+
+/// Streaming memo horizon per predicate per cluster.  Attempts probe a
+/// bounded window around the stream head, so a modest ring captures
+/// virtually all cross-query re-tests; a wrapped slot only costs a
+/// re-evaluation.
+constexpr int64_t kStreamCacheWindow = 4096;
+
+}  // namespace
+
+StatusOr<std::unique_ptr<MultiStreamExecutor>> MultiStreamExecutor::Create(
+    Schema schema, const ExecOptions& options) {
+  return std::unique_ptr<MultiStreamExecutor>(
+      new MultiStreamExecutor(std::move(schema), options));
+}
+
+StatusOr<int> MultiStreamExecutor::AddQuery(std::string_view query_text,
+                                            RowCallback on_row) {
+  return AddQueryWithEpoch(query_text, std::move(on_row), pushed_);
+}
+
+StatusOr<int> MultiStreamExecutor::AddQueryWithEpoch(
+    std::string_view query_text, RowCallback on_row, int64_t epoch) {
+  SQLTS_ASSIGN_OR_RETURN(CompiledQuery compiled,
+                         CompileQueryText(query_text, schema_));
+  SQLTS_ASSIGN_OR_RETURN(std::string sig,
+                         ScanGroupSignature(schema_, compiled));
+  std::shared_ptr<SharedEvalManager>& manager = groups_[sig];
+  if (manager == nullptr) {
+    manager = std::make_shared<SharedEvalManager>(
+        schema_, options_.compile.oracle, kStreamCacheWindow);
+  }
+  QueryConjuncts conjuncts = manager->Register(compiled);
+  ExecOptions query_options = options_;
+  query_options.shared_eval = std::make_shared<QuerySharedEvalFactory>(
+      manager, std::move(conjuncts), epoch);
+  SQLTS_ASSIGN_OR_RETURN(
+      std::unique_ptr<StreamingQueryExecutor> exec,
+      StreamingQueryExecutor::Create(query_text, schema_, std::move(on_row),
+                                     query_options));
+  Registered r;
+  r.text = std::string(query_text);
+  r.group_sig = std::move(sig);
+  r.epoch = epoch;
+  r.exec = std::move(exec);
+  queries_.push_back(std::move(r));
+  return static_cast<int>(queries_.size()) - 1;
+}
+
+Status MultiStreamExecutor::RemoveQuery(int id) {
+  if (id < 0 || id >= static_cast<int>(queries_.size())) {
+    return Status::InvalidArgument("no query with id " + std::to_string(id));
+  }
+  if (queries_[id].exec == nullptr) {
+    return Status::InvalidArgument("query " + std::to_string(id) +
+                                   " already removed");
+  }
+  // Cancel: drop the matcher without Finish(), so no end-of-stream
+  // matches are emitted.  The catalog keeps its registrations (stale
+  // entries are harmless; a re-added identical query re-merges).
+  queries_[id].exec.reset();
+  return Status::OK();
+}
+
+Status MultiStreamExecutor::Push(Row row) {
+  ++pushed_;
+  Status first = Status::OK();
+  for (Registered& r : queries_) {
+    if (r.exec == nullptr) continue;
+    Status st = r.exec->Push(row);
+    if (!st.ok() && first.ok()) first = st;
+  }
+  return first;
+}
+
+Status MultiStreamExecutor::Finish() {
+  Status first = Status::OK();
+  for (Registered& r : queries_) {
+    if (r.exec == nullptr) continue;
+    Status st = r.exec->Finish();
+    if (!st.ok() && first.ok()) first = st;
+  }
+  return first;
+}
+
+Status MultiStreamExecutor::Checkpoint(std::string* out) {
+  CheckpointWriter w;
+  w.WriteU64(static_cast<uint64_t>(queries_.size()));
+  for (Registered& r : queries_) {
+    w.WriteString(r.text);
+    w.WriteI64(r.epoch);
+    w.WriteBool(r.exec != nullptr);
+    if (r.exec != nullptr) {
+      std::string sub;
+      SQLTS_RETURN_IF_ERROR(r.exec->Checkpoint(&sub));
+      w.WriteString(sub);
+    }
+  }
+  w.WriteI64(pushed_);
+  MultiQueryStats s = stats();
+  w.WriteI64(s.shared_lookups);
+  w.WriteI64(s.shared_evals);
+  w.WriteI64(s.cache_hits);
+  w.WriteI64(s.inferred_hits);
+  w.WriteI64(s.private_evals);
+  *out = w.Finalize();
+  return Status::OK();
+}
+
+Status MultiStreamExecutor::Restore(std::string_view bytes,
+                                    const CallbackResolver& resolver) {
+  if (!queries_.empty() || pushed_ != 0) {
+    return Status::InvalidArgument(
+        "Restore requires a freshly created multi-stream executor");
+  }
+  SQLTS_ASSIGN_OR_RETURN(std::string_view payload, OpenCheckpoint(bytes));
+  CheckpointReader r(payload);
+  SQLTS_ASSIGN_OR_RETURN(uint64_t count, r.ReadU64());
+  for (uint64_t i = 0; i < count; ++i) {
+    SQLTS_ASSIGN_OR_RETURN(std::string text, r.ReadString());
+    SQLTS_ASSIGN_OR_RETURN(int64_t epoch, r.ReadI64());
+    SQLTS_ASSIGN_OR_RETURN(bool live, r.ReadBool());
+    if (live) {
+      SQLTS_ASSIGN_OR_RETURN(std::string sub, r.ReadString());
+      // The original epoch carries over: restored matchers resume their
+      // saved positions, so cache alignment is decided by where each
+      // query originally joined the stream, not by the restore point.
+      SQLTS_ASSIGN_OR_RETURN(
+          int id, AddQueryWithEpoch(text, resolver(static_cast<int>(i), text),
+                                    epoch));
+      SQLTS_RETURN_IF_ERROR(queries_[id].exec->Restore(sub));
+    } else {
+      // Keep ids dense: a removed query stays a tombstone after restore.
+      Registered dead;
+      dead.text = std::move(text);
+      dead.epoch = epoch;
+      queries_.push_back(std::move(dead));
+    }
+  }
+  SQLTS_ASSIGN_OR_RETURN(pushed_, r.ReadI64());
+  // Shared-cache counters restart at zero in the fresh managers; carry
+  // the saved totals so stats() stays cumulative.  Subtract what the
+  // re-registration above already re-counted (nothing — registration
+  // touches only catalog stats, which rebuild deterministically).
+  SQLTS_ASSIGN_OR_RETURN(baseline_.shared_lookups, r.ReadI64());
+  SQLTS_ASSIGN_OR_RETURN(baseline_.shared_evals, r.ReadI64());
+  SQLTS_ASSIGN_OR_RETURN(baseline_.cache_hits, r.ReadI64());
+  SQLTS_ASSIGN_OR_RETURN(baseline_.inferred_hits, r.ReadI64());
+  SQLTS_ASSIGN_OR_RETURN(baseline_.private_evals, r.ReadI64());
+  return Status::OK();
+}
+
+MultiQueryStats MultiStreamExecutor::stats() const {
+  MultiQueryStats s = baseline_;
+  s.num_queries = num_queries();
+  s.num_scan_groups = static_cast<int>(groups_.size());
+  s.tuples_scanned = pushed_;
+  for (const auto& entry : groups_) {
+    s.AddCatalog(entry.second->catalog().stats());
+    s.SnapshotCounters(entry.second->counters_ref());
+  }
+  return s;
+}
+
+int MultiStreamExecutor::num_queries() const {
+  int live = 0;
+  for (const Registered& r : queries_) {
+    if (r.exec != nullptr) ++live;
+  }
+  return live;
+}
+
+}  // namespace sqlts

@@ -1,0 +1,113 @@
+#ifndef SQLTS_MULTIQUERY_MULTI_STREAM_H_
+#define SQLTS_MULTIQUERY_MULTI_STREAM_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/statusor.h"
+#include "engine/stream_executor.h"
+#include "multiquery/predicate_catalog.h"
+#include "multiquery/shared_cache.h"
+
+namespace sqlts {
+
+/// Streaming shared multi-query execution: a registry of
+/// StreamingQueryExecutors fed from one Push() stream, with the queries
+/// of each scan group sharing per-cluster predicate memos through
+/// ExecOptions::shared_eval.  Output is inherently demultiplexed — each
+/// query delivers rows to its own callback, in exactly the
+/// deterministic (tag, seq)-merged order its standalone executor
+/// produces at any thread count.
+///
+/// Queries register and deregister between pushes: AddQuery() starts a
+/// query at the current stream position (it sees only subsequent
+/// tuples, like a standalone executor created now); RemoveQuery()
+/// cancels one without emitting its pending matches.  Checkpoint()
+/// captures the whole registered set — every query's text and full
+/// matcher state plus the workload counters — and Restore() reinstates
+/// it on a freshly created instance, re-resolving per-query callbacks
+/// through the caller's resolver.
+class MultiStreamExecutor {
+ public:
+  using RowCallback = StreamingQueryExecutor::RowCallback;
+  /// Supplies the output callback for restored query `index`
+  /// (registration order, as returned by AddQuery) with text `text`.
+  using CallbackResolver =
+      std::function<RowCallback(int index, const std::string& text)>;
+
+  static StatusOr<std::unique_ptr<MultiStreamExecutor>> Create(
+      Schema schema, const ExecOptions& options = {});
+
+  /// Registers `query_text`, returning its id (dense, registration
+  /// order, stable across RemoveQuery).  Only call between pushes.
+  StatusOr<int> AddQuery(std::string_view query_text, RowCallback on_row);
+
+  /// Cancels query `id`: no further rows are delivered, its matcher
+  /// state is dropped without running end-of-stream completion.
+  Status RemoveQuery(int id);
+
+  /// Feeds `row` to every live query.  The first error encountered is
+  /// returned, but the row is still offered to the remaining queries so
+  /// their stream positions stay aligned.
+  Status Push(Row row);
+
+  /// End-of-stream for every live query, in registration order.
+  Status Finish();
+
+  /// Serializes the registered set: per-query text + sub-checkpoint,
+  /// stream position, and the shared-evaluation counters.
+  Status Checkpoint(std::string* out);
+
+  /// Reinstates a Checkpoint() on a fresh instance (same schema and
+  /// options; thread count may differ).  Queries are re-registered in
+  /// their original order with callbacks from `resolver`.
+  Status Restore(std::string_view bytes, const CallbackResolver& resolver);
+
+  /// Workload accounting: catalog state of every scan group plus the
+  /// shared-cache counters (cumulative across a Restore).
+  MultiQueryStats stats() const;
+
+  /// Live (registered, not removed) query count.
+  int num_queries() const;
+  /// Total tuples offered to Push().
+  int64_t rows_consumed() const { return pushed_; }
+
+  /// The underlying executor of query `id` (null if removed) — for
+  /// stats inspection; do not push to it directly.
+  const StreamingQueryExecutor* query(int id) const {
+    return queries_[id].exec.get();
+  }
+
+ private:
+  struct Registered {
+    std::string text;
+    std::string group_sig;
+    /// Stream position at registration: namespaces the shared caches so
+    /// only queries with aligned matcher position spaces share memos.
+    int64_t epoch = 0;
+    std::unique_ptr<StreamingQueryExecutor> exec;  // null once removed
+  };
+
+  MultiStreamExecutor(Schema schema, const ExecOptions& options)
+      : schema_(std::move(schema)), options_(options) {}
+
+  StatusOr<int> AddQueryWithEpoch(std::string_view query_text,
+                                  RowCallback on_row, int64_t epoch);
+
+  Schema schema_;
+  ExecOptions options_;
+  std::map<std::string, std::shared_ptr<SharedEvalManager>> groups_;
+  std::vector<Registered> queries_;
+  int64_t pushed_ = 0;
+  /// Counter values carried over from a restored checkpoint, so stats()
+  /// stays cumulative across a save/restore boundary.
+  MultiQueryStats baseline_;
+};
+
+}  // namespace sqlts
+
+#endif  // SQLTS_MULTIQUERY_MULTI_STREAM_H_

@@ -1,0 +1,114 @@
+#include "multiquery/shared_cache.h"
+
+namespace sqlts {
+
+QueryConjuncts RegisterQueryConjuncts(const CompiledQuery& query,
+                                      SharedPredicateCatalog* catalog) {
+  QueryConjuncts out;
+  out.elements.resize(query.elements.size() + 1);
+  for (size_t i = 0; i < query.elements.size(); ++i) {
+    for (const ExprPtr& c : query.elements[i].conjuncts) {
+      QueryConjuncts::Conjunct entry;
+      entry.expr = c;
+      entry.shared_id = catalog->Register(c);
+      out.elements[i + 1].push_back(std::move(entry));
+    }
+  }
+  return out;
+}
+
+StatusOr<std::string> ScanGroupSignature(const Schema& schema,
+                                         const CompiledQuery& query) {
+  std::string sig = "c";
+  for (const std::string& name : query.cluster_by) {
+    SQLTS_ASSIGN_OR_RETURN(int col, schema.FindColumn(name));
+    sig += ":" + std::to_string(col);
+  }
+  sig += "|s";
+  for (const std::string& name : query.sequence_by) {
+    SQLTS_ASSIGN_OR_RETURN(int col, schema.FindColumn(name));
+    sig += ":" + std::to_string(col);
+  }
+  return sig;
+}
+
+SharedClusterCache::SharedClusterCache(const SharedPredicateCatalog* catalog,
+                                       int64_t window)
+    : catalog_(catalog), window_(window < 1 ? 1 : window) {}
+
+bool SharedClusterCache::Test(int pred_id, const EvalContext& ctx,
+                              int64_t abs_pos,
+                              MultiQueryCounters* counters) {
+  counters->shared_lookups.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  // The catalog can grow between batches (AddQuery); rings follow.
+  if (static_cast<int>(rings_.size()) < catalog_->size()) {
+    rings_.resize(catalog_->size());
+  }
+  std::vector<Slot>& ring = rings_[pred_id];
+  if (ring.empty()) ring.resize(window_);
+  Slot& slot = ring[abs_pos % window_];
+  if (slot.pos == abs_pos) {
+    counters->cache_hits.fetch_add(1, std::memory_order_relaxed);
+    if (slot.inferred) {
+      counters->inferred_hits.fetch_add(1, std::memory_order_relaxed);
+    }
+    return slot.val;
+  }
+  counters->shared_evals.fetch_add(1, std::memory_order_relaxed);
+  bool val = EvalPredicate(*catalog_->predicate(pred_id).expr, ctx);
+  slot.pos = abs_pos;
+  slot.val = val;
+  slot.inferred = false;
+  if (val) {
+    // A TRUE verdict certifies every read value exists; predicates the
+    // catalog proves implied (with reference subsets) are TRUE here too.
+    for (int q : catalog_->predicate(pred_id).implies) {
+      std::vector<Slot>& qring = rings_[q];
+      if (qring.empty()) qring.resize(window_);
+      Slot& qslot = qring[abs_pos % window_];
+      if (qslot.pos != abs_pos) {
+        qslot.pos = abs_pos;
+        qslot.val = true;
+        qslot.inferred = true;
+      }
+    }
+  }
+  return val;
+}
+
+bool MultiQueryEvaluator::Test(int j, const SequenceView& seq, int64_t pos,
+                               const std::vector<GroupSpan>& spans,
+                               int64_t abs_pos) {
+  EvalContext ctx;
+  ctx.seq = &seq;
+  ctx.pos = pos;
+  ctx.spans = &spans;
+  for (const QueryConjuncts::Conjunct& c : conjuncts_->elements[j]) {
+    bool sat;
+    if (c.shared_id >= 0) {
+      sat = cache_->Test(c.shared_id, ctx, abs_pos, counters_);
+    } else {
+      counters_->private_evals.fetch_add(1, std::memory_order_relaxed);
+      sat = EvalPredicate(*c.expr, ctx);
+    }
+    if (!sat) return false;
+  }
+  return true;
+}
+
+SharedEvalManager::SharedEvalManager(const Schema& schema,
+                                     OracleOptions oracle, int64_t window)
+    : catalog_(schema, oracle), window_(window) {}
+
+SharedClusterCache* SharedEvalManager::CacheFor(
+    const std::string& encoded_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<SharedClusterCache>& slot = caches_[encoded_key];
+  if (slot == nullptr) {
+    slot = std::make_unique<SharedClusterCache>(&catalog_, window_);
+  }
+  return slot.get();
+}
+
+}  // namespace sqlts

@@ -1,0 +1,164 @@
+#ifndef SQLTS_MULTIQUERY_SHARED_CACHE_H_
+#define SQLTS_MULTIQUERY_SHARED_CACHE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/shared_eval.h"
+#include "expr/eval.h"
+#include "multiquery/predicate_catalog.h"
+#include "parser/analyzer.h"
+
+namespace sqlts {
+
+/// One query's pattern elements mapped into a shared predicate id
+/// space: element j's conjuncts, each carrying its catalog id (or -1
+/// when the conjunct is private to the query and always evaluated
+/// directly).
+struct QueryConjuncts {
+  struct Conjunct {
+    ExprPtr expr;
+    int shared_id = -1;
+  };
+  /// Indexed by 1-based pattern element (slot 0 unused), mirroring
+  /// PatternPlan::predicates.
+  std::vector<std::vector<Conjunct>> elements;
+};
+
+/// Registers every pattern-element conjunct of `query` in `catalog`.
+QueryConjuncts RegisterQueryConjuncts(const CompiledQuery& query,
+                                      SharedPredicateCatalog* catalog);
+
+/// Scan-group signature of a query: the resolved column indexes of its
+/// CLUSTER BY and SEQUENCE BY lists.  Queries with equal signatures
+/// partition the input identically, so they share one clustering pass,
+/// one predicate catalog, and per-cluster caches.
+StatusOr<std::string> ScanGroupSignature(const Schema& schema,
+                                         const CompiledQuery& query);
+
+/// Memo of shared-predicate verdicts for one cluster, keyed by
+/// (predicate id, absolute sequence position).  A ring window per
+/// predicate bounds memory: an evicted slot only costs a re-evaluation,
+/// never correctness, because cached values are query-independent (a
+/// tuple-local conjunct shared by two queries reads the same tuple
+/// neighborhood in both — see docs/MULTIQUERY.md for the buffered-view
+/// argument).  Thread-safe: per-query streaming executors shard by the
+/// same cluster-key hash, so workers of *different* queries may probe
+/// one cluster's cache concurrently.
+class SharedClusterCache {
+ public:
+  /// `window` slots per predicate; sized to the cluster length in batch
+  /// mode (exact once-per-tuple memoization) and to a fixed horizon in
+  /// streaming mode.
+  SharedClusterCache(const SharedPredicateCatalog* catalog, int64_t window);
+
+  /// Returns the TRUE-collapsed verdict of predicate `pred_id` at
+  /// absolute position `abs_pos`, evaluating under `ctx` only on a
+  /// miss.  A TRUE verdict seeds the slots of every predicate the
+  /// catalog proves subsumed.
+  bool Test(int pred_id, const EvalContext& ctx, int64_t abs_pos,
+            MultiQueryCounters* counters);
+
+ private:
+  struct Slot {
+    int64_t pos = -1;  // absolute position cached, -1 = empty
+    bool val = false;
+    bool inferred = false;  // seeded by a subsumption edge
+  };
+
+  const SharedPredicateCatalog* catalog_;
+  int64_t window_;
+  std::mutex mu_;
+  std::vector<std::vector<Slot>> rings_;  // [pred id][abs_pos % window]
+};
+
+/// ElementEvaluator for one (query, cluster) pair: splits the element
+/// predicate into its conjuncts, answering shared ones through the
+/// cluster cache and private ones directly.  Answer-preserving: under
+/// Kleene semantics the AND of conjuncts is TRUE iff every conjunct is
+/// TRUE, which is exactly the per-conjunct collapse this reproduces.
+class MultiQueryEvaluator : public ElementEvaluator {
+ public:
+  MultiQueryEvaluator(const QueryConjuncts* conjuncts,
+                      SharedClusterCache* cache,
+                      MultiQueryCounters* counters)
+      : conjuncts_(conjuncts), cache_(cache), counters_(counters) {}
+
+  bool Test(int j, const SequenceView& seq, int64_t pos,
+            const std::vector<GroupSpan>& spans, int64_t abs_pos) override;
+
+ private:
+  const QueryConjuncts* conjuncts_;
+  SharedClusterCache* cache_;
+  MultiQueryCounters* counters_;
+};
+
+/// Shared-evaluation state for one scan group (queries with identical
+/// CLUSTER BY / SEQUENCE BY): the predicate catalog, one cache per
+/// cluster (keyed by encoded cluster key, the identity stable across
+/// per-query executors), and the workload counters.
+class SharedEvalManager {
+ public:
+  SharedEvalManager(const Schema& schema, OracleOptions oracle,
+                    int64_t window);
+
+  /// Registers a query's conjuncts; call on the control thread only.
+  QueryConjuncts Register(const CompiledQuery& query) {
+    return RegisterQueryConjuncts(query, &catalog_);
+  }
+
+  /// Cache for `encoded_key`'s cluster, created on first use.
+  /// Thread-safe (shard workers of different queries race here).
+  SharedClusterCache* CacheFor(const std::string& encoded_key);
+
+  const SharedPredicateCatalog& catalog() const { return catalog_; }
+  MultiQueryCounters* counters() { return &counters_; }
+  const MultiQueryCounters& counters_ref() const { return counters_; }
+
+ private:
+  SharedPredicateCatalog catalog_;
+  int64_t window_;
+  MultiQueryCounters counters_;
+  std::mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<SharedClusterCache>> caches_;
+};
+
+/// Binds one registered query to its scan group's manager: the factory
+/// a StreamingQueryExecutor consults (via ExecOptions::shared_eval) to
+/// equip each cluster matcher with a shared evaluator.
+///
+/// `epoch` namespaces the per-cluster caches by registration point: a
+/// streaming matcher reports positions relative to the tuples *it* has
+/// seen of a cluster, so two queries may only share a cache when their
+/// matchers joined the stream at the same position (equal sub-streams
+/// per cluster ⇒ aligned position spaces).  Queries added mid-stream
+/// get a fresh epoch and share with each other, not with earlier ones.
+class QuerySharedEvalFactory : public ElementEvaluatorFactory {
+ public:
+  QuerySharedEvalFactory(std::shared_ptr<SharedEvalManager> manager,
+                         QueryConjuncts conjuncts, int64_t epoch = 0)
+      : manager_(std::move(manager)),
+        conjuncts_(std::move(conjuncts)),
+        epoch_(epoch) {}
+
+  std::unique_ptr<ElementEvaluator> MakeEvaluator(
+      const std::string& encoded_cluster_key) override {
+    return std::make_unique<MultiQueryEvaluator>(
+        &conjuncts_,
+        manager_->CacheFor(std::to_string(epoch_) + '\x1f' +
+                           encoded_cluster_key),
+        manager_->counters());
+  }
+
+ private:
+  std::shared_ptr<SharedEvalManager> manager_;
+  QueryConjuncts conjuncts_;
+  int64_t epoch_;
+};
+
+}  // namespace sqlts
+
+#endif  // SQLTS_MULTIQUERY_SHARED_CACHE_H_

@@ -7,6 +7,8 @@
 #include "analysis/linter.h"
 #include "engine/executor.h"
 #include "engine/stream_executor.h"
+#include "multiquery/multi_executor.h"
+#include "multiquery/multi_stream.h"
 #include "storage/csv.h"
 
 namespace sqlts {
@@ -586,6 +588,245 @@ DifferentialOutcome CheckCheckpointRestoreEquivalence(
   DifferentialOutcome out;
   out.streaming_ran = true;
   out.matches = oracle.stats.matches;
+  return out;
+}
+
+DifferentialOutcome CheckMultiQueryEquivalence(
+    const Table& data, const std::vector<GeneratedQuery>& queries,
+    uint64_t seed, MultiQueryFuzzStats* stats) {
+  // Oracle: each query alone with default options.  Queries the
+  // single-query engine rejects are dropped up front — the set engine
+  // fails the whole set on any bad member, so fuzzing compares the
+  // accepted subset.
+  std::vector<std::string> sqls;
+  std::vector<std::vector<std::string>> solo_rows;
+  std::vector<int64_t> solo_matches;
+  std::vector<bool> stream_eligible;
+  for (const GeneratedQuery& q : queries) {
+    auto solo = QueryExecutor::Execute(data, q.sql);
+    if (!solo.ok()) continue;
+    sqls.push_back(q.sql);
+    solo_rows.push_back(RowStrings(solo->output));
+    solo_matches.push_back(solo->stats.matches);
+    stream_eligible.push_back(!q.uses_lookahead && !q.has_limit);
+  }
+  if (sqls.size() < 2) {
+    DifferentialOutcome out;
+    out.both_errored = true;  // no set to share; counted, not compared
+    return out;
+  }
+  std::string joined;
+  for (const std::string& s : sqls) {
+    joined += s;
+    joined += ";\n";
+  }
+
+  DifferentialOutcome out;
+  for (int threads : {1, 8}) {
+    ExecOptions opt;
+    opt.num_threads = threads;
+    const std::string name =
+        "multiquery(threads=" + std::to_string(threads) + ")";
+    auto set = MultiQueryExecutor::Execute(data, sqls, opt);
+    if (!set.ok()) {
+      return Fail(name + " rejected a set of individually accepted "
+                         "queries: " +
+                      set.status().ToString(),
+                  seed, joined, data);
+    }
+    if (set->per_query.size() != sqls.size()) {
+      return Fail(name + " returned " +
+                      std::to_string(set->per_query.size()) +
+                      " results for " + std::to_string(sqls.size()) +
+                      " queries",
+                  seed, joined, data);
+    }
+    for (size_t i = 0; i < sqls.size(); ++i) {
+      std::vector<std::string> rows = RowStrings(set->per_query[i].output);
+      if (rows != solo_rows[i]) {
+        return Fail(name + " query #" + std::to_string(i) +
+                        " diverged from its independent run: " +
+                        DiffRows("shared", rows, "independent",
+                                 solo_rows[i]) +
+                        "\nquery:\n" + sqls[i],
+                    seed, joined, data);
+      }
+      if (set->per_query[i].stats.matches != solo_matches[i]) {
+        return Fail(name + " query #" + std::to_string(i) +
+                        " match count " +
+                        std::to_string(set->per_query[i].stats.matches) +
+                        " != independent " +
+                        std::to_string(solo_matches[i]),
+                    seed, joined, data);
+      }
+    }
+    const MultiQueryStats& ms = set->stats;
+    if (ms.shared_lookups != ms.cache_hits + ms.shared_evals) {
+      return Fail(name + " counter identity broken: lookups=" +
+                      std::to_string(ms.shared_lookups) + " hits=" +
+                      std::to_string(ms.cache_hits) + " evals=" +
+                      std::to_string(ms.shared_evals),
+                  seed, joined, data);
+    }
+    if (ms.inferred_hits > ms.cache_hits) {
+      return Fail(name + " inferred hits exceed cache hits: " +
+                      std::to_string(ms.inferred_hits) + " > " +
+                      std::to_string(ms.cache_hits),
+                  seed, joined, data);
+    }
+    if (threads == 1) {
+      for (int64_t m : solo_matches) out.matches += m;
+      if (stats != nullptr) {
+        ++stats->sets;
+        stats->queries_compared += static_cast<int64_t>(sqls.size());
+        stats->cache_hits += ms.cache_hits;
+        stats->predicate_merges +=
+            ms.catalog.structural_merges + ms.catalog.semantic_merges;
+        stats->subsumption_edges += ms.catalog.subsumption_edges;
+      }
+    }
+  }
+
+  // Streaming: the eligible subset registered on one shared executor.
+  std::vector<int> eligible;
+  for (size_t i = 0; i < sqls.size(); ++i) {
+    if (stream_eligible[i]) eligible.push_back(static_cast<int>(i));
+  }
+  if (eligible.empty()) return out;
+
+  std::vector<std::vector<std::string>> uninterrupted(eligible.size());
+  {
+    auto exec = MultiStreamExecutor::Create(data.schema());
+    if (!exec.ok()) {
+      return Fail("shared stream creation failed: " +
+                      exec.status().ToString(),
+                  seed, joined, data);
+    }
+    for (size_t e = 0; e < eligible.size(); ++e) {
+      auto id = (*exec)->AddQuery(
+          sqls[eligible[e]], [&uninterrupted, e](const Row& row) {
+            uninterrupted[e].push_back(RowString(row));
+          });
+      if (!id.ok()) {
+        return Fail("shared stream rejected an eligible query: " +
+                        id.status().ToString() + "\nquery:\n" +
+                        sqls[eligible[e]],
+                    seed, joined, data);
+      }
+    }
+    for (int64_t r = 0; r < data.num_rows(); ++r) {
+      Status s = (*exec)->Push(data.GetRow(r));
+      if (!s.ok()) {
+        return Fail("shared stream push failed: " + s.ToString(), seed,
+                    joined, data);
+      }
+    }
+    Status f = (*exec)->Finish();
+    if (!f.ok()) {
+      return Fail("shared stream finish failed: " + f.ToString(), seed,
+                  joined, data);
+    }
+  }
+  for (size_t e = 0; e < eligible.size(); ++e) {
+    std::vector<std::string> got = uninterrupted[e];
+    std::vector<std::string> want = solo_rows[eligible[e]];
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    if (got != want) {
+      return Fail("shared stream query #" +
+                      std::to_string(eligible[e]) +
+                      " diverged from batch (sorted): " +
+                      DiffRows("stream", got, "batch", want) +
+                      "\nquery:\n" + sqls[eligible[e]],
+                  seed, joined, data);
+    }
+  }
+  out.streaming_ran = true;
+  if (stats != nullptr) {
+    stats->streaming_compared += static_cast<int64_t>(eligible.size());
+  }
+
+  // Kill the whole registered set at a random push index; a fresh
+  // instance restored from the bytes must reproduce the uninterrupted
+  // emissions exactly.
+  std::mt19937_64 rng(seed ^ 0x3317ab5dULL);
+  const int64_t k = data.num_rows() == 0
+                        ? 0
+                        : static_cast<int64_t>(rng() % (data.num_rows() + 1));
+  const std::string name = "multistream checkpoint(k=" + std::to_string(k) + ")";
+  std::vector<std::vector<std::string>> combined(eligible.size());
+  std::string bytes;
+  {
+    auto exec = MultiStreamExecutor::Create(data.schema());
+    if (!exec.ok()) {
+      return Fail(name + " creation failed: " + exec.status().ToString(),
+                  seed, joined, data);
+    }
+    for (size_t e = 0; e < eligible.size(); ++e) {
+      auto id = (*exec)->AddQuery(sqls[eligible[e]],
+                                  [&combined, e](const Row& row) {
+                                    combined[e].push_back(RowString(row));
+                                  });
+      if (!id.ok()) {
+        return Fail(name + " registration failed: " + id.status().ToString(),
+                    seed, joined, data);
+      }
+    }
+    for (int64_t r = 0; r < k; ++r) {
+      Status s = (*exec)->Push(data.GetRow(r));
+      if (!s.ok()) {
+        return Fail(name + " push failed: " + s.ToString(), seed, joined,
+                    data);
+      }
+    }
+    Status cs = (*exec)->Checkpoint(&bytes);
+    if (!cs.ok()) {
+      return Fail(name + " failed: " + cs.ToString(), seed, joined, data);
+    }
+  }  // the executor dies here, mid-stream, without Finish
+
+  auto restored = MultiStreamExecutor::Create(data.schema());
+  if (!restored.ok()) {
+    return Fail(name + " re-creation failed: " + restored.status().ToString(),
+                seed, joined, data);
+  }
+  Status rs = (*restored)
+                  ->Restore(bytes, [&combined](int index, const std::string&) {
+                    return [&combined, index](const Row& row) {
+                      combined[index].push_back(RowString(row));
+                    };
+                  });
+  if (!rs.ok()) {
+    return Fail(name + " restore failed: " + rs.ToString(), seed, joined,
+                data);
+  }
+  if ((*restored)->rows_consumed() != k) {
+    return Fail(name + " restored rows_consumed()=" +
+                    std::to_string((*restored)->rows_consumed()) +
+                    ", expected " + std::to_string(k),
+                seed, joined, data);
+  }
+  for (int64_t r = k; r < data.num_rows(); ++r) {
+    Status s = (*restored)->Push(data.GetRow(r));
+    if (!s.ok()) {
+      return Fail(name + " post-restore push failed: " + s.ToString(), seed,
+                  joined, data);
+    }
+  }
+  Status fs = (*restored)->Finish();
+  if (!fs.ok()) {
+    return Fail(name + " post-restore finish failed: " + fs.ToString(), seed,
+                joined, data);
+  }
+  for (size_t e = 0; e < eligible.size(); ++e) {
+    if (combined[e] != uninterrupted[e]) {
+      return Fail(name + " query #" + std::to_string(eligible[e]) +
+                      " differs from the uninterrupted shared run: " +
+                      DiffRows("kill+restore", combined[e], "uninterrupted",
+                               uninterrupted[e]),
+                  seed, joined, data);
+    }
+  }
   return out;
 }
 

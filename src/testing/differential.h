@@ -111,6 +111,33 @@ DifferentialOutcome CheckLintSoundness(const Table& data,
                                        uint64_t seed,
                                        LintFuzzStats* stats = nullptr);
 
+/// What the multi-query equivalence check observed across calls
+/// (aggregated by the caller so the fuzz test can assert the sharing
+/// machinery actually fires on generated workloads).
+struct MultiQueryFuzzStats {
+  int64_t sets = 0;               ///< query sets actually compared
+  int64_t queries_compared = 0;   ///< per-query batch comparisons
+  int64_t streaming_compared = 0; ///< queries through the shared stream
+  int64_t cache_hits = 0;         ///< shared-memo hits (single-threaded)
+  int64_t predicate_merges = 0;   ///< structural + semantic merges
+  int64_t subsumption_edges = 0;
+};
+
+/// Differential: a set of K generated queries through the shared
+/// multi-query engine (src/multiquery/) against K independent runs.
+///  - batch: MultiQueryExecutor at 1 and 8 threads must return, for
+///    every query, rows and match counts bit-identical to running that
+///    query alone;
+///  - counters: shared_lookups == cache_hits + shared_evals, and
+///    inferred hits never exceed cache hits;
+///  - streaming: eligible queries (no lookahead, no LIMIT) registered
+///    on one MultiStreamExecutor must emit the batch result multiset,
+///    and a kill at a random push index + Restore on a fresh instance
+///    must reproduce the uninterrupted emissions exactly.
+DifferentialOutcome CheckMultiQueryEquivalence(
+    const Table& data, const std::vector<GeneratedQuery>& queries,
+    uint64_t seed, MultiQueryFuzzStats* stats = nullptr);
+
 /// Metamorphic: kill-and-restore equivalence.  Splits the stream at a
 /// random point k, checkpoints the executor there, destroys it, restores
 /// a fresh executor from the bytes and feeds it the remaining tuples.

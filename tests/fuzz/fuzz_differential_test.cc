@@ -101,6 +101,55 @@ TEST(Differential, EnginesAgreeOnRandomPairs) {
   RecordProperty("elapsed_ms", std::to_string(watch.elapsed_ms()));
 }
 
+/// Shared multi-query engine (src/multiquery/) vs independent runs:
+/// K random queries plus a duplicate of the first (guaranteeing
+/// cross-query predicate overlap) through batch sharing at 1 and 8
+/// threads, the shared streaming registry, and a random mid-stream
+/// kill+restore of the whole registered set — everything bit-identical.
+TEST(Differential, MultiQuerySharingMatchesIndependentRuns) {
+  const int64_t sets = EnvInt("SQLTS_FUZZ_MULTIQUERY_SETS", 40);
+  const int64_t per_set = EnvInt("SQLTS_FUZZ_MULTIQUERY_K", 4);
+  const int64_t budget_ms = EnvInt("SQLTS_FUZZ_BUDGET_MS", 0);
+  Stopwatch watch;
+
+  QueryGenerator qgen(kBaseSeed ^ 0x7777);
+  MultiQueryFuzzStats stats;
+  int64_t compared = 0;
+  int64_t streamed = 0;
+  for (int64_t i = 0; i < sets; ++i) {
+    if (budget_ms > 0 && watch.elapsed_ms() > budget_ms) break;
+    const uint64_t seed = kBaseSeed + 600000 + static_cast<uint64_t>(i);
+    Table data = RandomFuzzTable(seed);
+    std::vector<GeneratedQuery> queries;
+    for (int64_t q = 0; q < per_set; ++q) queries.push_back(qgen.Next());
+    queries.push_back(queries.front());  // forced overlap
+    DifferentialOutcome out =
+        CheckMultiQueryEquivalence(data, queries, seed, &stats);
+    ASSERT_TRUE(out.ok) << out.failure;
+    if (!out.both_errored) ++compared;
+    if (out.streaming_ran) ++streamed;
+  }
+
+  if (budget_ms <= 0) {
+    EXPECT_GT(compared, sets / 2);
+    EXPECT_GT(streamed, sets / 4);
+    // The sharing machinery must actually fire across the campaign —
+    // the duplicated query makes structural merges certain, and merged
+    // predicates must produce cross-query memo hits.
+    EXPECT_GT(stats.predicate_merges, 0);
+    EXPECT_GT(stats.cache_hits, 0);
+  }
+  RecordProperty("multiquery_sets", std::to_string(stats.sets));
+  RecordProperty("multiquery_queries",
+                 std::to_string(stats.queries_compared));
+  RecordProperty("multiquery_streamed",
+                 std::to_string(stats.streaming_compared));
+  RecordProperty("multiquery_cache_hits", std::to_string(stats.cache_hits));
+  RecordProperty("multiquery_merges",
+                 std::to_string(stats.predicate_merges));
+  RecordProperty("elapsed_ms", std::to_string(watch.elapsed_ms()));
+}
+
 // ---------------------------------------------------------------------------
 // Metamorphic properties.
 // ---------------------------------------------------------------------------

@@ -1,0 +1,494 @@
+/// Shared multi-query execution (src/multiquery/): per-query results
+/// must be bit-identical to independent runs (batch and streaming, any
+/// thread count) while the predicate catalog and per-cluster memo
+/// actually share work — and every merge level must refuse pairs whose
+/// NULL or domain behavior it cannot prove identical.
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/executor.h"
+#include "engine/stream_executor.h"
+#include "gtest/gtest.h"
+#include "multiquery/multi_executor.h"
+#include "multiquery/multi_stream.h"
+#include "multiquery/predicate_catalog.h"
+#include "multiquery/shared_cache.h"
+#include "workload/generators.h"
+
+namespace sqlts {
+namespace {
+
+std::vector<std::string> RowStrings(const Table& t) {
+  std::vector<std::string> out;
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    std::string s;
+    for (int c = 0; c < t.schema().num_columns(); ++c) {
+      if (c) s += '|';
+      s += t.at(r, c).ToString();
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string RowString(const Row& row) {
+  std::string s;
+  for (size_t c = 0; c < row.size(); ++c) {
+    if (c) s += '|';
+    s += row[c].ToString();
+  }
+  return s;
+}
+
+/// Three instruments with enough structure for overlapping patterns.
+Table MultiInstrumentTable() {
+  Table t = PricesToQuoteTable(
+      "IBM", Date(10000),
+      {100, 98, 95, 93, 96, 99, 103, 101, 97, 94, 92, 95, 99, 104, 102});
+  SQLTS_CHECK_OK(AppendInstrument(
+      &t, "HP", Date(10000),
+      {50, 49, 47, 48, 51, 53, 52, 50, 48, 46, 47, 50, 54, 55, 53}));
+  SQLTS_CHECK_OK(AppendInstrument(
+      &t, "SUN", Date(10000),
+      {20, 21, 19, 18, 17, 18, 20, 22, 21, 19, 18, 20, 23, 24, 22}));
+  return t;
+}
+
+/// Overlapping workload: shared conjuncts across queries (the falling
+/// leg appears three times, once duplicated exactly) plus a LIMIT query.
+std::vector<std::string> OverlappingQueries() {
+  return {
+      "SELECT X.name, Y.date FROM quote CLUSTER BY name SEQUENCE BY date "
+      "AS (X, Y) WHERE Y.price < 0.97 * X.price",
+      "SELECT X.name, Z.date FROM quote CLUSTER BY name SEQUENCE BY date "
+      "AS (X, Y, Z) WHERE Y.price < 0.97 * X.price AND Z.price > Y.price",
+      "SELECT X.name, Y.price FROM quote CLUSTER BY name SEQUENCE BY date "
+      "AS (X, Y) WHERE Y.price < 0.97 * X.price",
+      "SELECT X.name, Y.date FROM quote CLUSTER BY name SEQUENCE BY date "
+      "AS (X, Y) WHERE Y.price < 0.95 * X.price LIMIT 3",
+  };
+}
+
+// ---------------------------------------------------------------------------
+// Batch equivalence.
+// ---------------------------------------------------------------------------
+
+TEST(MultiQueryBatch, BitIdenticalToIndependentRunsAtAnyThreadCount) {
+  Table data = MultiInstrumentTable();
+  std::vector<std::string> queries = OverlappingQueries();
+
+  std::vector<std::vector<std::string>> independent;
+  std::vector<int64_t> solo_matches;
+  for (const std::string& q : queries) {
+    auto solo = QueryExecutor::Execute(data, q);
+    ASSERT_TRUE(solo.ok()) << solo.status() << "\n" << q;
+    independent.push_back(RowStrings(solo->output));
+    solo_matches.push_back(solo->stats.matches);
+  }
+
+  for (int threads : {1, 8}) {
+    auto opt = ExecOptions{};
+    opt.num_threads = threads;
+    auto set = MultiQueryExecutor::Execute(data, queries, opt);
+    ASSERT_TRUE(set.ok()) << set.status();
+    ASSERT_EQ(set->per_query.size(), queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(RowStrings(set->per_query[i].output), independent[i])
+          << "threads=" << threads << " query #" << i;
+      EXPECT_EQ(set->per_query[i].stats.matches, solo_matches[i])
+          << "threads=" << threads << " query #" << i;
+    }
+    // The workload actually shared: the scan ran once, the duplicated
+    // falling-leg conjunct merged, and the memo answered repeat tests.
+    const MultiQueryStats& s = set->stats;
+    EXPECT_EQ(s.num_queries, static_cast<int>(queries.size()));
+    EXPECT_EQ(s.num_scan_groups, 1);
+    EXPECT_EQ(s.tuples_scanned, data.num_rows());
+    EXPECT_GT(s.catalog.structural_merges, 0) << "threads=" << threads;
+    EXPECT_LT(s.catalog.distinct_predicates, s.catalog.conjuncts_registered);
+    EXPECT_GT(s.cache_hits, 0) << "threads=" << threads;
+    EXPECT_GT(s.dedup_hit_rate(), 0.0) << "threads=" << threads;
+    EXPECT_EQ(s.shared_lookups, s.cache_hits + s.shared_evals);
+  }
+}
+
+TEST(MultiQueryBatch, SubsumptionSeedsInferredHits) {
+  Table data = MultiInstrumentTable();
+  // 0.95-drop implies 0.97-drop on a POSITIVE column: a TRUE verdict
+  // for the tighter predicate must seed the looser one's slot.
+  std::vector<std::string> queries = {
+      "SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date "
+      "AS (X, Y) WHERE Y.price < 0.95 * X.price",
+      "SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date "
+      "AS (X, Y) WHERE Y.price < 0.97 * X.price",
+  };
+  auto set = MultiQueryExecutor::Execute(data, queries);
+  ASSERT_TRUE(set.ok()) << set.status();
+  EXPECT_GT(set->stats.catalog.subsumption_edges, 0);
+  EXPECT_GT(set->stats.inferred_hits, 0);
+  EXPECT_LE(set->stats.inferred_hits, set->stats.cache_hits);
+}
+
+TEST(MultiQueryBatch, ExplainQuerySetReportsCatalog) {
+  std::vector<std::string> queries = OverlappingQueries();
+  auto text = ExplainQuerySet(QuoteSchema(), queries);
+  ASSERT_TRUE(text.ok()) << text.status();
+  EXPECT_NE(text->find("query #1"), std::string::npos);
+  EXPECT_NE(text->find("query #4"), std::string::npos);
+  EXPECT_NE(text->find("distinct"), std::string::npos);
+}
+
+TEST(MultiQueryBatch, BadQueryFailsWholeSetWithIndex) {
+  Table data = MultiInstrumentTable();
+  auto set = MultiQueryExecutor::Execute(
+      data, {OverlappingQueries()[0], "SELECT nonsense FROM"});
+  ASSERT_FALSE(set.ok());
+  EXPECT_NE(set.status().ToString().find("query #2"), std::string::npos)
+      << set.status();
+}
+
+// ---------------------------------------------------------------------------
+// Streaming equivalence, registration, checkpoint/restore.
+// ---------------------------------------------------------------------------
+
+TEST(MultiQueryStream, MatchesIndependentStreamingExecutors) {
+  Table data = MultiInstrumentTable();
+  // Streaming-eligible subset (no LIMIT).
+  const std::vector<std::string> all = OverlappingQueries();
+  std::vector<std::string> queries(all.begin(), all.end() - 1);
+
+  std::vector<std::vector<std::string>> independent(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto solo = StreamingQueryExecutor::Create(
+        queries[i], data.schema(), [&independent, i](const Row& row) {
+          independent[i].push_back(RowString(row));
+        });
+    ASSERT_TRUE(solo.ok()) << solo.status();
+    for (int64_t r = 0; r < data.num_rows(); ++r) {
+      ASSERT_TRUE((*solo)->Push(data.GetRow(r)).ok());
+    }
+    ASSERT_TRUE((*solo)->Finish().ok());
+  }
+
+  auto multi = MultiStreamExecutor::Create(data.schema());
+  ASSERT_TRUE(multi.ok()) << multi.status();
+  std::vector<std::vector<std::string>> shared(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto id = (*multi)->AddQuery(queries[i], [&shared, i](const Row& row) {
+      shared[i].push_back(RowString(row));
+    });
+    ASSERT_TRUE(id.ok()) << id.status();
+    EXPECT_EQ(*id, static_cast<int>(i));
+  }
+  for (int64_t r = 0; r < data.num_rows(); ++r) {
+    ASSERT_TRUE((*multi)->Push(data.GetRow(r)).ok());
+  }
+  ASSERT_TRUE((*multi)->Finish().ok());
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(shared[i], independent[i]) << "query #" << i;
+  }
+  MultiQueryStats s = (*multi)->stats();
+  EXPECT_EQ(s.tuples_scanned, data.num_rows());
+  EXPECT_GT(s.cache_hits, 0);
+  EXPECT_GT(s.dedup_hit_rate(), 0.0);
+}
+
+TEST(MultiQueryStream, AddQueryMidStreamSeesOnlySubsequentTuples) {
+  Table data = MultiInstrumentTable();
+  const std::string q = OverlappingQueries()[0];
+  const int64_t split = data.num_rows() / 2;
+
+  // Oracle: a standalone streaming executor fed only the suffix.
+  std::vector<std::string> suffix_only;
+  {
+    auto solo = StreamingQueryExecutor::Create(
+        q, data.schema(),
+        [&](const Row& row) { suffix_only.push_back(RowString(row)); });
+    ASSERT_TRUE(solo.ok());
+    for (int64_t r = split; r < data.num_rows(); ++r) {
+      ASSERT_TRUE((*solo)->Push(data.GetRow(r)).ok());
+    }
+    ASSERT_TRUE((*solo)->Finish().ok());
+  }
+
+  auto multi = MultiStreamExecutor::Create(data.schema());
+  ASSERT_TRUE(multi.ok());
+  std::vector<std::string> early, late;
+  ASSERT_TRUE((*multi)
+                  ->AddQuery(q, [&](const Row& row) {
+                    early.push_back(RowString(row));
+                  })
+                  .ok());
+  for (int64_t r = 0; r < split; ++r) {
+    ASSERT_TRUE((*multi)->Push(data.GetRow(r)).ok());
+  }
+  auto late_id = (*multi)->AddQuery(
+      q, [&](const Row& row) { late.push_back(RowString(row)); });
+  ASSERT_TRUE(late_id.ok());
+  for (int64_t r = split; r < data.num_rows(); ++r) {
+    ASSERT_TRUE((*multi)->Push(data.GetRow(r)).ok());
+  }
+  ASSERT_TRUE((*multi)->Finish().ok());
+
+  EXPECT_EQ(late, suffix_only);
+  EXPECT_GT(early.size(), late.size());
+}
+
+TEST(MultiQueryStream, RemoveQueryStopsItsOutputOnly) {
+  Table data = MultiInstrumentTable();
+  const std::vector<std::string> all = OverlappingQueries();
+  std::vector<std::string> queries(all.begin(), all.end() - 1);
+
+  std::vector<std::vector<std::string>> full(queries.size());
+  {
+    auto multi = MultiStreamExecutor::Create(data.schema());
+    ASSERT_TRUE(multi.ok());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ASSERT_TRUE((*multi)
+                      ->AddQuery(queries[i],
+                                 [&full, i](const Row& row) {
+                                   full[i].push_back(RowString(row));
+                                 })
+                      .ok());
+    }
+    for (int64_t r = 0; r < data.num_rows(); ++r) {
+      ASSERT_TRUE((*multi)->Push(data.GetRow(r)).ok());
+    }
+    ASSERT_TRUE((*multi)->Finish().ok());
+  }
+
+  const int64_t split = data.num_rows() / 3;
+  auto multi = MultiStreamExecutor::Create(data.schema());
+  ASSERT_TRUE(multi.ok());
+  std::vector<std::vector<std::string>> got(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE((*multi)
+                    ->AddQuery(queries[i],
+                               [&got, i](const Row& row) {
+                                 got[i].push_back(RowString(row));
+                               })
+                    .ok());
+  }
+  EXPECT_EQ((*multi)->num_queries(), static_cast<int>(queries.size()));
+  for (int64_t r = 0; r < split; ++r) {
+    ASSERT_TRUE((*multi)->Push(data.GetRow(r)).ok());
+  }
+  const size_t removed_count = got[1].size();
+  ASSERT_TRUE((*multi)->RemoveQuery(1).ok());
+  EXPECT_FALSE((*multi)->RemoveQuery(1).ok()) << "double remove must fail";
+  EXPECT_FALSE((*multi)->RemoveQuery(99).ok());
+  EXPECT_EQ((*multi)->num_queries(), static_cast<int>(queries.size()) - 1);
+  for (int64_t r = split; r < data.num_rows(); ++r) {
+    ASSERT_TRUE((*multi)->Push(data.GetRow(r)).ok());
+  }
+  ASSERT_TRUE((*multi)->Finish().ok());
+
+  EXPECT_EQ(got[1].size(), removed_count) << "removed query kept emitting";
+  EXPECT_EQ(got[0], full[0]) << "surviving query affected by removal";
+  EXPECT_EQ(got[2], full[2]) << "surviving query affected by removal";
+}
+
+TEST(MultiQueryStream, CheckpointRestoreReinstatesTheRegisteredSet) {
+  Table data = MultiInstrumentTable();
+  const std::vector<std::string> all = OverlappingQueries();
+  std::vector<std::string> queries(all.begin(), all.end() - 1);
+  const int64_t split = data.num_rows() / 2;
+
+  std::vector<std::vector<std::string>> uninterrupted(queries.size());
+  {
+    auto multi = MultiStreamExecutor::Create(data.schema());
+    ASSERT_TRUE(multi.ok());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ASSERT_TRUE((*multi)
+                      ->AddQuery(queries[i],
+                                 [&uninterrupted, i](const Row& row) {
+                                   uninterrupted[i].push_back(RowString(row));
+                                 })
+                      .ok());
+    }
+    for (int64_t r = 0; r < data.num_rows(); ++r) {
+      ASSERT_TRUE((*multi)->Push(data.GetRow(r)).ok());
+    }
+    ASSERT_TRUE((*multi)->Finish().ok());
+  }
+
+  // First half: register (and remove one), push, checkpoint, die.
+  std::vector<std::vector<std::string>> combined(queries.size());
+  std::string bytes;
+  MultiQueryStats at_checkpoint;
+  {
+    auto multi = MultiStreamExecutor::Create(data.schema());
+    ASSERT_TRUE(multi.ok());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ASSERT_TRUE((*multi)
+                      ->AddQuery(queries[i],
+                                 [&combined, i](const Row& row) {
+                                   combined[i].push_back(RowString(row));
+                                 })
+                      .ok());
+    }
+    for (int64_t r = 0; r < split; ++r) {
+      ASSERT_TRUE((*multi)->Push(data.GetRow(r)).ok());
+    }
+    at_checkpoint = (*multi)->stats();
+    ASSERT_TRUE((*multi)->Checkpoint(&bytes).ok());
+  }  // dies mid-stream without Finish
+
+  // Second half: fresh instance, restore, drain the rest.
+  auto restored = MultiStreamExecutor::Create(data.schema());
+  ASSERT_TRUE(restored.ok());
+  Status rs = (*restored)
+                  ->Restore(bytes, [&combined](int index, const std::string&) {
+                    return [&combined, index](const Row& row) {
+                      combined[index].push_back(RowString(row));
+                    };
+                  });
+  ASSERT_TRUE(rs.ok()) << rs;
+  EXPECT_EQ((*restored)->rows_consumed(), split);
+  EXPECT_EQ((*restored)->num_queries(), static_cast<int>(queries.size()));
+  for (int64_t r = split; r < data.num_rows(); ++r) {
+    ASSERT_TRUE((*restored)->Push(data.GetRow(r)).ok());
+  }
+  ASSERT_TRUE((*restored)->Finish().ok());
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(combined[i], uninterrupted[i]) << "query #" << i;
+  }
+  // Counters stay cumulative across the save/restore boundary.
+  MultiQueryStats end = (*restored)->stats();
+  EXPECT_EQ(end.tuples_scanned, data.num_rows());
+  EXPECT_GE(end.shared_lookups, at_checkpoint.shared_lookups);
+  EXPECT_GE(end.cache_hits, at_checkpoint.cache_hits);
+
+  // Restore only lands on a fresh instance.
+  EXPECT_FALSE((*restored)
+                   ->Restore(bytes,
+                             [](int, const std::string&) {
+                               return [](const Row&) {};
+                             })
+                   .ok());
+}
+
+// ---------------------------------------------------------------------------
+// Merge-gate regressions: NULLs and the positive (log) domain.
+// ---------------------------------------------------------------------------
+
+Schema VolSchema(bool vol_nullable) {
+  Schema s;
+  SQLTS_CHECK_OK(s.AddColumn("name", TypeKind::kString));
+  SQLTS_CHECK_OK(s.AddColumn("date", TypeKind::kDate));
+  SQLTS_CHECK_OK(s.AddColumn("price", TypeKind::kDouble,
+                             /*nullable=*/false, /*positive=*/true));
+  SQLTS_CHECK_OK(s.AddColumn("vol", TypeKind::kDouble,
+                             /*nullable=*/vol_nullable, /*positive=*/false));
+  return s;
+}
+
+/// Registers the single WHERE conjunct of a one-element query and
+/// returns its shared predicate id.
+int RegisterConjunct(SharedPredicateCatalog* catalog, const Schema& schema,
+                     const std::string& where) {
+  auto q = CompileQueryText(
+      "SELECT X.name FROM t CLUSTER BY name SEQUENCE BY date AS (X, Y) "
+      "WHERE " + where, schema);
+  SQLTS_CHECK(q.ok()) << q.status() << " for " << where;
+  QueryConjuncts qc = RegisterQueryConjuncts(*q, catalog);
+  int id = -2;
+  for (const auto& element : qc.elements) {
+    for (const auto& conjunct : element) {
+      SQLTS_CHECK(id == -2) << "expected exactly one conjunct: " << where;
+      id = conjunct.shared_id;
+    }
+  }
+  SQLTS_CHECK(id != -2) << "no conjunct registered: " << where;
+  return id;
+}
+
+TEST(MultiQueryCatalog, NullableReferenceBlocksSemanticMerge) {
+  // X.vol = X.vol and X.vol >= X.vol coincide on the reals but differ
+  // under NULLs... actually both are UNKNOWN on NULL — what differs is
+  // that *proving* them equivalent requires two-valued reasoning the
+  // NULLABLE declaration invalidates.  The catalog must refuse.
+  {
+    SharedPredicateCatalog catalog(VolSchema(/*vol_nullable=*/true));
+    int a = RegisterConjunct(&catalog, VolSchema(true), "X.vol = X.vol");
+    int b = RegisterConjunct(&catalog, VolSchema(true), "X.vol >= X.vol");
+    ASSERT_GE(a, 0);
+    ASSERT_GE(b, 0);
+    EXPECT_NE(a, b) << "nullable reference must block the oracle merge";
+    EXPECT_EQ(catalog.stats().semantic_merges, 0);
+  }
+  // Same pair over a NOT NULL column: the oracle proves mutual
+  // implication and the registrations collapse to one id.
+  {
+    SharedPredicateCatalog catalog(VolSchema(/*vol_nullable=*/false));
+    int a = RegisterConjunct(&catalog, VolSchema(false), "X.vol = X.vol");
+    int b = RegisterConjunct(&catalog, VolSchema(false), "X.vol >= X.vol");
+    ASSERT_GE(a, 0);
+    EXPECT_EQ(a, b) << "non-nullable tautology pair should merge";
+    EXPECT_EQ(catalog.stats().semantic_merges, 1);
+  }
+}
+
+TEST(MultiQueryCatalog, StructuralMergeStaysSoundUnderNulls) {
+  // Identical trees merge regardless of nullability: both queries
+  // evaluate the same expression on the same tuples, NULLs included.
+  SharedPredicateCatalog catalog(VolSchema(/*vol_nullable=*/true));
+  int a = RegisterConjunct(&catalog, VolSchema(true), "X.vol > 100");
+  int b = RegisterConjunct(&catalog, VolSchema(true), "X.vol > 100");
+  ASSERT_GE(a, 0);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(catalog.stats().structural_merges, 1);
+}
+
+TEST(MultiQueryCatalog, RatioSubsumptionRequiresPositiveDeclaration) {
+  // y < 0.95 x ⇒ y < 0.97 x needs x > 0 (the paper's log-domain mode).
+  // With price declared POSITIVE the edge is provable; without it the
+  // catalog must not record one.
+  auto edges_with = [](const Schema& schema) {
+    SharedPredicateCatalog catalog(schema);
+    RegisterConjunct(&catalog, schema, "Y.price < 0.95 * X.price");
+    RegisterConjunct(&catalog, schema, "Y.price < 0.97 * X.price");
+    return catalog.stats().subsumption_edges;
+  };
+  EXPECT_GT(edges_with(VolSchema(false)), 0);
+
+  Schema plain;
+  SQLTS_CHECK_OK(plain.AddColumn("name", TypeKind::kString));
+  SQLTS_CHECK_OK(plain.AddColumn("date", TypeKind::kDate));
+  SQLTS_CHECK_OK(plain.AddColumn("price", TypeKind::kDouble));
+  SQLTS_CHECK_OK(plain.AddColumn("vol", TypeKind::kDouble));
+  EXPECT_EQ(edges_with(plain), 0)
+      << "ratio implication is unsound without the POSITIVE declaration";
+}
+
+TEST(MultiQueryCatalog, AnchoredConjunctsStayPrivate) {
+  // Z.price > X.price across a star group resolves X as an anchored
+  // reference (its offset from Z depends on the match, not the tuple
+  // neighborhood), so the conjunct must not enter the shared id space.
+  Schema schema = VolSchema(false);
+  SharedPredicateCatalog catalog(schema);
+  auto q = CompileQueryText(
+      "SELECT X.name FROM t CLUSTER BY name SEQUENCE BY date AS (X, *Y, Z) "
+      "WHERE X.price > 10 AND Z.price > X.price", schema);
+  ASSERT_TRUE(q.ok()) << q.status();
+  QueryConjuncts qc = RegisterQueryConjuncts(*q, &catalog);
+  bool saw_shared = false;
+  bool saw_private = false;
+  for (const auto& element : qc.elements) {
+    for (const auto& conjunct : element) {
+      if (conjunct.shared_id >= 0) saw_shared = true;
+      if (conjunct.shared_id < 0) saw_private = true;
+    }
+  }
+  EXPECT_TRUE(saw_shared) << "tuple-local conjunct should be shareable";
+  EXPECT_TRUE(saw_private) << "anchored conjunct must stay private";
+  EXPECT_GT(catalog.stats().unshareable, 0);
+}
+
+}  // namespace
+}  // namespace sqlts
