@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "analysis/linter.h"
+#include "engine/vectorized_eval.h"
 #include "storage/csv.h"
 #include "storage/sequence.h"
 
@@ -60,7 +61,7 @@ namespace {
 /// first-appearance order — byte-identical to the sequential path.
 Status ExecuteSharded(const ClusteredSequence& clusters,
                       const CompiledQuery& query, const ExecOptions& options,
-                      QueryResult* result) {
+                      const VectorizedPlanEval* vec, QueryResult* result) {
   const int num_clusters = clusters.num_clusters();
   const int num_shards = std::min(options.num_threads, num_clusters);
   const PatternPlan& plan = result->plan;
@@ -79,6 +80,11 @@ Status ExecuteSharded(const ClusteredSequence& clusters,
     if (!ClusterAccepted(query, seq)) return;
     SearchOptions search_opts;
     search_opts.governance = &options.governance;
+    std::unique_ptr<ElementEvaluator> vec_eval;
+    if (vec != nullptr) {
+      vec_eval = vec->MakeEvaluator();
+      search_opts.evaluator = vec_eval.get();
+    }
     SearchStats stats;
     std::vector<Match> matches =
         options.algorithm == SearchAlgorithm::kOps
@@ -172,13 +178,21 @@ StatusOr<QueryResult> QueryExecutor::ExecuteCompiled(
   // An explicit LIMIT 0 never produces rows; skip the search entirely.
   if (query.limit_zero) return result;
 
+  // Vectorized predicate tier: compile kernels once per query; each
+  // cluster's matcher then tests elements against cached block
+  // verdicts instead of interpreting per tuple (answer-preserving).
+  std::unique_ptr<VectorizedPlanEval> vec;
+  if (options.vectorize && options.shared_eval == nullptr) {
+    vec = VectorizedPlanEval::Create(result.plan, input.schema());
+  }
+
   // Parallel path: per-cluster matcher state is fully private, so
   // clusters shard cleanly.  LIMIT (cross-cluster early termination)
   // and trace collection (a single ordered log) stay sequential.
   if (options.num_threads > 1 && clusters.num_clusters() > 1 &&
       query.limit <= 0 && !options.collect_trace) {
     SQLTS_RETURN_IF_ERROR(
-        ExecuteSharded(clusters, query, options, &result));
+        ExecuteSharded(clusters, query, options, vec.get(), &result));
     return result;
   }
 
@@ -189,6 +203,11 @@ StatusOr<QueryResult> QueryExecutor::ExecuteCompiled(
     // termination — the first N left-maximal matches, in cluster order).
     SearchOptions search_opts;
     search_opts.governance = &options.governance;
+    std::unique_ptr<ElementEvaluator> vec_eval;
+    if (vec != nullptr) {
+      vec_eval = vec->MakeEvaluator();
+      search_opts.evaluator = vec_eval.get();
+    }
     if (query.limit > 0) {
       int64_t remaining = query.limit - result.output.num_rows();
       if (remaining <= 0) break;

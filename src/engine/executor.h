@@ -43,6 +43,17 @@ struct ExecOptions {
   /// deadline, cooperative cancellation, bad-input policy, and the
   /// testing-only fault hook.  See common/governance.h.
   ExecGovernance governance;
+  /// Vectorized predicate tier (ROADMAP item 1): compile each
+  /// vectorizable tuple-local conjunct into a type-specialized batch
+  /// kernel (expr/kernel.h) and answer element tests from per-block
+  /// 3VL verdict bitmasks behind the ElementEvaluator seam.  Answer-
+  /// preserving — output and SearchStats are bit-identical with the
+  /// interpreter, which remains the fallback for non-vectorizable
+  /// conjuncts (and the oracle the differential fuzzer compares
+  /// against).  Applies to batch and streaming execution; ignored when
+  /// `shared_eval` is set (the multi-query tier has its own kernel
+  /// cache).
+  bool vectorize = true;
   /// Multi-query seam (streaming): when set, the executor asks this
   /// factory for one ElementEvaluator per cluster matcher, delegating
   /// element predicate tests to it — the hook src/multiquery/ uses to

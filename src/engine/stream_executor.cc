@@ -57,6 +57,9 @@ StreamingQueryExecutor::StreamingQueryExecutor(CompiledQuery query,
       num_threads_(std::max(1, options.num_threads)),
       governance_(options.governance),
       shared_eval_(options.shared_eval) {
+  if (options.vectorize && shared_eval_ == nullptr) {
+    vec_plan_ = VectorizedPlanEval::Create(plan_, query_.input_schema);
+  }
   shards_.reserve(num_threads_);
   for (int s = 0; s < num_threads_; ++s) {
     shards_.push_back(std::make_unique<ShardState>());
@@ -204,6 +207,8 @@ Status StreamingQueryExecutor::MakeMatcher(int shard, uint64_t ordinal,
       key = it->second;
     }
     cs->evaluator = shared_eval_->MakeEvaluator(key);
+  } else if (vec_plan_ != nullptr) {
+    cs->evaluator = vec_plan_->MakeEvaluator();
   }
   auto matcher = OpsStreamMatcher::Create(
       &plan_, query_.input_schema,

@@ -16,6 +16,7 @@
 #include "engine/executor.h"
 #include "engine/shard_pool.h"
 #include "engine/stream.h"
+#include "engine/vectorized_eval.h"
 #include "parser/analyzer.h"
 #include "pattern/compile.h"
 
@@ -194,6 +195,10 @@ class StreamingQueryExecutor {
   ExecGovernance governance_;
   /// Multi-query shared-evaluation factory (may be null).
   std::shared_ptr<ElementEvaluatorFactory> shared_eval_;
+  /// Vectorized predicate tier (null when disabled, when shared_eval_
+  /// takes precedence, or when no conjunct is vectorizable).  Immutable
+  /// after construction; shard workers only call the const factory.
+  std::unique_ptr<VectorizedPlanEval> vec_plan_;
   /// Router-populated ordinal → encoded cluster key, read once by a
   /// shard worker when it creates that cluster's matcher (multi-query
   /// mode only; guarded by the mutex because the router may be

@@ -1,0 +1,80 @@
+#ifndef SQLTS_ENGINE_VECTORIZED_EVAL_H_
+#define SQLTS_ENGINE_VECTORIZED_EVAL_H_
+
+#include <memory>
+#include <vector>
+
+#include "engine/shared_eval.h"
+#include "expr/kernel.h"
+#include "pattern/compile.h"
+#include "types/schema.h"
+
+namespace sqlts {
+
+/// The vectorized predicate-evaluation tier for single-query execution
+/// (batch and streaming): compiles every vectorizable tuple-local
+/// conjunct of a pattern plan into a PredicateKernel once, then hands
+/// each matcher an ElementEvaluator that answers element tests from
+/// per-block verdict bitmasks — one tight kernel loop per
+/// kKernelBlock tuples instead of one interpreter walk per test.
+///
+/// Answer preservation (the ElementEvaluator contract):
+///  - An element's predicate is the conjunction of its top-level
+///    conjuncts, and under the TRUE-collapsing EvalPredicate a
+///    conjunction is TRUE iff every conjunct is TRUE (Kleene: any
+///    FALSE or NULL conjunct makes the whole not-TRUE) — so testing
+///    conjuncts independently is exact, the same argument the
+///    multi-query evaluator relies on.
+///  - Kernel conjuncts are tuple-local (relative references only), so
+///    their verdict at a position is independent of match state and
+///    can be cached per absolute position.
+///  - Non-vectorizable conjuncts (anchored references, strings, ...)
+///    are interpreted per test, exactly as before.
+///
+/// Streaming safety: verdicts are cached per absolute position while
+/// the working view grows and evicts.  A block's lanes are filled
+/// incrementally, never beyond the tuples that have arrived; streaming
+/// plans reject lookahead (offsets <= 0), so a filled lane's verdict
+/// is final the moment every referenced cell exists.  The eviction
+/// invariant base <= start + min_offset guarantees any lane whose
+/// computation could have seen an evicted cell is never queried again
+/// (see the matcher's invariants in engine/stream.cc), so cached
+/// verdicts always equal what the interpreter would answer at query
+/// time.
+class VectorizedPlanEval {
+ public:
+  /// Compiles kernels for `plan` over `schema`.  Returns nullptr when
+  /// no element has a vectorizable conjunct (callers then skip the
+  /// tier entirely).  Identical conjuncts (within and across elements)
+  /// share one kernel and one verdict cache.
+  static std::unique_ptr<VectorizedPlanEval> Create(const PatternPlan& plan,
+                                                    const Schema& schema);
+
+  ~VectorizedPlanEval();
+
+  /// One evaluator per matcher (single-threaded use); this factory
+  /// object is immutable and safe to call from concurrent shards.
+  std::unique_ptr<ElementEvaluator> MakeEvaluator() const;
+
+  /// Number of distinct compiled kernels (diagnostics / tests).
+  int num_kernels() const { return static_cast<int>(kernels_.size()); }
+
+ private:
+  friend class VectorizedElementEvaluator;
+
+  struct Conjunct {
+    ExprPtr expr;                            // interpreter form
+    const PredicateKernel* kernel = nullptr; // null => interpret per test
+    int cache_slot = -1;                     // kernel conjuncts only
+  };
+
+  VectorizedPlanEval() = default;
+
+  std::vector<std::vector<Conjunct>> elements_;  // 1-based, like the plan
+  std::vector<std::unique_ptr<PredicateKernel>> kernels_;
+  int num_slots_ = 0;
+};
+
+}  // namespace sqlts
+
+#endif  // SQLTS_ENGINE_VECTORIZED_EVAL_H_

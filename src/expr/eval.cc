@@ -1,6 +1,9 @@
 #include "expr/eval.h"
 
+#include <limits>
+
 #include "common/logging.h"
+#include "types/numeric_ops.h"
 
 namespace sqlts {
 namespace {
@@ -53,44 +56,80 @@ Value EvalColumnRef(const ColumnRef& r, const EvalContext& ctx) {
   return ctx.seq->at(p, r.column_index);
 }
 
+/// Extracts a day-count operand for date arithmetic.  Int64 operands
+/// are used directly; doubles truncate toward zero like the old code
+/// but NaN/±inf/out-of-int64-range inputs fail instead of invoking UB.
+bool DayCount(const Value& v, int64_t* out) {
+  if (v.kind() == TypeKind::kInt64) {
+    *out = v.int64_value();
+    return true;
+  }
+  return num::F64ToI64(v.double_value(), out);
+}
+
+Value DatePlusDays(Date d, int64_t days, bool negate) {
+  if (negate) {
+    // -INT64_MIN does not exist; it cannot land in the date range
+    // anyway, so treat it as the same out-of-range NULL.
+    if (days == std::numeric_limits<int64_t>::min()) return Value::Null();
+    days = -days;
+  }
+  int32_t out_days;
+  if (!num::AddDateDays(d.days_since_epoch(), days, &out_days)) {
+    return Value::Null();
+  }
+  return Value::FromDate(Date(out_days));
+}
+
 Value EvalArith(ArithOp op, const Value& a, const Value& b) {
   if (a.is_null() || b.is_null()) return Value::Null();
   // Calendar arithmetic: DATE ± days → DATE, DATE − DATE → days.
+  // Results that leave the int32 date domain are NULL (out of range),
+  // as are non-finite day counts — the old casts were UB on both.
   if (a.kind() == TypeKind::kDate) {
     if (b.kind() == TypeKind::kDate && op == ArithOp::kSub) {
-      return Value::Int64(a.date_value().days_since_epoch() -
+      return Value::Int64(static_cast<int64_t>(a.date_value()
+                                                   .days_since_epoch()) -
                           b.date_value().days_since_epoch());
     }
     if (b.is_numeric() && (op == ArithOp::kAdd || op == ArithOp::kSub)) {
-      int64_t days = static_cast<int64_t>(b.AsDouble());
-      return Value::FromDate(a.date_value().AddDays(
-          op == ArithOp::kAdd ? static_cast<int32_t>(days)
-                              : -static_cast<int32_t>(days)));
+      int64_t days;
+      if (!DayCount(b, &days)) return Value::Null();
+      return DatePlusDays(a.date_value(), days, op == ArithOp::kSub);
     }
     return Value::Null();
   }
   if (b.kind() == TypeKind::kDate) {
     // days + DATE → DATE.
     if (a.is_numeric() && op == ArithOp::kAdd) {
-      return Value::FromDate(b.date_value().AddDays(
-          static_cast<int32_t>(a.AsDouble())));
+      int64_t days;
+      if (!DayCount(a, &days)) return Value::Null();
+      return DatePlusDays(b.date_value(), days, /*negate=*/false);
     }
     return Value::Null();
   }
   if (!a.is_numeric() || !b.is_numeric()) return Value::Null();
   if (a.kind() == TypeKind::kInt64 && b.kind() == TypeKind::kInt64 &&
       op != ArithOp::kDiv) {
-    int64_t x = a.int64_value(), y = b.int64_value();
+    // Checked integer arithmetic: overflow is NULL, not UB.  Division
+    // stays in the double domain below (so 7 / 2 = 3.5, and x / 0 is
+    // NULL rather than a trap).
+    int64_t x = a.int64_value(), y = b.int64_value(), r;
+    bool ok = false;
     switch (op) {
       case ArithOp::kAdd:
-        return Value::Int64(x + y);
+        ok = num::AddI64(x, y, &r);
+        break;
       case ArithOp::kSub:
-        return Value::Int64(x - y);
+        ok = num::SubI64(x, y, &r);
+        break;
       case ArithOp::kMul:
-        return Value::Int64(x * y);
+        ok = num::MulI64(x, y, &r);
+        break;
       default:
         break;
     }
+    return ok ? Value::Int64(r) : Value::Null();
   }
   double x = a.AsDouble(), y = b.AsDouble();
   switch (op) {

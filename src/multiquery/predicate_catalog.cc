@@ -119,6 +119,7 @@ void MultiQueryStats::AddCatalog(const CatalogStats& s) {
   catalog.structural_merges += s.structural_merges;
   catalog.semantic_merges += s.semantic_merges;
   catalog.subsumption_edges += s.subsumption_edges;
+  catalog.kernels_compiled += s.kernels_compiled;
 }
 
 void MultiQueryStats::SnapshotCounters(const MultiQueryCounters& c) {
@@ -142,7 +143,8 @@ std::string MultiQueryStats::ToString() const {
          " structural merges, " + std::to_string(catalog.semantic_merges) +
          " semantic merges, " + std::to_string(catalog.unshareable) +
          " private), " + std::to_string(catalog.subsumption_edges) +
-         " subsumption edge(s)\n";
+         " subsumption edge(s), " +
+         std::to_string(catalog.kernels_compiled) + " vectorized\n";
   out += "  shared tests: " + std::to_string(shared_lookups) +
          " lookups, " + std::to_string(shared_evals) + " evaluated, " +
          std::to_string(cache_hits) + " cache hits (" +
@@ -172,6 +174,8 @@ std::string MultiQueryStats::ToJson() const {
   out += ", \"semantic_merges\": " + std::to_string(catalog.semantic_merges);
   out += ", \"subsumption_edges\": " +
          std::to_string(catalog.subsumption_edges);
+  out += ", \"kernels_compiled\": " +
+         std::to_string(catalog.kernels_compiled);
   out += ", \"unshareable\": " + std::to_string(catalog.unshareable);
   out += ", \"shared_lookups\": " + std::to_string(shared_lookups);
   out += ", \"shared_evals\": " + std::to_string(shared_evals);
@@ -283,6 +287,8 @@ int SharedPredicateCatalog::Register(const ExprPtr& conjunct) {
 
   entry.id = size();
   entry.registrations = 1;
+  entry.kernel = PredicateKernel::Compile(conjunct, schema_);
+  if (entry.kernel != nullptr) ++stats_.kernels_compiled;
   LinkSubsumption(&entry);
   by_fingerprint_.emplace(entry.fingerprint, entry.id);
   preds_.push_back(std::move(entry));

@@ -9,6 +9,7 @@
 
 #include "constraints/catalog.h"
 #include "expr/expr.h"
+#include "expr/kernel.h"
 #include "expr/normalize.h"
 #include "pattern/theta_phi.h"
 #include "types/schema.h"
@@ -49,6 +50,13 @@ struct SharedPredicate {
   std::vector<int> implies;
   /// How many registered conjuncts (across all queries) map to this id.
   int registrations = 0;
+  /// Type-specialized batch kernel for this predicate (expr/kernel.h),
+  /// compiled once at registration; null when the expression is not
+  /// vectorizable (strings, unsupported shapes).  Shared predicates are
+  /// tuple-local by construction, so the kernel's verdict at a position
+  /// is the interpreter's verdict — the cluster cache uses it to fill a
+  /// run of slots per miss instead of interpreting one position.
+  std::unique_ptr<PredicateKernel> kernel;
 };
 
 /// Registration-time accounting for one predicate catalog.
@@ -59,6 +67,7 @@ struct CatalogStats {
   int structural_merges = 0;     ///< fingerprint-identical registrations
   int semantic_merges = 0;       ///< oracle-proved-equivalent registrations
   int subsumption_edges = 0;     ///< implication edges recorded
+  int kernels_compiled = 0;      ///< entries with a vectorized kernel
 };
 
 /// Run-time counters shared by every evaluator of one multi-query

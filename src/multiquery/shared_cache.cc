@@ -56,24 +56,53 @@ bool SharedClusterCache::Test(int pred_id, const EvalContext& ctx,
     return slot.val;
   }
   counters->shared_evals.fetch_add(1, std::memory_order_relaxed);
-  bool val = EvalPredicate(*catalog_->predicate(pred_id).expr, ctx);
-  slot.pos = abs_pos;
-  slot.val = val;
-  slot.inferred = false;
-  if (val) {
-    // A TRUE verdict certifies every read value exists; predicates the
-    // catalog proves implied (with reference subsets) are TRUE here too.
-    for (int q : catalog_->predicate(pred_id).implies) {
+  const SharedPredicate& pred = catalog_->predicate(pred_id);
+  // A TRUE verdict certifies every read value exists; predicates the
+  // catalog proves implied (with reference subsets) are TRUE there too.
+  auto seed_implied = [&](int64_t at) {
+    for (int q : pred.implies) {
       std::vector<Slot>& qring = rings_[q];
       if (qring.empty()) qring.resize(window_);
-      Slot& qslot = qring[abs_pos % window_];
-      if (qslot.pos != abs_pos) {
-        qslot.pos = abs_pos;
+      Slot& qslot = qring[at % window_];
+      if (qslot.pos != at) {
+        qslot.pos = at;
         qslot.val = true;
         qslot.inferred = true;
       }
     }
+  };
+
+  if (pred.kernel != nullptr) {
+    // Vectorized fill: one kernel sweep computes a contiguous run of
+    // verdicts starting at the missed position.  Every filled position
+    // p' >= ctx.pos lies in the current view, and since p' + off is
+    // bracketed by ctx.pos + min_offset (>= 0, the matcher only tests
+    // positions whose references are buffered) and p' (< size), each
+    // verdict reads only live cells — so it equals what the interpreter
+    // would answer at query time (the buffered-view argument of
+    // docs/MULTIQUERY.md extends to the whole run).  Only the queried
+    // lane counts as an eval; prefilled lanes surface as cache hits.
+    const int64_t n = std::min<int64_t>(
+        std::min<int64_t>(kKernelBlock, window_),
+        ctx.seq->size() - ctx.pos);
+    TriMask mask;
+    pred.kernel->Eval(*ctx.seq, ctx.pos, n, &scratch_, &mask);
+    for (int64_t i = 0; i < n; ++i) {
+      Slot& s = ring[(abs_pos + i) % window_];
+      if (i != 0 && s.pos == abs_pos + i) continue;  // keep cached slots
+      s.pos = abs_pos + i;
+      s.val = mask.True(i);
+      s.inferred = false;
+      if (s.val) seed_implied(abs_pos + i);
+    }
+    return ring[abs_pos % window_].val;
   }
+
+  bool val = EvalPredicate(*pred.expr, ctx);
+  slot.pos = abs_pos;
+  slot.val = val;
+  slot.inferred = false;
+  if (val) seed_implied(abs_pos);
   return val;
 }
 

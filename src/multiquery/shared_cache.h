@@ -73,6 +73,7 @@ class SharedClusterCache {
   int64_t window_;
   std::mutex mu_;
   std::vector<std::vector<Slot>> rings_;  // [pred id][abs_pos % window]
+  KernelScratch scratch_;  // kernel work area; guarded by mu_
 };
 
 /// ElementEvaluator for one (query, cluster) pair: splits the element

@@ -49,6 +49,10 @@ class SequenceView {
   /// Underlying table row index of sequence position `pos`.
   int64_t row_index(int64_t pos) const { return (*rows_)[pos]; }
 
+  /// Raw row-index array (size() entries; the vectorized kernels hoist
+  /// this once per block instead of indexing through at() per cell).
+  const int64_t* row_data() const { return rows_->data(); }
+
   const Table& table() const { return *table_; }
 
  private:

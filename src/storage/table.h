@@ -31,6 +31,14 @@ class Table {
   /// Value at (row, col); bounds are checked invariants.
   const Value& at(int64_t row, int col) const;
 
+  /// Raw storage of one column (the vectorized kernels hoist this once
+  /// per block instead of paying at()'s checks per cell).  `col` bounds
+  /// are a checked invariant.
+  const std::vector<Value>& column_data(int col) const {
+    SQLTS_CHECK(col >= 0 && col < schema_.num_columns()) << "col " << col;
+    return columns_[col];
+  }
+
   /// Whole row materialized (mostly for tests and display).
   Row GetRow(int64_t row) const;
 

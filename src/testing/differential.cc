@@ -7,6 +7,7 @@
 #include "analysis/linter.h"
 #include "engine/executor.h"
 #include "engine/stream_executor.h"
+#include "engine/vectorized_eval.h"
 #include "multiquery/multi_executor.h"
 #include "multiquery/multi_stream.h"
 #include "storage/csv.h"
@@ -90,13 +91,17 @@ struct StreamCapture {
 };
 
 StreamCapture RunStream(const Table& data, const std::string& sql,
-                        int64_t prefix_rows = -1) {
+                        int64_t prefix_rows = -1, bool vectorize = true) {
   StreamCapture cap;
   int64_t push_index = 0;
+  ExecOptions stream_opt;
+  stream_opt.vectorize = vectorize;
   auto exec = StreamingQueryExecutor::Create(
-      sql, data.schema(), [&](const Row& row) {
+      sql, data.schema(),
+      [&](const Row& row) {
         cap.emissions.emplace_back(push_index, RowString(row));
-      });
+      },
+      stream_opt);
   if (!exec.ok()) {
     cap.status = exec.status();
     return cap;
@@ -167,8 +172,12 @@ DifferentialOutcome RunDifferential(const Table& data,
                 seed, sql, data);
   }
 
+  // The naive oracle runs the pure interpreter (vectorize off); the OPS
+  // run keeps the default vectorized tier on, so every naive-vs-OPS
+  // comparison below is also an interpreter-vs-kernel differential.
   ExecOptions naive_opt;
   naive_opt.algorithm = SearchAlgorithm::kNaive;
+  naive_opt.vectorize = false;
   auto naive = QueryExecutor::ExecuteCompiled(data, *compiled, naive_opt);
   auto ops = QueryExecutor::ExecuteCompiled(data, *compiled, ExecOptions{});
 
@@ -189,6 +198,8 @@ DifferentialOutcome RunDifferential(const Table& data,
   out.naive_evaluations = naive->stats.evaluations;
   out.ops_evaluations = ops->stats.evaluations;
   out.matches = ops->stats.matches;
+  out.vectorized =
+      VectorizedPlanEval::Create(ops->plan, data.schema()) != nullptr;
 
   std::vector<std::string> naive_rows = RowStrings(naive->output);
   std::vector<std::string> ops_rows = RowStrings(ops->output);
@@ -213,6 +224,36 @@ DifferentialOutcome RunDifferential(const Table& data,
                     " evaluations, naive only " +
                     std::to_string(naive->stats.evaluations),
                 seed, sql, data);
+  }
+
+  // Interpreter-vs-vectorized on the same algorithm: sequential OPS
+  // with kernels disabled must be bit-identical to the vectorized run —
+  // rows, evaluation counts, and matches (the evaluator seam counts
+  // tests before delegating, so even SearchStats must agree exactly).
+  {
+    ExecOptions interp_opt;
+    interp_opt.vectorize = false;
+    auto interp = QueryExecutor::ExecuteCompiled(data, *compiled, interp_opt);
+    if (!interp.ok()) {
+      return Fail("interpreted OPS errored: " + interp.status().ToString(),
+                  seed, sql, data);
+    }
+    std::vector<std::string> rows = RowStrings(interp->output);
+    if (rows != ops_rows) {
+      return Fail("vectorized vs interpreted OPS divergence: " +
+                      DiffRows("interpreted", rows, "vectorized", ops_rows),
+                  seed, sql, data);
+    }
+    if (interp->stats.evaluations != ops->stats.evaluations ||
+        interp->stats.matches != ops->stats.matches) {
+      return Fail(
+          "vectorized vs interpreted OPS stats diverged: evaluations " +
+              std::to_string(interp->stats.evaluations) + " vs " +
+              std::to_string(ops->stats.evaluations) + ", matches " +
+              std::to_string(interp->stats.matches) + " vs " +
+              std::to_string(ops->stats.matches),
+          seed, sql, data);
+    }
   }
 
   for (int threads : options.thread_counts) {
@@ -278,6 +319,26 @@ DifferentialOutcome RunDifferential(const Table& data,
       return Fail("streaming match-count divergence: stream=" +
                       std::to_string(cap.stats.matches) +
                       " batch=" + std::to_string(ops->stats.matches),
+                  seed, sql, data);
+    }
+    // Interpreter-vs-vectorized under incremental views: the interpreted
+    // stream must emit the identical sequence (same rows, at the same
+    // push indices) as the vectorized stream above.
+    StreamCapture interp_cap =
+        RunStream(data, sql, /*prefix_rows=*/-1, /*vectorize=*/false);
+    if (!interp_cap.status.ok()) {
+      return Fail("interpreted streaming errored: " +
+                      interp_cap.status.ToString(),
+                  seed, sql, data);
+    }
+    if (interp_cap.emissions != cap.emissions ||
+        interp_cap.stats.evaluations != cap.stats.evaluations) {
+      return Fail("vectorized vs interpreted streaming divergence: " +
+                      DiffRows("interpreted", EmissionRows(interp_cap),
+                               "vectorized", EmissionRows(cap)) +
+                      "; evaluations " +
+                      std::to_string(interp_cap.stats.evaluations) + " vs " +
+                      std::to_string(cap.stats.evaluations),
                   seed, sql, data);
     }
   }

@@ -36,6 +36,9 @@ struct DifferentialOutcome {
   bool both_errored = false;
   bool streaming_ran = false;
   bool traced = false;
+  /// The vectorized tier compiled at least one kernel for this query
+  /// (the interpreter-vs-vectorized comparisons were non-vacuous).
+  bool vectorized = false;
   int64_t naive_evaluations = 0;
   int64_t ops_evaluations = 0;
   int64_t matches = 0;
@@ -47,13 +50,17 @@ std::string ReproString(uint64_t seed, const std::string& sql,
                         const Table& data);
 
 /// Runs (query, data) through every engine and cross-checks:
-///  - naive backtracking vs sequential OPS: identical rows, in order;
-///    OPS never evaluates more predicates than naive (no LIMIT);
+///  - naive backtracking (pure interpreter, vectorize off) vs sequential
+///    OPS (vectorized tier on): identical rows, in order; OPS never
+///    evaluates more predicates than naive (no LIMIT);
+///  - interpreted OPS (vectorize off) vs vectorized OPS: bit-identical
+///    rows and SearchStats — the direct kernel-parity differential;
 ///  - sharded OPS at each thread count: bit-identical rows and
 ///    aggregate SearchStats;
 ///  - shift-only OPS ablation: bit-identical rows;
 ///  - streaming (when the query has no lookahead and no LIMIT): same
-///    result multiset and match count;
+///    result multiset and match count as batch, and the interpreted
+///    stream emits the identical sequence as the vectorized stream;
 ///  - with traces (small inputs): trace length equals the evaluation
 ///    count, OPS's total backtracking distance never exceeds naive's,
 ///    and on star-free patterns the OPS cursor never retreats more than

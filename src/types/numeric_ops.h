@@ -1,0 +1,105 @@
+#ifndef SQLTS_TYPES_NUMERIC_OPS_H_
+#define SQLTS_TYPES_NUMERIC_OPS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace sqlts {
+namespace num {
+
+/// Scalar numeric semantics shared by the expression interpreter
+/// (expr/eval.cc, types/value.cc) and the vectorized predicate kernels
+/// (expr/kernel.cc).  Both tiers call these helpers so they agree
+/// bit-for-bit by construction:
+///
+///  - int64 + - * are checked; overflow yields SQL NULL instead of the
+///    signed-overflow UB the pre-vectorization interpreter had.
+///  - int64 vs double comparisons are exact for the full int64 range
+///    (no round-trip through double, which collapses neighbours above
+///    2^53).
+///  - doubles compare under a total order: -0 == +0, and NaN is equal
+///    to itself and greater than every non-NaN (the Postgres
+///    convention), so sort comparators stay strict-weak-order safe and
+///    NaN never silently equals ordinary numbers.
+///  - double -> int64 day-count conversion for date arithmetic is
+///    range-checked; NaN/±inf/out-of-range yield "no value" (NULL).
+
+/// Checked int64 arithmetic: returns false (and leaves *out
+/// unspecified) on overflow.
+inline bool AddI64(int64_t x, int64_t y, int64_t* out) {
+  return !__builtin_add_overflow(x, y, out);
+}
+inline bool SubI64(int64_t x, int64_t y, int64_t* out) {
+  return !__builtin_sub_overflow(x, y, out);
+}
+inline bool MulI64(int64_t x, int64_t y, int64_t* out) {
+  return !__builtin_mul_overflow(x, y, out);
+}
+
+/// Three-way double comparison under the total order described above.
+inline int CompareF64(double x, double y) {
+  bool nx = std::isnan(x), ny = std::isnan(y);
+  if (nx || ny) {
+    if (nx && ny) return 0;
+    return nx ? 1 : -1;  // NaN sorts above every non-NaN
+  }
+  if (x < y) return -1;
+  if (x > y) return 1;
+  return 0;
+}
+
+/// Exact three-way comparison of an int64 against a double.  Never
+/// converts x to double (lossy above 2^53); instead classifies y
+/// against the int64 range and compares against trunc(y), which is
+/// exactly representable whenever |y| < 2^63.
+inline int CompareI64F64(int64_t x, double y) {
+  if (std::isnan(y)) return -1;  // NaN is greater than any int64
+  // 2^63 is exactly representable; every finite double >= it exceeds
+  // all int64 values, and every double < -2^63 is below all of them.
+  constexpr double kTwo63 = 9223372036854775808.0;
+  if (y >= kTwo63) return -1;
+  if (y < -kTwo63) return 1;
+  // Here trunc(y) fits in int64.  If |y| >= 2^52 then y is already an
+  // integer; otherwise trunc(y) is below 2^52 and exact as a double —
+  // either way the cast and the fractional test below are exact.
+  int64_t yi = static_cast<int64_t>(y);
+  if (x < yi) return -1;
+  if (x > yi) return 1;
+  double frac = y - static_cast<double>(yi);
+  if (frac > 0) return -1;
+  if (frac < 0) return 1;
+  return 0;
+}
+
+inline int CompareF64I64(double x, int64_t y) { return -CompareI64F64(y, x); }
+
+/// Converts a double to an int64, failing on NaN and values outside
+/// [-2^63, 2^63).  Truncates toward zero like a C cast, but without
+/// the UB for unrepresentable inputs.
+inline bool F64ToI64(double d, int64_t* out) {
+  constexpr double kTwo63 = 9223372036854775808.0;
+  if (std::isnan(d) || d >= kTwo63 || d < -kTwo63) return false;
+  *out = static_cast<int64_t>(d);
+  return true;
+}
+
+/// Date day-offset arithmetic: days_since_epoch (int32 domain) plus a
+/// signed int64 delta, failing when the result leaves the int32 date
+/// domain (instead of the silent truncation + int32 overflow the old
+/// interpreter performed).
+inline bool AddDateDays(int32_t days, int64_t delta, int32_t* out) {
+  int64_t r;
+  if (!AddI64(static_cast<int64_t>(days), delta, &r)) return false;
+  if (r < std::numeric_limits<int32_t>::min() ||
+      r > std::numeric_limits<int32_t>::max()) {
+    return false;
+  }
+  *out = static_cast<int32_t>(r);
+  return true;
+}
+
+}  // namespace num
+}  // namespace sqlts
+
+#endif  // SQLTS_TYPES_NUMERIC_OPS_H_

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "types/numeric_ops.h"
 
 namespace sqlts {
 
@@ -102,21 +103,28 @@ double Value::AsDouble() const {
   return 0.0;
 }
 
-namespace {
-int Sign(double d) { return d < 0 ? -1 : (d > 0 ? 1 : 0); }
-}  // namespace
-
 StatusOr<int> Value::Compare(const Value& other) const {
   if (is_null() || other.is_null()) {
     return Status::InvalidArgument("comparison with NULL");
   }
   TypeKind a = kind(), b = other.kind();
   if (is_numeric() && other.is_numeric()) {
+    // Mixed int64/double comparisons are exact for the full int64
+    // range (no coercion through double, which is lossy above 2^53),
+    // and doubles compare under a NaN-aware total order.  See
+    // types/numeric_ops.h — the vectorized kernels use the same
+    // helpers, so both evaluation tiers agree by construction.
     if (a == TypeKind::kInt64 && b == TypeKind::kInt64) {
       int64_t x = int64_value(), y = other.int64_value();
       return x < y ? -1 : (x > y ? 1 : 0);
     }
-    return Sign(AsDouble() - other.AsDouble());
+    if (a == TypeKind::kInt64) {
+      return num::CompareI64F64(int64_value(), other.double_value());
+    }
+    if (b == TypeKind::kInt64) {
+      return num::CompareF64I64(double_value(), other.int64_value());
+    }
+    return num::CompareF64(double_value(), other.double_value());
   }
   if (a != b) {
     return Status::TypeError(std::string("cannot compare ") +
@@ -147,7 +155,8 @@ bool Value::StructurallyEquals(const Value& other) const {
     // Numeric cross-kind equality still counts as equal if the values
     // agree, so tests can compare Int64(3) with Double(3.0).
     if (is_numeric() && other.is_numeric()) {
-      return AsDouble() == other.AsDouble();
+      auto cmp = Compare(other);
+      return cmp.ok() && *cmp == 0;
     }
     return false;
   }

@@ -72,6 +72,17 @@ class Value {
   /// for tests and container use.
   bool StructurallyEquals(const Value& other) const;
 
+  /// Inline variant peeks for batch code (the vectorized kernels read
+  /// two cells per lane; the checked accessors above are out-of-line
+  /// and verify the kind twice).  Non-null iff the payload holds
+  /// exactly that alternative; a mismatch is the caller's decision,
+  /// not an error.
+  const bool* bool_if() const { return std::get_if<bool>(&v_); }
+  const int64_t* int64_if() const { return std::get_if<int64_t>(&v_); }
+  const double* double_if() const { return std::get_if<double>(&v_); }
+  const Date* date_if() const { return std::get_if<Date>(&v_); }
+  bool holds_null() const { return std::holds_alternative<std::monostate>(v_); }
+
   /// Renders the value for display ("NULL", 42, 3.5, 'abc', 1999-01-25).
   std::string ToString() const;
 

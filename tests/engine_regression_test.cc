@@ -132,5 +132,98 @@ TEST(EngineRegression, NonPositiveColumnsDisableLogDomainReasoning) {
       /*has_star=*/false);
 }
 
+/// Runs `sql` over `csv` and returns the match count (vectorized tier
+/// at its default); used by the arithmetic-semantics pins below, where
+/// both engines *agree* but the shared semantics used to be wrong (or
+/// undefined), so agreement alone proves nothing.
+int64_t MatchCount(const std::string& csv, const std::string& sql) {
+  auto table = ReadCsvString(csv, FuzzLikeSchema());
+  SQLTS_CHECK(table.ok()) << table.status().ToString();
+  auto r = QueryExecutor::Execute(*table, sql);
+  SQLTS_CHECK(r.ok()) << r.status().ToString() << " for query: " << sql;
+  return r->stats.matches;
+}
+
+// Found by UBSan over the fuzz corpus: `vol + 1` at INT64_MAX was a
+// signed-overflow UB in EvalArith (typically wrapping to INT64_MIN, so
+// `X.vol + 1 < 0` "matched").  Int64 arithmetic is now checked
+// (types/numeric_ops.h): overflow yields NULL, which never satisfies.
+TEST(EngineRegression, Int64OverflowArithmeticIsNullNotWraparound) {
+  const std::string csv =
+      "sym,grp,seq,day,price,vol\n"
+      "A,1,1,1999-01-04,10,9223372036854775807\n"
+      "A,1,2,1999-01-05,10,-9223372036854775808\n";
+  // Under wraparound both rows would match each query (INT64_MAX + 1
+  // "wraps" negative, INT64_MIN - 1 "wraps" positive); with checked
+  // arithmetic only the non-overflowing row does.
+  EXPECT_EQ(MatchCount(csv,
+                       "SELECT X.vol AS c0 FROM t CLUSTER BY sym "
+                       "SEQUENCE BY seq AS (X) WHERE X.vol + 1 < 0"),
+            1);
+  EXPECT_EQ(MatchCount(csv,
+                       "SELECT X.vol AS c0 FROM t CLUSTER BY sym "
+                       "SEQUENCE BY seq AS (X) WHERE X.vol - 1 > 0"),
+            1);
+  EXPECT_EQ(MatchCount(csv,
+                       "SELECT X.vol AS c0 FROM t CLUSTER BY sym "
+                       "SEQUENCE BY seq AS (X) WHERE X.vol * 2 <> 0"),
+            0);
+  ExpectEnginesAgree(csv,
+                     "SELECT X.vol AS c0 FROM t CLUSTER BY sym "
+                     "SEQUENCE BY seq AS (X, Y) "
+                     "WHERE X.vol + 1 < 0 OR Y.vol - 1 > 0",
+                     /*has_star=*/false);
+}
+
+// Value::Compare used to cast int64 to double for mixed comparisons,
+// which is lossy beyond 2^53: 2^53 + 1 rounded to 2^53 and compared
+// equal to the literal 9007199254740992.0, and INT64_MAX rounded up to
+// 2^63 and failed `< 9223372036854775808.0`.  Mixed comparisons are now
+// exact (types/numeric_ops.h CompareI64F64).
+TEST(EngineRegression, Int64DoubleComparisonIsExactBeyond2Pow53) {
+  const std::string csv =
+      "sym,grp,seq,day,price,vol\n"
+      "A,1,1,1999-01-04,10,9007199254740993\n"
+      "A,1,2,1999-01-05,10,9223372036854775807\n";
+  EXPECT_EQ(MatchCount(csv,
+                       "SELECT X.vol AS c0 FROM t CLUSTER BY sym "
+                       "SEQUENCE BY seq AS (X) "
+                       "WHERE X.vol = 9007199254740992.0"),
+            0);
+  EXPECT_EQ(MatchCount(csv,
+                       "SELECT X.vol AS c0 FROM t CLUSTER BY sym "
+                       "SEQUENCE BY seq AS (X) "
+                       "WHERE X.vol > 9007199254740992.0"),
+            2);
+  EXPECT_EQ(MatchCount(csv,
+                       "SELECT X.vol AS c0 FROM t CLUSTER BY sym "
+                       "SEQUENCE BY seq AS (X) "
+                       "WHERE X.vol < 9223372036854775808.0"),
+            2);
+}
+
+// Date minus date was computed in (32-bit) int: two days ~11.7M apart
+// are fine, but the fuzz schema admits dates whose day counts differ by
+// more than INT_MAX only through arithmetic like `day + vol`; the
+// subtraction now runs in int64 and date + days is range-checked
+// (out-of-range shifts yield NULL, not a wrapped Date).
+TEST(EngineRegression, DateArithmeticIsCheckedNotWrapped) {
+  const std::string csv =
+      "sym,grp,seq,day,price,vol\n"
+      "A,1,1,1999-01-04,10,9223372036854775807\n"
+      "A,1,2,1999-01-05,10,2\n";
+  // day + INT64_MAX days overflows the date range -> NULL -> no match.
+  EXPECT_EQ(MatchCount(csv,
+                       "SELECT X.vol AS c0 FROM t CLUSTER BY sym "
+                       "SEQUENCE BY seq AS (X) "
+                       "WHERE X.day + X.vol > X.day"),
+            1);  // only the vol=2 row
+  ExpectEnginesAgree(csv,
+                     "SELECT X.vol AS c0 FROM t CLUSTER BY sym "
+                     "SEQUENCE BY seq AS (X, Y) "
+                     "WHERE Y.day - X.day >= 1 AND X.day + 1 <= Y.day",
+                     /*has_star=*/false);
+}
+
 }  // namespace
 }  // namespace sqlts

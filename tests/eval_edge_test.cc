@@ -168,5 +168,128 @@ TEST(SelectEdges, StringsInSelectArithmeticRejected) {
                    .ok());
 }
 
+// ---------------------------------------------------------------------------
+// Vectorized-tier parity end-to-end: the same query with kernels on and
+// off (ExecOptions::vectorize) must return bit-identical rows and stats
+// on the edge data this file exists to stress.
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> RunRows(const Table& t, const std::string& sql,
+                                 bool vectorize) {
+  ExecOptions opt;
+  opt.vectorize = vectorize;
+  auto r = QueryExecutor::Execute(t, sql, opt);
+  SQLTS_CHECK(r.ok()) << r.status() << " for query: " << sql;
+  std::vector<std::string> rows;
+  for (int64_t i = 0; i < r->output.num_rows(); ++i) {
+    std::string s;
+    for (int c = 0; c < r->output.schema().num_columns(); ++c) {
+      if (c) s += '|';
+      s += r->output.at(i, c).ToString();
+    }
+    rows.push_back(std::move(s));
+  }
+  return rows;
+}
+
+void ExpectVectorizedParity(const Table& t, const std::string& sql) {
+  EXPECT_EQ(RunRows(t, sql, true), RunRows(t, sql, false)) << sql;
+}
+
+TEST(KernelParityE2E, NullColumnsAndRatioPredicates) {
+  auto t = ReadCsvString(
+      "name,date,price\n"
+      "A,1999-01-04,10\n"
+      "A,1999-01-05,\n"
+      "A,1999-01-06,9.6\n"
+      "A,1999-01-07,\n"
+      "A,1999-01-08,9\n",
+      QuoteSchema());
+  ASSERT_TRUE(t.ok());
+  ExpectVectorizedParity(
+      *t,
+      "SELECT X.date FROM quote CLUSTER BY name SEQUENCE BY date "
+      "AS (X, Y) WHERE Y.price < 0.98 * X.price");
+  ExpectVectorizedParity(
+      *t,
+      "SELECT X.date FROM quote CLUSTER BY name SEQUENCE BY date "
+      "AS (X, Y) WHERE NOT (Y.price >= X.price) AND Y.price + 1 > 9");
+}
+
+TEST(KernelParityE2E, ExtremeDoublesSurviveVectorization) {
+  Table t = PricesToQuoteTable(
+      "A", *Date::Parse("1999-01-04"),
+      {1.7976931348623157e308, -1.7976931348623157e308, 1e-300, 0.0,
+       9.2233720368547758e18, 4.9406564584124654e-324});
+  ExpectVectorizedParity(
+      t,
+      "SELECT X.price FROM quote SEQUENCE BY date AS (X) "
+      "WHERE X.price * 2 > 1");
+  ExpectVectorizedParity(
+      t,
+      "SELECT X.price FROM quote SEQUENCE BY date AS (X, Y) "
+      "WHERE Y.price < X.price AND X.price >= 0");
+  ExpectVectorizedParity(
+      t,
+      "SELECT X.price FROM quote SEQUENCE BY date AS (X) "
+      "WHERE X.price / 0 = 1 OR X.price <= 0");
+}
+
+TEST(KernelParityE2E, Int64ExtremesSurviveVectorization) {
+  Table t(IntQuoteSchema());
+  Date d = *Date::Parse("1999-01-04");
+  for (int64_t p : {INT64_C(9223372036854775807),
+                    INT64_C(-9223372036854775807) - 1, INT64_C(0),
+                    INT64_C(9007199254740993), INT64_C(-1)}) {
+    ASSERT_TRUE(t.AppendRow({Value::String("A"), Value::FromDate(d),
+                             Value::Int64(p)})
+                    .ok());
+    d = d.AddDays(1);
+  }
+  // Checked arithmetic: the +1/-1 steps overflow at the extremes and
+  // must collapse to NULL identically on both tiers.
+  ExpectVectorizedParity(
+      t,
+      "SELECT X.price FROM quote SEQUENCE BY date AS (X) "
+      "WHERE X.price + 1 > X.price");
+  ExpectVectorizedParity(
+      t,
+      "SELECT X.price FROM quote SEQUENCE BY date AS (X) "
+      "WHERE X.price - 1 < 0 OR X.price * 3 >= 3");
+  // Exact int64-vs-double comparison beyond 2^53.
+  ExpectVectorizedParity(
+      t,
+      "SELECT X.price FROM quote SEQUENCE BY date AS (X) "
+      "WHERE X.price > 9007199254740992.0");
+}
+
+TEST(KernelParityE2E, EmptySingleAndBlockStraddlingClusters) {
+  // 0-, 1-, 255-, 256-, and 600-row clusters: partial blocks, exact
+  // block boundaries, and multi-block straddles.
+  Table t(QuoteSchema());
+  Date base = *Date::Parse("1999-01-04");
+  auto add_cluster = [&](const std::string& name, int rows) {
+    for (int i = 0; i < rows; ++i) {
+      double price = 100.0 + (i % 7) - (i % 97 == 96 ? 1000.0 : 0.0);
+      ASSERT_TRUE(t.AppendRow({Value::String(name),
+                               Value::FromDate(base.AddDays(i)),
+                               Value::Double(price)})
+                      .ok());
+    }
+  };
+  add_cluster("one", 1);
+  add_cluster("edge", 255);
+  add_cluster("block", 256);
+  add_cluster("big", 600);
+  ExpectVectorizedParity(
+      t,
+      "SELECT X.date, Y.date FROM quote CLUSTER BY name SEQUENCE BY date "
+      "AS (X, Y) WHERE Y.price < X.price AND X.price > 99");
+  ExpectVectorizedParity(
+      t,
+      "SELECT COUNT(Y) FROM quote CLUSTER BY name SEQUENCE BY date "
+      "AS (X, *Y, Z) WHERE Y.price <= X.price AND Z.price > Y.price");
+}
+
 }  // namespace
 }  // namespace sqlts

@@ -62,6 +62,7 @@ TEST(Differential, EnginesAgreeOnRandomPairs) {
   int64_t both_errored = 0;
   int64_t streaming_ran = 0;
   int64_t traced = 0;
+  int64_t vectorized = 0;
   int64_t total_matches = 0;
   int64_t ops_not_worse = 0;
 
@@ -76,6 +77,7 @@ TEST(Differential, EnginesAgreeOnRandomPairs) {
     if (out.both_errored) ++both_errored;
     if (out.streaming_ran) ++streaming_ran;
     if (out.traced) ++traced;
+    if (out.vectorized) ++vectorized;
     total_matches += out.matches;
     if (out.ops_evaluations <= out.naive_evaluations) ++ops_not_worse;
   }
@@ -96,8 +98,14 @@ TEST(Differential, EnginesAgreeOnRandomPairs) {
   // predicates than naive (RunDifferential already asserts this per
   // pair when no LIMIT is present; this is the sweep-level tally).
   EXPECT_EQ(ops_not_worse, executed);
+  // The interpreter-vs-vectorized comparisons must be non-vacuous: a
+  // healthy generator produces mostly kernel-eligible conjuncts.
+  EXPECT_GT(vectorized, executed / 4)
+      << "too few queries compiled kernels; the parity differential is "
+         "not exercising the vectorized tier";
 
   RecordProperty("pairs_executed", std::to_string(executed));
+  RecordProperty("pairs_vectorized", std::to_string(vectorized));
   RecordProperty("elapsed_ms", std::to_string(watch.elapsed_ms()));
 }
 

@@ -109,6 +109,9 @@ TEST(MultiQueryBatch, BitIdenticalToIndependentRunsAtAnyThreadCount) {
     EXPECT_EQ(s.tuples_scanned, data.num_rows());
     EXPECT_GT(s.catalog.structural_merges, 0) << "threads=" << threads;
     EXPECT_LT(s.catalog.distinct_predicates, s.catalog.conjuncts_registered);
+    // The ratio conjuncts vectorize; block fills must keep the lookup
+    // identity (every lookup is a hit or an eval) intact.
+    EXPECT_GT(s.catalog.kernels_compiled, 0) << "threads=" << threads;
     EXPECT_GT(s.cache_hits, 0) << "threads=" << threads;
     EXPECT_GT(s.dedup_hit_rate(), 0.0) << "threads=" << threads;
     EXPECT_EQ(s.shared_lookups, s.cache_hits + s.shared_evals);
