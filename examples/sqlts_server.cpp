@@ -1,0 +1,163 @@
+// sqlts_server: serve SQL-TS datasets over the length-prefixed JSON
+// protocol (docs/SERVER.md).
+//
+//   sqlts_server --dataset NAME=CSV@SCHEMA [--dataset ...] [flags]
+//
+//   --dataset NAME=PATH@SCHEMA  register a dataset; SCHEMA is the CLI
+//                               schema syntax, e.g.
+//                               quotes=data/quotes.csv@name:STRING,date:DATE,price:DOUBLE+
+//   --port N           TCP port on 127.0.0.1 (default 0 = ephemeral;
+//                      the bound port is printed on startup)
+//   --max-sessions N   concurrent session cap (default 32)
+//   --backlog N        FIFO admission queue bound (default 64)
+//   --max-queries N    global in-flight query cap (default 1024)
+//   --num-threads N    worker shards per executor (default 1)
+//   --stream-delay-us N  pacing between stream pushes (default 0)
+//   --help             print this usage and exit
+//
+// The server runs until SIGINT/SIGTERM.  Try it with sqlts_client.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/string_util.h"
+#include "server/server.h"
+#include "storage/csv.h"
+#include "types/schema.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void HandleSignal(int) { g_stop = 1; }
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --dataset NAME=CSV@SCHEMA [--dataset ...]\n"
+               "  [--port N] [--max-sessions N] [--backlog N]\n"
+               "  [--max-queries N] [--num-threads N] [--stream-delay-us N]\n"
+               "SCHEMA is col:TYPE[,col:TYPE...] with TYPE in\n"
+               "INT64/DOUBLE/STRING/BOOL/DATE, '?' nullable, '+' positive.\n",
+               argv0);
+}
+
+sqlts::StatusOr<sqlts::Schema> ParseSchemaText(const std::string& text) {
+  sqlts::Schema schema;
+  for (const std::string& part : sqlts::SplitString(text, ',')) {
+    auto bits = sqlts::SplitString(part, ':');
+    if (bits.size() != 2) {
+      return sqlts::Status::InvalidArgument("bad schema entry '" + part + "'");
+    }
+    std::string type_text(sqlts::StripWhitespace(bits[1]));
+    bool nullable = false, positive = false;
+    while (!type_text.empty()) {
+      if (type_text.back() == '?') nullable = true;
+      else if (type_text.back() == '+') positive = true;
+      else break;
+      type_text.pop_back();
+    }
+    SQLTS_ASSIGN_OR_RETURN(sqlts::TypeKind kind,
+                           sqlts::TypeKindFromString(type_text));
+    SQLTS_RETURN_IF_ERROR(schema.AddColumn(
+        std::string(sqlts::StripWhitespace(bits[0])), kind, nullable,
+        positive));
+  }
+  return schema;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sqlts::Server::Options options;
+  struct DatasetSpec {
+    std::string name, csv, schema;
+  };
+  std::vector<DatasetSpec> specs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else if (arg == "--dataset") {
+      const char* value = next();
+      if (value == nullptr) break;
+      const std::string spec = value;
+      const size_t eq = spec.find('=');
+      const size_t at = spec.find('@');
+      if (eq == std::string::npos || at == std::string::npos || at < eq) {
+        std::fprintf(stderr, "bad --dataset '%s' (want NAME=CSV@SCHEMA)\n",
+                     spec.c_str());
+        return 2;
+      }
+      specs.push_back({spec.substr(0, eq), spec.substr(eq + 1, at - eq - 1),
+                       spec.substr(at + 1)});
+    } else if (arg == "--port") {
+      options.port = static_cast<uint16_t>(std::atoi(next()));
+    } else if (arg == "--max-sessions") {
+      options.max_sessions = std::atoi(next());
+    } else if (arg == "--backlog") {
+      options.admission_backlog = std::atoi(next());
+    } else if (arg == "--max-queries") {
+      options.max_queries_in_flight = std::atoi(next());
+    } else if (arg == "--num-threads") {
+      options.num_threads = std::atoi(next());
+    } else if (arg == "--stream-delay-us") {
+      options.stream_delay_us = std::atoi(next());
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (specs.empty()) {
+    std::fprintf(stderr, "no --dataset given\n");
+    Usage(argv[0]);
+    return 2;
+  }
+
+  sqlts::Server server(options);
+  for (const DatasetSpec& spec : specs) {
+    auto schema = ParseSchemaText(spec.schema);
+    if (!schema.ok()) {
+      std::fprintf(stderr, "dataset %s: %s\n", spec.name.c_str(),
+                   schema.status().ToString().c_str());
+      return 2;
+    }
+    auto table = sqlts::ReadCsvFile(spec.csv, *schema);
+    if (!table.ok()) {
+      std::fprintf(stderr, "dataset %s: %s\n", spec.name.c_str(),
+                   table.status().ToString().c_str());
+      return 2;
+    }
+    std::printf("dataset %s: %lld rows from %s\n", spec.name.c_str(),
+                static_cast<long long>(table->num_rows()), spec.csv.c_str());
+    auto st = server.AddDataset(spec.name, std::move(*table));
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 2;
+    }
+  }
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  auto st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "start: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("sqlts_server listening on 127.0.0.1:%u\n", server.port());
+  std::fflush(stdout);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("shutting down\n");
+  server.Stop();
+  return 0;
+}

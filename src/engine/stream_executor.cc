@@ -353,6 +353,14 @@ Status StreamingQueryExecutor::Finish() {
   return final_status_;
 }
 
+Status StreamingQueryExecutor::Quiesce() {
+  if (pool_ != nullptr) {
+    pool_->Drain();
+    SQLTS_RETURN_IF_ERROR(pool_->first_error());
+  }
+  return Status::OK();
+}
+
 Status StreamingQueryExecutor::Checkpoint(std::string* out) {
   if (finished_) {
     return Status::InvalidArgument("Checkpoint after Finish");

@@ -88,6 +88,15 @@ class StreamingQueryExecutor {
   /// exceptions caught at the worker boundary.  Idempotent.
   Status Finish();
 
+  /// Quiesces sharded execution without closing it: blocks until every
+  /// shard queue is empty and every worker is idle, making all
+  /// worker-side state visible to the caller, then surfaces the first
+  /// worker error (if any).  A no-op when num_threads == 1.  Used by
+  /// MultiStreamExecutor to serialize shared-catalog mutation
+  /// (AddQuery/RemoveQuery) against in-flight shard workers that read
+  /// the catalog through their cluster caches.
+  Status Quiesce();
+
   /// Serializes all live state — per-cluster buffered tuples and
   /// attempt state, routing, sequence-order watermarks, stream
   /// position, skip counters, emission tags — into the versioned

@@ -22,16 +22,31 @@ StatusOr<std::unique_ptr<MultiStreamExecutor>> MultiStreamExecutor::Create(
 }
 
 StatusOr<int> MultiStreamExecutor::AddQuery(std::string_view query_text,
-                                            RowCallback on_row) {
-  return AddQueryWithEpoch(query_text, std::move(on_row), pushed_);
+                                            RowCallback on_row,
+                                            const ExecGovernance* governance) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return AddQueryLocked(query_text, std::move(on_row), pushed_, governance);
 }
 
-StatusOr<int> MultiStreamExecutor::AddQueryWithEpoch(
-    std::string_view query_text, RowCallback on_row, int64_t epoch) {
+Status MultiStreamExecutor::QuiesceGroupLocked(const std::string& sig) {
+  // Shard workers of the group's live queries read the shared catalog
+  // through their cluster caches; drain them before mutating it.  With
+  // num_threads == 1 every Quiesce is a no-op.
+  for (Registered& r : queries_) {
+    if (r.exec == nullptr || r.group_sig != sig) continue;
+    SQLTS_RETURN_IF_ERROR(r.exec->Quiesce());
+  }
+  return Status::OK();
+}
+
+StatusOr<int> MultiStreamExecutor::AddQueryLocked(
+    std::string_view query_text, RowCallback on_row, int64_t epoch,
+    const ExecGovernance* governance) {
   SQLTS_ASSIGN_OR_RETURN(CompiledQuery compiled,
                          CompileQueryText(query_text, schema_));
   SQLTS_ASSIGN_OR_RETURN(std::string sig,
                          ScanGroupSignature(schema_, compiled));
+  SQLTS_RETURN_IF_ERROR(QuiesceGroupLocked(sig));
   std::shared_ptr<SharedEvalManager>& manager = groups_[sig];
   if (manager == nullptr) {
     manager = std::make_shared<SharedEvalManager>(
@@ -39,6 +54,7 @@ StatusOr<int> MultiStreamExecutor::AddQueryWithEpoch(
   }
   QueryConjuncts conjuncts = manager->Register(compiled);
   ExecOptions query_options = options_;
+  if (governance != nullptr) query_options.governance = *governance;
   query_options.shared_eval = std::make_shared<QuerySharedEvalFactory>(
       manager, std::move(conjuncts), epoch);
   SQLTS_ASSIGN_OR_RETURN(
@@ -55,6 +71,7 @@ StatusOr<int> MultiStreamExecutor::AddQueryWithEpoch(
 }
 
 Status MultiStreamExecutor::RemoveQuery(int id) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (id < 0 || id >= static_cast<int>(queries_.size())) {
     return Status::InvalidArgument("no query with id " + std::to_string(id));
   }
@@ -64,23 +81,58 @@ Status MultiStreamExecutor::RemoveQuery(int id) {
   }
   // Cancel: drop the matcher without Finish(), so no end-of-stream
   // matches are emitted.  The catalog keeps its registrations (stale
-  // entries are harmless; a re-added identical query re-merges).
+  // entries are harmless; a re-added identical query re-merges), but
+  // the epoch-namespaced cluster caches are freed once their last
+  // member leaves — evaluators hold raw pointers into them, so the
+  // release is gated on the epoch refcount below.
+  const std::string sig = queries_[id].group_sig;
+  const int64_t epoch = queries_[id].epoch;
+  // Destroying the executor joins its own shard workers, so after this
+  // line nothing of query `id` can touch the shared caches.
   queries_[id].exec.reset();
+  bool epoch_live = false;
+  for (const Registered& r : queries_) {
+    if (r.exec != nullptr && r.group_sig == sig && r.epoch == epoch) {
+      epoch_live = true;
+      break;
+    }
+  }
+  if (!epoch_live) {
+    auto it = groups_.find(sig);
+    if (it != groups_.end()) it->second->ReleaseEpoch(epoch);
+  }
   return Status::OK();
 }
 
 Status MultiStreamExecutor::Push(Row row) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<QueryError> errors;
+  Status st = PushLocked(std::move(row), &errors);
+  if (!st.ok()) return st;
+  return errors.empty() ? Status::OK() : errors.front().status;
+}
+
+Status MultiStreamExecutor::Push(Row row, std::vector<QueryError>* errors) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PushLocked(std::move(row), errors);
+}
+
+Status MultiStreamExecutor::PushLocked(Row row,
+                                       std::vector<QueryError>* errors) {
   ++pushed_;
-  Status first = Status::OK();
-  for (Registered& r : queries_) {
+  for (size_t id = 0; id < queries_.size(); ++id) {
+    Registered& r = queries_[id];
     if (r.exec == nullptr) continue;
     Status st = r.exec->Push(row);
-    if (!st.ok() && first.ok()) first = st;
+    if (!st.ok() && errors != nullptr) {
+      errors->push_back({static_cast<int>(id), std::move(st)});
+    }
   }
-  return first;
+  return Status::OK();
 }
 
 Status MultiStreamExecutor::Finish() {
+  std::lock_guard<std::mutex> lock(mu_);
   Status first = Status::OK();
   for (Registered& r : queries_) {
     if (r.exec == nullptr) continue;
@@ -91,6 +143,7 @@ Status MultiStreamExecutor::Finish() {
 }
 
 Status MultiStreamExecutor::Checkpoint(std::string* out) {
+  std::lock_guard<std::mutex> lock(mu_);
   CheckpointWriter w;
   w.WriteU64(static_cast<uint64_t>(queries_.size()));
   for (Registered& r : queries_) {
@@ -104,7 +157,7 @@ Status MultiStreamExecutor::Checkpoint(std::string* out) {
     }
   }
   w.WriteI64(pushed_);
-  MultiQueryStats s = stats();
+  MultiQueryStats s = StatsLocked();
   w.WriteI64(s.shared_lookups);
   w.WriteI64(s.shared_evals);
   w.WriteI64(s.cache_hits);
@@ -116,6 +169,7 @@ Status MultiStreamExecutor::Checkpoint(std::string* out) {
 
 Status MultiStreamExecutor::Restore(std::string_view bytes,
                                     const CallbackResolver& resolver) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!queries_.empty() || pushed_ != 0) {
     return Status::InvalidArgument(
         "Restore requires a freshly created multi-stream executor");
@@ -133,8 +187,9 @@ Status MultiStreamExecutor::Restore(std::string_view bytes,
       // saved positions, so cache alignment is decided by where each
       // query originally joined the stream, not by the restore point.
       SQLTS_ASSIGN_OR_RETURN(
-          int id, AddQueryWithEpoch(text, resolver(static_cast<int>(i), text),
-                                    epoch));
+          int id,
+          AddQueryLocked(text, resolver(static_cast<int>(i), text), epoch,
+                         nullptr));
       SQLTS_RETURN_IF_ERROR(queries_[id].exec->Restore(sub));
     } else {
       // Keep ids dense: a removed query stays a tombstone after restore.
@@ -157,11 +212,13 @@ Status MultiStreamExecutor::Restore(std::string_view bytes,
   return Status::OK();
 }
 
-MultiQueryStats MultiStreamExecutor::stats() const {
+MultiQueryStats MultiStreamExecutor::StatsLocked() const {
   MultiQueryStats s = baseline_;
-  s.num_queries = num_queries();
   s.num_scan_groups = static_cast<int>(groups_.size());
   s.tuples_scanned = pushed_;
+  for (const Registered& r : queries_) {
+    if (r.exec != nullptr) ++s.num_queries;
+  }
   for (const auto& entry : groups_) {
     s.AddCatalog(entry.second->catalog().stats());
     s.SnapshotCounters(entry.second->counters_ref());
@@ -169,12 +226,38 @@ MultiQueryStats MultiStreamExecutor::stats() const {
   return s;
 }
 
+MultiQueryStats MultiStreamExecutor::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return StatsLocked();
+}
+
 int MultiStreamExecutor::num_queries() const {
+  std::lock_guard<std::mutex> lock(mu_);
   int live = 0;
   for (const Registered& r : queries_) {
     if (r.exec != nullptr) ++live;
   }
   return live;
+}
+
+int64_t MultiStreamExecutor::rows_consumed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pushed_;
+}
+
+StatusOr<int64_t> MultiStreamExecutor::query_epoch(int id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || id >= static_cast<int>(queries_.size())) {
+    return Status::InvalidArgument("no query with id " + std::to_string(id));
+  }
+  return queries_[id].epoch;
+}
+
+int64_t MultiStreamExecutor::num_epoch_caches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& entry : groups_) total += entry.second->num_caches();
+  return total;
 }
 
 }  // namespace sqlts

@@ -4,6 +4,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -23,7 +24,7 @@ namespace sqlts {
 /// deterministic (tag, seq)-merged order its standalone executor
 /// produces at any thread count.
 ///
-/// Queries register and deregister between pushes: AddQuery() starts a
+/// Queries register and deregister mid-stream: AddQuery() starts a
 /// query at the current stream position (it sees only subsequent
 /// tuples, like a standalone executor created now); RemoveQuery()
 /// cancels one without emitting its pending matches.  Checkpoint()
@@ -31,6 +32,22 @@ namespace sqlts {
 /// matcher state plus the workload counters — and Restore() reinstates
 /// it on a freshly created instance, re-resolving per-query callbacks
 /// through the caller's resolver.
+///
+/// Locking contract (the seam sqlts_server relies on): every public
+/// method serializes on one internal mutex, so AddQuery / RemoveQuery /
+/// Push / Finish / Checkpoint / stats may be called concurrently from
+/// different threads — a session thread can register or cancel a query
+/// while the server's ingest thread is pushing tuples.  Two
+/// consequences callers must respect:
+///  - Row callbacks of single-threaded member executors run inside
+///    Push/Finish, i.e. while the executor mutex is held.  A callback
+///    must not call back into this MultiStreamExecutor (re-entrancy
+///    would self-deadlock); hand rows off to a queue instead.
+///  - With options.num_threads > 1, AddQuery/RemoveQuery first quiesce
+///    the shard workers of the affected scan group
+///    (StreamingQueryExecutor::Quiesce) before touching the shared
+///    predicate catalog or the epoch-namespaced caches, because workers
+///    read the catalog through their cluster caches between pushes.
 class MultiStreamExecutor {
  public:
   using RowCallback = StreamingQueryExecutor::RowCallback;
@@ -39,21 +56,41 @@ class MultiStreamExecutor {
   using CallbackResolver =
       std::function<RowCallback(int index, const std::string& text)>;
 
+  /// One member query's failure, attributed by id (see Push).
+  struct QueryError {
+    int id = -1;
+    Status status;
+  };
+
   static StatusOr<std::unique_ptr<MultiStreamExecutor>> Create(
       Schema schema, const ExecOptions& options = {});
 
   /// Registers `query_text`, returning its id (dense, registration
-  /// order, stable across RemoveQuery).  Only call between pushes.
-  StatusOr<int> AddQuery(std::string_view query_text, RowCallback on_row);
+  /// order, stable across RemoveQuery).  Thread-safe; may be called
+  /// concurrently with Push from another thread.  When `governance` is
+  /// non-null it overrides ExecOptions::governance for this query only
+  /// (per-session budgets, deadline, cancellation).
+  StatusOr<int> AddQuery(std::string_view query_text, RowCallback on_row,
+                         const ExecGovernance* governance = nullptr);
 
   /// Cancels query `id`: no further rows are delivered, its matcher
-  /// state is dropped without running end-of-stream completion.
+  /// state is dropped without running end-of-stream completion.  When
+  /// the removed query is the last member of its registration epoch,
+  /// the epoch's cluster caches are freed (registry invariant: epochs
+  /// never leak; see SharedEvalManager::ReleaseEpoch).  Thread-safe.
   Status RemoveQuery(int id);
 
   /// Feeds `row` to every live query.  The first error encountered is
   /// returned, but the row is still offered to the remaining queries so
-  /// their stream positions stay aligned.
+  /// their stream positions stay aligned.  Thread-safe.
   Status Push(Row row);
+
+  /// Push with per-query error attribution: each failing member is
+  /// reported in `errors` with its id, and the overall Status is OK
+  /// unless the executor itself is unusable — so a server can fail (and
+  /// remove) exactly the member whose budget or deadline tripped while
+  /// the rest of the stream continues.  Thread-safe.
+  Status Push(Row row, std::vector<QueryError>* errors);
 
   /// End-of-stream for every live query, in registration order.
   Status Finish();
@@ -74,11 +111,24 @@ class MultiStreamExecutor {
   /// Live (registered, not removed) query count.
   int num_queries() const;
   /// Total tuples offered to Push().
-  int64_t rows_consumed() const { return pushed_; }
+  int64_t rows_consumed() const;
+
+  /// Stream position at which query `id` was registered — the suffix
+  /// of the stream it observes, which a standalone oracle run must
+  /// start from to reproduce its output.  InvalidArgument for unknown
+  /// ids.  Thread-safe.
+  StatusOr<int64_t> query_epoch(int id) const;
+
+  /// Live epoch-namespaced cluster caches across every scan group (the
+  /// registry invariant probed by tests: removing the last query of an
+  /// epoch must free all of that epoch's caches).
+  int64_t num_epoch_caches() const;
 
   /// The underlying executor of query `id` (null if removed) — for
-  /// stats inspection; do not push to it directly.
+  /// stats inspection; do not push to it directly.  Only meaningful
+  /// while no other thread is mutating the registry.
   const StreamingQueryExecutor* query(int id) const {
+    std::lock_guard<std::mutex> lock(mu_);
     return queries_[id].exec.get();
   }
 
@@ -95,11 +145,19 @@ class MultiStreamExecutor {
   MultiStreamExecutor(Schema schema, const ExecOptions& options)
       : schema_(std::move(schema)), options_(options) {}
 
-  StatusOr<int> AddQueryWithEpoch(std::string_view query_text,
-                                  RowCallback on_row, int64_t epoch);
+  /// All *Locked helpers assume mu_ is held by the caller.
+  StatusOr<int> AddQueryLocked(std::string_view query_text,
+                               RowCallback on_row, int64_t epoch,
+                               const ExecGovernance* governance);
+  Status PushLocked(Row row, std::vector<QueryError>* errors);
+  MultiQueryStats StatsLocked() const;
+  /// Drains the shard workers of every live query in scan group `sig`
+  /// so the shared catalog/caches can be mutated safely.
+  Status QuiesceGroupLocked(const std::string& sig);
 
   Schema schema_;
   ExecOptions options_;
+  mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<SharedEvalManager>> groups_;
   std::vector<Registered> queries_;
   int64_t pushed_ = 0;

@@ -140,4 +140,21 @@ SharedClusterCache* SharedEvalManager::CacheFor(
   return slot.get();
 }
 
+void SharedEvalManager::ReleaseEpoch(int64_t epoch) {
+  const std::string prefix = std::to_string(epoch) + '\x1f';
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = caches_.begin(); it != caches_.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) == 0) {
+      it = caches_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+int64_t SharedEvalManager::num_caches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(caches_.size());
+}
+
 }  // namespace sqlts

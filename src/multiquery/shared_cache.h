@@ -115,6 +115,19 @@ class SharedEvalManager {
   /// Thread-safe (shard workers of different queries race here).
   SharedClusterCache* CacheFor(const std::string& encoded_key);
 
+  /// Frees every cache namespaced to `epoch` (keys the factories build
+  /// as "<epoch>\x1f<cluster key>").  Only call once no live query of
+  /// this scan group holds that epoch: evaluators keep raw cache
+  /// pointers for the life of their matcher, so releasing an epoch
+  /// with a live member would dangle them.  MultiStreamExecutor calls
+  /// this when RemoveQuery drops the last query of an epoch.
+  void ReleaseEpoch(int64_t epoch);
+
+  /// Live cluster caches across every epoch (registry-invariant probe
+  /// for tests: removal of a whole epoch must return this to the sum
+  /// of the remaining epochs' caches).
+  int64_t num_caches() const;
+
   const SharedPredicateCatalog& catalog() const { return catalog_; }
   MultiQueryCounters* counters() { return &counters_; }
   const MultiQueryCounters& counters_ref() const { return counters_; }
@@ -123,7 +136,7 @@ class SharedEvalManager {
   SharedPredicateCatalog catalog_;
   int64_t window_;
   MultiQueryCounters counters_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::unordered_map<std::string, std::unique_ptr<SharedClusterCache>> caches_;
 };
 

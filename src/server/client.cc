@@ -1,0 +1,90 @@
+#include "server/client.h"
+
+#include <utility>
+
+namespace sqlts {
+
+StatusOr<SqltsClient> SqltsClient::Connect(const std::string& host,
+                                           uint16_t port) {
+  SQLTS_ASSIGN_OR_RETURN(TcpSocket sock, TcpSocket::Connect(host, port));
+  return SqltsClient(std::move(sock));
+}
+
+Status SqltsClient::Send(const Json& message) {
+  return sock_.WriteAll(EncodeFrame(message.Dump()));
+}
+
+StatusOr<Json> SqltsClient::Read() {
+  std::string payload;
+  while (true) {
+    SQLTS_ASSIGN_OR_RETURN(bool ready, decoder_.Next(&payload));
+    if (ready) return ParseMessage(payload);
+    std::string chunk;
+    SQLTS_ASSIGN_OR_RETURN(size_t n, sock_.ReadSome(&chunk));
+    if (n == 0) {
+      return Status::IoError("connection closed by server");
+    }
+    decoder_.Feed(chunk);
+  }
+}
+
+StatusOr<Json> SqltsClient::Hello(const std::string& client_name) {
+  Json hello = Json::Obj();
+  hello.Set("type", Json::Str("HELLO"));
+  hello.Set("client", Json::Str(client_name));
+  SQLTS_RETURN_IF_ERROR(Send(hello));
+  SQLTS_ASSIGN_OR_RETURN(Json reply, Read());
+  if (reply.GetString("type", "") != "WELCOME") {
+    if (reply.GetString("type", "") == "ERROR") {
+      return StatusFromErrorMessage(reply);
+    }
+    return Status::Internal("expected WELCOME, got " + reply.Dump());
+  }
+  return reply;
+}
+
+StatusOr<Json> SqltsClient::Query(int64_t id, const std::string& dataset,
+                                  const std::string& query_text,
+                                  const Json::Object& extra) {
+  Json msg = Json::Obj();
+  msg.Set("type", Json::Str("QUERY"));
+  msg.Set("id", Json::Int(id));
+  msg.Set("dataset", Json::Str(dataset));
+  msg.Set("query", Json::Str(query_text));
+  for (const auto& [key, value] : extra) msg.Set(key, value);
+  SQLTS_RETURN_IF_ERROR(Send(msg));
+  while (true) {
+    SQLTS_ASSIGN_OR_RETURN(Json reply, Read());
+    if (reply.GetInt("id", -1) != id) continue;  // unrelated traffic
+    const std::string type = reply.GetString("type", "");
+    if (type == "RESULT" || type == "CANCELLED") return reply;
+    if (type == "ERROR") return StatusFromErrorMessage(reply);
+  }
+}
+
+StatusOr<std::vector<Row>> SqltsClient::DecodeRows(const Json& rows_array) {
+  if (rows_array.kind() != Json::Kind::kArray) {
+    return Status::InvalidArgument("rows must be a JSON array");
+  }
+  std::vector<Row> rows;
+  rows.reserve(rows_array.array().size());
+  for (const Json& r : rows_array.array()) {
+    SQLTS_ASSIGN_OR_RETURN(Row row, DecodeRow(r));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Status SqltsClient::Close() {
+  Json close = Json::Obj();
+  close.Set("type", Json::Str("CLOSE"));
+  SQLTS_RETURN_IF_ERROR(Send(close));
+  // Drain until BYE (or the server hangs up first — also fine).
+  while (true) {
+    StatusOr<Json> reply = Read();
+    if (!reply.ok()) return Status::OK();
+    if (reply->GetString("type", "") == "BYE") return Status::OK();
+  }
+}
+
+}  // namespace sqlts

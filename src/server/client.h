@@ -1,0 +1,58 @@
+#ifndef SQLTS_SERVER_CLIENT_H_
+#define SQLTS_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "server/net.h"
+#include "server/protocol.h"
+#include "types/value.h"
+
+namespace sqlts {
+
+/// Blocking client for sqlts_server (docs/SERVER.md): one connection,
+/// synchronous frame-at-a-time I/O.  Used by the sqlts_client binary
+/// and the server test suites.  Not thread-safe; one thread per client.
+class SqltsClient {
+ public:
+  static StatusOr<SqltsClient> Connect(const std::string& host, uint16_t port);
+
+  /// Sends one message frame.
+  Status Send(const Json& message);
+  /// Blocks for the next reply message.
+  StatusOr<Json> Read();
+
+  /// HELLO handshake; returns the WELCOME reply.
+  StatusOr<Json> Hello(const std::string& client_name);
+
+  /// One-shot batch query: sends QUERY and blocks until the terminal
+  /// reply for `id` (RESULT / CANCELLED / ERROR) comes back, returning
+  /// it verbatim.  ERROR terminals are surfaced as their typed Status.
+  /// `extra` members (e.g. "deadline_ms", "solo") are merged into the
+  /// request.
+  StatusOr<Json> Query(int64_t id, const std::string& dataset,
+                       const std::string& query_text,
+                       const Json::Object& extra = {});
+
+  /// Decodes a RESULT (or accumulated stream) row array.
+  static StatusOr<std::vector<Row>> DecodeRows(const Json& rows_array);
+
+  /// Polite shutdown: CLOSE, drain until BYE or EOF.
+  Status Close();
+
+  /// Escape hatch for the fuzz/load suites: raw socket access (abrupt
+  /// disconnects, mid-frame writes, half-open shutdowns).
+  TcpSocket& socket() { return sock_; }
+
+ private:
+  explicit SqltsClient(TcpSocket sock) : sock_(std::move(sock)) {}
+
+  TcpSocket sock_;
+  FrameDecoder decoder_;
+};
+
+}  // namespace sqlts
+
+#endif  // SQLTS_SERVER_CLIENT_H_

@@ -1,0 +1,425 @@
+#include "server/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace sqlts {
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+struct Parser {
+  std::string_view text;
+  size_t pos = 0;
+
+  bool AtEnd() const { return pos >= text.size(); }
+  char Peek() const { return text[pos]; }
+
+  void SkipWs() {
+    while (!AtEnd()) {
+      char c = text[pos];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  Status Err(const std::string& what) const {
+    return Status::ParseError("JSON: " + what + " at byte " +
+                              std::to_string(pos));
+  }
+
+  StatusOr<Json> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Err("nesting too deep");
+    SkipWs();
+    if (AtEnd()) return Err("unexpected end of input");
+    char c = Peek();
+    switch (c) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"': {
+        SQLTS_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return Json::Str(std::move(s));
+      }
+      case 't':
+        SQLTS_RETURN_IF_ERROR(Expect("true"));
+        return Json::Bool(true);
+      case 'f':
+        SQLTS_RETURN_IF_ERROR(Expect("false"));
+        return Json::Bool(false);
+      case 'n':
+        SQLTS_RETURN_IF_ERROR(Expect("null"));
+        return Json::Null();
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber();
+        return Err(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  Status Expect(std::string_view word) {
+    if (text.substr(pos, word.size()) != word) {
+      return Err("expected '" + std::string(word) + "'");
+    }
+    pos += word.size();
+    return Status::OK();
+  }
+
+  StatusOr<Json> ParseNumber() {
+    const size_t start = pos;
+    if (!AtEnd() && Peek() == '-') ++pos;
+    bool integral = true;
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c >= '0' && c <= '9') {
+        ++pos;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos;
+      } else {
+        break;
+      }
+    }
+    std::string token(text.substr(start, pos - start));
+    if (token.empty() || token == "-") return Err("malformed number");
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end != nullptr && *end == '\0') {
+        return Json::Int(static_cast<int64_t>(v));
+      }
+      // Fall through: out of int64 range, keep it as a double.
+    }
+    errno = 0;
+    char* end = nullptr;
+    double d = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Err("malformed number");
+    if (!std::isfinite(d)) return Err("number out of range");
+    return Json::Double(d);
+  }
+
+  StatusOr<std::string> ParseString() {
+    ++pos;  // opening quote
+    std::string out;
+    while (true) {
+      if (AtEnd()) return Err("unterminated string");
+      char c = text[pos++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Err("raw control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (AtEnd()) return Err("unterminated escape");
+      char e = text[pos++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          SQLTS_ASSIGN_OR_RETURN(uint32_t cp, ParseHex4());
+          // Surrogate pair → one code point.
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            if (text.substr(pos, 2) != "\\u") return Err("lone surrogate");
+            pos += 2;
+            SQLTS_ASSIGN_OR_RETURN(uint32_t low, ParseHex4());
+            if (low < 0xDC00 || low > 0xDFFF) return Err("bad surrogate pair");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Err("lone surrogate");
+          }
+          AppendUtf8(cp, &out);
+          break;
+        }
+        default:
+          return Err("invalid escape");
+      }
+    }
+  }
+
+  StatusOr<uint32_t> ParseHex4() {
+    if (pos + 4 > text.size()) return Err("truncated \\u escape");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text[pos++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= static_cast<uint32_t>(c - 'A' + 10);
+      else return Err("bad hex digit in \\u escape");
+    }
+    return v;
+  }
+
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  StatusOr<Json> ParseArray(int depth) {
+    ++pos;  // '['
+    Json out = Json::Arr();
+    SkipWs();
+    if (!AtEnd() && Peek() == ']') {
+      ++pos;
+      return out;
+    }
+    while (true) {
+      SQLTS_ASSIGN_OR_RETURN(Json v, ParseValue(depth + 1));
+      out.mutable_array()->push_back(std::move(v));
+      SkipWs();
+      if (AtEnd()) return Err("unterminated array");
+      char c = text[pos++];
+      if (c == ']') return out;
+      if (c != ',') return Err("expected ',' or ']'");
+    }
+  }
+
+  StatusOr<Json> ParseObject(int depth) {
+    ++pos;  // '{'
+    Json out = Json::Obj();
+    SkipWs();
+    if (!AtEnd() && Peek() == '}') {
+      ++pos;
+      return out;
+    }
+    while (true) {
+      SkipWs();
+      if (AtEnd() || Peek() != '"') return Err("expected member name");
+      SQLTS_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWs();
+      if (AtEnd() || text[pos++] != ':') return Err("expected ':'");
+      SQLTS_ASSIGN_OR_RETURN(Json v, ParseValue(depth + 1));
+      out.Set(std::move(key), std::move(v));
+      SkipWs();
+      if (AtEnd()) return Err("unterminated object");
+      char c = text[pos++];
+      if (c == '}') return out;
+      if (c != ',') return Err("expected ',' or '}'");
+    }
+  }
+};
+
+void EscapeInto(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void DumpInto(const Json& v, std::string* out);
+
+void DumpArray(const Json::Array& a, std::string* out) {
+  out->push_back('[');
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    DumpInto(a[i], out);
+  }
+  out->push_back(']');
+}
+
+void DumpObject(const Json::Object& o, std::string* out) {
+  out->push_back('{');
+  bool first = true;
+  for (const auto& [k, v] : o) {
+    if (!first) out->push_back(',');
+    first = false;
+    EscapeInto(k, out);
+    out->push_back(':');
+    DumpInto(v, out);
+  }
+  out->push_back('}');
+}
+
+void DumpInto(const Json& v, std::string* out) {
+  switch (v.kind()) {
+    case Json::Kind::kNull: *out += "null"; break;
+    case Json::Kind::kBool: *out += v.bool_value() ? "true" : "false"; break;
+    case Json::Kind::kInt: *out += std::to_string(v.int_value()); break;
+    case Json::Kind::kDouble: {
+      double d = v.double_value();
+      SQLTS_CHECK(std::isfinite(d)) << "non-finite double in JSON";
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", d);
+      *out += buf;
+      break;
+    }
+    case Json::Kind::kString: EscapeInto(v.string_value(), out); break;
+    case Json::Kind::kArray: DumpArray(v.array(), out); break;
+    case Json::Kind::kObject: DumpObject(v.object(), out); break;
+  }
+}
+
+}  // namespace
+
+Json Json::Bool(bool b) {
+  Json v;
+  v.kind_ = Kind::kBool;
+  v.b_ = b;
+  return v;
+}
+
+Json Json::Int(int64_t i) {
+  Json v;
+  v.kind_ = Kind::kInt;
+  v.i_ = i;
+  return v;
+}
+
+Json Json::Double(double d) {
+  Json v;
+  v.kind_ = Kind::kDouble;
+  v.d_ = d;
+  return v;
+}
+
+Json Json::Str(std::string s) {
+  Json v;
+  v.kind_ = Kind::kString;
+  v.s_ = std::move(s);
+  return v;
+}
+
+Json Json::Arr(Array a) {
+  Json v;
+  v.kind_ = Kind::kArray;
+  v.a_ = std::move(a);
+  return v;
+}
+
+Json Json::Obj(Object o) {
+  Json v;
+  v.kind_ = Kind::kObject;
+  v.o_ = std::move(o);
+  return v;
+}
+
+bool Json::bool_value() const {
+  SQLTS_CHECK(kind_ == Kind::kBool) << "not a bool";
+  return b_;
+}
+
+int64_t Json::int_value() const {
+  SQLTS_CHECK(kind_ == Kind::kInt) << "not an int";
+  return i_;
+}
+
+double Json::double_value() const {
+  SQLTS_CHECK(kind_ == Kind::kInt || kind_ == Kind::kDouble)
+      << "not a number";
+  return kind_ == Kind::kInt ? static_cast<double>(i_) : d_;
+}
+
+const std::string& Json::string_value() const {
+  SQLTS_CHECK(kind_ == Kind::kString) << "not a string";
+  return s_;
+}
+
+const Json::Array& Json::array() const {
+  SQLTS_CHECK(kind_ == Kind::kArray) << "not an array";
+  return a_;
+}
+
+const Json::Object& Json::object() const {
+  SQLTS_CHECK(kind_ == Kind::kObject) << "not an object";
+  return o_;
+}
+
+Json::Array* Json::mutable_array() {
+  SQLTS_CHECK(kind_ == Kind::kArray) << "not an array";
+  return &a_;
+}
+
+Json::Object* Json::mutable_object() {
+  SQLTS_CHECK(kind_ == Kind::kObject) << "not an object";
+  return &o_;
+}
+
+const Json* Json::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  auto it = o_.find(std::string(key));
+  return it == o_.end() ? nullptr : &it->second;
+}
+
+int64_t Json::GetInt(std::string_view key, int64_t dflt) const {
+  const Json* v = Find(key);
+  return v != nullptr && v->kind() == Kind::kInt ? v->int_value() : dflt;
+}
+
+std::string Json::GetString(std::string_view key,
+                            std::string_view dflt) const {
+  const Json* v = Find(key);
+  return v != nullptr && v->kind() == Kind::kString ? v->string_value()
+                                                    : std::string(dflt);
+}
+
+bool Json::GetBool(std::string_view key, bool dflt) const {
+  const Json* v = Find(key);
+  return v != nullptr && v->kind() == Kind::kBool ? v->bool_value() : dflt;
+}
+
+void Json::Set(std::string key, Json value) {
+  SQLTS_CHECK(kind_ == Kind::kObject) << "not an object";
+  o_[std::move(key)] = std::move(value);
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpInto(*this, &out);
+  return out;
+}
+
+StatusOr<Json> Json::Parse(std::string_view text) {
+  Parser p{text};
+  SQLTS_ASSIGN_OR_RETURN(Json v, p.ParseValue(0));
+  p.SkipWs();
+  if (!p.AtEnd()) return p.Err("trailing garbage after document");
+  return v;
+}
+
+}  // namespace sqlts

@@ -1,0 +1,83 @@
+#ifndef SQLTS_SERVER_JSON_H_
+#define SQLTS_SERVER_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace sqlts {
+
+/// Minimal JSON document model for the wire protocol (docs/SERVER.md).
+/// Self-contained on purpose: the server must not pull a dependency the
+/// engine doesn't have.  Numbers distinguish int64 from double so the
+/// protocol can carry small integers (ids, counters) exactly; full
+/// int64/double Value payloads travel as tagged strings on top of this
+/// (see server/protocol.h), never as bare JSON numbers.
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  /// Objects preserve no insertion order; the protocol never relies on
+  /// member order.
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Json() : kind_(Kind::kNull) {}
+  static Json Null() { return Json(); }
+  static Json Bool(bool b);
+  static Json Int(int64_t i);
+  static Json Double(double d);
+  static Json Str(std::string s);
+  static Json Arr(Array a = {});
+  static Json Obj(Object o = {});
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  /// Typed accessors; checked invariants (call kind() first).
+  bool bool_value() const;
+  int64_t int_value() const;
+  /// Numeric view: kInt and kDouble both convert.
+  double double_value() const;
+  const std::string& string_value() const;
+  const Array& array() const;
+  const Object& object() const;
+  Array* mutable_array();
+  Object* mutable_object();
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Json* Find(std::string_view key) const;
+  /// Convenience typed getters with defaults (absent/mistyped → dflt).
+  int64_t GetInt(std::string_view key, int64_t dflt) const;
+  std::string GetString(std::string_view key, std::string_view dflt) const;
+  bool GetBool(std::string_view key, bool dflt) const;
+
+  /// Sets `key` on an object (checked invariant).
+  void Set(std::string key, Json value);
+
+  /// Compact serialization (no whitespace).  Strings are escaped per
+  /// RFC 8259; non-finite doubles are a checked invariant (the protocol
+  /// encodes them as tagged strings instead).
+  std::string Dump() const;
+
+  /// Parses one JSON document.  ParseError on malformed input,
+  /// trailing garbage, depth beyond 64, or invalid escapes.
+  static StatusOr<Json> Parse(std::string_view text);
+
+ private:
+  Kind kind_;
+  bool b_ = false;
+  int64_t i_ = 0;
+  double d_ = 0.0;
+  std::string s_;
+  Array a_;
+  Object o_;
+};
+
+}  // namespace sqlts
+
+#endif  // SQLTS_SERVER_JSON_H_

@@ -1,0 +1,81 @@
+#ifndef SQLTS_SERVER_METRICS_H_
+#define SQLTS_SERVER_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "multiquery/predicate_catalog.h"
+#include "server/json.h"
+
+namespace sqlts {
+
+/// Live service counters, updated lock-free on the hot paths and
+/// snapshotted into the METRICS reply (catalog in docs/SERVER.md).
+/// Gauges must return to their idle values after a drain — the metrics
+/// test asserts queries_in_flight == 0 and sessions_active == 0 once
+/// every client is gone, which is what makes leaks observable.
+struct ServerMetrics {
+  // Session lifecycle.
+  std::atomic<int64_t> sessions_active{0};     // gauge
+  std::atomic<int64_t> sessions_peak{0};
+  std::atomic<int64_t> sessions_admitted{0};
+  std::atomic<int64_t> sessions_waiting{0};    // gauge: admission queue
+  std::atomic<int64_t> sessions_rejected{0};   // backlog overflow
+  // Query lifecycle (batch + streaming).
+  std::atomic<int64_t> queries_in_flight{0};   // gauge
+  std::atomic<int64_t> queries_completed{0};
+  std::atomic<int64_t> queries_cancelled{0};
+  std::atomic<int64_t> queries_rejected{0};    // admission (in-flight cap)
+  std::atomic<int64_t> queries_failed{0};      // typed ERROR replies
+  // Wire accounting.
+  std::atomic<int64_t> rows_sent{0};
+  std::atomic<int64_t> frames_received{0};
+  std::atomic<int64_t> protocol_errors{0};     // malformed frames/messages
+
+  /// Raises sessions_peak to at least `active` (call after increment).
+  void NotePeak(int64_t active) {
+    int64_t peak = sessions_peak.load(std::memory_order_relaxed);
+    while (active > peak &&
+           !sessions_peak.compare_exchange_weak(peak, active,
+                                                std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Counts one typed failure reply by status-code name.
+  void NoteError(const std::string& code) {
+    queries_failed.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++errors_by_code_[code];
+  }
+
+  /// Folds one finished scan group's workload stats into the totals
+  /// (batch coalescer after each Execute; stream hub per generation).
+  void AccumulateWorkload(const MultiQueryStats& stats) {
+    std::lock_guard<std::mutex> lock(mu_);
+    workload_.shared_lookups += stats.shared_lookups;
+    workload_.shared_evals += stats.shared_evals;
+    workload_.cache_hits += stats.cache_hits;
+    workload_.inferred_hits += stats.inferred_hits;
+    workload_.private_evals += stats.private_evals;
+    workload_.tuples_scanned += stats.tuples_scanned;
+    coalesced_runs_ += 1;
+  }
+
+  /// One JSON object with every counter above plus the accumulated
+  /// workload dedup stats; `live` (if non-null) is folded into the
+  /// dedup totals as the still-running generations' snapshot.
+  Json Snapshot(const MultiQueryStats* live = nullptr) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, int64_t> errors_by_code_;
+  MultiQueryStats workload_;  // accumulated finished-run totals
+  int64_t coalesced_runs_ = 0;
+};
+
+}  // namespace sqlts
+
+#endif  // SQLTS_SERVER_METRICS_H_

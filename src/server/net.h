@@ -1,0 +1,89 @@
+#ifndef SQLTS_SERVER_NET_H_
+#define SQLTS_SERVER_NET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/statusor.h"
+
+namespace sqlts {
+
+/// Thin POSIX TCP wrappers for the query service (loopback/IPv4).
+/// RAII socket ownership; every call converts errno into a typed
+/// Status.  SIGPIPE is never raised: writes use MSG_NOSIGNAL, so a
+/// peer that vanished surfaces as an IoError, not a process kill.
+class TcpSocket {
+ public:
+  TcpSocket() = default;
+  explicit TcpSocket(int fd) : fd_(fd) {}
+  ~TcpSocket() { Close(); }
+
+  TcpSocket(TcpSocket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  TcpSocket& operator=(TcpSocket&& other) noexcept;
+  TcpSocket(const TcpSocket&) = delete;
+  TcpSocket& operator=(const TcpSocket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Connects to host:port (numeric IPv4 host, e.g. "127.0.0.1").
+  static StatusOr<TcpSocket> Connect(const std::string& host, uint16_t port);
+
+  /// Writes all of `bytes`, looping over partial writes.  IoError when
+  /// the peer is gone or the send timeout (if set) expires.
+  Status WriteAll(std::string_view bytes);
+
+  /// Reads up to `cap` bytes into `out` (resized to what was read).
+  /// Returns 0 bytes on orderly EOF; IoError on failure or timeout.
+  StatusOr<size_t> ReadSome(std::string* out, size_t cap = 64 * 1024);
+
+  /// Bounds how long a blocking write (read) may stall on a slow or
+  /// half-open peer; 0 restores "block forever".
+  Status SetSendTimeout(int millis);
+  Status SetRecvTimeout(int millis);
+
+  /// Half-close: no more writes, reads still drain (tests use this to
+  /// fake half-open peers).  `Shutdown` with both directions unblocks a
+  /// reader stuck in ReadSome from another thread.
+  void ShutdownWrite();
+  void ShutdownBoth();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening socket bound to 127.0.0.1.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener() { Close(); }
+  TcpListener(TcpListener&&) = delete;
+  TcpListener(const TcpListener&) = delete;
+
+  /// Binds and listens on 127.0.0.1:`port` (0 picks an ephemeral port;
+  /// see port() for the outcome).
+  Status Listen(uint16_t port, int backlog = 128);
+
+  /// Blocks for the next connection.  IoError once Close() was called
+  /// from another thread (the accept loop's shutdown signal).
+  StatusOr<TcpSocket> Accept();
+
+  uint16_t port() const { return port_; }
+  bool listening() const { return fd_.load() >= 0; }
+
+  void Close();
+
+ private:
+  /// Atomic because Close() is the cross-thread shutdown signal for a
+  /// worker blocked in Accept().
+  std::atomic<int> fd_{-1};
+  uint16_t port_ = 0;
+};
+
+}  // namespace sqlts
+
+#endif  // SQLTS_SERVER_NET_H_

@@ -1,0 +1,230 @@
+#include "server/protocol.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace sqlts {
+
+std::string EncodeFrame(std::string_view payload) {
+  SQLTS_CHECK(!payload.empty() && payload.size() <= kMaxFrameBytes)
+      << "frame payload size " << payload.size();
+  const uint32_t n = static_cast<uint32_t>(payload.size());
+  std::string out;
+  out.reserve(4 + payload.size());
+  out.push_back(static_cast<char>((n >> 24) & 0xFF));
+  out.push_back(static_cast<char>((n >> 16) & 0xFF));
+  out.push_back(static_cast<char>((n >> 8) & 0xFF));
+  out.push_back(static_cast<char>(n & 0xFF));
+  out.append(payload);
+  return out;
+}
+
+void FrameDecoder::Feed(std::string_view bytes) {
+  // Compact once the consumed prefix dominates, so long sessions don't
+  // grow the buffer without bound.
+  if (consumed_ > 0 && consumed_ >= buf_.size() / 2) {
+    buf_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buf_.append(bytes);
+}
+
+StatusOr<bool> FrameDecoder::Next(std::string* payload) {
+  if (!poisoned_.ok()) return poisoned_;
+  if (buf_.size() - consumed_ < 4) return false;
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(buf_.data()) + consumed_;
+  const uint32_t n = (static_cast<uint32_t>(p[0]) << 24) |
+                     (static_cast<uint32_t>(p[1]) << 16) |
+                     (static_cast<uint32_t>(p[2]) << 8) |
+                     static_cast<uint32_t>(p[3]);
+  if (n == 0 || n > kMaxFrameBytes) {
+    poisoned_ = Status::InvalidArgument(
+        "malformed frame length " + std::to_string(n) + " (limit " +
+        std::to_string(kMaxFrameBytes) + ")");
+    return poisoned_;
+  }
+  if (buf_.size() - consumed_ < 4 + static_cast<size_t>(n)) return false;
+  payload->assign(buf_, consumed_ + 4, n);
+  consumed_ += 4 + static_cast<size_t>(n);
+  return true;
+}
+
+Json EncodeValue(const Value& v) {
+  switch (v.kind()) {
+    case TypeKind::kNull:
+      return Json::Null();
+    case TypeKind::kBool:
+      return Json::Bool(v.bool_value());
+    case TypeKind::kString:
+      return Json::Str(v.string_value());
+    case TypeKind::kInt64: {
+      Json o = Json::Obj();
+      o.Set("i", Json::Str(std::to_string(v.int64_value())));
+      return o;
+    }
+    case TypeKind::kDouble: {
+      const double d = v.double_value();
+      char buf[32];
+      if (std::isnan(d)) {
+        std::snprintf(buf, sizeof(buf), "nan");
+      } else if (std::isinf(d)) {
+        std::snprintf(buf, sizeof(buf), d > 0 ? "inf" : "-inf");
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", d);
+      }
+      Json o = Json::Obj();
+      o.Set("d", Json::Str(buf));
+      return o;
+    }
+    case TypeKind::kDate: {
+      Json o = Json::Obj();
+      o.Set("dt", Json::Str(v.date_value().ToString()));
+      return o;
+    }
+  }
+  return Json::Null();  // unreachable; kinds are exhaustive
+}
+
+StatusOr<Value> DecodeValue(const Json& j) {
+  switch (j.kind()) {
+    case Json::Kind::kNull:
+      return Value::Null();
+    case Json::Kind::kBool:
+      return Value::Bool(j.bool_value());
+    case Json::Kind::kString:
+      return Value::String(j.string_value());
+    case Json::Kind::kObject: {
+      if (const Json* i = j.Find("i");
+          i != nullptr && i->kind() == Json::Kind::kString) {
+        errno = 0;
+        char* end = nullptr;
+        long long v = std::strtoll(i->string_value().c_str(), &end, 10);
+        if (errno != 0 || end == nullptr || *end != '\0' ||
+            i->string_value().empty()) {
+          return Status::InvalidArgument("bad int64 payload '" +
+                                         i->string_value() + "'");
+        }
+        return Value::Int64(static_cast<int64_t>(v));
+      }
+      if (const Json* d = j.Find("d");
+          d != nullptr && d->kind() == Json::Kind::kString) {
+        const std::string& s = d->string_value();
+        if (s == "nan") return Value::Double(std::nan(""));
+        if (s == "inf") return Value::Double(HUGE_VAL);
+        if (s == "-inf") return Value::Double(-HUGE_VAL);
+        errno = 0;
+        char* end = nullptr;
+        double v = std::strtod(s.c_str(), &end);
+        if (end == nullptr || *end != '\0' || s.empty()) {
+          return Status::InvalidArgument("bad double payload '" + s + "'");
+        }
+        return Value::Double(v);
+      }
+      if (const Json* dt = j.Find("dt");
+          dt != nullptr && dt->kind() == Json::Kind::kString) {
+        return Value::ParseAs(TypeKind::kDate, dt->string_value());
+      }
+      return Status::InvalidArgument("unknown tagged value object");
+    }
+    default:
+      return Status::InvalidArgument("bad value encoding (bare number?)");
+  }
+}
+
+Json EncodeRow(const Row& row) {
+  Json a = Json::Arr();
+  a.mutable_array()->reserve(row.size());
+  for (const Value& v : row) a.mutable_array()->push_back(EncodeValue(v));
+  return a;
+}
+
+StatusOr<Row> DecodeRow(const Json& j) {
+  if (j.kind() != Json::Kind::kArray) {
+    return Status::InvalidArgument("row must be a JSON array");
+  }
+  Row row;
+  row.reserve(j.array().size());
+  for (const Json& cell : j.array()) {
+    SQLTS_ASSIGN_OR_RETURN(Value v, DecodeValue(cell));
+    row.push_back(std::move(v));
+  }
+  return row;
+}
+
+Json EncodeSchema(const Schema& schema) {
+  Json a = Json::Arr();
+  for (const ColumnDef& c : schema.columns()) {
+    Json col = Json::Obj();
+    col.Set("name", Json::Str(c.name));
+    col.Set("type", Json::Str(std::string(TypeKindToString(c.type))));
+    if (c.nullable) col.Set("nullable", Json::Bool(true));
+    if (c.positive) col.Set("positive", Json::Bool(true));
+    a.mutable_array()->push_back(std::move(col));
+  }
+  return a;
+}
+
+StatusOr<Schema> DecodeSchema(const Json& j) {
+  if (j.kind() != Json::Kind::kArray) {
+    return Status::InvalidArgument("schema must be a JSON array");
+  }
+  Schema schema;
+  for (const Json& col : j.array()) {
+    if (col.kind() != Json::Kind::kObject) {
+      return Status::InvalidArgument("schema column must be an object");
+    }
+    SQLTS_ASSIGN_OR_RETURN(TypeKind kind,
+                           TypeKindFromString(col.GetString("type", "")));
+    SQLTS_RETURN_IF_ERROR(schema.AddColumn(col.GetString("name", ""), kind,
+                                           col.GetBool("nullable", false),
+                                           col.GetBool("positive", false)));
+  }
+  return schema;
+}
+
+Json MakeErrorMessage(int64_t id, const Status& st) {
+  Json o = Json::Obj();
+  o.Set("type", Json::Str("ERROR"));
+  if (id >= 0) o.Set("id", Json::Int(id));
+  o.Set("code", Json::Str(std::string(StatusCodeToString(st.code()))));
+  o.Set("message", Json::Str(st.message()));
+  return o;
+}
+
+StatusOr<StatusCode> StatusCodeFromWire(std::string_view name) {
+  static constexpr StatusCode kAll[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,     StatusCode::kAlreadyExists,
+      StatusCode::kOutOfRange,   StatusCode::kUnimplemented,
+      StatusCode::kInternal,     StatusCode::kParseError,
+      StatusCode::kTypeError,    StatusCode::kIoError,
+      StatusCode::kResourceExhausted, StatusCode::kDeadlineExceeded,
+      StatusCode::kCancelled,
+  };
+  for (StatusCode c : kAll) {
+    if (StatusCodeToString(c) == name) return c;
+  }
+  return Status::InvalidArgument("unknown status code '" +
+                                 std::string(name) + "'");
+}
+
+Status StatusFromErrorMessage(const Json& error_msg) {
+  const std::string message = error_msg.GetString("message", "");
+  StatusOr<StatusCode> code =
+      StatusCodeFromWire(error_msg.GetString("code", ""));
+  if (!code.ok()) return Status::Internal("unrecognized error: " + message);
+  return Status(*code, message);
+}
+
+StatusOr<Json> ParseMessage(std::string_view payload) {
+  SQLTS_ASSIGN_OR_RETURN(Json doc, Json::Parse(payload));
+  if (doc.kind() != Json::Kind::kObject) {
+    return Status::InvalidArgument("message must be a JSON object");
+  }
+  return doc;
+}
+
+}  // namespace sqlts

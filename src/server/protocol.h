@@ -1,0 +1,93 @@
+#ifndef SQLTS_SERVER_PROTOCOL_H_
+#define SQLTS_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/statusor.h"
+#include "server/json.h"
+#include "types/schema.h"
+
+namespace sqlts {
+
+/// Wire protocol of sqlts_server (docs/SERVER.md): every message is one
+/// frame — a 4-byte big-endian payload length followed by exactly that
+/// many bytes of UTF-8 JSON (one object).  Length 0 and lengths above
+/// kMaxFrameBytes are protocol errors; a peer that sends either (or a
+/// payload that is not a JSON object) gets a typed ERROR reply and the
+/// connection is closed.
+///
+/// Requests carry `type` (HELLO/QUERY/STREAM/CANCEL/CLOSE/METRICS) and,
+/// for query-bearing types, a client-chosen `id` echoed on every reply
+/// so a session can multiplex streams.  Replies carry `type` in
+/// {WELCOME, RESULT, STREAM_START, ROW, STREAM_END, CANCELLED, METRICS,
+/// BYE, ERROR}; ERROR replies carry `code` — the StatusCode name, e.g.
+/// "ResourceExhausted", "DeadlineExceeded", "Cancelled" — and
+/// `message`.
+///
+/// Values cross the wire losslessly (bit-identical round trip, the
+/// load-test oracle depends on it): NULL → JSON null, BOOL → JSON
+/// bool, STRING → JSON string, INT64 → {"i":"<decimal>"} (a string, so
+/// magnitudes beyond 2^53 survive), DOUBLE → {"d":"<%.17g>"} with
+/// "nan"/"inf"/"-inf" for non-finite, DATE → {"dt":"YYYY-MM-DD"}.
+constexpr uint32_t kMaxFrameBytes = 16u << 20;  // 16 MiB
+constexpr int kProtocolVersion = 1;
+
+/// Encodes `payload` as one frame (length prefix + bytes).
+std::string EncodeFrame(std::string_view payload);
+
+/// Incremental frame decoder: feed arbitrary byte chunks, take complete
+/// payloads out.  Oversized or zero-length prefixes surface as a typed
+/// error from Next() and poison the decoder (a framing error is not
+/// recoverable mid-stream).
+class FrameDecoder {
+ public:
+  /// Appends received bytes to the reassembly buffer.
+  void Feed(std::string_view bytes);
+
+  /// Extracts the next complete frame payload into `payload`.  Returns
+  /// true when one was available, false when more bytes are needed.
+  /// A malformed length prefix fails with InvalidArgument (and every
+  /// later call fails the same way).
+  StatusOr<bool> Next(std::string* payload);
+
+  /// Bytes buffered but not yet consumed (tests; backpressure probes).
+  size_t buffered() const { return buf_.size() - consumed_; }
+
+ private:
+  std::string buf_;
+  size_t consumed_ = 0;
+  Status poisoned_ = Status::OK();
+};
+
+/// Lossless Value ↔ JSON mapping (see the format comment above).
+Json EncodeValue(const Value& v);
+StatusOr<Value> DecodeValue(const Json& j);
+Json EncodeRow(const Row& row);
+StatusOr<Row> DecodeRow(const Json& j);
+
+/// Schema → [{"name":...,"type":"INT64","nullable":bool,"positive":bool}].
+Json EncodeSchema(const Schema& schema);
+StatusOr<Schema> DecodeSchema(const Json& j);
+
+/// Builds the standard ERROR reply for `st`, echoing request `id`
+/// (omitted when id < 0).
+Json MakeErrorMessage(int64_t id, const Status& st);
+
+/// Maps a wire `code` name back to the StatusCode it names (the inverse
+/// of StatusCodeToString); InvalidArgument for unknown names.
+StatusOr<StatusCode> StatusCodeFromWire(std::string_view name);
+
+/// Reconstructs the Status carried by an ERROR reply (the client-side
+/// inverse of MakeErrorMessage).  Unknown codes map to kInternal so the
+/// failure is still surfaced.
+Status StatusFromErrorMessage(const Json& error_msg);
+
+/// Parses a frame payload into a JSON object; typed errors for
+/// non-JSON payloads and non-object documents.
+StatusOr<Json> ParseMessage(std::string_view payload);
+
+}  // namespace sqlts
+
+#endif  // SQLTS_SERVER_PROTOCOL_H_

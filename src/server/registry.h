@@ -1,0 +1,174 @@
+#ifndef SQLTS_SERVER_REGISTRY_H_
+#define SQLTS_SERVER_REGISTRY_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/governance.h"
+#include "engine/executor.h"
+#include "multiquery/multi_executor.h"
+#include "multiquery/multi_stream.h"
+#include "server/json.h"
+#include "server/metrics.h"
+#include "storage/table.h"
+
+namespace sqlts {
+
+/// Where replies go: one per session.  Implementations enqueue the
+/// message on the session's bounded outbound queue — Send() must never
+/// block (a slow or dead client would otherwise stall the shared
+/// executors) and returns false when the session is gone or its queue
+/// overflowed, in which case the caller treats the subscriber as lost.
+class ReplySink {
+ public:
+  virtual ~ReplySink() = default;
+  virtual bool Send(const Json& message) = 0;
+  /// Per-session row accounting (METRICS per_session detail).
+  virtual void NoteRows(int64_t n) = 0;
+};
+
+/// One queued QUERY request.  `done` runs exactly once, right after the
+/// terminal reply (RESULT / CANCELLED / ERROR) is sent, so the session
+/// can retire the request id from its in-flight map.
+struct BatchRequest {
+  std::shared_ptr<ReplySink> sink;
+  int64_t req_id = -1;
+  std::string text;
+  /// Run alone with this request's own governance instead of joining
+  /// the shared set (set for requests with a deadline, a private
+  /// buffer budget, or an explicit "solo": true).
+  bool solo = false;
+  ExecGovernance gov;
+  std::function<void()> done;
+};
+
+/// Cross-session batch coalescing for one dataset: QUERY requests are
+/// queued, and each sweep of the worker thread takes everything pending
+/// and runs the shareable ones as a single MultiQueryExecutor set — so
+/// concurrent clients asking overlapping questions pay for the overlap
+/// once (the server-side realization of the multi-query tier).
+/// Requests that carry their own deadline/budget/cancellation run
+/// standalone with exactly that governance.
+///
+/// Every request gets exactly one terminal reply, including on Stop()
+/// (drained as CANCELLED) — the queries_in_flight gauge provably
+/// returns to zero.
+class BatchCoalescer {
+ public:
+  BatchCoalescer(std::string dataset, const Table* table, ExecOptions base,
+                 ServerMetrics* metrics);
+  ~BatchCoalescer();
+
+  /// Enqueues `req` (caller already counted it in queries_in_flight).
+  void Submit(std::shared_ptr<BatchRequest> req);
+
+  /// Cancels the in-progress shared run, drains the queue with
+  /// CANCELLED terminals, and joins the worker.  Idempotent.
+  void Stop();
+
+ private:
+  void WorkerLoop();
+  void Process(std::vector<std::shared_ptr<BatchRequest>> batch);
+  void ReplyTerminal(const BatchRequest& req, const Status& st);
+  void ReplyResult(const BatchRequest& req, const QueryResult& result);
+
+  const std::string dataset_;
+  const Table* table_;
+  const ExecOptions base_;
+  ServerMetrics* metrics_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<BatchRequest>> pending_;
+  /// Set-level cancellation for the currently running shared set;
+  /// Stop() trips it so shutdown doesn't wait out a long scan.
+  CancelToken run_cancel_;
+  bool stopping_ = false;
+  std::thread worker_;
+};
+
+/// Cross-session shared streaming for one dataset.  The first
+/// subscriber starts a generation: a replay thread drives the dataset
+/// through one MultiStreamExecutor, and every later subscriber joins
+/// the same stream mid-flight at its registration epoch (reported in
+/// STREAM_START; a query's results cover exactly rows [epoch, end)).
+/// Per-subscriber governance failures (budget, deadline, cancellation)
+/// remove only that subscriber — the generation keeps streaming for the
+/// rest.  When the table is exhausted, every survivor gets its
+/// end-of-stream matches and a STREAM_END, and the generation tears
+/// down (epoch caches freed — see num_epoch_caches()).
+class StreamHub {
+ public:
+  StreamHub(std::string dataset, const Table* table, ExecOptions base,
+            ServerMetrics* metrics, int delay_us);
+  ~StreamHub();
+
+  /// Registers a subscriber and sends its STREAM_START.  On error the
+  /// caller owns the reply.  `done` retires the request id on any
+  /// terminal (STREAM_END / CANCELLED / ERROR / session drop).
+  Status Subscribe(std::shared_ptr<ReplySink> sink, int64_t req_id,
+                   const std::string& text, const ExecGovernance& gov,
+                   std::function<void()> done);
+
+  /// Cancels one subscription; sends its CANCELLED terminal.  False
+  /// when (sink, req_id) has no live subscription.
+  bool Cancel(const ReplySink* sink, int64_t req_id);
+
+  /// Removes every subscription of a vanished session, with no replies.
+  void DropSession(const ReplySink* sink);
+
+  /// Ends the current generation (no STREAM_ENDs), joins the replay
+  /// thread.  Idempotent.
+  void Stop();
+
+  /// Dedup counters of the in-flight generation (zero when idle).
+  MultiQueryStats live_stats() const;
+  /// Registry invariant probe: live epoch-namespaced caches.
+  int64_t num_epoch_caches() const;
+
+ private:
+  struct Sub {
+    std::shared_ptr<ReplySink> sink;
+    int64_t req_id = -1;
+    int query_id = -1;
+    /// Set by the row callback when the sink rejects a row (overflow or
+    /// closed session): the replay loop then drops the subscriber — a
+    /// stream that lost a row must die, never silently skip.
+    std::shared_ptr<std::atomic<bool>> send_failed;
+    std::function<void()> done;
+  };
+
+  void ReplayLoop(int64_t generation);
+  /// Ends the generation: frees the executor (accumulating its workload
+  /// stats), clears subscriptions.  Assumes mu_ held.
+  void TeardownLocked();
+  /// Removes subs_[i] with terminal status `st` (OK → CANCELLED).
+  /// Assumes mu_ held.
+  void DropSubLocked(size_t i, const Status* st);
+
+  const std::string dataset_;
+  const Table* table_;
+  const ExecOptions base_;
+  ServerMetrics* metrics_;
+  const int delay_us_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unique_ptr<MultiStreamExecutor> exec_;
+  std::vector<Sub> subs_;
+  int64_t generation_ = 0;
+  int64_t next_row_ = 0;
+  bool stopping_ = false;
+  std::thread replay_;
+};
+
+}  // namespace sqlts
+
+#endif  // SQLTS_SERVER_REGISTRY_H_

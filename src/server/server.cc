@@ -1,0 +1,564 @@
+#include "server/server.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <utility>
+
+#include "server/protocol.h"
+
+namespace sqlts {
+
+// ---------------------------------------------------------------------------
+// Session: one accepted connection.  A reader thread parses frames and
+// dispatches requests; a writer thread drains the bounded outbound
+// queue so replies from the shared executors never block on a slow
+// socket.  The reader's last act is Server::OnSessionEnd, which frees
+// the admission slot for the next FIFO waiter.
+// ---------------------------------------------------------------------------
+
+class Session : public ReplySink,
+                public std::enable_shared_from_this<Session> {
+ public:
+  Session(uint64_t id, TcpSocket sock, Server* server)
+      : id_(id),
+        sock_(std::move(sock)),
+        server_(server),
+        default_tuples_(server->options_.max_buffered_tuples),
+        default_bytes_(server->options_.max_buffered_bytes) {}
+
+  uint64_t id() const { return id_; }
+
+  /// Reader loop; runs on the session's own thread.
+  void Run() {
+    writer_ = std::thread([this] { WriterLoop(); });
+    FrameDecoder decoder;
+    std::string chunk;
+    bool closing = false;
+    while (!closing) {
+      StatusOr<size_t> n = sock_.ReadSome(&chunk);
+      if (!n.ok() || *n == 0) break;  // EOF, reset, or shutdown
+      decoder.Feed(chunk);
+      while (!closing) {
+        std::string payload;
+        StatusOr<bool> has = decoder.Next(&payload);
+        if (!has.ok()) {
+          // Framing is unrecoverable: typed ERROR, then hang up.
+          server_->metrics_.protocol_errors.fetch_add(
+              1, std::memory_order_relaxed);
+          Send(MakeErrorMessage(-1, has.status()));
+          closing = true;
+          break;
+        }
+        if (!*has) break;
+        server_->metrics_.frames_received.fetch_add(1,
+                                                    std::memory_order_relaxed);
+        StatusOr<Json> msg = ParseMessage(payload);
+        if (!msg.ok()) {
+          server_->metrics_.protocol_errors.fetch_add(
+              1, std::memory_order_relaxed);
+          Send(MakeErrorMessage(-1, msg.status()));
+          closing = true;
+          break;
+        }
+        if (!Dispatch(*msg)) closing = true;
+      }
+    }
+    Cleanup();
+  }
+
+  /// Cross-thread unblock for Stop(): both directions shut down, so
+  /// the reader's recv and the writer's send return immediately.
+  void Shutdown() { sock_.ShutdownBoth(); }
+
+  // ReplySink ------------------------------------------------------------
+  bool Send(const Json& message) override {
+    std::string payload = message.Dump();
+    if (payload.size() + 4 > kMaxFrameBytes) return false;
+    std::string frame = EncodeFrame(payload);
+    {
+      std::lock_guard<std::mutex> lock(out_mu_);
+      if (out_closed_ || write_failed_) return false;
+      if (outbox_.size() >= server_->options_.outbound_queue_frames) {
+        return false;  // slow consumer; callers drop the subscriber
+      }
+      outbox_.push_back(std::move(frame));
+    }
+    out_cv_.notify_one();
+    return true;
+  }
+
+  void NoteRows(int64_t n) override {
+    rows_sent_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  // METRICS per-session detail (called under Server::mu_).
+  Json DetailSnapshot() {
+    Json s = Json::Obj();
+    s.Set("session", Json::Int(static_cast<int64_t>(id_)));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      s.Set("client", Json::Str(client_name_));
+    }
+    s.Set("queries_started",
+          Json::Int(queries_started_.load(std::memory_order_relaxed)));
+    s.Set("rows_sent", Json::Int(rows_sent_.load(std::memory_order_relaxed)));
+    return s;
+  }
+
+ private:
+  struct Pending {
+    enum Kind { kBatch, kStream } kind = kBatch;
+    std::shared_ptr<BatchRequest> batch;
+    StreamHub* hub = nullptr;
+  };
+
+  void WriterLoop() {
+    while (true) {
+      std::string frame;
+      {
+        std::unique_lock<std::mutex> lock(out_mu_);
+        out_cv_.wait(lock,
+                     [this] { return out_closed_ || !outbox_.empty(); });
+        if (outbox_.empty()) return;  // closed and fully drained
+        frame = std::move(outbox_.front());
+        outbox_.pop_front();
+      }
+      if (!sock_.WriteAll(frame).ok()) {
+        std::lock_guard<std::mutex> lock(out_mu_);
+        write_failed_ = true;
+        outbox_.clear();
+        // Wake the reader too: a connection that can't carry replies
+        // is dead in both directions.
+        sock_.ShutdownBoth();
+        return;
+      }
+    }
+  }
+
+  bool Dispatch(const Json& msg) {
+    const std::string type = msg.GetString("type", "");
+    if (type == "HELLO") return OnHello(msg);
+    if (type == "QUERY") return OnQuery(msg, /*streaming=*/false);
+    if (type == "STREAM") return OnQuery(msg, /*streaming=*/true);
+    if (type == "CANCEL") return OnCancel(msg);
+    if (type == "METRICS") return OnMetrics(msg);
+    if (type == "CLOSE") {
+      Json bye = Json::Obj();
+      bye.Set("type", Json::Str("BYE"));
+      Send(bye);
+      return false;
+    }
+    server_->metrics_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    Send(MakeErrorMessage(
+        msg.GetInt("id", -1),
+        Status::InvalidArgument("unknown message type '" + type + "'")));
+    return true;  // tolerated: the frame itself was well-formed
+  }
+
+  bool OnHello(const Json& msg) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      client_name_ = msg.GetString("client", "");
+      default_deadline_ms_ = msg.GetInt("deadline_ms", 0);
+      default_tuples_ =
+          msg.GetInt("max_buffered_tuples", default_tuples_);
+      default_bytes_ = msg.GetInt("max_buffered_bytes", default_bytes_);
+    }
+    Json welcome = Json::Obj();
+    welcome.Set("type", Json::Str("WELCOME"));
+    welcome.Set("protocol", Json::Int(kProtocolVersion));
+    welcome.Set("server", Json::Str("sqlts_server"));
+    welcome.Set("session", Json::Int(static_cast<int64_t>(id_)));
+    Send(welcome);
+    return true;
+  }
+
+  ExecGovernance BuildGovernance(const Json& msg) {
+    ExecGovernance gov;
+    int64_t deadline_ms;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      gov.max_buffered_tuples =
+          msg.GetInt("max_buffered_tuples", default_tuples_);
+      gov.max_buffered_bytes = msg.GetInt("max_buffered_bytes", default_bytes_);
+      deadline_ms = msg.GetInt("deadline_ms", default_deadline_ms_);
+    }
+    if (deadline_ms > 0) {
+      gov.deadline = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(deadline_ms);
+    }
+    gov.cancel = CancelToken::Cancellable();
+    return gov;
+  }
+
+  bool OnQuery(const Json& msg, bool streaming) {
+    const int64_t id = msg.GetInt("id", -1);
+    if (id < 0) {
+      Send(MakeErrorMessage(
+          -1, Status::InvalidArgument(
+                  "QUERY/STREAM requires a non-negative integer 'id'")));
+      return true;
+    }
+    Server::Dataset* ds =
+        server_->FindDataset(msg.GetString("dataset", ""));
+    if (ds == nullptr) {
+      Send(MakeErrorMessage(
+          id, Status::NotFound("unknown dataset '" +
+                               msg.GetString("dataset", "") + "'")));
+      return true;
+    }
+    const std::string text = msg.GetString("query", "");
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (pending_.count(id) > 0) {
+        Send(MakeErrorMessage(
+            id, Status::AlreadyExists("request id " + std::to_string(id) +
+                                      " is already in flight")));
+        return true;
+      }
+    }
+    // Global in-flight admission.
+    ServerMetrics& m = server_->metrics_;
+    if (m.queries_in_flight.fetch_add(1, std::memory_order_relaxed) + 1 >
+        server_->options_.max_queries_in_flight) {
+      m.queries_in_flight.fetch_sub(1, std::memory_order_relaxed);
+      m.queries_rejected.fetch_add(1, std::memory_order_relaxed);
+      Send(MakeErrorMessage(
+          id, Status::ResourceExhausted("server query admission limit (" +
+                                        std::to_string(
+                                            server_->options_
+                                                .max_queries_in_flight) +
+                                        " in flight) reached")));
+      return true;
+    }
+    queries_started_.fetch_add(1, std::memory_order_relaxed);
+    ExecGovernance gov = BuildGovernance(msg);
+    std::weak_ptr<Session> weak = shared_from_this();
+    auto done = [weak, id] {
+      if (std::shared_ptr<Session> self = weak.lock()) {
+        self->ErasePending(id);
+      }
+    };
+    if (!streaming) {
+      auto req = std::make_shared<BatchRequest>();
+      req->sink = shared_from_this();
+      req->req_id = id;
+      req->text = text;
+      req->solo = msg.GetBool("solo", false);
+      req->gov = gov;
+      req->done = done;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        Pending p;
+        p.kind = Pending::kBatch;
+        p.batch = req;
+        pending_.emplace(id, std::move(p));
+      }
+      ds->coalescer->Submit(std::move(req));
+      return true;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      Pending p;
+      p.kind = Pending::kStream;
+      p.hub = ds->hub.get();
+      pending_.emplace(id, std::move(p));
+    }
+    Status st = ds->hub->Subscribe(shared_from_this(), id, text, gov, done);
+    if (!st.ok()) {
+      ErasePending(id);
+      m.queries_in_flight.fetch_sub(1, std::memory_order_relaxed);
+      m.NoteError(std::string(StatusCodeToString(st.code())));
+      Send(MakeErrorMessage(id, st));
+    }
+    return true;
+  }
+
+  bool OnCancel(const Json& msg) {
+    const int64_t id = msg.GetInt("id", -1);
+    Pending target;
+    bool found = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = pending_.find(id);
+      if (it != pending_.end()) {
+        target = it->second;
+        found = true;
+      }
+    }
+    if (!found) {
+      Send(MakeErrorMessage(
+          id, Status::NotFound("no in-flight request with id " +
+                               std::to_string(id))));
+      return true;
+    }
+    if (target.kind == Pending::kBatch) {
+      // The coalescer owns the terminal CANCELLED reply (it may be
+      // mid-execution; the result is discarded either way).
+      target.batch->gov.cancel.RequestCancel();
+    } else if (!target.hub->Cancel(this, id)) {
+      // Raced with stream completion.
+      Send(MakeErrorMessage(
+          id, Status::NotFound("no in-flight request with id " +
+                               std::to_string(id))));
+    }
+    return true;
+  }
+
+  bool OnMetrics(const Json& msg) {
+    Json reply = Json::Obj();
+    reply.Set("type", Json::Str("METRICS"));
+    const int64_t id = msg.GetInt("id", -1);
+    if (id >= 0) reply.Set("id", Json::Int(id));
+    reply.Set("metrics", server_->MetricsSnapshot());
+    Send(reply);
+    return true;
+  }
+
+  void ErasePending(int64_t id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.erase(id);
+  }
+
+  /// Teardown, on the reader thread.  Order matters: detach from the
+  /// shared executors first (they hold this sink only through
+  /// shared_ptrs, so late Sends degrade to no-ops), then flush and
+  /// retire the writer, and only then release the admission slot —
+  /// OnSessionEnd must be this thread's last lock-taking act (the
+  /// server joins finished readers under its own mutex).
+  void Cleanup() {
+    std::vector<std::shared_ptr<BatchRequest>> batches;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto& [id, p] : pending_) {
+        if (p.kind == Pending::kBatch && p.batch != nullptr) {
+          batches.push_back(p.batch);
+        }
+      }
+    }
+    for (auto& req : batches) req->gov.cancel.RequestCancel();
+    server_->ForEachHub([this](StreamHub* hub) { hub->DropSession(this); });
+    {
+      std::lock_guard<std::mutex> lock(out_mu_);
+      out_closed_ = true;
+    }
+    out_cv_.notify_all();
+    writer_.join();
+    sock_.ShutdownBoth();
+    server_->OnSessionEnd(id_);
+  }
+
+  const uint64_t id_;
+  TcpSocket sock_;
+  Server* const server_;
+
+  // Outbound queue (reader/hub/coalescer threads enqueue, writer
+  // drains).
+  std::mutex out_mu_;
+  std::condition_variable out_cv_;
+  std::deque<std::string> outbox_;
+  bool out_closed_ = false;
+  bool write_failed_ = false;
+  std::thread writer_;
+
+  // Request state.
+  std::mutex mu_;
+  std::map<int64_t, Pending> pending_;
+  std::string client_name_;
+  int64_t default_deadline_ms_ = 0;
+  int64_t default_tuples_ = 0;
+  int64_t default_bytes_ = 0;
+  std::atomic<int64_t> queries_started_{0};
+  std::atomic<int64_t> rows_sent_{0};
+};
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+Server::Server(Options options) : options_(std::move(options)) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::AddDataset(std::string name, Table table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_ || stopped_) {
+    return Status::InvalidArgument(
+        "datasets must be registered before Start()");
+  }
+  if (datasets_.count(name) > 0) {
+    return Status::AlreadyExists("dataset '" + name + "' already registered");
+  }
+  auto ds = std::make_unique<Dataset>();
+  ds->table = std::move(table);
+  ExecOptions base;
+  base.num_threads = options_.num_threads;
+  ds->coalescer = std::make_unique<BatchCoalescer>(name, &ds->table, base,
+                                                   &metrics_);
+  ds->hub = std::make_unique<StreamHub>(name, &ds->table, base, &metrics_,
+                                        options_.stream_delay_us);
+  datasets_.emplace(std::move(name), std::move(ds));
+  return Status::OK();
+}
+
+Status Server::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_ || stopped_) {
+    return Status::InvalidArgument("server already started");
+  }
+  SQLTS_RETURN_IF_ERROR(listener_.Listen(options_.port));
+  running_ = true;
+  accept_thread_ = std::thread(&Server::AcceptLoop, this);
+  return Status::OK();
+}
+
+void Server::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_ && !running_) return;
+    running_ = false;
+    stopped_ = true;
+    while (!waiting_.empty()) {
+      TcpSocket sock = std::move(waiting_.front());
+      waiting_.pop_front();
+      metrics_.sessions_waiting.fetch_sub(1, std::memory_order_relaxed);
+      metrics_.sessions_rejected.fetch_add(1, std::memory_order_relaxed);
+      Json err = MakeErrorMessage(-1, Status::Cancelled("server shutting down"));
+      (void)sock.WriteAll(EncodeFrame(err.Dump()));
+    }
+  }
+  listener_.Close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, slot] : sessions_) {
+      if (slot.session != nullptr) slot.session->Shutdown();
+    }
+  }
+  // Join readers without holding mu_ — their last act takes it.
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, slot] : sessions_) {
+      if (slot.reader.joinable()) readers.push_back(std::move(slot.reader));
+    }
+  }
+  for (std::thread& t : readers) t.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sessions_.clear();
+    finished_.clear();
+  }
+  for (auto& [name, ds] : datasets_) {
+    ds->hub->Stop();
+    ds->coalescer->Stop();
+  }
+}
+
+Json Server::MetricsSnapshot() {
+  MultiQueryStats live;
+  for (auto& [name, ds] : datasets_) {
+    MultiQueryStats h = ds->hub->live_stats();
+    live.shared_lookups += h.shared_lookups;
+    live.shared_evals += h.shared_evals;
+    live.cache_hits += h.cache_hits;
+    live.inferred_hits += h.inferred_hits;
+    live.private_evals += h.private_evals;
+    live.tuples_scanned += h.tuples_scanned;
+  }
+  Json body = metrics_.Snapshot(&live);
+  Json per_session = Json::Arr();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, slot] : sessions_) {
+      if (slot.session != nullptr) {
+        per_session.mutable_array()->push_back(
+            slot.session->DetailSnapshot());
+      }
+    }
+  }
+  body.Set("per_session", std::move(per_session));
+  return body;
+}
+
+int64_t Server::num_epoch_caches() const {
+  int64_t total = 0;
+  for (const auto& [name, ds] : datasets_) {
+    total += ds->hub->num_epoch_caches();
+  }
+  return total;
+}
+
+void Server::AcceptLoop() {
+  while (true) {
+    StatusOr<TcpSocket> accepted = listener_.Accept();
+    if (!accepted.ok()) return;  // listener closed: shutdown
+    TcpSocket sock = std::move(*accepted);
+    (void)sock.SetSendTimeout(options_.send_timeout_ms);
+    std::lock_guard<std::mutex> lock(mu_);
+    ReapLocked();
+    if (!running_) continue;  // racing with Stop; drop the connection
+    if (metrics_.sessions_active.load(std::memory_order_relaxed) <
+        options_.max_sessions) {
+      StartSessionLocked(std::move(sock));
+    } else if (waiting_.size() <
+               static_cast<size_t>(options_.admission_backlog)) {
+      waiting_.push_back(std::move(sock));
+      metrics_.sessions_waiting.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      metrics_.sessions_rejected.fetch_add(1, std::memory_order_relaxed);
+      Json err = MakeErrorMessage(
+          -1, Status::ResourceExhausted(
+                  "session admission queue full (" +
+                  std::to_string(options_.max_sessions) + " active, " +
+                  std::to_string(options_.admission_backlog) + " waiting)"));
+      (void)sock.WriteAll(EncodeFrame(err.Dump()));
+    }
+  }
+}
+
+void Server::StartSessionLocked(TcpSocket sock) {
+  const uint64_t id = next_session_id_++;
+  auto session = std::make_shared<Session>(id, std::move(sock), this);
+  metrics_.sessions_admitted.fetch_add(1, std::memory_order_relaxed);
+  const int64_t active =
+      metrics_.sessions_active.fetch_add(1, std::memory_order_relaxed) + 1;
+  metrics_.NotePeak(active);
+  Slot slot;
+  slot.session = session;
+  slot.reader = std::thread([session] { session->Run(); });
+  sessions_.emplace(id, std::move(slot));
+}
+
+void Server::ReapLocked() {
+  for (uint64_t id : finished_) {
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) continue;
+    if (it->second.reader.joinable()) it->second.reader.join();
+    sessions_.erase(it);
+  }
+  finished_.clear();
+}
+
+void Server::OnSessionEnd(uint64_t session_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_.sessions_active.fetch_sub(1, std::memory_order_relaxed);
+  finished_.push_back(session_id);
+  if (running_ && !waiting_.empty() &&
+      metrics_.sessions_active.load(std::memory_order_relaxed) <
+          options_.max_sessions) {
+    TcpSocket sock = std::move(waiting_.front());
+    waiting_.pop_front();
+    metrics_.sessions_waiting.fetch_sub(1, std::memory_order_relaxed);
+    StartSessionLocked(std::move(sock));
+  }
+}
+
+Server::Dataset* Server::FindDataset(const std::string& name) {
+  // datasets_ is immutable once running_; sessions read it unlocked.
+  auto it = datasets_.find(name);
+  return it == datasets_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace sqlts

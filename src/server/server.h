@@ -1,0 +1,144 @@
+#ifndef SQLTS_SERVER_SERVER_H_
+#define SQLTS_SERVER_SERVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/governance.h"
+#include "common/statusor.h"
+#include "server/metrics.h"
+#include "server/net.h"
+#include "server/registry.h"
+#include "storage/table.h"
+
+namespace sqlts {
+
+class Session;
+
+/// sqlts_server: a TCP service over the SQL-TS engine (docs/SERVER.md).
+/// Each accepted connection is a session speaking the length-prefixed
+/// JSON protocol (server/protocol.h).  Sessions submit batch QUERYs and
+/// live STREAMs against named datasets; requests from concurrent
+/// sessions targeting one dataset flow into shared executors — a
+/// BatchCoalescer (MultiQueryExecutor sweeps) and a StreamHub
+/// (MultiStreamExecutor generations) per dataset — so overlapping
+/// predicates across clients are evaluated once.
+///
+/// Admission control is two-level and fair: at most
+/// Options::max_sessions sessions run concurrently, further arrivals
+/// wait in a bounded FIFO (admitted strictly in arrival order as
+/// sessions end), and beyond the backlog connections are rejected with
+/// a typed ERROR.  A global cap bounds queries in flight.  Per-query
+/// governance (budgets, deadlines, cancellation) flows through
+/// ExecGovernance into the engine and surfaces as typed ERROR replies
+/// (ResourceExhausted / DeadlineExceeded / Cancelled).
+class Server {
+ public:
+  struct Options {
+    /// TCP port (loopback only); 0 picks an ephemeral port — read the
+    /// bound port back from port().
+    uint16_t port = 0;
+    /// Concurrent session cap; arrivals beyond it wait.
+    int max_sessions = 32;
+    /// FIFO admission queue bound; arrivals beyond it are rejected.
+    int admission_backlog = 64;
+    /// Global cap on QUERY/STREAM requests in flight.
+    int max_queries_in_flight = 1024;
+    /// Worker shards per executor (ExecOptions::num_threads).
+    int num_threads = 1;
+    /// Per-connection send stall bound (half-open peers).
+    int send_timeout_ms = 30000;
+    /// Frames buffered per session before the connection counts as a
+    /// slow consumer (streams to it are dropped with a typed error).
+    size_t outbound_queue_frames = 16384;
+    /// Pacing between stream pushes (mostly for tests: widens the
+    /// mid-stream join window).
+    int stream_delay_us = 0;
+    /// Default per-query buffer budgets (0 = unlimited), overridable
+    /// per session via HELLO and per request.
+    int64_t max_buffered_tuples = 0;
+    int64_t max_buffered_bytes = 0;
+  };
+
+  explicit Server(Options options);
+  ~Server();
+
+  /// Registers a dataset (FailedPrecondition once started).
+  Status AddDataset(std::string name, Table table);
+
+  /// Binds the listener and starts accepting sessions.
+  Status Start();
+
+  /// Drains and stops: rejects waiters, unblocks and joins every
+  /// session, cancels queued work (each request still gets a terminal
+  /// reply), joins the shared executors.  Idempotent.
+  void Stop();
+
+  /// Bound port (valid after Start()).
+  uint16_t port() const { return listener_.port(); }
+
+  const ServerMetrics& metrics() const { return metrics_; }
+  /// Full METRICS snapshot: counters + live hub stats + per-session
+  /// detail.
+  Json MetricsSnapshot();
+  /// Registry invariant probe: live epoch-namespaced stream caches.
+  int64_t num_epoch_caches() const;
+
+ private:
+  friend class Session;
+
+  struct Dataset {
+    Table table;
+    std::unique_ptr<BatchCoalescer> coalescer;
+    std::unique_ptr<StreamHub> hub;
+  };
+
+  struct Slot {
+    std::shared_ptr<Session> session;
+    std::thread reader;
+  };
+
+  void AcceptLoop();
+  /// Spawns a session for `sock`; assumes mu_ held.
+  void StartSessionLocked(TcpSocket sock);
+  /// Joins reader threads of sessions that announced completion;
+  /// assumes mu_ held.  Safe because a session id enters finished_
+  /// only after its thread's last mu_-taking action.
+  void ReapLocked();
+  /// Called by a session's reader as its very last act: frees the
+  /// session's slot for the next FIFO waiter.
+  void OnSessionEnd(uint64_t session_id);
+  Dataset* FindDataset(const std::string& name);
+  /// Visits every dataset's stream hub (datasets_ is immutable once
+  /// running, so no lock is needed).
+  template <typename Fn>
+  void ForEachHub(Fn fn) {
+    for (auto& [name, ds] : datasets_) fn(ds->hub.get());
+  }
+
+  const Options options_;
+  ServerMetrics metrics_;
+  TcpListener listener_;
+  std::thread accept_thread_;
+
+  std::mutex mu_;
+  bool running_ = false;
+  bool stopped_ = false;
+  uint64_t next_session_id_ = 1;
+  /// Immutable once running_ (sessions read it unlocked).
+  std::map<std::string, std::unique_ptr<Dataset>> datasets_;
+  std::map<uint64_t, Slot> sessions_;
+  std::vector<uint64_t> finished_;
+  /// FIFO admission queue of accepted-but-waiting connections.
+  std::deque<TcpSocket> waiting_;
+};
+
+}  // namespace sqlts
+
+#endif  // SQLTS_SERVER_SERVER_H_

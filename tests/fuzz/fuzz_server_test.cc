@@ -1,0 +1,231 @@
+/// Server session fuzzing (ctest label: server-fuzz).
+///
+/// CheckServerSession: one long-lived server, many seeded iterations.
+/// Each iteration spins up a handful of clients that interleave random
+/// actions — QUERY, STREAM, CANCEL (live and bogus ids), CLOSE, raw
+/// garbage, half-open shutdowns, mid-frame drops, and abrupt
+/// disconnects.  Invariants, checked every iteration:
+///
+///  1. Liveness: the server never hangs or crashes; a well-behaved
+///     probe client always gets a correct answer afterwards.
+///  2. Row integrity: any batch RESULT that does arrive is
+///     bit-identical to the single-query oracle — a chaotic neighbor
+///     session can never corrupt another session's rows.
+///  3. Drain: after the iteration's clients are gone, every gauge
+///     returns to zero and every stream epoch cache is freed
+///     (num_epoch_caches() == 0) — no leaked sessions, queries, or
+///     caches, no matter how rudely a peer departed.
+///
+/// Budget knobs (environment):
+///   SQLTS_FUZZ_SERVER_ITERS    iterations (default 40; CI raises)
+///   SQLTS_FUZZ_SERVER_CLIENTS  clients per iteration (default 4)
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "engine/executor.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "workload/generators.h"
+
+namespace sqlts {
+namespace fuzz {
+namespace {
+
+constexpr uint64_t kBaseSeed = 0x5e54e55eedULL;
+
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtoll(v, nullptr, 10);
+}
+
+Table FuzzTable() {
+  std::vector<double> a, b;
+  for (int i = 0; i < 50; ++i) {
+    a.push_back(100.0 + 15.0 * std::sin(i * 0.8) - 0.1 * i);
+    b.push_back(70.0 + 5.0 * std::sin(i * 0.4 + 0.5) + 0.08 * i);
+  }
+  Table t = PricesToQuoteTable("IBM", Date(12000), a);
+  SQLTS_CHECK_OK(AppendInstrument(&t, "HP", Date(12000), b));
+  return t;
+}
+
+const std::vector<std::string>& Queries() {
+  static const std::vector<std::string>* qs = new std::vector<std::string>{
+      "SELECT X.name, Y.date FROM quote CLUSTER BY name SEQUENCE BY date "
+      "AS (X, Y) WHERE Y.price < 0.97 * X.price",
+      "SELECT Y.price FROM quote CLUSTER BY name SEQUENCE BY date "
+      "AS (X, Y) WHERE Y.price > 1.02 * X.price",
+      "SELECT X.date FROM quote CLUSTER BY name SEQUENCE BY date "
+      "AS (X) WHERE X.price > 80",
+  };
+  return *qs;
+}
+
+std::vector<std::string> Oracle(const Table& table, const std::string& q) {
+  auto result = QueryExecutor::Execute(table, q);
+  SQLTS_CHECK(result.ok()) << result.status();
+  std::vector<std::string> rows;
+  for (int64_t r = 0; r < result->output.num_rows(); ++r) {
+    rows.push_back(EncodeRow(result->output.GetRow(r)).Dump());
+  }
+  return rows;
+}
+
+/// One chaotic client: a random walk over the protocol, including
+/// moves a correct client would never make.  Returns an error string
+/// only for outcomes the server is not allowed to produce (a corrupted
+/// RESULT); everything else — typed errors, hangups — is legal.
+std::string ChaoticClient(uint16_t port, uint64_t seed,
+                          const std::vector<std::vector<std::string>>& oracles) {
+  std::mt19937_64 rng(seed);
+  auto client = SqltsClient::Connect("127.0.0.1", port);
+  if (!client.ok()) return "";  // admission reject / races are legal
+  (void)client->socket().SetRecvTimeout(30000);
+
+  const int moves = 2 + static_cast<int>(rng() % 6);
+  int64_t next_id = 1;
+  for (int m = 0; m < moves; ++m) {
+    switch (rng() % 8) {
+      case 0: {  // batch query, verified against the oracle
+        const size_t qi = rng() % Queries().size();
+        auto reply = client->Query(next_id++, "quotes", Queries()[qi]);
+        if (!reply.ok()) return "";  // typed error path is legal
+        if (reply->GetString("type", "") != "RESULT") return "";
+        const Json* rows = reply->Find("rows");
+        if (rows == nullptr || rows->array().size() != oracles[qi].size()) {
+          return "RESULT row count diverged from oracle";
+        }
+        for (size_t r = 0; r < oracles[qi].size(); ++r) {
+          if (rows->array()[r].Dump() != oracles[qi][r]) {
+            return "RESULT row bytes diverged from oracle";
+          }
+        }
+        break;
+      }
+      case 1: {  // open a stream, maybe never read it out
+        Json req = Json::Obj();
+        req.Set("type", Json::Str("STREAM"));
+        req.Set("id", Json::Int(next_id++));
+        req.Set("dataset", Json::Str("quotes"));
+        req.Set("query", Json::Str(Queries()[rng() % Queries().size()]));
+        if (!client->Send(req).ok()) return "";
+        break;
+      }
+      case 2: {  // cancel something — maybe live, maybe bogus
+        Json req = Json::Obj();
+        req.Set("type", Json::Str("CANCEL"));
+        req.Set("id", Json::Int(static_cast<int64_t>(rng() % 4)));
+        if (!client->Send(req).ok()) return "";
+        break;
+      }
+      case 3: {  // drain whatever replies are pending
+        (void)client->socket().SetRecvTimeout(200);
+        for (int d = 0; d < 8; ++d) {
+          if (!client->Read().ok()) break;
+        }
+        (void)client->socket().SetRecvTimeout(30000);
+        break;
+      }
+      case 4:  // polite goodbye
+        (void)client->Close();
+        return "";
+      case 5:  // abrupt disconnect mid-conversation
+        client->socket().Close();
+        return "";
+      case 6: {  // mid-frame drop: half a frame, then vanish
+        const std::string frame = EncodeFrame("{\"type\":\"QUERY\",\"id\":9}");
+        (void)client->socket().WriteAll(frame.substr(0, frame.size() / 2));
+        client->socket().Close();
+        return "";
+      }
+      case 7:  // half-open: shut down writes, leave reads dangling
+        (void)client->socket().ShutdownWrite();
+        (void)client->socket().SetRecvTimeout(500);
+        for (int d = 0; d < 16; ++d) {
+          if (!client->Read().ok()) break;
+        }
+        return "";
+    }
+  }
+  return "";  // destructor slams the socket — also a legal exit
+}
+
+TEST(ServerFuzz, CheckServerSession) {
+  const int64_t iters = EnvInt("SQLTS_FUZZ_SERVER_ITERS", 40);
+  const int64_t per_iter = EnvInt("SQLTS_FUZZ_SERVER_CLIENTS", 4);
+  const Table table = FuzzTable();
+  std::vector<std::vector<std::string>> oracles;
+  for (const auto& q : Queries()) oracles.push_back(Oracle(table, q));
+
+  Server::Options options;
+  options.max_sessions = static_cast<int>(per_iter) + 1;  // probe always fits
+  options.admission_backlog = 64;
+  Server server(options);
+  ASSERT_TRUE(server.AddDataset("quotes", FuzzTable()).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  for (int64_t iter = 0; iter < iters; ++iter) {
+    const uint64_t seed = kBaseSeed + static_cast<uint64_t>(iter) * 7919;
+    std::vector<std::thread> threads;
+    std::vector<std::string> errors(per_iter);
+    for (int64_t c = 0; c < per_iter; ++c) {
+      threads.emplace_back([&, c] {
+        errors[c] = ChaoticClient(server.port(),
+                                  seed + static_cast<uint64_t>(c), oracles);
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (int64_t c = 0; c < per_iter; ++c) {
+      ASSERT_TRUE(errors[c].empty())
+          << "iter " << iter << " client " << c << ": " << errors[c];
+    }
+
+    // Invariant: the wreckage drains completely.  Gauges return to
+    // zero and every epoch cache is freed, no matter how the clients
+    // above departed.
+    bool drained = false;
+    for (int i = 0; i < 10000; ++i) {
+      if (server.metrics().sessions_active.load() == 0 &&
+          server.metrics().queries_in_flight.load() == 0 &&
+          server.num_epoch_caches() == 0) {
+        drained = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ASSERT_TRUE(drained)
+        << "iter " << iter << ": sessions_active="
+        << server.metrics().sessions_active.load() << " in_flight="
+        << server.metrics().queries_in_flight.load() << " epoch_caches="
+        << server.num_epoch_caches();
+
+    // Invariant: a well-behaved probe gets a perfect answer after the
+    // chaos — the server is not merely alive but still correct.
+    auto probe = SqltsClient::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(probe.ok()) << "iter " << iter << ": " << probe.status();
+    (void)probe->socket().SetRecvTimeout(30000);
+    auto reply = probe->Query(1, "quotes", Queries()[0]);
+    ASSERT_TRUE(reply.ok()) << "iter " << iter << ": " << reply.status();
+    ASSERT_EQ(reply->GetString("type", ""), "RESULT");
+    ASSERT_EQ(reply->Find("rows")->array().size(), oracles[0].size())
+        << "iter " << iter;
+    (void)probe->Close();
+  }
+
+  server.Stop();
+  EXPECT_EQ(server.metrics().queries_in_flight.load(), 0);
+  EXPECT_EQ(server.num_epoch_caches(), 0);
+}
+
+}  // namespace
+}  // namespace fuzz
+}  // namespace sqlts
