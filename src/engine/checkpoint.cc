@@ -179,6 +179,16 @@ StatusOr<Value> CheckpointReader::ReadValue() {
 
 StatusOr<Row> CheckpointReader::ReadRow() {
   SQLTS_ASSIGN_OR_RETURN(uint32_t arity, ReadU32());
+  // Every value occupies at least its one-byte type tag, so an arity
+  // larger than the remaining payload is corruption: reject it up front
+  // rather than letting an adversarial length-prefix drive a huge
+  // reserve() (allocation failure would escape as an exception from an
+  // otherwise exception-free API).
+  if (arity > remaining()) {
+    return Status::IoError("checkpoint row arity " + std::to_string(arity) +
+                           " exceeds the " + std::to_string(remaining()) +
+                           " payload bytes remaining");
+  }
   Row row;
   row.reserve(arity);
   for (uint32_t c = 0; c < arity; ++c) {

@@ -271,6 +271,7 @@ void StreamingQueryExecutor::EmitRow(int shard, uint64_t ordinal,
   // every thread count.
   const uint64_t seq = cs.emit_seq++;
   if (pool_ == nullptr) {
+    ++rows_emitted_;
     on_row_(out);
     return;
   }
@@ -295,7 +296,10 @@ void StreamingQueryExecutor::FlushBufferedRows() {
               return std::tie(a.tag, a.seq) < std::tie(b.tag, b.seq);
             });
   if (on_row_ == nullptr) return;
-  for (const TaggedRow& tr : all) on_row_(tr.row);
+  for (const TaggedRow& tr : all) {
+    ++rows_emitted_;
+    on_row_(tr.row);
+  }
 }
 
 Status StreamingQueryExecutor::Finish() {
@@ -383,6 +387,7 @@ Status StreamingQueryExecutor::Checkpoint(std::string* out) {
   w.WriteI64(consumed_);
   w.WriteU64(push_tag_);
   w.WriteI64(rows_skipped_);
+  w.WriteI64(rows_emitted_);
   w.WriteU64(routes_.size());
   for (const auto& [key, info] : routes_) {
     w.WriteString(key);
@@ -426,6 +431,7 @@ Status StreamingQueryExecutor::Restore(std::string_view bytes) {
   SQLTS_ASSIGN_OR_RETURN(consumed_, r.ReadI64());
   SQLTS_ASSIGN_OR_RETURN(push_tag_, r.ReadU64());
   SQLTS_ASSIGN_OR_RETURN(rows_skipped_, r.ReadI64());
+  SQLTS_ASSIGN_OR_RETURN(rows_emitted_, r.ReadI64());
   SQLTS_ASSIGN_OR_RETURN(uint64_t route_count, r.ReadU64());
   for (uint64_t n = 0; n < route_count; ++n) {
     SQLTS_ASSIGN_OR_RETURN(std::string key, r.ReadString());

@@ -128,6 +128,14 @@ class StreamingQueryExecutor {
   /// Total tuples offered to Push() so far, including skipped ones —
   /// the stream position a resumed producer should continue from.
   int64_t rows_consumed() const { return consumed_; }
+  /// Output watermark: rows delivered to the callback so far, in the
+  /// deterministic emission order.  Persisted in checkpoints (after the
+  /// flush, so it is identical at every thread count) and reinstated by
+  /// Restore() — the k-th delivered row of a resumed run is bit-identical
+  /// to the k-th of an uninterrupted one, which is what lets a
+  /// replicated consumer deduplicate replayed output by sequence number
+  /// (see src/replication/).
+  int64_t rows_emitted() const { return rows_emitted_; }
   /// Malformed rows dropped under BadInputPolicy::kSkipAndCount.
   int64_t rows_skipped() const { return rows_skipped_; }
 
@@ -222,6 +230,7 @@ class StreamingQueryExecutor {
   uint64_t push_tag_ = 0;  // global push counter (merge tag source)
   int64_t consumed_ = 0;   // tuples offered to Push, incl. skipped
   int64_t rows_skipped_ = 0;
+  int64_t rows_emitted_ = 0;  // rows delivered to on_row_ (watermark)
   bool finished_ = false;
   Status final_status_ = Status::OK();
   SearchStats final_stats_;

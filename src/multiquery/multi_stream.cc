@@ -253,6 +253,16 @@ StatusOr<int64_t> MultiStreamExecutor::query_epoch(int id) const {
   return queries_[id].epoch;
 }
 
+StatusOr<int64_t> MultiStreamExecutor::rows_emitted(int id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || id >= static_cast<int>(queries_.size()) ||
+      queries_[id].exec == nullptr) {
+    return Status::InvalidArgument("no live query with id " +
+                                   std::to_string(id));
+  }
+  return queries_[id].exec->rows_emitted();
+}
+
 int64_t MultiStreamExecutor::num_epoch_caches() const {
   std::lock_guard<std::mutex> lock(mu_);
   int64_t total = 0;

@@ -119,6 +119,12 @@ class MultiStreamExecutor {
   /// ids.  Thread-safe.
   StatusOr<int64_t> query_epoch(int id) const;
 
+  /// Output watermark of query `id`: rows delivered to its callback so
+  /// far (StreamingQueryExecutor::rows_emitted, persisted across
+  /// Checkpoint/Restore).  InvalidArgument for unknown or removed ids.
+  /// Thread-safe.
+  StatusOr<int64_t> rows_emitted(int id) const;
+
   /// Live epoch-namespaced cluster caches across every scan group (the
   /// registry invariant probed by tests: removing the last query of an
   /// epoch must free all of that epoch's caches).

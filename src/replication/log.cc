@@ -1,0 +1,205 @@
+#include "replication/log.h"
+
+#include <algorithm>
+
+#include "engine/checkpoint.h"
+
+namespace sqlts {
+namespace replication {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// (term, index) lexical order: the acceptance rule for deliveries.
+bool Newer(const LogEntry& e, uint64_t term, uint64_t index) {
+  return e.term > term || (e.term == term && e.index > index);
+}
+
+}  // namespace
+
+std::string EncodeLogEntry(const LogEntry& entry) {
+  CheckpointWriter w;
+  w.WriteU64(entry.term);
+  w.WriteU64(entry.index);
+  w.WriteI64(entry.covered_offset);
+  w.WriteU32(static_cast<uint32_t>(entry.watermarks.size()));
+  for (int64_t wm : entry.watermarks) w.WriteI64(wm);
+  w.WriteString(entry.checkpoint);
+  return w.Finalize();
+}
+
+StatusOr<LogEntry> DecodeLogEntry(std::string_view bytes) {
+  SQLTS_ASSIGN_OR_RETURN(std::string_view payload, OpenCheckpoint(bytes));
+  CheckpointReader r(payload);
+  LogEntry e;
+  SQLTS_ASSIGN_OR_RETURN(e.term, r.ReadU64());
+  SQLTS_ASSIGN_OR_RETURN(e.index, r.ReadU64());
+  SQLTS_ASSIGN_OR_RETURN(e.covered_offset, r.ReadI64());
+  SQLTS_ASSIGN_OR_RETURN(uint32_t channels, r.ReadU32());
+  // Each watermark occupies eight payload bytes; reject an adversarial
+  // count before reserving for it.
+  if (static_cast<uint64_t>(channels) * 8 > r.remaining()) {
+    return Status::IoError("log entry watermark count " +
+                           std::to_string(channels) +
+                           " exceeds the remaining payload");
+  }
+  e.watermarks.reserve(channels);
+  for (uint32_t c = 0; c < channels; ++c) {
+    SQLTS_ASSIGN_OR_RETURN(int64_t wm, r.ReadI64());
+    e.watermarks.push_back(wm);
+  }
+  SQLTS_ASSIGN_OR_RETURN(e.checkpoint, r.ReadString());
+  if (r.remaining() != 0) {
+    return Status::IoError("log entry has " + std::to_string(r.remaining()) +
+                           " trailing bytes");
+  }
+  return e;
+}
+
+StatusOr<bool> StandbyNode::Deliver(const std::string& encoded) {
+  SQLTS_ASSIGN_OR_RETURN(LogEntry e, DecodeLogEntry(encoded));
+  if (latest_.has_value() &&
+      !Newer(e, latest_->term, latest_->index)) {
+    ++stale_ignored_;
+    return false;
+  }
+  latest_ = std::move(e);
+  return true;
+}
+
+void StandbyNode::DeliverHeartbeat(uint64_t term, int64_t tick) {
+  (void)term;  // a live delivery refreshes the lease regardless of term
+  last_heartbeat_tick_ = std::max(last_heartbeat_tick_, tick);
+}
+
+ReplicationLog::ReplicationLog(uint64_t seed, TransportOptions transport,
+                               std::vector<StandbyNode*> standbys,
+                               int quorum_acks)
+    : transport_(transport),
+      standbys_(std::move(standbys)),
+      quorum_acks_(quorum_acks),
+      state_(seed ^ 0x5eed109f5eed109fULL) {}
+
+double ReplicationLog::NextUniform() {
+  return static_cast<double>(SplitMix64(&state_) >> 11) * 0x1.0p-53;
+}
+
+StandbyNode* ReplicationLog::Find(int id) {
+  for (StandbyNode* s : standbys_) {
+    if (s->id() == id) return s;
+  }
+  return nullptr;
+}
+
+void ReplicationLog::RemoveStandby(int id) {
+  standbys_.erase(std::remove_if(standbys_.begin(), standbys_.end(),
+                                 [&](StandbyNode* s) { return s->id() == id; }),
+                  standbys_.end());
+  delayed_.erase(std::remove_if(delayed_.begin(), delayed_.end(),
+                                [&](const Delayed& d) {
+                                  return d.standby_id == id;
+                                }),
+                 delayed_.end());
+  quorum_acks_ = std::min<int>(quorum_acks_,
+                               static_cast<int>(standbys_.size()));
+}
+
+Status ReplicationLog::Append(const LogEntry& entry) {
+  ++counters_.entries_appended;
+  const std::string frame = EncodeLogEntry(entry);
+  std::vector<bool> acked(standbys_.size(), false);
+  int acks = 0;
+  // First pass: every standby's delivery independently runs the chaos
+  // gauntlet.  A dropped frame simply never arrives; a delayed one is
+  // parked until its due tick (and may arrive after newer entries —
+  // the standby's (term, index) acceptance rule discards it then).
+  for (size_t s = 0; s < standbys_.size(); ++s) {
+    const double draw = NextUniform();
+    if (transport_.drop_prob > 0.0 && draw < transport_.drop_prob) {
+      ++counters_.drops;
+      continue;
+    }
+    if (transport_.delay_prob > 0.0 &&
+        draw < transport_.drop_prob + transport_.delay_prob) {
+      const int64_t d =
+          1 + static_cast<int64_t>(SplitMix64(&state_) %
+                                   static_cast<uint64_t>(std::max<int64_t>(
+                                       1, transport_.max_delay_ticks)));
+      delayed_.push_back(Delayed{now_ + d, standbys_[s]->id(), frame});
+      ++counters_.delays;
+      continue;
+    }
+    SQLTS_ASSIGN_OR_RETURN(bool accepted, standbys_[s]->Deliver(frame));
+    if (accepted) {
+      acked[s] = true;
+      ++acks;
+      ++counters_.acks;
+    }
+  }
+  // Retransmit (in node-id order, chaos-exempt — the sender keeps
+  // resending on a real link too) until the ack quorum holds.
+  for (size_t s = 0; s < standbys_.size() && acks < quorum_acks_; ++s) {
+    if (acked[s]) continue;
+    ++counters_.retransmits;
+    SQLTS_ASSIGN_OR_RETURN(bool accepted, standbys_[s]->Deliver(frame));
+    if (accepted) {
+      acked[s] = true;
+      ++acks;
+      ++counters_.acks;
+    }
+  }
+  if (acks < quorum_acks_) {
+    return Status::Internal(
+        "replication quorum unreachable: " + std::to_string(acks) + "/" +
+        std::to_string(quorum_acks_) + " acks for entry " +
+        std::to_string(entry.index));
+  }
+  committed_index_ = std::max(committed_index_, entry.index);
+  RefreshStale();
+  return Status::OK();
+}
+
+void ReplicationLog::Heartbeat(uint64_t term, int64_t tick) {
+  ++counters_.heartbeats;
+  for (StandbyNode* s : standbys_) {
+    if (transport_.drop_prob > 0.0 && NextUniform() < transport_.drop_prob) {
+      continue;  // lost heartbeat; the lease absorbs bounded loss
+    }
+    s->DeliverHeartbeat(term, tick);
+  }
+}
+
+void ReplicationLog::Tick(int64_t now) {
+  now_ = now;
+  for (auto it = delayed_.begin(); it != delayed_.end();) {
+    if (it->due_tick > now) {
+      ++it;
+      continue;
+    }
+    StandbyNode* s = Find(it->standby_id);
+    if (s != nullptr) {
+      // Late arrival: the standby's acceptance rule keeps state
+      // monotone, so a frame overtaken by newer entries is counted as
+      // stale, not applied.
+      StatusOr<bool> accepted = s->Deliver(it->frame);
+      if (accepted.ok() && *accepted) ++counters_.acks;
+    }
+    it = delayed_.erase(it);
+  }
+  RefreshStale();
+}
+
+void ReplicationLog::RefreshStale() {
+  counters_.stale_ignored = 0;
+  for (StandbyNode* s : standbys_) {
+    counters_.stale_ignored += s->stale_ignored();
+  }
+}
+
+}  // namespace replication
+}  // namespace sqlts

@@ -1,0 +1,159 @@
+#ifndef SQLTS_REPLICATION_LOG_H_
+#define SQLTS_REPLICATION_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace sqlts {
+namespace replication {
+
+/// One sequenced replication record: the primary's engine checkpoint
+/// plus the coverage metadata that makes failover exactly-once —
+/// `covered_offset` is the source position the checkpoint accounts for
+/// (a promoted standby replays the suffix from here) and `watermarks`
+/// are the per-output-channel rows-emitted counts at checkpoint time
+/// (the consumer's dedup cursor; replayed rows below the watermark are
+/// dropped, bit-identically verified).  `(term, index)` order entries
+/// across primaries: a standby accepts an entry iff it is lexically
+/// newer than what it holds, so delayed or reordered deliveries from a
+/// dead term can never regress a node.
+struct LogEntry {
+  uint64_t term = 0;   // primary incarnation that appended the entry
+  uint64_t index = 0;  // 1-based position within the replicated log
+  int64_t covered_offset = 0;
+  std::vector<int64_t> watermarks;
+  std::string checkpoint;  // engine checkpoint container (may be large)
+};
+
+/// Serializes `entry` into a self-contained checksummed frame (the
+/// engine/checkpoint.h container, so corruption detection and
+/// bounds-checked decoding come for free).
+std::string EncodeLogEntry(const LogEntry& entry);
+
+/// Decodes a frame produced by EncodeLogEntry.  Typed IoError on any
+/// corruption (bad magic/checksum, truncation, oversized prefixes) —
+/// never throws or over-reads.
+StatusOr<LogEntry> DecodeLogEntry(std::string_view bytes);
+
+/// Seeded chaos the in-process transport may apply to each delivery,
+/// mirroring what a real network does to a replication stream: drop the
+/// frame, or delay it a bounded number of ticks (delays reorder frames
+/// naturally; the quorum append path retransmits around both).
+struct TransportOptions {
+  double drop_prob = 0.0;
+  double delay_prob = 0.0;
+  int64_t max_delay_ticks = 4;  // the allowed reorder window
+};
+
+/// What the log layer observed (folded into ReplicationMetrics by the
+/// cluster when one is attached).
+struct ReplicationCounters {
+  int64_t entries_appended = 0;
+  int64_t acks = 0;
+  int64_t drops = 0;
+  int64_t delays = 0;
+  int64_t retransmits = 0;
+  int64_t stale_ignored = 0;
+  int64_t heartbeats = 0;
+};
+
+/// One standby: holds the newest (term, index) entry it has received
+/// plus the heartbeat lease state.  Single-threaded by design — the
+/// whole multi-node harness runs in one process under a deterministic
+/// driver (see cluster.h).
+class StandbyNode {
+ public:
+  explicit StandbyNode(int id) : id_(id) {}
+
+  /// Decodes and installs one frame.  Returns true if the entry was
+  /// accepted (lexically newer than the held one), false if stale;
+  /// typed IoError on corrupt bytes.
+  StatusOr<bool> Deliver(const std::string& encoded);
+
+  void DeliverHeartbeat(uint64_t term, int64_t tick);
+
+  int id() const { return id_; }
+  uint64_t latest_term() const { return latest_ ? latest_->term : 0; }
+  uint64_t latest_index() const { return latest_ ? latest_->index : 0; }
+  /// Newest installed entry, or null if none arrived yet.
+  const LogEntry* latest() const {
+    return latest_.has_value() ? &*latest_ : nullptr;
+  }
+  int64_t last_heartbeat_tick() const { return last_heartbeat_tick_; }
+  /// True once `now` is more than `lease_ticks` past the last heartbeat
+  /// (or no heartbeat ever arrived) — the node suspects the primary.
+  bool LeaseExpired(int64_t now, int64_t lease_ticks) const {
+    return now - last_heartbeat_tick_ > lease_ticks;
+  }
+  int64_t stale_ignored() const { return stale_ignored_; }
+
+ private:
+  int id_;
+  std::optional<LogEntry> latest_;
+  int64_t last_heartbeat_tick_ = 0;
+  int64_t stale_ignored_ = 0;
+};
+
+/// Fans appended entries out to the standby set through the chaotic
+/// transport and enforces the ack quorum: Append() returns only once at
+/// least `quorum_acks` standbys have durably installed the entry —
+/// first-pass deliveries that the chaos dropped or delayed are
+/// retransmitted in node-id order until the quorum holds, exactly like
+/// a real log replicator nursing a flaky link.  Delayed copies still
+/// arrive later (via Tick) and are deduplicated by (term, index).
+class ReplicationLog {
+ public:
+  ReplicationLog(uint64_t seed, TransportOptions transport,
+                 std::vector<StandbyNode*> standbys, int quorum_acks);
+
+  /// Removes `node` from the fan-out set (promoted or dead) and drops
+  /// its in-flight deliveries; the quorum is clamped to the survivors.
+  void RemoveStandby(int id);
+
+  /// Quorum-appends `entry`; advances committed_index on success.
+  Status Append(const LogEntry& entry);
+
+  /// Delivers a heartbeat (term + current tick) to every standby; each
+  /// delivery is independently subject to the drop probability.
+  void Heartbeat(uint64_t term, int64_t tick);
+
+  /// Advances transport time: flushes deliveries whose delay is due.
+  void Tick(int64_t now);
+
+  uint64_t committed_index() const { return committed_index_; }
+  const ReplicationCounters& counters() const { return counters_; }
+  int num_standbys() const { return static_cast<int>(standbys_.size()); }
+  int quorum_acks() const { return quorum_acks_; }
+
+ private:
+  struct Delayed {
+    int64_t due_tick;
+    int standby_id;
+    std::string frame;
+  };
+
+  double NextUniform();
+  StandbyNode* Find(int id);
+  /// Re-aggregates the per-standby stale counters into counters_.
+  void RefreshStale();
+
+  TransportOptions transport_;
+  std::vector<StandbyNode*> standbys_;
+  int quorum_acks_;
+  uint64_t state_;  // splitmix64
+  uint64_t committed_index_ = 0;
+  int64_t now_ = 0;
+  std::deque<Delayed> delayed_;
+  ReplicationCounters counters_;
+};
+
+}  // namespace replication
+}  // namespace sqlts
+
+#endif  // SQLTS_REPLICATION_LOG_H_

@@ -1,13 +1,66 @@
 #include "server/client.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 namespace sqlts {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+bool IsTransientNetworkError(const Status& status) {
+  // Every socket-layer failure in server/net.cc is a kIoError; typed
+  // engine/protocol failures carry their own codes and must not be
+  // retried blindly.
+  return status.code() == StatusCode::kIoError;
+}
+
+int64_t RetryBackoffMs(int attempt, const RetryOptions& options,
+                       uint64_t* rng_state) {
+  int64_t delay = std::max<int64_t>(1, options.backoff_ms);
+  const int64_t cap = std::max<int64_t>(delay, options.max_backoff_ms);
+  for (int i = 0; i < attempt && delay < cap; ++i) {
+    delay = std::min(cap, delay * 2);
+  }
+  // Uniform jitter in [delay/2, delay] (decorrelates reconnect storms).
+  const int64_t half = delay / 2;
+  const int64_t span = delay - half + 1;
+  return half + static_cast<int64_t>(SplitMix64(rng_state) %
+                                     static_cast<uint64_t>(span));
+}
 
 StatusOr<SqltsClient> SqltsClient::Connect(const std::string& host,
                                            uint16_t port) {
   SQLTS_ASSIGN_OR_RETURN(TcpSocket sock, TcpSocket::Connect(host, port));
   return SqltsClient(std::move(sock));
+}
+
+void SleepForBackoff(int attempt, const RetryOptions& options,
+                     uint64_t* rng_state) {
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(RetryBackoffMs(attempt, options, rng_state)));
+}
+
+StatusOr<SqltsClient> SqltsClient::ConnectWithRetry(
+    const std::string& host, uint16_t port, const RetryOptions& options) {
+  uint64_t rng = options.jitter_seed ^ 0xc11e47b3ULL;
+  for (int attempt = 0;; ++attempt) {
+    StatusOr<SqltsClient> client = Connect(host, port);
+    if (client.ok() || attempt >= options.retries ||
+        !IsTransientNetworkError(client.status())) {
+      return client;
+    }
+    SleepForBackoff(attempt, options, &rng);
+  }
 }
 
 Status SqltsClient::Send(const Json& message) {

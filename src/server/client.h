@@ -12,12 +12,54 @@
 
 namespace sqlts {
 
+/// Reconnect policy for transient network failures (connection refused
+/// while the server restarts, ECONNRESET mid-handshake).  Disabled by
+/// default — `retries == 0` means a single attempt, exactly the old
+/// behavior; the sqlts_client binary enables it with --retries.
+struct RetryOptions {
+  /// Additional connect attempts after the first (0 = no retry).
+  int retries = 0;
+  /// Base delay before the first retry; doubles per attempt.
+  int64_t backoff_ms = 100;
+  /// Ceiling for the exponential growth.
+  int64_t max_backoff_ms = 2000;
+  /// Seeds the jitter PRNG (deterministic schedules in tests).
+  uint64_t jitter_seed = 0;
+};
+
+/// True for failures worth retrying: network-level IoErrors (refused /
+/// reset / closed connections).  Typed engine and protocol errors —
+/// parse errors, admission rejections, deadline overruns — are not
+/// transient; retrying them would just repeat the failure.
+bool IsTransientNetworkError(const Status& status);
+
+/// Delay before retry `attempt` (0-based): exponential growth from
+/// `backoff_ms` capped at `max_backoff_ms`, with uniform jitter in
+/// [delay/2, delay] so synchronized clients do not reconnect in
+/// lockstep.  `rng_state` is the caller-held jitter PRNG state
+/// (initialize from RetryOptions::jitter_seed); pure function of
+/// (attempt, options, *rng_state).
+int64_t RetryBackoffMs(int attempt, const RetryOptions& options,
+                       uint64_t* rng_state);
+
+/// Sleeps RetryBackoffMs(attempt, ...) — the wait ConnectWithRetry uses
+/// between attempts, shared with the CLI's reissue loop.
+void SleepForBackoff(int attempt, const RetryOptions& options,
+                     uint64_t* rng_state);
+
 /// Blocking client for sqlts_server (docs/SERVER.md): one connection,
 /// synchronous frame-at-a-time I/O.  Used by the sqlts_client binary
 /// and the server test suites.  Not thread-safe; one thread per client.
 class SqltsClient {
  public:
   static StatusOr<SqltsClient> Connect(const std::string& host, uint16_t port);
+
+  /// Connect with the retry policy: sleeps the jittered backoff between
+  /// attempts, retries only transient failures, and returns the last
+  /// error once the budget is spent.
+  static StatusOr<SqltsClient> ConnectWithRetry(const std::string& host,
+                                                uint16_t port,
+                                                const RetryOptions& options);
 
   /// Sends one message frame.
   Status Send(const Json& message);

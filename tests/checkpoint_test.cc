@@ -118,6 +118,64 @@ TEST(CheckpointFormat, ChecksumIsFnv1a) {
   EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
 }
 
+TEST(CheckpointFormat, VersionSkewRejectedWithVersionInMessage) {
+  // A reader handed bytes from a newer writer (version + 1) must reject
+  // cleanly and say which versions were involved — the operator's first
+  // clue during a mixed-version rollout (docs/OPERATIONS.md).
+  CheckpointWriter w;
+  w.WriteU64(7);
+  std::string skewed = w.Finalize();
+  skewed[8] = static_cast<char>(kCheckpointVersion + 1);
+  const Status st = OpenCheckpoint(skewed).status();
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_NE(st.message().find(std::to_string(kCheckpointVersion + 1)),
+            std::string::npos)
+      << "message must name the unsupported version: " << st.message();
+  EXPECT_NE(st.message().find(std::to_string(kCheckpointVersion)),
+            std::string::npos)
+      << "message must name the supported version: " << st.message();
+}
+
+TEST(CheckpointFormat, GoldenContainerBytes) {
+  // Pins the container layout bit-for-bit: header fields, little-endian
+  // integer encoding, length prefixes, value type tags.  If this test
+  // breaks, the format changed — bump kCheckpointVersion and keep the
+  // old reader path, or every persisted checkpoint in the field becomes
+  // unreadable.
+  CheckpointWriter w;
+  w.WriteU8(7);
+  w.WriteU32(258);
+  w.WriteI64(-2);
+  w.WriteBool(true);
+  w.WriteDouble(1.5);
+  w.WriteString("seq");
+  w.WriteValue(Value::Null());
+  w.WriteValue(Value::Int64(5));
+  w.WriteRow({Value::String("q"), Value::FromDate(Date(10000))});
+  const std::string bytes = w.Finalize();
+  std::string hex;
+  for (unsigned char c : bytes) {
+    static const char kDigits[] = "0123456789abcdef";
+    hex += kDigits[c >> 4];
+    hex += kDigits[c & 0xf];
+  }
+  EXPECT_EQ(hex,
+            "53515453434b5054010000004200000000000000af3031197f1299db070201"
+            "0000feffffffffffffff01000000000000f83f030000000000000073657100"
+            "020500000000000000020000000401000000000000007105102700000000"
+            "0000");
+}
+
+TEST(CheckpointFormat, ReadRowRejectsOversizedArity) {
+  // An adversarial arity prefix (4 billion columns in a 4-byte payload)
+  // must fail its bounds check, not drive a giant reserve() whose
+  // allocation failure would escape as an exception.
+  CheckpointWriter w;
+  w.WriteU32(0xffffffffu);
+  CheckpointReader r(w.payload());
+  EXPECT_EQ(r.ReadRow().status().code(), StatusCode::kIoError);
+}
+
 // ---------------------------------------------------------------------------
 // Matcher-level round trip.
 // ---------------------------------------------------------------------------
@@ -327,6 +385,103 @@ TEST(ExecutorCheckpoint, RestoreRejectsMismatchesAndCorruption) {
   EXPECT_EQ(used->Restore(bytes).code(), StatusCode::kInvalidArgument);
   // The pristine bytes still work.
   EXPECT_TRUE(fresh(kPortfolioQuery)->Restore(bytes).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial-bytes fuzz: Restore must never crash, over-read, or throw.
+// ---------------------------------------------------------------------------
+
+uint64_t TestSplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Re-wraps an arbitrary payload in a valid header (correct magic,
+/// version, size, checksum) — the adversary that gets *past* the
+/// checksum, exercising every typed bounds check in the restore path.
+std::string WrapPayload(std::string_view payload) {
+  std::string out(kCheckpointMagic);
+  auto le = [&](uint64_t v, int n) {
+    for (int b = 0; b < n; ++b) {
+      out.push_back(static_cast<char>((v >> (8 * b)) & 0xff));
+    }
+  };
+  le(kCheckpointVersion, 4);
+  le(payload.size(), 8);
+  le(Fnv1a64(payload), 8);
+  out += payload;
+  return out;
+}
+
+TEST(ExecutorCheckpoint, CorruptionFuzzNeverCrashes) {
+  // Seeded corruption sweep over a real executor checkpoint: truncation,
+  // bit flips, oversized length-prefix stamps (0xff runs), and
+  // checksum-fixed payload mutations.  Every mutant must come back as a
+  // typed Status — kIoError for corrupted bytes, kInvalidArgument for
+  // well-formed-but-mismatched state — never a crash, throw, or hang.
+  const std::vector<Row> rows = PortfolioStream(120);
+  std::string bytes;
+  KillAndRestore(rows, 60, 1, 1, &bytes);
+  auto payload = OpenCheckpoint(bytes);
+  ASSERT_TRUE(payload.ok());
+  const std::string clean_payload(*payload);
+
+  uint64_t state = 0xc0442u;
+  int rejected = 0, io_errors = 0;
+  const int kIters = 300;
+  for (int i = 0; i < kIters; ++i) {
+    std::string bad;
+    switch (TestSplitMix64(&state) % 4) {
+      case 0:  // truncation at a random length
+        bad = bytes.substr(0, TestSplitMix64(&state) % bytes.size());
+        break;
+      case 1: {  // single bit flip anywhere
+        bad = bytes;
+        bad[TestSplitMix64(&state) % bad.size()] ^=
+            static_cast<char>(1u << (TestSplitMix64(&state) % 8));
+        break;
+      }
+      case 2: {  // oversized length-prefix: stamp 8 bytes of 0xff
+        bad = bytes;
+        const size_t at = TestSplitMix64(&state) % bad.size();
+        for (size_t b = at; b < bad.size() && b < at + 8; ++b) {
+          bad[b] = static_cast<char>(0xff);
+        }
+        break;
+      }
+      default: {  // payload mutation with the checksum fixed up: the
+                  // adversary the typed reads must stop on their own
+        std::string p = clean_payload;
+        const size_t at = TestSplitMix64(&state) % p.size();
+        for (size_t b = at; b < p.size() && b < at + 8; ++b) {
+          p[b] = static_cast<char>(TestSplitMix64(&state) & 0xff);
+        }
+        if (TestSplitMix64(&state) % 2 == 0) {
+          p = p.substr(0, TestSplitMix64(&state) % p.size());
+        }
+        bad = WrapPayload(p);
+        break;
+      }
+    }
+    auto exec = StreamingQueryExecutor::Create(kPortfolioQuery, QuoteSchema(),
+                                               nullptr);
+    ASSERT_TRUE(exec.ok());
+    const Status st = (*exec)->Restore(bad);
+    if (!st.ok()) {
+      ++rejected;
+      if (st.code() == StatusCode::kIoError) ++io_errors;
+      EXPECT_TRUE(st.code() == StatusCode::kIoError ||
+                  st.code() == StatusCode::kInvalidArgument ||
+                  st.code() == StatusCode::kParseError)
+          << "iteration " << i << ": unexpected code " << st;
+    }
+  }
+  // Non-vacuous: corruption is overwhelmingly detected, and the typed
+  // kIoError path (checksum + bounds checks) actually fired.
+  EXPECT_GT(rejected, kIters * 9 / 10);
+  EXPECT_GT(io_errors, 0);
 }
 
 TEST(ExecutorCheckpoint, CheckpointFlushesBufferedShardedOutput) {

@@ -1,0 +1,180 @@
+/// Failover fuzzing (ctest labels: replication, failover-fuzz).
+///
+/// Every iteration derives a complete chaos schedule from one seed —
+/// cluster topology, checkpoint/heartbeat/lease cadences, transport
+/// drop/delay probabilities, and 1..N primary kills at random stream
+/// offsets — then drives a ReplicatedCluster through it and cross-checks
+/// the post-dedup output against an uninterrupted oracle (same engine,
+/// no standbys, no chaos, no kills).  Rows must be bit-identical per
+/// channel and the matcher-stats fingerprint must match exactly, at one
+/// and eight threads, for single queries and multi-query sets.
+///
+/// Budget knobs (environment):
+///   SQLTS_FUZZ_FAILOVER_ITERS   schedules per campaign (default 60;
+///                               CI soak raises this to 400)
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "replication/cluster.h"
+#include "testing/data_gen.h"
+#include "testing/differential.h"
+#include "testing/fault_injector.h"
+#include "testing/query_gen.h"
+
+namespace sqlts {
+namespace fuzz {
+namespace {
+
+constexpr uint64_t kBaseSeed = 0xfa110e4f022eedULL ^ 0x5eed00c0ffeeULL;
+
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtoll(v, nullptr, 10);
+}
+
+std::vector<Row> SourceRows(const Table& data) {
+  std::vector<Row> rows;
+  rows.reserve(static_cast<size_t>(data.num_rows()));
+  for (int64_t r = 0; r < data.num_rows(); ++r) rows.push_back(data.GetRow(r));
+  return rows;
+}
+
+std::string ScheduleString(const FailoverSchedule& s) {
+  std::string out = "standbys=" + std::to_string(s.cluster.num_standbys) +
+                    " ckpt=" + std::to_string(s.cluster.checkpoint_interval) +
+                    " hb=" + std::to_string(s.cluster.heartbeat_interval) +
+                    " lease=" + std::to_string(s.cluster.lease_ticks) +
+                    " drop=" + std::to_string(s.cluster.transport.drop_prob) +
+                    " delay=" + std::to_string(s.cluster.transport.delay_prob) +
+                    " kills=[";
+  for (const FailoverEvent& e : s.events) {
+    out += std::to_string(e.kill_offset);
+    if (e.allow_lagging) out += "L";
+    out += ",";
+  }
+  return out + "]";
+}
+
+/// Asserts run == oracle bit-identically: per-channel rows (values and
+/// order) and the stats fingerprint.
+void ExpectExactlyOnce(const FailoverRunResult& run,
+                       const FailoverRunResult& oracle,
+                       const std::string& context) {
+  ASSERT_EQ(run.rows.size(), oracle.rows.size()) << context;
+  for (size_t c = 0; c < run.rows.size(); ++c) {
+    ASSERT_EQ(run.rows[c].size(), oracle.rows[c].size())
+        << "channel " << c << " row count diverged (lost or duplicated "
+        << "output)\n"
+        << context;
+    for (size_t r = 0; r < run.rows[c].size(); ++r) {
+      ASSERT_EQ(replication::FingerprintRow(run.rows[c][r]),
+                replication::FingerprintRow(oracle.rows[c][r]))
+          << "channel " << c << " row " << r << " diverged\n"
+          << context;
+    }
+  }
+  EXPECT_EQ(run.stats_fingerprint, oracle.stats_fingerprint) << context;
+}
+
+TEST(FailoverFuzz, SingleQuerySchedulesMatchOracle) {
+  const int64_t iters = EnvInt("SQLTS_FUZZ_FAILOVER_ITERS", 60);
+  QueryGenerator qgen(kBaseSeed ^ 0xaaaa);
+  int64_t checked = 0;
+  int64_t failovers = 0;
+  int64_t duplicates = 0;
+  int64_t drops = 0;
+  for (int64_t i = 0; i < iters; ++i) {
+    const uint64_t seed = kBaseSeed + static_cast<uint64_t>(i);
+    Table data = RandomFuzzTable(seed);
+    GeneratedQuery query = qgen.Next();
+    if (query.uses_lookahead || query.has_limit) continue;
+    const std::vector<Row> source = SourceRows(data);
+
+    FailoverSchedule schedule =
+        MakeFailoverSchedule(seed, static_cast<int64_t>(source.size()));
+    for (int threads : {1, 8}) {
+      schedule.cluster.exec.num_threads = threads;
+      replication::EngineFactory factory =
+          replication::MakeSingleQueryEngineFactory(query.sql, data.schema(),
+                                                    schedule.cluster.exec);
+      FailoverRunResult oracle =
+          RunUninterrupted(factory, 1, source, schedule.cluster);
+      if (!oracle.status.ok()) break;  // generator drew a non-streaming query
+
+      FailoverRunResult run =
+          RunFailoverSchedule(factory, 1, source, schedule);
+      const std::string context = "threads=" + std::to_string(threads) + " " +
+                                  ScheduleString(schedule) + "\n" +
+                                  ReproString(seed, query.sql, data);
+      ASSERT_TRUE(run.status.ok()) << run.status << "\n" << context;
+      ExpectExactlyOnce(run, oracle, context);
+      failovers += run.failovers;
+      duplicates += run.duplicates_dropped;
+      drops += run.counters.drops;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, iters / 4) << "campaign mostly skipped; fixture broken";
+  // Non-vacuousness: the schedules must actually kill primaries, force
+  // replays past the dedup watermark, and lose frames in transit.
+  EXPECT_GT(failovers, 0);
+  EXPECT_GT(duplicates, 0);
+  EXPECT_GT(drops, 0);
+}
+
+TEST(FailoverFuzz, MultiQuerySetSchedulesMatchOraclePerChannel) {
+  const int64_t iters = EnvInt("SQLTS_FUZZ_FAILOVER_ITERS", 60) / 2;
+  QueryGenerator qgen(kBaseSeed ^ 0xbbbb);
+  int64_t checked = 0;
+  int64_t failovers = 0;
+  for (int64_t i = 0; i < iters; ++i) {
+    const uint64_t seed = kBaseSeed + 700000 + static_cast<uint64_t>(i);
+    Table data = RandomFuzzTable(seed);
+    const int want_queries = 2 + static_cast<int>(seed % 2);  // 2..3
+    std::vector<std::string> queries;
+    for (int q = 0; q < want_queries * 4 &&
+                    static_cast<int>(queries.size()) < want_queries;
+         ++q) {
+      GeneratedQuery query = qgen.Next();
+      if (query.uses_lookahead || query.has_limit) continue;
+      queries.push_back(query.sql);
+    }
+    if (static_cast<int>(queries.size()) < want_queries) continue;
+    const std::vector<Row> source = SourceRows(data);
+    const int channels = static_cast<int>(queries.size());
+
+    FailoverSchedule schedule =
+        MakeFailoverSchedule(seed, static_cast<int64_t>(source.size()));
+    for (int threads : {1, 8}) {
+      schedule.cluster.exec.num_threads = threads;
+      replication::EngineFactory factory =
+          replication::MakeMultiQueryEngineFactory(queries, data.schema(),
+                                                   schedule.cluster.exec);
+      FailoverRunResult oracle =
+          RunUninterrupted(factory, channels, source, schedule.cluster);
+      if (!oracle.status.ok()) break;  // set contains a non-streaming query
+
+      FailoverRunResult run =
+          RunFailoverSchedule(factory, channels, source, schedule);
+      std::string context = "threads=" + std::to_string(threads) + " " +
+                            ScheduleString(schedule) + " seed=" +
+                            std::to_string(seed) + " queries:";
+      for (const std::string& q : queries) context += "\n  " + q;
+      ASSERT_TRUE(run.status.ok()) << run.status << "\n" << context;
+      ExpectExactlyOnce(run, oracle, context);
+      failovers += run.failovers;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, iters / 4) << "campaign mostly skipped; fixture broken";
+  EXPECT_GT(failovers, 0);
+}
+
+}  // namespace
+}  // namespace fuzz
+}  // namespace sqlts

@@ -1,0 +1,386 @@
+// Replicated streaming tests (src/replication/): log entry framing and
+// corruption rejection, (term, index) monotone acceptance on standbys,
+// quorum append through a chaotic transport, dedup-sink exactly-once
+// semantics, and full cluster failover — kill the primary, promote a
+// standby, replay the uncovered suffix — cross-checked bit-identically
+// against an uninterrupted oracle for single- and multi-query engines,
+// at one and four threads, including lagging-standby promotion.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/checkpoint.h"
+#include "replication/cluster.h"
+#include "replication/log.h"
+#include "server/metrics.h"
+#include "testing/fault_injector.h"
+#include "test_util.h"
+
+namespace sqlts {
+namespace replication {
+namespace {
+
+Row QuoteRow(const std::string& name, Date d, double price) {
+  return {Value::String(name), Value::FromDate(d), Value::Double(price)};
+}
+
+const char kPortfolioQuery[] =
+    "SELECT X.name, FIRST(Y).date, COUNT(Y) FROM quote "
+    "CLUSTER BY name SEQUENCE BY date AS (X, *Y, Z) "
+    "WHERE Y.price < Y.previous.price AND Z.price >= "
+    "Z.previous.price AND Z.price < 0.97 * X.price";
+
+const char kRallyQuery[] =
+    "SELECT X.name, X.price, Z.price FROM quote "
+    "CLUSTER BY name SEQUENCE BY date AS (X, Y, Z) "
+    "WHERE Y.price > X.price AND Z.price > Y.price";
+
+/// Interleaved multi-cluster quote stream (same generator as the
+/// checkpoint tests, so match density is known to be non-trivial).
+std::vector<Row> PortfolioStream(int n) {
+  std::vector<Row> rows;
+  std::vector<std::string> names = {"A", "B", "C"};
+  std::vector<double> price = {50, 43, 61};
+  std::vector<Date> day = {Date(10000), Date(10000), Date(10000)};
+  uint64_t rng = 0x9e3779b97f4a7c15ULL;
+  for (int i = 0; i < n; ++i) {
+    rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+    int s = static_cast<int>((rng >> 33) % 3);
+    price[s] *= 1.0 + (static_cast<double>((rng >> 13) % 9) - 4.0) / 100.0;
+    rows.push_back(QuoteRow(names[s], day[s], price[s]));
+    day[s] = day[s].AddDays(1);
+  }
+  return rows;
+}
+
+Schema TestSchema() { return QuoteSchema(); }
+
+// ---------------------------------------------------------------------------
+// Log entry framing.
+// ---------------------------------------------------------------------------
+
+TEST(ReplicationLogEntry, RoundTrips) {
+  LogEntry e;
+  e.term = 3;
+  e.index = 41;
+  e.covered_offset = 1234;
+  e.watermarks = {7, 0, 99};
+  e.checkpoint = std::string("ckpt-bytes\0with-nul", 19);
+  const std::string frame = EncodeLogEntry(e);
+  auto got = DecodeLogEntry(frame);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got->term, e.term);
+  EXPECT_EQ(got->index, e.index);
+  EXPECT_EQ(got->covered_offset, e.covered_offset);
+  EXPECT_EQ(got->watermarks, e.watermarks);
+  EXPECT_EQ(got->checkpoint, e.checkpoint);
+}
+
+TEST(ReplicationLogEntry, RejectsCorruptFrames) {
+  LogEntry e;
+  e.term = 1;
+  e.index = 1;
+  e.watermarks = {5};
+  e.checkpoint = "payload";
+  const std::string frame = EncodeLogEntry(e);
+
+  // Truncation.
+  EXPECT_EQ(DecodeLogEntry(std::string_view(frame).substr(0, frame.size() / 2))
+                .status()
+                .code(),
+            StatusCode::kIoError);
+  // Bit flip (checksum).
+  std::string bad = frame;
+  bad[frame.size() - 2] ^= 0x08;
+  EXPECT_EQ(DecodeLogEntry(bad).status().code(), StatusCode::kIoError);
+  // Oversized watermark count with a fixed-up checksum: must hit the
+  // typed bounds check, not a giant reserve().
+  auto payload = OpenCheckpoint(frame);
+  ASSERT_TRUE(payload.ok());
+  std::string p(*payload);
+  for (int b = 0; b < 4; ++b) p[8 + 8 + 8 + b] = static_cast<char>(0xff);
+  std::string rewrapped(kCheckpointMagic);
+  auto le = [&](uint64_t v, int n) {
+    for (int i = 0; i < n; ++i) {
+      rewrapped.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  };
+  le(kCheckpointVersion, 4);
+  le(p.size(), 8);
+  le(Fnv1a64(p), 8);
+  rewrapped += p;
+  EXPECT_EQ(DecodeLogEntry(rewrapped).status().code(), StatusCode::kIoError);
+}
+
+// ---------------------------------------------------------------------------
+// Standby acceptance and the chaotic transport.
+// ---------------------------------------------------------------------------
+
+std::string FrameFor(uint64_t term, uint64_t index) {
+  LogEntry e;
+  e.term = term;
+  e.index = index;
+  e.covered_offset = static_cast<int64_t>(100 * term + index);
+  e.watermarks = {0};
+  e.checkpoint = "c";
+  return EncodeLogEntry(e);
+}
+
+TEST(StandbyNode, AcceptanceIsMonotoneInTermIndex) {
+  StandbyNode node(0);
+  EXPECT_TRUE(*node.Deliver(FrameFor(1, 2)));
+  EXPECT_EQ(node.latest_index(), 2u);
+  // Stale: same term, older index — a delayed/reordered frame.
+  EXPECT_FALSE(*node.Deliver(FrameFor(1, 1)));
+  EXPECT_EQ(node.latest_index(), 2u);
+  EXPECT_EQ(node.stale_ignored(), 1);
+  // Duplicate of the held entry is stale too.
+  EXPECT_FALSE(*node.Deliver(FrameFor(1, 2)));
+  // Newer index advances.
+  EXPECT_TRUE(*node.Deliver(FrameFor(1, 3)));
+  // A higher term wins even with a smaller index (new primary).
+  EXPECT_TRUE(*node.Deliver(FrameFor(2, 1)));
+  EXPECT_EQ(node.latest_term(), 2u);
+  EXPECT_EQ(node.latest_index(), 1u);
+  // And the dead term can never regress it.
+  EXPECT_FALSE(*node.Deliver(FrameFor(1, 9)));
+}
+
+TEST(ReplicationLog, QuorumHoldsThroughDropsAndDelays) {
+  StandbyNode a(0), b(1), c(2);
+  TransportOptions chaos;
+  chaos.drop_prob = 0.35;
+  chaos.delay_prob = 0.35;
+  chaos.max_delay_ticks = 3;
+  ReplicationLog log(0x5eed, chaos, {&a, &b, &c}, /*quorum_acks=*/2);
+  for (uint64_t i = 1; i <= 60; ++i) {
+    LogEntry e;
+    e.term = 1;
+    e.index = i;
+    e.watermarks = {0};
+    e.checkpoint = "x";
+    ASSERT_TRUE(log.Append(e).ok()) << "entry " << i;
+    log.Tick(static_cast<int64_t>(i));
+    // Quorum invariant: at least 2 of 3 standbys hold the entry the
+    // moment Append returns.
+    int holders = 0;
+    for (StandbyNode* n : {&a, &b, &c}) {
+      if (n->latest_term() == 1 && n->latest_index() == i) ++holders;
+    }
+    ASSERT_GE(holders, 2) << "entry " << i;
+  }
+  EXPECT_EQ(log.committed_index(), 60u);
+  // The chaos actually fired, and late frames were discarded as stale
+  // rather than regressing anyone.
+  EXPECT_GT(log.counters().drops + log.counters().delays, 0);
+  EXPECT_GT(log.counters().retransmits, 0);
+}
+
+TEST(ReplicationLog, RemoveStandbyClampsQuorum) {
+  StandbyNode a(0), b(1);
+  ReplicationLog log(1, TransportOptions{}, {&a, &b}, /*quorum_acks=*/2);
+  log.RemoveStandby(0);
+  log.RemoveStandby(1);
+  LogEntry e;
+  e.term = 1;
+  e.index = 1;
+  e.checkpoint = "x";
+  // No standbys left: quorum clamps to zero and append trivially
+  // commits (the unreplicated tail of a fully failed-over cluster).
+  EXPECT_TRUE(log.Append(e).ok());
+  EXPECT_EQ(log.committed_index(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// DedupSink: the consumer half of exactly-once.
+// ---------------------------------------------------------------------------
+
+TEST(DedupSink, DeliversDropsAndRejects) {
+  DedupSink sink;
+  const Row r0 = QuoteRow("A", Date(1), 1.0);
+  const Row r1 = QuoteRow("A", Date(2), 2.0);
+  ASSERT_TRUE(sink.Accept(0, r0).ok());
+  ASSERT_TRUE(sink.Accept(1, r1).ok());
+  EXPECT_EQ(sink.delivered().size(), 2u);
+
+  // A replay below the watermark is verified and dropped.
+  ASSERT_TRUE(sink.Accept(0, r0).ok());
+  EXPECT_EQ(sink.duplicates_dropped(), 1);
+  EXPECT_EQ(sink.delivered().size(), 2u);
+
+  // A replay that is NOT bit-identical is a protocol violation.
+  EXPECT_EQ(sink.Accept(1, QuoteRow("A", Date(2), 9.9)).code(),
+            StatusCode::kInternal);
+
+  // A sequence gap means rows were lost.
+  EXPECT_EQ(sink.Accept(5, r0).code(), StatusCode::kInternal);
+  EXPECT_EQ(sink.next_expected(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Cluster failover vs the uninterrupted oracle.
+// ---------------------------------------------------------------------------
+
+std::string RowsKey(const std::vector<Row>& rows) {
+  std::string out;
+  for (const Row& r : rows) {
+    for (const Value& v : r) out += v.ToString() + "|";
+    out += "\n";
+  }
+  return out;
+}
+
+fuzz::FailoverSchedule FixedSchedule(int64_t kill_offset, bool allow_lagging,
+                                     int64_t checkpoint_interval,
+                                     int num_threads) {
+  fuzz::FailoverSchedule s;
+  s.cluster.num_standbys = 2;
+  s.cluster.checkpoint_interval = checkpoint_interval;
+  s.cluster.exec.num_threads = num_threads;
+  s.cluster.seed = 0xfee1;
+  fuzz::FailoverEvent e;
+  e.kill_offset = kill_offset;
+  e.promotion_draw = 1;
+  e.allow_lagging = allow_lagging;
+  s.events.push_back(e);
+  return s;
+}
+
+TEST(ReplicatedCluster, SingleQueryFailoverMatchesOracle) {
+  const std::vector<Row> source = PortfolioStream(240);
+  for (int threads : {1, 4}) {
+    EngineFactory factory = MakeSingleQueryEngineFactory(
+        kPortfolioQuery, TestSchema(), [&] {
+          ExecOptions o;
+          o.num_threads = threads;
+          return o;
+        }());
+    fuzz::FailoverSchedule schedule = FixedSchedule(
+        /*kill_offset=*/105, /*allow_lagging=*/false,
+        /*checkpoint_interval=*/16, threads);
+    const fuzz::FailoverRunResult oracle =
+        fuzz::RunUninterrupted(factory, 1, source, schedule.cluster);
+    ASSERT_TRUE(oracle.status.ok()) << oracle.status;
+    ASSERT_GT(oracle.rows[0].size(), 0u) << "vacuous fixture";
+
+    const fuzz::FailoverRunResult run =
+        fuzz::RunFailoverSchedule(factory, 1, source, schedule);
+    ASSERT_TRUE(run.status.ok()) << run.status;
+    EXPECT_EQ(run.failovers, 1);
+    EXPECT_EQ(RowsKey(run.rows[0]), RowsKey(oracle.rows[0]))
+        << "threads=" << threads;
+    EXPECT_EQ(run.stats_fingerprint, oracle.stats_fingerprint)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ReplicatedCluster, ReplayBeforeFirstCheckpointDeduplicates) {
+  // Kill before any checkpoint entry exists: the promoted standby
+  // restarts from scratch and replays the whole prefix — every row the
+  // dead primary already delivered must be dropped by the watermark,
+  // bit-identically.
+  const std::vector<Row> source = PortfolioStream(120);
+  EngineFactory factory =
+      MakeSingleQueryEngineFactory(kPortfolioQuery, TestSchema(), {});
+  fuzz::FailoverSchedule schedule = FixedSchedule(
+      /*kill_offset=*/60, /*allow_lagging=*/false,
+      /*checkpoint_interval=*/64, /*num_threads=*/1);
+  const fuzz::FailoverRunResult oracle =
+      fuzz::RunUninterrupted(factory, 1, source, schedule.cluster);
+  ASSERT_TRUE(oracle.status.ok()) << oracle.status;
+  const fuzz::FailoverRunResult run =
+      fuzz::RunFailoverSchedule(factory, 1, source, schedule);
+  ASSERT_TRUE(run.status.ok()) << run.status;
+  EXPECT_EQ(RowsKey(run.rows[0]), RowsKey(oracle.rows[0]));
+  EXPECT_EQ(run.stats_fingerprint, oracle.stats_fingerprint);
+  EXPECT_GT(run.duplicates_dropped, 0)
+      << "the 60-row replay should have re-emitted something";
+}
+
+TEST(ReplicatedCluster, LaggingPromotionIsStillExactlyOnce) {
+  // Heavy drop chaos so standbys diverge, then promote with
+  // allow_lagging across two failovers: the promoted node may hold an
+  // old entry (or none) and replays a long suffix — the output must
+  // still be exactly the oracle's.
+  const std::vector<Row> source = PortfolioStream(240);
+  EngineFactory factory =
+      MakeSingleQueryEngineFactory(kPortfolioQuery, TestSchema(), {});
+  fuzz::FailoverSchedule schedule;
+  schedule.cluster.num_standbys = 3;
+  schedule.cluster.checkpoint_interval = 8;
+  schedule.cluster.transport.drop_prob = 0.6;
+  schedule.cluster.seed = 0xdeadbeef;
+  for (int64_t off : {70, 150}) {
+    fuzz::FailoverEvent e;
+    e.kill_offset = off;
+    e.promotion_draw = static_cast<uint64_t>(off) * 2654435761u;
+    e.allow_lagging = true;
+    schedule.events.push_back(e);
+  }
+  const fuzz::FailoverRunResult oracle =
+      fuzz::RunUninterrupted(factory, 1, source, schedule.cluster);
+  ASSERT_TRUE(oracle.status.ok()) << oracle.status;
+  const fuzz::FailoverRunResult run =
+      fuzz::RunFailoverSchedule(factory, 1, source, schedule);
+  ASSERT_TRUE(run.status.ok()) << run.status;
+  EXPECT_EQ(run.failovers, 2);
+  EXPECT_EQ(RowsKey(run.rows[0]), RowsKey(oracle.rows[0]));
+  EXPECT_EQ(run.stats_fingerprint, oracle.stats_fingerprint);
+}
+
+TEST(ReplicatedCluster, MultiQueryFailoverMatchesOraclePerChannel) {
+  const std::vector<Row> source = PortfolioStream(240);
+  const std::vector<std::string> queries = {kPortfolioQuery, kRallyQuery};
+  for (int threads : {1, 4}) {
+    ExecOptions o;
+    o.num_threads = threads;
+    EngineFactory factory =
+        MakeMultiQueryEngineFactory(queries, TestSchema(), o);
+    fuzz::FailoverSchedule schedule = FixedSchedule(
+        /*kill_offset=*/111, /*allow_lagging=*/false,
+        /*checkpoint_interval=*/16, threads);
+    const fuzz::FailoverRunResult oracle = fuzz::RunUninterrupted(
+        factory, static_cast<int>(queries.size()), source, schedule.cluster);
+    ASSERT_TRUE(oracle.status.ok()) << oracle.status;
+    ASSERT_GT(oracle.rows[0].size() + oracle.rows[1].size(), 0u);
+
+    const fuzz::FailoverRunResult run = fuzz::RunFailoverSchedule(
+        factory, static_cast<int>(queries.size()), source, schedule);
+    ASSERT_TRUE(run.status.ok()) << run.status;
+    for (size_t c = 0; c < queries.size(); ++c) {
+      EXPECT_EQ(RowsKey(run.rows[c]), RowsKey(oracle.rows[c]))
+          << "channel " << c << " threads=" << threads;
+    }
+    EXPECT_EQ(run.stats_fingerprint, oracle.stats_fingerprint)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ReplicatedCluster, FoldsIntoServerMetricsSnapshot) {
+  const std::vector<Row> source = PortfolioStream(120);
+  EngineFactory factory =
+      MakeSingleQueryEngineFactory(kPortfolioQuery, TestSchema(), {});
+  fuzz::FailoverSchedule schedule = FixedSchedule(
+      /*kill_offset=*/60, /*allow_lagging=*/false,
+      /*checkpoint_interval=*/16, /*num_threads=*/1);
+  ServerMetrics metrics;
+  const fuzz::FailoverRunResult run = fuzz::RunFailoverSchedule(
+      factory, 1, source, schedule, &metrics.replication);
+  ASSERT_TRUE(run.status.ok()) << run.status;
+  EXPECT_EQ(metrics.replication.failovers.load(), 1);
+  EXPECT_GT(metrics.replication.entries_appended.load(), 0);
+  EXPECT_GT(metrics.replication.committed_index.load(), 0);
+  EXPECT_EQ(metrics.replication.standbys_active.load(), 1);
+  EXPECT_GT(metrics.replication.heartbeats_sent.load(), 0);
+  EXPECT_GT(metrics.replication.rows_replayed.load(), 0);
+  // The METRICS JSON carries the replication section.
+  const std::string dump = metrics.Snapshot().Dump();
+  EXPECT_NE(dump.find("\"replication\""), std::string::npos);
+  EXPECT_NE(dump.find("\"failovers\":1"), std::string::npos) << dump;
+}
+
+}  // namespace
+}  // namespace replication
+}  // namespace sqlts

@@ -790,5 +790,93 @@ TEST(ServerSharing, ConcurrentClientsGetOracleIdenticalResults) {
                  "in-flight drains");
 }
 
+// ---------------------------------------------------------------------------
+// Client reconnect policy
+// ---------------------------------------------------------------------------
+
+TEST(ClientRetry, BackoffDoublesWithinCapAndJitterBounds) {
+  RetryOptions options;
+  options.backoff_ms = 100;
+  options.max_backoff_ms = 800;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    // Full delay before jitter: 100, 200, 400, 800, 800, ...
+    int64_t full = 100;
+    for (int i = 0; i < attempt && full < 800; ++i) full *= 2;
+    // Jitter stays in [full/2, full] across many draws.
+    uint64_t rng = 0x5eedULL;
+    for (int draw = 0; draw < 64; ++draw) {
+      const int64_t d = RetryBackoffMs(attempt, options, &rng);
+      EXPECT_GE(d, full / 2) << "attempt " << attempt;
+      EXPECT_LE(d, full) << "attempt " << attempt;
+    }
+  }
+}
+
+TEST(ClientRetry, BackoffIsDeterministicInTheSeed) {
+  RetryOptions options;
+  uint64_t a = 42, b = 42, c = 43;
+  std::vector<int64_t> seq_a, seq_b, seq_c;
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    seq_a.push_back(RetryBackoffMs(attempt, options, &a));
+    seq_b.push_back(RetryBackoffMs(attempt, options, &b));
+    seq_c.push_back(RetryBackoffMs(attempt, options, &c));
+  }
+  EXPECT_EQ(seq_a, seq_b);
+  EXPECT_NE(seq_a, seq_c);  // different seeds decorrelate
+}
+
+TEST(ClientRetry, OnlyIoErrorsAreTransient) {
+  EXPECT_TRUE(IsTransientNetworkError(Status::IoError("connection refused")));
+  EXPECT_FALSE(IsTransientNetworkError(Status::OK()));
+  EXPECT_FALSE(IsTransientNetworkError(Status::InvalidArgument("bad query")));
+  EXPECT_FALSE(IsTransientNetworkError(Status::ParseError("bad frame")));
+  EXPECT_FALSE(
+      IsTransientNetworkError(Status::ResourceExhausted("admission")));
+  EXPECT_FALSE(IsTransientNetworkError(Status::Internal("bug")));
+}
+
+TEST(ClientRetry, ConnectWithRetryGivesUpAfterBudget) {
+  // Grab an ephemeral port, then release it so nothing is listening.
+  uint16_t port;
+  {
+    auto server = StartServer({});
+    port = server->port();
+  }
+  RetryOptions options;
+  options.retries = 2;
+  options.backoff_ms = 1;
+  options.max_backoff_ms = 2;
+  auto client = SqltsClient::ConnectWithRetry("127.0.0.1", port, options);
+  ASSERT_FALSE(client.ok());
+  EXPECT_EQ(client.status().code(), StatusCode::kIoError);
+}
+
+TEST(ClientRetry, ConnectWithRetryRecoversWhenServerComesBack) {
+  uint16_t port;
+  {
+    auto server = StartServer({});
+    port = server->port();
+  }
+  // Bring the server back on the same port while the client backs off.
+  std::unique_ptr<Server> revived;
+  std::thread restarter([&] {
+    std::this_thread::sleep_for(milliseconds(60));
+    Server::Options options;
+    options.port = port;
+    revived = StartServer(options);
+  });
+  RetryOptions options;
+  options.retries = 200;
+  options.backoff_ms = 10;
+  options.max_backoff_ms = 40;
+  auto client = SqltsClient::ConnectWithRetry("127.0.0.1", port, options);
+  restarter.join();
+  ASSERT_TRUE(client.ok()) << client.status();
+  (void)client->socket().SetRecvTimeout(20000);
+  auto welcome = client->Hello("retry-test");
+  ASSERT_TRUE(welcome.ok()) << welcome.status();
+  EXPECT_TRUE(client->Close().ok());
+}
+
 }  // namespace
 }  // namespace sqlts
