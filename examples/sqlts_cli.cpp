@@ -17,7 +17,10 @@
 //   --explain           print the optimizer report before results
 //   --check             lint only: run the static analyzer and exit
 //                       without touching the CSV; exit 1 when the query
-//                       is provably empty (E-level diagnostics)
+//                       is provably empty (E-level diagnostics).  With
+//                       --queryset, also runs the cross-query lint:
+//                       W007 (duplicate member) and W008 (member
+//                       subsumed by a sibling)
 //   --lint=json         like --check, but print machine-readable JSON
 //   --Werror            --check/--lint: warnings also fail (exit 1)
 //   --threads N         shard execution across N worker threads
@@ -60,6 +63,7 @@
 #include "engine/stream_executor.h"
 #include "multiquery/multi_executor.h"
 #include "multiquery/multi_stream.h"
+#include "multiquery/queryset_lint.h"
 #include "storage/csv.h"
 
 namespace {
@@ -227,7 +231,18 @@ int main(int argc, char** argv) {
           }
         }
       }
-      if (lint_json) std::printf("]\n");
+      // Cross-query findings (W007/W008), from the same shared
+      // predicate catalog verdicts the multi-query executor trusts.
+      auto set_lint = LintQuerySet(schema, queries);
+      if (!set_lint.ok()) return Fail(set_lint.status());
+      any_warn = any_warn || set_lint->has_warnings();
+      if (lint_json) {
+        std::printf(", {\"set\": %s}]\n",
+                    QuerySetLintToJson(*set_lint).c_str());
+      } else {
+        std::fprintf(stderr, "-- query set --\n%s",
+                     RenderQuerySetLint(*set_lint).c_str());
+      }
       return any_err || (werror && any_warn) ? 1 : 0;
     }
 

@@ -1,0 +1,177 @@
+#ifndef SQLTS_COMMON_THREAD_ANNOTATIONS_H_
+#define SQLTS_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Compile-time concurrency contracts (docs/STATIC_ANALYSIS.md).
+///
+/// Macros over Clang's Thread Safety Analysis attributes
+/// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) plus thin
+/// annotated wrappers over the std synchronization primitives.  Under
+/// Clang with `-Wthread-safety` the annotations turn the repo's lock
+/// discipline — "guarded by mu_", "caller holds the lock", "*Locked
+/// helpers" — into build failures when violated.  Under GCC (which has
+/// no thread-safety analysis) every macro expands to nothing and the
+/// wrappers behave exactly like the std primitives they hold.
+///
+/// Conventions (same as the abseil/LLVM ones the attribute set was
+/// designed around):
+///  - members:   `int x_ GUARDED_BY(mu_);` — attribute after the name.
+///  - functions: attribute after the parameter list (and any const),
+///    before the body:  `void FlushLocked() REQUIRES(mu_);`
+///  - `NO_THREAD_SAFETY_ANALYSIS` is a last resort and never appears
+///    without a comment explaining why the analysis cannot see the
+///    invariant (see docs/STATIC_ANALYSIS.md for the policy).
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#define SQLTS_TS_ATTR__(x) __has_attribute(x)
+#else
+#define SQLTS_TS_ATTR__(x) 0
+#endif
+
+#if SQLTS_TS_ATTR__(guarded_by)
+#define SQLTS_TS__(x) __attribute__((x))
+#else
+#define SQLTS_TS__(x)  // no-op outside Clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex" in diagnostics).
+#define CAPABILITY(x) SQLTS_TS__(capability(x))
+
+/// Marks an RAII type that acquires a capability at construction and
+/// releases it at destruction.
+#define SCOPED_CAPABILITY SQLTS_TS__(scoped_lockable)
+
+/// Data member is protected by the given capability: every read or
+/// write must happen with the lock held.
+#define GUARDED_BY(x) SQLTS_TS__(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the capability (the
+/// pointer itself may be read freely).
+#define PT_GUARDED_BY(x) SQLTS_TS__(pt_guarded_by(x))
+
+/// Function requires the capability to be held on entry (and does not
+/// release it).  This is the contract of every `*Locked` helper.
+#define REQUIRES(...) SQLTS_TS__(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define ACQUIRE(...) SQLTS_TS__(acquire_capability(__VA_ARGS__))
+
+/// Function releases a capability the caller held on entry.
+#define RELEASE(...) SQLTS_TS__(release_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the capability held (it will
+/// acquire it itself — calling with it held would deadlock).
+#define EXCLUDES(...) SQLTS_TS__(locks_excluded(__VA_ARGS__))
+
+/// Function checks at runtime that the capability is held and informs
+/// the analysis of that fact.
+#define ASSERT_CAPABILITY(x) SQLTS_TS__(assert_capability(x))
+
+/// Function returns a reference to the given capability (lets the
+/// analysis resolve accessor-returned locks).
+#define RETURN_CAPABILITY(x) SQLTS_TS__(lock_returned(x))
+
+/// Opts a function out of the analysis entirely.  Never use without a
+/// comment explaining why (docs/STATIC_ANALYSIS.md).
+#define NO_THREAD_SAFETY_ANALYSIS SQLTS_TS__(no_thread_safety_analysis)
+
+namespace sqlts {
+namespace ts {
+
+/// std::mutex with the CAPABILITY attribute attached, so members can be
+/// GUARDED_BY it and helpers can REQUIRES it.  Same cost as std::mutex.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() SQLTS_TS__(try_acquire_capability(true)) {
+    return mu_.try_lock();
+  }
+
+  /// The wrapped std::mutex, for interop with std lock adapters inside
+  /// functions that manage the capability manually (the caller is
+  /// responsible for keeping the analysis informed via ACQUIRE/RELEASE
+  /// annotations on the enclosing scope).
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock over ts::Mutex — the annotated equivalent of
+/// std::lock_guard / std::unique_lock for the common hold-entire-scope
+/// pattern.  Supports early Unlock()/Lock() cycles like unique_lock.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.lock();
+  }
+  ~MutexLock() RELEASE() {
+    if (held_) mu_.unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Releases early (e.g. to notify a condvar outside the lock).
+  void Unlock() RELEASE() {
+    mu_.unlock();
+    held_ = false;
+  }
+  /// Re-acquires after an early Unlock().
+  void Lock() ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+/// Condition variable usable with ts::Mutex.  Backed by
+/// std::condition_variable_any, which accepts any BasicLockable — the
+/// annotated mutex works directly, no native-handle gymnastics.  Wait
+/// requires the caller to hold the mutex, exactly the std contract,
+/// but now machine-checked.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    // The analysis treats the capability as held across the wait; the
+    // runtime release/re-acquire inside condition_variable_any is
+    // invisible to callers, matching the std::condition_variable
+    // contract.
+    cv_.wait(mu);
+  }
+
+  template <typename Predicate>
+  void Wait(Mutex& mu, Predicate pred) REQUIRES(mu) {
+    cv_.wait(mu, std::move(pred));
+  }
+
+  template <typename Rep, typename Period, typename Predicate>
+  bool WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& dur,
+               Predicate pred) REQUIRES(mu) {
+    return cv_.wait_for(mu, dur, std::move(pred));
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace ts
+}  // namespace sqlts
+
+#endif  // SQLTS_COMMON_THREAD_ANNOTATIONS_H_

@@ -72,17 +72,18 @@ int ShardPool::ShardFor(std::string_view key) const {
 void ShardPool::Push(int shard, Task task) {
   SQLTS_CHECK(shard >= 0 && shard < num_shards());
   Shard& s = *shards_[shard];
-  std::unique_lock<std::mutex> lock(s.mu);
-  SQLTS_CHECK(!s.closed) << "Push after Finish";
-  s.not_full.wait(lock, [&] {
-    return static_cast<int64_t>(s.queue.size()) < capacity_;
-  });
-  s.queue.push_back(std::move(task));
-  ++s.pushed;
-  s.high_water =
-      std::max(s.high_water, static_cast<int64_t>(s.queue.size()));
-  lock.unlock();
-  s.not_empty.notify_one();
+  {
+    ts::MutexLock lock(s.mu);
+    SQLTS_CHECK(!s.closed) << "Push after Finish";
+    while (static_cast<int64_t>(s.queue.size()) >= capacity_) {
+      s.not_full.Wait(s.mu);
+    }
+    s.queue.push_back(std::move(task));
+    ++s.pushed;
+    s.high_water =
+        std::max(s.high_water, static_cast<int64_t>(s.queue.size()));
+  }
+  s.not_empty.NotifyOne();
 }
 
 void ShardPool::WorkerLoop(int shard) {
@@ -94,27 +95,27 @@ void ShardPool::WorkerLoop(int shard) {
   while (true) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(s.mu);
+      ts::MutexLock lock(s.mu);
       s.busy = false;
-      if (s.queue.empty()) s.idle.notify_all();
-      s.not_empty.wait(lock, [&] { return !s.queue.empty() || s.closed; });
+      if (s.queue.empty()) s.idle.NotifyAll();
+      while (s.queue.empty() && !s.closed) s.not_empty.Wait(s.mu);
       if (s.queue.empty()) return;  // closed and drained
       task = std::move(s.queue.front());
       s.queue.pop_front();
       s.busy = true;
     }
-    s.not_full.notify_one();
+    s.not_full.NotifyOne();
     if (poisoned) continue;
     try {
       handler_(shard, std::move(task));
     } catch (const std::exception& e) {
       poisoned = true;
-      std::lock_guard<std::mutex> lock(s.mu);
+      ts::MutexLock lock(s.mu);
       s.error = Status::Internal(
           std::string("shard worker caught exception: ") + e.what());
     } catch (...) {
       poisoned = true;
-      std::lock_guard<std::mutex> lock(s.mu);
+      ts::MutexLock lock(s.mu);
       s.error = Status::Internal(
           "shard worker caught an exception not derived from "
           "std::exception");
@@ -127,10 +128,10 @@ void ShardPool::Finish() {
   finished_ = true;
   for (auto& s : shards_) {
     {
-      std::lock_guard<std::mutex> lock(s->mu);
+      ts::MutexLock lock(s->mu);
       s->closed = true;
     }
-    s->not_empty.notify_one();
+    s->not_empty.NotifyOne();
   }
   for (auto& s : shards_) {
     if (s->worker.joinable()) s->worker.join();
@@ -139,14 +140,14 @@ void ShardPool::Finish() {
 
 void ShardPool::Drain() {
   for (auto& s : shards_) {
-    std::unique_lock<std::mutex> lock(s->mu);
-    s->idle.wait(lock, [&] { return s->queue.empty() && !s->busy; });
+    ts::MutexLock lock(s->mu);
+    while (!s->queue.empty() || s->busy) s->idle.Wait(s->mu);
   }
 }
 
 Status ShardPool::first_error() const {
   for (const auto& s : shards_) {
-    std::lock_guard<std::mutex> lock(s->mu);
+    ts::MutexLock lock(s->mu);
     if (!s->error.ok()) return s->error;
   }
   return Status::OK();
@@ -155,14 +156,14 @@ Status ShardPool::first_error() const {
 int64_t ShardPool::pushed(int shard) const {
   SQLTS_CHECK(shard >= 0 && shard < num_shards());
   Shard& s = *shards_[shard];
-  std::lock_guard<std::mutex> lock(s.mu);
+  ts::MutexLock lock(s.mu);
   return s.pushed;
 }
 
 int64_t ShardPool::queue_high_water(int shard) const {
   SQLTS_CHECK(shard >= 0 && shard < num_shards());
   Shard& s = *shards_[shard];
-  std::lock_guard<std::mutex> lock(s.mu);
+  ts::MutexLock lock(s.mu);
   return s.high_water;
 }
 

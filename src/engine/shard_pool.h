@@ -2,18 +2,17 @@
 #define SQLTS_ENGINE_SHARD_POOL_H_
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "engine/match.h"
 #include "storage/table.h"
 
@@ -132,16 +131,19 @@ class ShardPool {
 
  private:
   struct Shard {
-    std::mutex mu;
-    std::condition_variable not_empty;
-    std::condition_variable not_full;
-    std::condition_variable idle;  // queue empty and worker not busy
-    std::deque<Task> queue;
-    bool closed = false;  // producer finished; drain and exit
-    bool busy = false;    // worker is inside the handler
-    Status error;         // first exception caught at the worker boundary
-    int64_t pushed = 0;
-    int64_t high_water = 0;
+    ts::Mutex mu;
+    ts::CondVar not_empty;
+    ts::CondVar not_full;
+    ts::CondVar idle;  // queue empty and worker not busy
+    std::deque<Task> queue GUARDED_BY(mu);
+    bool closed GUARDED_BY(mu) = false;  // producer finished; drain and exit
+    bool busy GUARDED_BY(mu) = false;    // worker is inside the handler
+    /// First exception caught at the worker boundary.
+    Status error GUARDED_BY(mu);
+    int64_t pushed GUARDED_BY(mu) = 0;
+    int64_t high_water GUARDED_BY(mu) = 0;
+    // Written once before the worker starts, joined after it exits:
+    // never touched concurrently, so not guarded.
     std::thread worker;
   };
 
@@ -150,6 +152,8 @@ class ShardPool {
   TaskHandler handler_;
   int64_t capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  // Producer-thread-only (Finish/dtor run on the owning thread), so
+  // not guarded.
   bool finished_ = false;
 };
 

@@ -104,7 +104,7 @@ StreamingQueryExecutor::RouteFor(const Row& row) {
     }
   }
   if (shared_eval_ != nullptr) {
-    std::lock_guard<std::mutex> lock(ordinal_keys_mu_);
+    ts::MutexLock lock(ordinal_keys_mu_);
     ordinal_keys_.emplace(info.ordinal, key);
   }
   auto [pos, inserted] = routes_.emplace(std::move(key), std::move(info));
@@ -201,7 +201,7 @@ Status StreamingQueryExecutor::MakeMatcher(int shard, uint64_t ordinal,
   if (shared_eval_ != nullptr) {
     std::string key;
     {
-      std::lock_guard<std::mutex> lock(ordinal_keys_mu_);
+      ts::MutexLock lock(ordinal_keys_mu_);
       auto it = ordinal_keys_.find(ordinal);
       SQLTS_CHECK(it != ordinal_keys_.end());
       key = it->second;
@@ -449,7 +449,7 @@ Status StreamingQueryExecutor::Restore(std::string_view bytes) {
     // kill/restore boundary.
     info.shard = pool_ != nullptr ? pool_->ShardFor(key) : 0;
     if (shared_eval_ != nullptr) {
-      std::lock_guard<std::mutex> lock(ordinal_keys_mu_);
+      ts::MutexLock lock(ordinal_keys_mu_);
       ordinal_keys_.emplace(info.ordinal, key);
     }
     SQLTS_ASSIGN_OR_RETURN(bool has_matcher, r.ReadBool());

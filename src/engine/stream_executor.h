@@ -4,13 +4,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "common/governance.h"
+#include "common/thread_annotations.h"
 #include "common/statusor.h"
 #include "engine/checkpoint.h"
 #include "engine/executor.h"
@@ -220,8 +220,9 @@ class StreamingQueryExecutor {
   /// shard worker when it creates that cluster's matcher (multi-query
   /// mode only; guarded by the mutex because the router may be
   /// inserting a new cluster while a worker instantiates another).
-  std::mutex ordinal_keys_mu_;
-  std::unordered_map<uint64_t, std::string> ordinal_keys_;
+  ts::Mutex ordinal_keys_mu_;
+  std::unordered_map<uint64_t, std::string> ordinal_keys_
+      GUARDED_BY(ordinal_keys_mu_);
   ResourceLedger ledger_;  // per-query buffered tuples/bytes
   std::vector<int> cluster_cols_;
   std::vector<int> sequence_cols_;

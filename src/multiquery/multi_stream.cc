@@ -24,7 +24,7 @@ StatusOr<std::unique_ptr<MultiStreamExecutor>> MultiStreamExecutor::Create(
 StatusOr<int> MultiStreamExecutor::AddQuery(std::string_view query_text,
                                             RowCallback on_row,
                                             const ExecGovernance* governance) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ts::MutexLock lock(mu_);
   return AddQueryLocked(query_text, std::move(on_row), pushed_, governance);
 }
 
@@ -71,7 +71,7 @@ StatusOr<int> MultiStreamExecutor::AddQueryLocked(
 }
 
 Status MultiStreamExecutor::RemoveQuery(int id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ts::MutexLock lock(mu_);
   if (id < 0 || id >= static_cast<int>(queries_.size())) {
     return Status::InvalidArgument("no query with id " + std::to_string(id));
   }
@@ -105,7 +105,7 @@ Status MultiStreamExecutor::RemoveQuery(int id) {
 }
 
 Status MultiStreamExecutor::Push(Row row) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ts::MutexLock lock(mu_);
   std::vector<QueryError> errors;
   Status st = PushLocked(std::move(row), &errors);
   if (!st.ok()) return st;
@@ -113,7 +113,7 @@ Status MultiStreamExecutor::Push(Row row) {
 }
 
 Status MultiStreamExecutor::Push(Row row, std::vector<QueryError>* errors) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ts::MutexLock lock(mu_);
   return PushLocked(std::move(row), errors);
 }
 
@@ -132,7 +132,7 @@ Status MultiStreamExecutor::PushLocked(Row row,
 }
 
 Status MultiStreamExecutor::Finish() {
-  std::lock_guard<std::mutex> lock(mu_);
+  ts::MutexLock lock(mu_);
   Status first = Status::OK();
   for (Registered& r : queries_) {
     if (r.exec == nullptr) continue;
@@ -143,7 +143,7 @@ Status MultiStreamExecutor::Finish() {
 }
 
 Status MultiStreamExecutor::Checkpoint(std::string* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ts::MutexLock lock(mu_);
   CheckpointWriter w;
   w.WriteU64(static_cast<uint64_t>(queries_.size()));
   for (Registered& r : queries_) {
@@ -169,7 +169,7 @@ Status MultiStreamExecutor::Checkpoint(std::string* out) {
 
 Status MultiStreamExecutor::Restore(std::string_view bytes,
                                     const CallbackResolver& resolver) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ts::MutexLock lock(mu_);
   if (!queries_.empty() || pushed_ != 0) {
     return Status::InvalidArgument(
         "Restore requires a freshly created multi-stream executor");
@@ -227,12 +227,12 @@ MultiQueryStats MultiStreamExecutor::StatsLocked() const {
 }
 
 MultiQueryStats MultiStreamExecutor::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ts::MutexLock lock(mu_);
   return StatsLocked();
 }
 
 int MultiStreamExecutor::num_queries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ts::MutexLock lock(mu_);
   int live = 0;
   for (const Registered& r : queries_) {
     if (r.exec != nullptr) ++live;
@@ -241,12 +241,12 @@ int MultiStreamExecutor::num_queries() const {
 }
 
 int64_t MultiStreamExecutor::rows_consumed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ts::MutexLock lock(mu_);
   return pushed_;
 }
 
 StatusOr<int64_t> MultiStreamExecutor::query_epoch(int id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ts::MutexLock lock(mu_);
   if (id < 0 || id >= static_cast<int>(queries_.size())) {
     return Status::InvalidArgument("no query with id " + std::to_string(id));
   }
@@ -254,7 +254,7 @@ StatusOr<int64_t> MultiStreamExecutor::query_epoch(int id) const {
 }
 
 StatusOr<int64_t> MultiStreamExecutor::rows_emitted(int id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ts::MutexLock lock(mu_);
   if (id < 0 || id >= static_cast<int>(queries_.size()) ||
       queries_[id].exec == nullptr) {
     return Status::InvalidArgument("no live query with id " +
@@ -264,7 +264,7 @@ StatusOr<int64_t> MultiStreamExecutor::rows_emitted(int id) const {
 }
 
 int64_t MultiStreamExecutor::num_epoch_caches() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ts::MutexLock lock(mu_);
   int64_t total = 0;
   for (const auto& entry : groups_) total += entry.second->num_caches();
   return total;

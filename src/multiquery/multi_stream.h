@@ -4,12 +4,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/statusor.h"
+#include "common/thread_annotations.h"
 #include "engine/stream_executor.h"
 #include "multiquery/predicate_catalog.h"
 #include "multiquery/shared_cache.h"
@@ -134,7 +134,7 @@ class MultiStreamExecutor {
   /// stats inspection; do not push to it directly.  Only meaningful
   /// while no other thread is mutating the registry.
   const StreamingQueryExecutor* query(int id) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    ts::MutexLock lock(mu_);
     return queries_[id].exec.get();
   }
 
@@ -151,25 +151,28 @@ class MultiStreamExecutor {
   MultiStreamExecutor(Schema schema, const ExecOptions& options)
       : schema_(std::move(schema)), options_(options) {}
 
-  /// All *Locked helpers assume mu_ is held by the caller.
+  /// All *Locked helpers require mu_ held by the caller (enforced).
   StatusOr<int> AddQueryLocked(std::string_view query_text,
                                RowCallback on_row, int64_t epoch,
-                               const ExecGovernance* governance);
-  Status PushLocked(Row row, std::vector<QueryError>* errors);
-  MultiQueryStats StatsLocked() const;
+                               const ExecGovernance* governance)
+      REQUIRES(mu_);
+  Status PushLocked(Row row, std::vector<QueryError>* errors)
+      REQUIRES(mu_);
+  MultiQueryStats StatsLocked() const REQUIRES(mu_);
   /// Drains the shard workers of every live query in scan group `sig`
   /// so the shared catalog/caches can be mutated safely.
-  Status QuiesceGroupLocked(const std::string& sig);
+  Status QuiesceGroupLocked(const std::string& sig) REQUIRES(mu_);
 
   Schema schema_;
   ExecOptions options_;
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<SharedEvalManager>> groups_;
-  std::vector<Registered> queries_;
-  int64_t pushed_ = 0;
+  mutable ts::Mutex mu_;
+  std::map<std::string, std::shared_ptr<SharedEvalManager>> groups_
+      GUARDED_BY(mu_);
+  std::vector<Registered> queries_ GUARDED_BY(mu_);
+  int64_t pushed_ GUARDED_BY(mu_) = 0;
   /// Counter values carried over from a restored checkpoint, so stats()
   /// stays cumulative across a save/restore boundary.
-  MultiQueryStats baseline_;
+  MultiQueryStats baseline_ GUARDED_BY(mu_);
 };
 
 }  // namespace sqlts

@@ -1,0 +1,60 @@
+#ifndef SQLTS_MULTIQUERY_QUERYSET_LINT_H_
+#define SQLTS_MULTIQUERY_QUERYSET_LINT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "pattern/theta_phi.h"
+#include "types/schema.h"
+
+namespace sqlts {
+
+/// One cross-query finding over a query set (see docs/DIAGNOSTICS.md):
+///   W007 — `query` is a duplicate of `other`: same scan group, and the
+///          shared predicate catalog maps the two queries to identical
+///          element predicates, cluster filters, SELECT list and LIMIT,
+///          so their outputs are bit-identical and one of them is
+///          entirely wasted work.
+///   W008 — `query` is subsumed by `other`: every match of `query` is a
+///          match of `other` (element-wise predicate implication through
+///          the catalog's subsumption edges), and the projections agree,
+///          so `query`'s rows are a sub-multiset of `other`'s.
+/// Both are warnings: removal is an application decision, not ours.
+struct QuerySetDiagnostic {
+  std::string code;  ///< "W007" or "W008"
+  int query = 0;     ///< 1-based index of the flagged query in the set
+  int other = 0;     ///< 1-based index of the sibling it duplicates/is
+                     ///< subsumed by
+  std::string message;
+};
+
+struct QuerySetLintResult {
+  std::vector<QuerySetDiagnostic> diagnostics;
+  bool has_warnings() const { return !diagnostics.empty(); }
+};
+
+/// Cross-query lint of a query set: compiles every member, groups by
+/// scan-group signature, registers all pattern conjuncts in one
+/// SharedPredicateCatalog per group, and reports W007/W008 from the
+/// catalog's merge and implication verdicts.  The verdicts reuse exactly
+/// the proofs the shared executor trusts for answer-preserving sharing,
+/// so a flagged pair is as sound as multi-query execution itself (the
+/// fuzzer cross-checks this: see CheckQuerySetLintSoundness).
+/// Fails with the first query's compile error (prefixed "query #N:")
+/// when any member does not compile.
+StatusOr<QuerySetLintResult> LintQuerySet(
+    const Schema& schema, const std::vector<std::string>& queries,
+    OracleOptions oracle = OracleOptions{});
+
+/// Renders the result as one human-readable block ("no cross-query
+/// findings" when empty).
+std::string RenderQuerySetLint(const QuerySetLintResult& result);
+
+/// Machine-readable JSON array:
+///   [{"code":"W007","query":2,"other":1,"message":...}]
+std::string QuerySetLintToJson(const QuerySetLintResult& result);
+
+}  // namespace sqlts
+
+#endif  // SQLTS_MULTIQUERY_QUERYSET_LINT_H_

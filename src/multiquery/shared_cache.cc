@@ -40,7 +40,7 @@ bool SharedClusterCache::Test(int pred_id, const EvalContext& ctx,
                               int64_t abs_pos,
                               MultiQueryCounters* counters) {
   counters->shared_lookups.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
+  ts::MutexLock lock(mu_);
   // The catalog can grow between batches (AddQuery); rings follow.
   if (static_cast<int>(rings_.size()) < catalog_->size()) {
     rings_.resize(catalog_->size());
@@ -132,7 +132,7 @@ SharedEvalManager::SharedEvalManager(const Schema& schema,
 
 SharedClusterCache* SharedEvalManager::CacheFor(
     const std::string& encoded_key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ts::MutexLock lock(mu_);
   std::unique_ptr<SharedClusterCache>& slot = caches_[encoded_key];
   if (slot == nullptr) {
     slot = std::make_unique<SharedClusterCache>(&catalog_, window_);
@@ -142,7 +142,7 @@ SharedClusterCache* SharedEvalManager::CacheFor(
 
 void SharedEvalManager::ReleaseEpoch(int64_t epoch) {
   const std::string prefix = std::to_string(epoch) + '\x1f';
-  std::lock_guard<std::mutex> lock(mu_);
+  ts::MutexLock lock(mu_);
   for (auto it = caches_.begin(); it != caches_.end();) {
     if (it->first.compare(0, prefix.size(), prefix) == 0) {
       it = caches_.erase(it);
@@ -153,7 +153,7 @@ void SharedEvalManager::ReleaseEpoch(int64_t epoch) {
 }
 
 int64_t SharedEvalManager::num_caches() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ts::MutexLock lock(mu_);
   return static_cast<int64_t>(caches_.size());
 }
 

@@ -2,11 +2,11 @@
 #define SQLTS_MULTIQUERY_SHARED_CACHE_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "engine/shared_eval.h"
 #include "expr/eval.h"
 #include "multiquery/predicate_catalog.h"
@@ -71,9 +71,10 @@ class SharedClusterCache {
 
   const SharedPredicateCatalog* catalog_;
   int64_t window_;
-  std::mutex mu_;
-  std::vector<std::vector<Slot>> rings_;  // [pred id][abs_pos % window]
-  KernelScratch scratch_;  // kernel work area; guarded by mu_
+  ts::Mutex mu_;
+  /// [pred id][abs_pos % window]
+  std::vector<std::vector<Slot>> rings_ GUARDED_BY(mu_);
+  KernelScratch scratch_ GUARDED_BY(mu_);  // kernel work area
 };
 
 /// ElementEvaluator for one (query, cluster) pair: splits the element
@@ -133,11 +134,14 @@ class SharedEvalManager {
   const MultiQueryCounters& counters_ref() const { return counters_; }
 
  private:
+  /// Registered on the control thread only; workers read the immutable
+  /// parts through their evaluators (see Register), so not guarded.
   SharedPredicateCatalog catalog_;
   int64_t window_;
-  MultiQueryCounters counters_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::unique_ptr<SharedClusterCache>> caches_;
+  MultiQueryCounters counters_;  // atomics
+  mutable ts::Mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<SharedClusterCache>> caches_
+      GUARDED_BY(mu_);
 };
 
 /// Binds one registered query to its scan group's manager: the factory

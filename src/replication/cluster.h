@@ -17,6 +17,16 @@
 namespace sqlts {
 namespace replication {
 
+// Concurrency contract (docs/STATIC_ANALYSIS.md): this layer is
+// single-threaded by design.  The multi-node cluster runs in one
+// process under a deterministic driver — one thread owns every node,
+// the transport, and the sinks — so these classes deliberately carry
+// no capabilities (no ts::Mutex, no GUARDED_BY): an unannotated class
+// here documents "not safe to share across threads", and the only
+// cross-thread-visible state is ReplicationMetrics, whose counters are
+// atomics folded in by FoldMetrics().  Engines *inside* a node (the
+// sharded streaming executors) keep their own annotated locking.
+
 /// The streaming-engine surface the cluster replicates.  Two adapters
 /// exist: a single StreamingQueryExecutor and a whole MultiStreamExecutor
 /// query set — the failover machinery is identical, only the number of

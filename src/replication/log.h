@@ -13,6 +13,11 @@
 namespace sqlts {
 namespace replication {
 
+// Concurrency contract (docs/STATIC_ANALYSIS.md): everything in this
+// header is single-threaded by design — owned and driven by the
+// deterministic cluster harness (cluster.h), never shared across
+// threads — so no capability annotations appear here on purpose.
+
 /// One sequenced replication record: the primary's engine checkpoint
 /// plus the coverage metadata that makes failover exactly-once —
 /// `covered_offset` is the source position the checkpoint accounts for

@@ -50,7 +50,7 @@ Json ServerMetrics::Snapshot(const MultiQueryStats* live) const {
   int64_t runs;
   Json errors = Json::Obj();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    ts::MutexLock lock(mu_);
     total = workload_;
     runs = coalesced_runs_;
     for (const auto& [code, count] : errors_by_code_) {

@@ -4,9 +4,9 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 
+#include "common/thread_annotations.h"
 #include "multiquery/predicate_catalog.h"
 #include "server/json.h"
 
@@ -80,14 +80,14 @@ struct ServerMetrics {
   /// Counts one typed failure reply by status-code name.
   void NoteError(const std::string& code) {
     queries_failed.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(mu_);
+    ts::MutexLock lock(mu_);
     ++errors_by_code_[code];
   }
 
   /// Folds one finished scan group's workload stats into the totals
   /// (batch coalescer after each Execute; stream hub per generation).
   void AccumulateWorkload(const MultiQueryStats& stats) {
-    std::lock_guard<std::mutex> lock(mu_);
+    ts::MutexLock lock(mu_);
     workload_.shared_lookups += stats.shared_lookups;
     workload_.shared_evals += stats.shared_evals;
     workload_.cache_hits += stats.cache_hits;
@@ -103,10 +103,13 @@ struct ServerMetrics {
   Json Snapshot(const MultiQueryStats* live = nullptr) const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, int64_t> errors_by_code_;
-  MultiQueryStats workload_;  // accumulated finished-run totals
-  int64_t coalesced_runs_ = 0;
+  mutable ts::Mutex mu_;
+  std::map<std::string, int64_t> errors_by_code_ GUARDED_BY(mu_);
+  /// Accumulated finished-run totals.  Non-atomic aggregates: writers
+  /// (coalescer worker, hub teardown) and the Snapshot reader must all
+  /// hold mu_ — GUARDED_BY makes a lock-free gauge read a build error.
+  MultiQueryStats workload_ GUARDED_BY(mu_);
+  int64_t coalesced_runs_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace sqlts

@@ -8,12 +8,16 @@
 
 #include <cerrno>
 #include <cstring>
+#include <system_error>
 
 namespace sqlts {
 namespace {
 
 Status Errno(const std::string& what) {
-  return Status::IoError(what + ": " + std::strerror(errno));
+  // Not strerror(): its process-global buffer races between the accept
+  // thread and session reader/writer threads (concurrency-mt-unsafe).
+  return Status::IoError(what + ": " +
+                         std::generic_category().message(errno));
 }
 
 }  // namespace

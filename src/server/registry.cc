@@ -34,7 +34,7 @@ BatchCoalescer::~BatchCoalescer() { Stop(); }
 
 void BatchCoalescer::Submit(std::shared_ptr<BatchRequest> req) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    ts::MutexLock lock(mu_);
     if (stopping_) {
       // Late submit during shutdown: terminate it right here so the
       // in-flight gauge still drains to zero.
@@ -43,19 +43,19 @@ void BatchCoalescer::Submit(std::shared_ptr<BatchRequest> req) {
     }
     pending_.push_back(std::move(req));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void BatchCoalescer::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    ts::MutexLock lock(mu_);
     if (stopping_) {
       // Already stopped; worker may have been joined by the first call.
     }
     stopping_ = true;
     run_cancel_.RequestCancel();
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (worker_.joinable()) worker_.join();
 }
 
@@ -63,8 +63,8 @@ void BatchCoalescer::WorkerLoop() {
   while (true) {
     std::vector<std::shared_ptr<BatchRequest>> batch;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+      ts::MutexLock lock(mu_);
+      while (!stopping_ && pending_.empty()) cv_.Wait(mu_);
       if (stopping_) {
         // Drain: every queued request still gets its terminal reply.
         while (!pending_.empty()) {
@@ -118,7 +118,7 @@ void BatchCoalescer::Process(std::vector<std::shared_ptr<BatchRequest>> batch) {
     for (const auto& req : shared) texts.push_back(req->text);
     ExecOptions options = base_;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      ts::MutexLock lock(mu_);
       options.governance.cancel = run_cancel_;
     }
     StatusOr<QuerySetResult> run =
@@ -221,7 +221,7 @@ StreamHub::~StreamHub() { Stop(); }
 Status StreamHub::Subscribe(std::shared_ptr<ReplySink> sink, int64_t req_id,
                             const std::string& text, const ExecGovernance& gov,
                             std::function<void()> done) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ts::MutexLock lock(mu_);
   if (stopping_) return Status::Cancelled("server shutting down");
   if (exec_ == nullptr) {
     // New generation.  The previous replay thread (if any) has already
@@ -272,7 +272,7 @@ Status StreamHub::Subscribe(std::shared_ptr<ReplySink> sink, int64_t req_id,
 }
 
 bool StreamHub::Cancel(const ReplySink* sink, int64_t req_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ts::MutexLock lock(mu_);
   for (size_t i = 0; i < subs_.size(); ++i) {
     if (subs_[i].sink.get() == sink && subs_[i].req_id == req_id) {
       DropSubLocked(i, nullptr);
@@ -283,7 +283,7 @@ bool StreamHub::Cancel(const ReplySink* sink, int64_t req_id) {
 }
 
 void StreamHub::DropSession(const ReplySink* sink) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ts::MutexLock lock(mu_);
   for (size_t i = subs_.size(); i-- > 0;) {
     if (subs_[i].sink.get() != sink) continue;
     if (exec_ != nullptr) (void)exec_->RemoveQuery(subs_[i].query_id);
@@ -295,29 +295,35 @@ void StreamHub::DropSession(const ReplySink* sink) {
 }
 
 void StreamHub::Stop() {
+  // The replay handle is guarded (Subscribe writes it when a generation
+  // starts): swap it out under the lock, join outside — the replay
+  // thread re-acquires mu_ every sweep, so joining while holding it
+  // would deadlock, and joining without the lock would race the write.
+  std::thread replay;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    ts::MutexLock lock(mu_);
     stopping_ = true;
+    replay.swap(replay_);
   }
-  if (replay_.joinable()) replay_.join();
-  std::lock_guard<std::mutex> lock(mu_);
+  if (replay.joinable()) replay.join();
+  ts::MutexLock lock(mu_);
   if (exec_ != nullptr || !subs_.empty()) TeardownLocked();
 }
 
 MultiQueryStats StreamHub::live_stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ts::MutexLock lock(mu_);
   return exec_ != nullptr ? exec_->stats() : MultiQueryStats{};
 }
 
 int64_t StreamHub::num_epoch_caches() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ts::MutexLock lock(mu_);
   return exec_ != nullptr ? exec_->num_epoch_caches() : 0;
 }
 
 void StreamHub::ReplayLoop(int64_t generation) {
   while (true) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      ts::MutexLock lock(mu_);
       if (stopping_ || generation_ != generation || exec_ == nullptr) {
         if (generation_ == generation && exec_ != nullptr) TeardownLocked();
         return;
@@ -401,7 +407,7 @@ void StreamHub::TeardownLocked() {
     if (sub.done) sub.done();
   }
   subs_.clear();
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void StreamHub::DropSubLocked(size_t i, const Status* st) {

@@ -2,16 +2,15 @@
 #define SQLTS_SERVER_REGISTRY_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/governance.h"
+#include "common/thread_annotations.h"
 #include "engine/executor.h"
 #include "multiquery/multi_executor.h"
 #include "multiquery/multi_stream.h"
@@ -84,13 +83,15 @@ class BatchCoalescer {
   const ExecOptions base_;
   ServerMetrics* metrics_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::shared_ptr<BatchRequest>> pending_;
+  ts::Mutex mu_;
+  ts::CondVar cv_;
+  std::deque<std::shared_ptr<BatchRequest>> pending_ GUARDED_BY(mu_);
   /// Set-level cancellation for the currently running shared set;
   /// Stop() trips it so shutdown doesn't wait out a long scan.
-  CancelToken run_cancel_;
-  bool stopping_ = false;
+  CancelToken run_cancel_ GUARDED_BY(mu_);
+  bool stopping_ GUARDED_BY(mu_) = false;
+  /// Started in the constructor, joined only by Stop(): the handle
+  /// itself is never written concurrently, so not guarded.
   std::thread worker_;
 };
 
@@ -147,11 +148,10 @@ class StreamHub {
 
   void ReplayLoop(int64_t generation);
   /// Ends the generation: frees the executor (accumulating its workload
-  /// stats), clears subscriptions.  Assumes mu_ held.
-  void TeardownLocked();
+  /// stats), clears subscriptions.
+  void TeardownLocked() REQUIRES(mu_);
   /// Removes subs_[i] with terminal status `st` (OK → CANCELLED).
-  /// Assumes mu_ held.
-  void DropSubLocked(size_t i, const Status* st);
+  void DropSubLocked(size_t i, const Status* st) REQUIRES(mu_);
 
   const std::string dataset_;
   const Table* table_;
@@ -159,14 +159,17 @@ class StreamHub {
   ServerMetrics* metrics_;
   const int delay_us_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::unique_ptr<MultiStreamExecutor> exec_;
-  std::vector<Sub> subs_;
-  int64_t generation_ = 0;
-  int64_t next_row_ = 0;
-  bool stopping_ = false;
-  std::thread replay_;
+  mutable ts::Mutex mu_;
+  ts::CondVar cv_;
+  std::unique_ptr<MultiStreamExecutor> exec_ GUARDED_BY(mu_);
+  std::vector<Sub> subs_ GUARDED_BY(mu_);
+  int64_t generation_ GUARDED_BY(mu_) = 0;
+  int64_t next_row_ GUARDED_BY(mu_) = 0;
+  bool stopping_ GUARDED_BY(mu_) = false;
+  /// Generation replay thread.  Written by Subscribe when a generation
+  /// starts, so the handle itself is guarded; joiners swap it out under
+  /// mu_ and join outside the lock (the thread takes mu_ every sweep).
+  std::thread replay_ GUARDED_BY(mu_);
 };
 
 }  // namespace sqlts

@@ -2,7 +2,6 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <utility>
 
 #include "server/protocol.h"
@@ -77,14 +76,14 @@ class Session : public ReplySink,
     if (payload.size() + 4 > kMaxFrameBytes) return false;
     std::string frame = EncodeFrame(payload);
     {
-      std::lock_guard<std::mutex> lock(out_mu_);
+      ts::MutexLock lock(out_mu_);
       if (out_closed_ || write_failed_) return false;
       if (outbox_.size() >= server_->options_.outbound_queue_frames) {
         return false;  // slow consumer; callers drop the subscriber
       }
       outbox_.push_back(std::move(frame));
     }
-    out_cv_.notify_one();
+    out_cv_.NotifyOne();
     return true;
   }
 
@@ -97,7 +96,7 @@ class Session : public ReplySink,
     Json s = Json::Obj();
     s.Set("session", Json::Int(static_cast<int64_t>(id_)));
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      ts::MutexLock lock(mu_);
       s.Set("client", Json::Str(client_name_));
     }
     s.Set("queries_started",
@@ -117,15 +116,14 @@ class Session : public ReplySink,
     while (true) {
       std::string frame;
       {
-        std::unique_lock<std::mutex> lock(out_mu_);
-        out_cv_.wait(lock,
-                     [this] { return out_closed_ || !outbox_.empty(); });
+        ts::MutexLock lock(out_mu_);
+        while (!out_closed_ && outbox_.empty()) out_cv_.Wait(out_mu_);
         if (outbox_.empty()) return;  // closed and fully drained
         frame = std::move(outbox_.front());
         outbox_.pop_front();
       }
       if (!sock_.WriteAll(frame).ok()) {
-        std::lock_guard<std::mutex> lock(out_mu_);
+        ts::MutexLock lock(out_mu_);
         write_failed_ = true;
         outbox_.clear();
         // Wake the reader too: a connection that can't carry replies
@@ -158,7 +156,7 @@ class Session : public ReplySink,
 
   bool OnHello(const Json& msg) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      ts::MutexLock lock(mu_);
       client_name_ = msg.GetString("client", "");
       default_deadline_ms_ = msg.GetInt("deadline_ms", 0);
       default_tuples_ =
@@ -178,7 +176,7 @@ class Session : public ReplySink,
     ExecGovernance gov;
     int64_t deadline_ms;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      ts::MutexLock lock(mu_);
       gov.max_buffered_tuples =
           msg.GetInt("max_buffered_tuples", default_tuples_);
       gov.max_buffered_bytes = msg.GetInt("max_buffered_bytes", default_bytes_);
@@ -210,7 +208,7 @@ class Session : public ReplySink,
     }
     const std::string text = msg.GetString("query", "");
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      ts::MutexLock lock(mu_);
       if (pending_.count(id) > 0) {
         Send(MakeErrorMessage(
             id, Status::AlreadyExists("request id " + std::to_string(id) +
@@ -249,7 +247,7 @@ class Session : public ReplySink,
       req->gov = gov;
       req->done = done;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        ts::MutexLock lock(mu_);
         Pending p;
         p.kind = Pending::kBatch;
         p.batch = req;
@@ -259,7 +257,7 @@ class Session : public ReplySink,
       return true;
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      ts::MutexLock lock(mu_);
       Pending p;
       p.kind = Pending::kStream;
       p.hub = ds->hub.get();
@@ -280,7 +278,7 @@ class Session : public ReplySink,
     Pending target;
     bool found = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      ts::MutexLock lock(mu_);
       auto it = pending_.find(id);
       if (it != pending_.end()) {
         target = it->second;
@@ -317,7 +315,7 @@ class Session : public ReplySink,
   }
 
   void ErasePending(int64_t id) {
-    std::lock_guard<std::mutex> lock(mu_);
+    ts::MutexLock lock(mu_);
     pending_.erase(id);
   }
 
@@ -330,7 +328,7 @@ class Session : public ReplySink,
   void Cleanup() {
     std::vector<std::shared_ptr<BatchRequest>> batches;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      ts::MutexLock lock(mu_);
       for (auto& [id, p] : pending_) {
         if (p.kind == Pending::kBatch && p.batch != nullptr) {
           batches.push_back(p.batch);
@@ -340,10 +338,10 @@ class Session : public ReplySink,
     for (auto& req : batches) req->gov.cancel.RequestCancel();
     server_->ForEachHub([this](StreamHub* hub) { hub->DropSession(this); });
     {
-      std::lock_guard<std::mutex> lock(out_mu_);
+      ts::MutexLock lock(out_mu_);
       out_closed_ = true;
     }
-    out_cv_.notify_all();
+    out_cv_.NotifyAll();
     writer_.join();
     sock_.ShutdownBoth();
     server_->OnSessionEnd(id_);
@@ -355,20 +353,22 @@ class Session : public ReplySink,
 
   // Outbound queue (reader/hub/coalescer threads enqueue, writer
   // drains).
-  std::mutex out_mu_;
-  std::condition_variable out_cv_;
-  std::deque<std::string> outbox_;
-  bool out_closed_ = false;
-  bool write_failed_ = false;
+  ts::Mutex out_mu_;
+  ts::CondVar out_cv_;
+  std::deque<std::string> outbox_ GUARDED_BY(out_mu_);
+  bool out_closed_ GUARDED_BY(out_mu_) = false;
+  bool write_failed_ GUARDED_BY(out_mu_) = false;
+  /// Written at the top of Run() and joined in Cleanup(), both on the
+  /// reader thread — never touched concurrently, so not guarded.
   std::thread writer_;
 
   // Request state.
-  std::mutex mu_;
-  std::map<int64_t, Pending> pending_;
-  std::string client_name_;
-  int64_t default_deadline_ms_ = 0;
-  int64_t default_tuples_ = 0;
-  int64_t default_bytes_ = 0;
+  ts::Mutex mu_;
+  std::map<int64_t, Pending> pending_ GUARDED_BY(mu_);
+  std::string client_name_ GUARDED_BY(mu_);
+  int64_t default_deadline_ms_ GUARDED_BY(mu_) = 0;
+  int64_t default_tuples_ GUARDED_BY(mu_) = 0;
+  int64_t default_bytes_ GUARDED_BY(mu_) = 0;
   std::atomic<int64_t> queries_started_{0};
   std::atomic<int64_t> rows_sent_{0};
 };
@@ -382,7 +382,7 @@ Server::Server(Options options) : options_(std::move(options)) {}
 Server::~Server() { Stop(); }
 
 Status Server::AddDataset(std::string name, Table table) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ts::MutexLock lock(mu_);
   if (running_ || stopped_) {
     return Status::InvalidArgument(
         "datasets must be registered before Start()");
@@ -403,7 +403,7 @@ Status Server::AddDataset(std::string name, Table table) {
 }
 
 Status Server::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
+  ts::MutexLock lock(mu_);
   if (running_ || stopped_) {
     return Status::InvalidArgument("server already started");
   }
@@ -415,7 +415,7 @@ Status Server::Start() {
 
 void Server::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    ts::MutexLock lock(mu_);
     if (stopped_ && !running_) return;
     running_ = false;
     stopped_ = true;
@@ -429,9 +429,17 @@ void Server::Stop() {
     }
   }
   listener_.Close();
-  if (accept_thread_.joinable()) accept_thread_.join();
+  // The acceptor handle is guarded (Start writes it under mu_): swap
+  // it out under the lock, join outside — AcceptLoop takes mu_ per
+  // connection, so joining with it held would deadlock.
+  std::thread acceptor;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    ts::MutexLock lock(mu_);
+    acceptor.swap(accept_thread_);
+  }
+  if (acceptor.joinable()) acceptor.join();
+  {
+    ts::MutexLock lock(mu_);
     for (auto& [id, slot] : sessions_) {
       if (slot.session != nullptr) slot.session->Shutdown();
     }
@@ -439,14 +447,14 @@ void Server::Stop() {
   // Join readers without holding mu_ — their last act takes it.
   std::vector<std::thread> readers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    ts::MutexLock lock(mu_);
     for (auto& [id, slot] : sessions_) {
       if (slot.reader.joinable()) readers.push_back(std::move(slot.reader));
     }
   }
   for (std::thread& t : readers) t.join();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    ts::MutexLock lock(mu_);
     sessions_.clear();
     finished_.clear();
   }
@@ -470,7 +478,7 @@ Json Server::MetricsSnapshot() {
   Json body = metrics_.Snapshot(&live);
   Json per_session = Json::Arr();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    ts::MutexLock lock(mu_);
     for (auto& [id, slot] : sessions_) {
       if (slot.session != nullptr) {
         per_session.mutable_array()->push_back(
@@ -496,7 +504,7 @@ void Server::AcceptLoop() {
     if (!accepted.ok()) return;  // listener closed: shutdown
     TcpSocket sock = std::move(*accepted);
     (void)sock.SetSendTimeout(options_.send_timeout_ms);
-    std::lock_guard<std::mutex> lock(mu_);
+    ts::MutexLock lock(mu_);
     ReapLocked();
     if (!running_) continue;  // racing with Stop; drop the connection
     if (metrics_.sessions_active.load(std::memory_order_relaxed) <
@@ -542,7 +550,7 @@ void Server::ReapLocked() {
 }
 
 void Server::OnSessionEnd(uint64_t session_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ts::MutexLock lock(mu_);
   metrics_.sessions_active.fetch_sub(1, std::memory_order_relaxed);
   finished_.push_back(session_id);
   if (running_ && !waiting_.empty() &&

@@ -5,12 +5,12 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/governance.h"
+#include "common/thread_annotations.h"
 #include "common/statusor.h"
 #include "server/metrics.h"
 #include "server/net.h"
@@ -105,12 +105,12 @@ class Server {
   };
 
   void AcceptLoop();
-  /// Spawns a session for `sock`; assumes mu_ held.
-  void StartSessionLocked(TcpSocket sock);
-  /// Joins reader threads of sessions that announced completion;
-  /// assumes mu_ held.  Safe because a session id enters finished_
-  /// only after its thread's last mu_-taking action.
-  void ReapLocked();
+  /// Spawns a session for `sock`.
+  void StartSessionLocked(TcpSocket sock) REQUIRES(mu_);
+  /// Joins reader threads of sessions that announced completion.  Safe
+  /// because a session id enters finished_ only after its thread's
+  /// last mu_-taking action.
+  void ReapLocked() REQUIRES(mu_);
   /// Called by a session's reader as its very last act: frees the
   /// session's slot for the next FIFO waiter.
   void OnSessionEnd(uint64_t session_id);
@@ -125,18 +125,22 @@ class Server {
   const Options options_;
   ServerMetrics metrics_;
   TcpListener listener_;
-  std::thread accept_thread_;
 
-  std::mutex mu_;
-  bool running_ = false;
-  bool stopped_ = false;
-  uint64_t next_session_id_ = 1;
-  /// Immutable once running_ (sessions read it unlocked).
+  ts::Mutex mu_;
+  /// Acceptor handle, written by Start() under mu_; Stop() swaps it
+  /// out under the lock and joins outside (the acceptor takes mu_ per
+  /// connection, so joining while holding it would deadlock).
+  std::thread accept_thread_ GUARDED_BY(mu_);
+  bool running_ GUARDED_BY(mu_) = false;
+  bool stopped_ GUARDED_BY(mu_) = false;
+  uint64_t next_session_id_ GUARDED_BY(mu_) = 1;
+  /// Immutable once running_ (sessions read it unlocked), so not
+  /// guarded; mutations happen only before Start() succeeds.
   std::map<std::string, std::unique_ptr<Dataset>> datasets_;
-  std::map<uint64_t, Slot> sessions_;
-  std::vector<uint64_t> finished_;
+  std::map<uint64_t, Slot> sessions_ GUARDED_BY(mu_);
+  std::vector<uint64_t> finished_ GUARDED_BY(mu_);
   /// FIFO admission queue of accepted-but-waiting connections.
-  std::deque<TcpSocket> waiting_;
+  std::deque<TcpSocket> waiting_ GUARDED_BY(mu_);
 };
 
 }  // namespace sqlts

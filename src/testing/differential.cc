@@ -10,6 +10,7 @@
 #include "engine/vectorized_eval.h"
 #include "multiquery/multi_executor.h"
 #include "multiquery/multi_stream.h"
+#include "multiquery/queryset_lint.h"
 #include "storage/csv.h"
 
 namespace sqlts {
@@ -958,6 +959,87 @@ DifferentialOutcome CheckLintSoundness(const Table& data,
                   seed, query.sql, data);
     }
     if (stats != nullptr) ++stats->drops_tested;
+  }
+  return DifferentialOutcome{};
+}
+
+DifferentialOutcome CheckQuerySetLintSoundness(
+    const Table& data, const std::vector<GeneratedQuery>& queries,
+    uint64_t seed, QuerySetLintFuzzStats* stats) {
+  // Oracle: each query alone.  Members the engine rejects are dropped
+  // up front, mirroring CheckMultiQueryEquivalence — a W007/W008
+  // verdict is a claim about executable queries.
+  std::vector<std::string> sqls;
+  std::vector<std::vector<std::string>> solo_rows;
+  for (const GeneratedQuery& q : queries) {
+    auto solo = QueryExecutor::Execute(data, q.sql);
+    if (!solo.ok()) continue;
+    sqls.push_back(q.sql);
+    solo_rows.push_back(RowStrings(solo->output));
+  }
+  if (sqls.size() < 2) {
+    DifferentialOutcome out;
+    out.both_errored = true;  // nothing to cross-lint; counted, not checked
+    return out;
+  }
+  std::string joined;
+  for (const std::string& s : sqls) {
+    joined += s;
+    joined += ";\n";
+  }
+
+  auto lint = LintQuerySet(data.schema(), sqls);
+  if (!lint.ok()) {
+    return Fail("queryset lint rejected a set of individually accepted "
+                    "queries: " +
+                    lint.status().ToString(),
+                seed, joined, data);
+  }
+  if (stats != nullptr) ++stats->sets;
+
+  for (const QuerySetDiagnostic& d : lint->diagnostics) {
+    if (d.query < 1 || d.query > static_cast<int>(sqls.size()) ||
+        d.other < 1 || d.other > static_cast<int>(sqls.size())) {
+      return Fail("queryset lint emitted out-of-range indexes: " + d.code +
+                      " query=" + std::to_string(d.query) +
+                      " other=" + std::to_string(d.other),
+                  seed, joined, data);
+    }
+    const std::vector<std::string>& flagged = solo_rows[d.query - 1];
+    const std::vector<std::string>& sibling = solo_rows[d.other - 1];
+    if (d.code == "W007") {
+      // Duplicate claim: bit-identical rows, in order.
+      if (flagged != sibling) {
+        return Fail("W007 soundness counterexample: query #" +
+                        std::to_string(d.query) + " and query #" +
+                        std::to_string(d.other) +
+                        " were called duplicates but differ: " +
+                        DiffRows("flagged", flagged, "sibling", sibling),
+                    seed, joined, data);
+      }
+      if (stats != nullptr) ++stats->w007_pairs;
+    } else if (d.code == "W008") {
+      // Subsumption claim: the flagged query's rows are a sub-multiset
+      // of the sibling's.
+      std::vector<std::string> a = flagged;
+      std::vector<std::string> b = sibling;
+      std::sort(a.begin(), a.end());
+      std::sort(b.begin(), b.end());
+      if (!std::includes(b.begin(), b.end(), a.begin(), a.end())) {
+        return Fail("W008 soundness counterexample: query #" +
+                        std::to_string(d.query) +
+                        " was called subsumed by query #" +
+                        std::to_string(d.other) +
+                        " but emits rows the sibling lacks: " +
+                        DiffRows("flagged (sorted)", a, "sibling (sorted)",
+                                 b),
+                    seed, joined, data);
+      }
+      if (stats != nullptr) ++stats->w008_pairs;
+    } else {
+      return Fail("queryset lint emitted unknown code " + d.code, seed,
+                  joined, data);
+    }
   }
   return DifferentialOutcome{};
 }

@@ -145,6 +145,26 @@ DifferentialOutcome CheckMultiQueryEquivalence(
     const Table& data, const std::vector<GeneratedQuery>& queries,
     uint64_t seed, MultiQueryFuzzStats* stats = nullptr);
 
+/// What the query-set lint soundness check observed across calls
+/// (aggregated by the caller so the fuzz test can assert W007/W008
+/// actually fire on generated workloads, not just that they never lie).
+struct QuerySetLintFuzzStats {
+  int64_t sets = 0;        ///< sets linted
+  int64_t w007_pairs = 0;  ///< duplicate verdicts verified bit-identical
+  int64_t w008_pairs = 0;  ///< subsumption verdicts verified as subsets
+};
+
+/// Closes the loop between the cross-query lint
+/// (multiquery/queryset_lint.h) and the execution oracle: every W007
+/// pair must produce bit-identical rows when each member runs alone,
+/// and every W008 pair's flagged query must produce a sub-multiset of
+/// its subsumer's rows.  Any violation fails with a self-contained
+/// repro.  Members the single-query engine rejects are dropped up
+/// front, mirroring CheckMultiQueryEquivalence.
+DifferentialOutcome CheckQuerySetLintSoundness(
+    const Table& data, const std::vector<GeneratedQuery>& queries,
+    uint64_t seed, QuerySetLintFuzzStats* stats = nullptr);
+
 /// Metamorphic: kill-and-restore equivalence.  Splits the stream at a
 /// random point k, checkpoints the executor there, destroys it, restores
 /// a fresh executor from the bytes and feeds it the remaining tuples.

@@ -29,7 +29,7 @@ double FaultInjector::NextUniform() {
 }
 
 Status FaultInjector::OnSite(std::string_view site) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ts::MutexLock lock(mu_);
   double prob = 0.0;
   Status fault = Status::OK();
   if (site == "stream.push") {
@@ -61,12 +61,12 @@ Status FaultInjector::OnSite(std::string_view site) {
 }
 
 int64_t FaultInjector::injected() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ts::MutexLock lock(mu_);
   return injected_;
 }
 
 int64_t FaultInjector::injected_at(std::string_view site) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ts::MutexLock lock(mu_);
   auto it = per_site_.find(std::string(site));
   return it == per_site_.end() ? 0 : it->second;
 }

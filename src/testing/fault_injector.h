@@ -3,12 +3,12 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/governance.h"
+#include "common/thread_annotations.h"
 #include "replication/cluster.h"
 
 namespace sqlts {
@@ -58,14 +58,14 @@ class FaultInjector {
 
  private:
   Status OnSite(std::string_view site);
-  /// Next uniform draw in [0, 1).
-  double NextUniform();
+  /// Next uniform draw in [0, 1); advances the guarded PRNG state.
+  double NextUniform() REQUIRES(mu_);
 
   Options options_;
-  mutable std::mutex mu_;
-  uint64_t state_;  // splitmix64 state
-  int64_t injected_ = 0;
-  std::map<std::string, int64_t> per_site_;
+  mutable ts::Mutex mu_;
+  uint64_t state_ GUARDED_BY(mu_);  // splitmix64 state
+  int64_t injected_ GUARDED_BY(mu_) = 0;
+  std::map<std::string, int64_t> per_site_ GUARDED_BY(mu_);
 };
 
 /// One primary failure within a failover schedule: kill the primary

@@ -158,6 +158,41 @@ TEST(Differential, MultiQuerySharingMatchesIndependentRuns) {
   RecordProperty("elapsed_ms", std::to_string(watch.elapsed_ms()));
 }
 
+TEST(Differential, QuerySetLintNeverLies) {
+  const int64_t sets = EnvInt("SQLTS_FUZZ_QUERYSET_LINT_SETS", 40);
+  const int64_t per_set = EnvInt("SQLTS_FUZZ_MULTIQUERY_K", 4);
+  const int64_t budget_ms = EnvInt("SQLTS_FUZZ_BUDGET_MS", 0);
+  Stopwatch watch;
+
+  QueryGenerator qgen(kBaseSeed ^ 0x1717);
+  QuerySetLintFuzzStats stats;
+  for (int64_t i = 0; i < sets; ++i) {
+    if (budget_ms > 0 && watch.elapsed_ms() > budget_ms) break;
+    const uint64_t seed = kBaseSeed + 700000 + static_cast<uint64_t>(i);
+    Table data = RandomFuzzTable(seed);
+    std::vector<GeneratedQuery> queries;
+    for (int64_t q = 0; q < per_set; ++q) queries.push_back(qgen.Next());
+    // Forced duplicate: W007 must fire across the campaign, so the
+    // "never lies" half is non-vacuous.
+    queries.push_back(queries.front());
+    DifferentialOutcome out =
+        CheckQuerySetLintSoundness(data, queries, seed, &stats);
+    ASSERT_TRUE(out.ok) << out.failure;
+  }
+
+  if (budget_ms <= 0) {
+    EXPECT_GT(stats.sets, 0);
+    // The duplicated member guarantees W007 verdicts to verify; W008
+    // depends on generator luck (implication pairs), so it is recorded
+    // but not required.
+    EXPECT_GT(stats.w007_pairs, 0);
+  }
+  RecordProperty("queryset_lint_sets", std::to_string(stats.sets));
+  RecordProperty("queryset_lint_w007", std::to_string(stats.w007_pairs));
+  RecordProperty("queryset_lint_w008", std::to_string(stats.w008_pairs));
+  RecordProperty("elapsed_ms", std::to_string(watch.elapsed_ms()));
+}
+
 // ---------------------------------------------------------------------------
 // Metamorphic properties.
 // ---------------------------------------------------------------------------

@@ -19,6 +19,7 @@
 #include "multiquery/multi_executor.h"
 #include "multiquery/multi_stream.h"
 #include "multiquery/predicate_catalog.h"
+#include "multiquery/queryset_lint.h"
 #include "multiquery/shared_cache.h"
 #include "workload/generators.h"
 
@@ -653,6 +654,150 @@ TEST(MultiQueryStreamConcurrency, EpochCachesReleasedExactlyOnRemove) {
   // Last member out: the registry empties completely.
   ASSERT_TRUE((*multi)->RemoveQuery(*resident).ok());
   EXPECT_EQ((*multi)->num_epoch_caches(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-query lint (W007 duplicate / W008 subsumed).
+// ---------------------------------------------------------------------------
+
+TEST(QuerySetLint, DuplicateMemberGetsW007) {
+  // #3 is a verbatim copy of #1; #2 differs only in its SELECT list.
+  std::vector<std::string> queries = {
+      "SELECT X.name, Y.date FROM quote CLUSTER BY name SEQUENCE BY date "
+      "AS (X, Y) WHERE Y.price < 0.97 * X.price",
+      "SELECT X.name, Y.price FROM quote CLUSTER BY name SEQUENCE BY date "
+      "AS (X, Y) WHERE Y.price < 0.97 * X.price",
+      "SELECT X.name, Y.date FROM quote CLUSTER BY name SEQUENCE BY date "
+      "AS (X, Y) WHERE Y.price < 0.97 * X.price",
+  };
+  auto lint = LintQuerySet(QuoteSchema(), queries);
+  ASSERT_TRUE(lint.ok()) << lint.status();
+  ASSERT_EQ(lint->diagnostics.size(), 1u);
+  EXPECT_EQ(lint->diagnostics[0].code, "W007");
+  EXPECT_EQ(lint->diagnostics[0].query, 3);
+  EXPECT_EQ(lint->diagnostics[0].other, 1);
+}
+
+TEST(QuerySetLint, SemanticallyEqualPredicateStillW007) {
+  // Syntactically different trees the oracle proves equivalent merge to
+  // one shared id, so the duplicate check sees identical elements.
+  std::vector<std::string> queries = {
+      "SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date "
+      "AS (X, Y) WHERE Y.price > X.price",
+      "SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date "
+      "AS (X, Y) WHERE X.price < Y.price",
+  };
+  auto lint = LintQuerySet(QuoteSchema(), queries);
+  ASSERT_TRUE(lint.ok()) << lint.status();
+  ASSERT_EQ(lint->diagnostics.size(), 1u);
+  EXPECT_EQ(lint->diagnostics[0].code, "W007");
+  EXPECT_EQ(lint->diagnostics[0].query, 2);
+}
+
+TEST(QuerySetLint, DifferingLimitBlocksW007) {
+  std::vector<std::string> queries = {
+      "SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date "
+      "AS (X, Y) WHERE Y.price < 0.97 * X.price",
+      "SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date "
+      "AS (X, Y) WHERE Y.price < 0.97 * X.price LIMIT 2",
+  };
+  auto lint = LintQuerySet(QuoteSchema(), queries);
+  ASSERT_TRUE(lint.ok()) << lint.status();
+  // Not duplicates (LIMIT truncates), and the LIMIT also disqualifies
+  // the pair from W008.
+  EXPECT_TRUE(lint->diagnostics.empty());
+}
+
+TEST(QuerySetLint, TighterDropSubsumedByLooserGetsW008) {
+  // price is declared POSITIVE, so the ratio oracle proves the
+  // 0.95-drop implies the 0.97-drop; every match of #1 is a match of
+  // #2 and the SELECT lists agree.
+  std::vector<std::string> queries = {
+      "SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date "
+      "AS (X, Y) WHERE Y.price < 0.95 * X.price",
+      "SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date "
+      "AS (X, Y) WHERE Y.price < 0.97 * X.price",
+  };
+  auto lint = LintQuerySet(QuoteSchema(), queries);
+  ASSERT_TRUE(lint.ok()) << lint.status();
+  ASSERT_EQ(lint->diagnostics.size(), 1u);
+  EXPECT_EQ(lint->diagnostics[0].code, "W008");
+  EXPECT_EQ(lint->diagnostics[0].query, 1);
+  EXPECT_EQ(lint->diagnostics[0].other, 2);
+}
+
+TEST(QuerySetLint, ExtraConjunctOnTheStrongSideStillW008) {
+  // #1 adds a conjunct on top of #2's predicate: still strictly
+  // stronger element-wise, so #1 remains the subsumed member.
+  std::vector<std::string> queries = {
+      "SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date "
+      "AS (X, Y) WHERE Y.price < 0.97 * X.price AND Y.price > 10",
+      "SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date "
+      "AS (X, Y) WHERE Y.price < 0.97 * X.price",
+  };
+  auto lint = LintQuerySet(QuoteSchema(), queries);
+  ASSERT_TRUE(lint.ok()) << lint.status();
+  ASSERT_EQ(lint->diagnostics.size(), 1u);
+  EXPECT_EQ(lint->diagnostics[0].code, "W008");
+  EXPECT_EQ(lint->diagnostics[0].query, 1);
+  EXPECT_EQ(lint->diagnostics[0].other, 2);
+}
+
+TEST(QuerySetLint, DifferentScanGroupsNeverPair) {
+  // Same predicates but one member clusters by nothing: different scan
+  // groups, so neither warning may fire.
+  std::vector<std::string> queries = {
+      "SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date "
+      "AS (X, Y) WHERE Y.price < 0.97 * X.price",
+      "SELECT X.name FROM quote SEQUENCE BY date "
+      "AS (X, Y) WHERE Y.price < 0.97 * X.price",
+  };
+  auto lint = LintQuerySet(QuoteSchema(), queries);
+  ASSERT_TRUE(lint.ok()) << lint.status();
+  EXPECT_TRUE(lint->diagnostics.empty());
+}
+
+TEST(QuerySetLint, StarPatternsExemptFromW008) {
+  std::vector<std::string> queries = {
+      "SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date "
+      "AS (X, *Y, Z) WHERE Y.price < 0.95 * X.price AND Z.price > X.price",
+      "SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date "
+      "AS (X, *Y, Z) WHERE Y.price < 0.97 * X.price AND Z.price > X.price",
+  };
+  auto lint = LintQuerySet(QuoteSchema(), queries);
+  ASSERT_TRUE(lint.ok()) << lint.status();
+  // Star matching is greedy: a weaker star predicate can shift match
+  // boundaries, so subsumption must not be claimed.
+  EXPECT_TRUE(lint->diagnostics.empty());
+}
+
+TEST(QuerySetLint, BadMemberFailsWithQueryIndex) {
+  auto lint = LintQuerySet(
+      QuoteSchema(),
+      {"SELECT X.name FROM quote SEQUENCE BY date AS (X, Y) "
+       "WHERE Y.price < 0.97 * X.price",
+       "SELECT nonsense FROM"});
+  ASSERT_FALSE(lint.ok());
+  EXPECT_NE(lint.status().ToString().find("query #2"), std::string::npos)
+      << lint.status();
+}
+
+TEST(QuerySetLint, RendersTextAndJson) {
+  std::vector<std::string> queries = {
+      "SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date "
+      "AS (X, Y) WHERE Y.price < 0.97 * X.price",
+      "SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date "
+      "AS (X, Y) WHERE Y.price < 0.97 * X.price",
+  };
+  auto lint = LintQuerySet(QuoteSchema(), queries);
+  ASSERT_TRUE(lint.ok()) << lint.status();
+  std::string text = RenderQuerySetLint(*lint);
+  EXPECT_NE(text.find("warning[W007]"), std::string::npos) << text;
+  std::string json = QuerySetLintToJson(*lint);
+  EXPECT_NE(json.find("\"code\": \"W007\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"query\": 2"), std::string::npos) << json;
+  EXPECT_EQ(RenderQuerySetLint(QuerySetLintResult{}),
+            "no cross-query findings\n");
 }
 
 }  // namespace

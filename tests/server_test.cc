@@ -6,6 +6,7 @@
 /// back to zero when the clients are gone — that is what makes leaked
 /// sessions and queries observable.
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstring>
@@ -717,6 +718,54 @@ TEST(ServerMetricsTest, SnapshotConsistentAndDrainsToZero) {
   EXPECT_EQ(server->metrics().queries_in_flight.load(), 0);
   EXPECT_EQ(server->metrics().sessions_peak.load(), 2);
   EXPECT_EQ(server->num_epoch_caches(), 0);
+}
+
+/// Regression pin for the metrics locking contract (machine-checked by
+/// GUARDED_BY under -Wthread-safety, exercised here under TSan via the
+/// `server` CI job): the non-atomic workload/error aggregates are only
+/// ever touched under the metrics mutex, so hammering NoteError /
+/// AccumulateWorkload from many threads while another thread snapshots
+/// must be race-free and lose no updates.
+TEST(ServerMetricsTest, SnapshotRacesWritersWithoutTearing) {
+  ServerMetrics metrics;
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 500;
+  std::atomic<bool> stop{false};
+  std::thread snapshotter([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      Json snap = metrics.Snapshot();
+      const Json* workload = snap.Find("workload");
+      ASSERT_NE(workload, nullptr);
+      // Every AccumulateWorkload call adds one run and one scanned
+      // tuple together under the lock, so a torn snapshot would let
+      // the two drift apart.
+      EXPECT_EQ(workload->GetInt("coalesced_runs", -1),
+                workload->GetInt("tuples_scanned", -1));
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&metrics] {
+      MultiQueryStats one;
+      one.tuples_scanned = 1;
+      for (int i = 0; i < kPerWriter; ++i) {
+        metrics.AccumulateWorkload(one);
+        metrics.NoteError("kInternal");
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  snapshotter.join();
+  Json snap = metrics.Snapshot();
+  EXPECT_EQ(snap.Find("workload")->GetInt("coalesced_runs", -1),
+            kWriters * kPerWriter);
+  EXPECT_EQ(snap.Find("workload")->GetInt("tuples_scanned", -1),
+            kWriters * kPerWriter);
+  EXPECT_EQ(snap.Find("errors_by_code")->GetInt("kInternal", -1),
+            kWriters * kPerWriter);
+  EXPECT_EQ(snap.Find("queries")->GetInt("failed", -1),
+            kWriters * kPerWriter);
 }
 
 TEST(ServerMetricsTest, AbruptDisconnectStillDrains) {

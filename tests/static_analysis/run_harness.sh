@@ -1,0 +1,31 @@
+#!/bin/sh
+# Driver for the thread-safety negative-compile harness (registered as
+# ctest test `static_analysis_test`).  Configures the sibling CMake
+# project with a Clang compiler, which runs the whole try_compile
+# assertion loop at configure time.  Exits 77 — ctest's SKIP_RETURN_CODE
+# — when no clang++ is on PATH (e.g. a GCC-only dev container); the CI
+# lint job always installs one, so the gate cannot silently rot there.
+set -u
+
+src_dir=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
+
+clang=${SQLTS_CLANGXX:-}
+if [ -z "$clang" ]; then
+  for candidate in clang++ clang++-21 clang++-20 clang++-19 clang++-18 \
+                   clang++-17 clang++-16 clang++-15 clang++-14; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      clang=$candidate
+      break
+    fi
+  done
+fi
+if [ -z "$clang" ]; then
+  echo "SKIP: no clang++ on PATH; thread-safety analysis needs Clang" \
+       "(set SQLTS_CLANGXX to override)"
+  exit 77
+fi
+
+bin_dir=${TMPDIR:-/tmp}/sqlts_static_analysis.$$
+trap 'rm -rf "$bin_dir"' EXIT INT TERM
+
+cmake -S "$src_dir" -B "$bin_dir" -DCMAKE_CXX_COMPILER="$clang"

@@ -1,0 +1,23 @@
+// expect: reading variable 'value_' requires holding mutex 'mu_'
+// Seeded violation (GUARDED_BY): a lock-free read of a guarded member
+// must fail the build.
+#include "common/thread_annotations.h"
+
+class Counter {
+ public:
+  void Add(long n) {
+    sqlts::ts::MutexLock lock(mu_);
+    value_ += n;
+  }
+  long Get() const { return value_; }  // BAD: no lock held
+
+ private:
+  mutable sqlts::ts::Mutex mu_;
+  long value_ GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Counter c;
+  c.Add(1);
+  return static_cast<int>(c.Get());
+}

@@ -1,0 +1,19 @@
+// expect: writing variable 'value_' requires holding mutex 'mu_' exclusively
+// Seeded violation (GUARDED_BY): a lock-free write of a guarded member
+// must fail the build.
+#include "common/thread_annotations.h"
+
+class Counter {
+ public:
+  void Reset() { value_ = 0; }  // BAD: no lock held
+
+ private:
+  sqlts::ts::Mutex mu_;
+  long value_ GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Counter c;
+  c.Reset();
+  return 0;
+}

@@ -1,0 +1,22 @@
+// expect: calling function 'FlushLocked' requires holding mutex 'mu_' exclusively
+// Seeded violation (REQUIRES): calling a *Locked helper without the
+// lock must fail the build — the repo's "caller must hold mu_"
+// comments, enforced.
+#include "common/thread_annotations.h"
+
+class Buffer {
+ public:
+  void Flush() { FlushLocked(); }  // BAD: mu_ not held
+
+ private:
+  void FlushLocked() REQUIRES(mu_) { pending_ = 0; }
+
+  sqlts::ts::Mutex mu_;
+  int pending_ GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Buffer b;
+  b.Flush();
+  return 0;
+}

@@ -1,0 +1,23 @@
+// expect: acquiring mutex 'mu_' that is already
+// Seeded violation (ACQUIRE via SCOPED_CAPABILITY): re-acquiring a held
+// mutex (self-deadlock) must fail the build.
+#include "common/thread_annotations.h"
+
+class Widget {
+ public:
+  void Poke() {
+    sqlts::ts::MutexLock outer(mu_);
+    sqlts::ts::MutexLock inner(mu_);  // BAD: double acquire
+    ++state_;
+  }
+
+ private:
+  sqlts::ts::Mutex mu_;
+  int state_ GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Widget w;
+  w.Poke();
+  return 0;
+}

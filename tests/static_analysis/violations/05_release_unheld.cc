@@ -1,0 +1,20 @@
+// expect: releasing mutex 'mu_' that was not held
+// Seeded violation (RELEASE): unlocking a mutex the caller does not
+// hold must fail the build.
+#include "common/thread_annotations.h"
+
+class Widget {
+ public:
+  void Oops() {
+    mu_.unlock();  // BAD: never locked
+  }
+
+ private:
+  sqlts::ts::Mutex mu_;
+};
+
+int main() {
+  Widget w;
+  w.Oops();
+  return 0;
+}

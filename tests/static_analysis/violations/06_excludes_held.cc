@@ -1,0 +1,26 @@
+// expect: cannot call function 'Reload' while mutex 'mu_' is held
+// Seeded violation (EXCLUDES): calling a self-locking function with
+// its mutex already held (deadlock) must fail the build.
+#include "common/thread_annotations.h"
+
+class Config {
+ public:
+  void Reload() EXCLUDES(mu_) {
+    sqlts::ts::MutexLock lock(mu_);
+    ++version_;
+  }
+  void Tick() {
+    sqlts::ts::MutexLock lock(mu_);
+    Reload();  // BAD: Reload acquires mu_ itself
+  }
+
+ private:
+  sqlts::ts::Mutex mu_;
+  int version_ GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Config c;
+  c.Tick();
+  return 0;
+}

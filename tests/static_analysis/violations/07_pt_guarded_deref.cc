@@ -1,0 +1,22 @@
+// expect: the value pointed to by 'slot_' requires holding mutex 'mu_'
+// Seeded violation (PT_GUARDED_BY): dereferencing a pointer whose
+// pointee is guarded, without the lock, must fail the build (the
+// pointer itself may be read freely).
+#include "common/thread_annotations.h"
+
+class Mailbox {
+ public:
+  explicit Mailbox(int* slot) : slot_(slot) {}
+  void Deliver(int v) { *slot_ = v; }  // BAD: pointee write, no lock
+
+ private:
+  sqlts::ts::Mutex mu_;
+  int* slot_ PT_GUARDED_BY(mu_);
+};
+
+int main() {
+  int cell = 0;
+  Mailbox m(&cell);
+  m.Deliver(7);
+  return cell;
+}

@@ -1,0 +1,23 @@
+// expect: mutex 'mu_' is still held at the end of function
+// Seeded violation (ACQUIRE/RELEASE balance): a function that locks and
+// forgets to unlock (and is not annotated ACQUIRE) must fail the build.
+#include "common/thread_annotations.h"
+
+class Widget {
+ public:
+  void Leak() {
+    mu_.lock();
+    ++state_;
+    // BAD: missing mu_.unlock()
+  }
+
+ private:
+  sqlts::ts::Mutex mu_;
+  int state_ GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Widget w;
+  w.Leak();
+  return 0;
+}
