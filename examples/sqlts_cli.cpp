@@ -1,11 +1,21 @@
-// sqlts_cli: run ad-hoc SQL-TS queries against a CSV file.
+// sqlts_cli: run ad-hoc SQL-TS queries against a CSV or columnar file.
 //
-//   sqlts_cli <csv> <schema> <query> [flags]
+//   sqlts_cli <data> <schema> <query> [flags]
+//   sqlts_cli --convert <in.csv> <out.sqlc> --schema <schema>
+//             [--cluster-by a,b] [--sequence-by c] [--no-bloom]
+//             [--skip-bad-input]
 //
 //   <schema> is "col:TYPE,col:TYPE,..." with TYPE in
-//   {INT64,DOUBLE,STRING,DATE,BOOL}.
+//   {INT64,DOUBLE,STRING,DATE,BOOL}.  Columnar files embed their
+//   schema; pass "-" to use it as-is.
 //
 // Flags:
+//   --format=csv|columnar
+//                       input format; default auto-detects by the
+//                       columnar magic bytes
+//   --no-skip           columnar: disable zone-map block skipping
+//   --no-planner        columnar: disable the selectivity probe planner
+//                       (conjunct reorder + anchored start prefilter)
 //   --queryset FILE     run every query in FILE (';'-separated, or one
 //                       per line when the file has no ';') over ONE
 //                       shared scan with cross-query predicate
@@ -57,6 +67,9 @@
 #include <vector>
 
 #include "analysis/linter.h"
+#include "colstore/columnar_executor.h"
+#include "colstore/reader.h"
+#include "colstore/writer.h"
 #include "common/string_util.h"
 #include "engine/executor.h"
 #include "engine/explain.h"
@@ -87,6 +100,131 @@ std::vector<std::string> SplitQuerySet(const std::string& text) {
   return out;
 }
 
+/// Parses "col:TYPE,col:TYPE,..." into `schema`; prints the problem and
+/// returns false on bad input.  A trailing '?' marks the column
+/// nullable ("vol:INT64?"), which makes the optimizer drop θ/φ
+/// deductions that are unsound when the column can be NULL.  A trailing
+/// '+' declares it strictly positive ("price:DOUBLE+" or
+/// "price:DOUBLE+?"), enabling the log-domain ratio reasoning for
+/// patterns that only touch such columns.
+bool ParseSchemaText(const std::string& schema_text, sqlts::Schema* schema) {
+  using namespace sqlts;
+  for (const std::string& part : SplitString(schema_text, ',')) {
+    auto bits = SplitString(part, ':');
+    if (bits.size() != 2) {
+      std::fprintf(stderr, "bad schema entry '%s'\n", part.c_str());
+      return false;
+    }
+    std::string type_text(StripWhitespace(bits[1]));
+    bool nullable = false, positive = false;
+    while (!type_text.empty()) {
+      if (type_text.back() == '?') nullable = true;
+      else if (type_text.back() == '+') positive = true;
+      else break;
+      type_text.pop_back();
+    }
+    auto kind = TypeKindFromString(type_text);
+    if (!kind.ok()) {
+      std::fprintf(stderr, "error: %s\n", kind.status().ToString().c_str());
+      return false;
+    }
+    Status st = schema->AddColumn(StripWhitespace(bits[0]), *kind, nullable,
+                                  positive);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Comma-separated column list -> trimmed names ("a, b" -> {"a","b"}).
+std::vector<std::string> SplitColumnList(const std::string& text) {
+  std::vector<std::string> out;
+  for (const std::string& part : sqlts::SplitString(text, ',')) {
+    std::string name(sqlts::StripWhitespace(part));
+    if (!name.empty()) out.push_back(std::move(name));
+  }
+  return out;
+}
+
+/// `sqlts_cli --convert in.csv out.sqlc --schema S [...]`: CSV -> the
+/// columnar container, optionally clustered for the skipping fast path.
+int RunConvert(int argc, char** argv) {
+  using namespace sqlts;
+  std::string in_path, out_path, schema_text, cluster_by, sequence_by;
+  bool bloom = true, skip_bad = false;
+  std::vector<std::string> positional;
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs an argument\n", a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--schema") schema_text = next();
+    else if (a == "--cluster-by") cluster_by = next();
+    else if (a == "--sequence-by") sequence_by = next();
+    else if (a == "--no-bloom") bloom = false;
+    else if (a == "--skip-bad-input") skip_bad = true;
+    else if (a[0] != '-') positional.push_back(a);
+    else {
+      std::fprintf(stderr, "unknown flag '%s'\n", a.c_str());
+      return 2;
+    }
+  }
+  if (positional.size() != 2 || schema_text.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s --convert <in.csv> <out.sqlc> --schema S "
+                 "[--cluster-by a,b] [--sequence-by c] [--no-bloom] "
+                 "[--skip-bad-input]\n",
+                 argv[0]);
+    return 2;
+  }
+  in_path = positional[0];
+  out_path = positional[1];
+
+  Schema schema;
+  if (!ParseSchemaText(schema_text, &schema)) return 2;
+  CsvReadOptions csv_options;
+  if (skip_bad) csv_options.bad_input = BadInputPolicy::kSkipAndCount;
+  CsvReadStats csv_stats;
+  auto table = ReadCsvFile(in_path, schema, csv_options, &csv_stats);
+  if (!table.ok()) return Fail(table.status());
+
+  ColumnarWriterOptions wopt;
+  wopt.cluster_by = SplitColumnList(cluster_by);
+  wopt.sequence_by = SplitColumnList(sequence_by);
+  wopt.bloom = bloom;
+  auto bytes = ColumnarWriter::WriteBytes(*table, wopt);
+  if (!bytes.ok()) return Fail(bytes.status());
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot write '%s'\n", out_path.c_str());
+    return 1;
+  }
+  out.write(bytes->data(), static_cast<std::streamsize>(bytes->size()));
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "write failed for '%s'\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "converted %lld row(s) -> '%s' (%zu bytes%s%s)",
+               static_cast<long long>(table->num_rows()), out_path.c_str(),
+               bytes->size(),
+               wopt.cluster_by.empty() ? "" : ", clustered",
+               bloom ? ", blooms" : "");
+  if (csv_stats.rows_skipped > 0) {
+    std::fprintf(stderr, ", skipped %lld malformed record(s)",
+                 static_cast<long long>(csv_stats.rows_skipped));
+  }
+  std::fprintf(stderr, "\n");
+  return 0;
+}
+
 void PrintRow(const sqlts::Row& row, const char* prefix) {
   std::string line;
   for (const sqlts::Value& v : row) {
@@ -100,6 +238,9 @@ void PrintRow(const sqlts::Row& row, const char* prefix) {
 
 int main(int argc, char** argv) {
   using namespace sqlts;
+  if (argc >= 2 && std::string(argv[1]) == "--convert") {
+    return RunConvert(argc, argv);
+  }
   if (argc < 4) {
     std::fprintf(stderr,
                  "usage: %s <csv> <schema> <query> [--queryset FILE] "
@@ -123,9 +264,11 @@ int main(int argc, char** argv) {
   }
   bool naive = false, explain = false, stream = false, skip_bad = false;
   bool check = false, lint_json = false, werror = false;
+  bool no_skip = false, no_planner = false;
   int threads = 1;
   int64_t max_buffered = 0, checkpoint_at = -1;
   std::string checkpoint_path, restore_path, queryset_path;
+  std::string format = "auto";
   for (int i = flag_start; i < argc; ++i) {
     std::string a = argv[i];
     auto next = [&]() -> const char* {
@@ -142,17 +285,30 @@ int main(int argc, char** argv) {
     else if (a == "--Werror") werror = true;
     else if (a == "--stream") stream = true;
     else if (a == "--skip-bad-input") skip_bad = true;
+    else if (a == "--no-skip") no_skip = true;
+    else if (a == "--no-planner") no_planner = true;
     else if (a == "--threads") threads = std::atoi(next());
     else if (a == "--max-buffered") max_buffered = std::atoll(next());
     else if (a == "--checkpoint") checkpoint_path = next();
     else if (a == "--checkpoint-at") checkpoint_at = std::atoll(next());
     else if (a == "--restore") restore_path = next();
     else if (a == "--queryset") queryset_path = next();
+    else if (a == "--format") format = next();
+    else if (a.rfind("--format=", 0) == 0) format = a.substr(9);
     else {
       std::fprintf(stderr, "unknown flag '%s'\n", a.c_str());
       return 2;
     }
   }
+  if (format != "auto" && format != "csv" && format != "columnar") {
+    std::fprintf(stderr, "--format must be csv or columnar\n");
+    return 2;
+  }
+  // Format auto-detection: the columnar container announces itself with
+  // magic bytes, so "--format=auto" (the default) just sniffs them.
+  const bool columnar =
+      format == "columnar" ||
+      (format == "auto" && ColumnarReader::SniffFile(csv_path));
 
   if (query.empty() && queryset_path.empty()) {
     std::fprintf(stderr, "need a query or --queryset FILE\n");
@@ -160,30 +316,28 @@ int main(int argc, char** argv) {
   }
 
   Schema schema;
-  for (const std::string& part : SplitString(schema_text, ',')) {
-    auto bits = SplitString(part, ':');
-    if (bits.size() != 2) {
-      std::fprintf(stderr, "bad schema entry '%s'\n", part.c_str());
-      return 2;
+  std::unique_ptr<ColumnarReader> reader;
+  if (columnar) {
+    // Columnar containers embed their schema (including nullable /
+    // positive markers); the positional schema argument is "-" or a
+    // consistency check.
+    auto r = ColumnarReader::Open(csv_path);
+    if (!r.ok()) return Fail(r.status());
+    reader = std::move(*r);
+    schema = reader->schema();
+    if (schema_text != "-" && !schema_text.empty()) {
+      Schema given;
+      if (!ParseSchemaText(schema_text, &given)) return 2;
+      if (given.ToString() != schema.ToString()) {
+        std::fprintf(stderr,
+                     "schema argument disagrees with the schema embedded "
+                     "in '%s' (%s); pass '-' to use the embedded one\n",
+                     csv_path.c_str(), schema.ToString().c_str());
+        return 2;
+      }
     }
-    // A trailing '?' marks the column nullable ("vol:INT64?"), which
-    // makes the optimizer drop θ/φ deductions that are unsound when the
-    // column can be NULL.  A trailing '+' declares it strictly positive
-    // ("price:DOUBLE+" or "price:DOUBLE+?"), enabling the log-domain
-    // ratio reasoning for patterns that only touch such columns.
-    std::string type_text(StripWhitespace(bits[1]));
-    bool nullable = false, positive = false;
-    while (!type_text.empty()) {
-      if (type_text.back() == '?') nullable = true;
-      else if (type_text.back() == '+') positive = true;
-      else break;
-      type_text.pop_back();
-    }
-    auto kind = TypeKindFromString(type_text);
-    if (!kind.ok()) return Fail(kind.status());
-    Status st =
-        schema.AddColumn(StripWhitespace(bits[0]), *kind, nullable, positive);
-    if (!st.ok()) return Fail(st);
+  } else if (!ParseSchemaText(schema_text, &schema)) {
+    return 2;
   }
 
   // Queryset mode: run every query of the file over one shared scan.
@@ -261,7 +415,11 @@ int main(int argc, char** argv) {
     CsvReadOptions csv_options;
     if (skip_bad) csv_options.bad_input = BadInputPolicy::kSkipAndCount;
     CsvReadStats csv_stats;
-    auto table = ReadCsvFile(csv_path, schema, csv_options, &csv_stats);
+    // The multi-query executors consume an in-memory table either way;
+    // columnar inputs take the full-decode path here.
+    auto table = columnar
+                     ? reader->ReadTable()
+                     : ReadCsvFile(csv_path, schema, csv_options, &csv_stats);
     if (!table.ok()) return Fail(table.status());
     std::fprintf(stderr, "loaded %lld rows; running %zu queries\n",
                  static_cast<long long>(table->num_rows()), queries.size());
@@ -379,20 +537,6 @@ int main(int argc, char** argv) {
     return lint->has_errors() || (werror && lint->has_warnings()) ? 1 : 0;
   }
 
-  CsvReadOptions csv_options;
-  if (skip_bad) csv_options.bad_input = BadInputPolicy::kSkipAndCount;
-  CsvReadStats csv_stats;
-  auto table = ReadCsvFile(csv_path, schema, csv_options, &csv_stats);
-  if (!table.ok()) return Fail(table.status());
-  std::fprintf(stderr, "loaded %lld rows (%s)",
-               static_cast<long long>(table->num_rows()),
-               schema.ToString().c_str());
-  if (csv_stats.rows_skipped > 0) {
-    std::fprintf(stderr, ", skipped %lld malformed record(s)",
-                 static_cast<long long>(csv_stats.rows_skipped));
-  }
-  std::fprintf(stderr, "\n");
-
   ExecOptions opt;
   opt.algorithm = naive ? SearchAlgorithm::kNaive : SearchAlgorithm::kOps;
   opt.num_threads = threads;
@@ -406,6 +550,50 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s",
                  RenderDiagnostics(lint->diagnostics, query).c_str());
   }
+
+  // Columnar batch execution runs straight off the container: cluster
+  // filters and zone maps skip refuted blocks before any I/O, and the
+  // probe planner prefilters attempt starts.  --explain reports the
+  // planner's estimates and the skipping configuration.
+  if (columnar && !stream) {
+    ColumnarExecOptions copt;
+    copt.exec = opt;
+    copt.skipping = !no_skip;
+    copt.planner = !no_planner;
+    std::string report;
+    auto result = ColumnarExecutor::Execute(*reader, query, copt,
+                                            explain ? &report : nullptr);
+    if (explain && !report.empty()) std::printf("%s", report.c_str());
+    if (!result.ok()) return Fail(result.status());
+    std::printf("%s", result->output.ToString(1000).c_str());
+    std::fprintf(stderr,
+                 "%lld matches over %d cluster(s); %lld predicate tests; "
+                 "%lld/%lld blocks skipped; %lld bytes read (%s)\n",
+                 static_cast<long long>(result->stats.matches),
+                 result->num_clusters,
+                 static_cast<long long>(result->stats.evaluations),
+                 static_cast<long long>(result->stats.blocks_skipped),
+                 static_cast<long long>(result->stats.blocks_total),
+                 static_cast<long long>(result->stats.bytes_read),
+                 naive ? "naive" : "OPS");
+    return 0;
+  }
+
+  CsvReadOptions csv_options;
+  if (skip_bad) csv_options.bad_input = BadInputPolicy::kSkipAndCount;
+  CsvReadStats csv_stats;
+  auto table = columnar
+                   ? reader->ReadTable()
+                   : ReadCsvFile(csv_path, schema, csv_options, &csv_stats);
+  if (!table.ok()) return Fail(table.status());
+  std::fprintf(stderr, "loaded %lld rows (%s)",
+               static_cast<long long>(table->num_rows()),
+               schema.ToString().c_str());
+  if (csv_stats.rows_skipped > 0) {
+    std::fprintf(stderr, ", skipped %lld malformed record(s)",
+                 static_cast<long long>(csv_stats.rows_skipped));
+  }
+  std::fprintf(stderr, "\n");
 
   if (explain) {
     auto report = ExplainQueryText(query, schema);

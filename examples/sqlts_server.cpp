@@ -1,11 +1,15 @@
 // sqlts_server: serve SQL-TS datasets over the length-prefixed JSON
 // protocol (docs/SERVER.md).
 //
-//   sqlts_server --dataset NAME=CSV@SCHEMA [--dataset ...] [flags]
+//   sqlts_server --dataset NAME=PATH@SCHEMA [--dataset ...] [flags]
 //
 //   --dataset NAME=PATH@SCHEMA  register a dataset; SCHEMA is the CLI
 //                               schema syntax, e.g.
 //                               quotes=data/quotes.csv@name:STRING,date:DATE,price:DOUBLE+
+//                               PATH may also be a `.sqlc` columnar
+//                               container (auto-detected by magic
+//                               bytes); its embedded schema is used, so
+//                               pass "-" for SCHEMA
 //   --port N           TCP port on 127.0.0.1 (default 0 = ephemeral;
 //                      the bound port is printed on startup)
 //   --max-sessions N   concurrent session cap (default 32)
@@ -124,25 +128,29 @@ int main(int argc, char** argv) {
 
   sqlts::Server server(options);
   for (const DatasetSpec& spec : specs) {
-    auto schema = ParseSchemaText(spec.schema);
-    if (!schema.ok()) {
-      std::fprintf(stderr, "dataset %s: %s\n", spec.name.c_str(),
-                   schema.status().ToString().c_str());
-      return 2;
+    // "-" (or empty) means no schema text: valid for `.sqlc` containers,
+    // which embed theirs.
+    sqlts::Schema schema;
+    bool have_schema = false;
+    if (!spec.schema.empty() && spec.schema != "-") {
+      auto parsed = ParseSchemaText(spec.schema);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "dataset %s: %s\n", spec.name.c_str(),
+                     parsed.status().ToString().c_str());
+        return 2;
+      }
+      schema = std::move(*parsed);
+      have_schema = true;
     }
-    auto table = sqlts::ReadCsvFile(spec.csv, *schema);
-    if (!table.ok()) {
-      std::fprintf(stderr, "dataset %s: %s\n", spec.name.c_str(),
-                   table.status().ToString().c_str());
-      return 2;
-    }
-    std::printf("dataset %s: %lld rows from %s\n", spec.name.c_str(),
-                static_cast<long long>(table->num_rows()), spec.csv.c_str());
-    auto st = server.AddDataset(spec.name, std::move(*table));
+    auto st = server.AddDatasetFile(spec.name, spec.csv,
+                                    have_schema ? &schema : nullptr);
     if (!st.ok()) {
-      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      std::fprintf(stderr, "dataset %s: %s\n", spec.name.c_str(),
+                   st.ToString().c_str());
       return 2;
     }
+    std::printf("dataset %s: loaded from %s\n", spec.name.c_str(),
+                spec.csv.c_str());
   }
 
   std::signal(SIGINT, HandleSignal);

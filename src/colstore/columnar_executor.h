@@ -1,0 +1,54 @@
+#ifndef SQLTS_COLSTORE_COLUMNAR_EXECUTOR_H_
+#define SQLTS_COLSTORE_COLUMNAR_EXECUTOR_H_
+
+#include <string>
+#include <string_view>
+
+#include "colstore/reader.h"
+#include "engine/executor.h"
+
+namespace sqlts {
+
+/// Knobs for execution straight off a `.sqlc` columnar file.
+struct ColumnarExecOptions {
+  ExecOptions exec;
+  /// Zone-map cluster/block skipping (colstore/zone_skip.h).  Rows are
+  /// unchanged; matcher stats may shrink (skipped blocks are never
+  /// tested), so turn off for bit-identical stats against the
+  /// in-memory path.
+  bool skipping = true;
+  /// Selectivity-driven conjunct reorder + anchor start prefilter
+  /// (colstore/probe_planner.h).  Rows unchanged, stats may shift.
+  bool planner = true;
+};
+
+/// Executes SQL-TS queries directly against a columnar container.
+///
+/// When the file's physical layout matches the query (same CLUSTER BY /
+/// SEQUENCE BY, which the writer stores in exactly
+/// ClusteredSequence::Build order), execution streams cluster by
+/// cluster: hoisted cluster filters are decided from the footer's
+/// cluster keys alone, zone maps skip refuted clusters and blocks
+/// before any I/O, kept blocks decode into contiguous segments that
+/// are matched independently, and the probe planner prefilters attempt
+/// starts.  Any layout mismatch (or trace collection) falls back to a
+/// full decode through the classic executor — same rows, zero skips.
+///
+/// SearchStats::blocks_total / blocks_skipped / bytes_read report the
+/// storage work either way.
+class ColumnarExecutor {
+ public:
+  static StatusOr<QueryResult> Execute(ColumnarReader& reader,
+                                       std::string_view query_text,
+                                       const ColumnarExecOptions& options = {},
+                                       std::string* explain_out = nullptr);
+
+  static StatusOr<QueryResult> ExecuteFile(
+      const std::string& path, std::string_view query_text,
+      const ColumnarExecOptions& options = {},
+      std::string* explain_out = nullptr);
+};
+
+}  // namespace sqlts
+
+#endif  // SQLTS_COLSTORE_COLUMNAR_EXECUTOR_H_

@@ -1,0 +1,218 @@
+#include "colstore/probe_planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "expr/normalize.h"
+
+namespace sqlts {
+namespace {
+
+/// Opaque conjuncts (multi-variable arithmetic, residue, aggregates)
+/// get the textbook one-third default.
+constexpr double kDefaultSelectivity = 1.0 / 3.0;
+
+/// Sketch-bounds → double range; false when the column type has no
+/// numeric zone view.
+bool SketchRange(const BlockSketch& s, TypeKind type, double* lo,
+                 double* hi) {
+  if (s.min.is_null()) return false;
+  switch (type) {
+    case TypeKind::kInt64:
+      *lo = static_cast<double>(s.min.int64_value());
+      *hi = static_cast<double>(s.max.int64_value());
+      return true;
+    case TypeKind::kDouble:
+      *lo = s.min.double_value();
+      *hi = s.max.double_value();
+      return true;
+    case TypeKind::kDate:
+      *lo = s.min.AsDouble();
+      *hi = s.max.AsDouble();
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Fraction of [lo, hi] covered by `set`, assuming a uniform value
+/// distribution inside the block's zone range.
+double OverlapFraction(const IntervalSet& set, double lo, double hi) {
+  if (hi <= lo) return set.Contains(lo) ? 1.0 : 0.0;
+  double covered = 0;
+  for (const Interval& part : set.parts()) {
+    const double plo = part.lo.infinite
+                           ? lo
+                           : std::max(lo, part.lo.value);
+    const double phi = part.hi.infinite
+                           ? hi
+                           : std::min(hi, part.hi.value);
+    if (phi > plo) covered += phi - plo;
+    // Degenerate point parts still admit a sliver; ignore their mass.
+  }
+  return std::clamp(covered / (hi - lo), 0.0, 1.0);
+}
+
+/// The schema column a single-variable analysis talks about, parsed
+/// back from the catalog's "column@offset" naming; -1 when unusable.
+int VarColumn(const VariableCatalog& catalog, VarId v,
+              const Schema& schema) {
+  if (v == kNoVar || v >= catalog.size()) return -1;
+  const std::string& name = catalog.Name(v);
+  const size_t at = name.rfind('@');
+  if (at == std::string::npos) return -1;
+  auto col = schema.FindColumn(name.substr(0, at));
+  return col.ok() ? col.value() : -1;
+}
+
+/// Estimates the fraction of stored tuples one conjunct accepts, from
+/// the per-block sketches (a stride-sampled pass when the file is
+/// large).
+double EstimateConjunct(const ExprPtr& conjunct, const ColumnarFooter& footer) {
+  VariableCatalog catalog;
+  PredicateAnalysis a = AnalyzePredicate(conjunct, footer.schema, &catalog);
+  const size_t nblocks = footer.blocks.size();
+  if (nblocks == 0) return kDefaultSelectivity;
+  const size_t stride = std::max<size_t>(1, nblocks / 256);
+
+  if (a.has_interval) {
+    const int col = VarColumn(catalog, a.interval_var, footer.schema);
+    if (col < 0) return kDefaultSelectivity;
+    const TypeKind type = footer.schema.column(col).type;
+    double weighted = 0, rows = 0;
+    for (size_t b = 0; b < nblocks; b += stride) {
+      const BlockSketch& s = footer.columns[col][b].sketch;
+      const double r = footer.blocks[b].row_count;
+      rows += r;
+      const double values = r - static_cast<double>(s.null_count);
+      if (values <= 0) continue;
+      double lo, hi;
+      if (!SketchRange(s, type, &lo, &hi)) {
+        weighted += values * kDefaultSelectivity;
+        continue;
+      }
+      weighted += values * OverlapFraction(a.interval, lo, hi);
+    }
+    return rows > 0 ? std::clamp(weighted / rows, 0.0, 1.0)
+                    : kDefaultSelectivity;
+  }
+
+  // Lone string-equality conjunct: admitting-row fraction via blooms
+  // and lexical zones.
+  if (a.complete && a.system.strings().size() == 1 &&
+      a.system.linear().empty() && a.system.ratio().empty() &&
+      a.or_groups.empty() && a.system.strings()[0].equal) {
+    const StringAtom& atom = a.system.strings()[0];
+    const int col = VarColumn(catalog, atom.x, footer.schema);
+    if (col < 0 || footer.schema.column(col).type != TypeKind::kString) {
+      return kDefaultSelectivity;
+    }
+    const uint64_t hash = BloomHashBytes(atom.text);
+    double admitted = 0, rows = 0;
+    for (size_t b = 0; b < nblocks; b += stride) {
+      const BlockSketch& s = footer.columns[col][b].sketch;
+      const double r = footer.blocks[b].row_count;
+      rows += r;
+      if (s.null_count >= footer.blocks[b].row_count) continue;
+      if (!s.bloom.empty() && !BloomMayContain(s.bloom, hash)) continue;
+      if (!s.min.is_null() && (atom.text < s.min.string_value() ||
+                               atom.text > s.max.string_value())) {
+        continue;
+      }
+      // The block may hold the key; assume a tenth of its rows do.
+      admitted += r * 0.1;
+    }
+    return rows > 0 ? std::clamp(admitted / rows, 0.0, 1.0)
+                    : kDefaultSelectivity;
+  }
+
+  return kDefaultSelectivity;
+}
+
+}  // namespace
+
+ProbePlan ProbePlanner::Plan(const CompiledQuery& query,
+                             const ColumnarFooter& footer) {
+  ProbePlan plan;
+  plan.query = query;
+  const int m = plan.query.pattern_length();
+  plan.element_selectivity.assign(m, 1.0);
+
+  for (int e = 0; e < m; ++e) {
+    PatternElement& elem = plan.query.elements[e];
+    const size_t k = elem.conjuncts.size();
+    std::vector<double> sel(k);
+    for (size_t c = 0; c < k; ++c) {
+      sel[c] = EstimateConjunct(elem.conjuncts[c], footer);
+    }
+    double product = 1.0;
+    for (double s : sel) product *= s;
+    plan.element_selectivity[e] = product;
+    if (k < 2) continue;
+    // Cheapest-reject-first: evaluate the most selective conjunct
+    // before the rest (AND short-circuits on FALSE in both the
+    // interpreter and the kernel tier).
+    std::vector<size_t> order(k);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](size_t x, size_t y) { return sel[x] < sel[y]; });
+    bool changed = false;
+    for (size_t c = 0; c < k; ++c) changed |= order[c] != c;
+    if (!changed) continue;
+    std::vector<ExprPtr> sorted;
+    sorted.reserve(k);
+    for (size_t c : order) sorted.push_back(elem.conjuncts[c]);
+    ExprPtr pred = sorted[0];
+    for (size_t c = 1; c < k; ++c) pred = MakeAnd(pred, sorted[c]);
+    elem.conjuncts = std::move(sorted);
+    elem.predicate = std::move(pred);
+    plan.reordered_elements.push_back(e);
+  }
+
+  // Anchor: the most selective kernel-compilable element reachable at a
+  // fixed offset from the match start (every earlier element non-star).
+  double best = 2.0;
+  for (int e = 0; e < m; ++e) {
+    const PatternElement& elem = plan.query.elements[e];
+    if (elem.predicate != nullptr) {
+      auto kernel =
+          PredicateKernel::Compile(elem.predicate, footer.schema);
+      if (kernel != nullptr && plan.element_selectivity[e] < best) {
+        best = plan.element_selectivity[e];
+        plan.anchor_element = e;
+        plan.anchor_kernel = std::move(kernel);
+      }
+    }
+    // A star element consumes a variable number of tuples: everything
+    // after it sits at an unknown offset from the start.
+    if (elem.star) break;
+  }
+  return plan;
+}
+
+std::string ProbePlan::ToString() const {
+  std::ostringstream os;
+  os << "probe planner:\n";
+  os << "  element selectivity estimates:";
+  for (double s : element_selectivity) os << " " << s;
+  os << "\n  anchor element: ";
+  if (anchor_element >= 0) {
+    os << anchor_element << " (0-based; est. selectivity "
+       << element_selectivity[anchor_element]
+       << "; vectorized start prefilter)";
+  } else {
+    os << "none (no kernel-compilable prefix element)";
+  }
+  os << "\n  conjuncts reordered in elements:";
+  if (reordered_elements.empty()) {
+    os << " none";
+  } else {
+    for (int e : reordered_elements) os << " " << e;
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace sqlts

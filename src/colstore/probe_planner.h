@@ -1,0 +1,52 @@
+#ifndef SQLTS_COLSTORE_PROBE_PLANNER_H_
+#define SQLTS_COLSTORE_PROBE_PLANNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "colstore/format.h"
+#include "expr/kernel.h"
+#include "parser/analyzer.h"
+
+namespace sqlts {
+
+/// Output of the selectivity-driven probe planner.
+struct ProbePlan {
+  /// The input query with each element's conjuncts stably reordered by
+  /// ascending estimated selectivity (AND is commutative in Kleene
+  /// 3VL, so rows are unchanged; θ/φ and evaluation counts may shift).
+  CompiledQuery query;
+  /// Elements whose conjunct order actually changed (0-based).
+  std::vector<int> reordered_elements;
+  /// Estimated fraction of tuples satisfying each element's predicate.
+  std::vector<double> element_selectivity;
+  /// Anchor element for the first probe (0-based), or -1: all elements
+  /// before it are non-star, so a match starting at s instantiates it
+  /// exactly at s + anchor_element — its vectorized verdicts prefilter
+  /// the matcher's candidate start positions.  Chosen as the most
+  /// selective kernel-compilable prefix element (the classic engine
+  /// always probes element 0 first).
+  int anchor_element = -1;
+  /// Kernel for the anchor element's predicate (immutable, shareable
+  /// across threads); null when anchor_element < 0.
+  std::shared_ptr<const PredicateKernel> anchor_kernel;
+
+  /// EXPLAIN section.
+  std::string ToString() const;
+};
+
+/// Estimates conjunct selectivities from the file's block sketches
+/// (zone-range overlap for interval-shaped conjuncts, bloom/zone
+/// admission for string equality, a fixed default for opaque shapes),
+/// reorders conjuncts cheapest-reject-first within each element, and
+/// picks the anchor element for the first probe.
+class ProbePlanner {
+ public:
+  static ProbePlan Plan(const CompiledQuery& query,
+                        const ColumnarFooter& footer);
+};
+
+}  // namespace sqlts
+
+#endif  // SQLTS_COLSTORE_PROBE_PLANNER_H_

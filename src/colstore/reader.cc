@@ -1,0 +1,182 @@
+#include "colstore/reader.h"
+
+#include <cstring>
+
+#include "engine/checkpoint.h"
+
+namespace sqlts {
+namespace {
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+struct Header {
+  uint32_t version = 0;
+  uint64_t footer_offset = 0;
+  uint64_t footer_size = 0;
+  uint64_t footer_checksum = 0;
+};
+
+StatusOr<Header> ParseHeader(std::string_view head, uint64_t file_size) {
+  if (head.size() < kColumnarHeaderSize) {
+    return Status::ParseError("columnar container: truncated header");
+  }
+  if (head.substr(0, kColumnarMagic.size()) != kColumnarMagic) {
+    return Status::ParseError("columnar container: bad magic");
+  }
+  Header h;
+  h.version = GetU32(head.data() + 8);
+  if (h.version != kColumnarVersion) {
+    return Status::ParseError("columnar container: unsupported version " +
+                              std::to_string(h.version));
+  }
+  h.footer_offset = GetU64(head.data() + 12);
+  h.footer_size = GetU64(head.data() + 20);
+  h.footer_checksum = GetU64(head.data() + 28);
+  if (h.footer_offset < kColumnarHeaderSize || h.footer_size > file_size ||
+      h.footer_offset > file_size ||
+      h.footer_offset + h.footer_size > file_size) {
+    return Status::ParseError("columnar container: bad footer extent");
+  }
+  return h;
+}
+
+}  // namespace
+
+bool ColumnarReader::SniffBytes(std::string_view bytes) {
+  return bytes.size() >= kColumnarMagic.size() &&
+         bytes.substr(0, kColumnarMagic.size()) == kColumnarMagic;
+}
+
+bool ColumnarReader::SniffFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  char buf[8];
+  in.read(buf, sizeof(buf));
+  return in.gcount() == static_cast<std::streamsize>(sizeof(buf)) &&
+         SniffBytes(std::string_view(buf, sizeof(buf)));
+}
+
+StatusOr<std::unique_ptr<ColumnarReader>> ColumnarReader::Open(
+    const std::string& path) {
+  auto reader = std::unique_ptr<ColumnarReader>(new ColumnarReader());
+  reader->file_.open(path, std::ios::binary);
+  if (!reader->file_) {
+    return Status::IoError("cannot open '" + path + "'");
+  }
+  reader->file_.seekg(0, std::ios::end);
+  const auto end = reader->file_.tellg();
+  if (end < 0) return Status::IoError("cannot stat '" + path + "'");
+  reader->file_size_ = static_cast<uint64_t>(end);
+  reader->file_.seekg(0);
+  std::string head(kColumnarHeaderSize, '\0');
+  reader->file_.read(head.data(),
+                     static_cast<std::streamsize>(head.size()));
+  if (reader->file_.gcount() !=
+      static_cast<std::streamsize>(kColumnarHeaderSize)) {
+    return Status::ParseError("columnar container: truncated header");
+  }
+  SQLTS_ASSIGN_OR_RETURN(Header h, ParseHeader(head, reader->file_size_));
+  std::string footer_bytes(h.footer_size, '\0');
+  reader->file_.seekg(static_cast<std::streamoff>(h.footer_offset));
+  reader->file_.read(footer_bytes.data(),
+                     static_cast<std::streamsize>(footer_bytes.size()));
+  if (reader->file_.gcount() !=
+      static_cast<std::streamsize>(h.footer_size)) {
+    return Status::ParseError("columnar container: truncated footer");
+  }
+  if (Fnv1a64(footer_bytes) != h.footer_checksum) {
+    return Status::ParseError("columnar container: footer checksum mismatch");
+  }
+  SQLTS_ASSIGN_OR_RETURN(reader->footer_,
+                         DecodeFooter(footer_bytes, reader->file_size_));
+  reader->file_.clear();
+  return reader;
+}
+
+StatusOr<std::unique_ptr<ColumnarReader>> ColumnarReader::OpenBytes(
+    std::string bytes) {
+  auto reader = std::unique_ptr<ColumnarReader>(new ColumnarReader());
+  reader->in_memory_ = true;
+  reader->buffer_ = std::move(bytes);
+  reader->file_size_ = reader->buffer_.size();
+  SQLTS_ASSIGN_OR_RETURN(Header h,
+                         ParseHeader(reader->buffer_, reader->file_size_));
+  const std::string_view footer_bytes =
+      std::string_view(reader->buffer_)
+          .substr(h.footer_offset, h.footer_size);
+  if (Fnv1a64(footer_bytes) != h.footer_checksum) {
+    return Status::ParseError("columnar container: footer checksum mismatch");
+  }
+  SQLTS_ASSIGN_OR_RETURN(reader->footer_,
+                         DecodeFooter(footer_bytes, reader->file_size_));
+  return reader;
+}
+
+StatusOr<std::string> ColumnarReader::FetchBlockBytes(int col, int block) {
+  const ColumnBlockMeta& m = footer_.columns[col][block];
+  std::string bytes(m.size, '\0');
+  if (in_memory_) {
+    std::memcpy(bytes.data(), buffer_.data() + m.offset, m.size);
+  } else {
+    std::lock_guard<std::mutex> lock(mu_);
+    file_.clear();
+    file_.seekg(static_cast<std::streamoff>(m.offset));
+    file_.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (file_.gcount() != static_cast<std::streamsize>(m.size)) {
+      return Status::IoError("columnar container: short block read");
+    }
+  }
+  if (Fnv1a64(bytes) != m.checksum) {
+    return Status::ParseError("columnar container: block checksum mismatch (column " +
+                              footer_.schema.column(col).name + ", block " +
+                              std::to_string(block) + ")");
+  }
+  bytes_read_.fetch_add(static_cast<int64_t>(m.size),
+                        std::memory_order_relaxed);
+  return bytes;
+}
+
+StatusOr<Table> ColumnarReader::ReadBlockRange(int first_block,
+                                               int num_blocks) {
+  if (first_block < 0 || num_blocks < 0 ||
+      first_block + num_blocks > static_cast<int>(footer_.blocks.size())) {
+    return Status::InvalidArgument("columnar reader: block range out of bounds");
+  }
+  int64_t rows = 0;
+  for (int b = first_block; b < first_block + num_blocks; ++b) {
+    rows += footer_.blocks[b].row_count;
+  }
+  std::vector<std::vector<Value>> columns(footer_.schema.num_columns());
+  for (int c = 0; c < footer_.schema.num_columns(); ++c) {
+    const TypeKind type = footer_.schema.column(c).type;
+    columns[c].reserve(rows);
+    for (int b = first_block; b < first_block + num_blocks; ++b) {
+      SQLTS_ASSIGN_OR_RETURN(std::string bytes, FetchBlockBytes(c, b));
+      const ColumnBlockMeta& m = footer_.columns[c][b];
+      SQLTS_RETURN_IF_ERROR(DecodeColumnBlock(
+          bytes, m.encoding, type, footer_.blocks[b].row_count,
+          m.sketch.null_count, &columns[c]));
+    }
+  }
+  return Table::FromColumns(footer_.schema, std::move(columns));
+}
+
+StatusOr<Table> ColumnarReader::ReadTable() {
+  return ReadBlockRange(0, static_cast<int>(footer_.blocks.size()));
+}
+
+}  // namespace sqlts

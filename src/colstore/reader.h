@@ -1,0 +1,79 @@
+#ifndef SQLTS_COLSTORE_READER_H_
+#define SQLTS_COLSTORE_READER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "colstore/format.h"
+#include "common/statusor.h"
+#include "common/thread_annotations.h"
+#include "storage/table.h"
+
+namespace sqlts {
+
+/// Buffered random-access reader over a `.sqlc` columnar container.
+///
+/// Open() validates the header, loads and checksum-verifies the footer,
+/// and validates the whole directory (DecodeFooter) — but reads no block
+/// data.  Block bytes are fetched lazily, verified against their
+/// per-block FNV-1a checksum, and decoded on demand, so blocks the zone
+/// maps prove irrelevant cost zero I/O.  Fetches are serialized on an
+/// internal mutex (decode happens outside it), making the reader safe
+/// to share across the sharded executor's workers.
+class ColumnarReader {
+ public:
+  /// Opens a container file.  Magic/version/footer-checksum mismatches
+  /// and directory inconsistencies yield typed errors.
+  static StatusOr<std::unique_ptr<ColumnarReader>> Open(
+      const std::string& path);
+
+  /// Opens an in-memory container image (tests, corruption fuzzing).
+  static StatusOr<std::unique_ptr<ColumnarReader>> OpenBytes(
+      std::string bytes);
+
+  /// True when `path` starts with the columnar magic (format
+  /// auto-detection; false on unreadable or short files).
+  static bool SniffFile(const std::string& path);
+  static bool SniffBytes(std::string_view bytes);
+
+  const ColumnarFooter& footer() const { return footer_; }
+  const Schema& schema() const { return footer_.schema; }
+
+  /// Decodes every column of blocks [first_block, first_block +
+  /// num_blocks) into a row-aligned Table (the contiguous-segment form
+  /// the matchers consume).
+  StatusOr<Table> ReadBlockRange(int first_block, int num_blocks);
+
+  /// Full decode of the file in stored row order.
+  StatusOr<Table> ReadTable();
+
+  /// Cumulative encoded payload bytes fetched from the container so
+  /// far (excludes header/footer; feeds SearchStats::bytes_read).
+  int64_t bytes_read() const {
+    return bytes_read_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  ColumnarReader() = default;
+
+  /// Fetches + checksum-verifies the encoded bytes of (col, block).
+  StatusOr<std::string> FetchBlockBytes(int col, int block);
+
+  ColumnarFooter footer_;
+  uint64_t file_size_ = 0;
+
+  std::mutex mu_;
+  std::ifstream file_ GUARDED_BY(mu_);  // file-backed mode
+  bool in_memory_ = false;
+  std::string buffer_;  // in-memory mode (immutable after Open)
+  std::atomic<int64_t> bytes_read_{0};
+};
+
+}  // namespace sqlts
+
+#endif  // SQLTS_COLSTORE_READER_H_

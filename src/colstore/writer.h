@@ -1,0 +1,43 @@
+#ifndef SQLTS_COLSTORE_WRITER_H_
+#define SQLTS_COLSTORE_WRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "colstore/format.h"
+#include "common/statusor.h"
+#include "storage/table.h"
+
+namespace sqlts {
+
+/// Options for converting a table to the columnar container.
+struct ColumnarWriterOptions {
+  /// When set, rows are physically reordered cluster-major (clusters in
+  /// first-appearance order) and sorted within each cluster by
+  /// `sequence_by` — the exact order ClusteredSequence::Build produces —
+  /// and the cluster directory maps each CLUSTER BY group to its block
+  /// range (blocks never span clusters).  Queries whose CLUSTER BY /
+  /// SEQUENCE BY match take the zone-map skipping fast path.
+  std::vector<std::string> cluster_by;
+  std::vector<std::string> sequence_by;
+  /// Per-block bloom filters for equality-heavy columns (string, int64
+  /// and date columns; kColBloomBytes per block per column).
+  bool bloom = true;
+};
+
+/// Serializes tables into `.sqlc` columnar containers (format.h).
+class ColumnarWriter {
+ public:
+  /// Encodes `table` to container bytes.
+  static StatusOr<std::string> WriteBytes(
+      const Table& table, const ColumnarWriterOptions& options = {});
+
+  /// Encodes `table` and writes it to `path` atomically enough for our
+  /// purposes (single write + flush; IoError on failure).
+  static Status WriteFile(const Table& table, const std::string& path,
+                          const ColumnarWriterOptions& options = {});
+};
+
+}  // namespace sqlts
+
+#endif  // SQLTS_COLSTORE_WRITER_H_

@@ -1,0 +1,360 @@
+#include "colstore/zone_skip.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "common/logging.h"
+#include "expr/expr.h"
+
+namespace sqlts {
+namespace {
+
+/// Largest double <= v (int64 cast can round up past the true value
+/// once |v| exceeds 2^53; zone bounds must stay outward-conservative).
+double WidenDown(int64_t v) {
+  double d = static_cast<double>(v);
+  if (static_cast<long double>(d) > static_cast<long double>(v)) {
+    d = std::nextafter(d, -std::numeric_limits<double>::infinity());
+  }
+  return d;
+}
+
+/// Smallest double >= v.
+double WidenUp(int64_t v) {
+  double d = static_cast<double>(v);
+  if (static_cast<long double>(d) < static_cast<long double>(v)) {
+    d = std::nextafter(d, std::numeric_limits<double>::infinity());
+  }
+  return d;
+}
+
+/// True when the refutation machinery has anything to work with for
+/// this element's predicate.
+bool HasHandles(const PredicateAnalysis& a) {
+  return a.system.trivially_false() || a.system.num_atoms() > 0 ||
+         (a.has_interval && !a.interval.IsAll()) || !a.or_groups.empty();
+}
+
+bool Contains(const std::vector<VarId>& vars, VarId v) {
+  return std::find(vars.begin(), vars.end(), v) != vars.end();
+}
+
+/// The exact int64 a (captured-as-double) equality constant denotes, if
+/// any — bloom probes need the original key bytes.
+bool ExactInt64(double c, int64_t* out) {
+  if (!(c >= -9223372036854775808.0 && c < 9223372036854775808.0)) {
+    return false;
+  }
+  const int64_t v = static_cast<int64_t>(c);
+  if (static_cast<double>(v) != c) return false;
+  *out = v;
+  return true;
+}
+
+/// Mirrors CompilePattern's GSW positive-domain licensing: that mode
+/// assumes every variable ranges over the strictly positive reals,
+/// which holds only when each column any pattern predicate touches is
+/// declared POSITIVE.  The executor hands us the raw (ungated) compile
+/// options, so the gate must be re-applied here — without it the
+/// refutation oracle "proves" satisfiable predicates like `grp = 0`
+/// exclusive with any zone and skips live blocks.
+OracleOptions GatePositiveDomain(const CompiledQuery& query,
+                                 OracleOptions options) {
+  bool all_positive = true;
+  for (const PatternElement& elem : query.elements) {
+    if (elem.predicate == nullptr) continue;
+    VisitColumnRefs(elem.predicate, [&](const ColumnRef& r) {
+      if (r.column_index < 0 ||
+          !query.input_schema.column(r.column_index).positive) {
+        all_positive = false;
+      }
+    });
+  }
+  options.gsw.positive_domain &= all_positive;
+  return options;
+}
+
+}  // namespace
+
+ZoneSkipper::ZoneSkipper(const CompiledQuery& query,
+                         const ColumnarFooter& footer,
+                         const OracleOptions& oracle_options)
+    : footer_(footer), oracle_(GatePositiveDomain(query, oracle_options)) {
+  const Schema& schema = footer_.schema;
+  const int m = query.pattern_length();
+  analyses_.reserve(m);
+  star_.reserve(m);
+  base_vars_.resize(m);
+  for (int e = 0; e < m; ++e) {
+    const PatternElement& elem = query.elements[e];
+    star_.push_back(elem.star);
+    analyses_.push_back(AnalyzePredicate(elem.predicate, schema, &catalog_));
+    const PredicateAnalysis& a = analyses_.back();
+    auto add_var = [&](VarId v) {
+      if (v != kNoVar && !Contains(base_vars_[e], v)) {
+        base_vars_[e].push_back(v);
+      }
+    };
+    for (const LinearAtom& atom : a.system.linear()) {
+      add_var(atom.x);
+      add_var(atom.y);
+    }
+    for (const RatioAtom& atom : a.system.ratio()) {
+      add_var(atom.x);
+      add_var(atom.y);
+    }
+    // A non-trivial interval view also pins its variable: the predicate
+    // can only be TRUE on a non-NULL cell inside the interval.
+    if (a.has_interval && !a.interval.IsAll()) add_var(a.interval_var);
+  }
+
+  // Decode the catalog's "column@offset" naming back to schema columns.
+  vars_.resize(catalog_.size());
+  for (VarId v = 0; v < catalog_.size(); ++v) {
+    const std::string& name = catalog_.Name(v);
+    const size_t at = name.rfind('@');
+    VarInfo info;
+    if (at != std::string::npos) {
+      auto col = schema.FindColumn(name.substr(0, at));
+      if (col.ok()) {
+        info.column = col.value();
+        info.offset = std::atoi(name.c_str() + at + 1);
+      }
+    }
+    vars_[v] = info;
+  }
+
+  // Reach: the farthest any predicate, SELECT item, or cluster filter
+  // can read from its anchor position (relative offsets) or from a
+  // group endpoint (navigation steps).
+  auto visit = [&](const ExprPtr& e) {
+    VisitColumnRefs(e, [&](const ColumnRef& r) {
+      if (r.relative) reach_ = std::max(reach_, std::abs(r.total_offset));
+      reach_ = std::max(reach_, std::abs(r.nav_offset));
+    });
+  };
+  for (const PatternElement& elem : query.elements) visit(elem.predicate);
+  for (const SelectItem& item : query.select) visit(item.expr);
+  for (const ExprPtr& f : query.cluster_filters) visit(f);
+
+  bool cluster_capable = false;
+  bool block_capable = m > 0;
+  for (int e = 0; e < m; ++e) {
+    const bool handles = HasHandles(analyses_[e]);
+    if (!star_[e] && handles) cluster_capable = true;
+    if (!handles) block_capable = false;
+  }
+  enabled_ = cluster_capable || block_capable;
+}
+
+ZoneSkipper::ColumnAgg ZoneSkipper::Aggregate(int col, int first_block,
+                                              int last_block) const {
+  ColumnAgg agg;
+  bool suppressed = false;
+  for (int b = first_block; b <= last_block; ++b) {
+    const BlockSketch& s = footer_.columns[col][b].sketch;
+    agg.nulls += s.null_count;
+    if (s.null_count >= footer_.blocks[b].row_count) continue;  // all-NULL
+    agg.has_values = true;
+    if (s.min.is_null()) {
+      // Values exist but the writer published no bounds (NaN cells):
+      // the column is unbounded over this range.
+      suppressed = true;
+      continue;
+    }
+    if (agg.min.is_null()) {
+      agg.min = s.min;
+      agg.max = s.max;
+    } else {
+      auto lo = s.min.Compare(agg.min);
+      auto hi = s.max.Compare(agg.max);
+      if (!lo.ok() || !hi.ok()) {
+        suppressed = true;  // heterogenous sketches: give up on bounds
+        continue;
+      }
+      if (lo.value() < 0) agg.min = s.min;
+      if (hi.value() > 0) agg.max = s.max;
+    }
+  }
+  agg.bounded = agg.has_values && !suppressed && !agg.min.is_null();
+  return agg;
+}
+
+bool ZoneSkipper::RefuteElement(int e, int first_block,
+                                int last_block) const {
+  const PredicateAnalysis& a = analyses_[e];
+  if (a.system.trivially_false()) return true;
+
+  std::map<int, ColumnAgg> aggs;
+  auto agg_of = [&](int col) -> const ColumnAgg& {
+    auto it = aggs.find(col);
+    if (it == aggs.end()) {
+      it = aggs.emplace(col, Aggregate(col, first_block, last_block)).first;
+    }
+    return it->second;
+  };
+
+  // All-NULL refutation: a base atom (numeric or string) evaluating
+  // TRUE forces its cell non-NULL, and the probe geometry keeps the
+  // read inside the covered range — impossible when the column holds
+  // no values there.
+  for (VarId v : base_vars_[e]) {
+    const VarInfo& vi = vars_[v];
+    if (vi.column >= 0 && !agg_of(vi.column).has_values) return true;
+  }
+  for (const StringAtom& atom : a.system.strings()) {
+    const VarInfo& vi = vars_[atom.x];
+    if (vi.column >= 0 && !agg_of(vi.column).has_values) return true;
+  }
+
+  // String equality: refute when the aggregate lexical range — or every
+  // covering block individually (bounds or bloom) — excludes the text.
+  for (const StringAtom& atom : a.system.strings()) {
+    if (!atom.equal) continue;
+    const VarInfo& vi = vars_[atom.x];
+    if (vi.column < 0 ||
+        footer_.schema.column(vi.column).type != TypeKind::kString) {
+      continue;
+    }
+    const ColumnAgg& agg = agg_of(vi.column);
+    if (agg.bounded && (atom.text < agg.min.string_value() ||
+                        atom.text > agg.max.string_value())) {
+      return true;
+    }
+    const uint64_t hash = BloomHashBytes(atom.text);
+    bool all_exclude = true;
+    for (int b = first_block; b <= last_block && all_exclude; ++b) {
+      const BlockSketch& s = footer_.columns[vi.column][b].sketch;
+      if (s.null_count >= footer_.blocks[b].row_count) continue;
+      if (!s.bloom.empty() && !BloomMayContain(s.bloom, hash)) continue;
+      if (!s.min.is_null() && (atom.text < s.min.string_value() ||
+                               atom.text > s.max.string_value())) {
+        continue;
+      }
+      all_exclude = false;
+    }
+    if (all_exclude) return true;
+  }
+
+  // Int64/date point equality through the per-block blooms (the zone
+  // ranges alone go through the solver below).
+  for (const LinearAtom& atom : a.system.linear()) {
+    if (atom.y != kNoVar || atom.op != CmpOp::kEq) continue;
+    const VarInfo& vi = vars_[atom.x];
+    if (vi.column < 0) continue;
+    const TypeKind type = footer_.schema.column(vi.column).type;
+    if (type != TypeKind::kInt64 && type != TypeKind::kDate) continue;
+    int64_t key;
+    if (!ExactInt64(atom.c, &key)) continue;
+    const uint64_t hash = BloomHashInt64(key);
+    bool all_exclude = true;
+    for (int b = first_block; b <= last_block && all_exclude; ++b) {
+      const BlockSketch& s = footer_.columns[vi.column][b].sketch;
+      if (s.null_count >= footer_.blocks[b].row_count) continue;
+      if (!s.bloom.empty() && !BloomMayContain(s.bloom, hash)) continue;
+      all_exclude = false;
+    }
+    if (all_exclude) return true;
+  }
+
+  // Zone premise for the implication oracle: lo/hi atoms per eligible
+  // variable, plus an interval view when the element has one.
+  PredicateAnalysis premise;
+  premise.complete = false;
+  for (VarId v = 0; v < static_cast<VarId>(vars_.size()); ++v) {
+    const VarInfo& vi = vars_[v];
+    if (vi.column < 0) continue;
+    const bool in_base = Contains(base_vars_[e], v);
+    const ColumnAgg& agg = agg_of(vi.column);
+    const bool anchored_nonnull =
+        vi.offset == 0 && agg.nulls == 0 && agg.has_values;
+    if (!in_base && !anchored_nonnull) continue;
+    if (!agg.bounded) continue;
+    double lo, hi;
+    switch (footer_.schema.column(vi.column).type) {
+      case TypeKind::kInt64:
+        lo = WidenDown(agg.min.int64_value());
+        hi = WidenUp(agg.max.int64_value());
+        break;
+      case TypeKind::kDouble:
+        lo = agg.min.double_value();
+        hi = agg.max.double_value();
+        break;
+      case TypeKind::kDate:
+        lo = agg.min.AsDouble();  // day numbers: exact in double
+        hi = agg.max.AsDouble();
+        break;
+      default:
+        continue;
+    }
+    premise.system.AddXopC(v, CmpOp::kGe, lo);
+    premise.system.AddXopC(v, CmpOp::kLe, hi);
+    if (a.has_interval && a.interval_var == v && !premise.has_interval) {
+      premise.has_interval = true;
+      premise.interval_var = v;
+      premise.interval = IntervalSet(
+          Interval::Make(Endpoint::Closed(lo), Endpoint::Closed(hi)));
+    }
+  }
+  if (premise.system.empty() && !premise.has_interval) return false;
+  return oracle_.Exclusive(premise, a);
+}
+
+ZoneDecision ZoneSkipper::DecideCluster(int ci) const {
+  const ClusterMeta& cm = footer_.clusters[ci];
+  ZoneDecision d;
+  d.skip_block.assign(cm.num_blocks, false);
+  if (!enabled_ || cm.num_blocks == 0) return d;
+  const int first = cm.first_block;
+  const int last = cm.first_block + cm.num_blocks - 1;
+
+  // Cluster level: one refuted non-star element kills every match.
+  const int m = static_cast<int>(analyses_.size());
+  for (int e = 0; e < m; ++e) {
+    if (!star_[e] && RefuteElement(e, first, last)) {
+      d.skip_cluster = true;
+      return d;
+    }
+  }
+
+  // Block level needs every element refutable in principle.
+  for (int e = 0; e < m; ++e) {
+    if (!HasHandles(analyses_[e])) return d;
+  }
+  const int64_t margin = 2 * static_cast<int64_t>(reach_);
+  for (int b = 0; b < cm.num_blocks; ++b) {
+    const int g = first + b;
+    const int64_t lo = footer_.blocks[g].start_row - margin;
+    const int64_t hi =
+        footer_.blocks[g].start_row + footer_.blocks[g].row_count - 1 + margin;
+    int fb = g;
+    while (fb > first &&
+           footer_.blocks[fb - 1].start_row + footer_.blocks[fb - 1].row_count -
+                   1 >=
+               lo) {
+      --fb;
+    }
+    int lb = g;
+    while (lb < last && footer_.blocks[lb + 1].start_row <= hi) ++lb;
+    bool all = true;
+    for (int e = 0; e < m && all; ++e) all = RefuteElement(e, fb, lb);
+    d.skip_block[b] = all;
+  }
+  return d;
+}
+
+std::string ZoneSkipper::ToString() const {
+  std::string out = "zone skipping: ";
+  if (!enabled_) return out + "disabled (no refutation handles)";
+  out += "enabled, reach=" + std::to_string(reach_) + ", handles=[";
+  for (size_t e = 0; e < analyses_.size(); ++e) {
+    if (e) out += " ";
+    out += HasHandles(analyses_[e]) ? "y" : "-";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace sqlts

@@ -1,0 +1,109 @@
+#ifndef SQLTS_COLSTORE_ZONE_SKIP_H_
+#define SQLTS_COLSTORE_ZONE_SKIP_H_
+
+#include <string>
+#include <vector>
+
+#include "colstore/format.h"
+#include "constraints/catalog.h"
+#include "expr/normalize.h"
+#include "parser/analyzer.h"
+#include "pattern/theta_phi.h"
+
+namespace sqlts {
+
+/// Skip verdict for one cluster of a columnar file.
+struct ZoneDecision {
+  /// The whole cluster provably contains no match: some non-star
+  /// element's predicate is refuted over the cluster-aggregate zones.
+  bool skip_cluster = false;
+  /// Per block of the cluster (cluster-local index): true when every
+  /// element (star included) is refuted over the zones of the blocks
+  /// within ±2·reach rows, so no match consumes any of its positions.
+  std::vector<bool> skip_block;
+};
+
+/// Zone-map block skipping: feeds per-block min/max/null/bloom sketches
+/// into the paper's implication oracle to refute pattern elements over
+/// whole row ranges before any block I/O happens.
+///
+/// Soundness contract (docs/STORAGE.md §4).  For a covered row range R
+/// we assert zone atoms `lo ≤ col@off ≤ hi` only when element-TRUE at a
+/// position anchored in the probed range forces the referenced cell to
+/// be a non-NULL value drawn from R:
+///   (a) the variable occurs in a base-system linear/ratio atom (or is
+///       the predicate's interval variable with a non-trivial interval)
+///       — the atom evaluating TRUE forces the cell non-NULL, and the
+///       probe geometry keeps every |offset| ≤ reach read inside R; or
+///   (b) offset == 0 and the column has zero NULLs across R — the tuple
+///       under test always exists.
+/// `ImplicationOracle::Exclusive(zones, element)` proving the
+/// conjunction unsatisfiable then refutes element-TRUE everywhere in
+/// the probed range.  String equality conjuncts are refuted when the
+/// aggregate lexical range or every covering block's bloom filter
+/// definitely excludes the literal; int64/date equality conjuncts
+/// likewise through their blooms.  Columns that are entirely NULL over
+/// R refute any element with a base atom on them.  int64 bounds that
+/// don't round-trip through double are widened outward, and blocks
+/// whose sketch was suppressed (NaN cells) publish no zone atoms.
+///
+/// Cluster-level skips need one refuted NON-star element (every match
+/// instantiates each non-star element at least once).  Block-level
+/// skips refute ALL elements over E(B) = [B.lo − reach, B.hi + reach]
+/// using zones aggregated over B ± 2·reach rows, where `reach` bounds
+/// every relative/navigation offset the query can read — so no match
+/// consumes a position in E(B), matches never read a skipped block,
+/// and the kept blocks form segments that match independently.
+class ZoneSkipper {
+ public:
+  /// `query` must be analyzed against `footer.schema`.
+  ZoneSkipper(const CompiledQuery& query, const ColumnarFooter& footer,
+              const OracleOptions& oracle_options);
+
+  /// False when no element predicate offers any refutation handle (all
+  /// residue); DecideCluster would never skip anything.
+  bool enabled() const { return enabled_; }
+
+  /// Max |relative offset| / |navigation step| the query reads, over
+  /// element conjuncts, SELECT list, and cluster filters.
+  int reach() const { return reach_; }
+
+  /// Skip decisions for cluster `ci` of the footer.
+  ZoneDecision DecideCluster(int ci) const;
+
+  /// One-line summary for EXPLAIN output.
+  std::string ToString() const;
+
+ private:
+  struct VarInfo {
+    int column = -1;  ///< schema column index; -1 when unparsable
+    int offset = 0;
+  };
+  /// Aggregate sketch of one column over a covered block set.
+  struct ColumnAgg {
+    bool has_values = false;  ///< some covered block holds non-NULL cells
+    bool bounded = false;     ///< has_values and every such block has bounds
+    int64_t nulls = 0;
+    Value min;
+    Value max;
+  };
+
+  ColumnAgg Aggregate(int col, int first_block, int last_block) const;
+  /// True when element `e` (0-based) provably cannot be TRUE at any
+  /// position whose reads stay within blocks [first_block, last_block].
+  bool RefuteElement(int e, int first_block, int last_block) const;
+
+  const ColumnarFooter& footer_;
+  ImplicationOracle oracle_;
+  VariableCatalog catalog_;
+  std::vector<PredicateAnalysis> analyses_;   ///< per element, 0-based
+  std::vector<bool> star_;                    ///< per element
+  std::vector<std::vector<VarId>> base_vars_; ///< per element
+  std::vector<VarInfo> vars_;                 ///< per VarId
+  int reach_ = 0;
+  bool enabled_ = false;
+};
+
+}  // namespace sqlts
+
+#endif  // SQLTS_COLSTORE_ZONE_SKIP_H_

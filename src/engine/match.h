@@ -28,12 +28,24 @@ struct SearchStats {
   int64_t presat_skips = 0;  ///< tests skipped thanks to presatisfied φ=1
   int64_t jumps = 0;         ///< shift/next resumptions taken
   int64_t matches = 0;
+  /// Columnar-storage counters (src/colstore/): row blocks the query's
+  /// file(s) hold, how many the zone maps proved irrelevant, and the
+  /// encoded payload bytes actually fetched.  Zero on in-memory
+  /// execution.  These are I/O accounting, not part of the matcher's
+  /// answer, and are deliberately excluded from checkpoint
+  /// serialization and the replication stats fingerprint.
+  int64_t blocks_total = 0;
+  int64_t blocks_skipped = 0;
+  int64_t bytes_read = 0;
 
   SearchStats& operator+=(const SearchStats& o) {
     evaluations += o.evaluations;
     presat_skips += o.presat_skips;
     jumps += o.jumps;
     matches += o.matches;
+    blocks_total += o.blocks_total;
+    blocks_skipped += o.blocks_skipped;
+    bytes_read += o.bytes_read;
     return *this;
   }
 };

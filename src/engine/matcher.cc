@@ -1,12 +1,31 @@
 #include "engine/matcher.h"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 
 #include "common/logging.h"
 
 namespace sqlts {
 namespace {
+
+/// First set bit at position >= `from` in the candidate bitmap, or `n`
+/// when none remains (missing trailing words read as all-clear).
+int64_t NextCandidateStart(const std::vector<uint64_t>& words, int64_t from,
+                           int64_t n) {
+  if (from < 0) from = 0;
+  while (from < n) {
+    const size_t w = static_cast<size_t>(from >> 6);
+    if (w >= words.size()) return n;
+    const uint64_t bits = words[w] >> (from & 63);
+    if (bits != 0) {
+      from += std::countr_zero(bits);
+      return from < n ? from : n;
+    }
+    from = (from | 63) + 1;
+  }
+  return n;
+}
 
 /// Cheap governance polling for the search loops: cancellation is one
 /// relaxed atomic load per call; the deadline clock is only consulted
@@ -80,6 +99,10 @@ std::vector<Match> NaiveSearch(const SequenceView& seq,
     if (options.max_matches > 0 &&
         static_cast<int64_t>(matches.size()) >= options.max_matches) {
       break;
+    }
+    if (options.candidate_starts != nullptr) {
+      s = NextCandidateStart(*options.candidate_starts, s, n);
+      if (s >= n) break;
     }
     // One greedy attempt starting at s.
     std::vector<GroupSpan> spans(m);
@@ -156,6 +179,12 @@ std::vector<Match> OpsSearch(const SequenceView& seq,
   bool presat_pending = false;
 
   auto reset_from = [&](int64_t new_start) {
+    if (options.candidate_starts != nullptr) {
+      // Attempts never begin at a position the prefilter refuted.  The
+      // rebase path below stays unfiltered: a retained-but-doomed start
+      // just fails on its own, which is slower but equally correct.
+      new_start = NextCandidateStart(*options.candidate_starts, new_start, n);
+    }
     start = new_start;
     i = new_start;
     j = 1;
@@ -163,6 +192,7 @@ std::vector<Match> OpsSearch(const SequenceView& seq,
     spans.assign(m, GroupSpan{});
     presat_pending = false;
   };
+  if (options.candidate_starts != nullptr) reset_from(0);
 
   GovernancePoller poller(options.governance);
   while (true) {

@@ -28,6 +28,16 @@ struct SearchOptions {
   /// The delegate must be answer-preserving, so results and stats stay
   /// bit-identical.
   ElementEvaluator* evaluator = nullptr;
+  /// When set (not owned; must outlive the search), a bitmap over
+  /// sequence positions — LSB-first 64-bit words, bit p of word p/64 —
+  /// marking the attempt-start positions that can possibly begin a
+  /// match.  The matchers advance every (re)start to the next set bit,
+  /// never attempting a cleared position.  The caller must guarantee
+  /// soundness (a cleared bit proves no match starts there; the
+  /// columnar probe planner derives this from the anchor element's
+  /// vectorized verdicts) and supply at least ceil(size/64) words.
+  /// Match rows are unchanged; evaluation counts shrink.
+  const std::vector<uint64_t>* candidate_starts = nullptr;
 };
 
 /// Baseline backtracking search (the paper's "naive algorithm"): try a

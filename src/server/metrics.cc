@@ -44,6 +44,14 @@ Json ServerMetrics::Snapshot(const MultiQueryStats* live) const {
   wire.Set("frames_received", Json::Int(frames_received.load()));
   wire.Set("protocol_errors", Json::Int(protocol_errors.load()));
   o.Set("wire", std::move(wire));
+
+  Json storage = Json::Obj();
+  storage.Set("datasets_columnar", Json::Int(storage_datasets_columnar.load()));
+  storage.Set("blocks_total", Json::Int(storage_blocks_total.load()));
+  storage.Set("blocks_skipped", Json::Int(storage_blocks_skipped.load()));
+  storage.Set("bytes_read", Json::Int(storage_bytes_read.load()));
+  o.Set("storage", std::move(storage));
+
   o.Set("replication", replication.Snapshot());
 
   MultiQueryStats total;

@@ -65,6 +65,13 @@ struct ServerMetrics {
   std::atomic<int64_t> rows_sent{0};
   std::atomic<int64_t> frames_received{0};
   std::atomic<int64_t> protocol_errors{0};     // malformed frames/messages
+  // Columnar storage (src/colstore/): datasets served from `.sqlc`
+  // containers and their cumulative block/byte accounting (loads plus
+  // any columnar query execution folded in via NoteStorage).
+  std::atomic<int64_t> storage_datasets_columnar{0};
+  std::atomic<int64_t> storage_blocks_total{0};
+  std::atomic<int64_t> storage_blocks_skipped{0};
+  std::atomic<int64_t> storage_bytes_read{0};
   // Replicated-stream counters (zero while no cluster runs in-process).
   ReplicationMetrics replication;
 
@@ -75,6 +82,16 @@ struct ServerMetrics {
            !sessions_peak.compare_exchange_weak(peak, active,
                                                 std::memory_order_relaxed)) {
     }
+  }
+
+  /// Folds one columnar storage operation (dataset load or columnar
+  /// query) into the storage counters.
+  void NoteStorage(int64_t blocks_total, int64_t blocks_skipped,
+                   int64_t bytes_read) {
+    storage_blocks_total.fetch_add(blocks_total, std::memory_order_relaxed);
+    storage_blocks_skipped.fetch_add(blocks_skipped,
+                                     std::memory_order_relaxed);
+    storage_bytes_read.fetch_add(bytes_read, std::memory_order_relaxed);
   }
 
   /// Counts one typed failure reply by status-code name.

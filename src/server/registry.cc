@@ -179,6 +179,9 @@ void BatchCoalescer::ReplyResult(const BatchRequest& req,
   stats.Set("evaluations", Json::Int(result.stats.evaluations));
   stats.Set("presat_skips", Json::Int(result.stats.presat_skips));
   stats.Set("jumps", Json::Int(result.stats.jumps));
+  stats.Set("blocks_total", Json::Int(result.stats.blocks_total));
+  stats.Set("blocks_skipped", Json::Int(result.stats.blocks_skipped));
+  stats.Set("bytes_read", Json::Int(result.stats.bytes_read));
   stats.Set("num_clusters", Json::Int(result.num_clusters));
   stats.Set("num_shards",
             Json::Int(static_cast<int64_t>(result.shard_stats.size())));

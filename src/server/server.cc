@@ -4,7 +4,9 @@
 #include <chrono>
 #include <utility>
 
+#include "colstore/reader.h"
 #include "server/protocol.h"
+#include "storage/csv.h"
 
 namespace sqlts {
 
@@ -380,6 +382,27 @@ class Session : public ReplySink,
 Server::Server(Options options) : options_(std::move(options)) {}
 
 Server::~Server() { Stop(); }
+
+Status Server::AddDatasetFile(std::string name, const std::string& path,
+                              const Schema* schema) {
+  if (ColumnarReader::SniffFile(path)) {
+    SQLTS_ASSIGN_OR_RETURN(std::unique_ptr<ColumnarReader> reader,
+                           ColumnarReader::Open(path));
+    SQLTS_ASSIGN_OR_RETURN(Table table, reader->ReadTable());
+    metrics_.storage_datasets_columnar.fetch_add(1,
+                                                 std::memory_order_relaxed);
+    metrics_.NoteStorage(
+        static_cast<int64_t>(reader->footer().blocks.size()), 0,
+        reader->bytes_read());
+    return AddDataset(std::move(name), std::move(table));
+  }
+  if (schema == nullptr) {
+    return Status::InvalidArgument("dataset '" + name +
+                                   "': CSV input needs a schema");
+  }
+  SQLTS_ASSIGN_OR_RETURN(Table table, ReadCsvFile(path, *schema));
+  return AddDataset(std::move(name), std::move(table));
+}
 
 Status Server::AddDataset(std::string name, Table table) {
   ts::MutexLock lock(mu_);

@@ -72,6 +72,14 @@ class Server {
   /// Registers a dataset (FailedPrecondition once started).
   Status AddDataset(std::string name, Table table);
 
+  /// Registers a dataset from a file, auto-detecting the format by
+  /// magic bytes: a `.sqlc` columnar container decodes with its
+  /// embedded schema (`schema` may be null) and its blocks/bytes are
+  /// folded into the METRICS storage counters; anything else loads as
+  /// CSV, which requires `schema`.
+  Status AddDatasetFile(std::string name, const std::string& path,
+                        const Schema* schema);
+
   /// Binds the listener and starts accepting sessions.
   Status Start();
 

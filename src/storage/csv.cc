@@ -59,57 +59,191 @@ StatusOr<CsvRecord> SplitCsvLine(std::string_view line) {
   return rec;
 }
 
-/// One raw record plus where it starts in the input, so parse errors
-/// can name a byte offset (useful when resuming a partial download or
-/// locating corruption in a large file).
-struct CsvRawRecord {
-  std::string_view text;
-  size_t offset = 0;
-};
+/// Governance poll period, in records.  Cheap enough to keep
+/// cancellation latency low on wide files, rare enough to stay off the
+/// parse hot path.
+constexpr int64_t kCsvGovernancePollPeriod = 4096;
 
-/// Record split outcome.  `truncated` reports a final record cut off
-/// inside a quoted field (e.g. a partially written file); the caller
-/// decides whether that fails the load or drops the record.
-struct CsvSplit {
-  std::vector<CsvRawRecord> records;
-  bool truncated = false;
-  size_t truncated_offset = 0;  // where the truncated record starts
-};
+/// Read-buffer size for streaming file loads.
+constexpr size_t kCsvChunkBytes = 64 * 1024;
 
-/// Splits CSV text into records.  Record separators are '\n' (or
-/// "\r\n") *outside quotes*; newlines inside quoted fields are field
-/// content, so splitting must be quote-aware.
-CsvSplit SplitCsvRecords(std::string_view text) {
-  CsvSplit split;
-  size_t start = 0;
-  bool in_quotes = false;
-  for (size_t i = 0; i < text.size(); ++i) {
-    char c = text[i];
-    if (c == '"') {
-      // An escaped quote ("") toggles twice — net unchanged — and can
-      // never enclose a separator, so plain toggling is sufficient for
-      // record splitting.
-      in_quotes = !in_quotes;
-    } else if (c == '\n' && !in_quotes) {
-      size_t end = i;
-      if (end > start && text[end - 1] == '\r') --end;  // CRLF
-      split.records.push_back({text.substr(start, end - start), start});
-      start = i + 1;
+/// Consumes one parsed record at a time (header first) and accumulates
+/// the table, so callers can hand it records from an in-memory string
+/// or from a bounded streaming read without materializing the file.
+class CsvLoader {
+ public:
+  CsvLoader(const Schema& schema, const CsvReadOptions& options,
+            CsvReadStats* stats)
+      : schema_(schema), options_(options), stats_(stats), table_(schema) {}
+
+  /// Processes the next complete record.  `offset` is the record's
+  /// byte offset in the input, used to name the bad region of a large
+  /// file in errors.
+  Status OnRecord(std::string_view text, size_t offset) {
+    ++record_index_;
+    if (options_.governance != nullptr &&
+        record_index_ % kCsvGovernancePollPeriod == 0) {
+      SQLTS_RETURN_IF_ERROR(options_.governance->Check());
     }
+    if (record_index_ == 1) return LoadHeader(text);
+    if (StripWhitespace(text).empty()) return Status::OK();
+    // A malformed record either fails the load (naming its byte
+    // offset, so the bad region of a large file can be located) or —
+    // under kSkipAndCount — is dropped and counted, preserving every
+    // well-formed row around it.
+    Status bad = Status::OK();
+    auto rec_or = SplitCsvLine(text);
+    if (!rec_or.ok()) {
+      bad = Status::ParseError(
+          "CSV line " + std::to_string(record_index_) + " (byte offset " +
+          std::to_string(offset) + "): " + rec_or.status().message());
+    }
+    Row row(schema_.num_columns(), Value::Null());
+    if (bad.ok()) {
+      const std::vector<std::string>& fields = rec_or->fields;
+      if (fields.size() != schema_col_.size()) {
+        bad = Status::ParseError(
+            "CSV line " + std::to_string(record_index_) + " (byte offset " +
+            std::to_string(offset) + ") has " +
+            std::to_string(fields.size()) + " fields, expected " +
+            std::to_string(schema_col_.size()));
+      }
+      for (size_t c = 0; bad.ok() && c < fields.size(); ++c) {
+        int sc = schema_col_[c];
+        // An unquoted blank cell is NULL; a quoted one is literal
+        // content.
+        if (!rec_or->quoted[c] && StripWhitespace(fields[c]).empty()) {
+          continue;
+        }
+        if (schema_.column(sc).type == TypeKind::kString &&
+            rec_or->quoted[c]) {
+          // Quoted strings bypass ParseAs so surrounding whitespace
+          // (and emptiness) survive the round trip.
+          row[sc] = Value::String(fields[c]);
+          continue;
+        }
+        auto v = Value::ParseAs(schema_.column(sc).type, fields[c]);
+        if (!v.ok()) {
+          bad = Status::ParseError(
+              "CSV line " + std::to_string(record_index_) +
+              " (byte offset " + std::to_string(offset) + "), column '" +
+              schema_.column(sc).name + "': " + v.status().message());
+          break;
+        }
+        row[sc] = std::move(*v);
+      }
+    }
+    if (!bad.ok()) {
+      if (options_.bad_input != BadInputPolicy::kSkipAndCount) return bad;
+      ++stats_->rows_skipped;
+      return Status::OK();
+    }
+    SQLTS_RETURN_IF_ERROR(table_.AppendRow(std::move(row)));
+    ++stats_->rows_loaded;
+    return Status::OK();
   }
-  if (in_quotes) {
-    // End of input inside a quoted field: the last record is truncated.
-    split.truncated = true;
-    split.truncated_offset = start;
-    return split;
+
+  /// End of input inside a quoted field: a partially written or
+  /// truncated file.  The records before it are intact either way.
+  Status OnTruncated(size_t offset) {
+    if (options_.bad_input != BadInputPolicy::kSkipAndCount) {
+      return Status::ParseError(
+          "unterminated quote in CSV input: final record (starting at "
+          "byte offset " +
+          std::to_string(offset) + ") is truncated");
+    }
+    ++stats_->rows_skipped;
+    return Status::OK();
   }
-  if (start < text.size()) {
-    std::string_view rec = text.substr(start);
-    if (!rec.empty() && rec.back() == '\r') rec.remove_suffix(1);
-    split.records.push_back({rec, start});
+
+  StatusOr<Table> Finish() {
+    if (record_index_ == 0) return Status::ParseError("empty CSV input");
+    return std::move(table_);
   }
-  return split;
-}
+
+ private:
+  Status LoadHeader(std::string_view text) {
+    SQLTS_ASSIGN_OR_RETURN(CsvRecord header, SplitCsvLine(text));
+    schema_col_.assign(header.fields.size(), -1);
+    for (size_t c = 0; c < header.fields.size(); ++c) {
+      auto idx = schema_.FindColumn(StripWhitespace(header.fields[c]));
+      if (!idx.ok()) {
+        return Status::ParseError("CSV column '" + header.fields[c] +
+                                  "' not in schema (" + schema_.ToString() +
+                                  ")");
+      }
+      schema_col_[c] = *idx;
+    }
+    return Status::OK();
+  }
+
+  const Schema& schema_;
+  const CsvReadOptions& options_;
+  CsvReadStats* stats_;
+  Table table_;
+  std::vector<int> schema_col_;  // file column -> schema column
+  int64_t record_index_ = 0;     // 1-based; record 1 is the header
+};
+
+/// Incremental quote-aware record-boundary scanner.  Feed() accepts
+/// arbitrary chunks (boundaries may fall anywhere, including inside
+/// quoted fields); each complete record goes to the loader, and a
+/// partial record at a chunk's end is carried into the next Feed().
+/// Record separators are '\n' (or "\r\n") *outside quotes*; newlines
+/// inside quoted fields are field content.
+class CsvRecordScanner {
+ public:
+  explicit CsvRecordScanner(CsvLoader* loader) : loader_(loader) {}
+
+  Status Feed(std::string_view chunk) {
+    size_t start = 0;
+    for (size_t i = 0; i < chunk.size(); ++i) {
+      const char c = chunk[i];
+      if (c == '"') {
+        // An escaped quote ("") toggles twice — net unchanged — and
+        // can never enclose a separator, so plain toggling is
+        // sufficient for record splitting.
+        in_quotes_ = !in_quotes_;
+      } else if (c == '\n' && !in_quotes_) {
+        std::string_view body;
+        if (carry_.empty()) {
+          body = chunk.substr(start, i - start);
+        } else {
+          carry_.append(chunk.data() + start, i - start);
+          body = carry_;
+        }
+        if (!body.empty() && body.back() == '\r') body.remove_suffix(1);
+        SQLTS_RETURN_IF_ERROR(loader_->OnRecord(body, record_offset_));
+        carry_.clear();
+        start = i + 1;
+        record_offset_ = base_offset_ + start;
+      }
+    }
+    carry_.append(chunk.data() + start, chunk.size() - start);
+    base_offset_ += chunk.size();
+    return Status::OK();
+  }
+
+  Status Finish() {
+    if (in_quotes_) return loader_->OnTruncated(record_offset_);
+    if (carry_.empty()) return Status::OK();
+    std::string_view body = carry_;
+    if (body.back() == '\r') body.remove_suffix(1);
+    return loader_->OnRecord(body, record_offset_);
+  }
+
+  /// Bytes currently carried for an incomplete record — the only part
+  /// of the scanner's footprint that scales with input shape (one
+  /// oversized record) rather than being O(1).
+  size_t carry_size() const { return carry_.size(); }
+
+ private:
+  CsvLoader* loader_;
+  std::string carry_;        // partial record spanning chunk boundaries
+  bool in_quotes_ = false;
+  size_t base_offset_ = 0;    // input offset of the next byte to feed
+  size_t record_offset_ = 0;  // input offset of the current record
+};
 
 std::string EscapeCsvField(const std::string& raw, bool force_quote = false) {
   if (!force_quote && raw.find_first_of(",\"\n\r") == std::string::npos) {
@@ -159,99 +293,14 @@ std::string CellText(const Value& v) {
 StatusOr<Table> ReadCsvString(std::string_view text, const Schema& schema,
                               const CsvReadOptions& options,
                               CsvReadStats* stats) {
-  const bool skip_bad = options.bad_input == BadInputPolicy::kSkipAndCount;
   CsvReadStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   *stats = CsvReadStats{};
-
-  CsvSplit split = SplitCsvRecords(text);
-  if (split.truncated) {
-    // A quote left open at end of input: a partially written or
-    // truncated file.  The records before it are intact either way.
-    if (!skip_bad) {
-      return Status::ParseError(
-          "unterminated quote in CSV input: final record (starting at "
-          "byte offset " +
-          std::to_string(split.truncated_offset) + ") is truncated");
-    }
-    ++stats->rows_skipped;
-  }
-  const std::vector<CsvRawRecord>& lines = split.records;
-  if (lines.empty()) return Status::ParseError("empty CSV input");
-
-  SQLTS_ASSIGN_OR_RETURN(CsvRecord header, SplitCsvLine(lines[0].text));
-  // Map file columns -> schema columns.
-  std::vector<int> schema_col(header.fields.size(), -1);
-  for (size_t c = 0; c < header.fields.size(); ++c) {
-    auto idx = schema.FindColumn(StripWhitespace(header.fields[c]));
-    if (!idx.ok()) {
-      return Status::ParseError("CSV column '" + header.fields[c] +
-                                "' not in schema (" + schema.ToString() +
-                                ")");
-    }
-    schema_col[c] = *idx;
-  }
-
-  Table table(schema);
-  for (size_t ln = 1; ln < lines.size(); ++ln) {
-    std::string_view line = lines[ln].text;
-    const size_t offset = lines[ln].offset;
-    if (StripWhitespace(line).empty()) continue;
-    // A malformed record either fails the load (naming its byte
-    // offset, so the bad region of a large file can be located) or —
-    // under kSkipAndCount — is dropped and counted, preserving every
-    // well-formed row around it.
-    Status bad = Status::OK();
-    auto rec_or = SplitCsvLine(line);
-    if (!rec_or.ok()) {
-      bad = Status::ParseError(
-          "CSV line " + std::to_string(ln + 1) + " (byte offset " +
-          std::to_string(offset) + "): " + rec_or.status().message());
-    }
-    Row row(schema.num_columns(), Value::Null());
-    if (bad.ok()) {
-      const std::vector<std::string>& fields = rec_or->fields;
-      if (fields.size() != header.fields.size()) {
-        bad = Status::ParseError(
-            "CSV line " + std::to_string(ln + 1) + " (byte offset " +
-            std::to_string(offset) + ") has " +
-            std::to_string(fields.size()) + " fields, expected " +
-            std::to_string(header.fields.size()));
-      }
-      for (size_t c = 0; bad.ok() && c < fields.size(); ++c) {
-        int sc = schema_col[c];
-        // An unquoted blank cell is NULL; a quoted one is literal
-        // content.
-        if (!rec_or->quoted[c] && StripWhitespace(fields[c]).empty()) {
-          continue;
-        }
-        if (schema.column(sc).type == TypeKind::kString &&
-            rec_or->quoted[c]) {
-          // Quoted strings bypass ParseAs so surrounding whitespace
-          // (and emptiness) survive the round trip.
-          row[sc] = Value::String(fields[c]);
-          continue;
-        }
-        auto v = Value::ParseAs(schema.column(sc).type, fields[c]);
-        if (!v.ok()) {
-          bad = Status::ParseError(
-              "CSV line " + std::to_string(ln + 1) + " (byte offset " +
-              std::to_string(offset) + "), column '" +
-              schema.column(sc).name + "': " + v.status().message());
-          break;
-        }
-        row[sc] = std::move(*v);
-      }
-    }
-    if (!bad.ok()) {
-      if (!skip_bad) return bad;
-      ++stats->rows_skipped;
-      continue;
-    }
-    SQLTS_RETURN_IF_ERROR(table.AppendRow(std::move(row)));
-    ++stats->rows_loaded;
-  }
-  return table;
+  CsvLoader loader(schema, options, stats);
+  CsvRecordScanner scanner(&loader);
+  SQLTS_RETURN_IF_ERROR(scanner.Feed(text));
+  SQLTS_RETURN_IF_ERROR(scanner.Finish());
+  return loader.Finish();
 }
 
 StatusOr<Table> ReadCsvFile(const std::string& path, const Schema& schema,
@@ -259,9 +308,37 @@ StatusOr<Table> ReadCsvFile(const std::string& path, const Schema& schema,
                             CsvReadStats* stats) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open '" + path + "'");
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  return ReadCsvString(buf.str(), schema, options, stats);
+  CsvReadStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  *stats = CsvReadStats{};
+  CsvLoader loader(schema, options, stats);
+  CsvRecordScanner scanner(&loader);
+  const int64_t budget = options.governance != nullptr
+                             ? options.governance->max_buffered_bytes
+                             : 0;
+  std::string chunk(kCsvChunkBytes, '\0');
+  while (in) {
+    in.read(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+    const std::streamsize got = in.gcount();
+    if (got <= 0) break;
+    if (options.governance != nullptr) {
+      SQLTS_RETURN_IF_ERROR(options.governance->Check());
+    }
+    SQLTS_RETURN_IF_ERROR(
+        scanner.Feed(std::string_view(chunk.data(),
+                                      static_cast<size_t>(got))));
+    if (budget > 0 &&
+        static_cast<int64_t>(scanner.carry_size()) > budget) {
+      return Status::ResourceExhausted(
+          "CSV record in '" + path + "' spans " +
+          std::to_string(scanner.carry_size()) +
+          " bytes, exceeding the max_buffered_bytes budget (" +
+          std::to_string(budget) + ")");
+    }
+  }
+  if (in.bad()) return Status::IoError("read failed for '" + path + "'");
+  SQLTS_RETURN_IF_ERROR(scanner.Finish());
+  return loader.Finish();
 }
 
 std::string WriteCsvString(const Table& table) {

@@ -18,6 +18,15 @@ struct CsvReadOptions {
   /// offset.  kSkipAndCount: the record is dropped and counted (see
   /// CsvReadStats); header problems always fail.
   BadInputPolicy bad_input = BadInputPolicy::kFailFast;
+  /// Optional resource governance (not owned; may outlive the call on
+  /// the caller's side).  The loader polls cancellation/deadline while
+  /// parsing, and `max_buffered_bytes` bounds the loader's *working
+  /// buffer*: file loading streams through a fixed-size chunk, so only
+  /// a single record carried across a chunk boundary can grow it — a
+  /// record larger than the budget fails with kResourceExhausted, while
+  /// a file of any size whose records fit loads fine.  (The loaded
+  /// Table itself is the caller's to account for.)
+  const ExecGovernance* governance = nullptr;
 };
 
 /// Load accounting, filled when a `stats` out-param is supplied.
@@ -33,6 +42,13 @@ struct CsvReadStats {
 /// terminators are accepted.  NULL semantics: an *unquoted* blank field
 /// loads as NULL; a quoted field is always literal content, so empty
 /// and whitespace-only strings survive a write/read round trip.
+///
+/// Files are parsed *streamingly* through a fixed-size read buffer —
+/// peak memory is the growing Table plus O(chunk + longest record), not
+/// file size + Table (the old slurp-then-parse shape doubled peak
+/// memory on large inputs).  Record boundaries are found with the same
+/// quote-aware scan as the in-memory parser, so chunk boundaries can
+/// fall anywhere, including inside quoted fields.
 StatusOr<Table> ReadCsvFile(const std::string& path, const Schema& schema,
                             const CsvReadOptions& options = {},
                             CsvReadStats* stats = nullptr);

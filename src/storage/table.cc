@@ -33,6 +33,36 @@ Status Table::AppendRow(Row row) {
   return Status::OK();
 }
 
+StatusOr<Table> Table::FromColumns(Schema schema,
+                                   std::vector<std::vector<Value>> columns) {
+  Table table(std::move(schema));
+  if (static_cast<int>(columns.size()) != table.schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "column count " + std::to_string(columns.size()) +
+        " != schema arity " + std::to_string(table.schema_.num_columns()));
+  }
+  for (int c = 0; c < table.schema_.num_columns(); ++c) {
+    if (columns[c].size() != columns[0].size()) {
+      return Status::InvalidArgument("ragged columns: '" +
+                                     table.schema_.column(c).name + "'");
+    }
+    const TypeKind want = table.schema_.column(c).type;
+    for (Value& v : columns[c]) {
+      if (v.is_null() || v.kind() == want) continue;
+      if (want == TypeKind::kDouble && v.kind() == TypeKind::kInt64) {
+        v = Value::Double(static_cast<double>(v.int64_value()));
+        continue;
+      }
+      return Status::TypeError(
+          "column '" + table.schema_.column(c).name + "' expects " +
+          std::string(TypeKindToString(want)) + ", got " +
+          std::string(TypeKindToString(v.kind())));
+    }
+  }
+  table.columns_ = std::move(columns);
+  return table;
+}
+
 const Value& Table::at(int64_t row, int col) const {
   SQLTS_CHECK(col >= 0 && col < schema_.num_columns()) << "col " << col;
   SQLTS_CHECK(row >= 0 && row < num_rows()) << "row " << row;

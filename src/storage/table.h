@@ -28,6 +28,13 @@ class Table {
   /// schema (NULLs are allowed in any column).
   Status AppendRow(Row row);
 
+  /// Builds a table by adopting whole column vectors (the columnar
+  /// reader's bulk path: no per-row re-boxing).  Columns must match the
+  /// schema arity, share one length, and type-check cell-wise exactly
+  /// like AppendRow (int64 cells coerce into double columns).
+  static StatusOr<Table> FromColumns(Schema schema,
+                                     std::vector<std::vector<Value>> columns);
+
   /// Value at (row, col); bounds are checked invariants.
   const Value& at(int64_t row, int col) const;
 

@@ -5,6 +5,9 @@
 #include <sstream>
 
 #include "analysis/linter.h"
+#include "colstore/columnar_executor.h"
+#include "colstore/probe_planner.h"
+#include "colstore/writer.h"
 #include "engine/executor.h"
 #include "engine/stream_executor.h"
 #include "engine/vectorized_eval.h"
@@ -1041,6 +1044,206 @@ DifferentialOutcome CheckQuerySetLintSoundness(
                   joined, data);
     }
   }
+  return DifferentialOutcome{};
+}
+
+DifferentialOutcome CheckColumnarEquivalence(const Table& data,
+                                             const GeneratedQuery& query,
+                                             uint64_t seed,
+                                             ColumnarFuzzStats* stats) {
+  ColumnarFuzzStats local;
+  if (stats == nullptr) stats = &local;
+  const std::string& sql = query.sql;
+  auto compiled = CompileQueryText(sql, data.schema());
+  if (!compiled.ok()) {
+    DifferentialOutcome out;
+    out.both_errored = true;
+    return out;
+  }
+
+  // Convert, clustered exactly as the query demands so the fast path
+  // engages; blooms on (the default).
+  ColumnarWriterOptions wopt;
+  wopt.cluster_by = compiled->cluster_by;
+  wopt.sequence_by = compiled->sequence_by;
+  auto bytes = ColumnarWriter::WriteBytes(data, wopt);
+  if (!bytes.ok()) {
+    return Fail("columnar conversion failed: " + bytes.status().ToString(),
+                seed, sql, data);
+  }
+  auto reader = ColumnarReader::OpenBytes(std::move(*bytes));
+  if (!reader.ok()) {
+    return Fail("columnar reopen failed: " + reader.status().ToString(),
+                seed, sql, data);
+  }
+  ++stats->tables_converted;
+
+  // Round trip: the container holds exactly the input rows.  The
+  // writer re-orders cluster-major, so compare as multisets.
+  auto decoded = (*reader)->ReadTable();
+  if (!decoded.ok()) {
+    return Fail("columnar decode failed: " + decoded.status().ToString(),
+                seed, sql, data);
+  }
+  {
+    std::vector<std::string> a = RowStrings(data);
+    std::vector<std::string> b = RowStrings(*decoded);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    if (a != b) {
+      return Fail("columnar round trip changed the row multiset: " +
+                      DiffRows("input (sorted)", a, "decoded (sorted)", b),
+                  seed, sql, data);
+    }
+  }
+  if (ProbePlanner::Plan(*compiled, (*reader)->footer()).anchor_element >=
+      0) {
+    ++stats->anchored_runs;
+  }
+
+  struct Config {
+    const char* name;
+    int threads;
+    bool vectorize;
+    SearchAlgorithm alg;
+  };
+  const Config kConfigs[] = {
+      {"ops-vectorized-1t", 1, true, SearchAlgorithm::kOps},
+      {"ops-interpreted-1t", 1, false, SearchAlgorithm::kOps},
+      {"ops-vectorized-8t", 8, true, SearchAlgorithm::kOps},
+      {"ops-interpreted-8t", 8, false, SearchAlgorithm::kOps},
+      {"naive-interpreted-1t", 1, false, SearchAlgorithm::kNaive},
+  };
+  bool compared_any = false;
+  for (const Config& cfg : kConfigs) {
+    ExecOptions opt;
+    opt.algorithm = cfg.alg;
+    opt.num_threads = cfg.threads;
+    opt.vectorize = cfg.vectorize;
+    auto ref = QueryExecutor::ExecuteCompiled(data, *compiled, opt);
+
+    ColumnarExecOptions plain;
+    plain.exec = opt;
+    plain.skipping = false;
+    plain.planner = false;
+    auto col = ColumnarExecutor::Execute(**reader, sql, plain);
+    if (!ref.ok() || !col.ok()) {
+      if (!ref.ok() && !col.ok() &&
+          ref.status().code() == col.status().code()) {
+        continue;  // consistent rejection on both paths
+      }
+      return Fail(std::string("columnar error divergence (") + cfg.name +
+                      "): ref=" + ref.status().ToString() +
+                      " columnar=" + col.status().ToString(),
+                  seed, sql, data);
+    }
+    ++stats->queries_compared;
+    compared_any = true;
+
+    std::vector<std::string> ref_rows = RowStrings(ref->output);
+    std::vector<std::string> col_rows = RowStrings(col->output);
+    if (ref_rows != col_rows) {
+      return Fail(std::string("columnar fast path diverged (") + cfg.name +
+                      "): " + DiffRows("in-memory", ref_rows, "columnar",
+                                       col_rows),
+                  seed, sql, data);
+    }
+    // Stats contract: with skipping and the planner off, the matcher
+    // does identical work over identical segments.
+    if (col->stats.matches != ref->stats.matches ||
+        col->stats.evaluations != ref->stats.evaluations ||
+        col->stats.presat_skips != ref->stats.presat_skips ||
+        col->stats.jumps != ref->stats.jumps) {
+      return Fail(
+          std::string("columnar stats divergence (") + cfg.name +
+              "): matches " + std::to_string(col->stats.matches) + " vs " +
+              std::to_string(ref->stats.matches) + ", evaluations " +
+              std::to_string(col->stats.evaluations) + " vs " +
+              std::to_string(ref->stats.evaluations),
+          seed, sql, data);
+    }
+
+    // Skipping + planner on: rows and match count are invariants (the
+    // planner only reorders commutative conjuncts and prefilters
+    // doomed starts; skipping only elides refuted blocks).  Because
+    // the no-skip run above decoded *every* block and matched the
+    // in-memory engine bit-for-bit, it is the force-read-all oracle: a
+    // match hiding in any skipped block would show up right here as a
+    // row or match-count difference.
+    ColumnarExecOptions skipping;
+    skipping.exec = opt;
+    auto skip = ColumnarExecutor::Execute(**reader, sql, skipping);
+    if (!skip.ok()) {
+      return Fail(std::string("columnar skipping run failed (") + cfg.name +
+                      "): " + skip.status().ToString(),
+                  seed, sql, data);
+    }
+    std::vector<std::string> skip_rows = RowStrings(skip->output);
+    if (skip_rows != ref_rows) {
+      return Fail(std::string("zone skipping / probe planner changed the "
+                              "result (") +
+                      cfg.name + "): " +
+                      DiffRows("force-read-all", ref_rows, "skipping",
+                               skip_rows),
+                  seed, sql, data);
+    }
+    if (skip->stats.matches != ref->stats.matches) {
+      return Fail(std::string("zone skipping changed the match count (") +
+                      cfg.name +
+                      "): " + std::to_string(skip->stats.matches) + " vs " +
+                      std::to_string(ref->stats.matches),
+                  seed, sql, data);
+    }
+    if (skip->stats.blocks_skipped < 0 ||
+        skip->stats.blocks_skipped > skip->stats.blocks_total ||
+        skip->stats.bytes_read > col->stats.bytes_read) {
+      return Fail(std::string("columnar skip accounting broken (") +
+                      cfg.name + "): skipped " +
+                      std::to_string(skip->stats.blocks_skipped) + "/" +
+                      std::to_string(skip->stats.blocks_total) +
+                      " blocks, read " +
+                      std::to_string(skip->stats.bytes_read) + " vs " +
+                      std::to_string(col->stats.bytes_read) + " bytes",
+                  seed, sql, data);
+    }
+    ++stats->skip_runs;
+    stats->blocks_skipped += skip->stats.blocks_skipped;
+  }
+
+  // Streaming legs (interpreted + vectorized): pushing the decoded
+  // table — the engine's canonical cluster-major order — must emit the
+  // in-memory batch multiset.  Ineligible queries (lookahead, LIMIT)
+  // must be rejected identically on both sides.
+  if (compared_any) {
+    for (bool vectorize : {false, true}) {
+      StreamCapture ref_cap = RunStream(data, sql, -1, vectorize);
+      StreamCapture col_cap = RunStream(*decoded, sql, -1, vectorize);
+      if (ref_cap.created != col_cap.created) {
+        return Fail("stream creation divergence over the columnar decode",
+                    seed, sql, data);
+      }
+      if (!ref_cap.created) break;
+      if (!ref_cap.status.ok() || !col_cap.status.ok()) {
+        if (ref_cap.status.code() == col_cap.status.code()) break;
+        return Fail("stream error divergence over the columnar decode: " +
+                        ref_cap.status.ToString() + " vs " +
+                        col_cap.status.ToString(),
+                    seed, sql, data);
+      }
+      std::vector<std::string> a = EmissionRows(ref_cap);
+      std::vector<std::string> b = EmissionRows(col_cap);
+      std::sort(a.begin(), a.end());
+      std::sort(b.begin(), b.end());
+      if (a != b) {
+        return Fail("streaming over the columnar decode diverged: " +
+                        DiffRows("input order (sorted)", a,
+                                 "columnar order (sorted)", b),
+                    seed, sql, data);
+      }
+      ++stats->streaming_compared;
+    }
+  }
+
   return DifferentialOutcome{};
 }
 

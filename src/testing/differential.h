@@ -165,6 +165,40 @@ DifferentialOutcome CheckQuerySetLintSoundness(
     const Table& data, const std::vector<GeneratedQuery>& queries,
     uint64_t seed, QuerySetLintFuzzStats* stats = nullptr);
 
+/// What the columnar equivalence check observed across calls
+/// (aggregated by the caller so the fuzz test can assert the storage
+/// machinery actually fires — blocks skipped, anchors chosen — not
+/// just that it never lies).
+struct ColumnarFuzzStats {
+  int64_t tables_converted = 0;   ///< containers round-tripped
+  int64_t queries_compared = 0;   ///< engine-config comparisons
+  int64_t skip_runs = 0;          ///< runs with skipping + planner on
+  int64_t blocks_skipped = 0;     ///< blocks the skip runs elided
+  int64_t anchored_runs = 0;      ///< probe planner picked an anchor
+  int64_t streaming_compared = 0;
+};
+
+/// Differential: the persistent columnar path (src/colstore/) against
+/// the in-memory engine.  The table is converted to a columnar
+/// container clustered exactly as the query demands, then:
+///  - round trip: the decoded container holds the input row multiset
+///    bit-identically;
+///  - for every engine config (OPS interpreted/vectorized at 1 and 8
+///    threads, plus naive): the columnar fast path with skipping and
+///    the planner OFF returns rows and matcher stats bit-identical to
+///    the in-memory run — and with both ON, identical rows and match
+///    count (stats may legitimately shrink);
+///  - force-read-all oracle: the no-skip run decodes every block, so a
+///    match inside any skipped block would surface as a row or
+///    match-count difference between the two columnar runs;
+///  - accounting: a skip run never reads more bytes than the full run;
+///  - streaming (interpreted + vectorized, when eligible): pushing the
+///    decoded table emits the in-memory batch multiset.
+DifferentialOutcome CheckColumnarEquivalence(const Table& data,
+                                             const GeneratedQuery& query,
+                                             uint64_t seed,
+                                             ColumnarFuzzStats* stats = nullptr);
+
 /// Metamorphic: kill-and-restore equivalence.  Splits the stream at a
 /// random point k, checkpoints the executor there, destroys it, restores
 /// a fresh executor from the bytes and feeds it the remaining tuples.

@@ -1,0 +1,304 @@
+// Zone-map block skipping + selectivity-driven probe planner tests:
+// the columnar fast path must return the in-memory engine's rows under
+// every knob combination, skip provably irrelevant clusters/blocks,
+// report its I/O in SearchStats, choose sound anchors, and explain all
+// of it.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "colstore/columnar_executor.h"
+#include "colstore/probe_planner.h"
+#include "colstore/reader.h"
+#include "colstore/writer.h"
+#include "engine/executor.h"
+#include "parser/analyzer.h"
+#include "storage/table.h"
+
+namespace sqlts {
+namespace {
+
+Schema QuoteSchema() {
+  Schema s;
+  SQLTS_CHECK_OK(s.AddColumn("name", TypeKind::kString));
+  SQLTS_CHECK_OK(s.AddColumn("date", TypeKind::kDate));
+  SQLTS_CHECK_OK(s.AddColumn("price", TypeKind::kDouble));
+  return s;
+}
+
+/// `num_names` instruments with `days` rows each.  Every series stays
+/// below 100 except the planted one ("S17"), which ramps through
+/// [150, 150 + days).
+Table PlantedQuotes(int num_names, int days) {
+  Table t(QuoteSchema());
+  Date d0 = *Date::Parse("1999-01-04");
+  for (int n = 0; n < num_names; ++n) {
+    const std::string name = "S" + std::to_string(n);
+    const bool hot = n == 17;
+    for (int d = 0; d < days; ++d) {
+      double price = hot ? 150.0 + d : 20.0 + (n + d) % 60;
+      SQLTS_CHECK_OK(t.AppendRow(
+          {Value::String(name),
+           Value::FromDate(Date(d0.days_since_epoch() + d)),
+           Value::Double(price)}));
+    }
+  }
+  return t;
+}
+
+std::unique_ptr<ColumnarReader> WriteClustered(const Table& t) {
+  ColumnarWriterOptions opts;
+  opts.cluster_by = {"name"};
+  opts.sequence_by = {"date"};
+  auto bytes = ColumnarWriter::WriteBytes(t, opts).value();
+  return ColumnarReader::OpenBytes(std::move(bytes)).value();
+}
+
+std::vector<std::string> RowTexts(const Table& t) {
+  std::vector<std::string> out;
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    std::string s;
+    for (int c = 0; c < t.schema().num_columns(); ++c) {
+      if (c) s += '|';
+      s += t.at(r, c).ToString();
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+constexpr char kSelectiveQuery[] =
+    "SELECT X.name, X.date FROM quote CLUSTER BY name SEQUENCE BY date "
+    "AS (X, Y) WHERE X.price > 150 AND Y.price > X.price";
+
+TEST(ZoneSkip, PrunesPlantedClustersWithIdenticalRows) {
+  Table t = PlantedQuotes(40, 30);
+  auto reader = WriteClustered(t);
+  auto mem = QueryExecutor::Execute(t, kSelectiveQuery);
+  ASSERT_TRUE(mem.ok()) << mem.status();
+  ASSERT_GT(mem->output.num_rows(), 0);
+
+  ColumnarExecOptions skip_on;
+  auto col = ColumnarExecutor::Execute(*reader, kSelectiveQuery, skip_on);
+  ASSERT_TRUE(col.ok()) << col.status();
+  EXPECT_EQ(RowTexts(col->output), RowTexts(mem->output));
+  EXPECT_EQ(col->stats.matches, mem->stats.matches);
+  // 39 of 40 single-block clusters are refuted by the price zone maps.
+  EXPECT_EQ(col->stats.blocks_total,
+            static_cast<int64_t>(reader->footer().blocks.size()));
+  EXPECT_GE(col->stats.blocks_skipped, 39);
+  EXPECT_LT(col->stats.blocks_skipped, col->stats.blocks_total);
+
+  // Skipping saves real I/O versus the forced full scan.
+  ColumnarExecOptions skip_off;
+  skip_off.skipping = false;
+  skip_off.planner = false;
+  auto full = ColumnarExecutor::Execute(*reader, kSelectiveQuery, skip_off);
+  ASSERT_TRUE(full.ok()) << full.status();
+  EXPECT_EQ(RowTexts(full->output), RowTexts(mem->output));
+  EXPECT_EQ(full->stats.blocks_skipped, 0);
+  EXPECT_LT(col->stats.bytes_read, full->stats.bytes_read);
+}
+
+TEST(ZoneSkip, EqualityAgainstZeroSurvivesSkipping) {
+  // Regression: the skipper once reused the raw (ungated) compile-time
+  // oracle options, inheriting the GSW positive-domain mode for columns
+  // never declared POSITIVE.  Under that assumption `X.flag = 0` is
+  // "provably" false, so every live cluster was skipped and the query
+  // silently returned nothing.
+  Schema s;
+  SQLTS_CHECK_OK(s.AddColumn("name", TypeKind::kString));
+  SQLTS_CHECK_OK(s.AddColumn("date", TypeKind::kDate));
+  SQLTS_CHECK_OK(s.AddColumn("flag", TypeKind::kInt64));
+  Table t(s);
+  Date d0 = *Date::Parse("2001-06-01");
+  for (int n = 0; n < 4; ++n) {
+    for (int d = 0; d < 6; ++d) {
+      SQLTS_CHECK_OK(
+          t.AppendRow({Value::String("S" + std::to_string(n)),
+                       Value::FromDate(Date(d0.days_since_epoch() + d)),
+                       Value::Int64(n % 2)}));
+    }
+  }
+  const char* query =
+      "SELECT X.name, X.date FROM quote CLUSTER BY name SEQUENCE BY date "
+      "AS (X) WHERE X.flag = 0";
+  auto mem = QueryExecutor::Execute(t, query);
+  ASSERT_TRUE(mem.ok()) << mem.status();
+  ASSERT_EQ(mem->output.num_rows(), 12);
+
+  auto reader = WriteClustered(t);
+  auto col = ColumnarExecutor::Execute(*reader, query);
+  ASSERT_TRUE(col.ok()) << col.status();
+  EXPECT_EQ(RowTexts(col->output), RowTexts(mem->output));
+  // The flag = 1 clusters are still (correctly) refutable by zones.
+  EXPECT_GE(col->stats.blocks_skipped, 1);
+}
+
+TEST(ZoneSkip, NoSkipPathIsStatsBitIdenticalToInMemory) {
+  Table t = PlantedQuotes(12, 25);
+  auto reader = WriteClustered(t);
+  for (bool vectorize : {false, true}) {
+    ExecOptions mem_opt;
+    mem_opt.vectorize = vectorize;
+    auto mem = QueryExecutor::Execute(t, kSelectiveQuery, mem_opt);
+    ASSERT_TRUE(mem.ok()) << mem.status();
+
+    ColumnarExecOptions copt;
+    copt.exec = mem_opt;
+    copt.skipping = false;
+    copt.planner = false;
+    auto col = ColumnarExecutor::Execute(*reader, kSelectiveQuery, copt);
+    ASSERT_TRUE(col.ok()) << col.status();
+    EXPECT_EQ(RowTexts(col->output), RowTexts(mem->output));
+    // Full SearchStats parity: same predicate tests, skips, jumps.
+    EXPECT_EQ(col->stats.matches, mem->stats.matches);
+    EXPECT_EQ(col->stats.evaluations, mem->stats.evaluations);
+    EXPECT_EQ(col->stats.presat_skips, mem->stats.presat_skips);
+    EXPECT_EQ(col->stats.jumps, mem->stats.jumps);
+    EXPECT_EQ(col->num_clusters, mem->num_clusters);
+  }
+}
+
+TEST(ZoneSkip, ShardedColumnarMatchesSequential) {
+  Table t = PlantedQuotes(24, 20);
+  auto reader = WriteClustered(t);
+  ColumnarExecOptions seq;
+  auto sequential = ColumnarExecutor::Execute(*reader, kSelectiveQuery, seq);
+  ASSERT_TRUE(sequential.ok()) << sequential.status();
+
+  ColumnarExecOptions par = seq;
+  par.exec.num_threads = 8;
+  auto sharded = ColumnarExecutor::Execute(*reader, kSelectiveQuery, par);
+  ASSERT_TRUE(sharded.ok()) << sharded.status();
+  EXPECT_EQ(RowTexts(sharded->output), RowTexts(sequential->output));
+  EXPECT_EQ(sharded->stats.matches, sequential->stats.matches);
+  EXPECT_EQ(sharded->stats.blocks_skipped, sequential->stats.blocks_skipped);
+  EXPECT_EQ(sharded->stats.bytes_read, sequential->stats.bytes_read);
+  EXPECT_EQ(sharded->stats.evaluations, sequential->stats.evaluations);
+}
+
+TEST(ZoneSkip, LimitQueriesStaySoundOnTheSequentialPath) {
+  Table t = PlantedQuotes(10, 20);
+  auto reader = WriteClustered(t);
+  const std::string q = std::string(kSelectiveQuery) + " LIMIT 3";
+  auto mem = QueryExecutor::Execute(t, q);
+  ASSERT_TRUE(mem.ok()) << mem.status();
+  ColumnarExecOptions copt;
+  copt.exec.num_threads = 8;  // must fall back to sequential under LIMIT
+  auto col = ColumnarExecutor::Execute(*reader, q, copt);
+  ASSERT_TRUE(col.ok()) << col.status();
+  EXPECT_EQ(RowTexts(col->output), RowTexts(mem->output));
+  EXPECT_TRUE(col->shard_stats.empty());
+}
+
+TEST(ZoneSkip, LayoutMismatchFallsBackToFullDecode) {
+  Table t = PlantedQuotes(6, 10);
+  auto reader = WriteClustered(t);  // clustered by name
+  // Query clusters by nothing — layout mismatch, classic executor path.
+  const char* q =
+      "SELECT X.date FROM quote SEQUENCE BY date AS (X, Y) "
+      "WHERE X.price > 150 AND Y.price > X.price";
+  auto mem = QueryExecutor::Execute(t, q);
+  ASSERT_TRUE(mem.ok()) << mem.status();
+  std::string report;
+  auto col = ColumnarExecutor::Execute(*reader, q, {}, &report);
+  ASSERT_TRUE(col.ok()) << col.status();
+  // The fallback re-sorts rows itself, so compare as multisets.
+  auto a = RowTexts(col->output);
+  auto b = RowTexts(mem->output);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(col->stats.blocks_skipped, 0);
+  EXPECT_GT(col->stats.bytes_read, 0);
+  EXPECT_NE(report.find("full-decode path"), std::string::npos) << report;
+}
+
+TEST(ZoneSkip, ExplainReportsPlannerAndSkipper) {
+  Table t = PlantedQuotes(8, 15);
+  auto reader = WriteClustered(t);
+  std::string report;
+  auto col = ColumnarExecutor::Execute(*reader, kSelectiveQuery, {}, &report);
+  ASSERT_TRUE(col.ok()) << col.status();
+  EXPECT_NE(report.find("probe planner:"), std::string::npos) << report;
+  EXPECT_NE(report.find("anchor element:"), std::string::npos) << report;
+  EXPECT_NE(report.find("zone skipping: enabled"), std::string::npos)
+      << report;
+}
+
+// ---------------------------------------------------------------------------
+// Probe planner unit behavior (colstore/probe_planner.h).
+// ---------------------------------------------------------------------------
+
+TEST(ProbePlanner, ReordersConjunctsBySelectivity) {
+  Table t = PlantedQuotes(20, 25);
+  auto reader = WriteClustered(t);
+  // Element X carries an unselective conjunct first (price > 0 admits
+  // every zone) and a selective one second (price > 150 admits one
+  // cluster); the planner must swap them.
+  auto compiled = CompileQueryText(
+      "SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date "
+      "AS (X, Y) WHERE X.price > 0 AND X.price > 150 AND Y.price > X.price",
+      reader->schema());
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+  ProbePlan plan = ProbePlanner::Plan(*compiled, reader->footer());
+  ASSERT_EQ(plan.query.elements.size(), 2u);
+  ASSERT_EQ(plan.query.elements[0].conjuncts.size(), 2u);
+  EXPECT_EQ(plan.query.elements[0].conjuncts[0]->ToString().find("150") !=
+                std::string::npos,
+            true)
+      << plan.query.elements[0].conjuncts[0]->ToString();
+  EXPECT_EQ(plan.reordered_elements, std::vector<int>{0});
+  // Selectivity estimates reflect the planted distribution: the hot
+  // element is rarer than the tautological one.
+  ASSERT_EQ(plan.element_selectivity.size(), 2u);
+  EXPECT_LT(plan.element_selectivity[0], 0.5);
+}
+
+TEST(ProbePlanner, PicksMostSelectivePrefixElementAsAnchor) {
+  Table t = PlantedQuotes(20, 25);
+  auto reader = WriteClustered(t);
+  // Element 0 admits everything; element 1 is rare — the anchor (the
+  // first probe) must move off the classic engine's element 0.
+  auto compiled = CompileQueryText(
+      "SELECT X.name FROM quote CLUSTER BY name SEQUENCE BY date "
+      "AS (X, Y) WHERE X.price > 0 AND Y.price > 150",
+      reader->schema());
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+  ProbePlan plan = ProbePlanner::Plan(*compiled, reader->footer());
+  EXPECT_EQ(plan.anchor_element, 1);
+  ASSERT_NE(plan.anchor_kernel, nullptr);
+  EXPECT_NE(plan.ToString().find("anchor element: 1"), std::string::npos);
+
+  // And the anchored columnar run still returns the engine's rows.
+  const char* q =
+      "SELECT X.name, X.date FROM quote CLUSTER BY name SEQUENCE BY date "
+      "AS (X, Y) WHERE X.price > 0 AND Y.price > 150";
+  auto mem = QueryExecutor::Execute(t, q);
+  ASSERT_TRUE(mem.ok()) << mem.status();
+  auto col = ColumnarExecutor::Execute(*reader, q);
+  ASSERT_TRUE(col.ok()) << col.status();
+  EXPECT_EQ(RowTexts(col->output), RowTexts(mem->output));
+  EXPECT_EQ(col->stats.matches, mem->stats.matches);
+}
+
+TEST(ProbePlanner, StarPrefixDisablesAnchoring) {
+  Table t = PlantedQuotes(5, 10);
+  auto reader = WriteClustered(t);
+  auto compiled = CompileQueryText(
+      "SELECT Z.name FROM quote CLUSTER BY name SEQUENCE BY date "
+      "AS (*Y, Z) WHERE Y.price > 0 AND Z.price > 150",
+      reader->schema());
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+  ProbePlan plan = ProbePlanner::Plan(*compiled, reader->footer());
+  // Element 0 is star: no non-star prefix beyond it may anchor past it.
+  EXPECT_LE(plan.anchor_element, 0);
+}
+
+}  // namespace
+}  // namespace sqlts

@@ -1,0 +1,162 @@
+// Streaming CSV loader regression tests (satellite of the columnar
+// storage PR): file loading runs through a fixed-size read buffer, so
+// peak memory is the Table plus O(chunk + longest record) — pinned here
+// with the ExecGovernance max_buffered_bytes budget — and record
+// scanning must be byte-exact across arbitrary chunk boundaries.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+#include "common/governance.h"
+#include "storage/csv.h"
+#include "storage/table.h"
+
+namespace sqlts {
+namespace {
+
+Schema TwoColSchema() {
+  Schema s;
+  SQLTS_CHECK_OK(s.AddColumn("name", TypeKind::kString));
+  SQLTS_CHECK_OK(s.AddColumn("v", TypeKind::kInt64));
+  return s;
+}
+
+std::string WriteTemp(const std::string& name, const std::string& text) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  SQLTS_CHECK(out.good()) << "cannot write " << path;
+  return path;
+}
+
+TEST(CsvStreaming, LargeFileLoadsUnderTinyBufferBudget) {
+  // ~1.2 MB of small records — many 64 KiB chunks — under a 4 KiB
+  // working-buffer budget.  Only a record carried across a chunk
+  // boundary occupies the buffer, so the load must succeed; a slurping
+  // loader (the old implementation) could not honor this bound.
+  std::string text = "name,v\n";
+  for (int i = 0; i < 60000; ++i) {
+    text += "row" + std::to_string(i) + "," + std::to_string(i) + "\n";
+  }
+  const std::string path = WriteTemp("sqlts_stream_big.csv", text);
+  ExecGovernance gov;
+  gov.max_buffered_bytes = 4096;
+  CsvReadOptions opts;
+  opts.governance = &gov;
+  auto t = ReadCsvFile(path, TwoColSchema(), opts);
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_EQ(t->num_rows(), 60000);
+  EXPECT_EQ(t->at(59999, 0).string_value(), "row59999");
+}
+
+TEST(CsvStreaming, OversizedRecordExhaustsTheBudget) {
+  // One quoted field larger than the whole read chunk must be carried
+  // across chunk boundaries and trip the byte budget with a typed
+  // error instead of growing without bound.
+  std::string text = "name,v\n\"";
+  text.append(200 * 1024, 'x');
+  text += "\",1\n";
+  const std::string path = WriteTemp("sqlts_stream_huge_record.csv", text);
+  ExecGovernance gov;
+  gov.max_buffered_bytes = 4096;
+  CsvReadOptions opts;
+  opts.governance = &gov;
+  auto t = ReadCsvFile(path, TwoColSchema(), opts);
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kResourceExhausted) << t.status();
+  EXPECT_NE(t.status().ToString().find("max_buffered_bytes"),
+            std::string::npos)
+      << t.status();
+
+  // The identical file loads fine with the budget lifted.
+  auto ok = ReadCsvFile(path, TwoColSchema());
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_EQ(ok->num_rows(), 1);
+  EXPECT_EQ(ok->at(0, 0).string_value().size(), 200u * 1024);
+}
+
+TEST(CsvStreaming, CancellationIsPolledDuringTheLoad) {
+  std::string text = "name,v\n";
+  for (int i = 0; i < 20000; ++i) text += "a," + std::to_string(i) + "\n";
+  const std::string path = WriteTemp("sqlts_stream_cancel.csv", text);
+  ExecGovernance gov;
+  gov.cancel = CancelToken::Cancellable();
+  gov.cancel.RequestCancel();
+  CsvReadOptions opts;
+  opts.governance = &gov;
+  auto t = ReadCsvFile(path, TwoColSchema(), opts);
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kCancelled) << t.status();
+}
+
+TEST(CsvStreaming, QuotedRecordsStraddlingChunkBoundariesParseExactly) {
+  // Build a file whose quoted fields (with embedded separators, CRLF,
+  // escaped quotes, and newlines) are positioned to straddle the
+  // 64 KiB chunk boundary, then require file parsing to agree
+  // byte-for-byte with the single-buffer string parser.
+  std::string text = "name,v\r\n";
+  int i = 0;
+  while (text.size() < 3 * 64 * 1024) {
+    switch (i % 4) {
+      case 0:
+        text += "\"a,\"\"b\"\"\r\nc\"," + std::to_string(i) + "\r\n";
+        break;
+      case 1:
+        text += "\"multi\nline-" + std::to_string(i) + "\"," +
+                std::to_string(i) + "\n";
+        break;
+      case 2:
+        text += "plain" + std::to_string(i) + "," + std::to_string(i) + "\n";
+        break;
+      default:
+        // Long filler record to shift subsequent records' offsets
+        // relative to the chunk grid.
+        text += "\"" + std::string(997, 'f') + "\"," + std::to_string(i) +
+                "\r\n";
+    }
+    ++i;
+  }
+  const std::string path = WriteTemp("sqlts_stream_straddle.csv", text);
+  auto from_string = ReadCsvString(text, TwoColSchema());
+  ASSERT_TRUE(from_string.ok()) << from_string.status();
+  auto from_file = ReadCsvFile(path, TwoColSchema());
+  ASSERT_TRUE(from_file.ok()) << from_file.status();
+  ASSERT_EQ(from_file->num_rows(), from_string->num_rows());
+  for (int64_t r = 0; r < from_file->num_rows(); ++r) {
+    for (int c = 0; c < 2; ++c) {
+      ASSERT_EQ(from_file->at(r, c).ToString(),
+                from_string->at(r, c).ToString())
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(CsvStreaming, TruncatedQuoteAtEofKeepsItsDiagnostics) {
+  // The streaming scanner must preserve the slurping loader's
+  // truncation semantics: fail-fast errors mention the byte offset;
+  // skip-and-count drops the dangling record.
+  const std::string text = "name,v\ngood,1\n\"never closed,2\n";
+  const std::string path = WriteTemp("sqlts_stream_trunc.csv", text);
+  auto t = ReadCsvFile(path, TwoColSchema());
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kParseError) << t.status();
+  EXPECT_NE(t.status().ToString().find("truncated"), std::string::npos)
+      << t.status();
+
+  ExecGovernance gov;
+  gov.bad_input = BadInputPolicy::kSkipAndCount;
+  CsvReadOptions opts;
+  opts.bad_input = BadInputPolicy::kSkipAndCount;
+  opts.governance = &gov;
+  CsvReadStats stats;
+  auto lenient = ReadCsvFile(path, TwoColSchema(), opts, &stats);
+  ASSERT_TRUE(lenient.ok()) << lenient.status();
+  EXPECT_EQ(lenient->num_rows(), 1);
+  EXPECT_EQ(stats.rows_loaded, 1);
+  EXPECT_EQ(stats.rows_skipped, 1);
+}
+
+}  // namespace
+}  // namespace sqlts
